@@ -1,0 +1,66 @@
+"""Benchmark / regeneration of Figure 3 (synthetic single-item data).
+
+Paper reference: Fig 3, Section VII-A.  Two panels — Power-law
+(n = 100k, m = 100) and Uniform (n = 100k, m = 1000) — comparing
+empirical (solid) and theoretical (dashed) MSE/n for RAPPOR, OUE and the
+three IDUE optimization models, eps in [1, 3], default 4-level budgets
+{eps, 1.2eps, 2eps, 4eps} at {5, 5, 5, 85}%.
+
+Scale note: the benchmark uses a reduced n (20k) for wall-clock sanity;
+MSE/n is scale-free in n for fixed frequencies, so the curves match the
+paper's shape (range ~25-400 for power-law at n = 100k).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure3, format_series
+from repro.experiments.config import Figure3Config
+
+CONFIG = Figure3Config(n=20_000, m_power_law=100, m_uniform=500, trials=3, seed=0)
+
+
+def _check_shapes(result):
+    series = result["series"]
+    for name in ("RAPPOR", "OUE", "IDUE-opt0", "IDUE-opt1", "IDUE-opt2"):
+        empirical = np.array(series[f"{name} empirical"])
+        theoretical = np.array(series[f"{name} theoretical"])
+        # Fig 3's headline: empirical tracks theory.
+        assert np.allclose(empirical, theoretical, rtol=0.6), name
+        # MSE decreases with budget.
+        assert theoretical[0] > theoretical[-1], name
+    # Ordering: IDUE-opt0 <= OUE <= RAPPOR at every eps (theory).
+    idue = np.array(series["IDUE-opt0 theoretical"])
+    oue = np.array(series["OUE theoretical"])
+    rappor = np.array(series["RAPPOR theoretical"])
+    assert np.all(idue <= oue * 1.01)
+    assert np.all(oue <= rappor * 1.01)
+
+
+def bench_fig3_power_law(benchmark, record_result):
+    result = benchmark.pedantic(
+        figure3, args=(CONFIG,), kwargs={"distribution": "power-law"}, rounds=1
+    )
+    record_result(
+        "fig3_power_law",
+        format_series(
+            result["x_label"], result["x"], result["series"],
+            title=f"Fig 3 (power-law): {result['metric']}, n={result['n']}, m={result['m']}",
+        ),
+    )
+    _check_shapes(result)
+
+
+def bench_fig3_uniform(benchmark, record_result):
+    result = benchmark.pedantic(
+        figure3, args=(CONFIG,), kwargs={"distribution": "uniform"}, rounds=1
+    )
+    record_result(
+        "fig3_uniform",
+        format_series(
+            result["x_label"], result["x"], result["series"],
+            title=f"Fig 3 (uniform): {result['metric']}, n={result['n']}, m={result['m']}",
+        ),
+    )
+    _check_shapes(result)

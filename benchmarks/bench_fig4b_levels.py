@@ -1,0 +1,50 @@
+"""Benchmark / regeneration of Figure 4(b) (t = 4 vs t = 20 levels).
+
+Paper reference: Fig 4(b), Section VII-B.  Retail item-set data with
+Padding-and-Sampling (ell = 5), comparing RAPPOR-PS, OUE-PS and IDUE-PS
+under the default 4-level budgets and a 20-level exponential budget
+distribution over [eps, 4 eps].  Claim: IDUE-PS outperforms both PS
+baselines for item-set data under either level structure.
+
+Scale note: surrogate Retail at n = 20k, m = 2000 (original 88k x 16.5k).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure4b, format_series
+from repro.experiments.config import Figure4bConfig
+
+CONFIG = Figure4bConfig(
+    n=20_000, m=2_000, ell=5, epsilons=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0),
+    trials=2, t_many=20, seed=0,
+)
+
+
+def bench_fig4b(benchmark, record_result):
+    result = benchmark.pedantic(figure4b, args=(CONFIG,), rounds=1)
+    record_result(
+        "fig4b_levels",
+        format_series(
+            result["x_label"], result["x"], result["series"],
+            title=(
+                f"Fig 4(b): {result['metric']}, n={result['n']}, "
+                f"m={result['m']}, ell={result['ell']}"
+            ),
+        ),
+    )
+
+    series = result["series"]
+    idue4 = np.array(series["IDUE-PS (t=4)"])
+    idue20 = np.array(series["IDUE-PS (t=20)"])
+    oue = np.array(series["OUE-PS"])
+    rappor = np.array(series["RAPPOR-PS"])
+
+    # IDUE-PS beats both PS baselines under either level structure.
+    assert np.all(idue4 <= oue * 1.05)
+    assert np.all(idue4 <= rappor * 1.05)
+    assert np.all(idue20 <= oue * 1.05)
+    # MSE decreases with budget for every mechanism.
+    for values in series.values():
+        assert values[0] > values[-1]

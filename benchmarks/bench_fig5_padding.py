@@ -1,0 +1,58 @@
+"""Benchmark / regeneration of Figure 5 (padding-length sweep).
+
+Paper reference: Fig 5, Section VII-B.  Retail and MSNBC item-set data,
+padding length ell in 1..6, reporting (left) total MSE over all items
+and (right) MSE over the top-5 frequent items.  Claims:
+
+* IDUE-PS outperforms RAPPOR-PS and OUE-PS across ell on both metrics;
+* ell drives a bias/variance trade-off — too small underestimates
+  (truncation bias), too large inflates variance by ell^2.
+
+Scale note: surrogate Retail at n = 20k, m = 2000; surrogate MSNBC at
+n = 50k (original ~1M), m = 14 as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure5, format_series
+from repro.experiments.config import Figure5Config
+
+RETAIL = Figure5Config(dataset="retail", n=20_000, m=2_000, ells=(1, 2, 3, 4, 5, 6), trials=2)
+MSNBC = Figure5Config(dataset="msnbc", n=50_000, m=14, ells=(1, 2, 3, 4, 5, 6), trials=2)
+
+
+def _record_panels(result, name, record_result):
+    left = format_series(
+        result["x_label"], result["x"], result["series"],
+        title=f"{name} — total MSE (all items), n={result['n']}, m={result['m']}",
+    )
+    right = format_series(
+        result["x_label"], result["x"], result["series_topk"],
+        title=f"{name} — MSE (top-5 frequent items)",
+    )
+    record_result(name, left + "\n\n" + right)
+
+
+def _check_claims(result):
+    idue = np.array(result["series"]["IDUE-PS"])
+    oue = np.array(result["series"]["OUE-PS"])
+    rappor = np.array(result["series"]["RAPPOR-PS"])
+    # IDUE-PS never loses on total MSE.
+    assert np.all(idue <= oue * 1.10)
+    assert np.all(idue <= rappor * 1.10)
+    # ell matters: the best and worst ell differ substantially.
+    assert idue.max() > idue.min() * 1.2
+
+
+def bench_fig5_retail(benchmark, record_result):
+    result = benchmark.pedantic(figure5, args=(RETAIL,), rounds=1)
+    _record_panels(result, "fig5_retail", record_result)
+    _check_claims(result)
+
+
+def bench_fig5_msnbc(benchmark, record_result):
+    result = benchmark.pedantic(figure5, args=(MSNBC,), rounds=1)
+    _record_panels(result, "fig5_msnbc", record_result)
+    _check_claims(result)

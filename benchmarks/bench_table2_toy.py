@@ -1,0 +1,43 @@
+"""Benchmark / regeneration of Table II (the 5-category toy example).
+
+Paper reference: Table II, Section V-E.  Budgets eps_1 = ln 4 (HIV),
+eps_2..5 = ln 6.  The paper reports:
+
+    RAPPOR: flip 0.33 everywhere, Var 2n/item, total 10n
+    OUE:    flip1 0.5 / flip0 0.2, Var 1.78n + c_i, total 9.9n
+    IDUE:   flip1 0.41/0.33, flip0 0.33/0.28, total 8.68n .. 8.86n
+
+We assert the exact baseline numbers and the ordering; our opt0 finds a
+slightly *better* feasible IDUE point than the paper's (total <= 8.87n),
+which the EXPERIMENTS.md entry documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import table2_toy_example
+
+
+def bench_table2(benchmark, record_result):
+    result = benchmark.pedantic(table2_toy_example, rounds=3, iterations=1)
+    record_result("table2_toy", result["text"])
+
+    rappor = result["results"]["RAPPOR"]
+    oue = result["results"]["OUE"]
+    idue = result["results"]["IDUE"]
+
+    # Exact baseline numbers from the paper.
+    assert 1.0 - rappor["a"][0] == pytest.approx(1 / 3, abs=1e-9)
+    assert rappor["noise_coefficients"][0] == pytest.approx(2.0)
+    assert rappor["total_range"][1] == pytest.approx(10.0)
+    assert oue["a"][0] == pytest.approx(0.5)
+    assert oue["b"][0] == pytest.approx(0.2)
+    assert oue["total_range"][1] == pytest.approx(9.889, abs=2e-3)
+
+    # IDUE: input-discriminative flips, total below the paper's 8.86n top.
+    assert (1 - idue["a"][0]) > (1 - idue["a"][1])  # sensitive bit flips more
+    assert idue["b"][0] > idue["b"][1]
+    assert idue["total_range"][1] <= 8.87
+    assert idue["total_range"][1] < oue["total_range"][1] < rappor["total_range"][1]

@@ -1,0 +1,69 @@
+"""Throughput / latency micro-benchmarks for the core operations.
+
+These time the operational costs a deployment cares about:
+
+* device-side perturbation rate (reports / second);
+* PS sampling rate over ragged item-set batches;
+* server-side calibration latency at Kosarak-scale domains;
+* optimization latency versus the number of privacy levels t (the
+  paper's scalability claim: cost depends on t, not on m or 2^m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, FrequencyEstimator, IDUE, IDUEPS
+from repro.datasets import kosarak_like, paper_default_spec
+from repro.optim import solve
+from repro.simulation import simulate_counts_from_true
+
+
+@pytest.fixture(scope="module")
+def idue_mechanism():
+    spec = paper_default_spec(2.0, m=1000, rng=0)
+    return IDUE.optimized(spec, model="opt0")
+
+
+def bench_perturb_many_1k_users(benchmark, idue_mechanism):
+    rng = np.random.default_rng(0)
+    items = rng.integers(idue_mechanism.m, size=1000)
+    benchmark(idue_mechanism.perturb_many, items, np.random.default_rng(1))
+
+
+def bench_ps_sampling_100k_users(benchmark):
+    data = kosarak_like(n=100_000, m=5000, rng=0)
+    mech = IDUEPS.oue_ps(1.0, m=5000, ell=5)
+    benchmark(
+        mech.sampler.sample_many,
+        data.flat_items,
+        data.offsets,
+        np.random.default_rng(2),
+    )
+
+
+def bench_fast_simulation_kosarak_domain(benchmark):
+    """Aggregate-count simulation at the paper's full Kosarak width."""
+    m, n = 41_270, 990_000
+    rng = np.random.default_rng(0)
+    truth = rng.multinomial(n, np.full(m, 1.0 / m))
+    a = np.full(m, 0.5)
+    b = np.full(m, 0.2)
+    benchmark(simulate_counts_from_true, truth, n, a, b, np.random.default_rng(3))
+
+
+def bench_estimator_calibration_kosarak_domain(benchmark):
+    m, n = 41_270, 990_000
+    est = FrequencyEstimator(np.full(m, 0.5), np.full(m, 0.2), n)
+    counts = np.full(m, n // 5, dtype=float)
+    benchmark(est.estimate, counts)
+
+
+@pytest.mark.parametrize("t", [2, 4, 10, 20])
+def bench_opt0_latency_by_levels(benchmark, t):
+    """Optimization cost grows with t only (2t variables, t^2 constraints)."""
+    epsilons = np.linspace(1.0, 4.0, t)
+    sizes = np.full(t, 50)
+    spec = BudgetSpec.from_level_sizes(epsilons, sizes)
+    benchmark.pedantic(solve, args=(spec,), kwargs={"model": "opt0"}, rounds=1)

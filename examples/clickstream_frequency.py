@@ -1,0 +1,57 @@
+"""Kosarak-style click-stream frequency estimation (Fig 4a scenario).
+
+A news portal wants page-visit frequencies.  A few pages are sensitive
+(health, finance), most are not, and the portal expresses this as a
+4-level budget assignment.  The example sweeps the budget *distribution*
+to show the paper's Fig 4(a) effect: the more items sit at relaxed
+levels, the bigger IDUE's advantage over the uniform-budget baselines.
+
+Run:  python examples/clickstream_frequency.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IDUE, OptimizedUnaryEncoding, SymmetricUnaryEncoding
+from repro.datasets import assign_budgets, kosarak_like, true_counts_from_items
+from repro.estimation import ue_total_mse
+
+rng = np.random.default_rng(3)
+
+# Click-stream surrogate; single-item view = first page per user.
+data = kosarak_like(n=50_000, m=3_000, rng=rng)
+items = data.first_items()
+truth = true_counts_from_items(items, data.m)
+n = items.size
+print(f"users: {n}, pages: {data.m}")
+
+epsilon = 1.5
+multipliers = np.array([1.0, 1.2, 2.0, 4.0])
+distributions = {
+    "{5%, 5%, 5%, 85%}": (0.05, 0.05, 0.05, 0.85),
+    "{10%, 10%, 10%, 70%}": (0.10, 0.10, 0.10, 0.70),
+    "{25%, 25%, 25%, 25%}": (0.25, 0.25, 0.25, 0.25),
+}
+
+rappor = SymmetricUnaryEncoding(epsilon, data.m)
+oue = OptimizedUnaryEncoding(epsilon, data.m)
+rappor_mse = ue_total_mse(n, rappor.a, rappor.b, truth) / n
+oue_mse = ue_total_mse(n, oue.a, oue.b, truth) / n
+print(f"\nbaselines at eps = min{{E}} = {epsilon}:")
+print(f"  RAPPOR  MSE/n = {rappor_mse:.1f}")
+print(f"  OUE     MSE/n = {oue_mse:.1f}")
+
+print("\nIDUE under different budget distributions (theory, MSE/n):")
+for label, proportions in distributions.items():
+    spec = assign_budgets(data.m, epsilon * multipliers, proportions, rng=1)
+    mech = IDUE.optimized(spec, model="opt0")
+    mse = ue_total_mse(n, mech.a, mech.b, truth) / n
+    gain = oue_mse / mse
+    print(f"  {label:<22} MSE/n = {mse:>8.1f}   ({gain:.2f}x better than OUE)")
+
+print(
+    "\nThe skew is the story: when 85% of pages only need eps' = 4 eps,"
+    "\ndiscriminating inputs nearly halves the error; with a uniform"
+    "\nbudget mix the advantage shrinks toward the OUE baseline."
+)

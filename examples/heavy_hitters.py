@@ -1,0 +1,52 @@
+"""Heavy-hitter identification with the two-phase protocol.
+
+The paper's future-work task (Section VIII): find the k most frequent
+items under MinID-LDP.  This example plants 4 heavy hitters in a
+click-stream-like workload, runs the identify-then-refine protocol
+(users split across phases, so nobody's budget is divided), and compares
+against the ground truth.
+
+Run:  python examples/heavy_hitters.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import ItemsetDataset, paper_default_spec
+from repro.extensions import TwoPhaseHeavyHitter
+
+rng = np.random.default_rng(42)
+
+M, N, K = 200, 40_000, 4
+HITTERS = [3, 17, 42, 99]
+
+# Build a workload where the planted items appear in most sets.
+sets = []
+for _ in range(N):
+    popular = [h for h in HITTERS if rng.random() < 0.7]
+    tail = rng.choice(np.arange(M), size=2, replace=False).tolist()
+    sets.append(list(dict.fromkeys(popular + tail)))
+data = ItemsetDataset.from_sets(sets, m=M)
+truth = data.true_counts()
+
+spec = paper_default_spec(2.0, M, rng=rng)
+protocol = TwoPhaseHeavyHitter(spec, ell=3, k=K, candidate_factor=3)
+print(f"protocol: {protocol}")
+
+result = protocol.run(data, rng)
+
+print(f"\nplanted hitters:    {sorted(HITTERS)}")
+print(f"identified top-{K}:   {sorted(result.top_items.tolist())}")
+print(f"phase-1 candidates: {sorted(result.candidates.tolist())}")
+
+print(f"\n{'item':>5} {'true count':>11} {'phase-2 estimate':>17}")
+for item in result.top_items:
+    print(f"{item:>5} {truth[item]:>11} {result.estimates[int(item)]:>17.0f}")
+
+hit_rate = len(set(result.top_items.tolist()) & set(HITTERS)) / K
+print(f"\nprecision@{K}: {hit_rate:.0%}")
+print(
+    "\nUsers are split across phases instead of splitting each user's"
+    "\nbudget, so every report carries the full E-MinID-LDP guarantee."
+)

@@ -1,0 +1,81 @@
+"""The paper's Table II scenario: a 5-category medical survey.
+
+A health organization surveys n users about {HIV, flu, headache,
+stomach-ache, toothache}.  HIV is far more sensitive, so it gets budget
+ln 4 while the others get ln 6.  The example reproduces Table II's
+comparison — RAPPOR and OUE must run at the minimum budget ln 4 for
+*every* category, while IDUE discriminates — and then runs an actual
+survey simulation to show the utility gap is real, not just worst-case
+algebra.
+
+Run:  python examples/medical_survey.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BudgetSpec,
+    FrequencyEstimator,
+    IDLDP,
+    IDUE,
+    MIN,
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+)
+from repro.audit import audit_unary_pairwise
+from repro.estimation import ue_total_mse
+
+CATEGORIES = ["HIV", "flu", "headache", "stomach-ache", "toothache"]
+
+spec = BudgetSpec([np.log(4.0)] + [np.log(6.0)] * 4)
+n = 100_000
+rng = np.random.default_rng(7)
+
+# Ground truth: HIV is rare, flu and headache dominate.
+probabilities = np.array([0.01, 0.40, 0.35, 0.14, 0.10])
+true_items = rng.choice(5, size=n, p=probabilities)
+truth = np.bincount(true_items, minlength=5)
+
+mechanisms = {
+    "RAPPOR (LDP @ ln4)": SymmetricUnaryEncoding(spec.min_epsilon, 5),
+    "OUE (LDP @ ln4)": OptimizedUnaryEncoding(spec.min_epsilon, 5),
+    "IDUE (MinID-LDP)": IDUE.optimized(spec, model="opt0"),
+}
+
+print("Table II reproduction — flip probabilities and theoretical MSE\n")
+header = f"{'mechanism':<20} {'flip1 HIV':>10} {'flip1 flu':>10} {'flip0 HIV':>10} {'flip0 flu':>10} {'theory MSE':>12}"
+print(header)
+print("-" * len(header))
+for name, mech in mechanisms.items():
+    theory = ue_total_mse(n, mech.a, mech.b, truth)
+    print(
+        f"{name:<20} {1 - mech.a[0]:>10.3f} {1 - mech.a[1]:>10.3f} "
+        f"{mech.b[0]:>10.3f} {mech.b[1]:>10.3f} {theory:>12.3g}"
+    )
+
+print("\nPrivacy audit (every pair of diseases, worst-case output ratio):")
+notion = IDLDP(spec, MIN)
+for name, mech in mechanisms.items():
+    report = audit_unary_pairwise(mech, notion)
+    print(
+        f"  {name:<20} passed={report.passed}  worst ratio "
+        f"{report.worst_ratio:.3f} vs bound {report.worst_bound:.3f}"
+    )
+
+print("\nSimulated survey (single collection round):")
+for name, mech in mechanisms.items():
+    reports = mech.perturb_many(true_items, rng)
+    estimates = FrequencyEstimator.for_mechanism(mech, n).estimate(
+        reports.sum(axis=0)
+    )
+    mse = float(np.sum((estimates - truth) ** 2))
+    hiv_err = estimates[0] - truth[0]
+    print(f"  {name:<20} total SE {mse:>12.3g}   HIV error {hiv_err:>+8.1f}")
+
+print(
+    "\nNote how IDUE spends *more* noise on the HIV bit (it flips more)"
+    "\nyet achieves lower total error, because the four benign categories"
+    "\nare released at their own, weaker privacy requirement."
+)

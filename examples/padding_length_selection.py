@@ -1,0 +1,52 @@
+"""Choosing the Padding-and-Sampling length ell from data.
+
+Fig 5 shows the padding length driving a bias/variance trade-off and the
+paper leaves "how to determine a good ell" open.  Because this library
+has the *exact* PS error decomposition (variance + truncation bias^2),
+the choice is a 1-D search over candidates — done here on a public
+calibration sample, then validated on a fresh private population.
+
+Run:  python examples/padding_length_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IDUEPS
+from repro.datasets import paper_default_spec, retail_like
+from repro.estimation import select_padding_length
+from repro.experiments import empirical_total_mse_itemset
+
+rng = np.random.default_rng(8)
+
+M, EPSILON = 800, 2.0
+spec = paper_default_spec(EPSILON, M, rng=rng)
+
+# A *public* calibration sample (different seed = different users), and
+# the private population we will actually collect from.
+public = retail_like(n=5_000, m=M, rng=1)
+private = retail_like(n=20_000, m=M, rng=2)
+
+choice = select_padding_length(
+    public, spec, candidates=range(1, 9), model="opt0", target_n=private.n
+)
+print("predicted total MSE by padding length (public sample, rescaled to n=20k):")
+for ell, predicted in sorted(choice.curve.items()):
+    marker = "  <-- selected" if ell == choice.ell else ""
+    print(f"  ell={ell}:  {predicted:.4g}{marker}")
+
+print("\nmeasured total MSE on the private population:")
+for ell in sorted(choice.curve):
+    mech = IDUEPS.optimized(spec, ell, model="opt0")
+    measured = empirical_total_mse_itemset(mech, private, trials=3, rng=rng)
+    marker = "  <-- selected" if ell == choice.ell else ""
+    print(f"  ell={ell}:  {measured:.4g}{marker}")
+
+print(
+    "\nThe ranking predicted from the public sample carries over to the"
+    "\nprivate population because only the set-size profile and the item"
+    "\npopularity shape enter the error decomposition.  Note target_n:"
+    "\nvariance grows like n but squared truncation bias grows like n^2,"
+    "\nso the optimum shifts upward for larger populations."
+)

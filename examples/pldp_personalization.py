@@ -1,0 +1,62 @@
+"""Combining ID-LDP with personalized privacy preferences (PLDP).
+
+Section IV-A notes that ID-LDP composes naturally with PLDP: the service
+provider fixes *which inputs* are sensitive (the level structure), and
+each user additionally picks *how much* privacy she wants overall (a
+personal scale factor).  Here three user cohorts — cautious (0.5x),
+default (1x) and relaxed (2x) — share one survey, each cohort running
+the IDUE mechanism optimized for its scaled budgets, and the server
+combines the cohort estimates.
+
+Run:  python examples/pldp_personalization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BudgetSpec, IDLDP, MIN
+from repro.audit import audit_unary_pairwise
+from repro.extensions import PLDPCollector
+
+rng = np.random.default_rng(21)
+
+# Shared level structure: item 0 sensitive, the rest mild.
+base_spec = BudgetSpec([0.8, 2.5, 2.5, 2.5, 2.5, 2.5])
+collector = PLDPCollector(base_spec, thetas=[0.5, 1.0, 2.0], model="opt0")
+
+print("per-cohort mechanisms (same level structure, personal strength):")
+for theta in collector.thetas:
+    group = collector.groups[theta]
+    audit = audit_unary_pairwise(group.mechanism, IDLDP(group.spec, MIN))
+    print(
+        f"  theta={theta:<4}  a={np.round(group.mechanism.level_a, 3).tolist()}"
+        f"  b={np.round(group.mechanism.level_b, 3).tolist()}"
+        f"  audit passed={audit.passed}"
+    )
+
+# One shared population distribution; cohort membership is independent.
+n = 60_000
+probabilities = np.array([0.05, 0.30, 0.25, 0.20, 0.12, 0.08])
+items = rng.choice(6, size=n, p=probabilities)
+thetas = rng.choice([0.5, 1.0, 2.0], size=n, p=[0.25, 0.5, 0.25])
+sizes = {t: int(np.sum(thetas == t)) for t in collector.thetas}
+truth = np.bincount(items, minlength=6)
+
+counts = collector.simulate_collection(items, thetas, rng)
+
+population = collector.estimate(counts, sizes)
+distribution = collector.estimate_distribution(counts, sizes)
+
+print(f"\n{'item':>4} {'true':>8} {'pop. estimate':>14} {'dist. estimate':>15} {'true freq':>10}")
+for item in range(6):
+    print(
+        f"{item:>4} {truth[item]:>8} {population[item]:>14.0f} "
+        f"{distribution[item]:>15.4f} {probabilities[item]:>10.4f}"
+    )
+
+print(
+    "\nThe cautious cohort contributes with lower weight in the shared-"
+    "\ndistribution estimate (its reports are noisier), yet every cohort"
+    "\nreceives exactly the protection it asked for: theta_u * E."
+)

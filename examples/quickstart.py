@@ -1,0 +1,46 @@
+"""Quickstart: input-discriminative frequency estimation in ~40 lines.
+
+Scenario: collect which of 6 categories each user belongs to, where
+category 0 is highly sensitive (budget 0.8) and the rest are mild
+(budget 3.0).  Compare the calibrated estimates against the truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BudgetSpec, FrequencyEstimator, IDUE
+
+rng = np.random.default_rng(0)
+
+# 1. Declare the per-item privacy budgets (item 0 is the sensitive one).
+spec = BudgetSpec([0.8, 3.0, 3.0, 3.0, 3.0, 3.0])
+print(f"budget spec: {spec}")
+
+# 2. Solve for the optimal IDUE perturbation probabilities (opt0 model).
+mechanism = IDUE.optimized(spec, model="opt0")
+print(f"mechanism:   {mechanism}")
+print(f"optimizer:   {mechanism.optimization.summary()}")
+
+# 3. Each user perturbs locally; the server only ever sees the reports.
+n = 50_000
+true_items = rng.choice(6, size=n, p=[0.05, 0.30, 0.25, 0.20, 0.15, 0.05])
+reports = mechanism.perturb_many(true_items, rng)  # n x m bit matrix
+
+# 4. Server side: aggregate bit counts and calibrate (Theorem 3).
+counts = reports.sum(axis=0)
+estimator = FrequencyEstimator.for_mechanism(mechanism, n)
+estimates = estimator.estimate(counts)
+
+truth = np.bincount(true_items, minlength=6)
+print(f"\n{'item':>4} {'epsilon':>8} {'true':>8} {'estimate':>10} {'error':>8}")
+for item in range(6):
+    print(
+        f"{item:>4} {spec.epsilon_of(item):>8.2f} {truth[item]:>8d} "
+        f"{estimates[item]:>10.1f} {estimates[item] - truth[item]:>+8.1f}"
+    )
+
+total_mse = float(np.sum((estimates - truth) ** 2))
+print(f"\ntotal squared error: {total_mse:.0f}  (n = {n})")

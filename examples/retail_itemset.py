@@ -1,0 +1,64 @@
+"""Item-set collection with IDUE-PS on a Retail-style market-basket load.
+
+Each user holds a *basket* of items (any subset of the catalogue).  The
+Padding-and-Sampling protocol fixes the basket length at ell, samples
+one element, and the IDUE perturbation releases an (m + ell)-bit report.
+The example shows:
+
+* building an IDUE-PS mechanism from a 4-level budget assignment,
+* the Eq. (17) combined budget of a few example baskets,
+* frequency estimation and top-5 heavy hitters versus the truth,
+* the comparison against the OUE-PS baseline at min{E}.
+
+Run:  python examples/retail_itemset.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FrequencyEstimator, IDUEPS
+from repro.datasets import paper_default_spec, retail_like
+from repro.estimation import top_k_metrics
+from repro.simulation import simulate_itemset_counts
+
+rng = np.random.default_rng(11)
+
+# A scaled-down Retail surrogate: 20k baskets over 1500 items.
+data = retail_like(n=20_000, m=1_500, rng=rng)
+print(f"dataset: {data}")
+
+epsilon, ell = 2.0, 4
+spec = paper_default_spec(epsilon, data.m, rng=rng)
+print(f"budgets: {spec}")
+
+idue_ps = IDUEPS.optimized(spec, ell=ell, model="opt0")
+oue_ps = IDUEPS.oue_ps(spec.min_epsilon, data.m, ell)
+
+# Eq. (17): combined privacy budget of concrete baskets.
+print("\nEq. 17 combined budgets of example baskets:")
+for basket in (data.user_items(0), data.user_items(1), data.user_items(2)):
+    budget = idue_ps.itemset_budget(basket)
+    members = ", ".join(f"{spec.epsilon_of(int(i)):.2f}" for i in basket[:5])
+    print(
+        f"  |x|={basket.size:>2}  member budgets [{members}"
+        + ("..." if basket.size > 5 else "")
+        + f"]  ->  eps_x = {budget:.3f}"
+    )
+
+truth = data.true_counts()
+print(f"\n{'mechanism':<10} {'total SE':>14} {'top-5 precision':>16} {'top-5 NCR':>10}")
+for name, mech in (("IDUE-PS", idue_ps), ("OUE-PS", oue_ps)):
+    counts = simulate_itemset_counts(mech, data, rng)
+    estimates = FrequencyEstimator.for_mechanism(mech, data.n).estimate(counts)
+    se = float(np.sum((estimates - truth) ** 2))
+    metrics = top_k_metrics(estimates, truth, k=5)
+    print(
+        f"{name:<10} {se:>14.4g} {metrics['precision']:>16.2f} "
+        f"{metrics['ncr']:>10.2f}"
+    )
+
+print(
+    "\nIDUE-PS reuses the *single-item* optimization (2t variables), so the"
+    "\nexponential item-set domain costs nothing extra at setup time."
+)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(``python setup.py develop``), e.g. fully offline machines where pip's
+PEP 517 editable path cannot build a wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — Input-Discriminative Local Differential Privacy (ID-LDP).
+
+A complete reimplementation of
+
+    Gu, Li, Xiong, Cao. "Providing Input-Discriminative Protection for
+    Local Differential Privacy." IEEE ICDE 2020.
+
+The package provides:
+
+* the ID-LDP / MinID-LDP privacy notions (:mod:`repro.core`);
+* the IDUE and IDUE-PS mechanisms plus the RAPPOR / OUE / GRR baselines
+  (:mod:`repro.mechanisms`);
+* the opt0 / opt1 / opt2 parameter-optimization models
+  (:mod:`repro.optim`);
+* unbiased frequency estimation with exact variance theory
+  (:mod:`repro.estimation`);
+* dataset generators / loaders, simulation engines, privacy audits, and
+  an experiment harness regenerating every table and figure of the paper
+  (:mod:`repro.datasets`, :mod:`repro.simulation`, :mod:`repro.audit`,
+  :mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import BudgetSpec, IDUE, FrequencyEstimator
+>>> spec = BudgetSpec.from_level_sizes([np.log(4), np.log(6)], [1, 4])
+>>> mech = IDUE.optimized(spec, model="opt0")
+>>> report = mech.perturb(2, rng=0)   # one user's randomized report
+"""
+
+from .core import (
+    AVG,
+    MAX,
+    MIN,
+    BudgetSpec,
+    CompositionAccountant,
+    IDLDP,
+    LDP,
+    PolicyGraph,
+    PrivacyLevel,
+    RFunction,
+)
+from .estimation import Aggregator, FrequencyEstimator
+from .exceptions import (
+    BudgetError,
+    DatasetError,
+    EstimationError,
+    InfeasibleError,
+    PrivacyViolationError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+from .mechanisms import (
+    IDUE,
+    IDUEPS,
+    BinaryRandomizedResponse,
+    GeneralizedRandomizedResponse,
+    OptimizedUnaryEncoding,
+    PaddingSampler,
+    SymmetricUnaryEncoding,
+    UnaryEncoding,
+    itemset_budget,
+)
+from .optim import OptimizationResult, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BudgetSpec",
+    "PrivacyLevel",
+    "CompositionAccountant",
+    "LDP",
+    "IDLDP",
+    "RFunction",
+    "MIN",
+    "AVG",
+    "MAX",
+    "PolicyGraph",
+    # mechanisms
+    "BinaryRandomizedResponse",
+    "GeneralizedRandomizedResponse",
+    "UnaryEncoding",
+    "SymmetricUnaryEncoding",
+    "OptimizedUnaryEncoding",
+    "IDUE",
+    "IDUEPS",
+    "PaddingSampler",
+    "itemset_budget",
+    # optimization
+    "solve",
+    "OptimizationResult",
+    # estimation
+    "FrequencyEstimator",
+    "Aggregator",
+    # exceptions
+    "ReproError",
+    "ValidationError",
+    "BudgetError",
+    "InfeasibleError",
+    "SolverError",
+    "PrivacyViolationError",
+    "DatasetError",
+    "EstimationError",
+]

@@ -1,0 +1,139 @@
+"""Internal parameter-validation helpers shared across the library.
+
+These functions raise :class:`repro.exceptions.ValidationError` with
+messages that name the offending argument, so construction-time errors are
+self-explanatory.  They intentionally return the validated (possibly
+converted) value so call sites can write ``self.n = check_positive_int(n,
+"n")`` in one line.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_positive_float",
+    "check_probability",
+    "check_open_probability",
+    "check_probability_vector",
+    "check_budget",
+    "check_budget_vector",
+    "check_rng",
+    "as_int_array",
+]
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that *value* is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(value, name: str) -> int:
+    """Validate that *value* is an integer >= 0 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_positive_float(value, name: str) -> float:
+    """Validate that *value* is a finite float > 0 and return it."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def check_open_probability(value, name: str) -> float:
+    """Validate that *value* lies strictly inside (0, 1)."""
+    value = check_probability(value, name)
+    if value == 0.0 or value == 1.0:
+        raise ValidationError(f"{name} must lie strictly inside (0, 1), got {value}")
+    return value
+
+
+def check_probability_vector(values, name: str, *, open_interval: bool = False) -> np.ndarray:
+    """Validate a 1-D array of probabilities and return it as ``float64``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite entries")
+    low_ok = np.all(arr > 0.0) if open_interval else np.all(arr >= 0.0)
+    high_ok = np.all(arr < 1.0) if open_interval else np.all(arr <= 1.0)
+    if not (low_ok and high_ok):
+        interval = "(0, 1)" if open_interval else "[0, 1]"
+        raise ValidationError(f"all entries of {name} must lie in {interval}")
+    return arr
+
+
+def check_budget(value, name: str = "epsilon") -> float:
+    """Validate a privacy budget: a finite float > 0."""
+    return check_positive_float(value, name)
+
+
+def check_budget_vector(values, name: str = "budgets") -> np.ndarray:
+    """Validate a non-empty 1-D array of positive finite budgets."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)) or not np.all(arr > 0.0):
+        raise ValidationError(f"all entries of {name} must be finite and positive")
+    return arr
+
+
+def check_rng(rng) -> np.random.Generator:
+    """Coerce *rng* (Generator | int seed | None) to a ``numpy`` Generator."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return np.random.default_rng(int(rng))
+    raise ValidationError(
+        f"rng must be a numpy Generator, an integer seed, or None, got {rng!r}"
+    )
+
+
+def as_int_array(values: Iterable | Sequence, name: str) -> np.ndarray:
+    """Convert *values* to a 1-D ``int64`` array, validating integrality."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be a 1-D sequence, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        as_float = np.asarray(arr, dtype=float)
+        if not np.all(np.isfinite(as_float)) or not np.all(as_float == np.round(as_float)):
+            raise ValidationError(f"{name} must contain integers")
+        arr = as_float.astype(np.int64)
+    return arr.astype(np.int64, copy=False)

@@ -1,0 +1,35 @@
+"""Privacy audits: verify that mechanisms meet their claimed notions.
+
+Three verification strengths, trading scope for cost:
+
+* :mod:`.pairwise` — analytic check of the closed-form worst-case ratio
+  (constraint 7) for unary mechanisms; exact and fast at any domain size.
+* :mod:`.exhaustive` — enumerate the full output distribution of a small
+  domain and check *every* (input pair, output) ratio, including the
+  item-set channel of IDUE-PS (Theorem 4's statement verbatim).
+* :mod:`.empirical` — Monte-Carlo estimation of the channel for any
+  mechanism, with statistical slack; catches implementation bugs the
+  analytic paths would share.
+"""
+
+from .empirical import empirical_channel, empirical_max_ratio
+from .exhaustive import (
+    enumerate_outputs,
+    itemset_channel_row,
+    unary_channel,
+    verify_idue_ps_exhaustive,
+    verify_unary_exhaustive,
+)
+from .pairwise import AuditReport, audit_unary_pairwise
+
+__all__ = [
+    "AuditReport",
+    "audit_unary_pairwise",
+    "enumerate_outputs",
+    "unary_channel",
+    "itemset_channel_row",
+    "verify_unary_exhaustive",
+    "verify_idue_ps_exhaustive",
+    "empirical_channel",
+    "empirical_max_ratio",
+]

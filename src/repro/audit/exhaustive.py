@@ -1,0 +1,185 @@
+"""Exhaustive output-distribution audits for small domains.
+
+For a unary mechanism over ``m`` bits the output alphabet is
+``{0,1}^m``.  When ``m`` is small (<= 16 by default) we can materialize
+the full channel matrix and check *every* (input pair, output) ratio —
+no closed forms, just Definition 2 applied literally.  The same
+machinery evaluates the IDUE-PS item-set channel via Lemma 2's mixture
+form, giving a direct numerical verification of Theorem 4.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..core.budgets import BudgetSpec
+from ..exceptions import PrivacyViolationError, ValidationError
+from ..mechanisms.base import UnaryMechanism
+from ..mechanisms.idue_ps import IDUEPS, itemset_budget
+
+__all__ = [
+    "enumerate_outputs",
+    "unary_channel",
+    "itemset_channel_row",
+    "verify_unary_exhaustive",
+    "verify_idue_ps_exhaustive",
+]
+
+_MAX_EXHAUSTIVE_BITS = 16
+
+
+def enumerate_outputs(m: int) -> np.ndarray:
+    """All ``2^m`` bit vectors as a ``(2^m, m)`` 0/1 matrix."""
+    m = check_positive_int(m, "m")
+    if m > _MAX_EXHAUSTIVE_BITS:
+        raise ValidationError(
+            f"exhaustive enumeration limited to m <= {_MAX_EXHAUSTIVE_BITS}, got {m}"
+        )
+    codes = np.arange(2**m, dtype=np.int64)
+    return ((codes[:, None] >> np.arange(m)) & 1).astype(np.int8)
+
+
+def unary_channel(mechanism: UnaryMechanism) -> np.ndarray:
+    """Full channel ``P[x, y] = Pr(M(v_x) = y)`` for a unary mechanism.
+
+    Rows are the ``m`` one-hot inputs; columns the ``2^m`` outputs.
+    """
+    outputs = enumerate_outputs(mechanism.m).astype(float)  # (2^m, m)
+    a, b = mechanism.a, mechanism.b
+    # log Pr(y | x = one-hot(i)): bit i uses (a_i, 1-a_i), others (b_k, 1-b_k).
+    log_b1 = np.log(b)
+    log_b0 = np.log(1.0 - b)
+    base = outputs @ log_b1 + (1.0 - outputs) @ log_b0  # all-bits-b log prob
+    correction_one = np.log(a) - np.log(b)  # if y[i]=1
+    correction_zero = np.log(1.0 - a) - np.log(1.0 - b)  # if y[i]=0
+    rows = []
+    for i in range(mechanism.m):
+        adjust = np.where(outputs[:, i] == 1.0, correction_one[i], correction_zero[i])
+        rows.append(np.exp(base + adjust))
+    return np.asarray(rows)
+
+
+def itemset_channel_row(
+    mechanism: IDUEPS, itemset, one_hot_channel: np.ndarray
+) -> np.ndarray:
+    """``Pr(y | x)`` for one item-set under IDUE-PS (Lemma 2's mixture).
+
+    Algorithm 3 first samples one element of the padded set, then runs
+    the unary perturbation on the sampled one-hot input, so the item-set
+    channel row is the sampling-probability mixture of one-hot rows:
+
+        Pr(y|x) = eta_x * mean_{i in x} Pr(y|v_i)
+                + (1 − eta_x) * mean_{dummies d} Pr(y|v_d)
+    """
+    items = np.asarray(itemset, dtype=np.int64)
+    if items.size and (items.min() < 0 or items.max() >= mechanism.m):
+        raise ValidationError(f"item ids must lie in [0, {mechanism.m - 1}]")
+    eta = mechanism.sampler.eta(items.size)
+    dummy_rows = one_hot_channel[mechanism.m :]  # rows of the ell dummies
+    dummy_part = dummy_rows.mean(axis=0)
+    if items.size == 0:
+        return dummy_part
+    real_part = one_hot_channel[items].mean(axis=0)
+    return eta * real_part + (1.0 - eta) * dummy_part
+
+
+def verify_unary_exhaustive(
+    mechanism: UnaryMechanism,
+    notion,
+    *,
+    rtol: float = 1e-9,
+) -> float:
+    """Check Definition 2 on the full channel of a unary mechanism.
+
+    Returns the worst log-margin (``pair budget − max_y ln ratio``); a
+    negative value raises :class:`PrivacyViolationError`.  Cost is
+    ``O(m^2 2^m)`` — small domains only.
+    """
+    channel = unary_channel(mechanism)
+    worst_margin = float("inf")
+    for i in range(mechanism.m):
+        for j in range(mechanism.m):
+            if i == j:
+                continue
+            budget = notion.pair_budget(i, j)
+            if not np.isfinite(budget):
+                continue
+            log_ratio = float(np.max(np.log(channel[i]) - np.log(channel[j])))
+            margin = budget - log_ratio
+            worst_margin = min(worst_margin, margin)
+            if log_ratio > budget + abs(budget) * rtol + 1e-12:
+                raise PrivacyViolationError(
+                    f"unary channel violates pair ({i}, {j}): "
+                    f"max log-ratio {log_ratio:.6g} > budget {budget:.6g}",
+                    pair=(i, j),
+                    ratio=float(np.exp(log_ratio)),
+                    bound=float(np.exp(budget)),
+                )
+    return worst_margin
+
+
+def verify_idue_ps_exhaustive(
+    mechanism: IDUEPS,
+    spec: BudgetSpec,
+    *,
+    max_set_size: int | None = None,
+    rtol: float = 1e-9,
+) -> float:
+    """Numerically verify Theorem 4 on every pair of item-sets.
+
+    Enumerates all subsets of the real domain up to ``max_set_size``
+    (default: the whole power set), computes each set's channel row and
+    Eq. (17) budget, and checks
+
+        Pr(y|x) / Pr(y|x') <= e^{min(eps_x, eps_x')}   for all x, x', y.
+
+    Returns the worst log-margin.  Exponential cost — use only on toy
+    domains (the Theorem 4 test uses m <= 5).
+    """
+    if spec.m != mechanism.m:
+        raise ValidationError(
+            f"spec covers {spec.m} items but mechanism covers {mechanism.m}"
+        )
+    if mechanism.extended_m > _MAX_EXHAUSTIVE_BITS:
+        raise ValidationError(
+            f"extended domain {mechanism.extended_m} too large for exhaustive "
+            f"audit (max {_MAX_EXHAUSTIVE_BITS})"
+        )
+    limit = spec.m if max_set_size is None else min(max_set_size, spec.m)
+    one_hot = unary_channel(mechanism.unary)
+    dummy_eps = float(
+        getattr(mechanism, "extended_spec", spec.with_dummies(mechanism.ell))
+        .item_epsilons[mechanism.m]
+    )
+
+    subsets: list[tuple[int, ...]] = []
+    for size in range(1, limit + 1):
+        subsets.extend(combinations(range(spec.m), size))
+    rows = {
+        s: np.log(itemset_channel_row(mechanism, s, one_hot)) for s in subsets
+    }
+    budgets = {
+        s: itemset_budget(s, spec, mechanism.ell, dummy_eps) for s in subsets
+    }
+
+    worst_margin = float("inf")
+    for x in subsets:
+        for x_prime in subsets:
+            if x == x_prime:
+                continue
+            budget = min(budgets[x], budgets[x_prime])
+            log_ratio = float(np.max(rows[x] - rows[x_prime]))
+            margin = budget - log_ratio
+            worst_margin = min(worst_margin, margin)
+            if log_ratio > budget + abs(budget) * rtol + 1e-12:
+                raise PrivacyViolationError(
+                    f"IDUE-PS violates MinID-LDP for sets {x} vs {x_prime}: "
+                    f"max log-ratio {log_ratio:.6g} > budget {budget:.6g}",
+                    pair=(x, x_prime),
+                    ratio=float(np.exp(log_ratio)),
+                    bound=float(np.exp(budget)),
+                )
+    return worst_margin

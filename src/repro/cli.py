@@ -1,0 +1,170 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli table2
+    python -m repro.cli fig3 [--distribution power-law|uniform] [--quick]
+    python -m repro.cli fig4a [--quick]
+    python -m repro.cli fig4b [--quick]
+    python -m repro.cli fig5a [--quick]      # Retail
+    python -m repro.cli fig5b [--quick]      # MSNBC
+
+``--quick`` runs scaled-down workloads (seconds instead of minutes); the
+default uses the paper-scale presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    PAPER,
+    QUICK,
+    figure3,
+    figure4a,
+    figure4b,
+    figure5,
+    format_series,
+    table1_leakage_bounds,
+    table2_toy_example,
+)
+
+__all__ = ["main"]
+
+
+def _print_figure(result: dict) -> None:
+    title = (
+        f"{result['figure']}  (metric: {result['metric']}, "
+        f"n={result['n']}, m={result['m']})"
+    )
+    print(format_series(result["x_label"], result["x"], result["series"], title=title))
+    if "series_topk" in result:
+        print()
+        print(
+            format_series(
+                result["x_label"],
+                result["x"],
+                result["series_topk"],
+                title=f"{result['figure']} — top-k items only",
+            )
+        )
+
+
+def _run_compare(args) -> None:
+    """Rank every registered mechanism on a synthetic Zipf workload."""
+    from .datasets import paper_default_spec, zipf_items, true_counts_from_items
+    from .datasets.base import ItemsetDataset
+    from .experiments.compare import compare_itemset, compare_single_item
+
+    spec = paper_default_spec(args.epsilon, args.m, rng=0)
+    if args.itemset:
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        sets = [
+            rng.choice(args.m, size=int(rng.integers(1, 6)), replace=False).tolist()
+            for _ in range(args.n)
+        ]
+        dataset = ItemsetDataset.from_sets(sets, m=args.m)
+        result = compare_itemset(spec, dataset, args.ell, rng=1)
+        print(
+            f"item-set comparison (n={args.n}, m={args.m}, eps={args.epsilon}, "
+            f"ell={args.ell}):"
+        )
+    else:
+        items = zipf_items(args.n, args.m, rng=0)
+        truth = true_counts_from_items(items, args.m)
+        result = compare_single_item(spec, truth, args.n, rng=1)
+        print(f"single-item comparison (n={args.n}, m={args.m}, eps={args.epsilon}):")
+    print(result["text"])
+    print(f"\nbest by theory: {result['best']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-idldp",
+        description="Regenerate tables/figures of Gu et al., ICDE 2020 (ID-LDP).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "table2",
+            "fig3",
+            "fig4a",
+            "fig4b",
+            "fig5a",
+            "fig5b",
+            "compare",
+        ],
+        help="which table/figure to regenerate, or 'compare' to rank all "
+        "mechanisms on a synthetic workload",
+    )
+    parser.add_argument("--n", type=int, default=20_000, help="compare: user count")
+    parser.add_argument("--m", type=int, default=200, help="compare: domain size")
+    parser.add_argument(
+        "--epsilon", type=float, default=2.0, help="compare: system budget eps"
+    )
+    parser.add_argument(
+        "--itemset",
+        action="store_true",
+        help="compare: use item-set input (PS mechanisms) instead of single-item",
+    )
+    parser.add_argument(
+        "--ell", type=int, default=3, help="compare: padding length for --itemset"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use scaled-down workloads (same shapes, much faster)",
+    )
+    parser.add_argument(
+        "--distribution",
+        choices=["power-law", "uniform"],
+        default="power-law",
+        help="fig3 only: which synthetic dataset",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="additionally write the figure series to a CSV file "
+        "(ignored for tables)",
+    )
+    args = parser.parse_args(argv)
+    presets = QUICK if args.quick else PAPER
+
+    if args.experiment == "table1":
+        print(table1_leakage_bounds()["text"])
+        return 0
+    if args.experiment == "table2":
+        print(table2_toy_example()["text"])
+        return 0
+    if args.experiment == "compare":
+        _run_compare(args)
+        return 0
+
+    if args.experiment == "fig3":
+        result = figure3(presets.fig3, distribution=args.distribution)
+    elif args.experiment == "fig4a":
+        result = figure4a(presets.fig4a)
+    elif args.experiment == "fig4b":
+        result = figure4b(presets.fig4b)
+    elif args.experiment == "fig5a":
+        result = figure5(presets.fig5_retail)
+    else:  # fig5b
+        result = figure5(presets.fig5_msnbc)
+    _print_figure(result)
+    if args.csv:
+        from .experiments.export import write_series_csv
+
+        write_series_csv(result, args.csv)
+        print(f"\nseries written to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

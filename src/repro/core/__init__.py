@@ -1,0 +1,50 @@
+"""Core privacy abstractions: budgets, notions, policy graphs, composition.
+
+This package contains everything needed to *specify* an input-discriminative
+privacy requirement (the paper's Section III and IV); the mechanisms that
+*satisfy* such requirements live in :mod:`repro.mechanisms`.
+"""
+
+from .budgets import BudgetSpec, PrivacyLevel
+from .composition import CompositionAccountant
+from .information import channel_mutual_information, per_input_kl_divergence
+from .leakage import (
+    empirical_leakage_bounds,
+    geo_indistinguishability_leakage_bounds,
+    ldp_leakage_bounds,
+    minid_leakage_bounds,
+    pldp_leakage_bounds,
+)
+from .notions import (
+    AVG,
+    MAX,
+    MIN,
+    IDLDP,
+    LDP,
+    RFunction,
+    ldp_budget_implied_by_minid,
+    minid_budgets_implied_by_ldp,
+)
+from .policy import PolicyGraph
+
+__all__ = [
+    "BudgetSpec",
+    "PrivacyLevel",
+    "CompositionAccountant",
+    "RFunction",
+    "MIN",
+    "AVG",
+    "MAX",
+    "LDP",
+    "IDLDP",
+    "ldp_budget_implied_by_minid",
+    "minid_budgets_implied_by_ldp",
+    "PolicyGraph",
+    "ldp_leakage_bounds",
+    "pldp_leakage_bounds",
+    "geo_indistinguishability_leakage_bounds",
+    "minid_leakage_bounds",
+    "empirical_leakage_bounds",
+    "channel_mutual_information",
+    "per_input_kl_divergence",
+]

@@ -1,0 +1,283 @@
+"""Privacy-budget specifications (the paper's ``E = {eps_x}``).
+
+The paper partitions the item domain ``I = {1..m}`` into ``t`` privacy
+levels ``I_1 .. I_t``; every item in level ``i`` shares the budget
+``eps_i`` (Section III-A).  :class:`BudgetSpec` is the canonical container
+for that structure and is consumed by the optimizers
+(:mod:`repro.optim`), the mechanisms (:mod:`repro.mechanisms`) and the
+audits (:mod:`repro.audit`).
+
+Item ids are **0-based** throughout the library (the paper writes
+``1..m``); conversion happens only at dataset-loading boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .._validation import (
+    as_int_array,
+    check_budget,
+    check_budget_vector,
+    check_positive_float,
+    check_positive_int,
+)
+from ..exceptions import BudgetError
+
+__all__ = ["PrivacyLevel", "BudgetSpec"]
+
+
+@dataclass(frozen=True)
+class PrivacyLevel:
+    """One privacy level: a budget and the items that carry it.
+
+    Attributes
+    ----------
+    epsilon:
+        The privacy budget of every item in this level.  Smaller means
+        more sensitive (stronger protection required).
+    items:
+        Sorted tuple of the 0-based item ids belonging to this level.
+    """
+
+    epsilon: float
+    items: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of items in this level (``m_i`` in the paper)."""
+        return len(self.items)
+
+
+class BudgetSpec:
+    """Partition of an item domain into privacy levels with budgets.
+
+    Parameters
+    ----------
+    item_epsilons:
+        Length-``m`` sequence giving the budget of each item.  Items with
+        equal budgets are grouped into one level; levels are ordered by
+        ascending budget so level 0 is always the most sensitive.
+
+    Notes
+    -----
+    Alternative constructors cover the common cases:
+
+    * :meth:`from_levels` — explicit ``(epsilon, items)`` groups;
+    * :meth:`from_level_sizes` — contiguous blocks of given sizes;
+    * :meth:`uniform` — a single level (plain LDP).
+    """
+
+    def __init__(self, item_epsilons: Sequence[float] | np.ndarray) -> None:
+        eps = check_budget_vector(item_epsilons, "item_epsilons")
+        self._item_epsilons = eps.copy()
+        self._item_epsilons.flags.writeable = False
+
+        # Group items by budget value; sort levels by ascending budget so
+        # that "level 0" is deterministically the most sensitive one.
+        unique = np.unique(eps)  # sorted ascending
+        self._level_epsilons = unique
+        self._level_epsilons.flags.writeable = False
+        self._item_level = np.searchsorted(unique, eps).astype(np.int64)
+        self._item_level.flags.writeable = False
+        self._level_sizes = np.bincount(self._item_level, minlength=unique.size).astype(
+            np.int64
+        )
+        self._level_sizes.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, epsilon: float, m: int) -> "BudgetSpec":
+        """A single-level spec: every one of *m* items has budget *epsilon*.
+
+        This is the plain-LDP special case (``t = 1``); the IDUE optimizers
+        collapse to RAPPOR / OUE probabilities on such a spec.
+        """
+        epsilon = check_budget(epsilon)
+        m = check_positive_int(m, "m")
+        return cls(np.full(m, epsilon))
+
+    @classmethod
+    def from_levels(cls, levels: Mapping[float, Sequence[int]], m: int) -> "BudgetSpec":
+        """Build a spec from an explicit ``{epsilon: [item ids]}`` mapping.
+
+        The item ids across all levels must form exactly ``{0, .., m-1}``.
+        """
+        m = check_positive_int(m, "m")
+        item_eps = np.full(m, np.nan)
+        for epsilon, items in levels.items():
+            epsilon = check_budget(epsilon)
+            ids = as_int_array(items, "items")
+            if ids.size and (ids.min() < 0 or ids.max() >= m):
+                raise BudgetError(
+                    f"item ids for epsilon={epsilon} fall outside [0, {m - 1}]"
+                )
+            if np.any(np.isfinite(item_eps[ids])):
+                raise BudgetError("an item id appears in more than one level")
+            item_eps[ids] = epsilon
+        if np.any(~np.isfinite(item_eps)):
+            missing = int(np.flatnonzero(~np.isfinite(item_eps))[0])
+            raise BudgetError(f"item {missing} is not assigned to any level")
+        return cls(item_eps)
+
+    @classmethod
+    def from_level_sizes(
+        cls, epsilons: Sequence[float], sizes: Sequence[int]
+    ) -> "BudgetSpec":
+        """Assign contiguous item blocks to levels.
+
+        ``epsilons[k]`` applies to the next ``sizes[k]`` item ids, in
+        order.  Handy for synthetic experiments where the id layout is
+        arbitrary anyway.
+        """
+        eps = check_budget_vector(epsilons, "epsilons")
+        size_arr = as_int_array(sizes, "sizes")
+        if eps.size != size_arr.size:
+            raise BudgetError(
+                f"epsilons and sizes must have equal length, "
+                f"got {eps.size} and {size_arr.size}"
+            )
+        if np.any(size_arr < 1):
+            raise BudgetError("every level size must be >= 1")
+        return cls(np.repeat(eps, size_arr))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Domain size (number of items)."""
+        return int(self._item_epsilons.size)
+
+    @property
+    def t(self) -> int:
+        """Number of distinct privacy levels."""
+        return int(self._level_epsilons.size)
+
+    @property
+    def item_epsilons(self) -> np.ndarray:
+        """Length-``m`` read-only array: budget of each item."""
+        return self._item_epsilons
+
+    @property
+    def level_epsilons(self) -> np.ndarray:
+        """Length-``t`` read-only array of level budgets, ascending."""
+        return self._level_epsilons
+
+    @property
+    def level_sizes(self) -> np.ndarray:
+        """Length-``t`` read-only array: number of items per level."""
+        return self._level_sizes
+
+    @property
+    def item_level(self) -> np.ndarray:
+        """Length-``m`` read-only array: level index of each item."""
+        return self._item_level
+
+    @property
+    def min_epsilon(self) -> float:
+        """``min{E}`` — the budget plain LDP would have to use."""
+        return float(self._level_epsilons[0])
+
+    @property
+    def max_epsilon(self) -> float:
+        """``max{E}``."""
+        return float(self._level_epsilons[-1])
+
+    def levels(self) -> list[PrivacyLevel]:
+        """Materialize the levels as :class:`PrivacyLevel` records."""
+        return [
+            PrivacyLevel(
+                epsilon=float(self._level_epsilons[k]),
+                items=tuple(int(i) for i in np.flatnonzero(self._item_level == k)),
+            )
+            for k in range(self.t)
+        ]
+
+    def level_of(self, item: int) -> int:
+        """Level index of a single item id."""
+        if not 0 <= item < self.m:
+            raise BudgetError(f"item {item} outside domain [0, {self.m - 1}]")
+        return int(self._item_level[item])
+
+    def epsilon_of(self, item: int) -> float:
+        """Budget of a single item id."""
+        if not 0 <= item < self.m:
+            raise BudgetError(f"item {item} outside domain [0, {self.m - 1}]")
+        return float(self._item_epsilons[item])
+
+    # ------------------------------------------------------------------
+    # Derived specs
+    # ------------------------------------------------------------------
+    def expand(self, level_values: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Broadcast per-level values to a per-item array.
+
+        This is how level-granular mechanism parameters ``(a_i, b_i)``
+        become per-bit vectors for unary encoding.
+        """
+        values = np.asarray(level_values, dtype=float)
+        if values.shape != (self.t,):
+            raise BudgetError(
+                f"level_values must have shape ({self.t},), got {values.shape}"
+            )
+        return values[self._item_level]
+
+    def scaled(self, factor: float) -> "BudgetSpec":
+        """Multiply every budget by *factor* (> 0).
+
+        Used both for the privacy-parameter sweeps in the evaluation
+        (levels ``{eps, 1.2 eps, 2 eps, 4 eps}`` swept over ``eps``) and
+        for the PLDP combination the paper sketches, where each user
+        scales the universal levels by a personal factor.
+        """
+        factor = check_positive_float(factor, "factor")
+        return BudgetSpec(self._item_epsilons * factor)
+
+    def restricted_to(self, items: Sequence[int]) -> "BudgetSpec":
+        """Spec over a sub-domain, re-indexing items to ``0..len(items)-1``."""
+        ids = as_int_array(items, "items")
+        if ids.size == 0:
+            raise BudgetError("items must be non-empty")
+        if ids.min() < 0 or ids.max() >= self.m:
+            raise BudgetError(f"item ids fall outside [0, {self.m - 1}]")
+        return BudgetSpec(self._item_epsilons[ids])
+
+    def with_dummies(self, n_dummies: int, dummy_epsilon: float | None = None) -> "BudgetSpec":
+        """Extend the domain with *n_dummies* dummy items (for IDUE-PS).
+
+        The paper selects ``eps* = min{E}`` for dummy items (Section VI-B);
+        that is the default here.
+        """
+        n_dummies = check_positive_int(n_dummies, "n_dummies")
+        if dummy_epsilon is None:
+            dummy_epsilon = self.min_epsilon
+        dummy_epsilon = check_budget(dummy_epsilon, "dummy_epsilon")
+        if dummy_epsilon not in self._level_epsilons:
+            raise BudgetError(
+                "dummy_epsilon must be one of the existing level budgets "
+                f"(Theorem 4 requires eps* in E); got {dummy_epsilon}"
+            )
+        return BudgetSpec(
+            np.concatenate([self._item_epsilons, np.full(n_dummies, dummy_epsilon)])
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BudgetSpec):
+            return NotImplemented
+        return np.array_equal(self._item_epsilons, other._item_epsilons)
+
+    def __hash__(self) -> int:
+        return hash(self._item_epsilons.tobytes())
+
+    def __repr__(self) -> str:
+        eps = ", ".join(f"{e:g}" for e in self._level_epsilons)
+        sizes = ", ".join(str(int(s)) for s in self._level_sizes)
+        return f"BudgetSpec(m={self.m}, t={self.t}, epsilons=[{eps}], sizes=[{sizes}])"

@@ -1,0 +1,114 @@
+"""Sequential composition accounting (Theorems 1 and 2).
+
+Theorem 1 (LDP): running ``k`` mechanisms with budgets ``eps_1..eps_k`` on
+the same input consumes ``sum eps_i`` of LDP budget.  Theorem 2 extends
+this *per input*: if mechanism ``i`` satisfies ``E_i``-MinID-LDP then the
+sequence satisfies ``(sum_i E_i)``-MinID-LDP, where budget sets add
+element-wise.
+
+:class:`CompositionAccountant` tracks a sequence of releases against a
+target budget specification and answers "can I afford one more query?".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_budget
+from ..exceptions import BudgetError, ValidationError
+from .budgets import BudgetSpec
+
+__all__ = ["CompositionAccountant"]
+
+
+class CompositionAccountant:
+    """Tracks cumulative per-item budget consumption across releases.
+
+    Parameters
+    ----------
+    total:
+        The overall :class:`BudgetSpec` that may be consumed.  Each
+        recorded release subtracts element-wise from the remaining
+        per-item budgets.
+
+    Notes
+    -----
+    The accountant works at *item* granularity (length-``m`` vectors), so
+    it handles the general case where successive mechanisms use different
+    level partitions of the same domain.
+    """
+
+    def __init__(self, total: BudgetSpec) -> None:
+        if not isinstance(total, BudgetSpec):
+            raise ValidationError(f"total must be a BudgetSpec, got {total!r}")
+        self._total = total
+        self._spent = np.zeros(total.m)
+        self._releases: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> BudgetSpec:
+        """The overall budget specification."""
+        return self._total
+
+    @property
+    def n_releases(self) -> int:
+        """Number of releases recorded so far."""
+        return len(self._releases)
+
+    def spent(self) -> np.ndarray:
+        """Per-item budget consumed so far (length-``m`` copy)."""
+        return self._spent.copy()
+
+    def remaining(self) -> np.ndarray:
+        """Per-item budget still available (length-``m``, clipped at 0)."""
+        return np.maximum(self._total.item_epsilons - self._spent, 0.0)
+
+    def can_afford(self, release: BudgetSpec | float) -> bool:
+        """Whether *release* fits in the remaining per-item budgets.
+
+        A scalar is interpreted as a uniform (plain-LDP) release over the
+        whole domain, matching Theorem 1.
+        """
+        return bool(np.all(self._release_vector(release) <= self.remaining() + 1e-12))
+
+    def record(self, release: BudgetSpec | float) -> None:
+        """Record a release, raising :class:`BudgetError` if unaffordable."""
+        vector = self._release_vector(release)
+        if not np.all(vector <= self.remaining() + 1e-12):
+            worst = int(np.argmax(vector - self.remaining()))
+            raise BudgetError(
+                f"release exceeds remaining budget at item {worst}: "
+                f"needs {vector[worst]:g}, has {self.remaining()[worst]:g}"
+            )
+        self._spent += vector
+        self._releases.append(vector)
+
+    def composed_spec(self) -> BudgetSpec:
+        """The :class:`BudgetSpec` consumed by all recorded releases.
+
+        By Theorem 2 this is the MinID-LDP guarantee of the *sequence* of
+        mechanisms recorded so far.  Requires at least one release (a
+        spec with all-zero budgets is not representable, by design).
+        """
+        if not self._releases:
+            raise BudgetError("no releases recorded yet")
+        return BudgetSpec(self._spent.copy())
+
+    # ------------------------------------------------------------------
+    def _release_vector(self, release: BudgetSpec | float) -> np.ndarray:
+        if isinstance(release, BudgetSpec):
+            if release.m != self._total.m:
+                raise ValidationError(
+                    f"release covers {release.m} items, accountant covers "
+                    f"{self._total.m}"
+                )
+            return release.item_epsilons.copy()
+        epsilon = check_budget(release, "release")
+        return np.full(self._total.m, epsilon)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositionAccountant(releases={self.n_releases}, "
+            f"max_spent={self._spent.max() if self._spent.size else 0:g})"
+        )

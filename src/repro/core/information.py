@@ -1,0 +1,72 @@
+"""Information-theoretic channel measures.
+
+Section IV-B distinguishes the paper's per-outcome prior-posterior
+leakage (Eq. 5) from *mutual information*, which averages leakage over
+all inputs and outputs (reference [23]).  This module provides both the
+mutual information of a mechanism channel and the per-input KL
+divergences it averages, so the two viewpoints can be compared
+numerically (see ``tests/core/test_information.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_probability_vector
+from ..exceptions import ValidationError
+
+__all__ = ["channel_mutual_information", "per_input_kl_divergence"]
+
+
+def _validate_channel(channel, prior) -> tuple[np.ndarray, np.ndarray]:
+    matrix = np.asarray(channel, dtype=float)
+    if matrix.ndim != 2:
+        raise ValidationError(f"channel must be 2-D, got shape {matrix.shape}")
+    prior_arr = check_probability_vector(prior, "prior")
+    if prior_arr.size != matrix.shape[0]:
+        raise ValidationError(
+            f"prior length {prior_arr.size} != channel rows {matrix.shape[0]}"
+        )
+    if not np.isclose(prior_arr.sum(), 1.0, atol=1e-9):
+        raise ValidationError(f"prior must sum to 1, got {prior_arr.sum():g}")
+    if np.any(matrix < 0.0):
+        raise ValidationError("channel probabilities must be non-negative")
+    if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-8):
+        raise ValidationError("channel rows must each sum to 1")
+    return matrix, prior_arr
+
+
+def per_input_kl_divergence(channel, prior) -> np.ndarray:
+    """``D(P(y|x) || P(y))`` for each input x, in nats.
+
+    The per-input information leakage whose prior-weighted average is
+    the mutual information.  Zero for inputs whose conditional output
+    law equals the marginal (perfect privacy for that input).
+    """
+    matrix, prior_arr = _validate_channel(channel, prior)
+    marginal = prior_arr @ matrix
+    divergences = np.zeros(matrix.shape[0])
+    for x in range(matrix.shape[0]):
+        row = matrix[x]
+        support = row > 0.0
+        if np.any(marginal[support] <= 0.0):
+            raise ValidationError(
+                f"input {x} reaches an output with zero marginal probability"
+            )
+        divergences[x] = float(
+            np.sum(row[support] * np.log(row[support] / marginal[support]))
+        )
+    return divergences
+
+
+def channel_mutual_information(channel, prior) -> float:
+    """``I(X; Y)`` of the mechanism channel under *prior*, in nats.
+
+    Equals the prior-weighted average of :func:`per_input_kl_divergence`
+    and is upper-bounded by the worst-case Eq. 5 leakage exponent: under
+    eps-LDP, ``I(X; Y) <= eps`` (each log-ratio term is within
+    ``[-eps, eps]``) — a relation the tests verify on real channels.
+    """
+    matrix, prior_arr = _validate_channel(channel, prior)
+    divergences = per_input_kl_divergence(matrix, prior_arr)
+    return float(np.sum(prior_arr * divergences))

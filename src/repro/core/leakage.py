@@ -1,0 +1,144 @@
+"""Prior-posterior privacy leakage bounds (Table I and Eq. 5).
+
+The paper compares notions through the lens of Local Information Privacy:
+the ratio ``Pr(x) / Pr(x|y) = Pr(y) / Pr(y|x)`` measures how much an
+adversary observing output ``y`` learns about input ``x``.  Table I lists
+closed-form lower/upper bounds of that ratio for LDP, PLDP,
+geo-indistinguishability, and MinID-LDP; this module implements each row
+plus an *empirical* evaluator that computes the exact extreme ratios for
+a concrete mechanism channel, used by the audits and the Table I bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_budget, check_budget_vector, check_probability_vector
+from ..exceptions import ValidationError
+
+__all__ = [
+    "ldp_leakage_bounds",
+    "pldp_leakage_bounds",
+    "geo_indistinguishability_leakage_bounds",
+    "minid_leakage_bounds",
+    "empirical_leakage_bounds",
+]
+
+
+def ldp_leakage_bounds(epsilon: float) -> tuple[float, float]:
+    """Table I, LDP row: ``(e^-eps, e^eps)``.
+
+    Under eps-LDP every likelihood ratio is within ``e^{+/-eps}``, so the
+    prior-posterior ratio (a prior-weighted mean of likelihood ratios
+    against ``Pr(y|x)``) obeys the same bounds for any prior.
+    """
+    epsilon = check_budget(epsilon)
+    return float(np.exp(-epsilon)), float(np.exp(epsilon))
+
+
+def pldp_leakage_bounds(epsilon_u: float) -> tuple[float, float]:
+    """Table I, PLDP row: identical in form to LDP but with the *user's*
+    personal budget ``eps_u``."""
+    epsilon_u = check_budget(epsilon_u, "epsilon_u")
+    return float(np.exp(-epsilon_u)), float(np.exp(epsilon_u))
+
+
+def geo_indistinguishability_leakage_bounds(
+    epsilon: float, prior, distances
+) -> tuple[float, float]:
+    """Table I, Geo-Ind row for a fixed input ``x``.
+
+    Parameters
+    ----------
+    epsilon:
+        The geo-indistinguishability scale parameter.
+    prior:
+        Prior probabilities ``Pr(x')`` over the domain (length ``m``).
+    distances:
+        Distances ``d(x, x')`` from the fixed input to every ``x'``
+        (length ``m``; the entry for ``x`` itself should be 0).
+
+    Returns
+    -------
+    ``(sum_x' Pr(x') e^{-eps d(x,x')}, sum_x' Pr(x') e^{eps d(x,x')})``.
+    """
+    epsilon = check_budget(epsilon)
+    prior_arr = check_probability_vector(prior, "prior")
+    dist = np.asarray(distances, dtype=float)
+    if dist.shape != prior_arr.shape:
+        raise ValidationError(
+            f"distances shape {dist.shape} does not match prior shape {prior_arr.shape}"
+        )
+    if np.any(dist < 0.0) or not np.all(np.isfinite(dist)):
+        raise ValidationError("distances must be finite and non-negative")
+    if not np.isclose(prior_arr.sum(), 1.0, atol=1e-9):
+        raise ValidationError(f"prior must sum to 1, got {prior_arr.sum():g}")
+    lower = float(np.sum(prior_arr * np.exp(-epsilon * dist)))
+    upper = float(np.sum(prior_arr * np.exp(epsilon * dist)))
+    return lower, upper
+
+
+def minid_leakage_bounds(epsilon_x: float, epsilons) -> tuple[float, float]:
+    """Table I, MinID-LDP row for an input with budget ``eps_x``.
+
+    The effective exponent is ``min{eps_x, 2 min{E}}``: the direct pair
+    constraint never exceeds ``eps_x`` and the Lemma 1 transitive bound
+    caps everything at ``2 min{E}``.
+    """
+    epsilon_x = check_budget(epsilon_x, "epsilon_x")
+    eps = check_budget_vector(epsilons, "epsilons")
+    if not np.any(np.isclose(eps, epsilon_x)):
+        raise ValidationError(
+            f"epsilon_x={epsilon_x:g} is not one of the budgets in E"
+        )
+    exponent = min(epsilon_x, 2.0 * float(eps.min()))
+    return float(np.exp(-exponent)), float(np.exp(exponent))
+
+
+def empirical_leakage_bounds(
+    channel: np.ndarray, prior, x: int
+) -> tuple[float, float]:
+    """Exact extreme prior-posterior ratios for a concrete mechanism.
+
+    Parameters
+    ----------
+    channel:
+        Row-stochastic matrix ``channel[x, y] = Pr(y | x)`` over a finite
+        output alphabet.
+    prior:
+        Prior over inputs (length = number of rows).
+    x:
+        The input whose leakage is evaluated.
+
+    Returns
+    -------
+    ``(min_y Pr(x)/Pr(x|y), max_y Pr(x)/Pr(x|y))`` taken over outputs
+    ``y`` with ``Pr(y|x) > 0``.  These are the quantities that Table I
+    bounds; the audits check ``empirical within theoretical``.
+    """
+    matrix = np.asarray(channel, dtype=float)
+    if matrix.ndim != 2:
+        raise ValidationError(f"channel must be 2-D, got shape {matrix.shape}")
+    prior_arr = check_probability_vector(prior, "prior")
+    if prior_arr.size != matrix.shape[0]:
+        raise ValidationError(
+            f"prior length {prior_arr.size} does not match channel rows "
+            f"{matrix.shape[0]}"
+        )
+    if not np.isclose(prior_arr.sum(), 1.0, atol=1e-9):
+        raise ValidationError(f"prior must sum to 1, got {prior_arr.sum():g}")
+    if np.any(matrix < 0.0):
+        raise ValidationError("channel probabilities must be non-negative")
+    if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-8):
+        raise ValidationError("channel rows must each sum to 1")
+    if not 0 <= x < matrix.shape[0]:
+        raise ValidationError(f"x={x} outside [0, {matrix.shape[0] - 1}]")
+
+    p_y = prior_arr @ matrix  # Pr(y), length = number of outputs
+    likelihood = matrix[x]  # Pr(y | x)
+    support = likelihood > 0.0
+    if not np.any(support):
+        raise ValidationError(f"input {x} has empty output support")
+    # Pr(x)/Pr(x|y) = Pr(y)/Pr(y|x) by Bayes (Eq. 5).
+    ratios = p_y[support] / likelihood[support]
+    return float(ratios.min()), float(ratios.max())

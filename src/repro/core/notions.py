@@ -1,0 +1,247 @@
+"""Privacy notions: LDP and Input-Discriminative LDP (Definitions 1-3).
+
+The paper defines ID-LDP with a system-chosen function ``r`` mapping the
+budgets of a pair of inputs to the pair's indistinguishability budget
+(Definition 2).  :class:`RFunction` makes ``r`` a first-class value; the
+``MIN`` instance yields MinID-LDP (Definition 3) and ``AVG`` yields the
+AvgID-LDP variant sketched in Section IV-C.
+
+The notion objects know how to produce the pairwise budget matrix that the
+optimizers consume, and implement the Lemma 1 conversions between
+MinID-LDP and plain LDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from .._validation import check_budget, check_budget_vector
+from ..exceptions import ValidationError
+from .budgets import BudgetSpec
+from .policy import PolicyGraph
+
+__all__ = [
+    "RFunction",
+    "MIN",
+    "AVG",
+    "MAX",
+    "LDP",
+    "IDLDP",
+    "ldp_budget_implied_by_minid",
+    "minid_budgets_implied_by_ldp",
+]
+
+
+@dataclass(frozen=True)
+class RFunction:
+    """The pair-budget function ``r(eps_x, eps_x')`` of Definition 2.
+
+    Must be symmetric and positive on positive inputs; :meth:`__call__`
+    enforces neither (for speed) but :meth:`pairwise_matrix` asserts
+    symmetry as a cheap sanity check in debug builds.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in reports (``"min"``, ``"avg"``, ...).
+    fn:
+        Vectorized callable of two budget arrays.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, eps_x, eps_y) -> np.ndarray | float:
+        """Evaluate ``r`` element-wise on budgets (scalars or arrays)."""
+        result = self.fn(np.asarray(eps_x, dtype=float), np.asarray(eps_y, dtype=float))
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def pairwise_matrix(self, epsilons) -> np.ndarray:
+        """The ``t x t`` matrix ``R[i, j] = r(eps_i, eps_j)``.
+
+        This is exactly the right-hand side of the privacy constraints (7)
+        at level granularity; the optimizers in :mod:`repro.optim` take it
+        as input.
+        """
+        eps = check_budget_vector(epsilons, "epsilons")
+        matrix = np.asarray(self.fn(eps[:, None], eps[None, :]), dtype=float)
+        if matrix.shape != (eps.size, eps.size):
+            raise ValidationError(
+                f"r-function {self.name!r} returned shape {matrix.shape}, "
+                f"expected ({eps.size}, {eps.size})"
+            )
+        if not np.allclose(matrix, matrix.T):
+            raise ValidationError(f"r-function {self.name!r} is not symmetric")
+        if np.any(matrix <= 0.0) or not np.all(np.isfinite(matrix)):
+            raise ValidationError(
+                f"r-function {self.name!r} produced non-positive or non-finite budgets"
+            )
+        return matrix
+
+    def __repr__(self) -> str:
+        return f"RFunction({self.name!r})"
+
+
+#: MinID-LDP (Definition 3): the pair budget is the *smaller* of the two.
+MIN = RFunction("min", np.minimum)
+
+#: AvgID-LDP (Section IV-C): the pair budget is the mean of the two.
+AVG = RFunction("avg", lambda x, y: (x + y) / 2.0)
+
+#: MaxID-LDP: the *looser* of the two budgets; included for completeness
+#: and ablation (it is strictly weaker protection than MinID-LDP).
+MAX = RFunction("max", np.maximum)
+
+_BUILTIN_R = {"min": MIN, "avg": AVG, "max": MAX}
+
+
+def resolve_r_function(r: "RFunction | str") -> RFunction:
+    """Accept either an :class:`RFunction` or one of ``"min"|"avg"|"max"``."""
+    if isinstance(r, RFunction):
+        return r
+    if isinstance(r, str):
+        try:
+            return _BUILTIN_R[r.lower()]
+        except KeyError:
+            raise ValidationError(
+                f"unknown r-function {r!r}; expected one of {sorted(_BUILTIN_R)}"
+            ) from None
+    raise ValidationError(f"r must be an RFunction or a string, got {r!r}")
+
+
+class LDP:
+    """Plain ``eps``-LDP (Definition 1), for comparison baselines.
+
+    Exposes the same ``pair_budget`` interface as :class:`IDLDP` so the
+    audit code can treat both uniformly.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_budget(epsilon)
+
+    def pair_budget(self, x: int, y: int) -> float:
+        """Budget bounding the (x, y) pair: always ``epsilon``."""
+        del x, y  # every pair gets the same bound under LDP
+        return self.epsilon
+
+    def pair_bound(self, x: int, y: int) -> float:
+        """Multiplicative bound ``e^eps`` on the probability ratio."""
+        return float(np.exp(self.pair_budget(x, y)))
+
+    def __repr__(self) -> str:
+        return f"LDP(epsilon={self.epsilon:g})"
+
+
+class IDLDP:
+    """``E``-ID-LDP over a :class:`BudgetSpec` (Definition 2).
+
+    Parameters
+    ----------
+    spec:
+        The budget specification ``E = {eps_x}``.
+    r:
+        Pair-budget function; ``MIN`` (default) yields MinID-LDP.
+    policy:
+        Optional incomplete policy graph over *levels* (Section IV-C
+        "Additional Gain from Incomplete Privacy Policy Graph").  Pairs of
+        levels without an edge carry no constraint at all; within-level
+        pairs are always constrained.  ``None`` means the complete graph,
+        as in the paper's main development.
+    """
+
+    def __init__(
+        self,
+        spec: BudgetSpec,
+        r: RFunction | str = MIN,
+        *,
+        policy: PolicyGraph | None = None,
+    ) -> None:
+        if not isinstance(spec, BudgetSpec):
+            raise ValidationError(f"spec must be a BudgetSpec, got {spec!r}")
+        self.spec = spec
+        self.r = resolve_r_function(r)
+        if policy is not None and policy.n_nodes != spec.t:
+            raise ValidationError(
+                f"policy graph has {policy.n_nodes} nodes but spec has {spec.t} levels"
+            )
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    @property
+    def is_min_id(self) -> bool:
+        """True when this is the MinID-LDP instantiation."""
+        return self.r.name == "min"
+
+    def level_budget_matrix(self) -> np.ndarray:
+        """``t x t`` matrix of pair budgets at level granularity.
+
+        Entries for level pairs excluded by the policy graph are ``+inf``
+        (no constraint).  The diagonal always carries the level's own
+        budget: two distinct items of the same level must stay
+        indistinguishable at that level's budget.
+        """
+        matrix = self.r.pairwise_matrix(self.spec.level_epsilons)
+        if self.policy is not None:
+            mask = ~self.policy.adjacency()
+            np.fill_diagonal(mask, False)  # within-level pairs always constrained
+            matrix = matrix.copy()
+            matrix[mask] = np.inf
+        return matrix
+
+    def pair_budget(self, x: int, y: int) -> float:
+        """Budget bounding the pair of *items* ``(x, y)``.
+
+        Returns ``+inf`` when the policy graph carries no edge between the
+        two items' levels (and the levels differ).
+        """
+        lx, ly = self.spec.level_of(x), self.spec.level_of(y)
+        if self.policy is not None and lx != ly and not self.policy.has_edge(lx, ly):
+            return float("inf")
+        return float(
+            self.r(self.spec.level_epsilons[lx], self.spec.level_epsilons[ly])
+        )
+
+    def pair_bound(self, x: int, y: int) -> float:
+        """Multiplicative bound ``e^{r(eps_x, eps_y)}`` for the item pair."""
+        return float(np.exp(self.pair_budget(x, y)))
+
+    def ldp_equivalent(self) -> float:
+        """The LDP budget implied by this notion (Lemma 1).
+
+        Only meaningful for MinID-LDP on a complete policy graph; for
+        other configurations a conservative ``max`` over all finite pair
+        budgets plus the transitive ``2 min{E}`` bound is returned.
+        """
+        return ldp_budget_implied_by_minid(self.spec.level_epsilons)
+
+    def __repr__(self) -> str:
+        policy = "complete" if self.policy is None else repr(self.policy)
+        return f"IDLDP(r={self.r.name!r}, spec={self.spec!r}, policy={policy})"
+
+
+def ldp_budget_implied_by_minid(epsilons) -> float:
+    """Lemma 1 (forward direction): ``E``-MinID-LDP implies ``eps``-LDP.
+
+    ``eps = min{ max{E}, 2 min{E} }``: the chain through the most
+    sensitive input ``x*`` bounds any pair by ``2 min{E}`` while the
+    direct pair bound never exceeds ``max{E}``.
+    """
+    eps = check_budget_vector(epsilons, "epsilons")
+    return float(min(eps.max(), 2.0 * eps.min()))
+
+
+def minid_budgets_implied_by_ldp(epsilon: float, epsilons) -> bool:
+    """Lemma 1 (reverse direction): does ``eps``-LDP imply ``E``-MinID-LDP?
+
+    True iff ``eps <= min{E}``: a mechanism bounding every pair at
+    ``e^eps`` automatically bounds every pair at the (larger or equal)
+    ``e^{min(eps_x, eps_x')}``.
+    """
+    epsilon = check_budget(epsilon)
+    eps = check_budget_vector(epsilons, "epsilons")
+    return bool(epsilon <= eps.min() + 1e-12)

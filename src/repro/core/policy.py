@@ -1,0 +1,177 @@
+"""Indistinguishability policy graphs (Fig. 1 and Section IV-C).
+
+The paper's main development assumes every pair of inputs must be
+protected — a *complete* policy graph.  Section IV-C observes that when
+some pairs need no protection (a Blowfish-style secret policy), dropping
+their constraints lets MinID-LDP gain more than the factor-2 bound of
+Lemma 1.  :class:`PolicyGraph` represents such graphs over *privacy
+levels* (the granularity at which the optimizers operate).
+
+The implementation is a small adjacency-matrix wrapper so the core
+library has no hard dependency on ``networkx``; :meth:`to_networkx` is
+provided for interactive analysis when networkx is installed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["PolicyGraph"]
+
+
+class PolicyGraph:
+    """Undirected graph whose nodes are privacy-level indices.
+
+    An edge ``(i, j)`` means "pairs of inputs drawn from levels i and j
+    must be indistinguishable at budget ``r(eps_i, eps_j)``".  A missing
+    edge means the pair carries no constraint at all.  Self-loops are
+    implicit: items *within* one level are always mutually constrained.
+    """
+
+    def __init__(self, n_nodes: int, edges: Iterable[tuple[int, int]]) -> None:
+        self._n = check_positive_int(n_nodes, "n_nodes")
+        adj = np.zeros((self._n, self._n), dtype=bool)
+        for i, j in edges:
+            if not (0 <= i < self._n and 0 <= j < self._n):
+                raise ValidationError(
+                    f"edge ({i}, {j}) references a node outside [0, {self._n - 1}]"
+                )
+            if i == j:
+                continue  # self-loops are implicit
+            adj[i, j] = adj[j, i] = True
+        np.fill_diagonal(adj, True)
+        self._adj = adj
+        self._adj.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def complete(cls, n_nodes: int) -> "PolicyGraph":
+        """The complete graph: every pair of levels is constrained."""
+        n_nodes = check_positive_int(n_nodes, "n_nodes")
+        return cls(n_nodes, [(i, j) for i in range(n_nodes) for j in range(i + 1, n_nodes)])
+
+    @classmethod
+    def star(cls, n_nodes: int, center: int = 0) -> "PolicyGraph":
+        """A star: every level is constrained only against *center*.
+
+        A natural incomplete policy — "nothing may be confused with the
+        most sensitive category, but non-sensitive categories need not be
+        mutually indistinguishable".
+        """
+        n_nodes = check_positive_int(n_nodes, "n_nodes")
+        if not 0 <= center < n_nodes:
+            raise ValidationError(f"center {center} outside [0, {n_nodes - 1}]")
+        return cls(n_nodes, [(center, j) for j in range(n_nodes) if j != center])
+
+    @classmethod
+    def from_adjacency(cls, adjacency: np.ndarray) -> "PolicyGraph":
+        """Build from a boolean adjacency matrix (symmetrized)."""
+        adj = np.asarray(adjacency, dtype=bool)
+        if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+            raise ValidationError(f"adjacency must be square, got shape {adj.shape}")
+        n = adj.shape[0]
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n) if adj[i, j] or adj[j, i]]
+        return cls(n, edges)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of privacy levels covered by this policy."""
+        return self._n
+
+    def adjacency(self) -> np.ndarray:
+        """Read-only boolean adjacency matrix (diagonal True)."""
+        return self._adj
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether the (i, j) level pair is constrained."""
+        if not (0 <= i < self._n and 0 <= j < self._n):
+            raise ValidationError(f"node pair ({i}, {j}) outside [0, {self._n - 1}]")
+        return bool(self._adj[i, j])
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted list of proper edges ``(i < j)``, self-loops excluded."""
+        return [
+            (i, j)
+            for i in range(self._n)
+            for j in range(i + 1, self._n)
+            if self._adj[i, j]
+        ]
+
+    def is_complete(self) -> bool:
+        """True when every pair of levels is constrained."""
+        return bool(np.all(self._adj))
+
+    def neighbors(self, i: int) -> list[int]:
+        """Levels constrained against level *i* (excluding *i* itself)."""
+        if not 0 <= i < self._n:
+            raise ValidationError(f"node {i} outside [0, {self._n - 1}]")
+        return [int(j) for j in np.flatnonzero(self._adj[i]) if j != i]
+
+    def transitive_pair_budget(self, i: int, j: int, epsilons, r_fn) -> float:
+        """Tightest budget implied for (i, j) via any path in the graph.
+
+        Under an incomplete policy the *direct* constraint on (i, j) may
+        be absent, yet transitivity through constrained pairs still
+        bounds the ratio: a path ``i - k - j`` yields
+        ``r(eps_i, eps_k) + r(eps_k, eps_j)``.  This shortest-path (in
+        budget-weighted terms) computation quantifies the "additional
+        gain" discussion of Section IV-C.
+
+        Returns ``+inf`` when i and j are in different components.
+        """
+        eps = np.asarray(epsilons, dtype=float)
+        if eps.shape != (self._n,):
+            raise ValidationError(
+                f"epsilons must have shape ({self._n},), got {eps.shape}"
+            )
+        if i == j:
+            return 0.0
+        # Dijkstra over <= t nodes; t is small (number of privacy levels).
+        dist = np.full(self._n, np.inf)
+        dist[i] = 0.0
+        visited = np.zeros(self._n, dtype=bool)
+        for _ in range(self._n):
+            candidates = np.where(visited, np.inf, dist)
+            u = int(np.argmin(candidates))
+            if not np.isfinite(candidates[u]):
+                break
+            if u == j:
+                return float(dist[j])
+            visited[u] = True
+            for v in self.neighbors(u):
+                weight = float(r_fn(eps[u], eps[v]))
+                if dist[u] + weight < dist[v]:
+                    dist[v] = dist[u] + weight
+        return float(dist[j])
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` (requires networkx)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolicyGraph):
+            return NotImplemented
+        return self._n == other._n and np.array_equal(self._adj, other._adj)
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._adj.tobytes()))
+
+    def __repr__(self) -> str:
+        kind = "complete" if self.is_complete() else f"{len(self.edges())} edges"
+        return f"PolicyGraph(n_nodes={self._n}, {kind})"

@@ -1,0 +1,39 @@
+"""Datasets: synthetic generators, real-data surrogates, loaders, budgets.
+
+The paper evaluates on two synthetic single-item datasets (power-law and
+uniform) and three real item-set datasets (Kosarak, Retail, MSNBC).  The
+real datasets are not redistributable here, so :mod:`.surrogates`
+generates statistically comparable synthetic stand-ins (documented in
+DESIGN.md), while :mod:`.loaders` can read the original FIMI-format
+files if the user supplies them.
+"""
+
+from .base import ItemsetDataset
+from .budgets import (
+    DEFAULT_LEVEL_MULTIPLIERS,
+    DEFAULT_LEVEL_PROPORTIONS,
+    assign_budgets,
+    exponential_level_distribution,
+    paper_default_spec,
+)
+from .loaders import load_fimi_transactions, load_sequences
+from .surrogates import kosarak_like, msnbc_like, retail_like
+from .synthetic import power_law_items, true_counts_from_items, uniform_items, zipf_items
+
+__all__ = [
+    "ItemsetDataset",
+    "power_law_items",
+    "uniform_items",
+    "zipf_items",
+    "true_counts_from_items",
+    "kosarak_like",
+    "retail_like",
+    "msnbc_like",
+    "load_fimi_transactions",
+    "load_sequences",
+    "assign_budgets",
+    "exponential_level_distribution",
+    "paper_default_spec",
+    "DEFAULT_LEVEL_MULTIPLIERS",
+    "DEFAULT_LEVEL_PROPORTIONS",
+]

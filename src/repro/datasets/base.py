@@ -1,0 +1,151 @@
+"""Item-set dataset container (ragged sets in CSR layout).
+
+A dataset of ``n`` users, each holding a subset of the item domain
+``{0..m-1}``, is stored as two flat arrays — the concatenated item ids
+and a length ``n+1`` offset array — so that paper-scale data (a million
+users) fits comfortably in memory and all per-user operations vectorize.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import as_int_array, check_positive_int
+from ..exceptions import DatasetError
+
+__all__ = ["ItemsetDataset"]
+
+
+class ItemsetDataset:
+    """Ragged collection of per-user item-sets.
+
+    Parameters
+    ----------
+    flat_items:
+        Concatenation of every user's items.
+    offsets:
+        Length-``n+1`` prefix array: user ``u`` owns
+        ``flat_items[offsets[u]:offsets[u+1]]``.
+    m:
+        Item-domain size; all ids must lie in ``[0, m)``.
+
+    Users' sets are expected to be duplicate-free (use
+    :meth:`from_sets` with ``dedupe=True`` — the default — when building
+    from raw sequences such as MSNBC browsing records).
+    """
+
+    def __init__(self, flat_items, offsets, m: int) -> None:
+        self.m = check_positive_int(m, "m")
+        flat = as_int_array(flat_items, "flat_items")
+        offs = as_int_array(offsets, "offsets")
+        if offs.size < 1 or offs[0] != 0 or offs[-1] != flat.size:
+            raise DatasetError("offsets must start at 0 and end at len(flat_items)")
+        if np.any(np.diff(offs) < 0):
+            raise DatasetError("offsets must be non-decreasing")
+        if flat.size and (flat.min() < 0 or flat.max() >= self.m):
+            raise DatasetError(f"item ids must lie in [0, {self.m - 1}]")
+        self.flat_items = flat
+        self.offsets = offs
+        self.flat_items.flags.writeable = False
+        self.offsets.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sets(
+        cls, sets: Iterable[Sequence[int]], m: int, *, dedupe: bool = True
+    ) -> "ItemsetDataset":
+        """Build from an iterable of per-user item collections.
+
+        With ``dedupe=True`` repeated items within one user's record are
+        collapsed (the paper treats MSNBC page-visit *sequences* this
+        way so they become proper sets).
+        """
+        flat: list[int] = []
+        offsets = [0]
+        for record in sets:
+            items = list(dict.fromkeys(record)) if dedupe else list(record)
+            flat.extend(int(i) for i in items)
+            offsets.append(len(flat))
+        return cls(np.asarray(flat, dtype=np.int64), np.asarray(offsets, np.int64), m)
+
+    @classmethod
+    def from_single_items(cls, items, m: int) -> "ItemsetDataset":
+        """Build a size-1-per-user dataset from a single-item array."""
+        arr = as_int_array(items, "items")
+        offsets = np.arange(arr.size + 1, dtype=np.int64)
+        return cls(arr, offsets, m)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of users."""
+        return int(self.offsets.size - 1)
+
+    @property
+    def set_sizes(self) -> np.ndarray:
+        """Length-``n`` array of per-user set sizes ``|x_u|``."""
+        return np.diff(self.offsets)
+
+    def user_items(self, u: int) -> np.ndarray:
+        """The item-set of user *u* (read-only view)."""
+        if not 0 <= u < self.n:
+            raise DatasetError(f"user {u} outside [0, {self.n - 1}]")
+        return self.flat_items[self.offsets[u] : self.offsets[u + 1]]
+
+    def iter_sets(self):
+        """Iterate per-user item arrays (views, no copies)."""
+        for u in range(self.n):
+            yield self.flat_items[self.offsets[u] : self.offsets[u + 1]]
+
+    def true_counts(self) -> np.ndarray:
+        """Length-``m`` array ``c*_i`` = number of users possessing item i.
+
+        Eq. (1) of the paper.  Assumes duplicate-free sets (enforced by
+        the default constructors).
+        """
+        if self.flat_items.size == 0:
+            return np.zeros(self.m, dtype=np.int64)
+        return np.bincount(self.flat_items, minlength=self.m).astype(np.int64)
+
+    def first_items(self, *, skip_empty: bool = True) -> np.ndarray:
+        """Each user's first item — the paper's single-item Kosarak view.
+
+        Users with empty sets are dropped when ``skip_empty`` (the
+        paper's extraction necessarily skips empty click-streams).
+        """
+        sizes = self.set_sizes
+        has_items = sizes > 0
+        if not skip_empty and not np.all(has_items):
+            raise DatasetError("dataset contains empty sets; pass skip_empty=True")
+        starts = self.offsets[:-1][has_items]
+        return self.flat_items[starts]
+
+    def mean_set_size(self) -> float:
+        """Average ``|x_u|`` over users."""
+        return float(self.set_sizes.mean()) if self.n else 0.0
+
+    def subset_users(self, user_ids) -> "ItemsetDataset":
+        """Dataset restricted to the given users (copies the data)."""
+        ids = as_int_array(user_ids, "user_ids")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n):
+            raise DatasetError(f"user ids must lie in [0, {self.n - 1}]")
+        pieces = [self.user_items(int(u)) for u in ids]
+        flat = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        sizes = np.array([p.size for p in pieces], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        return ItemsetDataset(flat, offsets, self.m)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemsetDataset(n={self.n}, m={self.m}, "
+            f"mean_size={self.mean_set_size():.2f})"
+        )

@@ -1,0 +1,122 @@
+"""Privacy-budget assignment strategies (Section VII, "Setting").
+
+The paper's default: four privacy levels with budgets
+``{eps, 1.2 eps, 2 eps, 4 eps}`` assigned to items at random with
+proportions ``{5%, 5%, 5%, 85%}``.  Figure 4 varies the proportions and
+(for Retail) uses ``t = 20`` levels uniformly spaced in ``[eps, 4 eps]``
+with an exponential distribution over levels (``P(level i) ∝ e^{eps_i}``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    check_budget,
+    check_budget_vector,
+    check_positive_int,
+    check_probability_vector,
+    check_rng,
+)
+from ..core.budgets import BudgetSpec
+from ..exceptions import BudgetError
+
+__all__ = [
+    "DEFAULT_LEVEL_MULTIPLIERS",
+    "DEFAULT_LEVEL_PROPORTIONS",
+    "assign_budgets",
+    "exponential_level_distribution",
+    "paper_default_spec",
+]
+
+#: The paper's default level multipliers: budgets {eps, 1.2eps, 2eps, 4eps}.
+DEFAULT_LEVEL_MULTIPLIERS = (1.0, 1.2, 2.0, 4.0)
+
+#: The paper's default level proportions: {5%, 5%, 5%, 85%}.
+DEFAULT_LEVEL_PROPORTIONS = (0.05, 0.05, 0.05, 0.85)
+
+
+def assign_budgets(
+    m: int,
+    epsilons,
+    proportions,
+    rng=None,
+    *,
+    ensure_all_levels: bool = True,
+) -> BudgetSpec:
+    """Randomly assign each of ``m`` items to a level by proportion.
+
+    Parameters
+    ----------
+    m:
+        Item-domain size.
+    epsilons:
+        Level budgets (length ``t``).
+    proportions:
+        Sampling probabilities for each level (sum to 1).
+    ensure_all_levels:
+        Guarantee every level is non-empty by seeding one item per level
+        before the random assignment (requires ``m >= t``).  The paper's
+        experiments always have every level populated.
+    """
+    m = check_positive_int(m, "m")
+    eps = check_budget_vector(epsilons, "epsilons")
+    props = check_probability_vector(proportions, "proportions")
+    if eps.size != props.size:
+        raise BudgetError(
+            f"epsilons and proportions must have equal length, got "
+            f"{eps.size} and {props.size}"
+        )
+    if not np.isclose(props.sum(), 1.0, atol=1e-9):
+        raise BudgetError(f"proportions must sum to 1, got {props.sum():g}")
+    rng = check_rng(rng)
+    t = eps.size
+    if ensure_all_levels and m < t:
+        raise BudgetError(f"need m >= t to populate every level (m={m}, t={t})")
+
+    level_of_item = rng.choice(t, size=m, p=props)
+    if ensure_all_levels:
+        seeded = rng.permutation(m)[:t]
+        level_of_item[seeded] = np.arange(t)
+    return BudgetSpec(eps[level_of_item])
+
+
+def exponential_level_distribution(
+    epsilon: float,
+    t: int = 20,
+    *,
+    low_multiplier: float = 1.0,
+    high_multiplier: float = 4.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Level budgets and proportions for the paper's ``t = 20`` setting.
+
+    Budgets are uniformly spaced in ``[low_mult * eps, high_mult * eps]``
+    and the proportion of items at level ``i`` is proportional to
+    ``e^{eps_i}`` — most items are lightly protected, few are highly
+    sensitive, the skew the paper calls "approximately exponential".
+
+    Returns ``(epsilons, proportions)`` ready for :func:`assign_budgets`.
+    """
+    epsilon = check_budget(epsilon)
+    t = check_positive_int(t, "t")
+    if high_multiplier <= low_multiplier:
+        raise BudgetError(
+            f"high_multiplier must exceed low_multiplier, got "
+            f"{high_multiplier} <= {low_multiplier}"
+        )
+    if t == 1:
+        return np.array([epsilon * low_multiplier]), np.array([1.0])
+    epsilons = epsilon * np.linspace(low_multiplier, high_multiplier, t)
+    weights = np.exp(epsilons - epsilons.max())  # stable softmax weights
+    return epsilons, weights / weights.sum()
+
+
+def paper_default_spec(epsilon: float, m: int, rng=None) -> BudgetSpec:
+    """The paper's default specification for a given system budget *eps*.
+
+    Four levels ``{eps, 1.2 eps, 2 eps, 4 eps}`` with proportions
+    ``{5%, 5%, 5%, 85%}``, randomly assigned over ``m`` items.
+    """
+    epsilon = check_budget(epsilon)
+    epsilons = epsilon * np.asarray(DEFAULT_LEVEL_MULTIPLIERS)
+    return assign_budgets(m, epsilons, DEFAULT_LEVEL_PROPORTIONS, rng)

@@ -1,0 +1,94 @@
+"""File loaders for the original evaluation datasets.
+
+* :func:`load_fimi_transactions` — the FIMI repository format used by
+  Kosarak and Retail: one transaction per line, space-separated positive
+  integer item ids.
+* :func:`load_sequences` — the MSNBC format: one visit sequence per
+  line, space-separated category ids (repeats allowed; deduplicated into
+  sets, matching the paper's treatment).
+
+Both remap the 1-based ids in the files to the library's 0-based dense
+domain.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .base import ItemsetDataset
+
+__all__ = ["load_fimi_transactions", "load_sequences"]
+
+
+def _parse_lines(path: str) -> list[list[int]]:
+    if not os.path.exists(path):
+        raise DatasetError(f"dataset file not found: {path}")
+    records: list[list[int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                records.append([int(token) for token in stripped.split()])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: non-integer token in {stripped!r}"
+                ) from exc
+    if not records:
+        raise DatasetError(f"dataset file is empty: {path}")
+    return records
+
+
+def _remap_dense(records: list[list[int]]) -> tuple[list[list[int]], int]:
+    """Remap arbitrary positive ids to a dense 0-based domain."""
+    vocabulary: dict[int, int] = {}
+    remapped: list[list[int]] = []
+    for record in records:
+        row = []
+        for item in record:
+            if item not in vocabulary:
+                vocabulary[item] = len(vocabulary)
+            row.append(vocabulary[item])
+        remapped.append(row)
+    return remapped, len(vocabulary)
+
+
+def load_fimi_transactions(
+    path: str, *, max_users: int | None = None, dedupe: bool = True
+) -> ItemsetDataset:
+    """Load a FIMI-format transaction file (Kosarak / Retail).
+
+    Parameters
+    ----------
+    path:
+        Path to the ``.dat`` file.
+    max_users:
+        Optional cap on the number of transactions read (for quick runs).
+    dedupe:
+        Collapse repeated items inside one transaction (FIMI files are
+        normally duplicate-free, but be safe).
+    """
+    records = _parse_lines(path)
+    if max_users is not None:
+        records = records[: int(max_users)]
+    remapped, m = _remap_dense(records)
+    return ItemsetDataset.from_sets(remapped, m, dedupe=dedupe)
+
+
+def load_sequences(path: str, *, max_users: int | None = None) -> ItemsetDataset:
+    """Load an MSNBC-style sequence file, deduplicating into item-sets.
+
+    Each line is one user's category-visit sequence; repeats are
+    collapsed so the result is a proper item-set dataset (the per-user
+    visit *lengths* before deduplication are discarded, as in the
+    paper's set-valued treatment).
+    """
+    records = _parse_lines(path)
+    if max_users is not None:
+        records = records[: int(max_users)]
+    remapped, m = _remap_dense(records)
+    return ItemsetDataset.from_sets(remapped, m, dedupe=True)

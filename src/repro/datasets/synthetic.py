@@ -1,0 +1,74 @@
+"""Synthetic single-item datasets (Section VII, "Datasets" (1)-(2)).
+
+The paper's two synthetic workloads:
+
+* **Power-law**: ``n = 100,000`` users, ``m = 100`` items; each raw value
+  drawn from a power-law with exponent ``alpha = 2`` then scaled and
+  rounded into ``{1..m}`` (here ``{0..m-1}``).
+* **Uniform**: ``n = 100,000`` users, ``m = 1,000`` items, uniform draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_int_array, check_positive_float, check_positive_int, check_rng
+
+__all__ = ["power_law_items", "uniform_items", "zipf_items", "true_counts_from_items"]
+
+
+def power_law_items(
+    n: int = 100_000, m: int = 100, alpha: float = 2.0, rng=None
+) -> np.ndarray:
+    """Single-item inputs with a power-law item distribution.
+
+    Draws a Pareto-type variate ``v >= 1`` with density ``~ v^-alpha``,
+    then maps it onto ``{0..m-1}`` by scaling and rounding, mirroring the
+    paper's "generate, scale, round" recipe.  Values beyond the domain
+    are clamped onto the last item, preserving the heavy tail's mass.
+    """
+    n = check_positive_int(n, "n")
+    m = check_positive_int(m, "m")
+    alpha = check_positive_float(alpha, "alpha")
+    if alpha <= 1.0:
+        # Density v^-alpha is not normalizable on [1, inf) for alpha <= 1.
+        raise ValueError(f"alpha must exceed 1 for a proper power law, got {alpha}")
+    rng = check_rng(rng)
+    # Inverse-CDF sampling: v = (1 - u)^(-1/(alpha-1)) has P(V > v) = v^-(alpha-1).
+    u = rng.random(n)
+    v = (1.0 - u) ** (-1.0 / (alpha - 1.0))
+    items = np.floor(v - 1.0).astype(np.int64)  # v >= 1 -> item 0 is the mode
+    return np.minimum(items, m - 1)
+
+
+def uniform_items(n: int = 100_000, m: int = 1_000, rng=None) -> np.ndarray:
+    """Single-item inputs drawn uniformly from ``{0..m-1}``."""
+    n = check_positive_int(n, "n")
+    m = check_positive_int(m, "m")
+    rng = check_rng(rng)
+    return rng.integers(m, size=n, dtype=np.int64)
+
+
+def zipf_items(n: int, m: int, s: float = 1.2, rng=None) -> np.ndarray:
+    """Single-item inputs with Zipf-distributed popularity over a finite domain.
+
+    Item ``k`` (0-based) has probability proportional to ``(k+1)^-s``.
+    Used by the real-data surrogates where a bounded-support skewed
+    distribution is needed.
+    """
+    n = check_positive_int(n, "n")
+    m = check_positive_int(m, "m")
+    s = check_positive_float(s, "s")
+    rng = check_rng(rng)
+    weights = (np.arange(1, m + 1, dtype=float)) ** (-s)
+    probabilities = weights / weights.sum()
+    return rng.choice(m, size=n, p=probabilities).astype(np.int64)
+
+
+def true_counts_from_items(items, m: int) -> np.ndarray:
+    """Histogram single-item inputs into length-``m`` true counts ``c*``."""
+    m = check_positive_int(m, "m")
+    arr = as_int_array(items, "items")
+    if arr.size and (arr.min() < 0 or arr.max() >= m):
+        raise ValueError(f"items fall outside [0, {m - 1}]")
+    return np.bincount(arr, minlength=m).astype(np.int64)

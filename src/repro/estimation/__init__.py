@@ -1,0 +1,47 @@
+"""Server-side frequency estimation (Sections V-C and VI-B).
+
+* :class:`FrequencyEstimator` — the unbiased calibration
+  ``ĉ_i = ell * (c_i − n b_i) / (a_i − b_i)`` covering both single-item
+  (``ell = 1``) and Padding-and-Sampling (``ell > 1``) pipelines.
+* :mod:`.variance` — closed-form estimator variance / MSE (Eq. 9) and
+  its exact PS generalization used for the theoretical curves in Fig 3/5.
+* :mod:`.aggregate` — streaming aggregation of bit-vector reports.
+* :mod:`.postprocess` — non-negativity / normalization post-processing.
+* :mod:`.topk` — heavy-hitter identification (the paper's future-work
+  task) built on the estimators.
+"""
+
+from .aggregate import Aggregator, aggregate_reports
+from .frequency import FrequencyEstimator
+from .merge import RoundEstimate, merge_round_estimates
+from .padding_selection import PaddingChoice, predict_total_mse, select_padding_length
+from .postprocess import clip_nonnegative, norm_sub, normalize_to_total
+from .topk import top_k_items, top_k_metrics
+from .variance import (
+    ps_estimator_mse,
+    ps_expected_counts,
+    ps_moment_sums,
+    ue_estimator_variance,
+    ue_total_mse,
+)
+
+__all__ = [
+    "FrequencyEstimator",
+    "Aggregator",
+    "aggregate_reports",
+    "ue_estimator_variance",
+    "ue_total_mse",
+    "ps_moment_sums",
+    "ps_expected_counts",
+    "ps_estimator_mse",
+    "clip_nonnegative",
+    "norm_sub",
+    "normalize_to_total",
+    "top_k_items",
+    "top_k_metrics",
+    "PaddingChoice",
+    "predict_total_mse",
+    "select_padding_length",
+    "RoundEstimate",
+    "merge_round_estimates",
+]

@@ -1,0 +1,83 @@
+"""Server-side aggregation of perturbed bit-vector reports.
+
+The server's first step (Fig 2, "Summation") is summing each bit across
+all users' reports.  :class:`Aggregator` supports streaming arrival;
+:func:`aggregate_reports` is the one-shot matrix version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["Aggregator", "aggregate_reports"]
+
+
+def aggregate_reports(reports) -> np.ndarray:
+    """Column-sum an ``n x m`` 0/1 report matrix into per-bit counts."""
+    matrix = np.asarray(reports)
+    if matrix.ndim != 2:
+        raise ValidationError(f"reports must be 2-D, got shape {matrix.shape}")
+    if matrix.size and not np.all((matrix == 0) | (matrix == 1)):
+        raise ValidationError("reports must contain only 0/1 values")
+    return matrix.sum(axis=0, dtype=np.int64)
+
+
+class Aggregator:
+    """Streaming per-bit count accumulator.
+
+    Parameters
+    ----------
+    m:
+        Report width (number of bits per user, including any dummy bits).
+    """
+
+    def __init__(self, m: int) -> None:
+        self.m = check_positive_int(m, "m")
+        self._counts = np.zeros(self.m, dtype=np.int64)
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Number of reports absorbed so far."""
+        return self._n
+
+    def counts(self) -> np.ndarray:
+        """Copy of the per-bit counts accumulated so far."""
+        return self._counts.copy()
+
+    def add(self, report) -> None:
+        """Absorb a single user's report (length-``m`` 0/1 vector)."""
+        vector = np.asarray(report)
+        if vector.shape != (self.m,):
+            raise ValidationError(
+                f"report must have shape ({self.m},), got {vector.shape}"
+            )
+        if not np.all((vector == 0) | (vector == 1)):
+            raise ValidationError("report must contain only 0/1 values")
+        self._counts += vector.astype(np.int64)
+        self._n += 1
+
+    def add_many(self, reports) -> None:
+        """Absorb an ``k x m`` batch of reports."""
+        matrix = np.asarray(reports)
+        if matrix.ndim != 2 or matrix.shape[1] != self.m:
+            raise ValidationError(
+                f"reports must have shape (k, {self.m}), got {matrix.shape}"
+            )
+        if matrix.size and not np.all((matrix == 0) | (matrix == 1)):
+            raise ValidationError("reports must contain only 0/1 values")
+        self._counts += matrix.sum(axis=0, dtype=np.int64)
+        self._n += matrix.shape[0]
+
+    def merge(self, other: "Aggregator") -> None:
+        """Merge another aggregator's state (distributed collection)."""
+        if not isinstance(other, Aggregator) or other.m != self.m:
+            raise ValidationError("can only merge aggregators with equal width")
+        self._counts += other._counts
+        self._n += other._n
+
+    def __repr__(self) -> str:
+        return f"Aggregator(m={self.m}, n={self._n})"

@@ -1,0 +1,118 @@
+"""The unbiased frequency estimator (Eq. 8 and its PS scaling).
+
+Given per-bit aggregated counts ``c_i = sum_u y_u[i]`` from ``n`` users,
+the calibrated estimate of the true count ``c*_i`` is
+
+    ĉ_i = ell * (c_i − n b_i) / (a_i − b_i)
+
+where ``ell = 1`` for single-item input (Theorem 3) and ``ell`` is the
+padding length for IDUE-PS (Section VI-B, Fig 2).  The estimator is
+unbiased whenever every user's sampled-item marginal is ``1/ell`` — i.e.
+for single items always, and for item-sets when ``|x_u| <= ell``;
+truncation (``|x_u| > ell``) introduces the downward bias the paper
+discusses around Fig 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability_vector
+from ..exceptions import EstimationError, ValidationError
+
+__all__ = ["FrequencyEstimator"]
+
+
+class FrequencyEstimator:
+    """Calibrates aggregated bit counts into unbiased item-count estimates.
+
+    Parameters
+    ----------
+    a, b:
+        Per-item Bernoulli parameters of the perturbation, restricted to
+        the *real* item domain (dummy bits are ignored in aggregation —
+        Fig 2's "Ignore the bits of dummy items").
+    n:
+        Number of reporting users.
+    ell:
+        Padding length; 1 for single-item pipelines.
+    """
+
+    def __init__(self, a, b, n: int, *, ell: int = 1) -> None:
+        a_arr = check_probability_vector(a, "a", open_interval=True)
+        b_arr = check_probability_vector(b, "b", open_interval=True)
+        if a_arr.shape != b_arr.shape:
+            raise ValidationError(
+                f"a and b must have equal length, got {a_arr.size} and {b_arr.size}"
+            )
+        if np.any(a_arr == b_arr):
+            bad = int(np.argmax(a_arr == b_arr))
+            raise EstimationError(
+                f"a[{bad}] == b[{bad}] == {a_arr[bad]:g}: estimator undefined "
+                "(Theorem 3 requires a_i != b_i)"
+            )
+        self.a = a_arr.copy()
+        self.b = b_arr.copy()
+        self.a.flags.writeable = False
+        self.b.flags.writeable = False
+        self.n = check_positive_int(n, "n")
+        self.ell = check_positive_int(ell, "ell")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_mechanism(cls, mechanism, n: int) -> "FrequencyEstimator":
+        """Build the matching estimator for a mechanism object.
+
+        Accepts any unary mechanism (uses its ``a``/``b``) and IDUE-PS
+        wrappers (slices the real-item bits and uses ``ell``).
+        """
+        ell = getattr(mechanism, "ell", 1)
+        m_real = mechanism.m  # IDUEPS.m is the *real* domain by design
+        a = np.asarray(mechanism.a[:m_real])
+        b = np.asarray(mechanism.b[:m_real])
+        return cls(a, b, n, ell=ell)
+
+    @property
+    def m(self) -> int:
+        """Number of real items the estimator covers."""
+        return int(self.a.size)
+
+    # ------------------------------------------------------------------
+    def estimate(self, counts) -> np.ndarray:
+        """Calibrate aggregated bit counts into item-count estimates.
+
+        Parameters
+        ----------
+        counts:
+            Length >= ``m`` array of per-bit 1-counts; extra trailing
+            entries (dummy bits from a PS pipeline) are ignored.
+        """
+        arr = np.asarray(counts, dtype=float)
+        if arr.ndim != 1 or arr.size < self.m:
+            raise EstimationError(
+                f"counts must be 1-D with at least {self.m} entries, "
+                f"got shape {arr.shape}"
+            )
+        if np.any(arr < 0) or np.any(arr[: self.m] > self.n):
+            raise EstimationError("counts must lie in [0, n]")
+        real = arr[: self.m]
+        return self.ell * (real - self.n * self.b) / (self.a - self.b)
+
+    def estimate_frequencies(self, counts) -> np.ndarray:
+        """Item *frequencies* (estimates divided by ``n``)."""
+        return self.estimate(counts) / self.n
+
+    def expected_counts(self, true_counts) -> np.ndarray:
+        """``E[c_i]`` for single-item input: ``c*_i a_i + (n − c*_i) b_i``.
+
+        Used by tests to verify Theorem 3's unbiasedness algebraically.
+        """
+        c = np.asarray(true_counts, dtype=float)
+        if c.shape != (self.m,):
+            raise EstimationError(
+                f"true_counts must have shape ({self.m},), got {c.shape}"
+            )
+        return c * self.a + (self.n - c) * self.b
+
+    def __repr__(self) -> str:
+        return f"FrequencyEstimator(m={self.m}, n={self.n}, ell={self.ell})"

@@ -1,0 +1,76 @@
+"""Post-processing of calibrated frequency estimates.
+
+Unbiased LDP estimators routinely produce negative counts for rare items
+and need not sum to the known total.  Post-processing repairs both
+without touching the privacy guarantee (it operates only on released
+data).  Two standard options are provided:
+
+* :func:`clip_nonnegative` — truncate negatives at zero (introduces
+  positive bias on rare items but never hurts top-k tasks);
+* :func:`norm_sub` — the Norm-Sub projection [Wang et al. 2019]: shift
+  all positive estimates down uniformly (zeroing negatives) until the
+  total matches the target, the maximum-likelihood-flavoured repair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["clip_nonnegative", "norm_sub", "normalize_to_total"]
+
+
+def clip_nonnegative(estimates) -> np.ndarray:
+    """Replace negative estimates with zero."""
+    arr = np.asarray(estimates, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"estimates must be 1-D, got shape {arr.shape}")
+    return np.maximum(arr, 0.0)
+
+
+def normalize_to_total(estimates, total: float) -> np.ndarray:
+    """Rescale non-negative estimates so they sum to *total*.
+
+    Requires a strictly positive current sum; an all-zero vector cannot
+    be meaningfully rescaled and raises instead of silently returning
+    garbage.
+    """
+    arr = clip_nonnegative(estimates)
+    if total < 0:
+        raise ValidationError(f"total must be >= 0, got {total}")
+    current = arr.sum()
+    if current <= 0.0:
+        raise ValidationError("cannot normalize: all estimates are <= 0")
+    return arr * (float(total) / current)
+
+
+def norm_sub(estimates, total: float, *, max_iterations: int = 100) -> np.ndarray:
+    """Norm-Sub: uniform shift + clipping so the result sums to *total*.
+
+    Iteratively finds the shift ``delta`` such that
+    ``sum(max(est - delta, 0)) = total``; all entries that fall below
+    zero stay at zero.  Converges in at most ``m`` iterations because
+    the active set only shrinks.
+    """
+    arr = np.asarray(estimates, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"estimates must be 1-D, got shape {arr.shape}")
+    if total < 0:
+        raise ValidationError(f"total must be >= 0, got {total}")
+    if total == 0:
+        return np.zeros_like(arr)
+
+    active = np.ones(arr.size, dtype=bool)
+    for _ in range(max_iterations):
+        n_active = int(active.sum())
+        if n_active == 0:
+            break
+        delta = (arr[active].sum() - total) / n_active
+        adjusted = np.where(active, arr - delta, 0.0)
+        newly_negative = active & (adjusted < 0.0)
+        if not np.any(newly_negative):
+            return np.maximum(adjusted, 0.0)
+        active &= ~newly_negative
+    # Fallback: all mass concentrated on a few items; scale what is left.
+    return normalize_to_total(np.where(active, arr, 0.0), total)

@@ -1,0 +1,61 @@
+"""Heavy-hitter (top-k) identification on calibrated estimates.
+
+The paper lists heavy-hitter estimation as future work (Section VIII);
+this module provides the natural first step — rank the calibrated
+frequency estimates and take the k largest — plus the standard quality
+metrics used in the LDP heavy-hitter literature, so the Fig 5 "top 5
+frequent items" evaluation and the extension benchmarks share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["top_k_items", "top_k_metrics"]
+
+
+def top_k_items(estimates, k: int) -> np.ndarray:
+    """Indices of the *k* largest estimates, in descending order.
+
+    Ties are broken by item id (ascending) for determinism.
+    """
+    arr = np.asarray(estimates, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"estimates must be 1-D, got shape {arr.shape}")
+    k = check_positive_int(k, "k")
+    if k > arr.size:
+        raise ValidationError(f"k={k} exceeds the number of items {arr.size}")
+    # Sort by (-estimate, item id): stable deterministic ranking.
+    order = np.lexsort((np.arange(arr.size), -arr))
+    return order[:k].astype(np.int64)
+
+
+def top_k_metrics(estimates, true_counts, k: int) -> dict:
+    """Quality of the estimated top-k against the true top-k.
+
+    Returns a dict with:
+
+    * ``precision`` — |estimated ∩ true| / k (equals recall here);
+    * ``ncr`` — Normalized Cumulative Rank: rank-weighted credit where
+      the true i-th item is worth ``k − i`` points, normalized so a
+      perfect ranking scores 1 (the standard heavy-hitter metric);
+    * ``true_top``, ``estimated_top`` — the two id arrays for reporting.
+    """
+    true_arr = np.asarray(true_counts, dtype=float)
+    estimated = top_k_items(estimates, k)
+    truth = top_k_items(true_arr, k)
+
+    true_rank_credit = {int(item): k - rank for rank, item in enumerate(truth)}
+    credit = sum(true_rank_credit.get(int(item), 0) for item in estimated)
+    perfect = k * (k + 1) // 2
+    overlap = len(set(estimated.tolist()) & set(truth.tolist()))
+    return {
+        "precision": overlap / k,
+        "ncr": credit / perfect,
+        "true_top": truth,
+        "estimated_top": estimated,
+    }

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` from bad call
+signatures, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A user-supplied parameter is outside its legal range.
+
+    Raised eagerly at construction time (budgets, probabilities, domain
+    sizes) so that mechanisms never run with silently-invalid parameters.
+    """
+
+
+class BudgetError(ValidationError):
+    """A privacy-budget specification is malformed.
+
+    Examples: non-positive budgets, level partitions that do not cover the
+    item domain, or duplicate item ids across levels.
+    """
+
+
+class InfeasibleError(ReproError):
+    """An optimization problem has no feasible point.
+
+    Carries the offending constraint description when available so the
+    caller can report *which* pair of privacy levels is impossible to
+    satisfy simultaneously.
+    """
+
+    def __init__(self, message: str, *, constraint: str | None = None) -> None:
+        super().__init__(message)
+        self.constraint = constraint
+
+
+class SolverError(ReproError):
+    """The numerical solver failed to converge to a feasible solution."""
+
+    def __init__(self, message: str, *, diagnostics: dict | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = dict(diagnostics or {})
+
+
+class PrivacyViolationError(ReproError):
+    """An audit detected that a mechanism violates its claimed notion.
+
+    Raised by the :mod:`repro.audit` package when the measured or derived
+    probability ratio for some pair of inputs exceeds the bound implied by
+    the privacy notion (plus a numerical tolerance).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pair: tuple | None = None,
+        ratio: float | None = None,
+        bound: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.pair = pair
+        self.ratio = ratio
+        self.bound = bound
+
+
+class DatasetError(ReproError):
+    """A dataset file or generator specification is invalid."""
+
+
+class EstimationError(ReproError):
+    """Frequency estimation cannot proceed.
+
+    For example the mechanism parameters have ``a_i == b_i`` for some item,
+    which makes the unbiased estimator of Theorem 3 undefined.
+    """

@@ -1,0 +1,55 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each public function returns plain dict/arrays (no plotting dependency);
+:mod:`.reporting` renders them as aligned text tables matching the rows
+and series the paper reports.  The CLI (:mod:`repro.cli`) and the
+benchmark suite are thin wrappers over this package.
+"""
+
+from .compare import compare_itemset, compare_single_item
+from .config import (
+    Figure3Config,
+    Figure4aConfig,
+    Figure4bConfig,
+    Figure5Config,
+    QUICK,
+    PAPER,
+)
+from .export import read_series_csv, write_series_csv
+from .figures import figure3, figure4a, figure4b, figure5
+from .reporting import format_series, format_table
+from .runner import (
+    empirical_total_mse_itemset,
+    empirical_total_mse_single,
+    run_itemset_trial,
+    run_single_item_trial,
+)
+from .tables import table1_leakage_bounds, table2_toy_example
+from .theory import theoretical_total_mse_itemset, theoretical_total_mse_single
+
+__all__ = [
+    "Figure3Config",
+    "Figure4aConfig",
+    "Figure4bConfig",
+    "Figure5Config",
+    "QUICK",
+    "PAPER",
+    "figure3",
+    "figure4a",
+    "figure4b",
+    "figure5",
+    "table1_leakage_bounds",
+    "table2_toy_example",
+    "run_single_item_trial",
+    "run_itemset_trial",
+    "empirical_total_mse_single",
+    "empirical_total_mse_itemset",
+    "theoretical_total_mse_single",
+    "theoretical_total_mse_itemset",
+    "format_table",
+    "format_series",
+    "compare_single_item",
+    "compare_itemset",
+    "write_series_csv",
+    "read_series_csv",
+]

@@ -1,0 +1,109 @@
+"""Experiment configurations: paper-scale and quick presets.
+
+Every figure function takes one of these dataclasses; ``PAPER`` mirrors
+the paper's workload sizes while ``QUICK`` scales user counts and domain
+sizes down so the whole suite regenerates in minutes on a laptop.  All
+comparisons are within one dataset instance, so scaling preserves every
+qualitative conclusion (who wins, by what factor, where crossovers sit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "Figure3Config",
+    "Figure4aConfig",
+    "Figure4bConfig",
+    "Figure5Config",
+    "PAPER",
+    "QUICK",
+]
+
+_DEFAULT_EPSILONS = (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+@dataclass(frozen=True)
+class Figure3Config:
+    """Fig 3: empirical vs theoretical MSE on synthetic single-item data."""
+
+    n: int = 100_000
+    m_power_law: int = 100
+    m_uniform: int = 1_000
+    power_law_alpha: float = 2.0
+    epsilons: tuple = _DEFAULT_EPSILONS
+    trials: int = 5
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Figure4aConfig:
+    """Fig 4(a): budget-distribution sweep on Kosarak-like single items."""
+
+    n: int = 100_000
+    m: int = 41_270
+    epsilons: tuple = _DEFAULT_EPSILONS
+    budget_distributions: tuple = (
+        (0.05, 0.05, 0.05, 0.85),
+        (0.10, 0.10, 0.10, 0.70),
+        (0.25, 0.25, 0.25, 0.25),
+    )
+    trials: int = 3
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Figure4bConfig:
+    """Fig 4(b): t = 4 vs t = 20 levels on Retail-like item sets."""
+
+    n: int = 88_162
+    m: int = 16_470
+    ell: int = 5
+    epsilons: tuple = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+    trials: int = 3
+    t_many: int = 20
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Figure5Config:
+    """Fig 5: padding-length sweep on Retail-like / MSNBC-like item sets."""
+
+    dataset: str = "retail"  # "retail" or "msnbc"
+    n: int = 88_162
+    m: int = 16_470
+    ells: tuple = (1, 2, 3, 4, 5, 6)
+    epsilon: float = 2.0
+    top_k: int = 5
+    trials: int = 3
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class _Presets:
+    """Bundle of per-figure configurations."""
+
+    fig3: Figure3Config = field(default_factory=Figure3Config)
+    fig4a: Figure4aConfig = field(default_factory=Figure4aConfig)
+    fig4b: Figure4bConfig = field(default_factory=Figure4bConfig)
+    fig5_retail: Figure5Config = field(default_factory=Figure5Config)
+    fig5_msnbc: Figure5Config = field(
+        default_factory=lambda: Figure5Config(dataset="msnbc", n=200_000, m=14)
+    )
+
+
+#: Paper-scale presets (minutes to hours for the full sweep).
+PAPER = _Presets()
+
+#: Quick presets: same shapes, scaled-down workloads (seconds each).
+QUICK = _Presets(
+    fig3=replace(PAPER.fig3, n=20_000, m_uniform=200, trials=3),
+    fig4a=replace(PAPER.fig4a, n=20_000, m=2_000, trials=2, epsilons=(1.0, 2.0, 3.0)),
+    fig4b=replace(
+        PAPER.fig4b, n=20_000, m=2_000, trials=2, epsilons=(1.0, 2.0, 4.0, 6.0)
+    ),
+    fig5_retail=replace(
+        PAPER.fig5_retail, n=20_000, m=2_000, trials=2, ells=(1, 2, 3, 4, 5, 6)
+    ),
+    fig5_msnbc=replace(PAPER.fig5_msnbc, n=50_000, trials=2),
+)

@@ -1,0 +1,80 @@
+"""CSV export / import of experiment results.
+
+The figure functions return ``{"x_label", "x", "series": {...}}`` dicts;
+these helpers persist them as plain CSV so downstream analysis (plots,
+notebooks, spreadsheets) can consume the regenerated figures without
+importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from ..exceptions import ValidationError
+
+__all__ = ["write_series_csv", "read_series_csv"]
+
+
+def write_series_csv(result: dict, path: str) -> None:
+    """Write a figure-result dict to CSV (x column + one per series).
+
+    The optional ``series_topk`` panel (Fig 5) is appended with a
+    ``topk:`` prefix on its column names so one file carries the whole
+    figure.
+    """
+    if not isinstance(result, dict) or "x" not in result or "series" not in result:
+        raise ValidationError("result must be a figure dict with 'x' and 'series'")
+    x_label = str(result.get("x_label", "x"))
+    x_values = list(result["x"])
+    columns: dict[str, list] = dict(result["series"])
+    for name, values in result.get("series_topk", {}).items():
+        columns[f"topk:{name}"] = values
+    for name, values in columns.items():
+        if len(values) != len(x_values):
+            raise ValidationError(
+                f"series {name!r} has {len(values)} values for {len(x_values)} x points"
+            )
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + list(columns))
+        for idx, x in enumerate(x_values):
+            writer.writerow([x] + [columns[name][idx] for name in columns])
+
+
+def read_series_csv(path: str) -> dict:
+    """Read a CSV written by :func:`write_series_csv` back into a dict."""
+    if not os.path.exists(path):
+        raise ValidationError(f"CSV file not found: {path}")
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValidationError(f"{path} is empty") from None
+        rows = [row for row in reader if row]
+    if len(header) < 2:
+        raise ValidationError(f"{path} has no series columns")
+
+    x_label, names = header[0], header[1:]
+    x_values: list[float] = []
+    series: dict[str, list] = {name: [] for name in names}
+    for row in rows:
+        if len(row) != len(header):
+            raise ValidationError(f"{path}: ragged row {row!r}")
+        x_values.append(float(row[0]))
+        for name, cell in zip(names, row[1:]):
+            series[name].append(float(cell))
+
+    result = {"x_label": x_label, "x": x_values, "series": {}, "series_topk": {}}
+    for name, values in series.items():
+        if name.startswith("topk:"):
+            result["series_topk"][name[len("topk:"):]] = values
+        else:
+            result["series"][name] = values
+    if not result["series_topk"]:
+        del result["series_topk"]
+    return result

@@ -1,0 +1,247 @@
+"""Reproductions of the paper's Figures 3, 4 and 5.
+
+Each function runs the full pipeline (dataset -> budget assignment ->
+mechanism construction -> simulated collection -> calibration -> MSE)
+and returns the numeric series behind the figure:
+
+``{"x_label", "x", "series": {name: [values]}, "metric", ...}``
+
+ready for :func:`repro.experiments.reporting.format_series`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_rng
+from ..datasets.budgets import (
+    DEFAULT_LEVEL_MULTIPLIERS,
+    DEFAULT_LEVEL_PROPORTIONS,
+    assign_budgets,
+    exponential_level_distribution,
+)
+from ..datasets.surrogates import kosarak_like, msnbc_like, retail_like
+from ..datasets.synthetic import power_law_items, true_counts_from_items, uniform_items
+from ..estimation.topk import top_k_items
+from ..exceptions import ValidationError
+from ..mechanisms.idue import IDUE
+from ..mechanisms.idue_ps import IDUEPS
+from ..mechanisms.unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+from .config import Figure3Config, Figure4aConfig, Figure4bConfig, Figure5Config
+from .runner import empirical_total_mse_itemset, empirical_total_mse_single
+from .theory import theoretical_total_mse_itemset, theoretical_total_mse_single
+
+__all__ = ["figure3", "figure4a", "figure4b", "figure5"]
+
+
+def _default_spec(epsilon: float, m: int, rng):
+    """The paper's default 4-level budget specification at system budget eps."""
+    epsilons = epsilon * np.asarray(DEFAULT_LEVEL_MULTIPLIERS)
+    return assign_budgets(m, epsilons, DEFAULT_LEVEL_PROPORTIONS, rng)
+
+
+def figure3(
+    config: Figure3Config = Figure3Config(), *, distribution: str = "power-law"
+) -> dict:
+    """Fig 3: empirical vs theoretical MSE/n on synthetic single-item data.
+
+    Series: RAPPOR, OUE, and IDUE under opt0/opt1/opt2 (the paper's
+    MinLDP-opt* lines), each with an empirical and a theoretical value
+    per ``eps``.
+    """
+    if distribution == "power-law":
+        m = config.m_power_law
+        items = power_law_items(config.n, m, config.power_law_alpha, config.seed)
+    elif distribution == "uniform":
+        m = config.m_uniform
+        items = uniform_items(config.n, m, config.seed)
+    else:
+        raise ValidationError(
+            f"distribution must be 'power-law' or 'uniform', got {distribution!r}"
+        )
+    truth = true_counts_from_items(items, m)
+    n = items.size
+
+    series: dict[str, list] = {}
+    for epsilon in config.epsilons:
+        spec_rng = check_rng(config.seed + 1)  # same assignment across eps sweeps
+        spec = _default_spec(epsilon, m, spec_rng)
+        mechanisms = {
+            "RAPPOR": SymmetricUnaryEncoding(spec.min_epsilon, m),
+            "OUE": OptimizedUnaryEncoding(spec.min_epsilon, m),
+            "IDUE-opt0": IDUE.optimized(spec, model="opt0"),
+            "IDUE-opt1": IDUE.optimized(spec, model="opt1"),
+            "IDUE-opt2": IDUE.optimized(spec, model="opt2"),
+        }
+        trial_rng = check_rng(config.seed + 2)
+        for name, mech in mechanisms.items():
+            empirical = (
+                empirical_total_mse_single(
+                    mech, truth, n, trials=config.trials, rng=trial_rng
+                )
+                / n
+            )
+            theoretical = theoretical_total_mse_single(mech, truth, n) / n
+            series.setdefault(f"{name} empirical", []).append(empirical)
+            series.setdefault(f"{name} theoretical", []).append(theoretical)
+
+    return {
+        "figure": f"fig3-{distribution}",
+        "x_label": "epsilon",
+        "x": list(config.epsilons),
+        "series": series,
+        "metric": "total MSE / n",
+        "n": n,
+        "m": m,
+    }
+
+
+def figure4a(config: Figure4aConfig = Figure4aConfig()) -> dict:
+    """Fig 4(a): budget-distribution sweep on Kosarak-like single items.
+
+    RAPPOR and OUE are independent of the distribution (they always use
+    ``min{E} = eps``); IDUE gets one line per budget distribution.
+    """
+    dataset = kosarak_like(config.n, config.m, rng=config.seed)
+    items = dataset.first_items()
+    truth = true_counts_from_items(items, config.m)
+    n = items.size
+
+    series: dict[str, list] = {}
+    multipliers = np.asarray(DEFAULT_LEVEL_MULTIPLIERS)
+    for epsilon in config.epsilons:
+        trial_rng = check_rng(config.seed + 2)
+        baselines = {
+            "RAPPOR": SymmetricUnaryEncoding(epsilon, config.m),
+            "OUE": OptimizedUnaryEncoding(epsilon, config.m),
+        }
+        for name, mech in baselines.items():
+            value = (
+                empirical_total_mse_single(
+                    mech, truth, n, trials=config.trials, rng=trial_rng
+                )
+                / n
+            )
+            series.setdefault(name, []).append(value)
+        for proportions in config.budget_distributions:
+            spec_rng = check_rng(config.seed + 1)
+            spec = assign_budgets(
+                config.m, epsilon * multipliers, proportions, spec_rng
+            )
+            mech = IDUE.optimized(spec, model="opt0")
+            value = (
+                empirical_total_mse_single(
+                    mech, truth, n, trials=config.trials, rng=trial_rng
+                )
+                / n
+            )
+            label = "IDUE [" + ", ".join(f"{p:.0%}" for p in proportions) + "]"
+            series.setdefault(label, []).append(value)
+
+    return {
+        "figure": "fig4a",
+        "x_label": "epsilon",
+        "x": list(config.epsilons),
+        "series": series,
+        "metric": "total MSE / n",
+        "n": n,
+        "m": config.m,
+    }
+
+
+def figure4b(config: Figure4bConfig = Figure4bConfig()) -> dict:
+    """Fig 4(b): t = 4 vs t = 20 privacy levels on Retail-like item sets."""
+    dataset = retail_like(config.n, config.m, rng=config.seed)
+
+    series: dict[str, list] = {}
+    multipliers = np.asarray(DEFAULT_LEVEL_MULTIPLIERS)
+    for epsilon in config.epsilons:
+        trial_rng = check_rng(config.seed + 2)
+        mechanisms: dict[str, IDUEPS] = {
+            "RAPPOR-PS": IDUEPS.rappor_ps(epsilon, config.m, config.ell),
+            "OUE-PS": IDUEPS.oue_ps(epsilon, config.m, config.ell),
+        }
+        spec_rng = check_rng(config.seed + 1)
+        spec4 = assign_budgets(
+            config.m, epsilon * multipliers, DEFAULT_LEVEL_PROPORTIONS, spec_rng
+        )
+        mechanisms["IDUE-PS (t=4)"] = IDUEPS.optimized(spec4, config.ell, model="opt0")
+        eps20, props20 = exponential_level_distribution(epsilon, config.t_many)
+        spec20_rng = check_rng(config.seed + 1)
+        spec20 = assign_budgets(config.m, eps20, props20, spec20_rng)
+        mechanisms[f"IDUE-PS (t={config.t_many})"] = IDUEPS.optimized(
+            spec20, config.ell, model="opt0"
+        )
+        for name, mech in mechanisms.items():
+            value = empirical_total_mse_itemset(
+                mech, dataset, trials=config.trials, rng=trial_rng
+            )
+            series.setdefault(name, []).append(value)
+
+    return {
+        "figure": "fig4b",
+        "x_label": "epsilon",
+        "x": list(config.epsilons),
+        "series": series,
+        "metric": "total MSE",
+        "n": dataset.n,
+        "m": config.m,
+        "ell": config.ell,
+    }
+
+
+def figure5(config: Figure5Config = Figure5Config()) -> dict:
+    """Fig 5: padding-length sweep — total MSE and top-k MSE per dataset.
+
+    Returns both panels: ``series`` totals over all items and
+    ``series_topk`` totals over the true top-``k`` frequent items.
+    """
+    if config.dataset == "retail":
+        dataset = retail_like(config.n, config.m, rng=config.seed)
+    elif config.dataset == "msnbc":
+        dataset = msnbc_like(config.n, config.m, rng=config.seed)
+    else:
+        raise ValidationError(
+            f"dataset must be 'retail' or 'msnbc', got {config.dataset!r}"
+        )
+    truth = dataset.true_counts()
+    top_items = top_k_items(truth.astype(float), config.top_k)
+    multipliers = np.asarray(DEFAULT_LEVEL_MULTIPLIERS)
+
+    series: dict[str, list] = {}
+    series_topk: dict[str, list] = {}
+    for ell in config.ells:
+        trial_rng = check_rng(config.seed + 2)
+        spec_rng = check_rng(config.seed + 1)
+        spec = assign_budgets(
+            dataset.m,
+            config.epsilon * multipliers,
+            DEFAULT_LEVEL_PROPORTIONS,
+            spec_rng,
+        )
+        mechanisms = {
+            "RAPPOR-PS": IDUEPS.rappor_ps(config.epsilon, dataset.m, ell),
+            "OUE-PS": IDUEPS.oue_ps(config.epsilon, dataset.m, ell),
+            "IDUE-PS": IDUEPS.optimized(spec, ell, model="opt0"),
+        }
+        for name, mech in mechanisms.items():
+            total = empirical_total_mse_itemset(
+                mech, dataset, trials=config.trials, rng=trial_rng
+            )
+            topk = empirical_total_mse_itemset(
+                mech, dataset, trials=config.trials, rng=trial_rng, items=top_items
+            )
+            series.setdefault(name, []).append(total)
+            series_topk.setdefault(name, []).append(topk)
+
+    return {
+        "figure": f"fig5-{config.dataset}",
+        "x_label": "ell",
+        "x": list(config.ells),
+        "series": series,
+        "series_topk": series_topk,
+        "metric": "total MSE (left: all items, right: top-k)",
+        "top_items": top_items,
+        "n": dataset.n,
+        "m": dataset.m,
+    }

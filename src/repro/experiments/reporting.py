@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment results.
+
+No plotting dependency: every figure is reported as the numeric series
+behind it (x values by mechanism), which is what EXPERIMENTS.md records
+and what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_float", "format_table", "format_series"]
+
+
+def format_float(value, precision: int = 4) -> str:
+    """Compact numeric formatting: general format, fixed significant digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    return f"{value:.{precision}g}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as an aligned text table with a header rule."""
+    rendered = [[format_float(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)),
+        "  ".join("-" * widths[k] for k in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render one figure: x values in the first column, one series per column."""
+    headers = [x_label] + list(series)
+    rows = []
+    for idx, x in enumerate(x_values):
+        rows.append([x] + [series[name][idx] for name in series])
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table

@@ -1,0 +1,55 @@
+"""Theoretical MSE predictions for the evaluation's dashed lines.
+
+Thin, mechanism-aware wrappers over :mod:`repro.estimation.variance`:
+they extract the right parameter slices from mechanism objects so the
+figure code can treat theory and simulation symmetrically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.base import ItemsetDataset
+from ..estimation.variance import ps_estimator_mse, ue_total_mse
+from ..exceptions import ValidationError
+from ..mechanisms.base import UnaryMechanism
+from ..mechanisms.idue_ps import IDUEPS
+
+__all__ = ["theoretical_total_mse_single", "theoretical_total_mse_itemset"]
+
+
+def theoretical_total_mse_single(
+    mechanism: UnaryMechanism, true_counts, n: int
+) -> float:
+    """Exact total MSE (Eq. 9 summed) for single-item input."""
+    if not isinstance(mechanism, UnaryMechanism):
+        raise ValidationError(
+            f"mechanism must be a UnaryMechanism, got {type(mechanism).__name__}"
+        )
+    return ue_total_mse(n, mechanism.a, mechanism.b, true_counts)
+
+
+def theoretical_total_mse_itemset(
+    mechanism: IDUEPS, dataset: ItemsetDataset, *, items=None
+) -> float:
+    """Exact total MSE of the PS estimator (variance + truncation bias).
+
+    Parameters
+    ----------
+    items:
+        Optional subset of item ids to total over (e.g. the true top-5
+        for Fig 5's right panels); all items by default.
+    """
+    if not isinstance(mechanism, IDUEPS):
+        raise ValidationError(
+            f"mechanism must be an IDUEPS, got {type(mechanism).__name__}"
+        )
+    mse, _, _ = ps_estimator_mse(
+        dataset,
+        mechanism.ell,
+        mechanism.a[: mechanism.m],
+        mechanism.b[: mechanism.m],
+    )
+    if items is None:
+        return float(np.sum(mse))
+    return float(np.sum(mse[np.asarray(items, dtype=np.int64)]))

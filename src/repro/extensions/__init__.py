@@ -1,0 +1,25 @@
+"""Extensions beyond the paper's headline pipeline.
+
+Each module implements a direction the paper explicitly points at:
+
+* :mod:`.pldp` — combining ID-LDP with *personalized* LDP (Section IV-A
+  remark): users scale the universal budget levels by a personal factor
+  and the server combines the per-group estimates.
+* :mod:`.heavy_hitters` — heavy-hitter identification (Section VIII
+  future work): a two-phase identify-then-refine protocol on top of
+  IDUE-PS with user partitioning.
+* :mod:`.multidim` — multi-dimensional categorical data (Section VIII
+  future work): per-attribute budget splitting via sequential
+  composition (Theorem 2) with joint collection.
+"""
+
+from .heavy_hitters import TwoPhaseHeavyHitter
+from .multidim import MultiAttributeCollector
+from .pldp import PersonalizedGroup, PLDPCollector
+
+__all__ = [
+    "PersonalizedGroup",
+    "PLDPCollector",
+    "TwoPhaseHeavyHitter",
+    "MultiAttributeCollector",
+]

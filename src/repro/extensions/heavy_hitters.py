@@ -1,0 +1,161 @@
+"""Two-phase heavy-hitter identification (the paper's future work).
+
+Section VIII names heavy-hitter estimation as the next task for ID-LDP.
+The standard LDP recipe (SVIM [7], the paper's Padding-and-Sampling
+source) splits *users* instead of budget:
+
+* **Phase 1 (identify)** — a random fraction of users report through
+  IDUE-PS; the server keeps the ``candidate_factor * k`` items with the
+  largest calibrated estimates as candidates.
+* **Phase 2 (refine)** — the remaining users report (same mechanism
+  family, fresh instance); the server re-estimates *only the candidates*
+  and returns the top ``k``.
+
+Because each user participates in exactly one phase, every user's report
+satisfies the full ``E``-MinID-LDP guarantee — no budget splitting, by
+parallel composition over disjoint user sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_positive_int, check_rng
+from ..core.budgets import BudgetSpec
+from ..core.notions import MIN, RFunction
+from ..datasets.base import ItemsetDataset
+from ..estimation.frequency import FrequencyEstimator
+from ..estimation.topk import top_k_items
+from ..exceptions import ValidationError
+from ..mechanisms.idue_ps import IDUEPS
+from ..simulation.fast import simulate_itemset_counts
+
+__all__ = ["HeavyHitterResult", "TwoPhaseHeavyHitter"]
+
+
+@dataclass
+class HeavyHitterResult:
+    """Outcome of a two-phase heavy-hitter run.
+
+    Attributes
+    ----------
+    top_items:
+        The identified top-``k`` item ids, best first.
+    estimates:
+        Phase-2 calibrated count estimates for the candidate items,
+        scaled to the full population (both phases combined).
+    candidates:
+        The phase-1 candidate set (``candidate_factor * k`` ids).
+    phase1_estimates:
+        Phase-1 calibrated estimates over the whole domain (diagnostics).
+    """
+
+    top_items: np.ndarray
+    estimates: dict = field(repr=False)
+    candidates: np.ndarray = field(repr=False)
+    phase1_estimates: np.ndarray = field(repr=False)
+
+
+class TwoPhaseHeavyHitter:
+    """Identify-then-refine top-k protocol over item-set data.
+
+    Parameters
+    ----------
+    spec:
+        Budget specification of the item domain.
+    ell:
+        Padding length for the PS protocol.
+    k:
+        Number of heavy hitters to return.
+    candidate_factor:
+        Phase 1 keeps ``candidate_factor * k`` candidates (>= 1).
+    phase1_fraction:
+        Fraction of users assigned to phase 1 (the rest refine).
+    model, r:
+        IDUE optimization model and pair-budget function.
+    """
+
+    def __init__(
+        self,
+        spec: BudgetSpec,
+        ell: int,
+        k: int,
+        *,
+        candidate_factor: int = 2,
+        phase1_fraction: float = 0.5,
+        model: str = "opt0",
+        r: RFunction | str = MIN,
+    ) -> None:
+        if not isinstance(spec, BudgetSpec):
+            raise ValidationError(f"spec must be a BudgetSpec, got {spec!r}")
+        self.spec = spec
+        self.ell = check_positive_int(ell, "ell")
+        self.k = check_positive_int(k, "k")
+        self.candidate_factor = check_positive_int(candidate_factor, "candidate_factor")
+        if not 0.0 < phase1_fraction < 1.0:
+            raise ValidationError(
+                f"phase1_fraction must lie in (0, 1), got {phase1_fraction}"
+            )
+        if self.k > spec.m:
+            raise ValidationError(f"k={k} exceeds the domain size {spec.m}")
+        self.phase1_fraction = float(phase1_fraction)
+        self.mechanism = IDUEPS.optimized(spec, ell, r=r, model=model)
+
+    # ------------------------------------------------------------------
+    def split_users(self, n: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+        """Random disjoint user split for the two phases."""
+        rng = check_rng(rng)
+        n = check_positive_int(n, "n")
+        permutation = rng.permutation(n)
+        cut = max(1, min(n - 1, int(round(n * self.phase1_fraction))))
+        return permutation[:cut], permutation[cut:]
+
+    def run(self, dataset: ItemsetDataset, rng=None) -> HeavyHitterResult:
+        """Execute both phases on a dataset (simulation harness).
+
+        In a deployment the two phases are separate collection rounds;
+        here the fast simulator stands in for the device fleet.
+        """
+        if not isinstance(dataset, ItemsetDataset):
+            raise ValidationError(f"dataset must be an ItemsetDataset, got {dataset!r}")
+        if dataset.m != self.spec.m:
+            raise ValidationError(
+                f"dataset domain {dataset.m} != spec domain {self.spec.m}"
+            )
+        rng = check_rng(rng)
+        phase1_users, phase2_users = self.split_users(dataset.n, rng)
+
+        # Phase 1: identify candidates from a user subsample.
+        phase1_data = dataset.subset_users(phase1_users)
+        counts1 = simulate_itemset_counts(self.mechanism, phase1_data, rng)
+        est1 = FrequencyEstimator.for_mechanism(self.mechanism, phase1_data.n)
+        phase1_estimates = est1.estimate(counts1)
+        n_candidates = min(self.candidate_factor * self.k, self.spec.m)
+        candidates = top_k_items(phase1_estimates, n_candidates)
+
+        # Phase 2: refine on the remaining users, restricted to candidates.
+        phase2_data = dataset.subset_users(phase2_users)
+        counts2 = simulate_itemset_counts(self.mechanism, phase2_data, rng)
+        est2 = FrequencyEstimator.for_mechanism(self.mechanism, phase2_data.n)
+        phase2_estimates = est2.estimate(counts2)
+
+        candidate_scores = {
+            int(item): float(phase2_estimates[item]) * dataset.n / phase2_data.n
+            for item in candidates
+        }
+        ranked = sorted(candidate_scores, key=lambda i: (-candidate_scores[i], i))
+        top = np.asarray(ranked[: self.k], dtype=np.int64)
+        return HeavyHitterResult(
+            top_items=top,
+            estimates=candidate_scores,
+            candidates=candidates,
+            phase1_estimates=phase1_estimates,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoPhaseHeavyHitter(m={self.spec.m}, ell={self.ell}, k={self.k}, "
+            f"candidates={self.candidate_factor * self.k})"
+        )

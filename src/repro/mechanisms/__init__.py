@@ -1,0 +1,45 @@
+"""Local perturbation mechanisms.
+
+Two output families:
+
+* **Categorical** mechanisms report one category (RR, GRR).
+* **Unary-encoding** mechanisms report an ``m``-bit vector with per-bit
+  Bernoulli flips (SUE / basic RAPPOR, OUE, and the paper's IDUE).
+
+Item-set inputs are handled by composing a unary mechanism with the
+Padding-and-Sampling protocol (:class:`PaddingSampler`,
+:class:`IDUEPS`).
+"""
+
+from .base import CategoricalMechanism, Mechanism, UnaryMechanism
+from .factory import make_single_item_mechanism, make_itemset_mechanism
+from .histogram_encoding import (
+    SummationHistogramEncoding,
+    ThresholdingHistogramEncoding,
+)
+from .idue import IDUE
+from .local_hashing import OptimizedLocalHashing
+from .idue_ps import IDUEPS, itemset_budget
+from .padding_sampling import PaddingSampler
+from .randomized_response import BinaryRandomizedResponse, GeneralizedRandomizedResponse
+from .unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding, UnaryEncoding
+
+__all__ = [
+    "Mechanism",
+    "CategoricalMechanism",
+    "UnaryMechanism",
+    "BinaryRandomizedResponse",
+    "GeneralizedRandomizedResponse",
+    "UnaryEncoding",
+    "SymmetricUnaryEncoding",
+    "OptimizedUnaryEncoding",
+    "IDUE",
+    "OptimizedLocalHashing",
+    "SummationHistogramEncoding",
+    "ThresholdingHistogramEncoding",
+    "PaddingSampler",
+    "IDUEPS",
+    "itemset_budget",
+    "make_single_item_mechanism",
+    "make_itemset_mechanism",
+]

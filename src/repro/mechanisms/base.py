@@ -1,0 +1,234 @@
+"""Mechanism base classes.
+
+A mechanism is a randomized map from a private input to a released
+output.  The library distinguishes mechanisms by output type because the
+server-side estimators differ:
+
+* :class:`CategoricalMechanism` — outputs one category id; its behaviour
+  is fully described by an ``m x m`` row-stochastic channel matrix.
+* :class:`UnaryMechanism` — outputs an ``m``-bit vector, each bit flipped
+  independently; fully described by per-bit Bernoulli parameters
+  ``a[k] = Pr(y[k]=1 | x[k]=1)`` and ``b[k] = Pr(y[k]=1 | x[k]=0)``.
+
+All randomness flows through an explicit ``numpy.random.Generator`` so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import (
+    as_int_array,
+    check_positive_int,
+    check_probability_vector,
+    check_rng,
+)
+from ..exceptions import ValidationError
+
+__all__ = ["Mechanism", "CategoricalMechanism", "UnaryMechanism"]
+
+
+class Mechanism(abc.ABC):
+    """Abstract base: a randomized map from inputs to released outputs."""
+
+    #: Human-readable mechanism name used in reports and benchmarks.
+    name: str = "mechanism"
+
+    @property
+    @abc.abstractmethod
+    def m(self) -> int:
+        """Size of the item domain the mechanism operates on."""
+
+    @abc.abstractmethod
+    def perturb(self, x, rng=None):
+        """Perturb a single user's input and return the released output."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(m={self.m})"
+
+
+class CategoricalMechanism(Mechanism):
+    """A mechanism whose output is a single category id in ``0..m-1``.
+
+    Subclasses must provide :meth:`channel_matrix`; :meth:`perturb` and
+    :meth:`perturb_many` then sample from the appropriate row.
+    """
+
+    @abc.abstractmethod
+    def channel_matrix(self) -> np.ndarray:
+        """Row-stochastic ``m x m`` matrix ``P[x, y] = Pr(output=y | input=x)``."""
+
+    def perturb(self, x: int, rng=None) -> int:
+        """Release a perturbed category for the true category *x*."""
+        rng = check_rng(rng)
+        if not 0 <= int(x) < self.m:
+            raise ValidationError(f"input {x} outside domain [0, {self.m - 1}]")
+        row = self.channel_matrix()[int(x)]
+        return int(rng.choice(self.m, p=row))
+
+    def perturb_many(self, xs, rng=None) -> np.ndarray:
+        """Vectorized perturbation of a batch of inputs."""
+        rng = check_rng(rng)
+        inputs = as_int_array(xs, "xs")
+        if inputs.size and (inputs.min() < 0 or inputs.max() >= self.m):
+            raise ValidationError(f"inputs fall outside domain [0, {self.m - 1}]")
+        matrix = self.channel_matrix()
+        cdf = np.cumsum(matrix, axis=1)
+        u = rng.random(inputs.size)
+        # Inverse-CDF sampling per row; searchsorted on each user's row.
+        rows = cdf[inputs]
+        return np.minimum(
+            (u[:, None] > rows).sum(axis=1), self.m - 1
+        ).astype(np.int64)
+
+
+class UnaryMechanism(Mechanism):
+    """Unary-encoding mechanism with per-bit flip parameters.
+
+    Parameters
+    ----------
+    a:
+        Length-``m`` vector; ``a[k] = Pr(y[k] = 1 | x[k] = 1)``.
+    b:
+        Length-``m`` vector; ``b[k] = Pr(y[k] = 1 | x[k] = 0)``.
+
+    The paper requires ``a[k] > b[k]`` for every bit (Section V-B) so the
+    estimator of Theorem 3 exists and utility is non-trivial; the
+    constructor enforces it.
+    """
+
+    name = "unary"
+
+    def __init__(self, a, b) -> None:
+        a_arr = check_probability_vector(a, "a", open_interval=True)
+        b_arr = check_probability_vector(b, "b", open_interval=True)
+        if a_arr.shape != b_arr.shape:
+            raise ValidationError(
+                f"a and b must have equal length, got {a_arr.size} and {b_arr.size}"
+            )
+        if not np.all(a_arr > b_arr):
+            worst = int(np.argmin(a_arr - b_arr))
+            raise ValidationError(
+                f"require a[k] > b[k] for all bits; violated at bit {worst} "
+                f"(a={a_arr[worst]:g}, b={b_arr[worst]:g})"
+            )
+        self._a = a_arr.copy()
+        self._b = b_arr.copy()
+        self._a.flags.writeable = False
+        self._b.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        return int(self._a.size)
+
+    @property
+    def a(self) -> np.ndarray:
+        """Per-bit ``Pr(y=1 | x=1)`` (read-only)."""
+        return self._a
+
+    @property
+    def b(self) -> np.ndarray:
+        """Per-bit ``Pr(y=1 | x=0)`` (read-only)."""
+        return self._b
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """``alpha[k] = a[k] / b[k]`` (Eq. 14), the bit-1 likelihood ratio."""
+        return self._a / self._b
+
+    @property
+    def beta(self) -> np.ndarray:
+        """``beta[k] = (1-a[k]) / (1-b[k])`` (Eq. 14), the bit-0 ratio."""
+        return (1.0 - self._a) / (1.0 - self._b)
+
+    # ------------------------------------------------------------------
+    def encode(self, x: int) -> np.ndarray:
+        """One-hot encode item *x* into an ``m``-bit vector (Eq. 6)."""
+        if not 0 <= int(x) < self.m:
+            raise ValidationError(f"input {x} outside domain [0, {self.m - 1}]")
+        bits = np.zeros(self.m, dtype=np.int8)
+        bits[int(x)] = 1
+        return bits
+
+    def perturb_bits(self, bits, rng=None) -> np.ndarray:
+        """Flip each bit of an encoded vector independently (Algorithm 1)."""
+        rng = check_rng(rng)
+        vector = np.asarray(bits)
+        if vector.shape != (self.m,):
+            raise ValidationError(
+                f"bits must have shape ({self.m},), got {vector.shape}"
+            )
+        ones = vector.astype(bool)
+        prob_one = np.where(ones, self._a, self._b)
+        return (rng.random(self.m) < prob_one).astype(np.int8)
+
+    def perturb(self, x: int, rng=None) -> np.ndarray:
+        """Encode and perturb one user's single-item input."""
+        return self.perturb_bits(self.encode(x), rng)
+
+    def perturb_many(self, xs, rng=None) -> np.ndarray:
+        """Vectorized perturbation of a batch of single-item inputs.
+
+        Returns an ``n x m`` 0/1 matrix of released reports.  Memory is
+        ``O(n m)``; paper-scale experiments should use
+        :mod:`repro.simulation.fast` instead, which draws the aggregate
+        counts from their exact distribution.
+        """
+        rng = check_rng(rng)
+        inputs = as_int_array(xs, "xs")
+        if inputs.size and (inputs.min() < 0 or inputs.max() >= self.m):
+            raise ValidationError(f"inputs fall outside domain [0, {self.m - 1}]")
+        n = inputs.size
+        prob = np.broadcast_to(self._b, (n, self.m)).copy()
+        prob[np.arange(n), inputs] = self._a[inputs]
+        return (rng.random((n, self.m)) < prob).astype(np.int8)
+
+    # ------------------------------------------------------------------
+    def pair_ratio_bound(self, i: int, j: int) -> float:
+        """Worst-case ``Pr(y|v_i) / Pr(y|v_j)`` over all outputs ``y``.
+
+        Section V-B shows this equals ``alpha_i / beta_j =
+        a_i (1-b_j) / (b_i (1-a_j))``, achieved at ``y[i]=1, y[j]=0``.
+        The audits compare it against ``e^{r(eps_i, eps_j)}``.
+        """
+        for k in (i, j):
+            if not 0 <= k < self.m:
+                raise ValidationError(f"bit {k} outside [0, {self.m - 1}]")
+        if i == j:
+            return 1.0
+        return float(self.alpha[i] / self.beta[j])
+
+    def ldp_epsilon(self) -> float:
+        """The tightest plain-LDP budget this mechanism satisfies.
+
+        ``max_{i != j} ln(alpha_i / beta_j)``; for uniform parameters this
+        reduces to the familiar ``ln(a(1-b) / (b(1-a)))`` of [Wang et al.
+        2017].
+        """
+        if self.m == 1:
+            return float(np.log(self.alpha[0] / self.beta[0]))
+        log_alpha = np.log(self.alpha)
+        log_beta = np.log(self.beta)
+        order = np.argsort(log_alpha)
+        top, second = order[-1], order[-2]
+        # max over i != j of log_alpha[i] - log_beta[j]: the minimizing j
+        # may coincide with the maximizing i, so consider the two smallest
+        # betas against the two largest alphas.
+        beta_order = np.argsort(log_beta)
+        best = -np.inf
+        for i in (top, second):
+            for j in (beta_order[0], beta_order[1] if self.m > 1 else beta_order[0]):
+                if i != j:
+                    best = max(best, log_alpha[i] - log_beta[j])
+        return float(best)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(m={self.m}, "
+            f"a=[{self._a.min():.4g}..{self._a.max():.4g}], "
+            f"b=[{self._b.min():.4g}..{self._b.max():.4g}])"
+        )

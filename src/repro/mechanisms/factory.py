@@ -1,0 +1,89 @@
+"""Construct mechanisms from string names and an experiment configuration.
+
+The experiment runner and CLI refer to mechanisms by the names the paper
+uses ("rappor", "oue", "idue-opt0", "rappor-ps", ...).  This module maps
+those names to constructed mechanism objects, applying the paper's
+convention that LDP baselines must use ``eps = min{E}`` (Section I) while
+IDUE variants consume the whole budget specification.
+"""
+
+from __future__ import annotations
+
+from ..core.budgets import BudgetSpec
+from ..core.notions import MIN, RFunction
+from ..exceptions import ValidationError
+from .idue import IDUE
+from .idue_ps import IDUEPS
+from .unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+
+__all__ = [
+    "SINGLE_ITEM_MECHANISMS",
+    "ITEMSET_MECHANISMS",
+    "make_single_item_mechanism",
+    "make_itemset_mechanism",
+]
+
+#: Names accepted by :func:`make_single_item_mechanism`.
+SINGLE_ITEM_MECHANISMS = (
+    "rappor",
+    "oue",
+    "idue-opt0",
+    "idue-opt1",
+    "idue-opt2",
+)
+
+#: Names accepted by :func:`make_itemset_mechanism`.
+ITEMSET_MECHANISMS = (
+    "rappor-ps",
+    "oue-ps",
+    "idue-ps-opt0",
+    "idue-ps-opt1",
+    "idue-ps-opt2",
+)
+
+
+def _split_idue_name(name: str, prefix: str) -> str:
+    model = name[len(prefix):]
+    if model not in ("opt0", "opt1", "opt2"):
+        raise ValidationError(f"unknown optimization model in mechanism name {name!r}")
+    return model
+
+
+def make_single_item_mechanism(
+    name: str, spec: BudgetSpec, *, r: RFunction | str = MIN
+):
+    """Build a single-item mechanism by paper name.
+
+    LDP baselines ("rappor", "oue") are instantiated at ``min{E}`` — the
+    only budget under which they satisfy the required protection for all
+    inputs.  IDUE variants are optimized against the full spec.
+    """
+    key = name.lower()
+    if key == "rappor":
+        return SymmetricUnaryEncoding(spec.min_epsilon, spec.m)
+    if key == "oue":
+        return OptimizedUnaryEncoding(spec.min_epsilon, spec.m)
+    if key.startswith("idue-"):
+        model = _split_idue_name(key, "idue-")
+        return IDUE.optimized(spec, r=r, model=model)
+    raise ValidationError(
+        f"unknown single-item mechanism {name!r}; expected one of "
+        f"{SINGLE_ITEM_MECHANISMS}"
+    )
+
+
+def make_itemset_mechanism(
+    name: str, spec: BudgetSpec, ell: int, *, r: RFunction | str = MIN
+):
+    """Build an item-set mechanism (PS-composed) by paper name."""
+    key = name.lower()
+    if key == "rappor-ps":
+        return IDUEPS.rappor_ps(spec.min_epsilon, spec.m, ell)
+    if key == "oue-ps":
+        return IDUEPS.oue_ps(spec.min_epsilon, spec.m, ell)
+    if key.startswith("idue-ps-"):
+        model = _split_idue_name(key, "idue-ps-")
+        return IDUEPS.optimized(spec, ell, r=r, model=model)
+    raise ValidationError(
+        f"unknown item-set mechanism {name!r}; expected one of {ITEMSET_MECHANISMS}"
+    )

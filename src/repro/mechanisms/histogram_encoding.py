@@ -1,0 +1,145 @@
+"""Histogram Encoding baselines: SHE and THE.
+
+From Wang et al. (USENIX Security 2017), the paper's reference [6].
+Histogram encoding perturbs the one-hot vector with *continuous* Laplace
+noise of scale ``2/eps`` per bit (sensitivity of the one-hot encoding is
+2, so the vector satisfies eps-LDP):
+
+* **SHE** (Summation HE) — the server simply sums the noisy vectors;
+  the estimator is already unbiased with Var = ``8 n / eps^2`` per item.
+* **THE** (Thresholding HE) — each user (or the server, equivalently,
+  since thresholding is post-processing) maps the noisy bit to 1 iff it
+  exceeds a threshold ``theta``; the result is a UE-style binary report
+  with ``p = Pr(1 + Lap > theta)`` and ``q = Pr(Lap > theta)``, and the
+  usual UE calibration applies.  ``theta`` is chosen to minimize the
+  noise term of Eq. 9; the optimum lies in (1/2, 1).
+
+These round out the baseline zoo next to GRR / SUE / OUE / OLH; like
+them, they are uniform-budget mechanisms (no input discrimination).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .._validation import (
+    as_int_array,
+    check_budget,
+    check_positive_int,
+    check_rng,
+)
+from ..exceptions import ValidationError
+from .base import Mechanism
+from .unary import UnaryEncoding
+
+__all__ = ["SummationHistogramEncoding", "ThresholdingHistogramEncoding"]
+
+
+class SummationHistogramEncoding(Mechanism):
+    """SHE: one-hot encoding plus per-bit Laplace(2/eps) noise.
+
+    Reports are length-``m`` *real* vectors; the server-side estimate of
+    ``c*_i`` is the plain column sum (zero-mean noise), no calibration.
+    """
+
+    name = "she"
+
+    def __init__(self, epsilon: float, m: int) -> None:
+        self.epsilon = check_budget(epsilon)
+        self._m = check_positive_int(m, "m")
+        self.scale = 2.0 / self.epsilon  # Laplace scale b = sensitivity/eps
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def perturb(self, x: int, rng=None) -> np.ndarray:
+        """One noisy report (float vector of length m)."""
+        rng = check_rng(rng)
+        x = int(x)
+        if not 0 <= x < self._m:
+            raise ValidationError(f"input {x} outside domain [0, {self._m - 1}]")
+        bits = np.zeros(self._m)
+        bits[x] = 1.0
+        return bits + rng.laplace(0.0, self.scale, size=self._m)
+
+    def perturb_many(self, xs, rng=None) -> np.ndarray:
+        """Vectorized reports: ``n x m`` float matrix."""
+        rng = check_rng(rng)
+        items = as_int_array(xs, "xs")
+        if items.size and (items.min() < 0 or items.max() >= self._m):
+            raise ValidationError(f"inputs fall outside domain [0, {self._m - 1}]")
+        n = items.size
+        noise = rng.laplace(0.0, self.scale, size=(n, self._m))
+        noise[np.arange(n), items] += 1.0
+        return noise
+
+    def estimate_counts(self, reports) -> np.ndarray:
+        """Column sums — already unbiased for the true counts."""
+        matrix = np.asarray(reports, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self._m:
+            raise ValidationError(
+                f"reports must have shape (n, {self._m}), got {matrix.shape}"
+            )
+        return matrix.sum(axis=0)
+
+    def variance_per_item(self, n: int) -> float:
+        """Var[ĉ_i] = n · 2 b^2 = 8 n / eps^2 (Laplace variance per user)."""
+        return float(n * 2.0 * self.scale**2)
+
+
+def _the_probabilities(epsilon: float, theta: float) -> tuple[float, float]:
+    """``(p, q)`` of THE at threshold *theta* (Laplace scale 2/eps).
+
+    ``p = Pr(1 + Lap(b) > theta)`` and ``q = Pr(Lap(b) > theta)`` for
+    ``theta`` in (1/2, 1), where the Laplace CDF tail at ``u > 0`` is
+    ``0.5 e^{-u/b}``.
+    """
+    b = 2.0 / epsilon
+    # theta - 1 <= 0, so Pr(L > theta - 1) = 1 - 0.5 e^{(theta-1)/b}.
+    p = 1.0 - 0.5 * np.exp((theta - 1.0) / b)
+    q = 0.5 * np.exp(-theta / b)
+    return float(p), float(q)
+
+
+class ThresholdingHistogramEncoding(UnaryEncoding):
+    """THE: SHE followed by per-bit thresholding at ``theta``.
+
+    Thresholding is post-processing of an eps-LDP release, so THE is
+    eps-LDP regardless of ``theta``.  The binary reports behave exactly
+    like unary encoding with the induced ``(p, q)``, which is how the
+    class is implemented (inheriting the UE perturbation/estimation).
+
+    ``theta`` defaults to the variance-minimizing value in (1/2, 1).
+    """
+
+    name = "the"
+
+    def __init__(self, epsilon: float, m: int, theta: float | None = None) -> None:
+        epsilon = check_budget(epsilon)
+        if theta is None:
+            theta = self.optimal_theta(epsilon)
+        if not 0.5 < theta < 1.0:
+            raise ValidationError(
+                f"theta must lie in (1/2, 1) for p > q and a proper LDP "
+                f"analysis, got {theta}"
+            )
+        p, q = _the_probabilities(epsilon, theta)
+        super().__init__(p, q, m)
+        self.target_epsilon = epsilon
+        self.theta = float(theta)
+
+    @staticmethod
+    def optimal_theta(epsilon: float) -> float:
+        """Minimize the Eq. 9 noise term ``q(1-q)/(p-q)^2`` over theta."""
+        epsilon = check_budget(epsilon)
+
+        def noise(theta: float) -> float:
+            p, q = _the_probabilities(epsilon, theta)
+            return q * (1.0 - q) / (p - q) ** 2
+
+        result = optimize.minimize_scalar(
+            noise, bounds=(0.5 + 1e-6, 1.0 - 1e-6), method="bounded"
+        )
+        return float(result.x)

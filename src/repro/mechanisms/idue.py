@@ -1,0 +1,141 @@
+"""Input-Discriminative Unary Encoding — IDUE (Algorithm 1, Section V).
+
+IDUE is a unary-encoding mechanism whose per-bit parameters ``(a_k, b_k)``
+depend on the privacy *level* of item ``k``.  Every item in level ``i``
+shares the level parameters ``(a_i, b_i)``; those are chosen by one of
+the optimization models in :mod:`repro.optim` (opt0 / opt1 / opt2) to
+minimize the worst-case total MSE subject to the ID-LDP constraints (7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_probability_vector
+from ..core.budgets import BudgetSpec
+from ..core.notions import MIN, IDLDP, RFunction
+from ..core.policy import PolicyGraph
+from ..exceptions import ValidationError
+from .base import UnaryMechanism
+
+__all__ = ["IDUE"]
+
+
+class IDUE(UnaryMechanism):
+    """The paper's IDUE mechanism for single-item input.
+
+    Parameters
+    ----------
+    spec:
+        Budget specification partitioning the domain into levels.
+    level_a, level_b:
+        Length-``t`` per-level Bernoulli parameters; broadcast to per-bit
+        vectors via the spec's level assignment.
+
+    Use :meth:`optimized` to have the library solve for the parameters.
+    """
+
+    name = "idue"
+
+    def __init__(self, spec: BudgetSpec, level_a, level_b) -> None:
+        if not isinstance(spec, BudgetSpec):
+            raise ValidationError(f"spec must be a BudgetSpec, got {spec!r}")
+        a_lvl = check_probability_vector(level_a, "level_a", open_interval=True)
+        b_lvl = check_probability_vector(level_b, "level_b", open_interval=True)
+        if a_lvl.shape != (spec.t,) or b_lvl.shape != (spec.t,):
+            raise ValidationError(
+                f"level parameters must have shape ({spec.t},), got "
+                f"{a_lvl.shape} and {b_lvl.shape}"
+            )
+        super().__init__(spec.expand(a_lvl), spec.expand(b_lvl))
+        self.spec = spec
+        self.level_a = a_lvl.copy()
+        self.level_b = b_lvl.copy()
+        self.level_a.flags.writeable = False
+        self.level_b.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def optimized(
+        cls,
+        spec: BudgetSpec,
+        *,
+        r: RFunction | str = MIN,
+        model: str = "opt0",
+        policy: PolicyGraph | None = None,
+    ) -> "IDUE":
+        """Solve an optimization model and build the mechanism.
+
+        Parameters
+        ----------
+        spec:
+            The budget specification.
+        r:
+            Pair-budget function (default ``min`` = MinID-LDP).
+        model:
+            ``"opt0"`` (worst-case MSE, Eq. 10), ``"opt1"`` (RAPPOR
+            structure, Eq. 12) or ``"opt2"`` (OUE structure, Eq. 13).
+        policy:
+            Optional incomplete policy graph over levels.
+        """
+        from ..optim import solve  # local import: optim depends only on core
+
+        result = solve(spec, r=r, model=model, policy=policy)
+        mechanism = cls(spec, result.a, result.b)
+        mechanism.optimization = result
+        return mechanism
+
+    # ------------------------------------------------------------------
+    def notion(self, r: RFunction | str = MIN, policy: PolicyGraph | None = None) -> IDLDP:
+        """The ID-LDP notion object this mechanism is meant to satisfy."""
+        return IDLDP(self.spec, r, policy=policy)
+
+    def level_pair_ratio_bound(self, i: int, j: int) -> float:
+        """Worst-case output ratio between items of levels *i* and *j*.
+
+        This is the left-hand side of constraint (7) at level
+        granularity: ``a_i (1-b_j) / (b_i (1-a_j))``.
+        """
+        for k in (i, j):
+            if not 0 <= k < self.spec.t:
+                raise ValidationError(f"level {k} outside [0, {self.spec.t - 1}]")
+        return float(
+            self.level_a[i]
+            * (1.0 - self.level_b[j])
+            / (self.level_b[i] * (1.0 - self.level_a[j]))
+        )
+
+    def satisfies(
+        self,
+        r: RFunction | str = MIN,
+        *,
+        policy: PolicyGraph | None = None,
+        rtol: float = 1e-7,
+    ) -> bool:
+        """Check constraint (7) for every pair of levels.
+
+        Within-level pairs are checked whenever the level contains at
+        least two items; cross-level pairs are checked when the policy
+        graph (complete by default) carries the edge.
+        """
+        notion = self.notion(r, policy)
+        budget_matrix = notion.level_budget_matrix()
+        sizes = self.spec.level_sizes
+        for i in range(self.spec.t):
+            for j in range(self.spec.t):
+                if i == j and sizes[i] < 2:
+                    continue  # a singleton level has no within-level pair
+                bound = budget_matrix[i, j]
+                if not np.isfinite(bound):
+                    continue  # pair excluded by the policy graph
+                ratio = self.level_pair_ratio_bound(i, j)
+                if ratio > np.exp(bound) * (1.0 + rtol):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"IDUE(m={self.m}, t={self.spec.t}, "
+            f"a={np.round(self.level_a, 4).tolist()}, "
+            f"b={np.round(self.level_b, 4).tolist()})"
+        )

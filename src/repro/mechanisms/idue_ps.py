@@ -1,0 +1,204 @@
+"""IDUE-PS: IDUE with Padding-and-Sampling for item-set input (Section VI).
+
+Algorithm 3 composes the :class:`~repro.mechanisms.padding_sampling.PaddingSampler`
+with a unary-encoding perturbation over the *extended* domain
+``I' = I ∪ S`` of size ``m + ell``.  Theorem 4 shows that if the per-item
+parameters satisfy the single-item MinID-LDP constraints (18), the
+composed mechanism satisfies MinID-LDP for item-set inputs with the
+combined set budget of Eq. (17) — so the optimization problem stays the
+single-item one (2t variables, t^2 constraints) regardless of the
+exponential item-set domain.
+
+The same wrapper also builds the RAPPOR-PS and OUE-PS baselines used in
+Figures 4(b) and 5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._validation import as_int_array, check_budget, check_positive_int, check_rng
+from ..core.budgets import BudgetSpec
+from ..core.notions import MIN, RFunction
+from ..core.policy import PolicyGraph
+from ..exceptions import ValidationError
+from .base import Mechanism, UnaryMechanism
+from .idue import IDUE
+from .padding_sampling import PaddingSampler
+from .unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+
+__all__ = ["IDUEPS", "itemset_budget"]
+
+
+def itemset_budget(
+    itemset: Sequence[int],
+    spec: BudgetSpec,
+    ell: int,
+    dummy_epsilon: float | None = None,
+) -> float:
+    """Combined privacy budget of an item-set (Eq. 17).
+
+    ``eps_x = ln( eta_x * mean_{i in x} e^{eps_i} + (1 - eta_x) e^{eps*} )``
+    with ``eta_x = |x| / max(|x|, ell)``.  The dummy budget ``eps*``
+    defaults to ``min{E}`` as the paper recommends.
+    """
+    if not isinstance(spec, BudgetSpec):
+        raise ValidationError(f"spec must be a BudgetSpec, got {spec!r}")
+    ell = check_positive_int(ell, "ell")
+    if dummy_epsilon is None:
+        dummy_epsilon = spec.min_epsilon
+    dummy_epsilon = check_budget(dummy_epsilon, "dummy_epsilon")
+    items = as_int_array(itemset, "itemset")
+    if items.size and (items.min() < 0 or items.max() >= spec.m):
+        raise ValidationError(f"item ids must lie in [0, {spec.m - 1}]")
+    size = items.size
+    if size == 0:
+        return dummy_epsilon  # a fully-padded report reveals only dummies
+    eta = size / max(size, ell)
+    mean_exp = float(np.mean(np.exp(spec.item_epsilons[items])))
+    return float(np.log(eta * mean_exp + (1.0 - eta) * np.exp(dummy_epsilon)))
+
+
+class IDUEPS(Mechanism):
+    """Padding-and-Sampling composed with a unary perturbation (Algorithm 3).
+
+    Parameters
+    ----------
+    unary:
+        Unary mechanism over the extended domain of size ``m + ell``;
+        bits ``m..m+ell-1`` are the dummy items.
+    m:
+        Real item-domain size.
+    ell:
+        Padding length (= dummy-domain size).
+
+    Use the :meth:`optimized`, :meth:`rappor_ps` or :meth:`oue_ps`
+    constructors rather than wiring the pieces manually.
+    """
+
+    name = "idue-ps"
+
+    def __init__(self, unary: UnaryMechanism, m: int, ell: int) -> None:
+        m = check_positive_int(m, "m")
+        ell = check_positive_int(ell, "ell")
+        if unary.m != m + ell:
+            raise ValidationError(
+                f"unary mechanism covers {unary.m} bits, expected m + ell = {m + ell}"
+            )
+        self.unary = unary
+        self.sampler = PaddingSampler(m, ell)
+        self._m = m
+        self.ell = ell
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def optimized(
+        cls,
+        spec: BudgetSpec,
+        ell: int,
+        *,
+        r: RFunction | str = MIN,
+        model: str = "opt0",
+        policy: PolicyGraph | None = None,
+        dummy_epsilon: float | None = None,
+    ) -> "IDUEPS":
+        """Solve the single-item IDUE optimization and extend with dummies.
+
+        Per Theorem 4 and the discussion after it, the optimization is
+        the *single-item* one over the original spec (dummies contribute
+        neither to the objective nor to new constraints because their
+        budget is one of the existing levels); dummy bits then reuse the
+        parameters of the dummy budget's level.
+        """
+        ell = check_positive_int(ell, "ell")
+        base = IDUE.optimized(spec, r=r, model=model, policy=policy)
+        extended_spec = spec.with_dummies(ell, dummy_epsilon)
+        level_index = extended_spec.item_level  # dummy eps is an existing level
+        a = base.level_a[level_index]
+        b = base.level_b[level_index]
+        mechanism = cls(UnaryMechanism(a, b), spec.m, ell)
+        mechanism.spec = spec
+        mechanism.extended_spec = extended_spec
+        mechanism.base_idue = base
+        return mechanism
+
+    @classmethod
+    def rappor_ps(cls, epsilon: float, m: int, ell: int) -> "IDUEPS":
+        """Basic-RAPPOR perturbation over the extended domain (baseline)."""
+        unary = SymmetricUnaryEncoding(epsilon, check_positive_int(m, "m") + ell)
+        mechanism = cls(unary, m, ell)
+        mechanism.name = "rappor-ps"
+        return mechanism
+
+    @classmethod
+    def oue_ps(cls, epsilon: float, m: int, ell: int) -> "IDUEPS":
+        """OUE perturbation over the extended domain (baseline)."""
+        unary = OptimizedUnaryEncoding(epsilon, check_positive_int(m, "m") + ell)
+        mechanism = cls(unary, m, ell)
+        mechanism.name = "oue-ps"
+        return mechanism
+
+    # ------------------------------------------------------------------
+    # Mechanism interface
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Real item-domain size (excluding dummies)."""
+        return self._m
+
+    @property
+    def extended_m(self) -> int:
+        """Extended domain size ``m + ell``."""
+        return self._m + self.ell
+
+    @property
+    def a(self) -> np.ndarray:
+        """Per-bit ``Pr(y=1 | x=1)`` over the extended domain."""
+        return self.unary.a
+
+    @property
+    def b(self) -> np.ndarray:
+        """Per-bit ``Pr(y=1 | x=0)`` over the extended domain."""
+        return self.unary.b
+
+    def perturb(self, itemset: Sequence[int], rng=None) -> np.ndarray:
+        """Algorithm 3 for one user: sample, encode, perturb.
+
+        Returns the released ``(m + ell)``-bit vector.
+        """
+        rng = check_rng(rng)
+        sampled = self.sampler.sample(itemset, rng)
+        return self.unary.perturb(sampled, rng)
+
+    def perturb_many(self, flat_items, offsets, rng=None) -> np.ndarray:
+        """Vectorized Algorithm 3 over a ragged batch (CSR layout).
+
+        Returns an ``n x (m + ell)`` 0/1 report matrix.  Intended for
+        tests and small studies; large-scale simulation should go through
+        :mod:`repro.simulation.fast`.
+        """
+        rng = check_rng(rng)
+        sampled = self.sampler.sample_many(flat_items, offsets, rng)
+        return self.unary.perturb_many(sampled, rng)
+
+    # ------------------------------------------------------------------
+    def itemset_budget(self, itemset: Sequence[int]) -> float:
+        """Eq. (17) budget of one item-set under this mechanism's spec.
+
+        Requires the mechanism to have been built by :meth:`optimized`
+        (so it knows the underlying :class:`BudgetSpec`).
+        """
+        spec = getattr(self, "spec", None)
+        if spec is None:
+            raise ValidationError(
+                "itemset_budget requires an IDUEPS built via IDUEPS.optimized"
+            )
+        dummy_eps = float(self.extended_spec.item_epsilons[self._m])
+        return itemset_budget(itemset, spec, self.ell, dummy_eps)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(m={self._m}, ell={self.ell}, name={self.name!r})"

@@ -1,0 +1,162 @@
+"""The Padding-and-Sampling protocol (Algorithm 2, Section VI-A).
+
+Each user holds an item-set ``x`` (a subset of the item domain ``I``).
+The protocol first *pads* the set up to a fixed length ``ell`` with
+dummy items drawn from a disjoint dummy domain ``S`` (``|S| = ell``), or
+*truncates* it down to ``ell`` by dropping random items, then *samples*
+exactly one element of the padded set for release.
+
+Real items keep their ids ``0..m-1``; dummy item ``j`` (0-based) is
+represented as id ``m + j`` in the extended domain ``I' = I ∪ S`` of size
+``m + ell``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._validation import as_int_array, check_positive_int, check_rng
+from ..exceptions import ValidationError
+
+__all__ = ["PaddingSampler"]
+
+
+class PaddingSampler:
+    """Pads/truncates an item-set to length *ell* and samples one element.
+
+    Parameters
+    ----------
+    m:
+        Size of the real item domain.
+    ell:
+        Target padded length, also the size of the dummy domain ``S``.
+
+    Notes
+    -----
+    The marginal sampling distribution (which is all the downstream
+    mechanism and estimator see) is:
+
+    * ``|x| >= ell``: each real item in ``x`` sampled w.p. ``1/|x|``
+      (truncating to ``ell`` then sampling uniformly from the ``ell``
+      survivors is uniform over the original set by symmetry);
+    * ``|x| < ell``: each real item w.p. ``1/ell``, each specific dummy
+      w.p. ``(ell - |x|) / ell**2``.
+
+    :meth:`sample` implements the protocol literally per Algorithm 2;
+    :meth:`sample_many` uses the equivalent marginal distribution,
+    vectorized over a ragged batch.
+    """
+
+    def __init__(self, m: int, ell: int) -> None:
+        self.m = check_positive_int(m, "m")
+        self.ell = check_positive_int(ell, "ell")
+
+    # ------------------------------------------------------------------
+    @property
+    def extended_m(self) -> int:
+        """Size of the extended domain ``I ∪ S`` = ``m + ell``."""
+        return self.m + self.ell
+
+    def _validate_set(self, itemset) -> np.ndarray:
+        items = as_int_array(itemset, "itemset")
+        if items.size and (items.min() < 0 or items.max() >= self.m):
+            raise ValidationError(
+                f"item-set entries must lie in [0, {self.m - 1}]"
+            )
+        if np.unique(items).size != items.size:
+            raise ValidationError("item-set contains duplicate items")
+        return items
+
+    def sample(self, itemset: Sequence[int], rng=None) -> int:
+        """Run Algorithm 2 on one item-set; returns an extended-domain id.
+
+        Ids ``>= m`` denote dummy items.  The empty set is legal: the
+        padded set is then all dummies.
+        """
+        rng = check_rng(rng)
+        items = self._validate_set(itemset)
+        size = items.size
+        if size > self.ell:
+            # Truncate: drop (size - ell) random items, then sample one.
+            padded = rng.choice(items, size=self.ell, replace=False)
+        elif size < self.ell:
+            # Pad: add (ell - size) distinct dummies chosen from S.
+            dummies = self.m + rng.choice(self.ell, size=self.ell - size, replace=False)
+            padded = np.concatenate([items, dummies])
+        else:
+            padded = items
+        return int(padded[rng.integers(padded.size)])
+
+    def sample_many(self, flat_items, offsets, rng=None) -> np.ndarray:
+        """Vectorized sampling over a ragged batch (CSR layout).
+
+        Parameters
+        ----------
+        flat_items:
+            Concatenation of all users' item-sets.
+        offsets:
+            Length ``n+1`` prefix array; user ``u`` owns
+            ``flat_items[offsets[u]:offsets[u+1]]``.
+
+        Returns
+        -------
+        Length-``n`` array of sampled extended-domain ids.
+
+        Uses the marginal distribution stated in the class docstring,
+        which is exactly what Algorithm 2 induces, so aggregate counts
+        are identically distributed with the literal protocol.
+        """
+        rng = check_rng(rng)
+        flat = as_int_array(flat_items, "flat_items")
+        offs = as_int_array(offsets, "offsets")
+        if offs.size < 1 or offs[0] != 0 or offs[-1] != flat.size:
+            raise ValidationError(
+                "offsets must start at 0 and end at len(flat_items)"
+            )
+        if np.any(np.diff(offs) < 0):
+            raise ValidationError("offsets must be non-decreasing")
+        if flat.size and (flat.min() < 0 or flat.max() >= self.m):
+            raise ValidationError(f"item ids must lie in [0, {self.m - 1}]")
+
+        n = offs.size - 1
+        sizes = np.diff(offs)
+        # Probability the sampled element is a *real* item of the user's
+        # set: eta = |x| / max(|x|, ell)  (Lemma 2's eta_x).
+        eta = sizes / np.maximum(sizes, self.ell)
+        pick_real = rng.random(n) < eta
+        # Real branch: uniform over the user's own items.
+        within = (rng.random(n) * np.maximum(sizes, 1)).astype(np.int64)
+        within = np.minimum(within, np.maximum(sizes - 1, 0))
+        # Users with empty sets never take the real branch, but their
+        # (discarded) gather index must still be in bounds — clamp it.
+        gather = np.minimum(offs[:-1] + within, max(flat.size - 1, 0))
+        real_choice = flat[gather] if flat.size else np.zeros(n, np.int64)
+        # Dummy branch: uniform over the ell dummies (each specific dummy
+        # has marginal (ell-|x|)/ell^2 = (1-eta) * 1/ell).
+        dummy_choice = self.m + rng.integers(self.ell, size=n)
+        sampled = np.where(pick_real & (sizes > 0), real_choice, dummy_choice)
+        return sampled.astype(np.int64)
+
+    def eta(self, set_size: int) -> float:
+        """``eta_x = |x| / max(|x|, ell)`` from Lemma 2."""
+        if set_size < 0:
+            raise ValidationError(f"set_size must be >= 0, got {set_size}")
+        if set_size == 0:
+            return 0.0
+        return float(set_size / max(set_size, self.ell))
+
+    def real_item_sampling_probability(self, set_size: int) -> float:
+        """Probability a *specific* item of a size-``k`` set is sampled.
+
+        ``1 / max(k, ell)`` — the quantity whose reciprocal ``ell``
+        approximates in the frequency estimator; the mismatch for
+        ``k > ell`` is precisely the truncation bias of Fig 5.
+        """
+        if set_size < 1:
+            raise ValidationError(f"set_size must be >= 1, got {set_size}")
+        return float(1.0 / max(set_size, self.ell))
+
+    def __repr__(self) -> str:
+        return f"PaddingSampler(m={self.m}, ell={self.ell})"

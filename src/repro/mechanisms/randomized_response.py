@@ -1,0 +1,124 @@
+"""Randomized Response and Generalized Randomized Response (Section III-C).
+
+These are the classical categorical baselines the paper reviews:
+
+* :class:`BinaryRandomizedResponse` — Warner's 1965 coin-flip scheme for
+  yes/no answers, truthful with probability ``p = e^eps / (e^eps + 1)``.
+* :class:`GeneralizedRandomizedResponse` — the ``m``-ary extension with
+  ``p = e^eps / (e^eps + m - 1)`` and ``q = 1 / (e^eps + m - 1)``; its
+  utility collapses for large domains, which is the paper's motivation
+  for unary encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_budget, check_positive_int, check_rng
+from ..exceptions import ValidationError
+from .base import CategoricalMechanism
+
+__all__ = ["BinaryRandomizedResponse", "GeneralizedRandomizedResponse"]
+
+
+class BinaryRandomizedResponse(CategoricalMechanism):
+    """Warner's randomized response over a binary domain ``{0, 1}``.
+
+    Reports the truth with probability ``p = e^eps / (e^eps + 1)`` and the
+    opposite answer otherwise, which is exactly eps-LDP.
+    """
+
+    name = "rr"
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_budget(epsilon)
+        self.p = float(np.exp(self.epsilon) / (np.exp(self.epsilon) + 1.0))
+
+    @property
+    def m(self) -> int:
+        return 2
+
+    def channel_matrix(self) -> np.ndarray:
+        p = self.p
+        return np.array([[p, 1.0 - p], [1.0 - p, p]])
+
+    def perturb(self, x: int, rng=None) -> int:
+        rng = check_rng(rng)
+        if x not in (0, 1):
+            raise ValidationError(f"binary RR input must be 0 or 1, got {x}")
+        truthful = rng.random() < self.p
+        return int(x) if truthful else 1 - int(x)
+
+    def estimate_count_of_ones(self, reports, n: int | None = None) -> float:
+        """Unbiased estimate of how many users hold value 1.
+
+        Standard RR calibration: ``(c - n(1-p)) / (2p - 1)`` where ``c``
+        is the number of 1-reports.
+        """
+        arr = np.asarray(reports)
+        if n is None:
+            n = arr.size
+        ones = float(np.sum(arr == 1))
+        return (ones - n * (1.0 - self.p)) / (2.0 * self.p - 1.0)
+
+
+class GeneralizedRandomizedResponse(CategoricalMechanism):
+    """GRR / direct encoding over ``m`` categories.
+
+    Keeps the truth with ``p = e^eps / (e^eps + m - 1)`` and reports each
+    other category with ``q = 1 / (e^eps + m - 1)``.
+    """
+
+    name = "grr"
+
+    def __init__(self, epsilon: float, m: int) -> None:
+        self.epsilon = check_budget(epsilon)
+        self._m = check_positive_int(m, "m")
+        if self._m < 2:
+            raise ValidationError(f"GRR needs a domain of size >= 2, got {self._m}")
+        denom = np.exp(self.epsilon) + self._m - 1.0
+        self.p = float(np.exp(self.epsilon) / denom)
+        self.q = float(1.0 / denom)
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def channel_matrix(self) -> np.ndarray:
+        matrix = np.full((self._m, self._m), self.q)
+        np.fill_diagonal(matrix, self.p)
+        return matrix
+
+    def perturb(self, x: int, rng=None) -> int:
+        rng = check_rng(rng)
+        x = int(x)
+        if not 0 <= x < self._m:
+            raise ValidationError(f"input {x} outside domain [0, {self._m - 1}]")
+        if rng.random() < self.p:
+            return x
+        # Uniform over the m-1 other categories.
+        other = int(rng.integers(self._m - 1))
+        return other if other < x else other + 1
+
+    def perturb_many(self, xs, rng=None) -> np.ndarray:
+        rng = check_rng(rng)
+        inputs = np.asarray(xs, dtype=np.int64)
+        if inputs.size and (inputs.min() < 0 or inputs.max() >= self._m):
+            raise ValidationError(f"inputs fall outside domain [0, {self._m - 1}]")
+        keep = rng.random(inputs.size) < self.p
+        others = rng.integers(self._m - 1, size=inputs.size)
+        others = np.where(others >= inputs, others + 1, others)
+        return np.where(keep, inputs, others).astype(np.int64)
+
+    def estimate_counts(self, reports, n: int | None = None) -> np.ndarray:
+        """Unbiased per-category count estimates (Eq. 3 with this p, q)."""
+        arr = np.asarray(reports, dtype=np.int64)
+        if n is None:
+            n = arr.size
+        observed = np.bincount(arr, minlength=self._m).astype(float)
+        return (observed - n * self.q) / (self.p - self.q)
+
+    def variance_per_item(self, n: int, true_count: float = 0.0) -> float:
+        """Theoretical estimator variance for one category (Eq. 9 form)."""
+        p, q = self.p, self.q
+        return n * q * (1.0 - q) / (p - q) ** 2 + true_count * (1.0 - p - q) / (p - q)

@@ -1,0 +1,92 @@
+"""Uniform-parameter unary-encoding mechanisms (Section III-C).
+
+These are the LDP baselines the paper evaluates against:
+
+* :class:`SymmetricUnaryEncoding` — basic RAPPOR:
+  ``p = e^{eps/2} / (e^{eps/2} + 1)``, ``q = 1 - p``.
+* :class:`OptimizedUnaryEncoding` — OUE [Wang et al. 2017]:
+  ``p = 1/2``, ``q = 1 / (e^eps + 1)``.
+* :class:`UnaryEncoding` — any uniform ``(p, q)`` pair, with the implied
+  LDP budget ``ln(p(1-q) / ((1-p)q))``.
+
+Both baselines instantiate every bit with the same ``(p, q)``; the
+paper's IDUE (:mod:`repro.mechanisms.idue`) is the input-discriminative
+generalization with per-level parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    check_budget,
+    check_open_probability,
+    check_positive_int,
+)
+from ..exceptions import ValidationError
+from .base import UnaryMechanism
+
+__all__ = ["UnaryEncoding", "SymmetricUnaryEncoding", "OptimizedUnaryEncoding"]
+
+
+class UnaryEncoding(UnaryMechanism):
+    """Unary encoding with one ``(p, q)`` pair shared by all bits.
+
+    Parameters
+    ----------
+    p:
+        ``Pr(y[k]=1 | x[k]=1)``; must exceed *q*.
+    q:
+        ``Pr(y[k]=1 | x[k]=0)``.
+    m:
+        Domain size.
+    """
+
+    name = "ue"
+
+    def __init__(self, p: float, q: float, m: int) -> None:
+        p = check_open_probability(p, "p")
+        q = check_open_probability(q, "q")
+        m = check_positive_int(m, "m")
+        if p <= q:
+            raise ValidationError(f"require p > q, got p={p:g}, q={q:g}")
+        super().__init__(np.full(m, p), np.full(m, q))
+        self.p = p
+        self.q = q
+
+    def epsilon(self) -> float:
+        """The LDP budget of this UE instance: ``ln(p(1-q) / ((1-p)q))``."""
+        return float(np.log(self.p * (1.0 - self.q) / ((1.0 - self.p) * self.q)))
+
+
+class SymmetricUnaryEncoding(UnaryEncoding):
+    """Basic RAPPOR: symmetric flip probabilities.
+
+    ``p = e^{eps/2} / (e^{eps/2} + 1)`` and ``q = 1 - p`` split the budget
+    evenly between the two bit values.
+    """
+
+    name = "rappor"
+
+    def __init__(self, epsilon: float, m: int) -> None:
+        epsilon = check_budget(epsilon)
+        half = np.exp(epsilon / 2.0)
+        p = float(half / (half + 1.0))
+        super().__init__(p, 1.0 - p, m)
+        self.target_epsilon = epsilon
+
+
+class OptimizedUnaryEncoding(UnaryEncoding):
+    """OUE [Wang et al. 2017]: ``p = 1/2``, ``q = 1/(e^eps + 1)``.
+
+    Minimizes the approximate estimator variance among UE instances at a
+    given eps, which is why the paper's opt2 model constrains ``a = 1/2``.
+    """
+
+    name = "oue"
+
+    def __init__(self, epsilon: float, m: int) -> None:
+        epsilon = check_budget(epsilon)
+        q = float(1.0 / (np.exp(epsilon) + 1.0))
+        super().__init__(0.5, q, m)
+        self.target_epsilon = epsilon

@@ -1,0 +1,74 @@
+"""Optimization models for IDUE perturbation probabilities (Section V-D).
+
+Three models from the paper, all operating at privacy-*level* granularity
+(``t`` levels, so 2t variables and t^2 constraints regardless of the
+domain size ``m``):
+
+* :func:`solve_opt0` — Eq. (10): minimize the worst-case total MSE over
+  ``(a_i, b_i)`` directly.  Non-convex; solved by multistart SLSQP seeded
+  from the opt1/opt2 solutions.
+* :func:`solve_opt1` — Eq. (12): RAPPOR structure ``a_i + b_i = 1``
+  parameterized by ``tau_i``; convex with linear constraints.
+* :func:`solve_opt2` — Eq. (13): OUE structure ``a_i = 1/2``; convex with
+  linear constraints.
+
+:func:`solve` dispatches by model name and returns an
+:class:`OptimizationResult` carrying the level parameters, the achieved
+worst-case objective, and a feasibility report.
+"""
+
+from .constraints import ConstraintSet, build_constraints, worst_case_objective
+from .opt0 import solve_opt0
+from .opt1 import solve_opt1
+from .opt2 import solve_opt2
+from .result import OptimizationResult
+
+from ..core.budgets import BudgetSpec
+from ..core.notions import MIN, RFunction
+from ..core.policy import PolicyGraph
+from ..exceptions import ValidationError
+
+__all__ = [
+    "ConstraintSet",
+    "build_constraints",
+    "worst_case_objective",
+    "OptimizationResult",
+    "solve",
+    "solve_opt0",
+    "solve_opt1",
+    "solve_opt2",
+    "MODELS",
+]
+
+#: Names accepted by :func:`solve`.
+MODELS = ("opt0", "opt1", "opt2")
+
+_SOLVERS = {"opt0": solve_opt0, "opt1": solve_opt1, "opt2": solve_opt2}
+
+
+def solve(
+    spec: BudgetSpec,
+    *,
+    r: RFunction | str = MIN,
+    model: str = "opt0",
+    policy: PolicyGraph | None = None,
+) -> OptimizationResult:
+    """Solve the named optimization model for a budget specification.
+
+    Parameters
+    ----------
+    spec:
+        Budget specification (levels + sizes) of the item domain.
+    r:
+        Pair-budget function (``"min"`` for MinID-LDP, ``"avg"``, ...).
+    model:
+        One of ``"opt0"``, ``"opt1"``, ``"opt2"``.
+    policy:
+        Optional incomplete policy graph over levels; missing edges drop
+        the corresponding cross-level constraints.
+    """
+    key = model.lower()
+    if key not in _SOLVERS:
+        raise ValidationError(f"unknown model {model!r}; expected one of {MODELS}")
+    constraints = build_constraints(spec, r=r, policy=policy)
+    return _SOLVERS[key](constraints)

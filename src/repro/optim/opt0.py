@@ -1,0 +1,246 @@
+"""opt0 — the worst-case MSE model of Eq. (10), solved directly.
+
+Variables are the per-level pairs ``(a_i, b_i)`` plus one epigraph
+variable ``s`` standing for ``max_i (1 - a_i - b_i) / (a_i - b_i)``:
+
+    minimize   sum_i m_i b_i (1-b_i) / (a_i - b_i)^2  +  s
+    subject to s >= (1 - a_i - b_i) / (a_i - b_i)              for all i
+               ln a_i + ln(1-b_j) - ln b_i - ln(1-a_j) <= R[i,j]
+               0 < b_i < a_i < 1
+
+The problem is non-convex, so we run SLSQP from several seeds — the
+(always feasible) opt1 and opt2 solutions plus jittered variants — and
+keep the best feasible point.  Because the feasible region contains both
+RAPPOR's and OUE's parameters, the returned objective is never worse
+than either seed (Section V-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constraints import ConstraintSet, worst_case_objective
+from .opt1 import solve_opt1
+from .opt2 import solve_opt2
+from .result import OptimizationResult
+from .solvers import MARGIN, run_slsqp
+from ..exceptions import SolverError
+
+__all__ = ["solve_opt0"]
+
+_GAP = 1e-6  # minimum a_i - b_i
+_EDGE = 1e-7  # keep probabilities away from {0, 1}
+_N_JITTER = 4
+
+
+def _unpack(z: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray, float]:
+    return z[:t], z[t : 2 * t], float(z[2 * t])
+
+
+def _objective(z: np.ndarray, t: int, sizes: np.ndarray) -> float:
+    a, b, s = _unpack(z, t)
+    diff = a - b
+    if np.any(diff <= 0.0):
+        return float("inf")
+    return float(np.sum(sizes * b * (1.0 - b) / diff**2) + s)
+
+
+def _objective_grad(z: np.ndarray, t: int, sizes: np.ndarray) -> np.ndarray:
+    a, b, s = _unpack(z, t)
+    del s
+    diff = a - b
+    grad = np.zeros(2 * t + 1)
+    grad[:t] = sizes * b * (1.0 - b) * (-2.0) / diff**3
+    grad[t : 2 * t] = sizes * ((1.0 - 2.0 * b) * diff + 2.0 * b * (1.0 - b)) / diff**3
+    grad[2 * t] = 1.0
+    return grad
+
+
+def _epigraph_constraints(t: int) -> list[dict]:
+    cons = []
+    for i in range(t):
+        def fun(z, i=i, t=t):
+            a, b, s = _unpack(z, t)
+            return s * (a[i] - b[i]) - (1.0 - a[i] - b[i])
+
+        def jac(z, i=i, t=t):
+            a, b, s = _unpack(z, t)
+            grad = np.zeros(2 * t + 1)
+            grad[i] = s + 1.0
+            grad[t + i] = -s + 1.0
+            grad[2 * t] = a[i] - b[i]
+            return grad
+
+        # s (a_i - b_i) >= 1 - a_i - b_i, multiplied through by the
+        # positive (a_i - b_i) to avoid a division in the constraint.
+        cons.append({"type": "ineq", "fun": fun, "jac": jac})
+    return cons
+
+
+def _privacy_constraints(constraints: ConstraintSet) -> list[dict]:
+    t = constraints.t
+    cons = []
+    for i, j in constraints.pairs:
+        bound = float(constraints.bounds[i, j]) - MARGIN
+        if not np.isfinite(bound):
+            continue
+
+        def fun(z, i=i, j=j, bnd=bound, t=t):
+            a, b, _ = _unpack(z, t)
+            value = (
+                np.log(a[i]) + np.log(1.0 - b[j]) - np.log(b[i]) - np.log(1.0 - a[j])
+            )
+            return bnd - value
+
+        def jac(z, i=i, j=j, t=t):
+            # g = bnd - (ln a_i + ln(1-b_j) - ln b_i - ln(1-a_j)); the +=
+            # accumulation handles the within-level case i == j correctly.
+            a, b, _ = _unpack(z, t)
+            grad = np.zeros(2 * t + 1)
+            grad[i] += -1.0 / a[i]
+            grad[t + j] += 1.0 / (1.0 - b[j])
+            grad[t + i] += 1.0 / b[i]
+            grad[j] += -1.0 / (1.0 - a[j])
+            return grad
+
+        cons.append({"type": "ineq", "fun": fun, "jac": jac})
+    return cons
+
+
+def _gap_constraints(t: int) -> list[dict]:
+    cons = []
+    for i in range(t):
+        def fun(z, i=i, t=t):
+            return z[i] - z[t + i] - _GAP
+
+        def jac(z, i=i, t=t):
+            grad = np.zeros(2 * t + 1)
+            grad[i] = 1.0
+            grad[t + i] = -1.0
+            return grad
+
+        cons.append({"type": "ineq", "fun": fun, "jac": jac})
+    return cons
+
+
+def _seed_points(constraints: ConstraintSet, rng: np.random.Generator) -> list[np.ndarray]:
+    """Feasible / near-feasible starting points for multistart SLSQP."""
+    t = constraints.t
+    seeds: list[tuple[np.ndarray, np.ndarray]] = []
+    for solver in (solve_opt1, solve_opt2):
+        try:
+            result = solver(constraints)
+        except SolverError:
+            continue
+        seeds.append((result.a.copy(), result.b.copy()))
+    if seeds:
+        # A blend of the two structured solutions explores the interior.
+        mean_a = np.mean([s[0] for s in seeds], axis=0)
+        mean_b = np.mean([s[1] for s in seeds], axis=0)
+        seeds.append((mean_a, mean_b))
+    for _ in range(_N_JITTER):
+        base_a, base_b = seeds[rng.integers(len(seeds))] if seeds else (
+            np.full(t, 0.6),
+            np.full(t, 0.2),
+        )
+        jitter_a = np.clip(base_a * (1.0 + 0.05 * rng.standard_normal(t)), 0.05, 0.95)
+        jitter_b = np.clip(base_b * (1.0 + 0.05 * rng.standard_normal(t)), 1e-4, None)
+        jitter_b = np.minimum(jitter_b, jitter_a - 10 * _GAP)
+        jitter_b = np.clip(jitter_b, 1e-4, 0.95)
+        if np.all(jitter_a > jitter_b):
+            seeds.append((jitter_a, jitter_b))
+    points = []
+    for a, b in seeds:
+        s = float(np.max((1.0 - a - b) / (a - b)))
+        points.append(np.concatenate([a, b, [s]]))
+    return points
+
+
+def _strict_repair(
+    a: np.ndarray, b: np.ndarray, constraints: ConstraintSet
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Make a near-feasible point *strictly* feasible, or return None.
+
+    Inflating every ``b_i`` by a common factor strictly decreases each
+    constraint ratio ``a_i (1-b_j) / (b_i (1-a_j))`` (the numerator's
+    ``1-b_j`` shrinks while the denominator's ``b_i`` grows), so a tiny
+    multiplicative nudge absorbs solver tolerance without changing the
+    solution structure.  Points violating constraints by more than 1e-5
+    (a genuinely infeasible solve, not round-off) are rejected.
+    """
+    if np.any(a <= b) or np.any(b <= 0.0) or np.any(a >= 1.0):
+        return None
+    a = a.copy()
+    b = b.copy()
+    for _ in range(50):
+        violation = constraints.max_ratio_violation(a, b)
+        if violation <= 0.0:
+            return a, b
+        if violation > 1e-5:
+            return None
+        b = np.minimum(b * (1.0 + violation + 1e-12), a - _GAP / 2.0)
+    return None
+
+
+def solve_opt0(constraints: ConstraintSet, *, seed: int = 0) -> OptimizationResult:
+    """Solve Eq. (10) by multistart SLSQP; never worse than opt1/opt2.
+
+    The opt1 and opt2 solutions are always included as candidate outputs,
+    so even if every SLSQP run stalls the returned point is feasible and
+    at least as good as the better structured model.
+    """
+    t = constraints.t
+    sizes = constraints.sizes
+    rng = np.random.default_rng(seed)
+
+    cons = (
+        _privacy_constraints(constraints)
+        + _epigraph_constraints(t)
+        + _gap_constraints(t)
+    )
+    bounds = [(float(_EDGE), 1.0 - _EDGE)] * (2 * t) + [(-1e3, 1e3)]
+
+    candidates: list[tuple[float, np.ndarray, np.ndarray, dict]] = []
+
+    def consider(a: np.ndarray, b: np.ndarray, info: dict) -> None:
+        repaired = _strict_repair(a, b, constraints)
+        if repaired is None:
+            return
+        a, b = repaired
+        candidates.append(
+            (worst_case_objective(a, b, sizes), a.copy(), b.copy(), info)
+        )
+
+    starts = _seed_points(constraints, rng)
+    for z0 in starts:
+        a0, b0, _ = _unpack(z0, t)
+        consider(a0, b0, {"label": "seed"})
+        try:
+            z, diagnostics = run_slsqp(
+                lambda z: _objective(z, t, sizes),
+                z0,
+                jac=lambda z: _objective_grad(z, t, sizes),
+                bounds=bounds,
+                constraints=cons,
+                label="opt0",
+            )
+        except SolverError:
+            continue
+        a, b, _ = _unpack(z, t)
+        consider(a, b, diagnostics)
+
+    if not candidates:
+        raise SolverError(
+            "opt0: no feasible candidate found (all seeds and solves failed)"
+        )
+    candidates.sort(key=lambda item: item[0])
+    objective, a, b, info = candidates[0]
+    return OptimizationResult(
+        model="opt0",
+        a=a,
+        b=b,
+        constraints=constraints,
+        objective=objective,
+        max_violation=constraints.max_ratio_violation(a, b),
+        diagnostics={**info, "n_candidates": len(candidates), "n_starts": len(starts)},
+    )

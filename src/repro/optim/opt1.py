@@ -1,0 +1,184 @@
+"""opt1 — optimization constrained to the RAPPOR structure (Eq. 12).
+
+Adding ``a_i + b_i = 1`` lets the parameters be written as
+
+    a_i = e^{tau_i} / (e^{tau_i} + 1),    b_i = 1 / (e^{tau_i} + 1)
+
+with ``tau_i > 0``.  The privacy constraints (7) become *linear*:
+``tau_i + tau_j <= R[i, j]``, and the objective
+
+    f(tau) = sum_i m_i e^{tau_i} / (e^{tau_i} - 1)^2
+
+is convex on the feasible region, so SLSQP from any feasible start finds
+the global optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constraints import ConstraintSet, worst_case_objective
+from .result import OptimizationResult
+from .solvers import MARGIN, run_slsqp
+
+__all__ = ["solve_opt1"]
+
+_TAU_FLOOR = 1e-6
+
+
+def _objective(tau: np.ndarray, sizes: np.ndarray) -> float:
+    e = np.exp(tau)
+    return float(np.sum(sizes * e / (e - 1.0) ** 2))
+
+
+def _gradient(tau: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    # d/dtau [ e^t / (e^t - 1)^2 ] = -e^t (e^t + 1) / (e^t - 1)^3
+    e = np.exp(tau)
+    return sizes * (-e * (e + 1.0) / (e - 1.0) ** 3)
+
+
+def _tau_to_ab(tau: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    e = np.exp(tau)
+    a = e / (e + 1.0)
+    return a, 1.0 - a
+
+
+def solve_opt1(constraints: ConstraintSet) -> OptimizationResult:
+    """Solve Eq. (12) for the given constraint set.
+
+    The feasible start ``tau_i = (1/2) min_j R[i, j]`` (pairs restricted
+    to the active set) always satisfies ``tau_i + tau_j <= R[i, j]``; the
+    single-level case short-circuits to the RAPPOR closed form.
+    """
+    t = constraints.t
+    sizes = constraints.sizes
+
+    # Per-level tightest bound over active pairs involving that level.
+    tight = np.full(t, np.inf)
+    for i, j in constraints.pairs:
+        bound = constraints.bounds[i, j]
+        cap = bound / 2.0 if i == j else bound
+        tight[i] = min(tight[i], cap)
+        tight[j] = min(tight[j], cap)
+    # Levels untouched by any constraint (possible under sparse policy
+    # graphs) get a generous but finite budget so the solver stays sane.
+    tight[~np.isfinite(tight)] = max(constraints.spec.max_epsilon, 1.0) * 10.0
+
+    if t == 1:
+        tau = np.array([max(tight[0] - MARGIN, _TAU_FLOOR)])
+        a, b = _tau_to_ab(tau)
+        return _package(tau, a, b, constraints, {"label": "opt1-closed-form"})
+
+    # Feasible interior start: half of each level's tightest bound.
+    x0 = np.maximum(tight / 2.0, _TAU_FLOOR)
+
+    cons = []
+    for i, j in constraints.pairs:
+        bound = float(constraints.bounds[i, j]) - MARGIN
+        if not np.isfinite(bound):
+            continue
+        if i == j:
+            cons.append(
+                {
+                    "type": "ineq",
+                    "fun": (lambda tau, i=i, bnd=bound: bnd - 2.0 * tau[i]),
+                    "jac": (lambda tau, i=i: _pair_jac(t, i, i)),
+                }
+            )
+        else:
+            cons.append(
+                {
+                    "type": "ineq",
+                    "fun": (lambda tau, i=i, j=j, bnd=bound: bnd - tau[i] - tau[j]),
+                    "jac": (lambda tau, i=i, j=j: _pair_jac(t, i, j)),
+                }
+            )
+
+    bounds = [(float(_TAU_FLOOR), float(tight[i])) for i in range(t)]
+    tau, diagnostics = run_slsqp(
+        lambda tau: _objective(tau, sizes),
+        x0,
+        jac=lambda tau: _gradient(tau, sizes),
+        bounds=bounds,
+        constraints=cons,
+        label="opt1",
+    )
+    tau = _repair(np.clip(tau, _TAU_FLOOR, tight), constraints)
+
+    # SLSQP can stall with slack on very steep objectives (tiny budgets).
+    # The objective is separable and decreasing in every tau_i, so pushing
+    # each coordinate up to its cap (coordinate ascent over the linear
+    # polytope) never hurts; keep the best of all candidates.
+    candidates = [x0, tau, _coordinate_ascent(tau, constraints), _coordinate_ascent(x0, constraints)]
+    best = min(candidates, key=lambda point: _objective(point, sizes))
+    a, b = _tau_to_ab(best)
+    return _package(best, a, b, constraints, diagnostics)
+
+
+def _coordinate_ascent(tau: np.ndarray, constraints: ConstraintSet, sweeps: int = 30) -> np.ndarray:
+    """Raise each tau_i to its cap given the others, repeatedly.
+
+    Starting from a feasible point, each update keeps feasibility (the
+    cap is exactly the largest feasible value given current neighbours)
+    and can only decrease the objective.  Converges to a Pareto-maximal
+    point of the polytope in a handful of sweeps.
+    """
+    t = tau.size
+    tau = tau.copy()
+    for _ in range(sweeps):
+        moved = False
+        for i in range(t):
+            cap = np.inf
+            for p, q in constraints.pairs:
+                bound = constraints.bounds[p, q] - MARGIN
+                if not np.isfinite(bound):
+                    continue
+                if p == i and q == i:
+                    cap = min(cap, bound / 2.0)
+                elif p == i:
+                    cap = min(cap, bound - tau[q])
+                elif q == i:
+                    cap = min(cap, bound - tau[p])
+            if np.isfinite(cap) and cap > tau[i] + 1e-12:
+                tau[i] = cap
+                moved = True
+        if not moved:
+            break
+    return np.maximum(tau, _TAU_FLOOR)
+
+
+def _pair_jac(t: int, i: int, j: int) -> np.ndarray:
+    grad = np.zeros(t)
+    grad[i] -= 1.0
+    grad[j] -= 1.0
+    return grad
+
+
+def _repair(tau: np.ndarray, constraints: ConstraintSet) -> np.ndarray:
+    """Scale tau down uniformly until every linear constraint holds.
+
+    SLSQP can terminate a hair outside the feasible region; because the
+    constraints are ``tau_i + tau_j <= R``, multiplying tau by a factor
+    <= 1 restores feasibility without changing the solution structure.
+    """
+    worst = 1.0
+    for i, j in constraints.pairs:
+        bound = constraints.bounds[i, j] - MARGIN / 2.0
+        if not np.isfinite(bound):
+            continue
+        total = tau[i] + tau[j]
+        if total > bound:
+            worst = min(worst, bound / total)
+    return tau * worst
+
+
+def _package(tau, a, b, constraints, diagnostics) -> OptimizationResult:
+    return OptimizationResult(
+        model="opt1",
+        a=a,
+        b=b,
+        constraints=constraints,
+        objective=worst_case_objective(a, b, constraints.sizes),
+        max_violation=constraints.max_ratio_violation(a, b),
+        diagnostics={**diagnostics, "tau": np.asarray(tau).tolist()},
+    )

@@ -1,0 +1,136 @@
+"""opt2 — optimization constrained to the OUE structure (Eq. 13).
+
+Fixing ``a_i = 1/2`` turns the privacy constraints (7) into the linear
+form ``e^{R[i, j]} b_i + b_j >= 1`` and the objective into
+
+    f(b) = sum_i m_i b_i (1 - b_i) / (0.5 - b_i)^2         (+ constant 1)
+
+which is convex and *increasing* in each ``b_i``
+(``d g / d b = 0.5 / (0.5 - b)^3 > 0``), so the solution sits on the
+lower boundary of the feasible polytope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constraints import ConstraintSet, worst_case_objective
+from .result import OptimizationResult
+from .solvers import MARGIN, run_slsqp
+
+__all__ = ["solve_opt2"]
+
+_B_FLOOR = 1e-9
+_B_CEILING_GAP = 1e-6  # keep b strictly below 1/2
+
+
+def _objective(b: np.ndarray, sizes: np.ndarray) -> float:
+    return float(np.sum(sizes * b * (1.0 - b) / (0.5 - b) ** 2))
+
+
+def _gradient(b: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    # d/db [ b(1-b) / (0.5-b)^2 ] = 0.5 / (0.5 - b)^3
+    return sizes * 0.5 / (0.5 - b) ** 3
+
+
+def solve_opt2(constraints: ConstraintSet) -> OptimizationResult:
+    """Solve Eq. (13) for the given constraint set.
+
+    The start ``b_i = 1 / (e^{R_min} + 1)`` (with ``R_min`` the smallest
+    active bound) is always feasible:
+    ``e^{R_ij} b + b >= (e^{R_min} + 1) b = 1``.  The single-level case
+    short-circuits to the OUE closed form ``b = 1 / (e^eps + 1)``.
+    """
+    t = constraints.t
+    sizes = constraints.sizes
+
+    finite_bounds = [
+        constraints.bounds[i, j]
+        for i, j in constraints.pairs
+        if np.isfinite(constraints.bounds[i, j])
+    ]
+    if not finite_bounds:
+        # No active constraint at all: push b to (numerically) zero noise.
+        b = np.full(t, 1e-6)
+        a = np.full(t, 0.5)
+        return _package(a, b, constraints, {"label": "opt2-unconstrained"})
+    r_min = float(min(finite_bounds))
+
+    if t == 1:
+        b = np.array([1.0 / (np.exp(constraints.bounds[0, 0]) + 1.0) + MARGIN])
+        a = np.full(1, 0.5)
+        return _package(a, b, constraints, {"label": "opt2-closed-form"})
+
+    x0 = np.full(t, 1.0 / (np.exp(r_min) + 1.0) + 1e-9)
+
+    cons = []
+    for i, j in constraints.pairs:
+        bound = constraints.bounds[i, j]
+        if not np.isfinite(bound):
+            continue
+        coefficient = float(np.exp(bound))
+        # e^R * b_i + b_j - 1 >= margin
+        cons.append(
+            {
+                "type": "ineq",
+                "fun": (
+                    lambda b, i=i, j=j, c=coefficient: c * b[i] + b[j] - 1.0 - MARGIN
+                ),
+                "jac": (lambda b, i=i, j=j, c=coefficient: _pair_jac(t, i, j, c)),
+            }
+        )
+
+    bounds = [(float(_B_FLOOR), 0.5 - _B_CEILING_GAP)] * t
+    b, diagnostics = run_slsqp(
+        lambda b: _objective(b, sizes),
+        x0,
+        jac=lambda b: _gradient(b, sizes),
+        bounds=bounds,
+        constraints=cons,
+        label="opt2",
+    )
+    b = _repair(np.clip(b, _B_FLOOR, 0.5 - _B_CEILING_GAP), constraints)
+    # Keep the better of {solved point, feasible uniform start}: the
+    # start is exactly OUE at the tightest bound, so opt2 never returns
+    # anything worse than the OUE baseline even if SLSQP stalls.
+    if _objective(x0, sizes) < _objective(b, sizes):
+        b = x0
+    a = np.full(t, 0.5)
+    return _package(a, b, constraints, diagnostics)
+
+
+def _pair_jac(t: int, i: int, j: int, coefficient: float) -> np.ndarray:
+    grad = np.zeros(t)
+    grad[i] += coefficient
+    grad[j] += 1.0
+    return grad
+
+
+def _repair(b: np.ndarray, constraints: ConstraintSet) -> np.ndarray:
+    """Scale b up uniformly until every linear constraint holds.
+
+    The constraints are ``e^R b_i + b_j >= 1``; multiplying b by a factor
+    >= 1 (capped below 1/2) restores any marginal infeasibility left by
+    solver tolerance.
+    """
+    worst = 1.0
+    for i, j in constraints.pairs:
+        bound = constraints.bounds[i, j]
+        if not np.isfinite(bound):
+            continue
+        total = np.exp(bound) * b[i] + b[j]
+        if total < 1.0:
+            worst = max(worst, 1.0 / total)
+    return np.minimum(b * worst, 0.5 - _B_CEILING_GAP)
+
+
+def _package(a, b, constraints, diagnostics) -> OptimizationResult:
+    return OptimizationResult(
+        model="opt2",
+        a=a,
+        b=b,
+        constraints=constraints,
+        objective=worst_case_objective(a, b, constraints.sizes),
+        max_violation=constraints.max_ratio_violation(a, b),
+        diagnostics=dict(diagnostics),
+    )

@@ -1,0 +1,68 @@
+"""Optimization result container with feasibility reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .constraints import ConstraintSet, worst_case_objective
+
+__all__ = ["OptimizationResult"]
+
+
+@dataclass
+class OptimizationResult:
+    """Solved per-level perturbation parameters plus diagnostics.
+
+    Attributes
+    ----------
+    model:
+        Which model produced it (``"opt0"``, ``"opt1"``, ``"opt2"``).
+    a, b:
+        Length-``t`` per-level Bernoulli parameters, ``a_i > b_i``.
+    constraints:
+        The :class:`ConstraintSet` the solution was solved against.
+    objective:
+        Achieved worst-case objective (Eq. 10 value, ``n`` omitted) —
+        comparable across models for the same spec.
+    max_violation:
+        Largest relative constraint violation; <= 0 means strictly
+        feasible, tiny positive values indicate numerical slack.
+    diagnostics:
+        Raw solver information (iterations, status message, restarts).
+    """
+
+    model: str
+    a: np.ndarray
+    b: np.ndarray
+    constraints: ConstraintSet
+    objective: float
+    max_violation: float
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def t(self) -> int:
+        """Number of privacy levels."""
+        return int(self.a.size)
+
+    @property
+    def feasible(self) -> bool:
+        """Feasible up to a 1e-7 relative tolerance."""
+        return self.max_violation <= 1e-7
+
+    def recompute_objective(self) -> float:
+        """Re-evaluate Eq. (10) from the stored parameters (sanity hook)."""
+        return worst_case_objective(self.a, self.b, self.constraints.sizes)
+
+    def summary(self) -> str:
+        """One-line human-readable summary for logs and benches."""
+        a_str = ", ".join(f"{v:.4f}" for v in self.a)
+        b_str = ", ".join(f"{v:.4f}" for v in self.b)
+        return (
+            f"{self.model} [{self.constraints.r_name}] objective={self.objective:.6g} "
+            f"feasible={self.feasible} a=[{a_str}] b=[{b_str}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"OptimizationResult({self.summary()})"

@@ -1,0 +1,86 @@
+"""Shared numerical-solver utilities for the optimization models.
+
+All three models are solved with SciPy's SLSQP.  The helpers here wrap
+the call with consistent diagnostics, apply a tiny feasibility margin so
+the returned point satisfies the *exact* constraints (not just up to
+solver tolerance), and provide the closed-form single-level solutions
+used both as fast paths and as solver seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from ..exceptions import SolverError
+
+__all__ = [
+    "MARGIN",
+    "run_slsqp",
+    "rappor_tau",
+    "oue_b",
+]
+
+#: Log-space feasibility margin subtracted from every constraint bound so
+#: solver tolerance cannot push the returned point infeasible.
+MARGIN = 1e-9
+
+
+def run_slsqp(
+    objective,
+    x0: np.ndarray,
+    *,
+    jac=None,
+    bounds=None,
+    constraints=(),
+    maxiter: int = 500,
+    label: str = "slsqp",
+) -> tuple[np.ndarray, dict]:
+    """Run SLSQP and return ``(x, diagnostics)``.
+
+    Raises :class:`SolverError` only when the solver fails *and* the
+    returned point is unusable (non-finite); "max iterations reached" with
+    a finite point is tolerated because the caller re-verifies
+    feasibility explicitly.
+    """
+    result = optimize.minimize(
+        objective,
+        np.asarray(x0, dtype=float),
+        jac=jac,
+        bounds=bounds,
+        constraints=list(constraints),
+        method="SLSQP",
+        options={"maxiter": maxiter, "ftol": 1e-12},
+    )
+    diagnostics = {
+        "label": label,
+        "success": bool(result.success),
+        "status": int(result.status),
+        "message": str(result.message),
+        "iterations": int(result.get("nit", -1)),
+        "objective": float(result.fun) if np.isfinite(result.fun) else None,
+    }
+    if not np.all(np.isfinite(result.x)):
+        raise SolverError(
+            f"{label}: solver returned non-finite parameters", diagnostics=diagnostics
+        )
+    return np.asarray(result.x, dtype=float), diagnostics
+
+
+def rappor_tau(epsilon: float) -> float:
+    """Single-level opt1 closed form: ``tau = eps / 2``.
+
+    With one level the only constraint is ``2 tau <= eps`` and the
+    objective decreases in ``tau``, so the bound is tight — recovering
+    basic RAPPOR's ``p = e^{eps/2} / (e^{eps/2} + 1)``.
+    """
+    return float(epsilon) / 2.0
+
+
+def oue_b(epsilon: float) -> float:
+    """Single-level opt2 closed form: ``b = 1 / (e^eps + 1)``.
+
+    With one level the constraint is ``(e^eps + 1) b >= 1`` and the
+    objective increases in ``b``, so the bound is tight — recovering OUE.
+    """
+    return float(1.0 / (np.exp(epsilon) + 1.0))

@@ -1,0 +1,27 @@
+"""Simulation engines for running mechanisms over whole datasets.
+
+Two statistically equivalent paths:
+
+* :mod:`.exact` — perturb every user's report bit-by-bit, exactly as the
+  protocol executes on devices.  ``O(n * m)`` memory; used by tests and
+  the empirical privacy audits.
+* :mod:`.fast` — draw the aggregated per-bit counts directly from their
+  exact sampling distribution ``c_i ~ Bin(s_i, a_i) + Bin(n − s_i, b_i)``
+  (bits are independent across users, so the aggregate is binomial).
+  ``O(n + m)`` work; used by paper-scale benchmarks.
+"""
+
+from .exact import simulate_itemset_reports, simulate_single_item_reports
+from .fast import (
+    simulate_itemset_counts,
+    simulate_single_item_counts,
+    simulate_counts_from_true,
+)
+
+__all__ = [
+    "simulate_single_item_reports",
+    "simulate_itemset_reports",
+    "simulate_counts_from_true",
+    "simulate_single_item_counts",
+    "simulate_itemset_counts",
+]

@@ -1,0 +1,50 @@
+"""Exact per-user simulation (the protocol as devices would run it).
+
+These functions materialize the full ``n x m`` report matrix, so they
+are meant for tests, small studies, and the empirical audits — not for
+paper-scale benchmarks (use :mod:`repro.simulation.fast` there; the two
+paths produce identically distributed aggregates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_rng
+from ..datasets.base import ItemsetDataset
+from ..exceptions import ValidationError
+from ..mechanisms.base import UnaryMechanism
+from ..mechanisms.idue_ps import IDUEPS
+
+__all__ = ["simulate_single_item_reports", "simulate_itemset_reports"]
+
+
+def simulate_single_item_reports(
+    mechanism: UnaryMechanism, items, rng=None
+) -> np.ndarray:
+    """Perturb every user's single-item input; returns ``n x m`` reports."""
+    if not isinstance(mechanism, UnaryMechanism):
+        raise ValidationError(
+            f"mechanism must be a UnaryMechanism, got {type(mechanism).__name__}"
+        )
+    rng = check_rng(rng)
+    return mechanism.perturb_many(items, rng)
+
+
+def simulate_itemset_reports(
+    mechanism: IDUEPS, dataset: ItemsetDataset, rng=None
+) -> np.ndarray:
+    """Run Algorithm 3 for every user; returns ``n x (m + ell)`` reports."""
+    if not isinstance(mechanism, IDUEPS):
+        raise ValidationError(
+            f"mechanism must be an IDUEPS, got {type(mechanism).__name__}"
+        )
+    if not isinstance(dataset, ItemsetDataset):
+        raise ValidationError(f"dataset must be an ItemsetDataset, got {dataset!r}")
+    if dataset.m != mechanism.m:
+        raise ValidationError(
+            f"dataset domain {dataset.m} does not match mechanism domain "
+            f"{mechanism.m}"
+        )
+    rng = check_rng(rng)
+    return mechanism.perturb_many(dataset.flat_items, dataset.offsets, rng)

@@ -1,0 +1,83 @@
+"""Unit tests for Monte-Carlo privacy audits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BudgetSpec,
+    GeneralizedRandomizedResponse,
+    IDUE,
+    OptimizedUnaryEncoding,
+)
+from repro.audit import empirical_channel, empirical_max_ratio
+from repro.exceptions import ValidationError
+
+
+class TestEmpiricalChannel:
+    def test_categorical_channel_close_to_analytic(self, rng):
+        mech = GeneralizedRandomizedResponse(1.5, m=4)
+        estimate = empirical_channel(mech, inputs=range(4), n_samples=30_000, rng=rng)
+        assert np.allclose(estimate, mech.channel_matrix(), atol=0.01)
+
+    def test_unary_channel_rows_sum_to_one(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, m=3)
+        estimate = empirical_channel(mech, inputs=[0, 1], n_samples=5000, rng=rng)
+        assert estimate.shape == (2, 8)
+        assert np.allclose(estimate.sum(axis=1), 1.0)
+
+    def test_unary_domain_guard(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, m=20)
+        with pytest.raises(ValidationError, match="m <= 16"):
+            empirical_channel(mech, inputs=[0], rng=rng)
+
+    def test_empty_inputs_rejected(self, rng):
+        mech = GeneralizedRandomizedResponse(1.0, m=3)
+        with pytest.raises(ValidationError):
+            empirical_channel(mech, inputs=[], rng=rng)
+
+    def test_unsupported_mechanism(self, rng):
+        with pytest.raises(ValidationError):
+            empirical_channel(object(), inputs=[0], rng=rng)
+
+
+class TestEmpiricalMaxRatio:
+    def test_grr_ratio_within_ldp_bound(self, rng):
+        epsilon = 1.2
+        mech = GeneralizedRandomizedResponse(epsilon, m=4)
+        estimate = empirical_channel(mech, inputs=range(4), n_samples=50_000, rng=rng)
+        for x in range(4):
+            for y in range(4):
+                if x == y:
+                    continue
+                ratio = empirical_max_ratio(estimate, x, y)
+                assert ratio <= np.exp(epsilon) * 1.10  # 10% statistical slack
+
+    def test_idue_behavioural_audit(self, rng):
+        """End-to-end: sampled IDUE behaviour respects the MinID bounds."""
+        spec = BudgetSpec([np.log(3.0), np.log(6.0), np.log(6.0)])
+        mech = IDUE.optimized(spec, model="opt0")
+        estimate = empirical_channel(mech, inputs=range(3), n_samples=120_000, rng=rng)
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    continue
+                bound = np.exp(min(spec.epsilon_of(i), spec.epsilon_of(j)))
+                ratio = empirical_max_ratio(estimate, i, j, min_probability=5e-3)
+                assert ratio <= bound * 1.15
+
+    def test_min_probability_filter(self):
+        channel = np.array([[0.999, 0.001], [0.5, 0.5]])
+        ratio = empirical_max_ratio(channel, 0, 1, min_probability=0.01)
+        # The (0.001 / 0.5) column is filtered out; only column 0 counts.
+        assert ratio == pytest.approx(0.999 / 0.5)
+
+    def test_no_common_support_rejected(self):
+        channel = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValidationError, match="empirical mass"):
+            empirical_max_ratio(channel, 0, 1, min_probability=0.5)
+
+    def test_row_bounds_check(self):
+        with pytest.raises(ValidationError):
+            empirical_max_ratio(np.eye(2), 0, 5)

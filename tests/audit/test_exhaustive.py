@@ -1,0 +1,149 @@
+"""Unit tests for the exhaustive (full output-distribution) audits.
+
+These tests verify the paper's theorems *numerically*, with no closed
+forms: Definition 2 on the IDUE channel and Theorem 4 on IDUE-PS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, IDLDP, IDUE, IDUEPS, LDP, MIN, OptimizedUnaryEncoding
+from repro.audit import (
+    enumerate_outputs,
+    itemset_channel_row,
+    unary_channel,
+    verify_idue_ps_exhaustive,
+    verify_unary_exhaustive,
+)
+from repro.exceptions import PrivacyViolationError, ValidationError
+
+
+@pytest.fixture
+def tiny_spec():
+    """3 items, 2 levels — small enough for the power-set audit."""
+    return BudgetSpec([np.log(3.0), np.log(5.0), np.log(5.0)])
+
+
+class TestEnumerateOutputs:
+    def test_all_distinct_rows(self):
+        outputs = enumerate_outputs(3)
+        assert outputs.shape == (8, 3)
+        assert len({tuple(row) for row in outputs}) == 8
+
+    def test_rejects_large_m(self):
+        with pytest.raises(ValidationError):
+            enumerate_outputs(20)
+
+
+class TestUnaryChannel:
+    def test_rows_are_distributions(self, tiny_spec):
+        mech = IDUE.optimized(tiny_spec, model="opt0")
+        channel = unary_channel(mech)
+        assert channel.shape == (3, 8)
+        assert np.allclose(channel.sum(axis=1), 1.0)
+
+    def test_matches_direct_probability(self):
+        """Spot-check Pr(y | v_0) against the product formula."""
+        mech = OptimizedUnaryEncoding(1.0, m=2)
+        channel = unary_channel(mech)
+        a, b = mech.a[0], mech.b[0]
+        # Output code 1 = bits [1, 0] (bit k = (code >> k) & 1).
+        assert channel[0, 1] == pytest.approx(a * (1 - b))
+        # Output code 2 = bits [0, 1].
+        assert channel[0, 2] == pytest.approx((1 - a) * b)
+
+
+class TestVerifyUnaryExhaustive:
+    @pytest.mark.parametrize("model", ["opt0", "opt1", "opt2"])
+    def test_idue_satisfies_definition_2(self, tiny_spec, model):
+        mech = IDUE.optimized(tiny_spec, model=model)
+        margin = verify_unary_exhaustive(mech, IDLDP(tiny_spec, MIN))
+        assert margin >= -1e-9
+
+    def test_exhaustive_agrees_with_closed_form(self, tiny_spec):
+        """The worst channel ratio equals alpha_i / beta_j exactly."""
+        mech = IDUE.optimized(tiny_spec, model="opt1")
+        channel = unary_channel(mech)
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    continue
+                worst = np.max(channel[i] / channel[j])
+                assert worst == pytest.approx(
+                    mech.pair_ratio_bound(i, j), rel=1e-9
+                )
+
+    def test_violation_detected(self, tiny_spec):
+        mech = IDUE(tiny_spec, [0.95, 0.6], [0.02, 0.3])
+        with pytest.raises(PrivacyViolationError):
+            verify_unary_exhaustive(mech, IDLDP(tiny_spec, MIN))
+
+    def test_oue_exhaustive_at_own_epsilon(self):
+        epsilon = 1.1
+        mech = OptimizedUnaryEncoding(epsilon, m=4)
+        margin = verify_unary_exhaustive(mech, LDP(epsilon))
+        assert margin == pytest.approx(0.0, abs=1e-9)
+
+
+class TestItemsetChannel:
+    def test_rows_are_distributions(self, tiny_spec):
+        mech = IDUEPS.optimized(tiny_spec, ell=2, model="opt1")
+        one_hot = unary_channel(mech.unary)
+        for itemset in ([0], [0, 1], [0, 1, 2], []):
+            row = itemset_channel_row(mech, itemset, one_hot)
+            assert row.sum() == pytest.approx(1.0)
+
+    def test_mixture_weights(self, tiny_spec):
+        """|x| = 1, ell = 2: row = 1/2 real + 1/2 dummy-average."""
+        mech = IDUEPS.optimized(tiny_spec, ell=2, model="opt1")
+        one_hot = unary_channel(mech.unary)
+        row = itemset_channel_row(mech, [1], one_hot)
+        dummies = one_hot[3:].mean(axis=0)
+        expected = 0.5 * one_hot[1] + 0.5 * dummies
+        assert np.allclose(row, expected)
+
+    def test_monte_carlo_agreement(self, tiny_spec, rng):
+        """The analytic item-set channel matches simulated Algorithm 3."""
+        mech = IDUEPS.optimized(tiny_spec, ell=2, model="opt2")
+        one_hot = unary_channel(mech.unary)
+        itemset = [0, 2]
+        row = itemset_channel_row(mech, itemset, one_hot)
+        width = mech.extended_m
+        weights = (1 << np.arange(width)).astype(np.int64)
+        n = 40_000
+        codes = np.empty(n, dtype=np.int64)
+        for k in range(n):
+            codes[k] = int(mech.perturb(itemset, rng).astype(np.int64) @ weights)
+        empirical = np.bincount(codes, minlength=2**width) / n
+        assert np.allclose(empirical, row, atol=0.01)
+
+
+class TestTheorem4:
+    def test_idue_ps_satisfies_minid_exhaustively(self, tiny_spec):
+        """Theorem 4, verified literally over the whole power set."""
+        for model in ("opt0", "opt1", "opt2"):
+            mech = IDUEPS.optimized(tiny_spec, ell=2, model=model)
+            margin = verify_idue_ps_exhaustive(mech, tiny_spec)
+            assert margin >= -1e-9
+
+    def test_larger_ell(self, tiny_spec):
+        mech = IDUEPS.optimized(tiny_spec, ell=3, model="opt1")
+        assert verify_idue_ps_exhaustive(mech, tiny_spec) >= -1e-9
+
+    def test_toy_table2_domain(self, toy_spec):
+        """Theorem 4 on the full Table II domain (m=5, ell=2, sets <= 3)."""
+        mech = IDUEPS.optimized(toy_spec, ell=2, model="opt0")
+        margin = verify_idue_ps_exhaustive(mech, toy_spec, max_set_size=3)
+        assert margin >= -1e-9
+
+    def test_extended_domain_size_guard(self, toy_spec):
+        mech = IDUEPS.optimized(toy_spec, ell=12, model="opt1")
+        with pytest.raises(ValidationError, match="too large"):
+            verify_idue_ps_exhaustive(mech, toy_spec)
+
+    def test_spec_mismatch(self, tiny_spec, toy_spec):
+        mech = IDUEPS.optimized(tiny_spec, ell=2, model="opt1")
+        with pytest.raises(ValidationError):
+            verify_idue_ps_exhaustive(mech, toy_spec)

@@ -1,0 +1,113 @@
+"""Failure-injection tests: the audits must catch realistic bugs.
+
+Each test plants a bug an implementation could plausibly ship — swapped
+parameters, stale level mapping, budget-unit confusion — and verifies
+that at least one audit layer rejects the corrupted mechanism.  This is
+the safety net that makes refactoring the mechanisms safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, IDLDP, IDUE, MIN
+from repro.audit import (
+    audit_unary_pairwise,
+    empirical_channel,
+    empirical_max_ratio,
+    verify_unary_exhaustive,
+)
+from repro.exceptions import PrivacyViolationError, ValidationError
+from repro.mechanisms.base import UnaryMechanism
+
+
+@pytest.fixture
+def spec():
+    return BudgetSpec([0.6, 2.5, 2.5])
+
+
+@pytest.fixture
+def good(spec):
+    return IDUE.optimized(spec, model="opt0")
+
+
+class TestParameterBugs:
+    def test_sensitive_level_dropped_from_solve(self, spec):
+        """Bug: the solve ran against a spec that forgot the sensitive
+        level (everything treated as eps = 2.5)."""
+        uniform = IDUE.optimized(BudgetSpec.uniform(2.5, spec.m), model="opt0")
+        corrupted = IDUE(spec, uniform.level_a.repeat(spec.t), uniform.level_b.repeat(spec.t))
+        report = audit_unary_pairwise(corrupted, IDLDP(spec, MIN))
+        assert not report.passed
+
+    def test_level_swap_is_utility_not_privacy_bug(self, spec, good):
+        """Swapping the level parameters permutes a symmetric constraint
+        set, so it stays private — the audit must NOT cry wolf — but it
+        wastes the relaxed budget (worse objective)."""
+        from repro.optim import worst_case_objective
+
+        swapped = IDUE(spec, good.level_a[::-1].copy(), good.level_b[::-1].copy())
+        assert audit_unary_pairwise(swapped, IDLDP(spec, MIN)).passed
+        sizes = spec.level_sizes.astype(float)
+        assert worst_case_objective(
+            swapped.level_a, swapped.level_b, sizes
+        ) > worst_case_objective(good.level_a, good.level_b, sizes)
+
+    def test_budget_units_confused(self, spec):
+        """Bug: solving with budgets accidentally doubled (e.g. someone
+        passes e^eps where eps was expected upstream)."""
+        inflated = IDUE.optimized(spec.scaled(2.0), model="opt1")
+        # Same parameters claimed against the *real* spec must fail.
+        corrupted = IDUE(spec, inflated.level_a, inflated.level_b)
+        assert not audit_unary_pairwise(corrupted, IDLDP(spec, MIN)).passed
+
+    def test_single_bit_drift(self, spec, good):
+        """Bug: one bit's b parameter drifts far below its level value
+        (e.g. an expand() indexing error).  Caught by the exhaustive
+        channel audit even when the level-granular summary looks fine."""
+        a = np.asarray(good.a).copy()
+        b = np.asarray(good.b).copy()
+        b[1] = b[1] / 8.0  # bit 1 now under-randomizes the zero case
+        corrupted = UnaryMechanism(a, b)
+        with pytest.raises(PrivacyViolationError):
+            verify_unary_exhaustive(corrupted, IDLDP(spec, MIN))
+
+    def test_ab_swap_rejected_at_construction(self, good):
+        """Bug: a and b swapped entirely — constructor must refuse
+        (a > b is an invariant, not an audit finding)."""
+        with pytest.raises(ValidationError):
+            UnaryMechanism(np.asarray(good.b), np.asarray(good.a))
+
+
+class TestBehaviouralBugs:
+    def test_sampler_that_ignores_parameters(self, spec, good, rng):
+        """Bug: the device samples from the wrong distribution even
+        though the advertised parameters are fine.  Only the behavioural
+        (Monte-Carlo) audit can catch this class."""
+
+        class LyingMechanism(UnaryMechanism):
+            """Claims good parameters, perturbs with leaky ones."""
+
+            def perturb_many(self, xs, rng=None):
+                honest = UnaryMechanism(
+                    np.minimum(np.asarray(self.a) * 1.6, 0.98),
+                    np.asarray(self.b) / 3.0,
+                )
+                return honest.perturb_many(xs, rng)
+
+        liar = LyingMechanism(np.asarray(good.a), np.asarray(good.b))
+        # The parameter-level audit is fooled...
+        assert audit_unary_pairwise(liar, IDLDP(spec, MIN)).passed
+        # ...but the behavioural audit is not.
+        estimate = empirical_channel(liar, inputs=[0, 1], n_samples=80_000, rng=rng)
+        bound = np.exp(min(spec.epsilon_of(0), spec.epsilon_of(1)))
+        ratio = empirical_max_ratio(estimate, 0, 1, min_probability=5e-3)
+        assert ratio > bound * 1.2
+
+    def test_honest_mechanism_passes_behavioural_audit(self, spec, good, rng):
+        """Control for the test above: the honest mechanism passes."""
+        estimate = empirical_channel(good, inputs=[0, 1], n_samples=80_000, rng=rng)
+        bound = np.exp(min(spec.epsilon_of(0), spec.epsilon_of(1)))
+        ratio = empirical_max_ratio(estimate, 0, 1, min_probability=5e-3)
+        assert ratio <= bound * 1.15

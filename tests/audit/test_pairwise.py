@@ -1,0 +1,84 @@
+"""Unit tests for the analytic pairwise audit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AVG, MIN, BudgetSpec, IDLDP, IDUE, LDP, OptimizedUnaryEncoding
+from repro.audit import audit_unary_pairwise
+from repro.exceptions import PrivacyViolationError, ValidationError
+
+
+class TestAuditPasses:
+    @pytest.mark.parametrize("model", ["opt0", "opt1", "opt2"])
+    def test_optimized_idue_passes_minid(self, toy_spec, model):
+        mech = IDUE.optimized(toy_spec, model=model)
+        report = audit_unary_pairwise(mech, IDLDP(toy_spec, MIN))
+        assert report.passed
+        assert report.margin >= -1e-9
+        report.raise_if_failed()  # must not raise
+
+    def test_oue_passes_its_own_ldp(self):
+        epsilon = 1.3
+        mech = OptimizedUnaryEncoding(epsilon, m=10)
+        report = audit_unary_pairwise(mech, LDP(epsilon))
+        assert report.passed
+        # OUE is tight at its own epsilon.
+        assert report.margin == pytest.approx(0.0, abs=1e-9)
+
+    def test_oue_at_min_budget_passes_minid(self, toy_spec):
+        """Lemma 1 reverse: min{E}-LDP implies E-MinID-LDP."""
+        mech = OptimizedUnaryEncoding(toy_spec.min_epsilon, toy_spec.m)
+        report = audit_unary_pairwise(mech, IDLDP(toy_spec, MIN))
+        assert report.passed
+
+    def test_avg_notion(self, toy_spec):
+        mech = IDUE.optimized(toy_spec, r=AVG, model="opt1")
+        assert audit_unary_pairwise(mech, IDLDP(toy_spec, AVG)).passed
+
+
+class TestAuditFails:
+    def test_oue_at_max_budget_fails_minid(self, toy_spec):
+        """Using max{E} for everything violates the sensitive level."""
+        mech = OptimizedUnaryEncoding(toy_spec.max_epsilon, toy_spec.m)
+        report = audit_unary_pairwise(mech, IDLDP(toy_spec, MIN))
+        assert not report.passed
+        with pytest.raises(PrivacyViolationError) as excinfo:
+            report.raise_if_failed()
+        assert excinfo.value.ratio > excinfo.value.bound
+
+    def test_violating_idue_parameters_detected(self, toy_spec):
+        mech = IDUE(toy_spec, [0.95, 0.7], [0.02, 0.25])
+        report = audit_unary_pairwise(mech, IDLDP(toy_spec, MIN))
+        assert not report.passed
+        assert report.worst_ratio > report.worst_bound
+
+
+class TestAuditMechanics:
+    def test_grouping_counts_pairs_compactly(self, toy_spec):
+        mech = IDUE.optimized(toy_spec, model="opt1")
+        report = audit_unary_pairwise(mech, IDLDP(toy_spec, MIN))
+        # Two groups; singleton level has no within pair: 2*2 - 1 = 3.
+        assert report.n_pairs_checked == 3
+
+    def test_singleton_level_within_pair_skipped(self):
+        """A domain of two singleton levels has only cross pairs."""
+        spec = BudgetSpec([1.0, 2.0])
+        mech = IDUE.optimized(spec, model="opt1")
+        report = audit_unary_pairwise(mech, IDLDP(spec, MIN))
+        assert report.n_pairs_checked == 2
+
+    def test_ldp_notion_on_uniform_mechanism_groups_to_one(self):
+        mech = OptimizedUnaryEncoding(1.0, m=50)
+        report = audit_unary_pairwise(mech, LDP(1.0))
+        assert report.n_pairs_checked == 1  # one group, within-pair only
+
+    def test_domain_mismatch(self, toy_spec):
+        mech = OptimizedUnaryEncoding(1.0, m=3)
+        with pytest.raises(ValidationError):
+            audit_unary_pairwise(mech, IDLDP(toy_spec, MIN))
+
+    def test_non_unary_mechanism_rejected(self, toy_spec):
+        with pytest.raises(ValidationError):
+            audit_unary_pairwise("mechanism", IDLDP(toy_spec, MIN))

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec
+from repro.datasets import ItemsetDataset
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator; reseeded per test function."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def toy_spec():
+    """Table II's budgets: item 0 at ln 4, items 1..4 at ln 6."""
+    return BudgetSpec.from_level_sizes([np.log(4.0), np.log(6.0)], [1, 4])
+
+
+@pytest.fixture
+def three_level_spec():
+    """A 3-level spec with distinct sizes, exercising asymmetric weights."""
+    return BudgetSpec.from_level_sizes([0.5, 1.0, 2.0], [2, 3, 5])
+
+
+@pytest.fixture
+def small_itemset_dataset():
+    """Six users over a 5-item domain with mixed set sizes (incl. size > 3)."""
+    sets = [
+        [0, 1],
+        [2],
+        [0, 2, 3, 4],
+        [1, 3],
+        [4],
+        [0, 1, 2, 3, 4],
+    ]
+    return ItemsetDataset.from_sets(sets, m=5)

@@ -1,0 +1,157 @@
+"""Unit tests for BudgetSpec and PrivacyLevel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec
+from repro.exceptions import BudgetError, ValidationError
+
+
+class TestConstruction:
+    def test_groups_equal_budgets_into_levels(self):
+        spec = BudgetSpec([2.0, 1.0, 2.0, 1.0, 1.0])
+        assert spec.m == 5
+        assert spec.t == 2
+        assert spec.level_epsilons.tolist() == [1.0, 2.0]
+        assert spec.level_sizes.tolist() == [3, 2]
+
+    def test_levels_sorted_ascending(self):
+        spec = BudgetSpec([3.0, 1.0, 2.0])
+        assert spec.level_epsilons.tolist() == [1.0, 2.0, 3.0]
+        assert spec.min_epsilon == 1.0
+        assert spec.max_epsilon == 3.0
+
+    def test_item_level_mapping(self):
+        spec = BudgetSpec([2.0, 1.0, 2.0])
+        assert spec.item_level.tolist() == [1, 0, 1]
+        assert spec.level_of(0) == 1
+        assert spec.epsilon_of(1) == 1.0
+
+    def test_rejects_non_positive_budgets(self):
+        with pytest.raises(ValidationError):
+            BudgetSpec([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            BudgetSpec([])
+
+    def test_arrays_are_read_only(self):
+        spec = BudgetSpec([1.0, 2.0])
+        with pytest.raises(ValueError):
+            spec.item_epsilons[0] = 5.0
+
+
+class TestAlternativeConstructors:
+    def test_uniform(self):
+        spec = BudgetSpec.uniform(1.5, 10)
+        assert spec.t == 1
+        assert spec.m == 10
+        assert np.all(spec.item_epsilons == 1.5)
+
+    def test_from_levels(self):
+        spec = BudgetSpec.from_levels({1.0: [0, 2], 2.0: [1]}, m=3)
+        assert spec.item_epsilons.tolist() == [1.0, 2.0, 1.0]
+
+    def test_from_levels_missing_item(self):
+        with pytest.raises(BudgetError, match="not assigned"):
+            BudgetSpec.from_levels({1.0: [0]}, m=2)
+
+    def test_from_levels_duplicate_item(self):
+        with pytest.raises(BudgetError, match="more than one level"):
+            BudgetSpec.from_levels({1.0: [0], 2.0: [0, 1]}, m=2)
+
+    def test_from_levels_out_of_range(self):
+        with pytest.raises(BudgetError):
+            BudgetSpec.from_levels({1.0: [0, 5]}, m=2)
+
+    def test_from_level_sizes(self, toy_spec):
+        assert toy_spec.m == 5
+        assert toy_spec.t == 2
+        assert toy_spec.level_sizes.tolist() == [1, 4]
+
+    def test_from_level_sizes_length_mismatch(self):
+        with pytest.raises(BudgetError):
+            BudgetSpec.from_level_sizes([1.0, 2.0], [1])
+
+    def test_from_level_sizes_zero_size(self):
+        with pytest.raises(BudgetError):
+            BudgetSpec.from_level_sizes([1.0], [0])
+
+
+class TestLevels:
+    def test_levels_materialization(self, toy_spec):
+        levels = toy_spec.levels()
+        assert len(levels) == 2
+        assert levels[0].size == 1
+        assert levels[0].items == (0,)
+        assert levels[1].items == (1, 2, 3, 4)
+        assert levels[0].epsilon == pytest.approx(np.log(4.0))
+
+    def test_level_of_out_of_range(self, toy_spec):
+        with pytest.raises(BudgetError):
+            toy_spec.level_of(5)
+        with pytest.raises(BudgetError):
+            toy_spec.epsilon_of(-1)
+
+
+class TestExpand:
+    def test_expand_broadcasts_per_level_values(self, toy_spec):
+        values = toy_spec.expand([0.5, 0.9])
+        assert values.tolist() == [0.5, 0.9, 0.9, 0.9, 0.9]
+
+    def test_expand_wrong_shape(self, toy_spec):
+        with pytest.raises(BudgetError):
+            toy_spec.expand([0.5])
+
+
+class TestDerivedSpecs:
+    def test_scaled(self, toy_spec):
+        doubled = toy_spec.scaled(2.0)
+        assert doubled.min_epsilon == pytest.approx(2 * np.log(4.0))
+        assert doubled.t == toy_spec.t
+        # Original unchanged.
+        assert toy_spec.min_epsilon == pytest.approx(np.log(4.0))
+
+    def test_scaled_rejects_non_positive(self, toy_spec):
+        with pytest.raises(ValidationError):
+            toy_spec.scaled(0.0)
+
+    def test_restricted_to(self, toy_spec):
+        sub = toy_spec.restricted_to([0, 1])
+        assert sub.m == 2
+        assert sub.t == 2
+
+    def test_restricted_to_empty(self, toy_spec):
+        with pytest.raises(BudgetError):
+            toy_spec.restricted_to([])
+
+    def test_with_dummies_default_uses_min(self, toy_spec):
+        extended = toy_spec.with_dummies(3)
+        assert extended.m == 8
+        assert extended.item_epsilons[-1] == pytest.approx(toy_spec.min_epsilon)
+        # The number of levels must not grow (Theorem 4 requires eps* in E).
+        assert extended.t == toy_spec.t
+
+    def test_with_dummies_custom_level(self, toy_spec):
+        extended = toy_spec.with_dummies(2, dummy_epsilon=float(np.log(6.0)))
+        assert extended.item_epsilons[-1] == pytest.approx(np.log(6.0))
+
+    def test_with_dummies_rejects_new_budget(self, toy_spec):
+        with pytest.raises(BudgetError, match="existing level budgets"):
+            toy_spec.with_dummies(2, dummy_epsilon=0.123)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = BudgetSpec([1.0, 2.0])
+        b = BudgetSpec([1.0, 2.0])
+        c = BudgetSpec([1.0, 3.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_shape(self, toy_spec):
+        text = repr(toy_spec)
+        assert "m=5" in text and "t=2" in text

@@ -1,0 +1,84 @@
+"""Unit tests for the sequential-composition accountant (Theorems 1-2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, CompositionAccountant
+from repro.exceptions import BudgetError, ValidationError
+
+
+class TestBasicAccounting:
+    def test_initial_state(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        assert accountant.n_releases == 0
+        assert np.all(accountant.spent() == 0.0)
+        assert np.allclose(accountant.remaining(), toy_spec.item_epsilons)
+
+    def test_record_spec_release(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        half = BudgetSpec(toy_spec.item_epsilons / 2.0)
+        accountant.record(half)
+        assert accountant.n_releases == 1
+        assert np.allclose(accountant.spent(), toy_spec.item_epsilons / 2.0)
+        assert np.allclose(accountant.remaining(), toy_spec.item_epsilons / 2.0)
+
+    def test_record_scalar_release_is_uniform(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        accountant.record(0.5)
+        assert np.allclose(accountant.spent(), 0.5)
+
+    def test_exhausting_budget_raises(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        accountant.record(BudgetSpec(toy_spec.item_epsilons))  # spend it all
+        with pytest.raises(BudgetError, match="exceeds remaining"):
+            accountant.record(0.01)
+
+    def test_can_afford_respects_per_item_budgets(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        # Uniform release at min budget is affordable; above it is not
+        # (the most sensitive item's budget would be exceeded).
+        assert accountant.can_afford(toy_spec.min_epsilon)
+        assert not accountant.can_afford(toy_spec.min_epsilon + 0.1)
+
+    def test_sequence_sums_elementwise_theorem2(self, toy_spec):
+        """Theorem 2: budgets of a sequence add element-wise."""
+        accountant = CompositionAccountant(toy_spec.scaled(3.0))
+        first = BudgetSpec(toy_spec.item_epsilons)
+        second = BudgetSpec(toy_spec.item_epsilons * 1.5)
+        accountant.record(first)
+        accountant.record(second)
+        composed = accountant.composed_spec()
+        assert np.allclose(
+            composed.item_epsilons, toy_spec.item_epsilons * 2.5
+        )
+
+    def test_composed_spec_requires_releases(self, toy_spec):
+        with pytest.raises(BudgetError, match="no releases"):
+            CompositionAccountant(toy_spec).composed_spec()
+
+
+class TestValidation:
+    def test_rejects_non_spec_total(self):
+        with pytest.raises(ValidationError):
+            CompositionAccountant([1.0, 2.0])
+
+    def test_rejects_mismatched_release_domain(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        with pytest.raises(ValidationError, match="covers"):
+            accountant.record(BudgetSpec([1.0, 1.0]))
+
+    def test_rejects_non_positive_scalar(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        with pytest.raises(ValidationError):
+            accountant.record(-0.5)
+
+    def test_failed_record_does_not_mutate_state(self, toy_spec):
+        accountant = CompositionAccountant(toy_spec)
+        accountant.record(toy_spec.min_epsilon)
+        spent_before = accountant.spent()
+        with pytest.raises(BudgetError):
+            accountant.record(toy_spec.max_epsilon)
+        assert np.allclose(accountant.spent(), spent_before)
+        assert accountant.n_releases == 1

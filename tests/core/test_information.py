@@ -1,0 +1,65 @@
+"""Unit tests for channel mutual information."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, IDUE, MIN
+from repro.audit import unary_channel
+from repro.core import channel_mutual_information, per_input_kl_divergence
+from repro.exceptions import ValidationError
+from repro.mechanisms import GeneralizedRandomizedResponse
+
+
+class TestMutualInformation:
+    def test_useless_channel_has_zero_mi(self):
+        channel = np.full((3, 3), 1.0 / 3.0)
+        assert channel_mutual_information(channel, [1 / 3] * 3) == pytest.approx(0.0)
+
+    def test_identity_channel_has_entropy_mi(self):
+        prior = np.array([0.25, 0.75])
+        expected = -np.sum(prior * np.log(prior))
+        assert channel_mutual_information(np.eye(2), prior) == pytest.approx(expected)
+
+    def test_mi_bounded_by_ldp_epsilon(self):
+        """Under eps-LDP, I(X;Y) <= eps (every log-ratio within ±eps)."""
+        for epsilon in (0.5, 1.0, 2.0):
+            channel = GeneralizedRandomizedResponse(epsilon, m=4).channel_matrix()
+            mi = channel_mutual_information(channel, [0.25] * 4)
+            assert 0.0 <= mi <= epsilon
+
+    def test_mi_bounded_by_minid_equivalent_on_idue(self):
+        """MI of an IDUE channel is within the Lemma 1 LDP equivalent."""
+        spec = BudgetSpec([0.8, 2.0, 2.0])
+        mech = IDUE.optimized(spec, model="opt0")
+        channel = unary_channel(mech)
+        prior = np.array([0.2, 0.3, 0.5])
+        mi = channel_mutual_information(channel, prior)
+        from repro.core.notions import ldp_budget_implied_by_minid
+
+        assert 0.0 <= mi <= ldp_budget_implied_by_minid(spec.level_epsilons)
+
+    def test_per_input_divergences_average_to_mi(self):
+        channel = GeneralizedRandomizedResponse(1.0, m=3).channel_matrix()
+        prior = np.array([0.5, 0.3, 0.2])
+        divergences = per_input_kl_divergence(channel, prior)
+        assert channel_mutual_information(channel, prior) == pytest.approx(
+            float(np.sum(prior * divergences))
+        )
+
+    def test_input_discrimination_shows_in_divergences(self):
+        """The sensitive level leaks less: smaller KL for its inputs."""
+        spec = BudgetSpec([0.5, 3.0, 3.0])
+        mech = IDUE.optimized(spec, model="opt0")
+        channel = unary_channel(mech)
+        divergences = per_input_kl_divergence(channel, [1 / 3] * 3)
+        assert divergences[0] < divergences[1]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            channel_mutual_information(np.array([[0.5, 0.4], [0.5, 0.5]]), [0.5, 0.5])
+        with pytest.raises(ValidationError):
+            channel_mutual_information(np.eye(2), [0.5, 0.6])
+        with pytest.raises(ValidationError):
+            channel_mutual_information(np.eye(2), [0.5, 0.25, 0.25])

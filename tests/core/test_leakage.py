@@ -1,0 +1,91 @@
+"""Unit tests for prior-posterior leakage bounds (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.leakage import (
+    empirical_leakage_bounds,
+    geo_indistinguishability_leakage_bounds,
+    ldp_leakage_bounds,
+    minid_leakage_bounds,
+    pldp_leakage_bounds,
+)
+from repro.exceptions import ValidationError
+from repro.mechanisms import GeneralizedRandomizedResponse
+
+
+class TestClosedFormBounds:
+    def test_ldp_row(self):
+        low, high = ldp_leakage_bounds(1.0)
+        assert low == pytest.approx(np.exp(-1.0))
+        assert high == pytest.approx(np.exp(1.0))
+
+    def test_pldp_row_uses_user_budget(self):
+        assert pldp_leakage_bounds(2.0) == ldp_leakage_bounds(2.0)
+
+    def test_minid_row_capped_by_two_min(self):
+        budgets = [1.0, 5.0]
+        # eps_x = 5 > 2*min = 2, so the effective exponent is 2.
+        low, high = minid_leakage_bounds(5.0, budgets)
+        assert high == pytest.approx(np.exp(2.0))
+        assert low == pytest.approx(np.exp(-2.0))
+
+    def test_minid_row_direct_budget(self):
+        low, high = minid_leakage_bounds(1.0, [1.0, 5.0])
+        assert high == pytest.approx(np.exp(1.0))
+
+    def test_minid_rejects_budget_not_in_set(self):
+        with pytest.raises(ValidationError):
+            minid_leakage_bounds(3.0, [1.0, 5.0])
+
+    def test_geo_ind_row(self):
+        prior = [0.5, 0.5]
+        distances = [0.0, 2.0]
+        low, high = geo_indistinguishability_leakage_bounds(1.0, prior, distances)
+        assert low == pytest.approx(0.5 + 0.5 * np.exp(-2.0))
+        assert high == pytest.approx(0.5 + 0.5 * np.exp(2.0))
+
+    def test_geo_ind_validates_prior_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            geo_indistinguishability_leakage_bounds(1.0, [0.5, 0.4], [0.0, 1.0])
+
+    def test_geo_ind_validates_shapes(self):
+        with pytest.raises(ValidationError):
+            geo_indistinguishability_leakage_bounds(1.0, [0.5, 0.5], [0.0])
+
+
+class TestEmpiricalLeakage:
+    def test_uniform_channel_leaks_nothing(self):
+        channel = np.full((3, 3), 1.0 / 3.0)
+        low, high = empirical_leakage_bounds(channel, [1 / 3] * 3, x=0)
+        assert low == pytest.approx(1.0)
+        assert high == pytest.approx(1.0)
+
+    def test_grr_leakage_within_ldp_bounds(self):
+        epsilon = 1.2
+        mech = GeneralizedRandomizedResponse(epsilon, 4)
+        channel = mech.channel_matrix()
+        prior = np.array([0.4, 0.3, 0.2, 0.1])
+        bound_low, bound_high = ldp_leakage_bounds(epsilon)
+        for x in range(4):
+            low, high = empirical_leakage_bounds(channel, prior, x)
+            assert low >= bound_low - 1e-12
+            assert high <= bound_high + 1e-12
+
+    def test_identity_channel_maximal_leakage(self):
+        channel = np.eye(2)
+        prior = [0.3, 0.7]
+        low, high = empirical_leakage_bounds(channel, prior, x=0)
+        # Observing the output pins the input: Pr(x)/Pr(x|y) = Pr(y) = 0.3.
+        assert low == pytest.approx(0.3)
+        assert high == pytest.approx(0.3)
+
+    def test_rejects_non_stochastic_channel(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            empirical_leakage_bounds(np.array([[0.5, 0.2], [0.5, 0.5]]), [0.5, 0.5], 0)
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(ValidationError):
+            empirical_leakage_bounds(np.eye(2), [0.5, 0.5], 5)

@@ -1,0 +1,138 @@
+"""Unit tests for LDP / ID-LDP notion objects and Lemma 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AVG, MAX, MIN, BudgetSpec, IDLDP, LDP, PolicyGraph, RFunction
+from repro.core.notions import (
+    ldp_budget_implied_by_minid,
+    minid_budgets_implied_by_ldp,
+    resolve_r_function,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRFunction:
+    def test_min_is_elementwise_minimum(self):
+        assert MIN(1.0, 2.0) == 1.0
+        assert MIN(3.0, 0.5) == 0.5
+
+    def test_avg_is_mean(self):
+        assert AVG(1.0, 3.0) == 2.0
+
+    def test_max_is_elementwise_maximum(self):
+        assert MAX(1.0, 2.0) == 2.0
+
+    def test_pairwise_matrix_min(self):
+        matrix = MIN.pairwise_matrix([1.0, 2.0, 4.0])
+        expected = np.minimum.outer([1.0, 2.0, 4.0], [1.0, 2.0, 4.0])
+        assert np.allclose(matrix, expected)
+
+    def test_pairwise_matrix_diagonal_is_own_budget(self):
+        for r in (MIN, AVG, MAX):
+            matrix = r.pairwise_matrix([1.0, 2.0])
+            assert np.allclose(np.diag(matrix), [1.0, 2.0])
+
+    def test_asymmetric_r_rejected(self):
+        bad = RFunction("bad", lambda x, y: x + 0.0 * y)  # not symmetric
+        with pytest.raises(ValidationError, match="not symmetric"):
+            bad.pairwise_matrix([1.0, 2.0])
+
+    def test_resolve_by_name(self):
+        assert resolve_r_function("min") is MIN
+        assert resolve_r_function("AVG") is AVG
+        assert resolve_r_function(MAX) is MAX
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown r-function"):
+            resolve_r_function("median")
+
+
+class TestLDPNotion:
+    def test_pair_budget_uniform(self):
+        notion = LDP(1.5)
+        assert notion.pair_budget(0, 7) == 1.5
+        assert notion.pair_bound(0, 7) == pytest.approx(np.exp(1.5))
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            LDP(0.0)
+
+
+class TestIDLDPNotion:
+    def test_pair_budget_is_min_of_item_budgets(self, toy_spec):
+        notion = IDLDP(toy_spec, MIN)
+        ln4, ln6 = np.log(4.0), np.log(6.0)
+        assert notion.pair_budget(0, 1) == pytest.approx(ln4)
+        assert notion.pair_budget(1, 2) == pytest.approx(ln6)
+        assert notion.pair_budget(2, 0) == pytest.approx(ln4)
+
+    def test_avg_instantiation(self, toy_spec):
+        notion = IDLDP(toy_spec, AVG)
+        expected = (np.log(4.0) + np.log(6.0)) / 2.0
+        assert notion.pair_budget(0, 1) == pytest.approx(expected)
+
+    def test_level_budget_matrix_shape(self, three_level_spec):
+        notion = IDLDP(three_level_spec)
+        matrix = notion.level_budget_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 2] == pytest.approx(0.5)
+
+    def test_policy_graph_excludes_pairs(self, three_level_spec):
+        policy = PolicyGraph.star(3, center=0)  # only (0,1), (0,2) edges
+        notion = IDLDP(three_level_spec, MIN, policy=policy)
+        assert np.isfinite(notion.pair_budget(0, 3))  # levels 0 vs 1
+        # Items of levels 1 and 2 carry no constraint.
+        item_l1 = 2  # first item of level 1 (sizes 2, 3, 5)
+        item_l2 = 5  # first item of level 2
+        assert notion.pair_budget(item_l1, item_l2) == float("inf")
+
+    def test_policy_matrix_marks_exclusions_inf(self, three_level_spec):
+        policy = PolicyGraph.star(3, center=0)
+        matrix = IDLDP(three_level_spec, MIN, policy=policy).level_budget_matrix()
+        assert matrix[1, 2] == float("inf")
+        assert np.isfinite(matrix[1, 1])  # within-level stays constrained
+
+    def test_policy_size_mismatch(self, toy_spec):
+        with pytest.raises(ValidationError):
+            IDLDP(toy_spec, MIN, policy=PolicyGraph.complete(3))
+
+    def test_is_min_id(self, toy_spec):
+        assert IDLDP(toy_spec, MIN).is_min_id
+        assert not IDLDP(toy_spec, AVG).is_min_id
+
+    def test_uniform_budgets_reduce_to_ldp(self):
+        spec = BudgetSpec.uniform(1.0, 4)
+        notion = IDLDP(spec, MIN)
+        ldp = LDP(1.0)
+        for i in range(4):
+            for j in range(4):
+                assert notion.pair_budget(i, j) == ldp.pair_budget(i, j)
+
+
+class TestLemma1:
+    def test_forward_direction(self):
+        # eps = min(max E, 2 min E)
+        assert ldp_budget_implied_by_minid([1.0, 1.5]) == pytest.approx(1.5)
+        assert ldp_budget_implied_by_minid([1.0, 4.0]) == pytest.approx(2.0)
+        assert ldp_budget_implied_by_minid([2.0]) == pytest.approx(2.0)
+
+    def test_forward_matches_notion_method(self, toy_spec):
+        notion = IDLDP(toy_spec, MIN)
+        expected = min(toy_spec.max_epsilon, 2 * toy_spec.min_epsilon)
+        assert notion.ldp_equivalent() == pytest.approx(expected)
+
+    def test_reverse_direction(self):
+        assert minid_budgets_implied_by_ldp(1.0, [1.0, 2.0])
+        assert minid_budgets_implied_by_ldp(0.5, [1.0, 2.0])
+        assert not minid_budgets_implied_by_ldp(1.5, [1.0, 2.0])
+
+    def test_relaxation_at_most_factor_two(self, rng):
+        """The LDP budget implied by MinID-LDP never exceeds 2 min{E}."""
+        for _ in range(50):
+            budgets = rng.uniform(0.1, 5.0, size=rng.integers(1, 6))
+            implied = ldp_budget_implied_by_minid(budgets)
+            assert implied <= 2.0 * budgets.min() + 1e-12
+            assert implied <= budgets.max() + 1e-12

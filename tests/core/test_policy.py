@@ -1,0 +1,112 @@
+"""Unit tests for PolicyGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PolicyGraph
+from repro.core.notions import MIN
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_complete_graph(self):
+        graph = PolicyGraph.complete(4)
+        assert graph.is_complete()
+        assert len(graph.edges()) == 6
+
+    def test_star_graph(self):
+        graph = PolicyGraph.star(4, center=0)
+        assert not graph.is_complete()
+        assert sorted(graph.edges()) == [(0, 1), (0, 2), (0, 3)]
+        assert graph.neighbors(0) == [1, 2, 3]
+        assert graph.neighbors(1) == [0]
+
+    def test_star_bad_center(self):
+        with pytest.raises(ValidationError):
+            PolicyGraph.star(3, center=5)
+
+    def test_self_loops_implicit(self):
+        graph = PolicyGraph(3, [])
+        for i in range(3):
+            assert graph.has_edge(i, i)
+
+    def test_from_adjacency_symmetrizes(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = True  # only one direction given
+        graph = PolicyGraph.from_adjacency(adj)
+        assert graph.has_edge(1, 0)
+
+    def test_from_adjacency_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            PolicyGraph.from_adjacency(np.zeros((2, 3), dtype=bool))
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(ValidationError):
+            PolicyGraph(2, [(0, 5)])
+
+
+class TestQueries:
+    def test_has_edge_bounds_check(self):
+        graph = PolicyGraph.complete(2)
+        with pytest.raises(ValidationError):
+            graph.has_edge(0, 9)
+
+    def test_adjacency_read_only(self):
+        graph = PolicyGraph.complete(2)
+        with pytest.raises(ValueError):
+            graph.adjacency()[0, 1] = False
+
+    def test_equality_and_hash(self):
+        a = PolicyGraph.star(3)
+        b = PolicyGraph.star(3)
+        c = PolicyGraph.complete(3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_to_networkx_roundtrip(self):
+        graph = PolicyGraph.star(4)
+        nx_graph = graph.to_networkx()
+        assert set(nx_graph.edges()) == set(graph.edges())
+
+
+class TestTransitiveBudget:
+    def test_direct_edge_uses_r(self):
+        graph = PolicyGraph.complete(3)
+        eps = np.array([1.0, 2.0, 3.0])
+        assert graph.transitive_pair_budget(1, 2, eps, MIN) == pytest.approx(2.0)
+
+    def test_missing_edge_goes_through_path(self):
+        # Star centered at 0: 1 and 2 only connect through 0.
+        graph = PolicyGraph.star(3, center=0)
+        eps = np.array([1.0, 2.0, 3.0])
+        # Path 1-0-2: min(2,1) + min(1,3) = 1 + 1 = 2.
+        assert graph.transitive_pair_budget(1, 2, eps, MIN) == pytest.approx(2.0)
+
+    def test_same_node_is_zero(self):
+        graph = PolicyGraph.complete(2)
+        assert graph.transitive_pair_budget(0, 0, [1.0, 2.0], MIN) == 0.0
+
+    def test_disconnected_is_inf(self):
+        graph = PolicyGraph(3, [(0, 1)])
+        assert graph.transitive_pair_budget(0, 2, [1.0, 1.0, 1.0], MIN) == float("inf")
+
+    def test_incomplete_graph_can_beat_two_min(self):
+        """Section IV-C: dropping pairs can allow budgets beyond 2 min{E}.
+
+        With a path graph 0-1-2 and budgets [0.5, 5, 5], the (1, 2) pair
+        is directly constrained at min(5,5) = 5 > 2 * 0.5 = 1, while a
+        complete graph would cap it at 2 min{E} via transitivity only if
+        the (1,2) edge were forced through 0 — here it is direct.
+        """
+        graph = PolicyGraph(3, [(0, 1), (1, 2)])
+        eps = np.array([0.5, 5.0, 5.0])
+        direct = graph.transitive_pair_budget(1, 2, eps, MIN)
+        assert direct == pytest.approx(5.0)
+        assert direct > 2 * eps.min()
+
+    def test_shape_mismatch(self):
+        graph = PolicyGraph.complete(2)
+        with pytest.raises(ValidationError):
+            graph.transitive_pair_budget(0, 1, [1.0, 2.0, 3.0], MIN)

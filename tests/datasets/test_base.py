@@ -1,0 +1,99 @@
+"""Unit tests for ItemsetDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ItemsetDataset
+from repro.exceptions import DatasetError
+
+
+class TestConstruction:
+    def test_from_sets(self, small_itemset_dataset):
+        data = small_itemset_dataset
+        assert data.n == 6
+        assert data.m == 5
+        assert data.set_sizes.tolist() == [2, 1, 4, 2, 1, 5]
+
+    def test_from_sets_dedupes_by_default(self):
+        data = ItemsetDataset.from_sets([[1, 1, 2, 1]], m=3)
+        assert data.user_items(0).tolist() == [1, 2]
+
+    def test_from_sets_preserves_order_on_dedupe(self):
+        data = ItemsetDataset.from_sets([[3, 0, 3, 1]], m=4)
+        assert data.user_items(0).tolist() == [3, 0, 1]
+
+    def test_from_sets_keep_duplicates(self):
+        data = ItemsetDataset.from_sets([[1, 1, 2]], m=3, dedupe=False)
+        assert data.user_items(0).tolist() == [1, 1, 2]
+
+    def test_from_single_items(self):
+        data = ItemsetDataset.from_single_items([2, 0, 1], m=3)
+        assert data.n == 3
+        assert np.all(data.set_sizes == 1)
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(DatasetError):
+            ItemsetDataset([0, 1], [0, 1], m=3)  # last offset != len
+        with pytest.raises(DatasetError):
+            ItemsetDataset([0, 1], [1, 2], m=3)  # first offset != 0
+        with pytest.raises(DatasetError):
+            ItemsetDataset([0, 1], [0, 2, 1, 2], m=3)  # decreasing
+
+    def test_rejects_out_of_domain_items(self):
+        with pytest.raises(DatasetError):
+            ItemsetDataset([0, 7], [0, 2], m=3)
+
+    def test_empty_sets_allowed(self):
+        data = ItemsetDataset.from_sets([[], [0]], m=2)
+        assert data.set_sizes.tolist() == [0, 1]
+
+
+class TestAccessors:
+    def test_true_counts(self, small_itemset_dataset):
+        counts = small_itemset_dataset.true_counts()
+        # item 0 in users {0, 2, 5}; item 4 in {2, 4, 5}.
+        assert counts.tolist() == [3, 3, 3, 3, 3]
+
+    def test_true_counts_empty_dataset(self):
+        data = ItemsetDataset.from_sets([[]], m=4)
+        assert data.true_counts().tolist() == [0, 0, 0, 0]
+
+    def test_user_items_bounds(self, small_itemset_dataset):
+        with pytest.raises(DatasetError):
+            small_itemset_dataset.user_items(6)
+
+    def test_iter_sets(self, small_itemset_dataset):
+        sets = list(small_itemset_dataset.iter_sets())
+        assert len(sets) == 6
+        assert sets[1].tolist() == [2]
+
+    def test_first_items_skips_empty(self):
+        data = ItemsetDataset.from_sets([[], [2, 1], [0]], m=3)
+        assert data.first_items().tolist() == [2, 0]
+
+    def test_first_items_strict_mode(self):
+        data = ItemsetDataset.from_sets([[], [1]], m=2)
+        with pytest.raises(DatasetError):
+            data.first_items(skip_empty=False)
+
+    def test_mean_set_size(self, small_itemset_dataset):
+        assert small_itemset_dataset.mean_set_size() == pytest.approx(15 / 6)
+
+    def test_subset_users(self, small_itemset_dataset):
+        sub = small_itemset_dataset.subset_users([0, 2])
+        assert sub.n == 2
+        assert sub.user_items(1).tolist() == [0, 2, 3, 4]
+
+    def test_subset_users_bounds(self, small_itemset_dataset):
+        with pytest.raises(DatasetError):
+            small_itemset_dataset.subset_users([99])
+
+    def test_len_and_repr(self, small_itemset_dataset):
+        assert len(small_itemset_dataset) == 6
+        assert "n=6" in repr(small_itemset_dataset)
+
+    def test_arrays_read_only(self, small_itemset_dataset):
+        with pytest.raises(ValueError):
+            small_itemset_dataset.flat_items[0] = 9

@@ -1,0 +1,92 @@
+"""Unit tests for budget-assignment strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DEFAULT_LEVEL_MULTIPLIERS,
+    DEFAULT_LEVEL_PROPORTIONS,
+    assign_budgets,
+    exponential_level_distribution,
+    paper_default_spec,
+)
+from repro.exceptions import BudgetError
+
+
+class TestAssignBudgets:
+    def test_every_level_populated(self, rng):
+        spec = assign_budgets(100, [1.0, 2.0, 3.0], [0.1, 0.1, 0.8], rng)
+        assert spec.t == 3
+        assert np.all(spec.level_sizes >= 1)
+
+    def test_proportions_respected_statistically(self, rng):
+        spec = assign_budgets(20_000, [1.0, 4.0], [0.2, 0.8], rng)
+        fractions = spec.level_sizes / spec.m
+        assert fractions[0] == pytest.approx(0.2, abs=0.02)
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(BudgetError):
+            assign_budgets(10, [1.0, 2.0], [1.0], rng)
+
+    def test_rejects_bad_proportion_sum(self, rng):
+        with pytest.raises(BudgetError, match="sum to 1"):
+            assign_budgets(10, [1.0, 2.0], [0.5, 0.6], rng)
+
+    def test_rejects_m_below_t_with_seeding(self, rng):
+        with pytest.raises(BudgetError, match="m >= t"):
+            assign_budgets(2, [1.0, 2.0, 3.0], [0.3, 0.3, 0.4], rng)
+
+    def test_deterministic_with_seed(self):
+        a = assign_budgets(50, [1.0, 2.0], [0.5, 0.5], rng=3)
+        b = assign_budgets(50, [1.0, 2.0], [0.5, 0.5], rng=3)
+        assert a == b
+
+
+class TestExponentialLevels:
+    def test_budget_range(self):
+        epsilons, proportions = exponential_level_distribution(2.0, t=20)
+        assert epsilons.min() == pytest.approx(2.0)
+        assert epsilons.max() == pytest.approx(8.0)
+        assert epsilons.size == 20
+        assert proportions.sum() == pytest.approx(1.0)
+
+    def test_proportions_increase_with_budget(self):
+        """P(level) ∝ e^eps: least-sensitive levels hold the most items."""
+        _, proportions = exponential_level_distribution(1.0, t=10)
+        assert np.all(np.diff(proportions) > 0)
+
+    def test_exponential_ratio(self):
+        epsilons, proportions = exponential_level_distribution(1.0, t=5)
+        ratios = proportions[1:] / proportions[:-1]
+        expected = np.exp(np.diff(epsilons))
+        assert np.allclose(ratios, expected)
+
+    def test_single_level(self):
+        epsilons, proportions = exponential_level_distribution(1.5, t=1)
+        assert epsilons.tolist() == [1.5]
+        assert proportions.tolist() == [1.0]
+
+    def test_rejects_bad_multipliers(self):
+        with pytest.raises(BudgetError):
+            exponential_level_distribution(1.0, t=5, low_multiplier=4.0, high_multiplier=1.0)
+
+
+class TestPaperDefaultSpec:
+    def test_four_levels_with_default_multipliers(self, rng):
+        spec = paper_default_spec(1.0, m=1000, rng=rng)
+        assert spec.t == 4
+        assert np.allclose(spec.level_epsilons, DEFAULT_LEVEL_MULTIPLIERS)
+
+    def test_dominant_level_is_least_sensitive(self, rng):
+        spec = paper_default_spec(1.0, m=5000, rng=rng)
+        fractions = spec.level_sizes / spec.m
+        assert fractions[-1] == pytest.approx(
+            DEFAULT_LEVEL_PROPORTIONS[-1], abs=0.03
+        )
+
+    def test_scales_with_epsilon(self, rng):
+        spec = paper_default_spec(2.5, m=100, rng=rng)
+        assert spec.min_epsilon == pytest.approx(2.5)
+        assert spec.max_epsilon == pytest.approx(10.0)

@@ -1,0 +1,73 @@
+"""Unit tests for the FIMI / sequence file loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_fimi_transactions, load_sequences
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    path = tmp_path / "transactions.dat"
+    path.write_text("1 2 3\n2 4\n\n1 4 4\n")
+    return str(path)
+
+
+@pytest.fixture
+def sequence_file(tmp_path):
+    path = tmp_path / "msnbc.seq"
+    path.write_text("1 1 2\n3\n2 2 2 1\n")
+    return str(path)
+
+
+class TestFimiLoader:
+    def test_loads_and_remaps_dense(self, fimi_file):
+        data = load_fimi_transactions(fimi_file)
+        assert data.n == 3  # blank line skipped
+        assert data.m == 4  # items {1,2,3,4} -> {0..3}
+
+    def test_dedupes_within_transaction(self, fimi_file):
+        data = load_fimi_transactions(fimi_file)
+        assert data.set_sizes.tolist() == [3, 2, 2]  # "1 4 4" -> {1, 4}
+
+    def test_max_users_cap(self, fimi_file):
+        data = load_fimi_transactions(fimi_file, max_users=2)
+        assert data.n == 2
+
+    def test_remap_is_first_seen_order(self, fimi_file):
+        data = load_fimi_transactions(fimi_file)
+        # First transaction "1 2 3" becomes ids [0, 1, 2].
+        assert data.user_items(0).tolist() == [0, 1, 2]
+
+    def test_missing_file(self):
+        with pytest.raises(DatasetError, match="not found"):
+            load_fimi_transactions("/nonexistent/file.dat")
+
+    def test_non_integer_token(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1 two 3\n")
+        with pytest.raises(DatasetError, match="non-integer"):
+            load_fimi_transactions(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetError, match="empty"):
+            load_fimi_transactions(str(path))
+
+
+class TestSequenceLoader:
+    def test_dedupes_sequences_into_sets(self, sequence_file):
+        data = load_sequences(sequence_file)
+        assert data.n == 3
+        assert data.set_sizes.tolist() == [2, 1, 2]  # "2 2 2 1" -> {2, 1}
+
+    def test_domain_size(self, sequence_file):
+        data = load_sequences(sequence_file)
+        assert data.m == 3  # categories {1, 2, 3}
+
+    def test_max_users(self, sequence_file):
+        data = load_sequences(sequence_file, max_users=1)
+        assert data.n == 1

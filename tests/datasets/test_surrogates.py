@@ -1,0 +1,76 @@
+"""Unit tests for the Kosarak / Retail / MSNBC surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import kosarak_like, msnbc_like, retail_like
+
+
+class TestKosarakLike:
+    def test_shape_and_domain(self):
+        data = kosarak_like(n=2000, m=500, rng=0)
+        assert data.n == 2000
+        assert data.m == 500
+        assert data.flat_items.max() < 500
+
+    def test_sets_are_duplicate_free(self):
+        data = kosarak_like(n=500, m=200, rng=1)
+        for user_set in data.iter_sets():
+            assert np.unique(user_set).size == user_set.size
+
+    def test_heavy_tailed_sizes(self):
+        data = kosarak_like(n=5000, m=1000, mean_size=8.0, rng=0)
+        sizes = data.set_sizes
+        assert sizes.min() >= 1
+        assert sizes.max() > 2 * sizes.mean()  # a long tail exists
+
+    def test_popularity_skew(self):
+        data = kosarak_like(n=5000, m=300, rng=0)
+        counts = data.true_counts()
+        assert counts[0] > 5 * max(counts[200:].max(), 1)
+
+    def test_deterministic_with_seed(self):
+        a = kosarak_like(n=300, m=100, rng=5)
+        b = kosarak_like(n=300, m=100, rng=5)
+        assert np.array_equal(a.flat_items, b.flat_items)
+
+
+class TestRetailLike:
+    def test_shape(self):
+        data = retail_like(n=1500, m=400, rng=0)
+        assert data.n == 1500
+        assert data.m == 400
+
+    def test_mean_basket_size_close_to_target(self):
+        data = retail_like(n=8000, m=2000, mean_size=10.3, rng=0)
+        # Deduplication loses a little; accept a broad band around 10.3.
+        assert 5.0 < data.mean_set_size() < 13.0
+
+    def test_sizes_at_least_one(self):
+        data = retail_like(n=1000, m=500, rng=2)
+        assert data.set_sizes.min() >= 1
+
+
+class TestMsnbcLike:
+    def test_fourteen_categories(self):
+        data = msnbc_like(n=3000, rng=0)
+        assert data.m == 14
+        assert data.flat_items.max() < 14
+
+    def test_empty_sequences_possible_but_rare(self):
+        data = msnbc_like(n=5000, mean_visits=5.7, rng=0)
+        # geometric >= 1 so sets are non-empty after dedupe.
+        assert data.set_sizes.min() >= 1
+
+    def test_sets_capped_by_domain(self):
+        data = msnbc_like(n=2000, rng=1)
+        assert data.set_sizes.max() <= 14
+
+    def test_extreme_length_skew_before_dedupe(self):
+        """The paper highlights very uneven sequence lengths; after
+        deduplication the *set sizes* still spread across the domain."""
+        data = msnbc_like(n=10_000, rng=0)
+        sizes = data.set_sizes
+        assert sizes.min() == 1
+        assert sizes.max() >= 8

@@ -1,0 +1,82 @@
+"""Unit tests for synthetic single-item generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    power_law_items,
+    true_counts_from_items,
+    uniform_items,
+    zipf_items,
+)
+
+
+class TestPowerLaw:
+    def test_domain_and_shape(self):
+        items = power_law_items(n=5000, m=50, rng=0)
+        assert items.shape == (5000,)
+        assert items.min() >= 0 and items.max() < 50
+
+    def test_heavy_head(self):
+        """With alpha = 2 the first item should dominate."""
+        items = power_law_items(n=50_000, m=100, alpha=2.0, rng=0)
+        counts = true_counts_from_items(items, 100)
+        assert counts[0] > counts[10] > counts[50]
+        assert counts[0] / items.size > 0.3
+
+    def test_monotone_decreasing_on_average(self):
+        items = power_law_items(n=100_000, m=20, alpha=2.0, rng=1)
+        counts = true_counts_from_items(items, 20)
+        # Head strictly ordered; tail noisy but below the head.
+        assert counts[0] > counts[1] > counts[2]
+        assert np.all(counts[10:] <= counts[0] // 10)
+
+    def test_deterministic_with_seed(self):
+        a = power_law_items(n=100, m=10, rng=7)
+        b = power_law_items(n=100, m=10, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            power_law_items(n=10, m=5, alpha=1.0)
+
+
+class TestUniform:
+    def test_domain(self):
+        items = uniform_items(n=1000, m=30, rng=0)
+        assert items.min() >= 0 and items.max() < 30
+
+    def test_roughly_uniform(self):
+        items = uniform_items(n=60_000, m=6, rng=0)
+        freq = true_counts_from_items(items, 6) / items.size
+        assert np.allclose(freq, 1 / 6, atol=0.01)
+
+
+class TestZipf:
+    def test_domain_and_skew(self):
+        items = zipf_items(n=50_000, m=100, s=1.5, rng=0)
+        counts = true_counts_from_items(items, 100)
+        assert counts[0] > counts[5] > counts[50]
+
+    def test_probabilities_match_zipf_law(self):
+        items = zipf_items(n=200_000, m=4, s=1.0, rng=0)
+        freq = true_counts_from_items(items, 4) / items.size
+        weights = 1.0 / np.arange(1, 5)
+        expected = weights / weights.sum()
+        assert np.allclose(freq, expected, atol=0.01)
+
+
+class TestTrueCounts:
+    def test_histogram(self):
+        counts = true_counts_from_items([0, 1, 1, 3], m=4)
+        assert counts.tolist() == [1, 2, 0, 1]
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            true_counts_from_items([5], m=3)
+
+    def test_sum_equals_n(self):
+        items = uniform_items(n=777, m=10, rng=3)
+        assert true_counts_from_items(items, 10).sum() == 777

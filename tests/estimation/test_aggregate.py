@@ -1,0 +1,70 @@
+"""Unit tests for report aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Aggregator
+from repro.estimation import aggregate_reports
+from repro.exceptions import ValidationError
+
+
+class TestAggregateReports:
+    def test_column_sums(self):
+        reports = np.array([[1, 0, 1], [0, 0, 1], [1, 1, 1]])
+        assert aggregate_reports(reports).tolist() == [2, 1, 3]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValidationError):
+            aggregate_reports(np.array([[0, 2]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            aggregate_reports(np.array([1, 0, 1]))
+
+
+class TestAggregator:
+    def test_streaming_matches_batch(self, rng):
+        reports = (rng.random((50, 4)) < 0.3).astype(np.int8)
+        streaming = Aggregator(4)
+        for row in reports:
+            streaming.add(row)
+        assert streaming.n == 50
+        assert np.array_equal(streaming.counts(), aggregate_reports(reports))
+
+    def test_add_many(self, rng):
+        reports = (rng.random((30, 3)) < 0.5).astype(np.int8)
+        agg = Aggregator(3)
+        agg.add_many(reports[:10])
+        agg.add_many(reports[10:])
+        assert agg.n == 30
+        assert np.array_equal(agg.counts(), reports.sum(axis=0))
+
+    def test_merge_distributed_collection(self, rng):
+        reports = (rng.random((40, 3)) < 0.4).astype(np.int8)
+        left, right = Aggregator(3), Aggregator(3)
+        left.add_many(reports[:25])
+        right.add_many(reports[25:])
+        left.merge(right)
+        assert left.n == 40
+        assert np.array_equal(left.counts(), reports.sum(axis=0))
+
+    def test_merge_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            Aggregator(3).merge(Aggregator(4))
+
+    def test_add_shape_check(self):
+        with pytest.raises(ValidationError):
+            Aggregator(3).add([0, 1])
+
+    def test_add_binary_check(self):
+        with pytest.raises(ValidationError):
+            Aggregator(2).add([0, 5])
+
+    def test_counts_returns_copy(self):
+        agg = Aggregator(2)
+        agg.add([1, 0])
+        counts = agg.counts()
+        counts[0] = 99
+        assert agg.counts()[0] == 1

@@ -1,0 +1,97 @@
+"""Unit tests for the unbiased frequency estimator (Theorem 3 / Eq. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, FrequencyEstimator, IDUE, IDUEPS, OptimizedUnaryEncoding
+from repro.exceptions import EstimationError, ValidationError
+
+
+class TestConstruction:
+    def test_rejects_equal_ab(self):
+        with pytest.raises(EstimationError, match="undefined"):
+            FrequencyEstimator([0.5, 0.5], [0.5, 0.2], n=10)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            FrequencyEstimator([0.5], [0.2, 0.3], n=10)
+
+    def test_for_unary_mechanism(self):
+        mech = OptimizedUnaryEncoding(1.0, m=4)
+        est = FrequencyEstimator.for_mechanism(mech, n=100)
+        assert est.m == 4
+        assert est.ell == 1
+
+    def test_for_idue_ps_slices_real_bits(self, toy_spec):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        est = FrequencyEstimator.for_mechanism(mech, n=50)
+        assert est.m == toy_spec.m  # dummy bits excluded
+        assert est.ell == 3
+
+
+class TestCalibration:
+    def test_exact_inverse_of_expected_counts(self):
+        """estimate(E[c]) == c* exactly (Theorem 3 algebra)."""
+        a = np.array([0.6, 0.7, 0.55])
+        b = np.array([0.2, 0.1, 0.3])
+        n = 1000
+        est = FrequencyEstimator(a, b, n)
+        truth = np.array([200, 300, 500])
+        expected_counts = est.expected_counts(truth)
+        recovered = est.estimate(expected_counts)
+        assert np.allclose(recovered, truth)
+
+    def test_ps_scaling(self):
+        est = FrequencyEstimator([0.6], [0.2], n=100, ell=4)
+        # counts = n*b + s*(a-b) with s = 10 sampled holders -> c* = ell*s.
+        counts = np.array([100 * 0.2 + 10 * 0.4])
+        assert est.estimate(counts)[0] == pytest.approx(40.0)
+
+    def test_extra_dummy_counts_ignored(self):
+        est = FrequencyEstimator([0.6, 0.7], [0.2, 0.1], n=10)
+        counts = np.array([5, 6, 3, 2])  # two trailing dummy-bit counts
+        assert est.estimate(counts).shape == (2,)
+
+    def test_estimate_frequencies_divides_by_n(self):
+        est = FrequencyEstimator([0.6], [0.2], n=100)
+        counts = np.array([60.0])
+        assert est.estimate_frequencies(counts)[0] == pytest.approx(
+            est.estimate(counts)[0] / 100.0
+        )
+
+    def test_counts_validation(self):
+        est = FrequencyEstimator([0.6], [0.2], n=10)
+        with pytest.raises(EstimationError):
+            est.estimate(np.array([-1.0]))
+        with pytest.raises(EstimationError):
+            est.estimate(np.array([11.0]))
+        with pytest.raises(EstimationError):
+            est.estimate(np.zeros((2, 2)))
+
+    def test_expected_counts_shape_check(self):
+        est = FrequencyEstimator([0.6, 0.7], [0.2, 0.1], n=10)
+        with pytest.raises(EstimationError):
+            est.expected_counts([1.0])
+
+
+class TestStatisticalUnbiasedness:
+    def test_idue_estimates_unbiased(self, toy_spec, rng):
+        """Average estimate over many trials converges to the truth."""
+        mech = IDUE.optimized(toy_spec, model="opt0")
+        n = 2000
+        items = rng.integers(toy_spec.m, size=n)
+        truth = np.bincount(items, minlength=toy_spec.m)
+        est = FrequencyEstimator.for_mechanism(mech, n)
+        trials = 60
+        acc = np.zeros(toy_spec.m)
+        for _ in range(trials):
+            reports = mech.perturb_many(items, rng)
+            acc += est.estimate(reports.sum(axis=0))
+        mean_estimate = acc / trials
+        # Tolerance ~ 4 sigma of the trial-mean.
+        sd = np.sqrt(
+            n * mech.b * (1 - mech.b) / (mech.a - mech.b) ** 2 / trials
+        )
+        assert np.all(np.abs(mean_estimate - truth) < 4 * sd + 1e-9)

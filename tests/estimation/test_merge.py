@@ -1,0 +1,93 @@
+"""Unit tests for multi-round estimate merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, FrequencyEstimator, IDUE
+from repro.estimation import RoundEstimate, merge_round_estimates
+from repro.exceptions import EstimationError, ValidationError
+from repro.simulation import simulate_single_item_counts
+
+
+class TestRoundEstimate:
+    def test_from_counts(self):
+        est = FrequencyEstimator([0.6, 0.7], [0.2, 0.1], n=100)
+        round_est = RoundEstimate.from_counts(est, np.array([40.0, 30.0]))
+        assert round_est.estimates.shape == (2,)
+        expected_noise = 100 * 0.2 * 0.8 / 0.4**2
+        assert round_est.noise_variance[0] == pytest.approx(expected_noise)
+
+    def test_ps_scaling_in_noise(self):
+        est = FrequencyEstimator([0.6], [0.2], n=100, ell=3)
+        round_est = RoundEstimate.from_counts(est, np.array([40.0]))
+        assert round_est.noise_variance[0] == pytest.approx(
+            9 * 100 * 0.2 * 0.8 / 0.4**2
+        )
+
+    def test_type_check(self):
+        with pytest.raises(ValidationError):
+            RoundEstimate.from_counts("estimator", [1.0])
+
+
+class TestMerge:
+    def test_equal_rounds_reduce_to_mean(self):
+        a = RoundEstimate(np.array([10.0, 20.0]), np.array([4.0, 4.0]))
+        b = RoundEstimate(np.array([14.0, 22.0]), np.array([4.0, 4.0]))
+        merged, variance = merge_round_estimates([a, b])
+        assert merged.tolist() == [12.0, 21.0]
+        assert variance.tolist() == [2.0, 2.0]
+
+    def test_weights_favor_low_variance_round(self):
+        precise = RoundEstimate(np.array([10.0]), np.array([1.0]))
+        noisy = RoundEstimate(np.array([50.0]), np.array([9.0]))
+        merged, _ = merge_round_estimates([precise, noisy])
+        # Weighted mean = (10/1 + 50/9) / (1 + 1/9) = 14.
+        assert merged[0] == pytest.approx(14.0)
+
+    def test_empty_rounds_rejected(self):
+        with pytest.raises(EstimationError):
+            merge_round_estimates([])
+
+    def test_domain_mismatch(self):
+        a = RoundEstimate(np.zeros(2), np.ones(2))
+        b = RoundEstimate(np.zeros(3), np.ones(3))
+        with pytest.raises(ValidationError):
+            merge_round_estimates([a, b])
+
+    def test_nonpositive_variance_rejected(self):
+        bad = RoundEstimate(np.zeros(2), np.array([1.0, 0.0]))
+        with pytest.raises(EstimationError):
+            merge_round_estimates([bad])
+
+    def test_merging_halves_empirical_variance(self, toy_spec, rng):
+        """Two half-budget rounds merged ≈ the Theorem 2 use case; the
+        merged estimator's spread shrinks by ~1/2 vs a single round."""
+        half = BudgetSpec(toy_spec.item_epsilons / 2.0)
+        mech = IDUE.optimized(half, model="opt1")
+        n = 4000
+        truth = np.array([800, 800, 800, 800, 800])
+        estimator = FrequencyEstimator.for_mechanism(mech, n)
+
+        trials = 150
+        single_err = np.empty(trials)
+        merged_err = np.empty(trials)
+        for k in range(trials):
+            counts1 = simulate_single_item_counts(mech, truth, n, rng)
+            counts2 = simulate_single_item_counts(mech, truth, n, rng)
+            r1 = RoundEstimate.from_counts(estimator, counts1)
+            r2 = RoundEstimate.from_counts(estimator, counts2)
+            merged, _ = merge_round_estimates([r1, r2])
+            single_err[k] = r1.estimates[0] - truth[0]
+            merged_err[k] = merged[0] - truth[0]
+        ratio = merged_err.var() / single_err.var()
+        assert ratio == pytest.approx(0.5, abs=0.2)
+
+    def test_merged_variance_matches_report(self):
+        rounds = [
+            RoundEstimate(np.array([5.0]), np.array([2.0])),
+            RoundEstimate(np.array([7.0]), np.array([6.0])),
+        ]
+        _, variance = merge_round_estimates(rounds)
+        assert variance[0] == pytest.approx(1.0 / (1 / 2 + 1 / 6))

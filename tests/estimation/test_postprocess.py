@@ -1,0 +1,74 @@
+"""Unit tests for estimate post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation import clip_nonnegative, norm_sub, normalize_to_total
+from repro.exceptions import ValidationError
+
+
+class TestClip:
+    def test_clips_negatives(self):
+        result = clip_nonnegative([-3.0, 0.0, 5.0])
+        assert result.tolist() == [0.0, 0.0, 5.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            clip_nonnegative([[1.0]])
+
+
+class TestNormalize:
+    def test_rescales_to_total(self):
+        result = normalize_to_total([1.0, 3.0], total=8.0)
+        assert result.tolist() == [2.0, 6.0]
+
+    def test_clips_before_rescaling(self):
+        result = normalize_to_total([-1.0, 4.0], total=8.0)
+        assert result.tolist() == [0.0, 8.0]
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            normalize_to_total([-1.0, -2.0], total=5.0)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValidationError):
+            normalize_to_total([1.0], total=-1.0)
+
+
+class TestNormSub:
+    def test_preserves_total(self):
+        estimates = np.array([10.0, -2.0, 5.0, 3.0])
+        result = norm_sub(estimates, total=12.0)
+        assert result.sum() == pytest.approx(12.0)
+        assert np.all(result >= 0.0)
+
+    def test_already_consistent_input_shifted_uniformly(self):
+        estimates = np.array([6.0, 4.0])
+        result = norm_sub(estimates, total=8.0)
+        # Uniform shift of (10-8)/2 = 1 from each.
+        assert result.tolist() == [5.0, 3.0]
+
+    def test_zero_total(self):
+        result = norm_sub(np.array([5.0, 1.0]), total=0.0)
+        assert np.all(result == 0.0)
+
+    def test_negative_entries_zeroed_not_spread(self):
+        estimates = np.array([100.0, -50.0])
+        result = norm_sub(estimates, total=50.0)
+        assert result[1] == 0.0
+        assert result[0] == pytest.approx(50.0)
+
+    def test_preserves_order(self):
+        estimates = np.array([9.0, 1.0, 5.0, -3.0])
+        result = norm_sub(estimates, total=10.0)
+        ranked_in = np.argsort(-estimates)
+        ranked_out = np.argsort(-result, kind="stable")
+        # Positive survivors keep their relative order.
+        surviving = result[ranked_in] > 0
+        assert np.array_equal(ranked_in[surviving], ranked_out[: surviving.sum()])
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValidationError):
+            norm_sub(np.array([1.0]), total=-2.0)

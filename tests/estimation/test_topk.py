@@ -1,0 +1,61 @@
+"""Unit tests for heavy-hitter identification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation import top_k_items, top_k_metrics
+from repro.exceptions import ValidationError
+
+
+class TestTopKItems:
+    def test_descending_order(self):
+        result = top_k_items([1.0, 9.0, 4.0, 7.0], k=3)
+        assert result.tolist() == [1, 3, 2]
+
+    def test_deterministic_tie_breaking_by_id(self):
+        result = top_k_items([5.0, 5.0, 5.0], k=2)
+        assert result.tolist() == [0, 1]
+
+    def test_k_equals_m(self):
+        result = top_k_items([3.0, 1.0, 2.0], k=3)
+        assert result.tolist() == [0, 2, 1]
+
+    def test_k_too_large(self):
+        with pytest.raises(ValidationError):
+            top_k_items([1.0, 2.0], k=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            top_k_items([[1.0, 2.0]], k=1)
+
+
+class TestTopKMetrics:
+    def test_perfect_recovery(self):
+        truth = np.array([100.0, 80.0, 60.0, 10.0, 5.0])
+        metrics = top_k_metrics(truth, truth, k=3)
+        assert metrics["precision"] == 1.0
+        assert metrics["ncr"] == 1.0
+
+    def test_disjoint_recovery(self):
+        truth = np.array([100.0, 80.0, 1.0, 2.0])
+        estimates = np.array([0.0, 0.0, 50.0, 60.0])
+        metrics = top_k_metrics(estimates, truth, k=2)
+        assert metrics["precision"] == 0.0
+        assert metrics["ncr"] == 0.0
+
+    def test_partial_overlap_with_rank_credit(self):
+        truth = np.array([100.0, 80.0, 60.0])
+        # Estimated order: item 1 first, then item 2; misses item 0.
+        estimates = np.array([0.0, 70.0, 50.0])
+        metrics = top_k_metrics(estimates, truth, k=2)
+        assert metrics["precision"] == pytest.approx(0.5)
+        # Item 1 is rank 2 in the truth -> credit 1 of a perfect 3.
+        assert metrics["ncr"] == pytest.approx(1.0 / 3.0)
+
+    def test_metric_reports_id_arrays(self):
+        truth = np.array([5.0, 9.0, 1.0])
+        metrics = top_k_metrics(truth, truth, k=2)
+        assert metrics["true_top"].tolist() == [1, 0]
+        assert metrics["estimated_top"].tolist() == [1, 0]

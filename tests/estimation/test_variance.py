@@ -1,0 +1,122 @@
+"""Unit tests for variance/MSE theory (Eq. 9 and the PS extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IDUEPS
+from repro.datasets import ItemsetDataset
+from repro.estimation import (
+    FrequencyEstimator,
+    ps_estimator_mse,
+    ps_expected_counts,
+    ps_moment_sums,
+    ue_estimator_variance,
+    ue_total_mse,
+)
+from repro.exceptions import ValidationError
+from repro.simulation import simulate_itemset_counts
+
+
+class TestUEVariance:
+    def test_table2_rappor_value(self):
+        """RAPPOR at eps = ln4: Var = 2n per item (Table II)."""
+        n = 1000
+        var = ue_estimator_variance(n, 2 / 3, 1 / 3, [0.0])
+        assert var[0] == pytest.approx(2 * n)
+
+    def test_table2_oue_value(self):
+        """OUE at eps = ln4: Var = (16/9) n + c_i (Table II)."""
+        n = 900
+        c = 123.0
+        var = ue_estimator_variance(n, 0.5, 0.2, [c])
+        assert var[0] == pytest.approx(16 / 9 * n + c)
+
+    def test_total_is_sum(self):
+        n = 100
+        counts = [10.0, 20.0, 70.0]
+        per_item = ue_estimator_variance(n, 0.6, 0.2, counts)
+        assert ue_total_mse(n, 0.6, 0.2, counts) == pytest.approx(per_item.sum())
+
+    def test_rejects_counts_above_n(self):
+        with pytest.raises(ValidationError):
+            ue_estimator_variance(10, 0.6, 0.2, [11.0])
+
+    def test_rejects_a_below_b(self):
+        with pytest.raises(ValidationError):
+            ue_estimator_variance(10, 0.2, 0.6, [1.0])
+
+    def test_variance_matches_empirical(self, rng):
+        """Eq. 9 against the empirical variance of the fast simulator."""
+        from repro.mechanisms import OptimizedUnaryEncoding
+        from repro.simulation import simulate_single_item_counts
+
+        n, m = 5000, 4
+        mech = OptimizedUnaryEncoding(1.0, m)
+        truth = np.array([2500, 1500, 800, 200])
+        est = FrequencyEstimator.for_mechanism(mech, n)
+        trials = 400
+        estimates = np.empty((trials, m))
+        for k in range(trials):
+            counts = simulate_single_item_counts(mech, truth, n, rng)
+            estimates[k] = est.estimate(counts)
+        empirical_var = estimates.var(axis=0)
+        theory = ue_estimator_variance(n, mech.a, mech.b, truth)
+        # Sample variance of 400 trials: ~15% relative tolerance.
+        assert np.allclose(empirical_var, theory, rtol=0.3)
+
+
+class TestPSMoments:
+    def test_moment_sums_manual(self):
+        """Hand-computed s_i and q_i on a tiny dataset."""
+        data = ItemsetDataset.from_sets([[0, 1], [0]], m=3)
+        ell = 2
+        # User 0: |x| = 2 -> pi = 1/2 for items 0, 1.
+        # User 1: |x| = 1 < ell -> pi = 1/2 for item 0.
+        s, q = ps_moment_sums(data, ell)
+        assert s.tolist() == [1.0, 0.5, 0.0]
+        assert q.tolist() == [0.5, 0.25, 0.0]
+
+    def test_truncation_reduces_pi(self):
+        data = ItemsetDataset.from_sets([[0, 1, 2, 3]], m=4)
+        s, _ = ps_moment_sums(data, ell=2)
+        assert np.allclose(s, 0.25)  # 1/max(4, 2)
+
+    def test_expected_counts_unbiased_when_no_truncation(self):
+        data = ItemsetDataset.from_sets([[0, 1], [1], [0, 2]], m=3)
+        expected = ps_expected_counts(data, ell=3)
+        assert np.allclose(expected, data.true_counts())
+
+    def test_expected_counts_biased_down_under_truncation(self):
+        data = ItemsetDataset.from_sets([[0, 1, 2, 3, 4]], m=5)
+        expected = ps_expected_counts(data, ell=2)
+        assert np.all(expected < data.true_counts())
+
+
+class TestPSEstimatorMSE:
+    def test_mse_decomposition(self, toy_spec, small_itemset_dataset):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        mse, var, bias = ps_estimator_mse(
+            small_itemset_dataset, 3, mech.a[:5], mech.b[:5]
+        )
+        assert np.allclose(mse, var + bias**2)
+        assert np.all(var > 0)
+
+    def test_matches_empirical_mse(self, toy_spec, rng):
+        """Exact PS theory against Monte-Carlo over many trials."""
+        sets = [[0, 1], [2], [0, 2, 3], [1, 3, 4], [4], [0, 1, 2, 3, 4]] * 50
+        data = ItemsetDataset.from_sets(sets, m=5)
+        ell = 3
+        mech = IDUEPS.optimized(toy_spec, ell=ell, model="opt2")
+        est = FrequencyEstimator.for_mechanism(mech, data.n)
+        truth = data.true_counts().astype(float)
+
+        trials = 600
+        sq_err = np.zeros(5)
+        for _ in range(trials):
+            counts = simulate_itemset_counts(mech, data, rng)
+            sq_err += (est.estimate(counts) - truth) ** 2
+        empirical_mse = sq_err / trials
+        theory_mse, _, _ = ps_estimator_mse(data, ell, mech.a[:5], mech.b[:5])
+        assert np.allclose(empirical_mse, theory_mse, rtol=0.35)

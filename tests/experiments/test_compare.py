@@ -1,0 +1,89 @@
+"""Unit tests for the one-call mechanism comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ItemsetDataset, paper_default_spec
+from repro.exceptions import ValidationError
+from repro.experiments import compare_itemset, compare_single_item
+
+
+@pytest.fixture
+def spec(rng):
+    return paper_default_spec(2.0, m=30, rng=rng)
+
+
+class TestCompareSingleItem:
+    def test_rows_sorted_by_theory(self, spec, rng):
+        truth = np.full(30, 100.0)
+        result = compare_single_item(spec, truth, n=3000, trials=2, rng=rng)
+        theories = [row[1] for row in result["rows"]]
+        assert theories == sorted(theories)
+
+    def test_idue_opt0_wins(self, spec, rng):
+        truth = np.full(30, 100.0)
+        result = compare_single_item(spec, truth, n=3000, trials=2, rng=rng)
+        assert result["best"] == "idue-opt0"
+
+    def test_mechanism_subset(self, spec, rng):
+        truth = np.full(30, 100.0)
+        result = compare_single_item(
+            spec, truth, n=3000, mechanisms=("oue", "rappor"), trials=1, rng=rng
+        )
+        assert {row[0] for row in result["rows"]} == {"oue", "rappor"}
+
+    def test_shape_validation(self, spec, rng):
+        with pytest.raises(ValidationError):
+            compare_single_item(spec, np.zeros(5), n=100, rng=rng)
+
+    def test_text_rendering(self, spec, rng):
+        truth = np.full(30, 100.0)
+        result = compare_single_item(
+            spec, truth, n=3000, mechanisms=("oue",), trials=1, rng=rng
+        )
+        assert "theoretical MSE" in result["text"]
+
+
+class TestCompareItemset:
+    @pytest.fixture
+    def dataset(self, rng):
+        sets = [
+            rng.choice(30, size=int(rng.integers(1, 4)), replace=False).tolist()
+            for _ in range(2000)
+        ]
+        return ItemsetDataset.from_sets(sets, m=30)
+
+    def test_idue_ps_wins(self, spec, dataset, rng):
+        result = compare_itemset(spec, dataset, ell=3, trials=2, rng=rng)
+        assert result["best"].startswith("idue-ps")
+
+    def test_domain_mismatch(self, spec, rng):
+        other = ItemsetDataset.from_sets([[0]], m=7)
+        with pytest.raises(ValidationError):
+            compare_itemset(spec, other, ell=2, rng=rng)
+
+    def test_all_registered_mechanisms_present(self, spec, dataset, rng):
+        from repro.mechanisms.factory import ITEMSET_MECHANISMS
+
+        result = compare_itemset(spec, dataset, ell=2, trials=1, rng=rng)
+        assert {row[0] for row in result["rows"]} == set(ITEMSET_MECHANISMS)
+
+
+class TestCLICompare:
+    def test_cli_compare_single(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--n", "1500", "--m", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "single-item comparison" in out
+        assert "idue-opt0" in out
+
+    def test_cli_compare_itemset(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--itemset", "--n", "800", "--m", "20", "--ell", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "item-set comparison" in out
+        assert "idue-ps-opt0" in out

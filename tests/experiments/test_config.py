@@ -1,0 +1,73 @@
+"""Unit tests for the experiment-configuration presets."""
+
+from __future__ import annotations
+
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+
+from repro.experiments import PAPER, QUICK
+from repro.experiments.config import (
+    Figure3Config,
+    Figure4aConfig,
+    Figure4bConfig,
+    Figure5Config,
+)
+
+
+class TestPaperPreset:
+    def test_fig3_matches_paper_workload(self):
+        assert PAPER.fig3.n == 100_000
+        assert PAPER.fig3.m_power_law == 100
+        assert PAPER.fig3.m_uniform == 1_000
+        assert PAPER.fig3.power_law_alpha == 2.0
+
+    def test_fig4a_matches_kosarak_domain(self):
+        assert PAPER.fig4a.m == 41_270
+        assert PAPER.fig4a.budget_distributions[0] == (0.05, 0.05, 0.05, 0.85)
+
+    def test_fig4b_matches_retail(self):
+        assert PAPER.fig4b.n == 88_162
+        assert PAPER.fig4b.m == 16_470
+        assert PAPER.fig4b.t_many == 20
+
+    def test_fig5_datasets(self):
+        assert PAPER.fig5_retail.dataset == "retail"
+        assert PAPER.fig5_msnbc.dataset == "msnbc"
+        assert PAPER.fig5_msnbc.m == 14
+        assert PAPER.fig5_retail.ells == (1, 2, 3, 4, 5, 6)
+
+
+class TestQuickPreset:
+    def test_strictly_smaller_workloads(self):
+        assert QUICK.fig3.n < PAPER.fig3.n
+        assert QUICK.fig4a.m < PAPER.fig4a.m
+        assert QUICK.fig4b.n < PAPER.fig4b.n
+        assert QUICK.fig5_msnbc.n < PAPER.fig5_msnbc.n
+
+    def test_same_shapes(self):
+        """Quick presets change scale, never structure."""
+        assert QUICK.fig5_msnbc.m == PAPER.fig5_msnbc.m  # 14 categories
+        assert len(QUICK.fig4a.budget_distributions[0]) == 4
+
+
+class TestConfigObjects:
+    def test_frozen(self):
+        config = Figure3Config()
+        with pytest.raises(FrozenInstanceError):
+            config.n = 5
+
+    def test_replace_for_customization(self):
+        config = replace(Figure4bConfig(), ell=7)
+        assert config.ell == 7
+        assert config.m == Figure4bConfig().m
+
+    def test_defaults_sane(self):
+        for config in (
+            Figure3Config(),
+            Figure4aConfig(),
+            Figure4bConfig(),
+            Figure5Config(),
+        ):
+            assert config.trials >= 1
+            assert config.seed == 0

@@ -1,0 +1,94 @@
+"""Unit tests for CSV export of experiment results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.export import read_series_csv, write_series_csv
+
+
+@pytest.fixture
+def figure_result():
+    return {
+        "x_label": "epsilon",
+        "x": [1.0, 2.0, 3.0],
+        "series": {"RAPPOR": [10.0, 5.0, 2.0], "IDUE": [6.0, 3.0, 1.0]},
+    }
+
+
+class TestWriteRead:
+    def test_roundtrip(self, figure_result, tmp_path):
+        path = str(tmp_path / "fig.csv")
+        write_series_csv(figure_result, path)
+        restored = read_series_csv(path)
+        assert restored["x_label"] == "epsilon"
+        assert restored["x"] == figure_result["x"]
+        assert restored["series"] == figure_result["series"]
+
+    def test_topk_panel_roundtrip(self, figure_result, tmp_path):
+        figure_result["series_topk"] = {"IDUE": [1.0, 0.5, 0.2]}
+        path = str(tmp_path / "fig5.csv")
+        write_series_csv(figure_result, path)
+        restored = read_series_csv(path)
+        assert restored["series_topk"] == {"IDUE": [1.0, 0.5, 0.2]}
+        assert "topk:IDUE" not in restored["series"]
+
+    def test_creates_parent_directories(self, figure_result, tmp_path):
+        path = str(tmp_path / "a" / "b" / "fig.csv")
+        write_series_csv(figure_result, path)
+        assert read_series_csv(path)["x"] == figure_result["x"]
+
+    def test_header_content(self, figure_result, tmp_path):
+        path = str(tmp_path / "fig.csv")
+        write_series_csv(figure_result, path)
+        header = open(path).readline().strip().split(",")
+        assert header[0] == "epsilon"
+        assert set(header[1:]) == {"RAPPOR", "IDUE"}
+
+
+class TestValidation:
+    def test_ragged_series_rejected(self, figure_result, tmp_path):
+        figure_result["series"]["BAD"] = [1.0]
+        with pytest.raises(ValidationError, match="values for"):
+            write_series_csv(figure_result, str(tmp_path / "x.csv"))
+
+    def test_non_result_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_series_csv({"nope": 1}, str(tmp_path / "x.csv"))
+
+    def test_read_missing_file(self):
+        with pytest.raises(ValidationError, match="not found"):
+            read_series_csv("/nonexistent.csv")
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError, match="empty"):
+            read_series_csv(str(path))
+
+    def test_read_no_series_columns(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("x\n1\n")
+        with pytest.raises(ValidationError, match="no series"):
+            read_series_csv(str(path))
+
+    def test_read_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("x,a\n1,2\n3\n")
+        with pytest.raises(ValidationError, match="ragged"):
+            read_series_csv(str(path))
+
+    def test_real_figure_roundtrips(self, tmp_path):
+        """End-to-end: an actual figure3 result exports and re-imports."""
+        from repro.experiments import figure3
+        from repro.experiments.config import Figure3Config
+
+        result = figure3(
+            Figure3Config(n=2000, m_power_law=20, epsilons=(1.0,), trials=1)
+        )
+        path = str(tmp_path / "fig3.csv")
+        write_series_csv(result, path)
+        restored = read_series_csv(path)
+        for name, values in result["series"].items():
+            assert restored["series"][name] == pytest.approx(values)

@@ -1,0 +1,49 @@
+"""Unit tests for text reporting."""
+
+from __future__ import annotations
+
+from repro.experiments import format_series, format_table
+from repro.experiments.reporting import format_float
+
+
+class TestFormatFloat:
+    def test_general_format(self):
+        assert format_float(3.14159, precision=3) == "3.14"
+
+    def test_none_is_dash(self):
+        assert format_float(None) == "-"
+
+    def test_string_passthrough(self):
+        assert format_float("8.1 .. 8.4") == "8.1 .. 8.4"
+
+    def test_large_numbers_compact(self):
+        assert format_float(1.23e10) == "1.23e+10"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        # All lines equal width or shorter (ljust padding).
+        assert lines[1].startswith("----")
+
+    def test_column_width_grows_with_content(self):
+        text = format_table(["x"], [["longvalue"]])
+        header = text.splitlines()[0]
+        assert len(header) >= len("longvalue")
+
+
+class TestFormatSeries:
+    def test_series_as_columns(self):
+        text = format_series(
+            "eps", [1.0, 2.0], {"A": [10.0, 5.0], "B": [20.0, 8.0]}
+        )
+        lines = text.splitlines()
+        assert "eps" in lines[0] and "A" in lines[0] and "B" in lines[0]
+        assert "10" in lines[2]
+
+    def test_title_prefixed(self):
+        text = format_series("x", [1], {"s": [2]}, title="My Figure")
+        assert text.startswith("My Figure\n")

@@ -1,0 +1,81 @@
+"""Unit tests for the trial runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IDUEPS, OptimizedUnaryEncoding
+from repro.datasets import ItemsetDataset
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    empirical_total_mse_itemset,
+    empirical_total_mse_single,
+    run_itemset_trial,
+    run_single_item_trial,
+    theoretical_total_mse_itemset,
+    theoretical_total_mse_single,
+)
+
+
+class TestSingleItemRunner:
+    def test_trial_returns_estimates(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, m=4)
+        truth = np.array([100, 200, 300, 400])
+        estimates = run_single_item_trial(mech, truth, n=1000, rng=rng)
+        assert estimates.shape == (4,)
+
+    def test_empirical_mse_close_to_theory(self, rng):
+        mech = OptimizedUnaryEncoding(1.5, m=5)
+        truth = np.array([500, 400, 300, 200, 100])
+        n = 1500
+        empirical = empirical_total_mse_single(
+            mech, truth, n, trials=150, rng=rng
+        )
+        theory = theoretical_total_mse_single(mech, truth, n)
+        assert empirical == pytest.approx(theory, rel=0.25)
+
+    def test_items_subset(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, m=4)
+        truth = np.array([10, 20, 30, 40])
+        value = empirical_total_mse_single(
+            mech, truth, n=100, trials=3, rng=rng, items=[0, 1]
+        )
+        assert value >= 0.0
+
+    def test_trials_validated(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, m=2)
+        with pytest.raises(ValidationError):
+            empirical_total_mse_single(mech, [50, 50], 100, trials=0, rng=rng)
+
+
+class TestItemsetRunner:
+    @pytest.fixture
+    def mechanism(self, toy_spec):
+        return IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+
+    def test_trial_returns_real_domain_estimates(
+        self, mechanism, small_itemset_dataset, rng
+    ):
+        estimates = run_itemset_trial(mechanism, small_itemset_dataset, rng)
+        assert estimates.shape == (small_itemset_dataset.m,)
+
+    def test_empirical_mse_close_to_theory(self, toy_spec, rng):
+        sets = [[0, 1], [2], [1, 3], [0, 4], [3, 4]] * 80
+        data = ItemsetDataset.from_sets(sets, m=5)
+        mech = IDUEPS.optimized(toy_spec, ell=2, model="opt2")
+        empirical = empirical_total_mse_itemset(mech, data, trials=200, rng=rng)
+        theory = theoretical_total_mse_itemset(mech, data)
+        assert empirical == pytest.approx(theory, rel=0.25)
+
+    def test_theory_items_subset(self, toy_spec, small_itemset_dataset):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        total = theoretical_total_mse_itemset(mech, small_itemset_dataset)
+        partial = theoretical_total_mse_itemset(
+            mech, small_itemset_dataset, items=[0, 1]
+        )
+        assert 0 < partial < total
+
+    def test_dataset_type_check(self, mechanism, rng):
+        with pytest.raises(ValidationError):
+            empirical_total_mse_itemset(mechanism, [[0, 1]], trials=1, rng=rng)

@@ -1,0 +1,87 @@
+"""Tests reproducing Tables I and II against the paper's printed numbers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import table1_leakage_bounds, table2_toy_example
+
+
+class TestTable1:
+    def test_rows_present(self):
+        result = table1_leakage_bounds()
+        notions = [row[0] for row in result["rows"]]
+        assert notions[:3] == ["LDP", "PLDP", "Geo-Ind"]
+        assert notions.count("MinID-LDP") == 2  # one row per distinct budget
+
+    def test_ldp_bounds_at_min_budget(self):
+        result = table1_leakage_bounds()
+        ldp_row = result["rows"][0]
+        assert ldp_row[2] == pytest.approx(0.25)  # e^{-ln 4}
+        assert ldp_row[3] == pytest.approx(4.0)
+
+    def test_minid_bound_is_input_discriminative(self):
+        result = table1_leakage_bounds()
+        minid_rows = [row for row in result["rows"] if row[0] == "MinID-LDP"]
+        uppers = sorted(row[3] for row in minid_rows)
+        assert uppers[0] == pytest.approx(4.0)  # sensitive input
+        assert uppers[1] == pytest.approx(6.0)  # e^{ln 6} < 2 min{E} cap
+
+    def test_text_rendering(self):
+        result = table1_leakage_bounds()
+        assert "MinID-LDP" in result["text"]
+
+
+class TestTable2:
+    def test_rappor_row_matches_paper(self):
+        """Paper: flip prob 0.33 everywhere, Var = 2n, total 10n."""
+        result = table2_toy_example()
+        rappor = result["results"]["RAPPOR"]
+        assert rappor["a"][0] == pytest.approx(2 / 3, abs=1e-9)
+        assert rappor["noise_coefficients"][0] == pytest.approx(2.0)
+        assert rappor["total_range"][1] == pytest.approx(10.0)
+
+    def test_oue_row_matches_paper(self):
+        """Paper: p=0.5, q=0.2, Var = 1.78n + c_i, total 9.9n."""
+        result = table2_toy_example()
+        oue = result["results"]["OUE"]
+        assert oue["a"][0] == pytest.approx(0.5)
+        assert oue["b"][0] == pytest.approx(0.2)
+        assert oue["noise_coefficients"][0] == pytest.approx(16 / 9)
+        assert oue["total_range"][1] == pytest.approx(9.889, abs=1e-3)
+
+    def test_idue_beats_both_baselines(self):
+        """The paper's headline: IDUE's worst case < OUE < RAPPOR."""
+        result = table2_toy_example()
+        idue_high = result["results"]["IDUE"]["total_range"][1]
+        oue_high = result["results"]["OUE"]["total_range"][1]
+        rappor_high = result["results"]["RAPPOR"]["total_range"][1]
+        assert idue_high < oue_high < rappor_high
+
+    def test_idue_range_close_to_paper(self):
+        """Paper reports 8.68n-8.86n; our optimizer must land at or below
+        that range (it finds a slightly better feasible point)."""
+        result = table2_toy_example()
+        low, high = result["results"]["IDUE"]["total_range"]
+        assert high <= 8.87
+        assert low >= 7.5  # sanity floor: can't beat the bound by miles
+
+    def test_idue_flips_differ_by_level(self):
+        """Input-discrimination: the sensitive bit flips more."""
+        result = table2_toy_example()
+        idue = result["results"]["IDUE"]
+        flip1_sensitive = 1.0 - idue["a"][0]
+        flip1_benign = 1.0 - idue["a"][1]
+        assert flip1_sensitive > flip1_benign
+
+    def test_table_text_has_all_mechanisms(self):
+        text = table2_toy_example()["text"]
+        for name in ("RAPPOR", "OUE", "IDUE"):
+            assert name in text
+
+    @pytest.mark.parametrize("model", ["opt1", "opt2"])
+    def test_other_models_also_beat_oue_or_match(self, model):
+        result = table2_toy_example(model=model)
+        idue_high = result["results"]["IDUE"]["total_range"][1]
+        assert idue_high <= 9.889 + 1e-6

@@ -1,0 +1,65 @@
+"""Unit tests for the theory wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IDUEPS, OptimizedUnaryEncoding
+from repro.datasets import ItemsetDataset
+from repro.estimation import ue_total_mse
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    theoretical_total_mse_itemset,
+    theoretical_total_mse_single,
+)
+
+
+class TestSingleItemTheory:
+    def test_wraps_variance_module(self):
+        mech = OptimizedUnaryEncoding(1.0, m=4)
+        truth = np.array([10.0, 20.0, 30.0, 40.0])
+        assert theoretical_total_mse_single(mech, truth, 100) == pytest.approx(
+            ue_total_mse(100, mech.a, mech.b, truth)
+        )
+
+    def test_rejects_non_unary(self):
+        with pytest.raises(ValidationError):
+            theoretical_total_mse_single("mech", [1.0], 10)
+
+
+class TestItemsetTheory:
+    @pytest.fixture
+    def setup(self, toy_spec, small_itemset_dataset):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        return mech, small_itemset_dataset
+
+    def test_total_is_sum_of_per_item(self, setup):
+        mech, data = setup
+        total = theoretical_total_mse_itemset(mech, data)
+        parts = sum(
+            theoretical_total_mse_itemset(mech, data, items=[i])
+            for i in range(data.m)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_items_subset(self, setup):
+        mech, data = setup
+        partial = theoretical_total_mse_itemset(mech, data, items=[1, 2])
+        assert 0 < partial < theoretical_total_mse_itemset(mech, data)
+
+    def test_rejects_non_ps(self, small_itemset_dataset):
+        mech = OptimizedUnaryEncoding(1.0, m=5)
+        with pytest.raises(ValidationError):
+            theoretical_total_mse_itemset(mech, small_itemset_dataset)
+
+    def test_larger_ell_larger_variance_when_unbiased(self, toy_spec):
+        """For sets with |x| <= 2, both ell=2 and ell=4 are unbiased but
+        ell=4 inflates variance (the Fig 5 right-branch effect)."""
+        sets = [[0], [1, 2], [3], [2, 4]] * 30
+        data = ItemsetDataset.from_sets(sets, m=5)
+        small = IDUEPS.optimized(toy_spec, 2, model="opt1")
+        large = IDUEPS.optimized(toy_spec, 4, model="opt1")
+        assert theoretical_total_mse_itemset(
+            small, data
+        ) < theoretical_total_mse_itemset(large, data)

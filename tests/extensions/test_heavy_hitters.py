@@ -1,0 +1,97 @@
+"""Unit tests for the two-phase heavy-hitter protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec
+from repro.datasets import ItemsetDataset
+from repro.exceptions import ValidationError
+from repro.extensions import TwoPhaseHeavyHitter
+
+
+def _dataset_with_hitters(m: int, n: int, hitters, rng) -> ItemsetDataset:
+    """Every user holds most of *hitters* plus one random rare item."""
+    sets = []
+    for _ in range(n):
+        base = [h for h in hitters if rng.random() < 0.85]
+        rare = [int(rng.integers(len(hitters), m))]
+        sets.append(list(dict.fromkeys(base + rare)))
+    return ItemsetDataset.from_sets(sets, m=m)
+
+
+@pytest.fixture
+def protocol():
+    spec = BudgetSpec.uniform(3.0, 30)
+    return TwoPhaseHeavyHitter(spec, ell=3, k=3, candidate_factor=3)
+
+
+class TestConstruction:
+    def test_parameters_validated(self):
+        spec = BudgetSpec.uniform(1.0, 10)
+        with pytest.raises(ValidationError):
+            TwoPhaseHeavyHitter(spec, ell=2, k=11)  # k > m
+        with pytest.raises(ValidationError):
+            TwoPhaseHeavyHitter(spec, ell=2, k=2, phase1_fraction=0.0)
+        with pytest.raises(ValidationError):
+            TwoPhaseHeavyHitter(spec, ell=2, k=2, phase1_fraction=1.0)
+
+    def test_mechanism_is_idue_ps(self, protocol):
+        assert protocol.mechanism.ell == 3
+        assert protocol.mechanism.m == 30
+
+
+class TestUserSplit:
+    def test_disjoint_and_complete(self, protocol, rng):
+        phase1, phase2 = protocol.split_users(100, rng)
+        combined = np.concatenate([phase1, phase2])
+        assert sorted(combined.tolist()) == list(range(100))
+        assert set(phase1.tolist()).isdisjoint(phase2.tolist())
+
+    def test_fraction_respected(self, rng):
+        spec = BudgetSpec.uniform(1.0, 10)
+        protocol = TwoPhaseHeavyHitter(spec, ell=2, k=2, phase1_fraction=0.25)
+        phase1, phase2 = protocol.split_users(1000, rng)
+        assert phase1.size == 250
+        assert phase2.size == 750
+
+    def test_both_phases_nonempty_even_for_tiny_n(self, protocol, rng):
+        phase1, phase2 = protocol.split_users(2, rng)
+        assert phase1.size == 1 and phase2.size == 1
+
+
+class TestEndToEnd:
+    def test_identifies_planted_hitters(self, protocol, rng):
+        hitters = (0, 1, 2)
+        data = _dataset_with_hitters(30, 12_000, hitters, rng)
+        result = protocol.run(data, rng)
+        assert set(result.top_items.tolist()) == set(hitters)
+
+    def test_candidates_superset_of_result(self, protocol, rng):
+        data = _dataset_with_hitters(30, 5_000, (0, 1, 2), rng)
+        result = protocol.run(data, rng)
+        assert set(result.top_items.tolist()) <= set(result.candidates.tolist())
+        assert len(result.candidates) == 9  # candidate_factor * k
+
+    def test_estimates_scaled_to_population(self, protocol, rng):
+        hitters = (0, 1, 2)
+        n = 12_000
+        data = _dataset_with_hitters(30, n, hitters, rng)
+        result = protocol.run(data, rng)
+        truth = data.true_counts()
+        for item in result.top_items:
+            estimate = result.estimates[int(item)]
+            assert estimate == pytest.approx(truth[item], rel=0.3)
+
+    def test_domain_mismatch(self, protocol, rng):
+        data = ItemsetDataset.from_sets([[0]], m=7)
+        with pytest.raises(ValidationError):
+            protocol.run(data, rng)
+
+    def test_candidate_factor_capped_by_domain(self, rng):
+        spec = BudgetSpec.uniform(2.0, 5)
+        protocol = TwoPhaseHeavyHitter(spec, ell=2, k=2, candidate_factor=10)
+        data = _dataset_with_hitters(5, 2_000, (0,), rng)
+        result = protocol.run(data, rng)
+        assert len(result.candidates) == 5  # capped at m

@@ -1,0 +1,131 @@
+"""Unit tests for multi-dimensional categorical collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec
+from repro.exceptions import BudgetError, ValidationError
+from repro.extensions import MultiAttributeCollector
+
+
+@pytest.fixture
+def specs():
+    return [
+        BudgetSpec.from_level_sizes([1.0, 2.0], [1, 3]),  # attribute 0: m=4
+        BudgetSpec.uniform(1.5, 6),  # attribute 1: m=6
+    ]
+
+
+@pytest.fixture
+def columns(rng, specs):
+    n = 6000
+    return [rng.integers(spec.m, size=n) for spec in specs]
+
+
+class TestConstruction:
+    def test_one_mechanism_per_attribute(self, specs):
+        collector = MultiAttributeCollector(specs, strategy="split", model="opt1")
+        assert collector.d == 2
+        assert collector.mechanisms[0].m == 4
+        assert collector.mechanisms[1].m == 6
+
+    def test_unknown_strategy(self, specs):
+        with pytest.raises(ValidationError):
+            MultiAttributeCollector(specs, strategy="hybrid")
+
+    def test_empty_specs(self):
+        with pytest.raises(ValidationError):
+            MultiAttributeCollector([])
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiAttributeCollector([[1.0, 2.0]])
+
+
+class TestSplitStrategy:
+    def test_counts_per_attribute(self, specs, columns, rng):
+        collector = MultiAttributeCollector(specs, strategy="split", model="opt1")
+        counts = collector.simulate_collection(columns, rng)
+        assert len(counts) == 2
+        assert counts[0].shape == (4,)
+        assert counts[1].shape == (6,)
+
+    def test_marginals_unbiased_statistically(self, specs, columns, rng):
+        collector = MultiAttributeCollector(specs, strategy="split", model="opt1")
+        n = columns[0].size
+        trials = 40
+        acc = [np.zeros(4), np.zeros(6)]
+        for _ in range(trials):
+            counts = collector.simulate_collection(columns, rng)
+            estimates = collector.estimate_marginals(counts, n)
+            acc[0] += estimates[0]
+            acc[1] += estimates[1]
+        for k, col in enumerate(columns):
+            truth = np.bincount(col, minlength=collector.mechanisms[k].m)
+            assert np.allclose(acc[k] / trials, truth, atol=0.03 * n)
+
+    def test_budget_verification(self, specs, columns, rng):
+        collector = MultiAttributeCollector(specs, strategy="split", model="opt1")
+        generous = [spec.scaled(2.0) for spec in specs]
+        collector.verify_budget(generous)  # must not raise
+        tight = [spec.scaled(0.5) for spec in specs]
+        with pytest.raises(BudgetError):
+            collector.verify_budget(tight)
+
+    def test_verify_budget_length_check(self, specs):
+        collector = MultiAttributeCollector(specs, strategy="split", model="opt1")
+        with pytest.raises(ValidationError):
+            collector.verify_budget([specs[0]])
+
+
+class TestSampleStrategy:
+    def test_each_user_counted_once(self, specs, columns, rng):
+        collector = MultiAttributeCollector(specs, strategy="sample", model="opt1")
+        collector.simulate_collection(columns, rng)
+        sizes = collector._last_group_sizes
+        assert sum(sizes) == columns[0].size
+
+    def test_marginals_rescaled_and_unbiased(self, specs, columns, rng):
+        collector = MultiAttributeCollector(specs, strategy="sample", model="opt1")
+        n = columns[0].size
+        trials = 60
+        acc = [np.zeros(4), np.zeros(6)]
+        for _ in range(trials):
+            counts = collector.simulate_collection(columns, rng)
+            estimates = collector.estimate_marginals(counts, n)
+            acc[0] += estimates[0]
+            acc[1] += estimates[1]
+        for k, col in enumerate(columns):
+            truth = np.bincount(col, minlength=collector.mechanisms[k].m)
+            assert np.allclose(acc[k] / trials, truth, atol=0.05 * n)
+
+    def test_sample_needs_group_sizes(self, specs, rng):
+        collector = MultiAttributeCollector(specs, strategy="sample", model="opt1")
+        counts = [np.zeros(4), np.zeros(6)]
+        with pytest.raises(ValidationError, match="group_sizes"):
+            collector.estimate_marginals(counts, n=10)
+
+    def test_sample_beats_split_per_attribute_variance(self, specs, rng):
+        """With d = 2 and equal budgets, sampling wins: half the users at
+        full budget beats all users at half budget (the usual LDP rule).
+        Verified empirically on one attribute."""
+        n = 20_000
+        columns = [rng.integers(spec.m, size=n) for spec in specs]
+        truth0 = np.bincount(columns[0], minlength=4)
+
+        split = MultiAttributeCollector(
+            [spec.scaled(0.5) for spec in specs], strategy="split", model="opt1"
+        )
+        sample = MultiAttributeCollector(specs, strategy="sample", model="opt1")
+
+        def mse(collector, trials=25):
+            total = 0.0
+            for _ in range(trials):
+                counts = collector.simulate_collection(columns, rng)
+                est = collector.estimate_marginals(counts, n)
+                total += float(np.sum((est[0] - truth0) ** 2))
+            return total / trials
+
+        assert mse(sample) < mse(split)

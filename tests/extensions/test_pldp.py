@@ -1,0 +1,99 @@
+"""Unit tests for the PLDP combination (personalized scale factors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, IDLDP, MIN
+from repro.audit import audit_unary_pairwise
+from repro.exceptions import EstimationError, ValidationError
+from repro.extensions import PLDPCollector
+
+
+@pytest.fixture
+def collector(toy_spec):
+    return PLDPCollector(toy_spec, thetas=[0.5, 1.0, 2.0], model="opt1")
+
+
+class TestConstruction:
+    def test_one_group_per_theta(self, collector):
+        assert collector.thetas == [0.5, 1.0, 2.0]
+        assert len(collector.groups) == 3
+
+    def test_each_group_satisfies_its_scaled_spec(self, collector, toy_spec):
+        """A user with factor theta gets exactly theta * E protection."""
+        for theta, group in collector.groups.items():
+            notion = IDLDP(toy_spec.scaled(theta), MIN)
+            assert audit_unary_pairwise(group.mechanism, notion).passed
+
+    def test_mechanism_for_unknown_theta(self, collector):
+        with pytest.raises(ValidationError, match="not a configured"):
+            collector.mechanism_for(3.0)
+
+    def test_empty_thetas_rejected(self, toy_spec):
+        with pytest.raises(ValidationError):
+            PLDPCollector(toy_spec, thetas=[])
+
+    def test_duplicate_thetas_collapsed(self, toy_spec):
+        collector = PLDPCollector(toy_spec, thetas=[1.0, 1.0, 2.0], model="opt1")
+        assert collector.thetas == [1.0, 2.0]
+
+    def test_stricter_users_get_noisier_mechanisms(self, collector):
+        """Smaller theta (stronger privacy) => larger noise coefficient."""
+        strict = collector.groups[0.5]
+        relaxed = collector.groups[2.0]
+        assert np.all(strict.noise_weight <= relaxed.noise_weight + 1e-12)
+
+
+class TestCollection:
+    def test_simulation_groups_users(self, collector, rng):
+        n = 3000
+        items = rng.integers(collector.m, size=n)
+        thetas = rng.choice([0.5, 1.0, 2.0], size=n)
+        counts = collector.simulate_collection(items, thetas, rng)
+        assert set(counts) <= {0.5, 1.0, 2.0}
+        for c in counts.values():
+            assert c.shape == (collector.m,)
+
+    def test_unconfigured_theta_rejected(self, collector, rng):
+        items = np.zeros(10, dtype=int)
+        thetas = np.full(10, 7.0)
+        with pytest.raises(ValidationError, match="unconfigured"):
+            collector.simulate_collection(items, thetas, rng)
+
+    def test_length_mismatch(self, collector, rng):
+        with pytest.raises(ValidationError):
+            collector.simulate_collection([0, 1], [1.0], rng)
+
+    def test_combined_estimate_unbiased_statistically(self, collector, rng):
+        n = 4000
+        items = rng.integers(collector.m, size=n)
+        thetas = rng.choice([0.5, 1.0, 2.0], size=n, p=[0.2, 0.5, 0.3])
+        truth = np.bincount(items, minlength=collector.m)
+        sizes = {t: int(np.sum(thetas == t)) for t in (0.5, 1.0, 2.0)}
+
+        trials = 60
+        acc = np.zeros(collector.m)
+        for _ in range(trials):
+            counts = collector.simulate_collection(items, thetas, rng)
+            acc += collector.estimate(counts, sizes)
+        mean_estimate = acc / trials
+        assert np.allclose(mean_estimate, truth, atol=0.15 * n / collector.m + 30)
+
+    def test_distribution_estimate_weights_by_group_quality(self, collector, rng):
+        """All groups share one distribution; the combined estimate must
+        be a convex combination (sums to ~1 after the weighting)."""
+        n = 6000
+        probabilities = np.array([0.4, 0.3, 0.15, 0.1, 0.05])
+        items = rng.choice(collector.m, size=n, p=probabilities)
+        thetas = rng.choice([0.5, 2.0], size=n)
+        sizes = {t: int(np.sum(thetas == t)) for t in (0.5, 2.0)}
+        counts = collector.simulate_collection(items, thetas, rng)
+        estimate = collector.estimate_distribution(counts, sizes)
+        assert estimate.sum() == pytest.approx(1.0, abs=0.15)
+        assert np.argmax(estimate) == 0
+
+    def test_estimate_rejects_unknown_group(self, collector):
+        with pytest.raises(ValidationError):
+            collector.estimate({7.0: np.zeros(collector.m)}, {7.0: 10})

@@ -1,0 +1,126 @@
+"""End-to-end integration tests: full user-to-server pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregator,
+    BudgetSpec,
+    FrequencyEstimator,
+    IDUE,
+    IDUEPS,
+    MIN,
+    IDLDP,
+)
+from repro.audit import audit_unary_pairwise
+from repro.datasets import ItemsetDataset, paper_default_spec
+from repro.estimation import norm_sub, top_k_metrics
+
+
+class TestSingleItemPipeline:
+    def test_device_to_server_roundtrip(self, rng):
+        """Simulate the full protocol exactly as deployed: each device
+        perturbs independently, the server aggregates and calibrates."""
+        spec = paper_default_spec(2.0, m=8, rng=rng)
+        mech = IDUE.optimized(spec, model="opt0")
+
+        n = 6000
+        items = rng.choice(8, size=n, p=np.linspace(8, 1, 8) / 36.0)
+        truth = np.bincount(items, minlength=8)
+
+        aggregator = Aggregator(8)
+        for batch_start in range(0, n, 1000):  # devices report in batches
+            batch = items[batch_start : batch_start + 1000]
+            aggregator.add_many(mech.perturb_many(batch, rng))
+        assert aggregator.n == n
+
+        estimator = FrequencyEstimator.for_mechanism(mech, n)
+        estimates = estimator.estimate(aggregator.counts())
+
+        sd = np.sqrt(n * mech.b * (1 - mech.b) / (mech.a - mech.b) ** 2)
+        assert np.all(np.abs(estimates - truth) < 5 * sd)
+
+        # The released mechanism passes its privacy audit.
+        assert audit_unary_pairwise(mech, IDLDP(spec, MIN)).passed
+
+    def test_postprocessing_recovers_distribution(self, rng):
+        spec = BudgetSpec.uniform(1.5, 6)
+        mech = IDUE.optimized(spec, model="opt2")
+        n = 8000
+        items = rng.integers(6, size=n)
+        truth = np.bincount(items, minlength=6)
+
+        reports = mech.perturb_many(items, rng)
+        estimates = FrequencyEstimator.for_mechanism(mech, n).estimate(
+            reports.sum(axis=0)
+        )
+        repaired = norm_sub(estimates, total=n)
+        assert repaired.sum() == pytest.approx(n)
+        assert np.all(repaired >= 0)
+        assert np.abs(repaired - truth).mean() < truth.mean()
+
+
+class TestItemsetPipeline:
+    def test_retail_style_roundtrip(self, rng):
+        """Item-set collection with PS: exact per-user path end to end."""
+        m, ell = 10, 3
+        spec = paper_default_spec(2.5, m=m, rng=rng)
+        mech = IDUEPS.optimized(spec, ell=ell, model="opt0")
+
+        sets = [
+            rng.choice(m, size=rng.integers(1, 4), replace=False).tolist()
+            for _ in range(4000)
+        ]
+        data = ItemsetDataset.from_sets(sets, m=m)
+
+        reports = mech.perturb_many(data.flat_items, data.offsets, rng)
+        counts = reports.sum(axis=0)
+        estimator = FrequencyEstimator.for_mechanism(mech, data.n)
+        estimates = estimator.estimate(counts)
+
+        truth = data.true_counts()
+        # |x| <= 3 = ell, so the estimator is unbiased; loose 5-sigma band.
+        a, b = mech.a[:m], mech.b[:m]
+        sd = ell * np.sqrt(data.n * b * (1 - b) / (a - b) ** 2)
+        assert np.all(np.abs(estimates - truth) < 5 * sd)
+
+    def test_heavy_hitter_identification(self, rng):
+        """Top-k on calibrated estimates finds the popular items."""
+        m, ell, n = 20, 2, 20_000
+        spec = BudgetSpec.uniform(3.0, m)
+        mech = IDUEPS.optimized(spec, ell=ell, model="opt2")
+        # Items 0-2 are in most sets; the rest are rare.
+        sets = []
+        for _ in range(n):
+            base = [int(i) for i in np.flatnonzero(rng.random(3) < 0.8)]
+            rare = rng.choice(np.arange(3, m), size=1).tolist()
+            sets.append(base + rare if base else rare)
+        data = ItemsetDataset.from_sets(sets, m=m)
+
+        from repro.simulation import simulate_itemset_counts
+
+        counts = simulate_itemset_counts(mech, data, rng)
+        estimates = FrequencyEstimator.for_mechanism(mech, data.n).estimate(counts)
+        metrics = top_k_metrics(estimates, data.true_counts(), k=3)
+        assert metrics["precision"] == 1.0
+
+
+class TestCompositionPipeline:
+    def test_two_round_collection_under_total_budget(self, rng):
+        """Split a MinID-LDP budget across two collection rounds
+        (Theorem 2) and verify each round's mechanism is feasible."""
+        from repro import CompositionAccountant
+
+        total = paper_default_spec(2.0, m=6, rng=rng)
+        accountant = CompositionAccountant(total)
+
+        half = BudgetSpec(total.item_epsilons / 2.0)
+        for round_id in range(2):
+            mech = IDUE.optimized(half, model="opt1")
+            assert audit_unary_pairwise(mech, IDLDP(half, MIN)).passed
+            accountant.record(half)
+        assert not accountant.can_afford(0.05)
+        composed = accountant.composed_spec()
+        assert np.allclose(composed.item_epsilons, total.item_epsilons)

@@ -1,0 +1,196 @@
+"""Integration tests pinning the paper's quantitative and structural claims.
+
+Each test cites the paper section it verifies.  These are the regression
+oracles for the reproduction: if any of them breaks, the repository no
+longer reproduces the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BudgetSpec,
+    IDLDP,
+    IDUE,
+    IDUEPS,
+    MIN,
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+    itemset_budget,
+)
+from repro.audit import (
+    audit_unary_pairwise,
+    unary_channel,
+    verify_idue_ps_exhaustive,
+)
+from repro.core.leakage import empirical_leakage_bounds, minid_leakage_bounds
+from repro.datasets import paper_default_spec
+from repro.estimation import ue_total_mse
+from repro.optim import solve
+
+
+class TestSectionIV:
+    """Privacy-notion claims."""
+
+    def test_minid_generalizes_ldp(self):
+        """Uniform budgets: MinID-LDP == LDP (Section IV-B)."""
+        spec = BudgetSpec.uniform(1.0, 5)
+        notion = IDLDP(spec, MIN)
+        for i in range(5):
+            for j in range(5):
+                assert notion.pair_budget(i, j) == pytest.approx(1.0)
+
+    def test_lemma1_tightness_via_channel(self):
+        """A MinID-LDP mechanism's actual worst LDP ratio is within
+        min(max E, 2 min E) — checked on the real channel."""
+        spec = BudgetSpec([0.8, 2.5, 2.5])
+        mech = IDUE.optimized(spec, model="opt0")
+        channel = unary_channel(mech)
+        worst = 0.0
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    worst = max(worst, float(np.max(channel[i] / channel[j])))
+        cap = np.exp(min(spec.max_epsilon, 2 * spec.min_epsilon))
+        assert worst <= cap * (1 + 1e-9)
+
+    def test_table1_bounds_hold_on_real_channel(self):
+        """Table I MinID-LDP row verified against IDUE's exact channel."""
+        spec = BudgetSpec([np.log(4.0), np.log(6.0), np.log(6.0)])
+        mech = IDUE.optimized(spec, model="opt0")
+        channel = unary_channel(mech)
+        prior = np.array([0.2, 0.5, 0.3])
+        for x in range(3):
+            low, high = empirical_leakage_bounds(channel, prior, x)
+            bound_low, bound_high = minid_leakage_bounds(
+                spec.epsilon_of(x), spec.item_epsilons
+            )
+            assert low >= bound_low - 1e-9
+            assert high <= bound_high + 1e-9
+
+
+class TestSectionV:
+    """IDUE and its optimization models."""
+
+    def test_toy_example_ordering(self, toy_spec):
+        """Table II: total worst-case variance IDUE < OUE < RAPPOR."""
+        n = 1.0  # coefficients only
+
+        def worst_total(mech):
+            noise = mech.b * (1 - mech.b) / (mech.a - mech.b) ** 2
+            data = (1 - mech.a - mech.b) / (mech.a - mech.b)
+            return float(noise.sum() + data.max())
+
+        rappor = SymmetricUnaryEncoding(toy_spec.min_epsilon, 5)
+        oue = OptimizedUnaryEncoding(toy_spec.min_epsilon, 5)
+        idue = IDUE.optimized(toy_spec, model="opt0")
+        assert worst_total(idue) < worst_total(oue) < worst_total(rappor)
+
+    def test_opt_model_hierarchy(self, toy_spec):
+        """Section V-D/Fig 3: opt0 <= opt1, opt0 <= opt2 (worst case)."""
+        opt0 = solve(toy_spec, model="opt0").objective
+        opt1 = solve(toy_spec, model="opt1").objective
+        opt2 = solve(toy_spec, model="opt2").objective
+        assert opt0 <= opt1 + 1e-9
+        assert opt0 <= opt2 + 1e-9
+
+    def test_variance_range_depends_on_data(self, toy_spec):
+        """Table II: IDUE's total variance is a range over data
+        distributions, bracketed by the per-level data coefficients."""
+        idue = IDUE.optimized(toy_spec, model="opt0")
+        n = 10_000
+        all_sensitive = np.zeros(5)
+        all_sensitive[0] = n
+        all_benign = np.zeros(5)
+        all_benign[1] = n
+        mse_sensitive = ue_total_mse(n, idue.a, idue.b, all_sensitive)
+        mse_benign = ue_total_mse(n, idue.a, idue.b, all_benign)
+        assert mse_sensitive != pytest.approx(mse_benign, rel=1e-3)
+
+    def test_ldp_baselines_must_use_min_budget(self, toy_spec):
+        """Section I: uniform-budget mechanisms above min{E} violate
+        the most sensitive input's requirement."""
+        above_min = OptimizedUnaryEncoding(toy_spec.min_epsilon * 1.3, 5)
+        assert not audit_unary_pairwise(above_min, IDLDP(toy_spec, MIN)).passed
+
+
+class TestSectionVI:
+    """IDUE-PS claims."""
+
+    def test_theorem4_full_power_set(self):
+        """Theorem 4 verified exhaustively on a 4-item domain."""
+        spec = BudgetSpec([0.7, 1.4, 1.4, 2.8])
+        mech = IDUEPS.optimized(spec, ell=2, model="opt0")
+        assert verify_idue_ps_exhaustive(mech, spec) >= -1e-9
+
+    def test_same_optimization_cost_as_single_item(self, toy_spec):
+        """Section VI headline: IDUE-PS reuses the single-item solution
+        — its real-item parameters are exactly IDUE's."""
+        single = IDUE.optimized(toy_spec, model="opt1")
+        ps = IDUEPS.optimized(toy_spec, ell=4, model="opt1")
+        assert np.allclose(ps.a[: toy_spec.m], single.a)
+        assert np.allclose(ps.b[: toy_spec.m], single.b)
+
+    def test_eq17_exceeds_min_budget(self, toy_spec):
+        """Section VII: eps_x of Eq. 17 >= min budget of the members,
+        which is why IDUE-PS is a relaxation w.r.t. LDP at min{E}."""
+        for items in ([0], [1], [0, 1], [1, 2, 3]):
+            assert itemset_budget(items, toy_spec, ell=3) >= toy_spec.min_epsilon
+
+
+class TestSectionVII:
+    """Evaluation-shape claims at reduced scale."""
+
+    def test_fig3_empirical_matches_theory(self, rng):
+        """Fig 3: empirical MSE tracks the closed-form theory."""
+        from repro.experiments import (
+            empirical_total_mse_single,
+            theoretical_total_mse_single,
+        )
+        from repro.datasets import power_law_items, true_counts_from_items
+
+        m, n = 50, 20_000
+        items = power_law_items(n, m, rng=rng)
+        truth = true_counts_from_items(items, m)
+        spec = paper_default_spec(2.0, m, rng=rng)
+        mech = IDUE.optimized(spec, model="opt0")
+        empirical = empirical_total_mse_single(mech, truth, n, trials=40, rng=rng)
+        theory = theoretical_total_mse_single(mech, truth, n)
+        assert empirical == pytest.approx(theory, rel=0.3)
+
+    def test_skewed_budgets_increase_idue_advantage(self, rng):
+        """Fig 4a: IDUE's win over OUE grows with budget skew."""
+        from repro.datasets import assign_budgets
+        from repro.estimation import ue_total_mse
+
+        m, n = 400, 50_000
+        epsilon = 1.5
+        truth = np.full(m, n // m)
+        multipliers = np.array([1.0, 1.2, 2.0, 4.0])
+
+        def idue_theory(proportions):
+            spec = assign_budgets(m, epsilon * multipliers, proportions, rng=1)
+            mech = IDUE.optimized(spec, model="opt0")
+            return ue_total_mse(n, mech.a, mech.b, truth)
+
+        oue = OptimizedUnaryEncoding(epsilon, m)
+        oue_mse = ue_total_mse(n, oue.a, oue.b, truth)
+        skewed = idue_theory((0.05, 0.05, 0.05, 0.85))
+        uniform = idue_theory((0.25, 0.25, 0.25, 0.25))
+        assert skewed < uniform <= oue_mse * 1.02
+        assert (oue_mse - skewed) > (oue_mse - uniform)
+
+    def test_fig5_truncation_bias_shape(self, rng):
+        """Fig 5 discussion: too-small ell biases the estimator down."""
+        from repro.datasets import ItemsetDataset
+        from repro.estimation import ps_expected_counts
+
+        sets = [list(range(6)) for _ in range(100)]  # |x| = 6 for everyone
+        data = ItemsetDataset.from_sets(sets, m=8)
+        truth = data.true_counts().astype(float)
+        bias_small = np.abs(ps_expected_counts(data, 2) - truth).sum()
+        bias_exact = np.abs(ps_expected_counts(data, 6) - truth).sum()
+        assert bias_small > 0
+        assert bias_exact == pytest.approx(0.0, abs=1e-9)

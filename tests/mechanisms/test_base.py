@@ -1,0 +1,77 @@
+"""Unit tests for the Mechanism base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms import GeneralizedRandomizedResponse
+from repro.mechanisms.base import CategoricalMechanism, UnaryMechanism
+
+
+class TestCategoricalBase:
+    def test_perturb_many_matches_channel_marginals(self, rng):
+        """The generic inverse-CDF sampler reproduces the channel rows."""
+        mech = GeneralizedRandomizedResponse(1.0, m=5)
+        matrix = mech.channel_matrix()
+        n = 60_000
+        outputs = CategoricalMechanism.perturb_many(mech, np.full(n, 3), rng)
+        freq = np.bincount(outputs, minlength=5) / n
+        assert np.allclose(freq, matrix[3], atol=0.01)
+
+    def test_perturb_base_implementation(self, rng):
+        mech = GeneralizedRandomizedResponse(1.0, m=4)
+        out = CategoricalMechanism.perturb(mech, 2, rng)
+        assert 0 <= out < 4
+
+    def test_perturb_out_of_domain(self, rng):
+        mech = GeneralizedRandomizedResponse(1.0, m=4)
+        with pytest.raises(ValidationError):
+            CategoricalMechanism.perturb(mech, 9, rng)
+
+    def test_perturb_many_out_of_domain(self, rng):
+        mech = GeneralizedRandomizedResponse(1.0, m=4)
+        with pytest.raises(ValidationError):
+            CategoricalMechanism.perturb_many(mech, [0, 4], rng)
+
+
+class TestUnaryLdpEpsilon:
+    def test_uniform_parameters_formula(self):
+        p, q = 0.7, 0.2
+        mech = UnaryMechanism([p] * 4, [q] * 4)
+        expected = np.log(p * (1 - q) / ((1 - p) * q))
+        assert mech.ldp_epsilon() == pytest.approx(expected)
+
+    def test_single_bit_domain(self):
+        mech = UnaryMechanism([0.8], [0.1])
+        assert mech.ldp_epsilon() == pytest.approx(np.log((0.8 / 0.1) * (0.9 / 0.2)))
+
+    def test_two_bit_heterogeneous(self):
+        mech = UnaryMechanism([0.9, 0.6], [0.1, 0.3])
+        # Only i != j pairs count; enumerate them explicitly.
+        alpha = mech.alpha
+        beta = mech.beta
+        expected = max(
+            np.log(alpha[0] / beta[1]),
+            np.log(alpha[1] / beta[0]),
+        )
+        assert mech.ldp_epsilon() == pytest.approx(expected)
+
+    def test_heterogeneous_matches_brute_force(self, rng):
+        for _ in range(20):
+            m = int(rng.integers(2, 6))
+            a = rng.uniform(0.4, 0.9, size=m)
+            b = rng.uniform(0.05, 0.3, size=m)
+            mech = UnaryMechanism(a, b)
+            brute = max(
+                np.log(mech.alpha[i] / mech.beta[j])
+                for i in range(m)
+                for j in range(m)
+                if i != j
+            )
+            assert mech.ldp_epsilon() == pytest.approx(brute, rel=1e-12)
+
+    def test_repr(self):
+        mech = UnaryMechanism([0.6, 0.7], [0.2, 0.1])
+        assert "m=2" in repr(mech)

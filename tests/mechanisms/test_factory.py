@@ -1,0 +1,73 @@
+"""Unit tests for the mechanism factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms import (
+    IDUE,
+    IDUEPS,
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+    make_itemset_mechanism,
+    make_single_item_mechanism,
+)
+from repro.mechanisms.factory import ITEMSET_MECHANISMS, SINGLE_ITEM_MECHANISMS
+
+
+class TestSingleItemFactory:
+    def test_rappor_uses_min_budget(self, toy_spec):
+        mech = make_single_item_mechanism("rappor", toy_spec)
+        assert isinstance(mech, SymmetricUnaryEncoding)
+        assert mech.target_epsilon == pytest.approx(toy_spec.min_epsilon)
+
+    def test_oue_uses_min_budget(self, toy_spec):
+        mech = make_single_item_mechanism("oue", toy_spec)
+        assert isinstance(mech, OptimizedUnaryEncoding)
+        assert mech.target_epsilon == pytest.approx(toy_spec.min_epsilon)
+
+    @pytest.mark.parametrize("name", ["idue-opt0", "idue-opt1", "idue-opt2"])
+    def test_idue_variants(self, toy_spec, name):
+        mech = make_single_item_mechanism(name, toy_spec)
+        assert isinstance(mech, IDUE)
+        assert mech.optimization.model == name.split("-")[1]
+
+    def test_case_insensitive(self, toy_spec):
+        mech = make_single_item_mechanism("RAPPOR", toy_spec)
+        assert isinstance(mech, SymmetricUnaryEncoding)
+
+    def test_unknown_name(self, toy_spec):
+        with pytest.raises(ValidationError, match="unknown single-item"):
+            make_single_item_mechanism("olh", toy_spec)
+
+    def test_unknown_model_suffix(self, toy_spec):
+        with pytest.raises(ValidationError, match="unknown optimization model"):
+            make_single_item_mechanism("idue-opt9", toy_spec)
+
+    def test_registry_names_all_construct(self, toy_spec):
+        for name in SINGLE_ITEM_MECHANISMS:
+            assert make_single_item_mechanism(name, toy_spec) is not None
+
+
+class TestItemsetFactory:
+    def test_ps_baselines(self, toy_spec):
+        for name in ("rappor-ps", "oue-ps"):
+            mech = make_itemset_mechanism(name, toy_spec, ell=3)
+            assert isinstance(mech, IDUEPS)
+            assert mech.ell == 3
+
+    @pytest.mark.parametrize("name", ["idue-ps-opt0", "idue-ps-opt1", "idue-ps-opt2"])
+    def test_idue_ps_variants(self, toy_spec, name):
+        mech = make_itemset_mechanism(name, toy_spec, ell=2)
+        assert isinstance(mech, IDUEPS)
+        assert mech.base_idue.optimization.model == name.rsplit("-", 1)[1]
+
+    def test_unknown_name(self, toy_spec):
+        with pytest.raises(ValidationError, match="unknown item-set"):
+            make_itemset_mechanism("svim", toy_spec, ell=2)
+
+    def test_registry_names_all_construct(self, toy_spec):
+        for name in ITEMSET_MECHANISMS:
+            assert make_itemset_mechanism(name, toy_spec, ell=2) is not None

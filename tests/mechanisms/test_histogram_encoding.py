@@ -1,0 +1,126 @@
+"""Unit tests for SHE / THE histogram encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms import (
+    SummationHistogramEncoding,
+    ThresholdingHistogramEncoding,
+)
+from repro.mechanisms.histogram_encoding import _the_probabilities
+
+
+class TestSHE:
+    def test_laplace_scale(self):
+        mech = SummationHistogramEncoding(2.0, m=5)
+        assert mech.scale == pytest.approx(1.0)  # 2 / eps
+
+    def test_perturb_shape_and_signal(self, rng):
+        mech = SummationHistogramEncoding(1.0, m=4)
+        reports = mech.perturb_many(np.full(20_000, 2, dtype=int), rng)
+        means = reports.mean(axis=0)
+        assert means[2] == pytest.approx(1.0, abs=0.05)
+        assert means[0] == pytest.approx(0.0, abs=0.05)
+
+    def test_estimate_counts_unbiased_statistically(self, rng):
+        mech = SummationHistogramEncoding(1.5, m=6)
+        n = 30_000
+        items = rng.integers(6, size=n)
+        truth = np.bincount(items, minlength=6)
+        estimates = mech.estimate_counts(mech.perturb_many(items, rng))
+        sd = np.sqrt(mech.variance_per_item(n))
+        assert np.all(np.abs(estimates - truth) < 5 * sd)
+
+    def test_variance_formula(self):
+        mech = SummationHistogramEncoding(2.0, m=3)
+        # 2 * b^2 per user with b = 1 -> 2n.
+        assert mech.variance_per_item(1000) == pytest.approx(2000.0)
+
+    def test_empirical_variance_matches_formula(self, rng):
+        mech = SummationHistogramEncoding(1.0, m=2)
+        n, trials = 500, 400
+        items = np.zeros(n, dtype=int)
+        estimates = np.array(
+            [mech.estimate_counts(mech.perturb_many(items, rng))[0] for _ in range(trials)]
+        )
+        assert estimates.var() == pytest.approx(
+            mech.variance_per_item(n), rel=0.3
+        )
+
+    def test_input_validation(self, rng):
+        mech = SummationHistogramEncoding(1.0, m=3)
+        with pytest.raises(ValidationError):
+            mech.perturb(5, rng)
+        with pytest.raises(ValidationError):
+            mech.estimate_counts(np.zeros((4, 99)))
+
+    def test_ldp_channel_ratio_on_grid(self):
+        """Laplace density ratio for one bit is bounded by e^{eps/2} each
+        for the flipped pair of bits -> e^eps overall.  Check the density
+        ratio numerically on a grid for the two-bit case."""
+        epsilon = 1.3
+        mech = SummationHistogramEncoding(epsilon, m=2)
+        b = mech.scale
+        grid = np.linspace(-4, 5, 181)
+        # log density of report (y0, y1) given x = 0 vs x = 1:
+        # |y0 - 1| + |y1| vs |y0| + |y1 - 1|, scaled by 1/b.
+        y0, y1 = np.meshgrid(grid, grid)
+        log_ratio = (-(np.abs(y0 - 1) + np.abs(y1)) + (np.abs(y0) + np.abs(y1 - 1))) / b
+        assert np.max(np.abs(log_ratio)) <= epsilon + 1e-9
+
+
+class TestTHE:
+    def test_probability_formulas(self):
+        epsilon, theta = 2.0, 0.75
+        p, q = _the_probabilities(epsilon, theta)
+        b = 2.0 / epsilon
+        assert p == pytest.approx(1 - 0.5 * np.exp((theta - 1) / b))
+        assert q == pytest.approx(0.5 * np.exp(-theta / b))
+        assert p > q
+
+    def test_optimal_theta_in_range(self):
+        for epsilon in (0.5, 1.0, 2.0, 4.0):
+            theta = ThresholdingHistogramEncoding.optimal_theta(epsilon)
+            assert 0.5 < theta < 1.0
+
+    def test_optimal_theta_minimizes_noise(self):
+        epsilon = 1.0
+        theta_star = ThresholdingHistogramEncoding.optimal_theta(epsilon)
+
+        def noise(theta):
+            p, q = _the_probabilities(epsilon, theta)
+            return q * (1 - q) / (p - q) ** 2
+
+        for theta in (0.55, 0.65, 0.85, 0.95):
+            assert noise(theta_star) <= noise(theta) + 1e-9
+
+    def test_theta_bounds_enforced(self):
+        with pytest.raises(ValidationError):
+            ThresholdingHistogramEncoding(1.0, m=3, theta=0.4)
+        with pytest.raises(ValidationError):
+            ThresholdingHistogramEncoding(1.0, m=3, theta=1.2)
+
+    def test_behaves_as_unary_encoding(self, rng):
+        mech = ThresholdingHistogramEncoding(1.5, m=4)
+        reports = mech.perturb_many(np.zeros(20_000, dtype=int), rng)
+        freq = reports.mean(axis=0)
+        assert freq[0] == pytest.approx(mech.p, abs=0.02)
+        assert freq[1] == pytest.approx(mech.q, abs=0.02)
+
+    def test_thresholding_is_contraction(self):
+        """Post-processing cannot increase leakage: the binary channel's
+        UE-epsilon is at most the Laplace budget."""
+        epsilon = 2.0
+        mech = ThresholdingHistogramEncoding(epsilon, m=3)
+        assert mech.epsilon() <= epsilon + 1e-9
+
+    def test_the_beats_she_at_moderate_epsilon(self):
+        """The known result: THE's variance beats SHE's for eps ~> 0.6."""
+        epsilon, n = 2.0, 10_000
+        she = SummationHistogramEncoding(epsilon, m=1)
+        the = ThresholdingHistogramEncoding(epsilon, m=1)
+        the_var = float(n * the.q * (1 - the.q) / (the.p - the.q) ** 2)
+        assert the_var < she.variance_per_item(n)

@@ -1,0 +1,101 @@
+"""Unit tests for the IDUE mechanism (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AVG, MIN, BudgetSpec, IDLDP, IDUE, PolicyGraph
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_level_parameters_expand_to_items(self, toy_spec):
+        mech = IDUE(toy_spec, [0.6, 0.7], [0.3, 0.25])
+        assert mech.m == 5
+        assert mech.a.tolist() == [0.6, 0.7, 0.7, 0.7, 0.7]
+        assert mech.b.tolist() == [0.3, 0.25, 0.25, 0.25, 0.25]
+
+    def test_wrong_level_count_rejected(self, toy_spec):
+        with pytest.raises(ValidationError):
+            IDUE(toy_spec, [0.6], [0.3])
+
+    def test_requires_budget_spec(self):
+        with pytest.raises(ValidationError):
+            IDUE([1.0, 2.0], [0.6], [0.3])
+
+    def test_level_params_read_only(self, toy_spec):
+        mech = IDUE(toy_spec, [0.6, 0.7], [0.3, 0.25])
+        with pytest.raises(ValueError):
+            mech.level_a[0] = 0.9
+
+
+class TestOptimizedConstruction:
+    @pytest.mark.parametrize("model", ["opt0", "opt1", "opt2"])
+    def test_optimized_satisfies_minid(self, toy_spec, model):
+        mech = IDUE.optimized(toy_spec, model=model)
+        assert mech.satisfies(MIN)
+        assert mech.optimization.feasible
+
+    def test_optimized_avg_satisfies_avg(self, toy_spec):
+        mech = IDUE.optimized(toy_spec, r=AVG, model="opt1")
+        assert mech.satisfies(AVG)
+
+    def test_opt2_has_half_a(self, toy_spec):
+        mech = IDUE.optimized(toy_spec, model="opt2")
+        assert np.allclose(mech.level_a, 0.5)
+
+    def test_opt1_has_complementary_ab(self, toy_spec):
+        mech = IDUE.optimized(toy_spec, model="opt1")
+        assert np.allclose(mech.level_a + mech.level_b, 1.0)
+
+    def test_single_level_spec_accepted(self):
+        spec = BudgetSpec.uniform(1.0, 4)
+        mech = IDUE.optimized(spec, model="opt1")
+        # With one level opt1 reduces to RAPPOR's p = e^{eps/2}/(e^{eps/2}+1).
+        expected = np.exp(0.5) / (np.exp(0.5) + 1.0)
+        assert mech.level_a[0] == pytest.approx(expected, rel=1e-4)
+
+
+class TestPrivacyChecks:
+    def test_level_pair_ratio_bound_formula(self, toy_spec):
+        mech = IDUE(toy_spec, [0.6, 0.7], [0.3, 0.25])
+        expected = 0.6 * (1 - 0.25) / (0.3 * (1 - 0.7))
+        assert mech.level_pair_ratio_bound(0, 1) == pytest.approx(expected)
+
+    def test_level_pair_out_of_range(self, toy_spec):
+        mech = IDUE(toy_spec, [0.6, 0.7], [0.3, 0.25])
+        with pytest.raises(ValidationError):
+            mech.level_pair_ratio_bound(0, 5)
+
+    def test_satisfies_detects_violation(self, toy_spec):
+        # Extreme parameters for level 0 break the ln4 bound against level 1.
+        mech = IDUE(toy_spec, [0.95, 0.7], [0.02, 0.25])
+        assert not mech.satisfies(MIN)
+
+    def test_satisfies_with_policy_graph_relaxation(self, three_level_spec):
+        """Parameters violating a dropped cross-pair still pass the audit."""
+        # Complete-graph-feasible parameters from opt1 on a star policy.
+        policy = PolicyGraph.star(3, center=0)
+        mech = IDUE.optimized(three_level_spec, model="opt1", policy=policy)
+        assert mech.satisfies(MIN, policy=policy)
+
+    def test_notion_object(self, toy_spec):
+        mech = IDUE(toy_spec, [0.6, 0.7], [0.3, 0.25])
+        notion = mech.notion(MIN)
+        assert isinstance(notion, IDLDP)
+        assert notion.spec is toy_spec
+
+
+class TestPerturbation:
+    def test_perturb_uses_per_level_parameters(self, toy_spec, rng):
+        mech = IDUE(toy_spec, [0.9, 0.6], [0.05, 0.3])
+        n = 20_000
+        reports = mech.perturb_many(np.zeros(n, dtype=int), rng)
+        freq = reports.mean(axis=0)
+        assert freq[0] == pytest.approx(0.9, abs=0.02)  # a of level 0
+        assert freq[1] == pytest.approx(0.3, abs=0.02)  # b of level 1
+
+    def test_repr_includes_level_params(self, toy_spec):
+        mech = IDUE(toy_spec, [0.6, 0.7], [0.3, 0.25])
+        assert "t=2" in repr(mech)

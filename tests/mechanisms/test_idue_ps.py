@@ -1,0 +1,124 @@
+"""Unit tests for IDUE-PS (Algorithm 3) and the Eq. (17) set budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, IDUEPS, itemset_budget
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import UnaryMechanism
+
+
+class TestItemsetBudget:
+    def test_single_item_budget_is_mixture(self, toy_spec):
+        """|x| = 1 < ell mixes the item and dummy budgets per Eq. (17)."""
+        ell = 2
+        eta = 1.0 / 2.0
+        eps0 = toy_spec.epsilon_of(0)
+        eps_star = toy_spec.min_epsilon
+        expected = np.log(eta * np.exp(eps0) + (1 - eta) * np.exp(eps_star))
+        assert itemset_budget([0], toy_spec, ell) == pytest.approx(expected)
+
+    def test_full_size_set_ignores_dummies(self, toy_spec):
+        """|x| >= ell: eta = 1, the budget is the log-mean-exp of members."""
+        budget = itemset_budget([0, 1], toy_spec, ell=2)
+        eps = toy_spec.item_epsilons[[0, 1]]
+        expected = np.log(np.mean(np.exp(eps)))
+        assert budget == pytest.approx(expected)
+
+    def test_budget_at_least_min_member(self, toy_spec):
+        """Eq. (17) is >= min member budget (convexity remark in VI-B)."""
+        for items in ([0], [0, 1], [1, 2, 3], [0, 1, 2, 3, 4]):
+            budget = itemset_budget(items, toy_spec, ell=3)
+            assert budget >= min(toy_spec.item_epsilons[list(items)]) - 1e-12
+
+    def test_budget_at_least_average(self, toy_spec):
+        """log-mean-exp >= arithmetic mean (paper's convexity argument)."""
+        items = [0, 1, 2]
+        budget = itemset_budget(items, toy_spec, ell=3)
+        assert budget >= float(np.mean(toy_spec.item_epsilons[items])) - 1e-12
+
+    def test_empty_set_gets_dummy_budget(self, toy_spec):
+        assert itemset_budget([], toy_spec, ell=2) == pytest.approx(
+            toy_spec.min_epsilon
+        )
+
+    def test_custom_dummy_epsilon(self, toy_spec):
+        high = float(np.log(6.0))
+        low_budget = itemset_budget([0], toy_spec, 2)
+        high_budget = itemset_budget([0], toy_spec, 2, dummy_epsilon=high)
+        assert high_budget > low_budget
+
+    def test_rejects_out_of_domain_items(self, toy_spec):
+        with pytest.raises(ValidationError):
+            itemset_budget([9], toy_spec, 2)
+
+
+class TestConstruction:
+    def test_optimized_extends_with_min_level_dummies(self, toy_spec):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        assert mech.extended_m == toy_spec.m + 3
+        # Dummy bits carry the parameters of the min-budget level (level 0).
+        base = mech.base_idue
+        assert np.allclose(mech.a[toy_spec.m :], base.level_a[0])
+        assert np.allclose(mech.b[toy_spec.m :], base.level_b[0])
+
+    def test_optimized_real_bits_match_base_idue(self, toy_spec):
+        mech = IDUEPS.optimized(toy_spec, ell=2, model="opt2")
+        assert np.allclose(mech.a[: toy_spec.m], mech.base_idue.a)
+        assert np.allclose(mech.b[: toy_spec.m], mech.base_idue.b)
+
+    def test_rappor_ps_uniform_parameters(self):
+        mech = IDUEPS.rappor_ps(np.log(4.0), m=5, ell=3)
+        assert mech.extended_m == 8
+        assert np.allclose(mech.a, 2.0 / 3.0)
+        assert mech.name == "rappor-ps"
+
+    def test_oue_ps_uniform_parameters(self):
+        mech = IDUEPS.oue_ps(np.log(4.0), m=5, ell=2)
+        assert np.allclose(mech.a, 0.5)
+        assert np.allclose(mech.b, 0.2)
+
+    def test_wrong_unary_width_rejected(self):
+        unary = UnaryMechanism([0.6] * 5, [0.2] * 5)
+        with pytest.raises(ValidationError, match="m \\+ ell"):
+            IDUEPS(unary, m=5, ell=3)
+
+    def test_itemset_budget_method_requires_optimized(self):
+        mech = IDUEPS.oue_ps(1.0, m=4, ell=2)
+        with pytest.raises(ValidationError):
+            mech.itemset_budget([0])
+
+    def test_itemset_budget_method(self, toy_spec):
+        mech = IDUEPS.optimized(toy_spec, ell=2, model="opt1")
+        direct = itemset_budget([0, 1], toy_spec, 2, toy_spec.min_epsilon)
+        assert mech.itemset_budget([0, 1]) == pytest.approx(direct)
+
+
+class TestPerturbation:
+    def test_perturb_output_width(self, toy_spec, rng):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        report = mech.perturb([0, 2], rng)
+        assert report.shape == (toy_spec.m + 3,)
+        assert set(np.unique(report)) <= {0, 1}
+
+    def test_perturb_many_shape(self, toy_spec, rng, small_itemset_dataset):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt2")
+        reports = mech.perturb_many(
+            small_itemset_dataset.flat_items, small_itemset_dataset.offsets, rng
+        )
+        assert reports.shape == (small_itemset_dataset.n, toy_spec.m + 3)
+
+    def test_sampled_bit_marginal(self, toy_spec, rng):
+        """A user holding item 0 with |x| = 1 < ell sets bit 0 w.p.
+        b_0 + (a_0 - b_0)/ell."""
+        ell = 2
+        mech = IDUEPS.optimized(toy_spec, ell=ell, model="opt1")
+        n = 40_000
+        flat = np.zeros(n, dtype=np.int64)
+        offsets = np.arange(n + 1)
+        reports = mech.perturb_many(flat, offsets, rng)
+        a0, b0 = mech.a[0], mech.b[0]
+        expected = b0 + (a0 - b0) / ell
+        assert reports[:, 0].mean() == pytest.approx(expected, abs=0.01)

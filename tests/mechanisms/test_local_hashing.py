@@ -1,0 +1,99 @@
+"""Unit tests for the OLH baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, ValidationError
+from repro.mechanisms import OptimizedLocalHashing
+from repro.mechanisms.local_hashing import _hash_buckets
+
+
+class TestHashFamily:
+    def test_deterministic(self):
+        seeds = np.array([1, 2, 3], dtype=np.int64)
+        items = np.array([7, 7, 7], dtype=np.int64)
+        first = _hash_buckets(seeds, items, g=5)
+        second = _hash_buckets(seeds, items, g=5)
+        assert np.array_equal(first, second)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        seeds = rng.integers(0, 2**62, size=1000)
+        items = rng.integers(0, 100, size=1000)
+        buckets = _hash_buckets(seeds, items, g=7)
+        assert buckets.min() >= 0 and buckets.max() < 7
+
+    def test_roughly_uniform_over_seeds(self):
+        """For a fixed item, random seeds spread uniformly over buckets."""
+        rng = np.random.default_rng(1)
+        seeds = rng.integers(0, 2**62, size=50_000)
+        items = np.full(50_000, 13, dtype=np.int64)
+        buckets = _hash_buckets(seeds, items, g=4)
+        freq = np.bincount(buckets, minlength=4) / buckets.size
+        assert np.allclose(freq, 0.25, atol=0.01)
+
+    def test_pairwise_collision_rate(self):
+        """Two distinct items collide with probability ~ 1/g per seed."""
+        rng = np.random.default_rng(2)
+        seeds = rng.integers(0, 2**62, size=50_000)
+        g = 5
+        h1 = _hash_buckets(seeds, np.full(seeds.size, 3, np.int64), g)
+        h2 = _hash_buckets(seeds, np.full(seeds.size, 9, np.int64), g)
+        assert np.mean(h1 == h2) == pytest.approx(1 / g, abs=0.01)
+
+
+class TestOLH:
+    def test_optimal_g(self):
+        mech = OptimizedLocalHashing(np.log(4.0), m=20)
+        assert mech.g == 5  # round(e^eps) + 1 = 5
+
+    def test_grr_probabilities_over_buckets(self):
+        mech = OptimizedLocalHashing(1.0, m=10)
+        assert mech.p == pytest.approx(
+            np.exp(1.0) / (np.exp(1.0) + mech.g - 1)
+        )
+
+    def test_rejects_g_below_two(self):
+        with pytest.raises(ValidationError):
+            OptimizedLocalHashing(1.0, m=5, g=1)
+
+    def test_perturb_shape(self, rng):
+        mech = OptimizedLocalHashing(1.0, m=6)
+        seeds, reports = mech.perturb_many([0, 1, 5], rng)
+        assert seeds.shape == reports.shape == (3,)
+        assert np.all((reports >= 0) & (reports < mech.g))
+
+    def test_estimate_counts_unbiased_statistically(self, rng):
+        mech = OptimizedLocalHashing(2.0, m=8)
+        n = 40_000
+        items = rng.integers(8, size=n)
+        truth = np.bincount(items, minlength=8)
+        seeds, reports = mech.perturb_many(items, rng)
+        estimates = mech.estimate_counts(seeds, reports)
+        sd = np.sqrt(mech.variance_per_item(n))
+        assert np.all(np.abs(estimates - truth) < 5 * sd)
+
+    def test_estimate_subset_of_items(self, rng):
+        mech = OptimizedLocalHashing(1.5, m=10)
+        seeds, reports = mech.perturb_many(rng.integers(10, size=2000), rng)
+        subset = mech.estimate_counts(seeds, reports, items=[3, 7])
+        assert subset.shape == (2,)
+
+    def test_estimate_rejects_mismatched_lengths(self):
+        mech = OptimizedLocalHashing(1.0, m=4)
+        with pytest.raises(EstimationError):
+            mech.estimate_counts([1, 2], [0])
+
+    def test_variance_comparable_to_oue(self):
+        """OLH's variance matches OUE's asymptotically (Wang et al.)."""
+        from repro.mechanisms import OptimizedUnaryEncoding
+
+        epsilon, n = 1.0, 10_000
+        olh = OptimizedLocalHashing(epsilon, m=100)
+        oue = OptimizedUnaryEncoding(epsilon, m=100)
+        oue_var = float(
+            n * oue.q * (1 - oue.q) / (oue.p - oue.q) ** 2
+        )
+        assert olh.variance_per_item(n) == pytest.approx(oue_var, rel=0.25)

@@ -1,0 +1,128 @@
+"""Unit tests for the Padding-and-Sampling protocol (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PaddingSampler
+from repro.exceptions import ValidationError
+
+
+class TestSampleSingle:
+    def test_output_in_extended_domain(self, rng):
+        sampler = PaddingSampler(m=5, ell=3)
+        for _ in range(100):
+            out = sampler.sample([0, 2], rng)
+            assert 0 <= out < sampler.extended_m
+
+    def test_exact_length_set_never_yields_dummies(self, rng):
+        sampler = PaddingSampler(m=5, ell=2)
+        outputs = {sampler.sample([1, 3], rng) for _ in range(200)}
+        assert outputs <= {1, 3}
+
+    def test_oversized_set_never_yields_dummies(self, rng):
+        sampler = PaddingSampler(m=5, ell=2)
+        outputs = {sampler.sample([0, 1, 2, 3], rng) for _ in range(300)}
+        assert outputs <= {0, 1, 2, 3}
+
+    def test_oversized_set_uniform_over_members(self, rng):
+        sampler = PaddingSampler(m=4, ell=2)
+        draws = np.array([sampler.sample([0, 1, 2, 3], rng) for _ in range(20_000)])
+        freq = np.bincount(draws, minlength=4) / draws.size
+        assert np.allclose(freq, 0.25, atol=0.02)
+
+    def test_undersized_set_real_marginal_is_one_over_ell(self, rng):
+        sampler = PaddingSampler(m=5, ell=4)
+        draws = np.array([sampler.sample([2], rng) for _ in range(20_000)])
+        real_rate = np.mean(draws == 2)
+        assert real_rate == pytest.approx(1.0 / 4.0, abs=0.02)
+
+    def test_empty_set_yields_only_dummies(self, rng):
+        sampler = PaddingSampler(m=3, ell=2)
+        outputs = {sampler.sample([], rng) for _ in range(100)}
+        assert all(out >= 3 for out in outputs)
+
+    def test_rejects_duplicates(self, rng):
+        with pytest.raises(ValidationError, match="duplicate"):
+            PaddingSampler(m=5, ell=2).sample([1, 1], rng)
+
+    def test_rejects_out_of_domain(self, rng):
+        with pytest.raises(ValidationError):
+            PaddingSampler(m=5, ell=2).sample([7], rng)
+
+
+class TestSampleMany:
+    def test_matches_single_sample_marginals(self, rng):
+        """Vectorized path draws from the same marginal as Algorithm 2."""
+        sampler = PaddingSampler(m=4, ell=3)
+        itemset = [0, 3]
+        n = 40_000
+        flat = np.tile(itemset, n)
+        offsets = np.arange(n + 1) * len(itemset)
+        batch = sampler.sample_many(flat, offsets, rng)
+        batch_freq = np.bincount(batch, minlength=sampler.extended_m) / n
+
+        singles = np.array([sampler.sample(itemset, rng) for _ in range(n)])
+        single_freq = np.bincount(singles, minlength=sampler.extended_m) / n
+        assert np.allclose(batch_freq, single_freq, atol=0.02)
+
+    def test_specific_dummy_marginal(self, rng):
+        """Each dummy has marginal (ell - |x|) / ell^2 when |x| < ell."""
+        sampler = PaddingSampler(m=3, ell=3)
+        n = 60_000
+        flat = np.zeros(n, dtype=np.int64)  # every user holds {0}
+        offsets = np.arange(n + 1)
+        draws = sampler.sample_many(flat, offsets, rng)
+        expected = (3 - 1) / 9.0
+        for dummy in range(3, 6):
+            assert np.mean(draws == dummy) == pytest.approx(expected, abs=0.01)
+
+    def test_handles_mixed_sizes(self, rng, small_itemset_dataset):
+        data = small_itemset_dataset
+        sampler = PaddingSampler(m=data.m, ell=3)
+        out = sampler.sample_many(data.flat_items, data.offsets, rng)
+        assert out.shape == (data.n,)
+        assert np.all((out >= 0) & (out < sampler.extended_m))
+
+    def test_trailing_empty_set_regression(self, rng):
+        """Regression: an empty set as the *last* user used to read past
+        the end of the flat array (found by hypothesis)."""
+        sampler = PaddingSampler(m=3, ell=2)
+        flat = np.array([0, 1, 2], dtype=np.int64)
+        offsets = np.array([0, 3, 3], dtype=np.int64)  # user 1 is empty
+        sampled = sampler.sample_many(flat, offsets, rng)
+        assert sampled.shape == (2,)
+        assert sampled[1] >= 3  # the empty user reports a dummy
+
+    def test_all_users_empty(self, rng):
+        sampler = PaddingSampler(m=4, ell=3)
+        sampled = sampler.sample_many(
+            np.empty(0, dtype=np.int64), np.zeros(3, dtype=np.int64), rng
+        )
+        assert np.all(sampled >= 4)
+
+    def test_rejects_bad_offsets(self, rng):
+        sampler = PaddingSampler(m=3, ell=2)
+        with pytest.raises(ValidationError):
+            sampler.sample_many([0, 1], [0, 1], rng)  # does not end at len
+        with pytest.raises(ValidationError):
+            sampler.sample_many([0, 1], [1, 2], rng)  # does not start at 0
+
+
+class TestEta:
+    def test_eta_formula(self):
+        sampler = PaddingSampler(m=10, ell=4)
+        assert sampler.eta(0) == 0.0
+        assert sampler.eta(2) == pytest.approx(0.5)
+        assert sampler.eta(4) == 1.0
+        assert sampler.eta(9) == 1.0
+
+    def test_eta_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            PaddingSampler(m=3, ell=2).eta(-1)
+
+    def test_real_item_sampling_probability(self):
+        sampler = PaddingSampler(m=10, ell=4)
+        assert sampler.real_item_sampling_probability(2) == pytest.approx(0.25)
+        assert sampler.real_item_sampling_probability(8) == pytest.approx(0.125)

@@ -1,0 +1,95 @@
+"""Unit tests for binary RR and GRR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BinaryRandomizedResponse, GeneralizedRandomizedResponse
+from repro.exceptions import ValidationError
+
+
+class TestBinaryRR:
+    def test_truth_probability(self):
+        mech = BinaryRandomizedResponse(np.log(3.0))
+        assert mech.p == pytest.approx(0.75)
+
+    def test_channel_matrix_stochastic(self):
+        mech = BinaryRandomizedResponse(1.0)
+        matrix = mech.channel_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert matrix[0, 0] == matrix[1, 1] == pytest.approx(mech.p)
+
+    def test_channel_satisfies_ldp(self):
+        epsilon = 0.8
+        matrix = BinaryRandomizedResponse(epsilon).channel_matrix()
+        ratios = matrix[0] / matrix[1]
+        assert np.max(ratios) <= np.exp(epsilon) + 1e-12
+
+    def test_perturb_output_domain(self, rng):
+        mech = BinaryRandomizedResponse(1.0)
+        outputs = {mech.perturb(1, rng) for _ in range(50)}
+        assert outputs <= {0, 1}
+
+    def test_perturb_rejects_non_binary(self, rng):
+        with pytest.raises(ValidationError):
+            BinaryRandomizedResponse(1.0).perturb(2, rng)
+
+    def test_estimator_unbiased_statistically(self, rng):
+        mech = BinaryRandomizedResponse(1.5)
+        truth = np.array([1] * 3000 + [0] * 7000)
+        reports = np.array([mech.perturb(int(x), rng) for x in truth])
+        estimate = mech.estimate_count_of_ones(reports)
+        # 3-sigma band: sd ~ sqrt(n p(1-p))/(2p-1) ~ 90 here.
+        assert abs(estimate - 3000) < 300
+
+
+class TestGRR:
+    def test_probabilities(self):
+        mech = GeneralizedRandomizedResponse(np.log(4.0), m=5)
+        assert mech.p == pytest.approx(0.5)
+        assert mech.q == pytest.approx(0.125)
+
+    def test_channel_matrix_rows_stochastic(self):
+        mech = GeneralizedRandomizedResponse(1.0, m=6)
+        matrix = mech.channel_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_channel_satisfies_ldp(self):
+        epsilon = 1.3
+        matrix = GeneralizedRandomizedResponse(epsilon, m=4).channel_matrix()
+        for i in range(4):
+            for j in range(4):
+                assert np.max(matrix[i] / matrix[j]) <= np.exp(epsilon) + 1e-12
+
+    def test_rejects_domain_of_one(self):
+        with pytest.raises(ValidationError):
+            GeneralizedRandomizedResponse(1.0, m=1)
+
+    def test_perturb_many_matches_marginals(self, rng):
+        mech = GeneralizedRandomizedResponse(2.0, m=3)
+        outputs = mech.perturb_many(np.zeros(30_000, dtype=int), rng)
+        freq = np.bincount(outputs, minlength=3) / outputs.size
+        assert freq[0] == pytest.approx(mech.p, abs=0.02)
+        assert freq[1] == pytest.approx(mech.q, abs=0.02)
+
+    def test_perturb_never_maps_other_to_self_bias(self, rng):
+        """The non-truthful branch must be uniform over the m-1 others."""
+        mech = GeneralizedRandomizedResponse(0.5, m=4)
+        outputs = mech.perturb_many(np.full(40_000, 2, dtype=int), rng)
+        freq = np.bincount(outputs, minlength=4) / outputs.size
+        others = [freq[0], freq[1], freq[3]]
+        assert np.allclose(others, mech.q, atol=0.02)
+
+    def test_estimate_counts_unbiased_statistically(self, rng):
+        mech = GeneralizedRandomizedResponse(2.0, m=4)
+        truth = rng.integers(4, size=20_000)
+        reports = mech.perturb_many(truth, rng)
+        estimates = mech.estimate_counts(reports)
+        true_counts = np.bincount(truth, minlength=4)
+        sd = np.sqrt(mech.variance_per_item(truth.size, truth.size / 4))
+        assert np.all(np.abs(estimates - true_counts) < 4 * sd)
+
+    def test_perturb_rejects_out_of_domain(self, rng):
+        with pytest.raises(ValidationError):
+            GeneralizedRandomizedResponse(1.0, m=3).perturb(3, rng)

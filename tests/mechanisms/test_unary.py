@@ -1,0 +1,117 @@
+"""Unit tests for UE / SUE (RAPPOR) / OUE and the UnaryMechanism base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import OptimizedUnaryEncoding, SymmetricUnaryEncoding, UnaryEncoding
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import UnaryMechanism
+
+
+class TestUnaryMechanismBase:
+    def test_requires_a_greater_than_b(self):
+        with pytest.raises(ValidationError, match="a\\[k\\] > b\\[k\\]"):
+            UnaryMechanism([0.3, 0.5], [0.4, 0.2])
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValidationError):
+            UnaryMechanism([0.5], [0.2, 0.1])
+
+    def test_rejects_boundary_probabilities(self):
+        with pytest.raises(ValidationError):
+            UnaryMechanism([1.0], [0.5])
+
+    def test_alpha_beta_definitions(self):
+        mech = UnaryMechanism([0.6, 0.5], [0.2, 0.25])
+        assert np.allclose(mech.alpha, [3.0, 2.0])
+        assert np.allclose(mech.beta, [0.5, 2.0 / 3.0])
+
+    def test_encode_one_hot(self):
+        mech = UnaryMechanism([0.6] * 4, [0.2] * 4)
+        bits = mech.encode(2)
+        assert bits.tolist() == [0, 0, 1, 0]
+
+    def test_encode_out_of_range(self):
+        mech = UnaryMechanism([0.6] * 3, [0.2] * 3)
+        with pytest.raises(ValidationError):
+            mech.encode(3)
+
+    def test_perturb_bits_shape_check(self, rng):
+        mech = UnaryMechanism([0.6] * 3, [0.2] * 3)
+        with pytest.raises(ValidationError):
+            mech.perturb_bits([0, 1], rng)
+
+    def test_perturb_output_is_binary_vector(self, rng):
+        mech = UnaryMechanism([0.6] * 5, [0.2] * 5)
+        report = mech.perturb(1, rng)
+        assert report.shape == (5,)
+        assert set(np.unique(report)) <= {0, 1}
+
+    def test_perturb_many_marginals(self, rng):
+        a, b = 0.7, 0.1
+        mech = UnaryMechanism([a] * 3, [b] * 3)
+        reports = mech.perturb_many(np.zeros(30_000, dtype=int), rng)
+        freq = reports.mean(axis=0)
+        assert freq[0] == pytest.approx(a, abs=0.02)
+        assert freq[1] == pytest.approx(b, abs=0.02)
+        assert freq[2] == pytest.approx(b, abs=0.02)
+
+    def test_pair_ratio_bound_formula(self):
+        mech = UnaryMechanism([0.6, 0.5], [0.2, 0.25])
+        expected = 0.6 * (1 - 0.25) / (0.2 * (1 - 0.5))
+        assert mech.pair_ratio_bound(0, 1) == pytest.approx(expected)
+        assert mech.pair_ratio_bound(0, 0) == 1.0
+
+
+class TestUnaryEncoding:
+    def test_epsilon_formula(self):
+        p, q = 0.75, 0.25
+        mech = UnaryEncoding(p, q, m=4)
+        assert mech.epsilon() == pytest.approx(np.log(p * (1 - q) / ((1 - p) * q)))
+
+    def test_requires_p_greater_than_q(self):
+        with pytest.raises(ValidationError):
+            UnaryEncoding(0.2, 0.5, m=3)
+
+
+class TestSymmetricUnaryEncoding:
+    def test_rappor_probabilities(self):
+        # Table II: eps = ln 4 gives p = 2/3, q = 1/3.
+        mech = SymmetricUnaryEncoding(np.log(4.0), m=5)
+        assert mech.p == pytest.approx(2.0 / 3.0)
+        assert mech.q == pytest.approx(1.0 / 3.0)
+
+    def test_achieves_target_epsilon(self):
+        for epsilon in (0.5, 1.0, 2.0, 4.0):
+            mech = SymmetricUnaryEncoding(epsilon, m=3)
+            assert mech.epsilon() == pytest.approx(epsilon)
+
+    def test_ldp_epsilon_matches_target(self):
+        mech = SymmetricUnaryEncoding(1.7, m=4)
+        assert mech.ldp_epsilon() == pytest.approx(1.7)
+
+
+class TestOptimizedUnaryEncoding:
+    def test_oue_probabilities(self):
+        # Table II: eps = ln 4 gives p = 1/2, q = 1/5.
+        mech = OptimizedUnaryEncoding(np.log(4.0), m=5)
+        assert mech.p == pytest.approx(0.5)
+        assert mech.q == pytest.approx(0.2)
+
+    def test_achieves_target_epsilon(self):
+        for epsilon in (0.5, 1.0, 3.0):
+            mech = OptimizedUnaryEncoding(epsilon, m=3)
+            assert mech.epsilon() == pytest.approx(epsilon)
+
+    def test_oue_variance_beats_rappor_at_same_epsilon(self):
+        """The optimization OUE performs: lower noise coefficient than SUE."""
+        epsilon = 1.0
+        oue = OptimizedUnaryEncoding(epsilon, m=1)
+        sue = SymmetricUnaryEncoding(epsilon, m=1)
+
+        def noise(mech):
+            return mech.q * (1 - mech.q) / (mech.p - mech.q) ** 2
+
+        assert noise(oue) < noise(sue)

@@ -1,0 +1,99 @@
+"""Unit tests for constraint assembly and the Eq. (10) objective."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AVG, MIN, BudgetSpec, PolicyGraph
+from repro.exceptions import ValidationError
+from repro.optim import build_constraints, worst_case_objective
+
+
+class TestBuildConstraints:
+    def test_pair_count_with_singleton_level(self, toy_spec):
+        # t = 2, level 0 singleton: pairs (0,1), (1,0), (1,1) = 3 active.
+        constraints = build_constraints(toy_spec)
+        assert len(constraints.pairs) == 3
+        assert (0, 0) not in constraints.pairs
+
+    def test_singleton_within_kept_on_request(self, toy_spec):
+        constraints = build_constraints(toy_spec, include_singleton_within=True)
+        assert len(constraints.pairs) == 4  # full t^2
+
+    def test_full_t_squared_without_singletons(self, three_level_spec):
+        constraints = build_constraints(three_level_spec)
+        assert len(constraints.pairs) == 9
+
+    def test_bounds_match_r_function(self, three_level_spec):
+        constraints = build_constraints(three_level_spec, r=MIN)
+        eps = three_level_spec.level_epsilons
+        assert constraints.log_bound(0, 2) == pytest.approx(min(eps[0], eps[2]))
+        avg = build_constraints(three_level_spec, r=AVG)
+        assert avg.log_bound(0, 2) == pytest.approx((eps[0] + eps[2]) / 2)
+
+    def test_policy_graph_drops_cross_pairs(self, three_level_spec):
+        policy = PolicyGraph.star(3, center=0)
+        constraints = build_constraints(three_level_spec, policy=policy)
+        assert (1, 2) not in constraints.pairs
+        assert (2, 1) not in constraints.pairs
+        assert (1, 1) in constraints.pairs  # within-level kept
+        assert np.isinf(constraints.bounds[1, 2])
+
+    def test_policy_size_mismatch(self, toy_spec):
+        with pytest.raises(ValidationError):
+            build_constraints(toy_spec, policy=PolicyGraph.complete(3))
+
+    def test_all_pairs_dropped_falls_back_to_diagonal(self):
+        # Two singleton levels and an empty policy: the builder falls
+        # back to the within-level constraints so solvers stay sane.
+        spec = BudgetSpec([1.0, 2.0])
+        policy = PolicyGraph(2, [])
+        constraints = build_constraints(spec, policy=policy)
+        assert constraints.pairs == ((0, 0), (1, 1))
+
+
+class TestFeasibilityChecks:
+    def test_max_ratio_violation_sign(self, toy_spec):
+        constraints = build_constraints(toy_spec)
+        # RAPPOR at min budget is feasible for MinID-LDP (Lemma 1 reverse).
+        p = np.exp(toy_spec.min_epsilon / 2) / (np.exp(toy_spec.min_epsilon / 2) + 1)
+        a = np.array([p, p])
+        b = 1.0 - a
+        assert constraints.max_ratio_violation(a, b) <= 1e-12
+        assert constraints.is_feasible(a, b)
+
+    def test_infeasible_detected(self, toy_spec):
+        constraints = build_constraints(toy_spec)
+        a = np.array([0.99, 0.99])
+        b = np.array([0.01, 0.01])
+        assert constraints.max_ratio_violation(a, b) > 0
+        assert not constraints.is_feasible(a, b)
+
+    def test_ordering_violation_infeasible(self, toy_spec):
+        constraints = build_constraints(toy_spec)
+        a = np.array([0.3, 0.6])
+        b = np.array([0.4, 0.2])  # b > a at level 0
+        assert not constraints.is_feasible(a, b)
+
+
+class TestWorstCaseObjective:
+    def test_matches_manual_computation(self):
+        a = np.array([0.6, 0.7])
+        b = np.array([0.3, 0.2])
+        sizes = np.array([2.0, 3.0])
+        noise = 2 * 0.3 * 0.7 / 0.09 + 3 * 0.2 * 0.8 / 0.25
+        data = max((1 - 0.9) / 0.3, (1 - 0.9) / 0.5)
+        assert worst_case_objective(a, b, sizes) == pytest.approx(noise + data)
+
+    def test_infinite_when_a_not_greater_than_b(self):
+        assert worst_case_objective(
+            np.array([0.2]), np.array([0.5]), np.array([1.0])
+        ) == float("inf")
+
+    def test_oue_toy_value_matches_table2(self):
+        """OUE at eps = ln4 on 5 items: worst-case objective = 9.889."""
+        a = np.full(1, 0.5)
+        b = np.full(1, 0.2)
+        value = worst_case_objective(a, b, np.array([5.0]))
+        assert value == pytest.approx(5 * 16 / 9 + 1.0, rel=1e-6)

@@ -1,0 +1,109 @@
+"""Solver failure-path tests: graceful degradation when SLSQP misbehaves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec
+from repro.exceptions import SolverError
+from repro.optim import build_constraints, solve_opt0, solve_opt1, solve_opt2
+import repro.optim.opt0 as opt0_module
+import repro.optim.opt1 as opt1_module
+import repro.optim.opt2 as opt2_module
+
+
+@pytest.fixture
+def constraints(toy_spec):
+    return build_constraints(toy_spec)
+
+
+def _raise_solver_error(*args, **kwargs):
+    raise SolverError("injected failure")
+
+
+class TestOpt0Fallbacks:
+    def test_survives_total_slsqp_failure(self, constraints, monkeypatch):
+        """Every SLSQP call dies; opt0 must fall back to the feasible
+        opt1/opt2 seed points."""
+        monkeypatch.setattr(opt0_module, "run_slsqp", _raise_solver_error)
+        result = solve_opt0(constraints)
+        assert result.feasible
+        # The fallback is one of the structured seeds (or their blend).
+        assert result.objective <= 10.0  # sane for the toy spec
+
+    def test_raises_when_even_seeds_fail(self, constraints, monkeypatch):
+        monkeypatch.setattr(opt0_module, "run_slsqp", _raise_solver_error)
+        monkeypatch.setattr(
+            opt0_module, "_seed_points", lambda *args, **kwargs: []
+        )
+        with pytest.raises(SolverError, match="no feasible candidate"):
+            solve_opt0(constraints)
+
+    def test_garbage_slsqp_output_rejected_not_returned(
+        self, constraints, monkeypatch
+    ):
+        """SLSQP 'succeeds' but returns an infeasible point; the strict
+        repair must reject it and fall back to seeds."""
+
+        def garbage(*args, **kwargs):
+            t = constraints.t
+            z = np.concatenate([np.full(t, 0.99), np.full(t, 0.01), [0.0]])
+            return z, {"label": "garbage", "success": True}
+
+        monkeypatch.setattr(opt0_module, "run_slsqp", garbage)
+        result = solve_opt0(constraints)
+        assert result.feasible
+        assert constraints.max_ratio_violation(result.a, result.b) <= 0.0
+
+
+class TestOpt1Fallbacks:
+    def test_stalled_solver_recovered_by_coordinate_ascent(
+        self, constraints, monkeypatch
+    ):
+        """SLSQP returns its (feasible, suboptimal) start unchanged; the
+        coordinate-ascent polish must still produce a boundary point."""
+
+        def stall(objective, x0, **kwargs):
+            return np.asarray(x0, dtype=float), {"label": "stalled", "success": False}
+
+        monkeypatch.setattr(opt1_module, "run_slsqp", stall)
+        result = solve_opt1(constraints)
+        assert result.feasible
+        tau = np.array(result.diagnostics["tau"])
+        # At least one constraint is tight at a Pareto-maximal point.
+        slacks = []
+        for i, j in constraints.pairs:
+            bound = constraints.bounds[i, j]
+            total = 2 * tau[i] if i == j else tau[i] + tau[j]
+            slacks.append(bound - total)
+        assert min(slacks) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestOpt2Fallbacks:
+    def test_stalled_solver_falls_back_to_oue_start(self, constraints, monkeypatch):
+        """If SLSQP returns something worse than the OUE-style start,
+        opt2 must return the start."""
+
+        def worse(objective, x0, **kwargs):
+            return np.minimum(np.asarray(x0) * 3.0, 0.49), {
+                "label": "worse",
+                "success": True,
+            }
+
+        monkeypatch.setattr(opt2_module, "run_slsqp", worse)
+        result = solve_opt2(constraints)
+        assert result.feasible
+        # Never worse than OUE at the tightest bound.
+        r_min = min(
+            constraints.bounds[i, j]
+            for i, j in constraints.pairs
+            if np.isfinite(constraints.bounds[i, j])
+        )
+        oue_b = 1.0 / (np.exp(r_min) + 1.0)
+        oue_obj = float(
+            np.sum(
+                constraints.sizes * oue_b * (1 - oue_b) / (0.5 - oue_b) ** 2
+            )
+        )
+        assert result.objective <= oue_obj + 1.0 + 1e-6  # + data term bound 1

@@ -1,0 +1,64 @@
+"""Unit tests for the shared solver utilities and closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.optim.solvers import oue_b, rappor_tau, run_slsqp
+
+
+class TestClosedForms:
+    def test_rappor_tau_is_half_epsilon(self):
+        assert rappor_tau(2.0) == 1.0
+        assert rappor_tau(np.log(4.0)) == pytest.approx(np.log(2.0))
+
+    def test_rappor_tau_recovers_rappor_probability(self):
+        """tau = eps/2 gives a = e^{eps/2}/(e^{eps/2}+1) = RAPPOR's p."""
+        epsilon = 1.6
+        tau = rappor_tau(epsilon)
+        a = np.exp(tau) / (np.exp(tau) + 1.0)
+        expected = np.exp(epsilon / 2) / (np.exp(epsilon / 2) + 1.0)
+        assert a == pytest.approx(expected)
+
+    def test_oue_b_formula(self):
+        assert oue_b(np.log(4.0)) == pytest.approx(0.2)
+        assert oue_b(1.0) == pytest.approx(1.0 / (np.e + 1.0))
+
+
+class TestRunSlsqp:
+    def test_solves_simple_quadratic(self):
+        x, diagnostics = run_slsqp(
+            lambda x: float((x[0] - 3.0) ** 2),
+            np.array([0.0]),
+            bounds=[(-10.0, 10.0)],
+        )
+        assert x[0] == pytest.approx(3.0, abs=1e-6)
+        assert diagnostics["success"]
+
+    def test_respects_inequality_constraint(self):
+        # minimize x^2 s.t. x >= 1
+        x, _ = run_slsqp(
+            lambda x: float(x[0] ** 2),
+            np.array([5.0]),
+            bounds=[(-10.0, 10.0)],
+            constraints=[{"type": "ineq", "fun": lambda x: x[0] - 1.0}],
+        )
+        assert x[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_diagnostics_fields(self):
+        _, diagnostics = run_slsqp(
+            lambda x: float(x[0] ** 2), np.array([1.0]), label="unit"
+        )
+        assert diagnostics["label"] == "unit"
+        assert set(diagnostics) >= {"success", "status", "message", "iterations"}
+
+    def test_non_finite_result_raises(self):
+        # An objective that drives x to NaN through an unbounded descent
+        # direction with a NaN gradient region.
+        def bad(x):
+            return float(np.nan)
+
+        with pytest.raises(SolverError):
+            run_slsqp(bad, np.array([1.0]), label="bad")

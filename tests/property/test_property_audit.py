@@ -1,0 +1,95 @@
+"""Property-based cross-validation of the audit layers (hypothesis).
+
+The pairwise audit uses the closed-form worst ratio of Section V-B; the
+exhaustive audit enumerates the channel.  On random mechanisms the two
+must agree exactly — a strong check that both the closed form and the
+channel construction are right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BudgetSpec, IDLDP, LDP, MIN
+from repro.audit import audit_unary_pairwise, unary_channel
+from repro.mechanisms.base import UnaryMechanism
+
+ab_pairs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.30, max_value=0.95),
+        st.floats(min_value=0.03, max_value=0.25),
+    ),
+    min_size=2,
+    max_size=5,
+)
+
+
+def _mechanism(params) -> UnaryMechanism:
+    a = np.array([p[0] for p in params])
+    b = np.array([p[1] for p in params])
+    return UnaryMechanism(a, b)
+
+
+class TestClosedFormMatchesChannel:
+    @given(ab_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_pair_ratio_bound_equals_channel_max(self, params):
+        """a_i(1-b_j) / (b_i(1-a_j)) == max_y Pr(y|v_i)/Pr(y|v_j)."""
+        mech = _mechanism(params)
+        channel = unary_channel(mech)
+        for i in range(mech.m):
+            for j in range(mech.m):
+                if i == j:
+                    continue
+                channel_max = float(np.max(channel[i] / channel[j]))
+                assert channel_max == pytest.approx(
+                    mech.pair_ratio_bound(i, j), rel=1e-9
+                )
+
+    @given(ab_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_ldp_epsilon_bounds_every_channel_ratio(self, params):
+        """mech.ldp_epsilon() really is the channel's worst log-ratio."""
+        mech = _mechanism(params)
+        channel = np.log(unary_channel(mech))
+        worst = max(
+            float(np.max(channel[i] - channel[j]))
+            for i in range(mech.m)
+            for j in range(mech.m)
+            if i != j
+        )
+        assert mech.ldp_epsilon() == pytest.approx(worst, rel=1e-9)
+
+
+class TestAuditConsistency:
+    @given(ab_pairs, st.floats(min_value=0.3, max_value=4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_verdict_matches_direct_ldp_check(self, params, epsilon):
+        """The pairwise audit against eps-LDP agrees with comparing the
+        mechanism's own ldp_epsilon to eps."""
+        mech = _mechanism(params)
+        report = audit_unary_pairwise(mech, LDP(epsilon))
+        should_pass = mech.ldp_epsilon() <= epsilon + 1e-9
+        assert report.passed == should_pass
+
+    @given(ab_pairs)
+    @settings(max_examples=20, deadline=None)
+    def test_minid_verdict_consistent_across_levels(self, params):
+        """Audit verdict is invariant to how items are grouped into a
+        spec when the budgets and parameters are the same per item."""
+        mech = _mechanism(params)
+        m = mech.m
+        budgets = np.linspace(1.0, 2.0, m)
+        spec = BudgetSpec(budgets)
+        direct = all(
+            mech.pair_ratio_bound(i, j)
+            <= np.exp(min(budgets[i], budgets[j])) * (1 + 1e-9)
+            for i in range(m)
+            for j in range(m)
+            if i != j
+        )
+        report = audit_unary_pairwise(mech, IDLDP(spec, MIN))
+        assert report.passed == direct

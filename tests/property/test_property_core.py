@@ -1,0 +1,98 @@
+"""Property-based tests for core privacy abstractions (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AVG, MAX, MIN, BudgetSpec, IDLDP
+from repro.core.notions import ldp_budget_implied_by_minid
+
+budgets_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=8.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestBudgetSpecProperties:
+    @given(budgets_strategy)
+    def test_levels_partition_domain(self, budgets):
+        spec = BudgetSpec(budgets)
+        assert int(spec.level_sizes.sum()) == spec.m
+        items = [i for level in spec.levels() for i in level.items]
+        assert sorted(items) == list(range(spec.m))
+
+    @given(budgets_strategy)
+    def test_item_epsilons_consistent_with_levels(self, budgets):
+        spec = BudgetSpec(budgets)
+        for level in spec.levels():
+            for item in level.items:
+                assert spec.epsilon_of(item) == pytest.approx(level.epsilon)
+
+    @given(budgets_strategy, st.floats(min_value=0.1, max_value=10.0))
+    def test_scaling_preserves_structure(self, budgets, factor):
+        spec = BudgetSpec(budgets)
+        scaled = spec.scaled(factor)
+        assert scaled.t == spec.t
+        assert np.array_equal(scaled.item_level, spec.item_level)
+        assert np.allclose(scaled.item_epsilons, spec.item_epsilons * factor)
+
+    @given(budgets_strategy)
+    def test_min_max_bracket_all_items(self, budgets):
+        spec = BudgetSpec(budgets)
+        assert spec.min_epsilon <= spec.item_epsilons.min() + 1e-12
+        assert spec.max_epsilon >= spec.item_epsilons.max() - 1e-12
+
+
+class TestRFunctionProperties:
+    @given(budgets_strategy)
+    def test_min_avg_max_ordering(self, budgets):
+        """min <= avg <= max holds entry-wise on every pair matrix."""
+        eps = np.asarray(BudgetSpec(budgets).level_epsilons)
+        min_m = MIN.pairwise_matrix(eps)
+        avg_m = AVG.pairwise_matrix(eps)
+        max_m = MAX.pairwise_matrix(eps)
+        assert np.all(min_m <= avg_m + 1e-12)
+        assert np.all(avg_m <= max_m + 1e-12)
+
+    @given(budgets_strategy)
+    def test_pair_budget_symmetry(self, budgets):
+        spec = BudgetSpec(budgets)
+        notion = IDLDP(spec, MIN)
+        for i in range(min(spec.m, 4)):
+            for j in range(min(spec.m, 4)):
+                assert notion.pair_budget(i, j) == pytest.approx(
+                    notion.pair_budget(j, i)
+                )
+
+    @given(budgets_strategy)
+    def test_lemma1_sandwich(self, budgets):
+        """min{E} <= implied-LDP budget <= min(max E, 2 min E)."""
+        eps = np.asarray(budgets)
+        implied = ldp_budget_implied_by_minid(eps)
+        assert implied >= eps.min() - 1e-12
+        assert implied <= min(eps.max(), 2 * eps.min()) + 1e-12
+
+
+class TestCompositionProperties:
+    @given(
+        budgets_strategy,
+        st.lists(st.floats(min_value=0.01, max_value=0.2), min_size=1, max_size=5),
+    )
+    @settings(max_examples=30)
+    def test_composed_budget_is_sum(self, budgets, fractions):
+        """Theorem 2: recorded budgets add element-wise, in any order."""
+        from repro import CompositionAccountant
+
+        spec = BudgetSpec(budgets)
+        accountant = CompositionAccountant(spec)
+        total_fraction = sum(fractions)
+        if total_fraction > 1.0:
+            fractions = [f / total_fraction for f in fractions]
+        for fraction in fractions:
+            accountant.record(BudgetSpec(spec.item_epsilons * fraction))
+        expected = spec.item_epsilons * sum(fractions)
+        assert np.allclose(accountant.spent(), expected)

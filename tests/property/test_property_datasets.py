@@ -1,0 +1,93 @@
+"""Property-based tests for datasets and simulation (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PaddingSampler
+from repro.datasets import ItemsetDataset
+from repro.simulation import simulate_counts_from_true
+
+sets_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=0, max_size=8),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestItemsetDatasetProperties:
+    @given(sets_strategy)
+    def test_roundtrip_through_csr(self, raw_sets):
+        data = ItemsetDataset.from_sets(raw_sets, m=10)
+        rebuilt = [list(s) for s in data.iter_sets()]
+        deduped = [list(dict.fromkeys(s)) for s in raw_sets]
+        assert rebuilt == deduped
+
+    @given(sets_strategy)
+    def test_true_counts_match_membership(self, raw_sets):
+        data = ItemsetDataset.from_sets(raw_sets, m=10)
+        counts = data.true_counts()
+        for item in range(10):
+            expected = sum(1 for s in raw_sets if item in s)
+            assert counts[item] == expected
+
+    @given(sets_strategy)
+    def test_set_sizes_sum_to_flat_length(self, raw_sets):
+        data = ItemsetDataset.from_sets(raw_sets, m=10)
+        assert int(data.set_sizes.sum()) == data.flat_items.size
+
+    @given(sets_strategy, st.integers(min_value=1, max_value=5))
+    def test_subset_users_preserves_content(self, raw_sets, seed):
+        data = ItemsetDataset.from_sets(raw_sets, m=10)
+        rng = np.random.default_rng(seed)
+        ids = rng.choice(data.n, size=min(3, data.n), replace=False)
+        sub = data.subset_users(ids)
+        for k, u in enumerate(ids):
+            assert sub.user_items(k).tolist() == data.user_items(int(u)).tolist()
+
+
+class TestSimulationProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40)
+    def test_counts_within_bounds(self, ones, seed):
+        n = 50
+        rng = np.random.default_rng(seed)
+        counts = simulate_counts_from_true(ones, n, 0.7, 0.2, rng)
+        assert np.all(counts >= 0)
+        assert np.all(counts <= n)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25)
+    def test_degenerate_probabilities_near_limits(self, seed):
+        """a near 1 and b near 0: counts concentrate on the holders."""
+        rng = np.random.default_rng(seed)
+        ones = np.array([30, 0])
+        counts = simulate_counts_from_true(ones, 30, 0.999, 0.001, rng)
+        assert counts[0] >= 25
+        assert counts[1] <= 5
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ps_sample_many_total_is_n(self, m, ell, seed):
+        """Every user contributes exactly one sampled element."""
+        rng = np.random.default_rng(seed)
+        sets = [
+            rng.choice(m, size=int(rng.integers(0, m + 1)), replace=False).tolist()
+            for _ in range(20)
+        ]
+        data = ItemsetDataset.from_sets(sets, m=m)
+        sampler = PaddingSampler(m, ell)
+        sampled = sampler.sample_many(data.flat_items, data.offsets, rng)
+        assert sampled.size == data.n
+        histogram = np.bincount(sampled, minlength=m + ell)
+        assert int(histogram.sum()) == data.n

@@ -1,0 +1,93 @@
+"""Property-based tests for estimation (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FrequencyEstimator
+from repro.datasets import ItemsetDataset
+from repro.estimation import norm_sub, ps_expected_counts, top_k_items
+
+ab_strategy = st.tuples(
+    st.floats(min_value=0.35, max_value=0.95),
+    st.floats(min_value=0.02, max_value=0.3),
+)
+
+
+class TestEstimatorAlgebra:
+    @given(
+        st.lists(ab_strategy, min_size=1, max_size=6),
+        st.data(),
+    )
+    @settings(max_examples=50)
+    def test_calibration_inverts_expectation(self, params, data):
+        """estimate(E[counts]) == true counts, for any parameters."""
+        a = np.array([p[0] for p in params])
+        b = np.array([p[1] for p in params])
+        n = data.draw(st.integers(min_value=1, max_value=10_000))
+        truth = np.array(
+            [data.draw(st.integers(min_value=0, max_value=n)) for _ in params],
+            dtype=float,
+        )
+        estimator = FrequencyEstimator(a, b, n)
+        recovered = estimator.estimate(estimator.expected_counts(truth))
+        assert np.allclose(recovered, truth, atol=1e-6)
+
+    @given(st.lists(ab_strategy, min_size=1, max_size=4), st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_ps_scaling_linear_in_ell(self, params, ell):
+        a = np.array([p[0] for p in params])
+        b = np.array([p[1] for p in params])
+        base = FrequencyEstimator(a, b, n=100, ell=1)
+        scaled = FrequencyEstimator(a, b, n=100, ell=ell)
+        counts = np.full(a.size, 40.0)
+        assert np.allclose(scaled.estimate(counts), ell * base.estimate(counts))
+
+
+class TestPSBiasProperty:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_expected_counts_never_exceed_truth(self, set_size, ell):
+        """E[estimate] == truth when |x| <= ell, strictly less otherwise."""
+        items = list(range(set_size))
+        data = ItemsetDataset.from_sets([items] * 10, m=8)
+        expected = ps_expected_counts(data, ell)
+        truth = data.true_counts().astype(float)
+        if set_size <= ell:
+            assert np.allclose(expected[:set_size], truth[:set_size])
+        else:
+            assert np.all(expected[:set_size] < truth[:set_size])
+
+
+class TestNormSubProperties:
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=100, allow_nan=False), min_size=1, max_size=20),
+        st.floats(min_value=0, max_value=200),
+    )
+    @settings(max_examples=60)
+    def test_output_nonnegative_and_sums_to_total(self, estimates, total):
+        arr = np.asarray(estimates)
+        result = norm_sub(arr, total)
+        assert np.all(result >= 0.0)
+        if result.sum() > 0:
+            assert result.sum() == pytest.approx(total, rel=1e-6, abs=1e-6)
+
+
+class TestTopKProperties:
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=50)
+    def test_topk_returns_k_distinct_best_items(self, estimates, data):
+        arr = np.asarray(estimates)
+        k = data.draw(st.integers(min_value=1, max_value=arr.size))
+        top = top_k_items(arr, k)
+        assert len(set(top.tolist())) == k
+        worst_selected = arr[top].min()
+        not_selected = np.delete(arr, top)
+        if not_selected.size:
+            assert np.all(not_selected <= worst_selected + 1e-12)

@@ -1,0 +1,95 @@
+"""Property-based tests for mechanisms (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BudgetSpec, IDUE, MIN, PaddingSampler, itemset_budget
+from repro.audit import audit_unary_pairwise
+from repro.core.notions import IDLDP
+
+small_budgets = st.lists(
+    st.floats(min_value=0.2, max_value=4.0, allow_nan=False),
+    min_size=2,
+    max_size=6,
+)
+
+
+class TestIDUEPrivacyProperty:
+    @given(small_budgets, st.sampled_from(["opt0", "opt1", "opt2"]))
+    @settings(max_examples=25, deadline=None)
+    def test_optimized_idue_always_satisfies_minid(self, budgets, model):
+        """The core privacy invariant, over random budget configurations."""
+        spec = BudgetSpec(budgets)
+        mech = IDUE.optimized(spec, model=model)
+        report = audit_unary_pairwise(mech, IDLDP(spec, MIN))
+        assert report.passed
+
+
+class TestPaddingSamplerProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sample_always_in_extended_domain(self, m, ell, data):
+        sampler = PaddingSampler(m, ell)
+        size = data.draw(st.integers(min_value=0, max_value=m))
+        itemset = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=m - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        out = sampler.sample(itemset, rng)
+        assert 0 <= out < m + ell
+        if len(itemset) >= ell:
+            assert out in itemset  # no dummies once the set fills the pad
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=8))
+    def test_eta_bounds(self, size, ell):
+        sampler = PaddingSampler(m=25, ell=ell)
+        eta = sampler.eta(size)
+        assert 0.0 < eta <= 1.0
+        if size >= ell:
+            assert eta == 1.0
+
+
+class TestItemsetBudgetProperties:
+    @given(small_budgets, st.integers(min_value=1, max_value=5), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_eq17_bracketed_by_member_budgets(self, budgets, ell, data):
+        """min member <= set budget <= max(max member, eps*)."""
+        spec = BudgetSpec(budgets)
+        size = data.draw(st.integers(min_value=1, max_value=spec.m))
+        items = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=spec.m - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        budget = itemset_budget(items, spec, ell)
+        members = spec.item_epsilons[items]
+        assert budget >= min(members.min(), spec.min_epsilon) - 1e-9
+        assert budget <= max(members.max(), spec.min_epsilon) + 1e-9
+
+    @given(small_budgets, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_eq17_monotone_in_ell_for_fixed_small_set(self, budgets, data):
+        """For |x| < ell, growing ell mixes in more of the dummy budget,
+        pulling the set budget toward eps* = min{E} (from above)."""
+        spec = BudgetSpec(budgets)
+        item = data.draw(st.integers(min_value=0, max_value=spec.m - 1))
+        values = [itemset_budget([item], spec, ell) for ell in (1, 2, 4, 8)]
+        eps_star = spec.min_epsilon
+        deltas = [abs(v - eps_star) for v in values]
+        assert all(deltas[k + 1] <= deltas[k] + 1e-12 for k in range(len(deltas) - 1))

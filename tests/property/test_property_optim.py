@@ -1,0 +1,85 @@
+"""Property-based tests for the optimization models (hypothesis).
+
+The solvers must return *feasible* parameters for any reasonable budget
+configuration — that is the privacy guarantee, so we hammer it harder
+than any other invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BudgetSpec
+from repro.optim import build_constraints, solve_opt0, solve_opt1, solve_opt2
+
+level_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=6.0, allow_nan=False),
+        st.integers(min_value=1, max_value=50),
+    ),
+    min_size=1,
+    max_size=5,
+).map(
+    lambda pairs: BudgetSpec.from_level_sizes(
+        # Perturb duplicates so levels stay distinct.
+        [eps + k * 1e-3 for k, (eps, _) in enumerate(pairs)],
+        [size for _, size in pairs],
+    )
+)
+
+
+class TestOpt1Properties:
+    @given(level_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_always_feasible(self, spec):
+        result = solve_opt1(build_constraints(spec))
+        assert result.feasible
+        assert np.all(result.a > result.b)
+        assert np.allclose(result.a + result.b, 1.0)
+
+    @given(level_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_no_worse_than_rappor(self, spec):
+        from repro.optim import worst_case_objective
+
+        result = solve_opt1(build_constraints(spec))
+        p = np.exp(spec.min_epsilon / 2) / (np.exp(spec.min_epsilon / 2) + 1)
+        a = np.full(spec.t, p)
+        rappor = worst_case_objective(a, 1 - a, spec.level_sizes.astype(float))
+        assert result.objective <= rappor * (1 + 1e-6)
+
+
+class TestOpt2Properties:
+    @given(level_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_always_feasible(self, spec):
+        result = solve_opt2(build_constraints(spec))
+        assert result.feasible
+        assert np.allclose(result.a, 0.5)
+        assert np.all(result.b < 0.5)
+        assert np.all(result.b > 0.0)
+
+
+class TestOpt0Properties:
+    @given(level_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_always_feasible_and_dominant(self, spec):
+        constraints = build_constraints(spec)
+        opt0 = solve_opt0(constraints)
+        assert opt0.feasible
+        # Dominance over the structured models (its seeds).
+        opt1 = solve_opt1(constraints)
+        opt2 = solve_opt2(constraints)
+        assert opt0.objective <= opt1.objective * (1 + 1e-9) + 1e-9
+        assert opt0.objective <= opt2.objective * (1 + 1e-9) + 1e-9
+
+    @given(level_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_strict_constraint_satisfaction(self, spec):
+        """opt0 output violates no constraint at all (zero tolerance)."""
+        constraints = build_constraints(spec)
+        result = solve_opt0(constraints)
+        assert constraints.max_ratio_violation(result.a, result.b) <= 0.0

@@ -1,0 +1,49 @@
+"""Unit tests for the exact per-user simulation path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IDUE, IDUEPS, OptimizedUnaryEncoding
+from repro.exceptions import ValidationError
+from repro.simulation import simulate_itemset_reports, simulate_single_item_reports
+
+
+class TestSingleItemReports:
+    def test_shape(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, m=6)
+        reports = simulate_single_item_reports(mech, [0, 3, 5], rng)
+        assert reports.shape == (3, 6)
+
+    def test_rejects_non_unary_mechanism(self, rng):
+        with pytest.raises(ValidationError):
+            simulate_single_item_reports("oops", [0], rng)
+
+    def test_marginals(self, toy_spec, rng):
+        mech = IDUE.optimized(toy_spec, model="opt1")
+        reports = simulate_single_item_reports(
+            mech, np.zeros(30_000, dtype=int), rng
+        )
+        freq = reports.mean(axis=0)
+        assert freq[0] == pytest.approx(mech.a[0], abs=0.01)
+        assert freq[1] == pytest.approx(mech.b[1], abs=0.01)
+
+
+class TestItemsetReports:
+    def test_shape(self, toy_spec, rng, small_itemset_dataset):
+        mech = IDUEPS.optimized(toy_spec, ell=2, model="opt1")
+        reports = simulate_itemset_reports(mech, small_itemset_dataset, rng)
+        assert reports.shape == (small_itemset_dataset.n, toy_spec.m + 2)
+
+    def test_domain_mismatch_rejected(self, toy_spec, rng, small_itemset_dataset):
+        from repro import BudgetSpec
+
+        other = IDUEPS.optimized(BudgetSpec.uniform(1.0, 9), ell=2, model="opt1")
+        with pytest.raises(ValidationError, match="does not match"):
+            simulate_itemset_reports(other, small_itemset_dataset, rng)
+
+    def test_rejects_non_ps_mechanism(self, rng, small_itemset_dataset):
+        mech = OptimizedUnaryEncoding(1.0, m=5)
+        with pytest.raises(ValidationError):
+            simulate_itemset_reports(mech, small_itemset_dataset, rng)

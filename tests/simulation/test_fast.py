@@ -1,0 +1,93 @@
+"""Unit tests for the fast (binomial) simulation path.
+
+The central claim: the fast path draws aggregate counts from the *same
+distribution* as the exact per-user path.  The equivalence tests compare
+first and second moments of the two paths over repeated trials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, IDUEPS, OptimizedUnaryEncoding
+from repro.exceptions import ValidationError
+from repro.simulation import (
+    simulate_counts_from_true,
+    simulate_itemset_counts,
+    simulate_single_item_counts,
+)
+
+
+class TestCountsFromTrue:
+    def test_bounds(self, rng):
+        counts = simulate_counts_from_true([50, 0, 100], 100, 0.9, 0.05, rng)
+        assert np.all(counts >= 0) and np.all(counts <= 100)
+
+    def test_expectation(self, rng):
+        s = np.array([400, 100, 0])
+        n = 1000
+        a, b = 0.8, 0.1
+        trials = 500
+        acc = np.zeros(3)
+        for _ in range(trials):
+            acc += simulate_counts_from_true(s, n, a, b, rng)
+        mean = acc / trials
+        expected = s * a + (n - s) * b
+        assert np.allclose(mean, expected, rtol=0.03)
+
+    def test_rejects_counts_above_n(self, rng):
+        with pytest.raises(ValidationError):
+            simulate_counts_from_true([11], 10, 0.5, 0.1, rng)
+
+
+class TestSingleItemCounts:
+    def test_requires_counts_summing_to_n(self, rng):
+        mech = OptimizedUnaryEncoding(1.0, m=3)
+        with pytest.raises(ValidationError, match="sum to"):
+            simulate_single_item_counts(mech, [5, 5, 5], n=10, rng=rng)
+
+    def test_matches_exact_path_distribution(self, rng):
+        """Fast and exact paths agree in mean and variance."""
+        from repro.simulation import simulate_single_item_reports
+
+        m, n = 4, 400
+        mech = OptimizedUnaryEncoding(1.2, m)
+        items = np.repeat(np.arange(m), n // m)
+        truth = np.bincount(items, minlength=m)
+
+        trials = 300
+        fast = np.empty((trials, m))
+        exact = np.empty((trials, m))
+        for k in range(trials):
+            fast[k] = simulate_single_item_counts(mech, truth, n, rng)
+            exact[k] = simulate_single_item_reports(mech, items, rng).sum(axis=0)
+        assert np.allclose(fast.mean(axis=0), exact.mean(axis=0), rtol=0.05)
+        assert np.allclose(fast.var(axis=0), exact.var(axis=0), rtol=0.45)
+
+
+class TestItemsetCounts:
+    def test_output_covers_extended_domain(self, toy_spec, rng, small_itemset_dataset):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        counts = simulate_itemset_counts(mech, small_itemset_dataset, rng)
+        assert counts.shape == (toy_spec.m + 3,)
+
+    def test_matches_exact_path_mean(self, toy_spec, rng, small_itemset_dataset):
+        from repro.simulation import simulate_itemset_reports
+
+        mech = IDUEPS.optimized(toy_spec, ell=2, model="opt2")
+        trials = 400
+        width = mech.extended_m
+        fast = np.zeros(width)
+        exact = np.zeros(width)
+        for _ in range(trials):
+            fast += simulate_itemset_counts(mech, small_itemset_dataset, rng)
+            exact += simulate_itemset_reports(mech, small_itemset_dataset, rng).sum(
+                axis=0
+            )
+        assert np.allclose(fast / trials, exact / trials, atol=0.35)
+
+    def test_domain_mismatch(self, rng, small_itemset_dataset):
+        other = IDUEPS.optimized(BudgetSpec.uniform(1.0, 7), ell=2, model="opt1")
+        with pytest.raises(ValidationError):
+            simulate_itemset_counts(other, small_itemset_dataset, rng)

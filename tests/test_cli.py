@@ -1,0 +1,63 @@
+"""Unit tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.config import QUICK
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MinID-LDP" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "IDUE" in out and "RAPPOR" in out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_quick_presets_are_smaller(self):
+        assert QUICK.fig3.n < 100_000
+        assert QUICK.fig4a.m < 41_270
+
+    def test_csv_export(self, tmp_path, capsys, monkeypatch):
+        """--csv writes the figure series next to printing it."""
+        from dataclasses import replace
+
+        import repro.cli as cli_module
+        from repro.experiments.export import read_series_csv
+
+        tiny = replace(
+            QUICK,
+            fig3=replace(
+                QUICK.fig3, n=2000, m_power_law=20, epsilons=(1.0,), trials=1
+            ),
+        )
+        monkeypatch.setattr(cli_module, "QUICK", tiny)
+        path = str(tmp_path / "fig3.csv")
+        assert main(["fig3", "--quick", "--csv", path]) == 0
+        restored = read_series_csv(path)
+        assert restored["x"] == [1.0]
+        assert "IDUE-opt0 empirical" in restored["series"]
+
+    def test_fig3_quick_smoke(self, capsys, monkeypatch):
+        """End-to-end CLI run at a tiny scale (patch the quick preset)."""
+        from dataclasses import replace
+
+        import repro.cli as cli_module
+
+        tiny = replace(
+            QUICK, fig3=replace(QUICK.fig3, n=2000, m_power_law=20, epsilons=(1.0,), trials=1)
+        )
+        monkeypatch.setattr(cli_module, "QUICK", tiny)
+        assert main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3-power-law" in out
+        assert "IDUE-opt0 empirical" in out

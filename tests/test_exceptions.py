@@ -1,0 +1,47 @@
+"""Unit tests for the exception hierarchy's metadata fields."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    InfeasibleError,
+    PrivacyViolationError,
+    ReproError,
+    SolverError,
+)
+
+
+class TestInfeasibleError:
+    def test_carries_constraint_description(self):
+        err = InfeasibleError("impossible", constraint="pair (0, 1)")
+        assert err.constraint == "pair (0, 1)"
+        assert isinstance(err, ReproError)
+
+    def test_constraint_optional(self):
+        assert InfeasibleError("impossible").constraint is None
+
+
+class TestSolverError:
+    def test_diagnostics_copied(self):
+        diag = {"status": 8}
+        err = SolverError("stalled", diagnostics=diag)
+        diag["status"] = 0
+        assert err.diagnostics == {"status": 8}
+
+    def test_diagnostics_default_empty_dict(self):
+        assert SolverError("stalled").diagnostics == {}
+
+
+class TestPrivacyViolationError:
+    def test_carries_evidence(self):
+        err = PrivacyViolationError(
+            "violated", pair=(0, 3), ratio=4.5, bound=4.0
+        )
+        assert err.pair == (0, 3)
+        assert err.ratio == 4.5
+        assert err.bound == 4.0
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise PrivacyViolationError("violated")

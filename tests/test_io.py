@@ -1,0 +1,133 @@
+"""Unit tests for mechanism/spec serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    BudgetSpec,
+    IDUE,
+    IDUEPS,
+    OptimizedUnaryEncoding,
+    SymmetricUnaryEncoding,
+    UnaryEncoding,
+)
+from repro.exceptions import ValidationError
+from repro.io import (
+    load_mechanism,
+    mechanism_from_dict,
+    mechanism_to_dict,
+    save_mechanism,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.mechanisms.base import UnaryMechanism
+
+
+class TestSpecRoundtrip:
+    def test_roundtrip(self, toy_spec):
+        restored = spec_from_dict(spec_to_dict(toy_spec))
+        assert restored == toy_spec
+
+    def test_dict_is_json_compatible(self, toy_spec):
+        payload = spec_to_dict(toy_spec)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            spec_from_dict({"type": "Other"})
+        with pytest.raises(ValidationError):
+            spec_to_dict([1.0, 2.0])
+
+
+class TestMechanismRoundtrip:
+    def test_idue(self, toy_spec):
+        mech = IDUE.optimized(toy_spec, model="opt0")
+        restored = mechanism_from_dict(mechanism_to_dict(mech))
+        assert isinstance(restored, IDUE)
+        assert np.allclose(restored.a, mech.a)
+        assert np.allclose(restored.b, mech.b)
+        assert restored.spec == toy_spec
+
+    def test_idue_ps(self, toy_spec):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        restored = mechanism_from_dict(mechanism_to_dict(mech))
+        assert isinstance(restored, IDUEPS)
+        assert restored.ell == 3
+        assert np.allclose(restored.a, mech.a)
+        assert restored.spec == toy_spec
+        # The restored mechanism still computes Eq. 17 budgets.
+        assert restored.itemset_budget([0, 1]) == pytest.approx(
+            mech.itemset_budget([0, 1])
+        )
+
+    def test_rappor_and_oue(self):
+        for mech in (SymmetricUnaryEncoding(1.3, 7), OptimizedUnaryEncoding(0.9, 4)):
+            restored = mechanism_from_dict(mechanism_to_dict(mech))
+            assert type(restored) is type(mech)
+            assert np.allclose(restored.a, mech.a)
+
+    def test_generic_ue(self):
+        mech = UnaryEncoding(0.7, 0.2, 5)
+        restored = mechanism_from_dict(mechanism_to_dict(mech))
+        assert restored.p == pytest.approx(0.7)
+        assert restored.epsilon() == pytest.approx(mech.epsilon())
+
+    def test_raw_unary(self):
+        mech = UnaryMechanism([0.6, 0.8], [0.2, 0.1])
+        restored = mechanism_from_dict(mechanism_to_dict(mech))
+        assert np.allclose(restored.a, mech.a)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ValidationError, match="cannot serialize"):
+            mechanism_to_dict(object())
+
+    def test_unknown_serialized_type(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            mechanism_from_dict({"type": "Mystery", "version": 1})
+
+    def test_version_check(self, toy_spec):
+        payload = mechanism_to_dict(IDUE.optimized(toy_spec, model="opt1"))
+        payload["version"] = 99
+        with pytest.raises(ValidationError, match="version"):
+            mechanism_from_dict(payload)
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, toy_spec, tmp_path):
+        mech = IDUEPS.optimized(toy_spec, ell=2, model="opt2")
+        path = str(tmp_path / "nested" / "mechanism.json")
+        save_mechanism(mech, path)
+        restored = load_mechanism(path)
+        assert np.allclose(restored.a, mech.a)
+
+    def test_load_missing_file(self):
+        with pytest.raises(ValidationError, match="not found"):
+            load_mechanism("/nonexistent/mech.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_mechanism(str(path))
+
+    def test_deployment_roundtrip_preserves_estimates(self, toy_spec, tmp_path, rng):
+        """Solve server-side, persist, reload, collect: estimates match a
+        never-serialized mechanism exactly (same parameters, same rng)."""
+        from repro import FrequencyEstimator
+
+        mech = IDUE.optimized(toy_spec, model="opt0")
+        path = str(tmp_path / "deployed.json")
+        save_mechanism(mech, path)
+        restored = load_mechanism(path)
+
+        items = rng.integers(toy_spec.m, size=500)
+        reports_a = mech.perturb_many(items, np.random.default_rng(9))
+        reports_b = restored.perturb_many(items, np.random.default_rng(9))
+        assert np.array_equal(reports_a, reports_b)
+
+        est = FrequencyEstimator.for_mechanism(restored, items.size)
+        assert est.m == toy_spec.m

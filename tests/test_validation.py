@@ -1,0 +1,158 @@
+"""Unit tests for the internal validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_int_array,
+    check_budget,
+    check_budget_vector,
+    check_non_negative_int,
+    check_open_probability,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_probability_vector,
+    check_rng,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x must be >= 1"):
+            check_positive_int(0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_int_and_converts(self):
+        value = check_positive_float(2, "x")
+        assert value == 2.0 and isinstance(value, float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(0.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(float("inf"), "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_positive_float("abc", "x")
+
+
+class TestProbabilityChecks:
+    def test_closed_interval_endpoints_allowed(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_open_interval_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            check_open_probability(0.0, "p")
+        with pytest.raises(ValidationError):
+            check_open_probability(1.0, "p")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+
+    def test_vector_open_interval(self):
+        arr = check_probability_vector([0.2, 0.8], "p", open_interval=True)
+        assert arr.dtype == float
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.0, 0.5], "p", open_interval=True)
+
+    def test_vector_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([[0.1, 0.2]], "p")
+
+    def test_vector_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([], "p")
+
+    def test_vector_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.1, float("nan")], "p")
+
+
+class TestBudgetChecks:
+    def test_budget_positive(self):
+        assert check_budget(0.5) == 0.5
+
+    def test_budget_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_budget(0.0)
+
+    def test_budget_vector(self):
+        arr = check_budget_vector([1.0, 2.0])
+        assert arr.tolist() == [1.0, 2.0]
+
+    def test_budget_vector_rejects_negative_entry(self):
+        with pytest.raises(ValidationError):
+            check_budget_vector([1.0, -0.1])
+
+
+class TestCheckRng:
+    def test_none_gives_generator(self):
+        assert isinstance(check_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_rng(42).random(3)
+        b = check_rng(42).random(3)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert check_rng(gen) is gen
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            check_rng("seed")
+
+
+class TestAsIntArray:
+    def test_accepts_int_list(self):
+        arr = as_int_array([1, 2, 3], "x")
+        assert arr.dtype == np.int64
+
+    def test_accepts_integral_floats(self):
+        arr = as_int_array([1.0, 2.0], "x")
+        assert arr.tolist() == [1, 2]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(ValidationError):
+            as_int_array([1.5], "x")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            as_int_array([[1, 2]], "x")
