@@ -1,0 +1,20 @@
+# Development entry points. `make test` is the tier-1 gate: it must collect
+# and pass from a clean checkout (the repo once shipped with a collection
+# error — duplicate test basenames without importlib import mode).
+
+PYTHON ?= python
+PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench bench-pipeline
+
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+# The benchmark suite uses bench_* naming so default collection skips it.
+bench:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*'
+
+bench-pipeline:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_pipeline.py -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*'

@@ -17,7 +17,10 @@ The package provides:
 * dataset generators / loaders, simulation engines, privacy audits, and
   an experiment harness regenerating every table and figure of the paper
   (:mod:`repro.datasets`, :mod:`repro.simulation`, :mod:`repro.audit`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`);
+* a streaming, sharded report-aggregation pipeline that runs the exact
+  per-user protocol at paper scale in bounded memory
+  (:mod:`repro.pipeline`).
 
 Quickstart
 ----------
@@ -63,6 +66,7 @@ from .mechanisms import (
     itemset_budget,
 )
 from .optim import OptimizationResult, solve
+from .pipeline import CountAccumulator, ShardedRunner, stream_counts
 
 __version__ = "1.0.0"
 
@@ -95,6 +99,10 @@ __all__ = [
     # estimation
     "FrequencyEstimator",
     "Aggregator",
+    # pipeline
+    "CountAccumulator",
+    "ShardedRunner",
+    "stream_counts",
     # exceptions
     "ReproError",
     "ValidationError",

@@ -130,6 +130,23 @@ class ItemsetDataset:
         """Average ``|x_u|`` over users."""
         return float(self.set_sizes.mean()) if self.n else 0.0
 
+    def slice_users(self, start: int, stop: int) -> "ItemsetDataset":
+        """Contiguous user range ``start:stop`` as a new dataset.
+
+        The CSR offsets are re-based to zero.  This is the vectorized
+        fast path used by chunked streaming and sharding;
+        :meth:`subset_users` handles arbitrary id lists.
+        """
+        start, stop = int(start), int(stop)
+        if not 0 <= start <= stop <= self.n:
+            raise DatasetError(f"invalid user range [{start}, {stop}) for n={self.n}")
+        lo, hi = self.offsets[start], self.offsets[stop]
+        return ItemsetDataset(
+            self.flat_items[lo:hi].copy(),
+            self.offsets[start : stop + 1] - lo,  # subtraction owns its result
+            self.m,
+        )
+
     def subset_users(self, user_ids) -> "ItemsetDataset":
         """Dataset restricted to the given users (copies the data)."""
         ids = as_int_array(user_ids, "user_ids")

@@ -73,4 +73,14 @@ def norm_sub(estimates, total: float, *, max_iterations: int = 100) -> np.ndarra
             return np.maximum(adjusted, 0.0)
         active &= ~newly_negative
     # Fallback: all mass concentrated on a few items; scale what is left.
-    return normalize_to_total(np.where(active, arr, 0.0), total)
+    remaining = np.where(active, np.maximum(arr, 0.0), 0.0)
+    if remaining.sum() <= 0.0:
+        if arr.size == 0:
+            raise ValidationError("cannot distribute a positive total over zero items")
+        # Float cancellation can empty the active set (e.g. equal
+        # estimates with a tiny positive total, where delta rounds to the
+        # common value): place the total uniformly on the largest entries
+        # instead of asking normalize_to_total to rescale zeros.
+        winners = arr == arr.max()
+        return np.where(winners, total / winners.sum(), 0.0)
+    return normalize_to_total(remaining, total)

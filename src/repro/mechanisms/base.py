@@ -61,13 +61,74 @@ class CategoricalMechanism(Mechanism):
     def channel_matrix(self) -> np.ndarray:
         """Row-stochastic ``m x m`` matrix ``P[x, y] = Pr(output=y | input=x)``."""
 
+    def channel_cdf(self) -> np.ndarray:
+        """Row-wise CDF of :meth:`channel_matrix`, cached on first use.
+
+        Mechanism parameters are frozen at construction, so the channel —
+        and its ``O(m^2)`` cumulative sum — is computed once and reused by
+        every :meth:`perturb_many` call.  A subclass that does mutate its
+        parameters must call :meth:`invalidate_channel_cache` afterwards.
+        """
+        cdf = getattr(self, "_channel_cdf", None)
+        if cdf is None:
+            matrix = np.asarray(self.channel_matrix())
+            # One-time guard replacing rng.choice's per-call validation:
+            # inverse-CDF sampling would otherwise silently pile missing
+            # mass on the last category or draw from a non-monotone CDF.
+            if matrix.size and matrix.min() < 0.0:
+                raise ValidationError("channel_matrix entries must be non-negative")
+            cdf = np.cumsum(matrix, axis=1)
+            if cdf.size and not np.allclose(cdf[:, -1], 1.0, rtol=0.0, atol=1e-8):
+                raise ValidationError(
+                    "channel_matrix rows must sum to 1 to sample from them"
+                )
+            if cdf.size:
+                # Pin every row's end to exactly 1.0: the flattened
+                # sampler needs `cdf[x, -1] + x <= cdf[x+1, 0] + x + 1`
+                # to hold without float slack.
+                cdf /= cdf[:, -1:]
+            cdf.flags.writeable = False
+            self._channel_cdf = cdf
+        return cdf
+
+    def _flat_channel_cdf(self) -> np.ndarray:
+        """Row CDFs offset by their row index and flattened, cached.
+
+        Because every row ends at 1 (guarded in :meth:`channel_cdf`) and
+        starts from a non-negative entry, ``flat[x * m + j] = cdf[x, j] +
+        x`` is globally non-decreasing, so one ``searchsorted`` against
+        ``x + u`` inverse-samples *every* user's row at once without the
+        ``n x m`` row-gather a per-row comparison needs.
+        """
+        flat = getattr(self, "_flat_cdf", None)
+        if flat is None:
+            cdf = self.channel_cdf()
+            flat = (cdf + np.arange(self.m)[:, None]).ravel()
+            flat.flags.writeable = False
+            self._flat_cdf = flat
+        return flat
+
+    def invalidate_channel_cache(self) -> None:
+        """Drop the cached CDF (call after mutating channel parameters)."""
+        self._channel_cdf = None
+        self._flat_cdf = None
+
+    def __getstate__(self):
+        # The cached CDFs are O(m^2) derived state; recomputing them in
+        # the receiving process beats shipping them in every shard payload.
+        state = self.__dict__.copy()
+        state.pop("_channel_cdf", None)
+        state.pop("_flat_cdf", None)
+        return state
+
     def perturb(self, x: int, rng=None) -> int:
         """Release a perturbed category for the true category *x*."""
         rng = check_rng(rng)
         if not 0 <= int(x) < self.m:
             raise ValidationError(f"input {x} outside domain [0, {self.m - 1}]")
-        row = self.channel_matrix()[int(x)]
-        return int(rng.choice(self.m, p=row))
+        # Inverse-CDF draw from the cached row (no per-call O(m^2) matrix).
+        row = self.channel_cdf()[int(x)]
+        return int(min(np.searchsorted(row, rng.random(), side="right"), self.m - 1))
 
     def perturb_many(self, xs, rng=None) -> np.ndarray:
         """Vectorized perturbation of a batch of inputs."""
@@ -75,14 +136,21 @@ class CategoricalMechanism(Mechanism):
         inputs = as_int_array(xs, "xs")
         if inputs.size and (inputs.min() < 0 or inputs.max() >= self.m):
             raise ValidationError(f"inputs fall outside domain [0, {self.m - 1}]")
-        matrix = self.channel_matrix()
-        cdf = np.cumsum(matrix, axis=1)
+        flat = self._flat_channel_cdf()
         u = rng.random(inputs.size)
-        # Inverse-CDF sampling per row; searchsorted on each user's row.
-        rows = cdf[inputs]
-        return np.minimum(
-            (u[:, None] > rows).sum(axis=1), self.m - 1
-        ).astype(np.int64)
+        # One searchsorted over the flattened row-offset CDF inverts every
+        # user's row at once — O(n log m) with no n x m temporaries.
+        y = np.searchsorted(flat, inputs + u, side="right") - inputs * self.m
+        escaped = (y < 0) | (y >= self.m)
+        if np.any(escaped):
+            # At large x, `x + u` can round to exactly x + 1 and cross the
+            # row boundary (~x * 2^-53 per draw).  Re-sample just those
+            # users with the exact per-row inverse CDF.
+            rows = self.channel_cdf()[inputs[escaped]]
+            y[escaped] = np.minimum(
+                (u[escaped, None] > rows).sum(axis=1), self.m - 1
+            )
+        return y.astype(np.int64)
 
 
 class UnaryMechanism(Mechanism):
@@ -173,19 +241,22 @@ class UnaryMechanism(Mechanism):
     def perturb_many(self, xs, rng=None) -> np.ndarray:
         """Vectorized perturbation of a batch of single-item inputs.
 
-        Returns an ``n x m`` 0/1 matrix of released reports.  Memory is
-        ``O(n m)``; paper-scale experiments should use
-        :mod:`repro.simulation.fast` instead, which draws the aggregate
-        counts from their exact distribution.
+        Returns an ``n x m`` 0/1 matrix of released reports.  All bits are
+        first drawn from the zero-bit law ``b``, then each user's one hot
+        bit is overwritten with an ``a``-draw — avoiding the ``n x m``
+        probability-matrix copy a naive implementation needs.  The output
+        (and one uniform draw per bit) is still ``O(n m)``; paper-scale
+        runs should stream chunks through :mod:`repro.pipeline` or use
+        :mod:`repro.simulation.fast`.
         """
         rng = check_rng(rng)
         inputs = as_int_array(xs, "xs")
         if inputs.size and (inputs.min() < 0 or inputs.max() >= self.m):
             raise ValidationError(f"inputs fall outside domain [0, {self.m - 1}]")
         n = inputs.size
-        prob = np.broadcast_to(self._b, (n, self.m)).copy()
-        prob[np.arange(n), inputs] = self._a[inputs]
-        return (rng.random((n, self.m)) < prob).astype(np.int8)
+        out = (rng.random((n, self.m)) < self._b).astype(np.int8)
+        out[np.arange(n), inputs] = rng.random(n) < self._a[inputs]
+        return out
 
     # ------------------------------------------------------------------
     def pair_ratio_bound(self, i: int, j: int) -> float:

@@ -1,0 +1,215 @@
+"""Multi-process sharded collection: fan user shards out, merge exactly.
+
+:class:`ShardedRunner` splits the user population into contiguous
+shards, streams each shard through the chunked engine in its own worker
+process, and merges the per-shard
+:class:`~repro.pipeline.accumulator.CountAccumulator` states.  Because
+the merge is exact integer addition, the sharded result is
+distributionally identical to a sequential pass — and bit-identical to
+re-running the same shard with the same child seed.
+
+Per-shard randomness comes from ``numpy.random.SeedSequence.spawn``, so
+a run is reproducible given ``(seed, num_shards, chunk_size)`` while
+shards stay statistically independent.
+
+Workers receive the mechanism by pickling; all mechanisms in
+:mod:`repro.mechanisms` are plain objects over numpy arrays, so this is
+cheap relative to the perturbation work itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+
+import numpy as np
+
+from .._validation import as_int_array, check_positive_int
+from ..datasets.base import ItemsetDataset
+from ..exceptions import ValidationError
+from .accumulator import CountAccumulator
+from .engine import stream_counts
+
+__all__ = ["ShardedRunner", "shard_bounds"]
+
+
+def shard_bounds(n: int, num_shards: int) -> list[tuple[int, int]]:
+    """Split ``n`` users into ``num_shards`` contiguous near-equal ranges.
+
+    The first ``n % num_shards`` shards hold one extra user; empty
+    shards are never produced (the shard count is capped at ``n``).
+    """
+    n = check_positive_int(n, "n")
+    num_shards = min(check_positive_int(num_shards, "num_shards"), n)
+    base, extra = divmod(n, num_shards)
+    bounds = []
+    start = 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _slice_shard(data, start: int, stop: int):
+    """Materialize one shard's inputs (CSR re-based for item-set data)."""
+    if isinstance(data, ItemsetDataset):
+        return data.slice_users(start, stop)
+    return np.asarray(data)[start:stop].copy()
+
+
+def _run_shard(payload):
+    """Worker entry point (module-level so it pickles under spawn)."""
+    mechanism, shard_data, chunk_size, packed, round_id, seed_seq = payload
+    return stream_counts(
+        mechanism,
+        shard_data,
+        chunk_size=chunk_size,
+        rng=np.random.default_rng(seed_seq),
+        packed=packed,
+        round_id=round_id,
+    )
+
+
+class ShardedRunner:
+    """Fan the chunked streaming pipeline across worker processes.
+
+    Parameters
+    ----------
+    mechanism:
+        Any mechanism :func:`repro.pipeline.engine.stream_counts`
+        accepts (unary, categorical, or IDUE-PS).
+    num_shards:
+        User shards = worker tasks; defaults to the machine's CPU count.
+    chunk_size:
+        Users per chunk *within* each shard; bounds each worker's peak
+        memory at ``O(chunk_size * m)``.
+    packed:
+        Ship each chunk through the ``np.packbits`` wire format.
+    processes:
+        Pool size; defaults to ``min(num_shards, cpu_count)``.  ``1``
+        runs the shards serially in-process (no pool), which is also the
+        automatic fallback where multiprocessing is unavailable.
+    """
+
+    def __init__(
+        self,
+        mechanism,
+        *,
+        num_shards: int | None = None,
+        chunk_size: int = 4096,
+        packed: bool = False,
+        processes: int | None = None,
+    ) -> None:
+        cpus = os.cpu_count() or 1
+        self.mechanism = mechanism
+        self.num_shards = check_positive_int(
+            cpus if num_shards is None else num_shards, "num_shards"
+        )
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.packed = bool(packed)
+        if processes is None:
+            processes = min(self.num_shards, cpus)
+        self.processes = check_positive_int(processes, "processes")
+
+    # ------------------------------------------------------------------
+    def _num_users(self, data) -> int:
+        if isinstance(data, ItemsetDataset):
+            return data.n
+        return as_int_array(data, "data").size
+
+    def run(
+        self, data, *, seed: int | None = None, round_id: int = 0
+    ) -> CountAccumulator:
+        """Collect one full round over *data* and return the merged state.
+
+        Parameters
+        ----------
+        data:
+            1-D single-item array or :class:`ItemsetDataset`, matching
+            the mechanism.
+        seed:
+            Root seed for the per-shard ``SeedSequence`` spawn; ``None``
+            draws fresh OS entropy.
+        """
+        if not isinstance(data, ItemsetDataset):
+            data = as_int_array(data, "data")  # convert once, slice per shard
+        n = self._num_users(data)
+        if n == 0:
+            raise ValidationError("cannot run a collection round over zero users")
+        bounds = shard_bounds(n, self.num_shards)
+        children = np.random.SeedSequence(seed).spawn(len(bounds))
+        # Generator, not list: each shard's copy is materialized only as
+        # it is dispatched (and freed once its worker returns), keeping
+        # the parent's transient copies bounded by the dispatch window in
+        # _map rather than the shard count.
+        payloads = (
+            (
+                self.mechanism,
+                _slice_shard(data, start, stop),
+                self.chunk_size,
+                self.packed,
+                round_id,
+                child,
+            )
+            for (start, stop), child in zip(bounds, children)
+        )
+        shards = self._map(payloads, len(bounds))
+        return CountAccumulator.merge_all(shards)
+
+    def run_rounds(self, data, *, seeds) -> list[CountAccumulator]:
+        """Run one collection round per seed (multi-round deployments).
+
+        Returns one merged accumulator per round, tagged ``round_id =
+        0, 1, ...``; calibrate each via ``to_round_estimate`` and combine
+        with :func:`repro.estimation.merge.merge_round_estimates`.
+        """
+        return [
+            self.run(data, seed=seed, round_id=index)
+            for index, seed in enumerate(seeds)
+        ]
+
+    # ------------------------------------------------------------------
+    def _map(self, payloads, count: int):
+        if self.processes == 1 or count == 1:
+            return [_run_shard(payload) for payload in payloads]
+        try:
+            pool = multiprocessing.get_context().Pool(min(self.processes, count))
+        except OSError:
+            # Sandboxes and restricted hosts may forbid forking; the
+            # serial path computes the identical merged state.  Errors
+            # *during* the parallel run are real failures and propagate.
+            return [_run_shard(payload) for payload in payloads]
+        window = min(self.processes, count)
+        results: list = []
+        handles: deque = deque()
+        with pool:
+            # Bounded dispatch window: at most `window` shard payloads are
+            # materialized/pickled at once (pool.imap's feeder thread would
+            # drain the whole payload generator eagerly).  This caps the
+            # parent's transient copies at ~processes/num_shards of the
+            # dataset — a real bound when many small shards feed few
+            # workers; with num_shards == processes every shard is in
+            # flight at once and the aggregate copy is unavoidable.
+            for payload in payloads:
+                handles.append(pool.apply_async(_run_shard, (payload,)))
+                while len(handles) >= window:
+                    # Merge order is irrelevant (exact integer addition),
+                    # so drain whichever shard finished first rather than
+                    # head-of-line blocking on the oldest submission.
+                    ready = [h for h in handles if h.ready()]
+                    if ready:
+                        for handle in ready:
+                            handles.remove(handle)
+                            results.append(handle.get())
+                    else:
+                        handles[0].wait(0.05)
+            results.extend(handle.get() for handle in handles)
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRunner({self.mechanism!r}, num_shards={self.num_shards}, "
+            f"chunk_size={self.chunk_size}, processes={self.processes})"
+        )

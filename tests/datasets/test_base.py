@@ -97,3 +97,23 @@ class TestAccessors:
     def test_arrays_read_only(self, small_itemset_dataset):
         with pytest.raises(ValueError):
             small_itemset_dataset.flat_items[0] = 9
+
+
+class TestSliceUsers:
+    def test_contiguous_slice_matches_subset(self, small_itemset_dataset):
+        ds = small_itemset_dataset
+        sliced = ds.slice_users(1, 4)
+        subset = ds.subset_users([1, 2, 3])
+        assert sliced.n == 3
+        assert np.array_equal(sliced.flat_items, subset.flat_items)
+        assert np.array_equal(sliced.offsets, subset.offsets)
+
+    def test_empty_range(self, small_itemset_dataset):
+        sliced = small_itemset_dataset.slice_users(2, 2)
+        assert sliced.n == 0
+
+    def test_rejects_bad_range(self, small_itemset_dataset):
+        with pytest.raises(DatasetError):
+            small_itemset_dataset.slice_users(4, 2)
+        with pytest.raises(DatasetError):
+            small_itemset_dataset.slice_users(0, 99)

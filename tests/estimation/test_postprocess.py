@@ -72,3 +72,25 @@ class TestNormSub:
     def test_rejects_negative_total(self):
         with pytest.raises(ValidationError):
             norm_sub(np.array([1.0]), total=-2.0)
+
+
+class TestNormSubDegenerateFallback:
+    def test_equal_estimates_tiny_total(self):
+        """Hypothesis-found: equal estimates + tiny total emptied the
+        active set through float cancellation and crashed the fallback."""
+        estimates = np.full(3, 43.077250468611865)
+        total = 1.2932086007437759e-269
+        result = norm_sub(estimates, total)
+        assert np.all(result >= 0.0)
+        # rel-only: an abs tolerance would let an all-zero (mass-dropping)
+        # result pass vacuously at this magnitude of total.
+        assert result.sum() == pytest.approx(total, rel=1e-6)
+
+    def test_negative_estimates_positive_total(self):
+        result = norm_sub(np.array([-5.0, -3.0]), 4.0)
+        assert np.all(result >= 0.0)
+        assert result.sum() == pytest.approx(4.0)
+
+    def test_empty_estimates_positive_total_rejected(self):
+        with pytest.raises(ValidationError):
+            norm_sub(np.array([]), 1.0)

@@ -75,3 +75,164 @@ class TestUnaryLdpEpsilon:
     def test_repr(self):
         mech = UnaryMechanism([0.6, 0.7], [0.2, 0.1])
         assert "m=2" in repr(mech)
+
+
+class TestChannelCdfCache:
+    def test_cdf_cached_and_reused(self):
+        """channel_matrix (and its O(m^2) cumsum) runs once, not per call."""
+        mech = GeneralizedRandomizedResponse(1.0, m=6)
+        calls = []
+        original = mech.channel_matrix
+
+        def counting():
+            calls.append(1)
+            return original()
+
+        mech.channel_matrix = counting
+        first = mech.channel_cdf()
+        second = mech.channel_cdf()
+        assert first is second
+        assert len(calls) == 1
+        assert np.allclose(first[:, -1], 1.0)
+
+    def test_cache_is_read_only(self):
+        mech = GeneralizedRandomizedResponse(1.0, m=4)
+        with pytest.raises(ValueError):
+            mech.channel_cdf()[0, 0] = 0.5
+
+    def test_invalidate_recomputes(self):
+        mech = GeneralizedRandomizedResponse(1.0, m=4)
+        first = mech.channel_cdf()
+        mech.invalidate_channel_cache()
+        second = mech.channel_cdf()
+        assert first is not second
+        assert np.array_equal(first, second)
+
+    def test_perturb_many_uses_cache(self, rng):
+        """Sampling through the cached CDF keeps the channel marginals."""
+        mech = GeneralizedRandomizedResponse(1.0, m=5)
+        mech.channel_cdf()  # warm the cache first
+        outputs = CategoricalMechanism.perturb_many(mech, np.full(40_000, 2), rng)
+        freq = np.bincount(outputs, minlength=5) / 40_000
+        assert np.allclose(freq, mech.channel_matrix()[2], atol=0.01)
+
+
+class TestUnaryPerturbManyKernel:
+    def test_marginals_match_parameters(self, rng):
+        """b-noise + hot-bit overwrite realizes the per-bit Bernoulli law."""
+        a = np.array([0.9, 0.7, 0.8])
+        b = np.array([0.1, 0.3, 0.2])
+        mech = UnaryMechanism(a, b)
+        n = 60_000
+        reports = mech.perturb_many(np.full(n, 1), rng)
+        freq = reports.mean(axis=0)
+        assert freq[1] == pytest.approx(a[1], abs=0.01)
+        assert freq[0] == pytest.approx(b[0], abs=0.01)
+        assert freq[2] == pytest.approx(b[2], abs=0.01)
+
+    def test_matches_single_user_path_distribution(self, rng):
+        mech = UnaryMechanism([0.8, 0.75], [0.2, 0.15])
+        many = mech.perturb_many(np.zeros(30_000, dtype=int), rng)
+        singles = np.stack([mech.perturb(0, rng) for _ in range(3_000)])
+        assert np.allclose(many.mean(axis=0), singles.mean(axis=0), atol=0.03)
+
+    def test_output_dtype_and_values(self, rng):
+        mech = UnaryMechanism([0.9, 0.8], [0.1, 0.2])
+        reports = mech.perturb_many([0, 1, 1], rng)
+        assert reports.dtype == np.int8
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_empty_batch(self, rng):
+        mech = UnaryMechanism([0.9, 0.8], [0.1, 0.2])
+        assert mech.perturb_many([], rng).shape == (0, 2)
+
+
+class TestChannelCachePickling:
+    def test_warm_cache_not_pickled(self):
+        """Shard payloads ship parameters, not the O(m^2) derived CDF."""
+        import pickle
+
+        mech = GeneralizedRandomizedResponse(1.0, m=8)
+        mech.channel_cdf()  # warm
+        clone = pickle.loads(pickle.dumps(mech))
+        assert getattr(clone, "_channel_cdf", None) is None
+        assert np.array_equal(clone.channel_cdf(), mech.channel_cdf())
+
+
+class TestChannelCdfNormalizationGuard:
+    def test_subnormalized_rows_rejected(self):
+        """The cached-CDF path keeps rng.choice's normalization guard."""
+
+        class Broken(CategoricalMechanism):
+            @property
+            def m(self):
+                return 3
+
+            def channel_matrix(self):
+                return np.full((3, 3), 1.0 / 6.0)  # rows sum to 0.5
+
+        with pytest.raises(ValidationError, match="sum to 1"):
+            Broken().perturb(0, np.random.default_rng(0))
+
+    def test_negative_entries_rejected(self):
+        class Negative(CategoricalMechanism):
+            @property
+            def m(self):
+                return 3
+
+            def channel_matrix(self):
+                return np.array([[0.6, -0.1, 0.5]] * 3)  # sums to 1, invalid
+
+        with pytest.raises(ValidationError, match="non-negative"):
+            Negative().perturb(0, np.random.default_rng(0))
+
+
+class TestFlatCdfSampler:
+    def test_matches_per_row_inverse_cdf(self, rng):
+        """The flattened searchsorted equals row-wise inverse-CDF sampling."""
+        mech = GeneralizedRandomizedResponse(1.3, m=7)
+        inputs = rng.integers(7, size=50_000)
+        u = np.random.default_rng(0).random(inputs.size)
+        fast = CategoricalMechanism.perturb_many(
+            mech, inputs, np.random.default_rng(0)
+        )
+        rows = mech.channel_cdf()[inputs]
+        reference = np.minimum((u[:, None] > rows).sum(axis=1), 6)
+        assert np.array_equal(fast, reference)
+
+    def test_flat_cache_dropped_on_invalidate_and_pickle(self):
+        import pickle
+
+        mech = GeneralizedRandomizedResponse(1.0, m=4)
+        CategoricalMechanism.perturb_many(mech, np.array([0, 1]), 0)
+        assert getattr(mech, "_flat_cdf", None) is not None
+        clone = pickle.loads(pickle.dumps(mech))
+        assert getattr(clone, "_flat_cdf", None) is None
+        mech.invalidate_channel_cache()
+        assert mech._flat_cdf is None
+
+    def test_row_sum_float_slack_stays_monotone(self):
+        """Rows summing to 1 +/- tiny slack cannot unsort the flat CDF."""
+
+        class Slack(CategoricalMechanism):
+            @property
+            def m(self):
+                return 3
+
+            def channel_matrix(self):
+                return np.array(
+                    [
+                        [0.5, 0.5, 4e-9],        # sums to 1 + 4e-9
+                        [1e-10, 0.5, 0.5 - 1e-10],
+                        [0.2, 0.3, 0.5],
+                    ]
+                )
+
+        mech = Slack()
+        flat = mech._flat_channel_cdf()
+        assert np.all(np.diff(flat) >= 0)
+        assert np.allclose(mech.channel_cdf()[:, -1], 1.0, rtol=0, atol=0)
+        out = CategoricalMechanism.perturb_many(
+            mech, np.array([0, 1, 2]), np.random.default_rng(0)
+        )
+        assert np.all((out >= 0) & (out < 3))

@@ -1,0 +1,197 @@
+"""Unit tests for the mergeable CountAccumulator."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import OptimizedUnaryEncoding
+from repro.estimation import RoundEstimate, merge_round_estimates
+from repro.exceptions import ValidationError
+from repro.mechanisms import GeneralizedRandomizedResponse
+from repro.pipeline import CountAccumulator
+
+
+class TestIngestion:
+    def test_add_reports_accumulates(self):
+        acc = CountAccumulator(3)
+        acc.add_reports([[1, 0, 1], [0, 0, 1]])
+        assert acc.n == 2
+        assert acc.counts().tolist() == [1, 0, 2]
+
+    def test_add_reports_rejects_non_binary(self):
+        acc = CountAccumulator(2)
+        with pytest.raises(ValidationError, match="0/1"):
+            acc.add_reports([[1, 2]])
+
+    def test_add_reports_rejects_wrong_width(self):
+        acc = CountAccumulator(2)
+        with pytest.raises(ValidationError, match="shape"):
+            acc.add_reports([[1, 0, 1]])
+
+    def test_counts_returns_copy(self):
+        acc = CountAccumulator(2)
+        acc.add_reports([[1, 1]])
+        acc.counts()[0] = 99
+        assert acc.counts().tolist() == [1, 1]
+
+    def test_packed_round_trip_matches_unpacked(self, rng):
+        m = 21  # deliberately not a multiple of 8: trailing pad bits
+        reports = (rng.random((40, m)) < 0.3).astype(np.int8)
+        plain = CountAccumulator(m)
+        plain.add_reports(reports)
+        packed = CountAccumulator(m)
+        packed.add_packed_reports(np.packbits(reports, axis=1))
+        assert np.array_equal(plain.counts(), packed.counts())
+        assert plain.n == packed.n == 40
+
+    def test_packed_rejects_wrong_dtype(self):
+        acc = CountAccumulator(8)
+        with pytest.raises(ValidationError, match="uint8"):
+            acc.add_packed_reports(np.zeros((2, 1), dtype=np.int64))
+
+    def test_packed_rejects_wrong_width(self):
+        acc = CountAccumulator(17)  # needs 3 packed bytes
+        with pytest.raises(ValidationError, match="shape"):
+            acc.add_packed_reports(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_add_categories_histograms(self):
+        acc = CountAccumulator(4)
+        acc.add_categories(np.array([0, 2, 2, 3]))
+        assert acc.n == 4
+        assert acc.counts().tolist() == [1, 0, 2, 1]
+
+    def test_add_categories_rejects_out_of_domain(self):
+        acc = CountAccumulator(4)
+        with pytest.raises(ValidationError, match="domain"):
+            acc.add_categories(np.array([0, 4]))
+
+
+class TestMerge:
+    def test_shard_split_equals_single_pass(self, rng):
+        """Exact mergeability: any shard partition yields identical state."""
+        m, n = 16, 200
+        reports = (rng.random((n, m)) < 0.4).astype(np.int8)
+        single = CountAccumulator(m)
+        single.add_reports(reports)
+        for split in (1, 57, 100, 199):
+            left, right = CountAccumulator(m), CountAccumulator(m)
+            left.add_reports(reports[:split])
+            right.add_reports(reports[split:])
+            merged = CountAccumulator.merge_all([left, right])
+            assert np.array_equal(merged.counts(), single.counts())
+            assert merged.n == single.n == n
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = CountAccumulator(2), CountAccumulator(2)
+        assert a.merge(b) is a
+
+    def test_merge_rejects_width_mismatch(self):
+        with pytest.raises(ValidationError, match="width"):
+            CountAccumulator(2).merge(CountAccumulator(3))
+
+    def test_merge_rejects_round_mismatch(self):
+        with pytest.raises(ValidationError, match="round"):
+            CountAccumulator(2, round_id=0).merge(CountAccumulator(2, round_id=1))
+
+    def test_merge_all_rejects_empty(self):
+        with pytest.raises(ValidationError, match="no accumulators"):
+            CountAccumulator.merge_all([])
+
+    def test_pickle_round_trip(self):
+        """Accumulators cross process boundaries intact (sharded driver)."""
+        acc = CountAccumulator(3, round_id=7)
+        acc.add_reports([[1, 0, 1]])
+        clone = pickle.loads(pickle.dumps(acc))
+        assert clone.round_id == 7 and clone.n == 1
+        assert np.array_equal(clone.counts(), acc.counts())
+
+
+class TestEstimation:
+    def test_estimate_unary_is_calibrated(self, rng):
+        m, n = 8, 30_000
+        mech = OptimizedUnaryEncoding(3.0, m)
+        items = rng.integers(m, size=n)
+        acc = CountAccumulator(m)
+        acc.add_reports(mech.perturb_many(items, rng))
+        truth = np.bincount(items, minlength=m)
+        assert np.allclose(acc.estimate(mech), truth, atol=6 * np.sqrt(n))
+
+    def test_estimate_categorical_grr(self, rng):
+        m, n = 6, 30_000
+        mech = GeneralizedRandomizedResponse(3.0, m)
+        items = rng.integers(m, size=n)
+        acc = CountAccumulator(m)
+        acc.add_categories(mech.perturb_many(items, rng))
+        truth = np.bincount(items, minlength=m)
+        assert np.allclose(acc.estimate(mech), truth, atol=6 * np.sqrt(n))
+
+    def test_round_estimates_feed_cross_round_merge(self, rng):
+        """Two rounds' accumulators combine via merge_round_estimates."""
+        m, n = 5, 20_000
+        mech = OptimizedUnaryEncoding(2.0, m)
+        items = rng.integers(m, size=n)
+        rounds = []
+        for round_id in range(2):
+            acc = CountAccumulator(m, round_id=round_id)
+            acc.add_reports(mech.perturb_many(items, rng))
+            rounds.append(acc.to_round_estimate(mech))
+        assert all(isinstance(r, RoundEstimate) for r in rounds)
+        merged, variance = merge_round_estimates(rounds)
+        truth = np.bincount(items, minlength=m)
+        assert np.allclose(merged, truth, atol=6 * np.sqrt(n))
+        assert np.all(variance < rounds[0].noise_variance)
+
+    def test_estimate_empty_accumulator_rejected(self):
+        mech = OptimizedUnaryEncoding(2.0, 4)
+        with pytest.raises(ValidationError, match="empty"):
+            CountAccumulator(4).estimate(mech)
+
+    def test_estimate_unsupported_mechanism_rejected(self):
+        acc = CountAccumulator(2)
+        acc.add_reports([[1, 0]])
+        with pytest.raises(ValidationError, match="estimator"):
+            acc.estimate(object())
+
+
+class TestBinaryRRStreaming:
+    def test_estimate_binary_rr(self, rng):
+        """BRR has no q attribute; the symmetric q = 1 - p fallback applies."""
+        from repro.mechanisms import BinaryRandomizedResponse
+        from repro.pipeline import stream_counts
+
+        mech = BinaryRandomizedResponse(3.0)
+        bits = (rng.random(30_000) < 0.25).astype(np.int64)
+        acc = stream_counts(mech, bits, chunk_size=4_000, rng=rng)
+        truth = np.bincount(bits, minlength=2)
+        assert np.allclose(acc.estimate(mech), truth, atol=6 * np.sqrt(bits.size))
+
+
+class TestHashDomainMechanismRejected:
+    def test_olh_estimate_raises_instead_of_miscalibrating(self):
+        """OLH exposes p/q but needs hash-domain calibration; the
+        accumulator must refuse rather than silently return biased numbers."""
+        from repro.mechanisms.local_hashing import OptimizedLocalHashing
+
+        olh = OptimizedLocalHashing(1.0, m=10)
+        acc = CountAccumulator(10)
+        acc.add_categories(np.arange(10))
+        with pytest.raises(ValidationError, match="estimator"):
+            acc.estimate(olh)
+
+
+class TestPackedWidthMismatch:
+    def test_wider_producer_rejected(self, rng):
+        """m=16 reports packed into 2 bytes must not feed an m=12 round."""
+        reports = np.ones((4, 16), dtype=np.int8)  # bits 12-15 set
+        acc = CountAccumulator(12)
+        with pytest.raises(ValidationError, match="widths disagree"):
+            acc.add_packed_reports(np.packbits(reports, axis=1))
+
+    def test_same_width_pad_bits_accepted(self, rng):
+        reports = (rng.random((4, 12)) < 0.5).astype(np.int8)
+        acc = CountAccumulator(12)
+        acc.add_packed_reports(np.packbits(reports, axis=1))
+        assert acc.n == 4

@@ -1,0 +1,204 @@
+"""Tests for the chunked streaming engine.
+
+The load-bearing claims: (1) with a single chunk the streamed counts are
+*bit-identical* to a one-shot ``perturb_many`` under the same generator
+(the engine runs the real kernel, not an approximation); (2) the
+streamed counts follow the same distribution
+``simulate_counts_from_true`` draws from; (3) memory-shaping options
+(chunking, packing) never change the counts for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetSpec, IDUEPS, OptimizedUnaryEncoding
+from repro.datasets import ItemsetDataset
+from repro.exceptions import ValidationError
+from repro.mechanisms import GeneralizedRandomizedResponse
+from repro.pipeline import iter_report_chunks, report_width, stream_counts
+from repro.simulation import simulate_counts_from_true
+
+
+@pytest.fixture
+def unary_workload(rng):
+    m, n = 24, 5_000
+    mechanism = OptimizedUnaryEncoding(1.5, m)
+    items = rng.integers(m, size=n)
+    return mechanism, items
+
+
+class TestReportWidth:
+    def test_unary_width_is_m(self):
+        assert report_width(OptimizedUnaryEncoding(1.0, 7)) == 7
+
+    def test_idueps_width_includes_dummies(self, toy_spec):
+        mech = IDUEPS.optimized(toy_spec, ell=3, model="opt1")
+        assert report_width(mech) == toy_spec.m + 3
+
+
+class TestFixedSeedEquivalence:
+    def test_single_chunk_matches_one_shot_kernel(self, unary_workload):
+        """chunk_size >= n consumes the RNG exactly like perturb_many."""
+        mechanism, items = unary_workload
+        acc = stream_counts(
+            mechanism, items, chunk_size=items.size, rng=np.random.default_rng(7)
+        )
+        reference = mechanism.perturb_many(items, np.random.default_rng(7))
+        assert np.array_equal(acc.counts(), reference.sum(axis=0))
+        assert acc.n == items.size
+
+    def test_chunked_runs_are_deterministic(self, unary_workload):
+        mechanism, items = unary_workload
+        one = stream_counts(mechanism, items, chunk_size=321, rng=3)
+        two = stream_counts(mechanism, items, chunk_size=321, rng=3)
+        assert np.array_equal(one.counts(), two.counts())
+
+    def test_packed_wire_format_preserves_counts(self, unary_workload):
+        mechanism, items = unary_workload
+        plain = stream_counts(mechanism, items, chunk_size=512, rng=3)
+        packed = stream_counts(mechanism, items, chunk_size=512, rng=3, packed=True)
+        assert np.array_equal(plain.counts(), packed.counts())
+        assert plain.n == packed.n
+
+    def test_manual_chunk_iteration_matches_stream(self, unary_workload):
+        mechanism, items = unary_workload
+        total = np.zeros(mechanism.m, dtype=np.int64)
+        for chunk in iter_report_chunks(mechanism, items, chunk_size=700, rng=5):
+            total += chunk.sum(axis=0)
+        acc = stream_counts(mechanism, items, chunk_size=700, rng=5)
+        assert np.array_equal(acc.counts(), total)
+
+
+class TestDistributionalConsistency:
+    def test_streamed_counts_match_binomial_law(self, unary_workload):
+        """Streamed-exact and simulate_counts_from_true agree in moments."""
+        mechanism, items = unary_workload
+        m, n = mechanism.m, items.size
+        truth = np.bincount(items, minlength=m)
+        rng = np.random.default_rng(42)
+        trials = 120
+        streamed = np.empty((trials, m))
+        fast = np.empty((trials, m))
+        for k in range(trials):
+            streamed[k] = stream_counts(
+                mechanism, items, chunk_size=1024, rng=rng
+            ).counts()
+            fast[k] = simulate_counts_from_true(
+                truth, n, mechanism.a, mechanism.b, rng
+            )
+        # Identical exact means: truth * a + (n - truth) * b.
+        expected = truth * mechanism.a + (n - truth) * mechanism.b
+        tol = 6 * np.sqrt(expected.max() / trials)
+        assert np.allclose(streamed.mean(axis=0), expected, atol=tol)
+        assert np.allclose(fast.mean(axis=0), expected, atol=tol)
+        # Variances agree within a loose statistical band.
+        assert np.allclose(
+            streamed.var(axis=0), fast.var(axis=0), rtol=0.9, atol=n * 0.01
+        )
+
+    def test_itemset_streaming_matches_fast_mean(self, toy_spec, rng):
+        mechanism = IDUEPS.optimized(toy_spec, ell=2, model="opt2")
+        sets = [
+            rng.choice(toy_spec.m, size=int(rng.integers(1, 4)), replace=False)
+            for _ in range(400)
+        ]
+        dataset = ItemsetDataset.from_sets([s.tolist() for s in sets], m=toy_spec.m)
+        trials = 150
+        width = mechanism.extended_m
+        streamed = np.empty((trials, width))
+        for k in range(trials):
+            streamed[k] = stream_counts(
+                mechanism, dataset, chunk_size=64, rng=rng
+            ).counts()
+        sampled_mean = np.zeros(width)
+        for k in range(trials):
+            sampled = mechanism.sampler.sample_many(
+                dataset.flat_items, dataset.offsets, rng
+            )
+            hist = np.bincount(sampled, minlength=width)
+            sampled_mean += hist * mechanism.a + (dataset.n - hist) * mechanism.b
+        sampled_mean /= trials
+        assert np.allclose(
+            streamed.mean(axis=0), sampled_mean, atol=6 * np.sqrt(dataset.n / 4)
+        )
+
+
+class TestCategoricalStreaming:
+    def test_grr_streamed_histogram(self, rng):
+        m, n = 9, 4_000
+        mechanism = GeneralizedRandomizedResponse(2.0, m)
+        items = rng.integers(m, size=n)
+        acc = stream_counts(mechanism, items, chunk_size=333, rng=rng)
+        assert acc.n == n
+        assert int(acc.counts().sum()) == n  # one id per user
+
+    def test_packed_rejected_for_categorical(self, rng):
+        mechanism = GeneralizedRandomizedResponse(2.0, 4)
+        with pytest.raises(ValidationError, match="packed"):
+            list(
+                iter_report_chunks(
+                    mechanism, np.array([0, 1]), rng=rng, packed=True
+                )
+            )
+
+
+class TestValidation:
+    def test_rejects_out_of_domain_items(self, unary_workload):
+        mechanism, _ = unary_workload
+        with pytest.raises(ValidationError, match="domain"):
+            stream_counts(mechanism, np.array([0, mechanism.m]), rng=0)
+
+    def test_rejects_mismatched_dataset_domain(self, toy_spec):
+        mechanism = IDUEPS.optimized(toy_spec, ell=2, model="opt1")
+        dataset = ItemsetDataset.from_sets([[0]], m=toy_spec.m + 1)
+        with pytest.raises(ValidationError, match="domain"):
+            stream_counts(mechanism, dataset, rng=0)
+
+    def test_rejects_unsupported_mechanism(self):
+        with pytest.raises(ValidationError, match="stream"):
+            list(iter_report_chunks(object(), np.array([0]), rng=0))
+
+    def test_rejects_mismatched_accumulator_width(self, unary_workload):
+        from repro.pipeline import CountAccumulator
+
+        mechanism, items = unary_workload
+        with pytest.raises(ValidationError, match="width"):
+            stream_counts(
+                mechanism, items, rng=0, accumulator=CountAccumulator(mechanism.m + 1)
+            )
+
+    def test_existing_accumulator_continues_round(self, unary_workload):
+        from repro.pipeline import CountAccumulator
+
+        mechanism, items = unary_workload
+        acc = CountAccumulator(mechanism.m)
+        stream_counts(mechanism, items[:100], rng=1, accumulator=acc)
+        stream_counts(mechanism, items[100:300], rng=2, accumulator=acc)
+        assert acc.n == 300
+
+
+class TestRoundTagging:
+    def test_round_id_conflict_with_accumulator_rejected(self, unary_workload):
+        from repro.pipeline import CountAccumulator
+
+        mechanism, items = unary_workload
+        acc = CountAccumulator(mechanism.m, round_id=2)
+        with pytest.raises(ValidationError, match="round"):
+            stream_counts(mechanism, items, rng=0, round_id=1, accumulator=acc)
+
+    def test_matching_round_id_accepted(self, unary_workload):
+        from repro.pipeline import CountAccumulator
+
+        mechanism, items = unary_workload
+        acc = CountAccumulator(mechanism.m, round_id=2)
+        out = stream_counts(
+            mechanism, items[:50], rng=0, round_id=2, accumulator=acc
+        )
+        assert out is acc and out.n == 50
+
+    def test_fresh_accumulator_gets_round_id(self, unary_workload):
+        mechanism, items = unary_workload
+        acc = stream_counts(mechanism, items[:10], rng=0, round_id=5)
+        assert acc.round_id == 5

@@ -1,0 +1,108 @@
+"""Tests for the multi-process sharded collection driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IDUEPS, OptimizedUnaryEncoding
+from repro.datasets import ItemsetDataset
+from repro.estimation import merge_round_estimates
+from repro.exceptions import ValidationError
+from repro.pipeline import ShardedRunner, shard_bounds
+
+
+class TestShardBounds:
+    def test_covers_every_user_once(self):
+        bounds = shard_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_caps_shards_at_population(self):
+        assert shard_bounds(2, 8) == [(0, 1), (1, 2)]
+
+    def test_single_shard(self):
+        assert shard_bounds(5, 1) == [(0, 5)]
+
+
+class TestShardedRuns:
+    @pytest.fixture
+    def workload(self, rng):
+        m, n = 12, 3_000
+        return OptimizedUnaryEncoding(2.0, m), rng.integers(m, size=n)
+
+    def test_parallel_equals_serial(self, workload):
+        """Pool execution and in-process execution give identical state."""
+        mechanism, items = workload
+        serial = ShardedRunner(
+            mechanism, num_shards=3, chunk_size=256, processes=1
+        ).run(items, seed=5)
+        parallel = ShardedRunner(
+            mechanism, num_shards=3, chunk_size=256, processes=3
+        ).run(items, seed=5)
+        assert np.array_equal(serial.counts(), parallel.counts())
+        assert serial.n == parallel.n == items.size
+
+    def test_reproducible_given_seed(self, workload):
+        mechanism, items = workload
+        runner = ShardedRunner(mechanism, num_shards=4, chunk_size=128, processes=1)
+        one = runner.run(items, seed=9)
+        two = runner.run(items, seed=9)
+        assert np.array_equal(one.counts(), two.counts())
+
+    def test_shard_split_is_exact(self, workload):
+        """Sharded merge == manually streaming each shard and merging."""
+        from repro.pipeline import CountAccumulator, stream_counts
+
+        mechanism, items = workload
+        runner = ShardedRunner(mechanism, num_shards=2, chunk_size=100, processes=1)
+        merged = runner.run(items, seed=3)
+        bounds = shard_bounds(items.size, 2)
+        children = np.random.SeedSequence(3).spawn(2)
+        manual = CountAccumulator.merge_all(
+            stream_counts(
+                mechanism,
+                items[start:stop],
+                chunk_size=100,
+                rng=np.random.default_rng(child),
+            )
+            for (start, stop), child in zip(bounds, children)
+        )
+        assert np.array_equal(merged.counts(), manual.counts())
+
+    def test_packed_transport(self, workload):
+        mechanism, items = workload
+        runner = ShardedRunner(
+            mechanism, num_shards=2, chunk_size=200, packed=True, processes=1
+        )
+        accumulator = runner.run(items, seed=1)
+        assert accumulator.n == items.size
+
+    def test_itemset_dataset_shards(self, toy_spec, rng):
+        mechanism = IDUEPS.optimized(toy_spec, ell=2, model="opt1")
+        sets = [
+            rng.choice(toy_spec.m, size=int(rng.integers(1, 4)), replace=False).tolist()
+            for _ in range(500)
+        ]
+        dataset = ItemsetDataset.from_sets(sets, m=toy_spec.m)
+        runner = ShardedRunner(mechanism, num_shards=3, chunk_size=64, processes=1)
+        accumulator = runner.run(dataset, seed=0)
+        assert accumulator.n == dataset.n
+        assert accumulator.m == mechanism.extended_m
+
+    def test_multi_round_collection(self, workload):
+        mechanism, items = workload
+        runner = ShardedRunner(mechanism, num_shards=2, chunk_size=500, processes=1)
+        rounds = runner.run_rounds(items, seeds=[1, 2, 3])
+        assert [r.round_id for r in rounds] == [0, 1, 2]
+        merged, variance = merge_round_estimates(
+            r.to_round_estimate(mechanism) for r in rounds
+        )
+        truth = np.bincount(items, minlength=mechanism.m)
+        assert np.allclose(merged, truth, atol=6 * np.sqrt(items.size))
+        assert np.all(variance > 0)
+
+    def test_rejects_empty_population(self, workload):
+        mechanism, _ = workload
+        runner = ShardedRunner(mechanism, num_shards=2, processes=1)
+        with pytest.raises(ValidationError, match="zero users"):
+            runner.run(np.array([], dtype=np.int64), seed=0)

@@ -61,3 +61,40 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "fig3-power-law" in out
         assert "IDUE-opt0 empirical" in out
+
+
+class TestPipelineCLI:
+    def test_pipeline_smoke(self, capsys):
+        """Streamed-exact collection end to end at a tiny scale."""
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--n", "2000",
+                    "--m", "40",
+                    "--shards", "2",
+                    "--chunk-size", "256",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "streamed-exact" in out and "reports/s" in out
+        assert "fast baseline" in out
+
+    def test_pipeline_idue_packed(self, capsys):
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--n", "1000",
+                    "--m", "30",
+                    "--mechanism", "idue",
+                    "--packed",
+                    "--shards", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mechanism=idue" in out and "packed=True" in out

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.optim",
     "repro.estimation",
     "repro.simulation",
+    "repro.pipeline",
     "repro.datasets",
     "repro.audit",
     "repro.experiments",
@@ -65,6 +66,9 @@ def test_top_level_exports_core_workflow():
         "AVG",
         "solve",
         "itemset_budget",
+        "CountAccumulator",
+        "ShardedRunner",
+        "stream_counts",
     ):
         assert hasattr(repro, name), f"repro.{name} missing from top level"
 
