@@ -5,10 +5,17 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-pipeline
+.PHONY: test check bench bench-pipeline bench-json
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+# Tier-1 gate plus a smoke run of the packed fast-sampler pipeline on a
+# tiny domain, so the packed path cannot silently break.
+check: test
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
+		--n 2000 --m 64 --shards 2 --chunk-size 256 \
+		--sampler fast --packed --topk 3
 
 # The benchmark suite uses bench_* naming so default collection skips it.
 bench:
@@ -18,3 +25,12 @@ bench:
 bench-pipeline:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_pipeline.py -q \
 		-o python_files='bench_*.py' -o python_functions='bench_*'
+
+# Machine-readable perf trajectory: BENCH_*.json under benchmarks/results/.
+bench-json:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_throughput.py -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*' \
+		--json benchmarks/results/BENCH_throughput.json
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_pipeline.py -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*' \
+		--json benchmarks/results/BENCH_pipeline.json

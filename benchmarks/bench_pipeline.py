@@ -35,7 +35,7 @@ def workload():
     return OptimizedUnaryEncoding(1.5, DOMAIN), items, truth
 
 
-def bench_streamed_exact_counts(benchmark, workload, record_result):
+def bench_streamed_exact_counts(benchmark, workload, record_result, record_json):
     """Chunked per-user path: encode + perturb + aggregate every report."""
     mechanism, items, _ = workload
     result = benchmark(
@@ -45,13 +45,52 @@ def bench_streamed_exact_counts(benchmark, workload, record_result):
         chunk_size=CHUNK,
         rng=np.random.default_rng(1),
     )
-    rate = N_USERS / benchmark.stats["mean"]
+    secs = benchmark.stats["mean"]
+    rate = N_USERS / secs
+    record_json(
+        "pipeline_streamed_exact",
+        n=N_USERS,
+        m=DOMAIN,
+        secs=secs,
+        bits_per_sec=N_USERS * DOMAIN / secs,
+    )
     record_result(
         "pipeline_streamed_exact",
         f"streamed-exact: n={N_USERS}, m={DOMAIN}, chunk={CHUNK}\n"
-        f"mean {benchmark.stats['mean']:.3f}s -> {rate:,.0f} reports/s\n"
+        f"mean {secs:.3f}s -> {rate:,.0f} reports/s\n"
         f"peak chunk memory ~{CHUNK * DOMAIN * 9 / 2**20:.0f} MiB "
         f"(vs {N_USERS * DOMAIN / 2**30:.1f} GiB for the full matrix)",
+    )
+    assert result.n == N_USERS
+
+
+def bench_streamed_fast_sampler_counts(benchmark, workload, record_result, record_json):
+    """Same protocol on the packed bit-plane kernel (sampler='fast')."""
+    from repro.kernels import FAST
+
+    mechanism, items, _ = workload
+    result = benchmark(
+        stream_counts,
+        mechanism,
+        items,
+        chunk_size=CHUNK,
+        rng=FAST.make_generator(1),
+        packed=True,
+        sampler=FAST,
+    )
+    secs = benchmark.stats["mean"]
+    record_json(
+        "pipeline_streamed_fast",
+        n=N_USERS,
+        m=DOMAIN,
+        secs=secs,
+        bits_per_sec=N_USERS * DOMAIN / secs,
+    )
+    record_result(
+        "pipeline_streamed_fast",
+        f"streamed fast-sampler: n={N_USERS}, m={DOMAIN}, chunk={CHUNK}, packed\n"
+        f"mean {secs * 1e3:.1f}ms -> {N_USERS / secs:,.0f} reports/s "
+        f"({N_USERS * DOMAIN / secs / 1e6:,.0f} Mbit/s)",
     )
     assert result.n == N_USERS
 
@@ -78,7 +117,7 @@ def bench_sharded_runner_counts(benchmark, workload):
     assert result.n == N_USERS
 
 
-def bench_fast_binomial_baseline(benchmark, workload, record_result):
+def bench_fast_binomial_baseline(benchmark, workload, record_result, record_json):
     """Counts-only binomial shortcut over the identical workload."""
     mechanism, _, truth = workload
     benchmark(
@@ -89,8 +128,10 @@ def bench_fast_binomial_baseline(benchmark, workload, record_result):
         mechanism.b,
         np.random.default_rng(1),
     )
+    secs = benchmark.stats["mean"]
+    record_json("pipeline_fast_baseline", n=N_USERS, m=DOMAIN, secs=secs)
     record_result(
         "pipeline_fast_baseline",
         f"fast binomial baseline: n={N_USERS}, m={DOMAIN}\n"
-        f"mean {benchmark.stats['mean'] * 1e3:.2f}ms (counts only, no reports)",
+        f"mean {secs * 1e3:.2f}ms (counts only, no reports)",
     )

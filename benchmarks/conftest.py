@@ -4,15 +4,85 @@ Every benchmark regenerates one of the paper's tables or figures.  The
 numeric series are printed to stdout *and* persisted under
 ``benchmarks/results/`` so the regenerated artifacts survive pytest's
 output capture; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+Performance benchmarks additionally emit machine-readable records: run
+with ``--json PATH`` (see ``make bench-json``) and every
+``record_json(...)`` call appends a ``{name, n, m, secs, bits_per_sec,
+peak_rss}`` entry, written as a JSON list at session end.  Committing
+those files under ``benchmarks/results/BENCH_*.json`` tracks the perf
+trajectory PR over PR.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import resource
+import sys
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark records to PATH as a JSON list",
+    )
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process (ru_maxrss is KiB on Linux).
+
+    ru_maxrss is a process-lifetime high-water mark, so the value stamped
+    on a record reflects the largest footprint of the session *so far*,
+    not the benchmark in isolation — attribute it to an individual
+    benchmark only when that benchmark is run in its own pytest process.
+    """
+    scale = 1 if sys.platform == "darwin" else 1024  # macOS reports bytes
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale
+
+
+@pytest.fixture(scope="session")
+def json_records(request):
+    """Session-wide record list, flushed to ``--json PATH`` at exit."""
+    records: list[dict] = []
+    yield records
+    path = request.config.getoption("--json")
+    if path and records:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(records, handle, indent=2)
+            handle.write("\n")
+
+
+@pytest.fixture
+def record_json(json_records):
+    """Append one perf record; a no-op sink unless ``--json`` was given.
+
+    Usage: ``record_json("stream_fast", n=..., m=..., secs=...,
+    bits_per_sec=...)``.  ``peak_rss`` (bytes, the process high-water
+    mark at record time — see :func:`_peak_rss_bytes`) is stamped
+    automatically; extra keyword fields pass through verbatim.
+    """
+
+    def _record(name: str, *, n: int, m: int, secs: float, bits_per_sec=None, **extra):
+        entry = {
+            "name": name,
+            "n": int(n),
+            "m": int(m),
+            "secs": float(secs),
+            "bits_per_sec": None if bits_per_sec is None else float(bits_per_sec),
+            "peak_rss": _peak_rss_bytes(),
+        }
+        entry.update(extra)
+        json_records.append(entry)
+        return entry
+
+    return _record
 
 
 @pytest.fixture(scope="session")

@@ -20,7 +20,30 @@ The package provides:
   :mod:`repro.experiments`);
 * a streaming, sharded report-aggregation pipeline that runs the exact
   per-user protocol at paper scale in bounded memory
-  (:mod:`repro.pipeline`).
+  (:mod:`repro.pipeline`);
+* bit-sliced sampling kernels feeding the mechanisms' randomness from
+  packed ``uint64`` words instead of one float64 per coin
+  (:mod:`repro.kernels`).
+
+Sampling kernels: bitexact vs fast
+----------------------------------
+Every batch perturbation (``perturb_many`` / ``perturb_many_packed``,
+the streaming engine, :class:`ShardedRunner`, and the ``pipeline`` CLI
+via ``--sampler``) accepts a :class:`SamplerConfig` or the shorthand
+names ``"bitexact"`` / ``"fast"``:
+
+* ``"bitexact"`` (default) — the historical float64/PCG64 path.  Output
+  streams for a fixed seed are *frozen*: anything pinned to a seed
+  (regression tests, recorded experiments) keeps producing byte-identical
+  reports, release after release.
+* ``"fast"`` — the packed bit-plane kernel: raw ``uint64`` words,
+  fixed-point threshold planes, exact sparse residual correction, and
+  reports emitted directly in the ``np.packbits`` wire format.  The
+  contract is *distributional equivalence*: per-bit probabilities match
+  the bitexact path to ~2^-60 (statistically indistinguishable at any
+  feasible sample size), but the fixed-seed bit stream differs.  It is
+  4-10x faster end to end and never materializes a float64 or unpacked
+  report array.
 
 Quickstart
 ----------
@@ -44,6 +67,7 @@ from .core import (
     RFunction,
 )
 from .estimation import Aggregator, FrequencyEstimator
+from .kernels import SamplerConfig
 from .exceptions import (
     BudgetError,
     DatasetError,
@@ -103,6 +127,8 @@ __all__ = [
     "CountAccumulator",
     "ShardedRunner",
     "stream_counts",
+    # kernels
+    "SamplerConfig",
     # exceptions
     "ReproError",
     "ValidationError",

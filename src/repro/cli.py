@@ -10,11 +10,15 @@ Usage::
     python -m repro.cli fig5a [--quick]      # Retail
     python -m repro.cli fig5b [--quick]      # MSNBC
     python -m repro.cli pipeline [--n N] [--m M] [--shards K] [--chunk-size C]
+                                 [--sampler fast|bitexact] [--topk K]
 
 ``--quick`` runs scaled-down workloads (seconds instead of minutes); the
 default uses the paper-scale presets.  ``pipeline`` streams the exact
 per-user protocol through :mod:`repro.pipeline` and reports throughput
-against the binomial-shortcut baseline.
+against the binomial-shortcut baseline; ``--sampler fast`` switches the
+perturbation onto the packed bit-plane kernel of :mod:`repro.kernels`
+(distributional contract, 4-10x faster), and ``--topk K`` runs
+heavy-hitter identification on the streamed estimates.
 """
 
 from __future__ import annotations
@@ -110,11 +114,13 @@ def _run_pipeline(args) -> None:
         num_shards=args.shards,
         chunk_size=args.chunk_size,
         packed=args.packed,
+        sampler=args.sampler,
     )
     print(
         f"pipeline: mechanism={mechanism.name}, n={args.n}, m={args.m}, "
         f"eps={args.epsilon}, shards={runner.num_shards}, "
-        f"chunk_size={args.chunk_size}, packed={args.packed}"
+        f"chunk_size={args.chunk_size}, packed={args.packed}, "
+        f"sampler={args.sampler}"
     )
     start = time.perf_counter()
     accumulator = runner.run(items, seed=args.seed)
@@ -128,7 +134,14 @@ def _run_pipeline(args) -> None:
     fast_elapsed = time.perf_counter() - start
 
     mse = float(np.mean((estimates - truth) ** 2))
-    peak = args.chunk_size * accumulator.m * 9  # int8 chunk + float64 draw
+    if args.sampler == "fast" and args.packed:
+        # ~3 packed buffers of chunk x m/8 bytes live at once.
+        peak = args.chunk_size * accumulator.m * 3 // 8
+    elif args.sampler == "fast":
+        # packed kernel buffers plus the unpacked int8 chunk it returns.
+        peak = args.chunk_size * accumulator.m * 2
+    else:
+        peak = args.chunk_size * accumulator.m * 9  # int8 chunk + float64 draw
     print(
         f"streamed-exact: {streamed_elapsed:.2f}s "
         f"({args.n / streamed_elapsed:,.0f} reports/s), "
@@ -146,6 +159,20 @@ def _run_pipeline(args) -> None:
     )
     fast_mse = float(np.mean((fast_estimates - truth) ** 2))
     print(f"fast-path      MSE vs truth: {fast_mse:,.1f} (same law, same scale)")
+
+    if args.topk is not None:
+        from .estimation.topk import top_k_metrics
+
+        metrics = top_k_metrics(estimates, truth, args.topk)
+        ranked = ", ".join(
+            f"{item}({estimates[item]:,.0f})" for item in metrics["estimated_top"]
+        )
+        print(
+            f"top-{args.topk} heavy hitters: precision={metrics['precision']:.2f}, "
+            f"ncr={metrics['ncr']:.2f}"
+        )
+        print(f"  estimated: {ranked}")
+        print(f"  true:      {', '.join(str(i) for i in metrics['true_top'])}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -207,6 +234,22 @@ def main(argv: list[str] | None = None) -> int:
         help="pipeline: ship chunks in the np.packbits wire format",
     )
     parser.add_argument(
+        "--sampler",
+        choices=["bitexact", "fast"],
+        default="bitexact",
+        help="pipeline: perturbation kernel — 'bitexact' keeps the frozen "
+        "fixed-seed float64 streams, 'fast' uses the packed bit-plane "
+        "kernel (same distribution, 4-10x faster)",
+    )
+    parser.add_argument(
+        "--topk",
+        type=int,
+        default=None,
+        metavar="K",
+        help="pipeline: also identify the top-K heavy hitters from the "
+        "streamed estimates and score them against the true counts",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="pipeline: root seed for shard RNGs"
     )
     parser.add_argument(
@@ -236,6 +279,8 @@ def main(argv: list[str] | None = None) -> int:
         "(ignored for tables)",
     )
     args = parser.parse_args(argv)
+    if args.topk is not None and not 1 <= args.topk <= args.m:
+        parser.error(f"--topk must lie in [1, m={args.m}], got {args.topk}")
     presets = QUICK if args.quick else PAPER
 
     if args.experiment == "table1":

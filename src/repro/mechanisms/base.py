@@ -11,7 +11,12 @@ server-side estimators differ:
   ``a[k] = Pr(y[k]=1 | x[k]=1)`` and ``b[k] = Pr(y[k]=1 | x[k]=0)``.
 
 All randomness flows through an explicit ``numpy.random.Generator`` so
-experiments are reproducible.
+experiments are reproducible.  The batch entry points additionally take
+a :class:`~repro.kernels.SamplerConfig`: the default ``"bitexact"``
+sampler consumes the generator in the historical float64 order (frozen
+fixed-seed streams), while ``"fast"`` routes the Bernoulli draws
+through the bit-sliced packed-word kernels of :mod:`repro.kernels`
+under a distributional-equivalence contract.
 """
 
 from __future__ import annotations
@@ -27,6 +32,12 @@ from .._validation import (
     check_rng,
 )
 from ..exceptions import ValidationError
+from ..kernels import (
+    packed_assign_bits,
+    packed_bernoulli,
+    packed_width,
+    resolve_sampler,
+)
 
 __all__ = ["Mechanism", "CategoricalMechanism", "UnaryMechanism"]
 
@@ -130,14 +141,22 @@ class CategoricalMechanism(Mechanism):
         row = self.channel_cdf()[int(x)]
         return int(min(np.searchsorted(row, rng.random(), side="right"), self.m - 1))
 
-    def perturb_many(self, xs, rng=None) -> np.ndarray:
-        """Vectorized perturbation of a batch of inputs."""
+    def perturb_many(self, xs, rng=None, *, sampler=None) -> np.ndarray:
+        """Vectorized perturbation of a batch of inputs.
+
+        A ``"fast"`` *sampler* with a reduced-entropy dtype (``float32``
+        or ``u64``) draws the inverse-CDF uniforms as float32
+        (resolution 2^-24); the default ``"bitexact"`` sampler — and a
+        fast config that explicitly keeps ``dtype="float64"`` —
+        consumes the historical float64 stream.
+        """
         rng = check_rng(rng)
+        sampler = resolve_sampler(sampler)
         inputs = as_int_array(xs, "xs")
         if inputs.size and (inputs.min() < 0 or inputs.max() >= self.m):
             raise ValidationError(f"inputs fall outside domain [0, {self.m - 1}]")
         flat = self._flat_channel_cdf()
-        u = rng.random(inputs.size)
+        u = rng.random(inputs.size, dtype=sampler.uniform_dtype)
         # One searchsorted over the flattened row-offset CDF inverts every
         # user's row at once — O(n log m) with no n x m temporaries.
         y = np.searchsorted(flat, inputs + u, side="right") - inputs * self.m
@@ -238,7 +257,7 @@ class UnaryMechanism(Mechanism):
         """Encode and perturb one user's single-item input."""
         return self.perturb_bits(self.encode(x), rng)
 
-    def perturb_many(self, xs, rng=None) -> np.ndarray:
+    def perturb_many(self, xs, rng=None, *, sampler=None) -> np.ndarray:
         """Vectorized perturbation of a batch of single-item inputs.
 
         Returns an ``n x m`` 0/1 matrix of released reports.  All bits are
@@ -248,15 +267,67 @@ class UnaryMechanism(Mechanism):
         (and one uniform draw per bit) is still ``O(n m)``; paper-scale
         runs should stream chunks through :mod:`repro.pipeline` or use
         :mod:`repro.simulation.fast`.
+
+        The default *sampler* (``"bitexact"``) draws one float64 per bit
+        in the historical order, so fixed-seed outputs are frozen.  A
+        ``"fast"`` sampler switches to float32 draws (``dtype:
+        "float32"``) or the packed bit-plane kernel (``dtype: "u64"``,
+        unpacked here for API compatibility — prefer
+        :meth:`perturb_many_packed` to keep the wire format).
         """
         rng = check_rng(rng)
+        sampler = resolve_sampler(sampler)
+        inputs = self._check_inputs(xs)
+        n = inputs.size
+        if sampler.is_packed:
+            packed = self._perturb_many_packed(inputs, rng, sampler)
+            return np.unpackbits(packed, axis=1, count=self.m).astype(np.int8)
+        # uniform_dtype is float64 for bitexact (and fast configs that
+        # keep it explicitly), so that branch consumes the frozen stream.
+        dtype = sampler.uniform_dtype
+        out = (
+            rng.random((n, self.m), dtype=dtype)
+            < self._b.astype(dtype, copy=False)
+        ).astype(np.int8)
+        hot = rng.random(n, dtype=dtype) < self._a[inputs].astype(dtype, copy=False)
+        out[np.arange(n), inputs] = hot
+        return out
+
+    def perturb_many_packed(self, xs, rng=None, *, sampler=None) -> np.ndarray:
+        """Perturb a batch straight into the ``np.packbits`` wire format.
+
+        Returns an ``n x ceil(m / 8)`` ``uint8`` matrix (row-wise
+        MSB-first packing, trailing pad bits zero) — what a transport
+        ships and what
+        :meth:`~repro.pipeline.accumulator.CountAccumulator.add_packed_reports`
+        ingests.  With a ``"fast"`` ``u64`` sampler the packed words are
+        produced directly by :func:`repro.kernels.packed_bernoulli`; no
+        float64 array or unpacked 0/1 matrix ever exists.  Other
+        samplers fall back to packing :meth:`perturb_many`'s output.
+        """
+        rng = check_rng(rng)
+        sampler = resolve_sampler(sampler)
+        inputs = self._check_inputs(xs)
+        if sampler.is_packed:
+            return self._perturb_many_packed(inputs, rng, sampler)
+        return np.packbits(self.perturb_many(inputs, rng, sampler=sampler), axis=1)
+
+    def _check_inputs(self, xs) -> np.ndarray:
         inputs = as_int_array(xs, "xs")
         if inputs.size and (inputs.min() < 0 or inputs.max() >= self.m):
             raise ValidationError(f"inputs fall outside domain [0, {self.m - 1}]")
-        n = inputs.size
-        out = (rng.random((n, self.m)) < self._b).astype(np.int8)
-        out[np.arange(n), inputs] = rng.random(n) < self._a[inputs]
-        return out
+        return inputs
+
+    def _perturb_many_packed(self, inputs, rng, sampler) -> np.ndarray:
+        """Packed-kernel body: b-law background, packed hot-bit overwrite."""
+        if inputs.size == 0:
+            return np.empty((0, packed_width(self.m)), dtype=np.uint8)
+        packed = packed_bernoulli(
+            self._b, inputs.size, rng, precision=sampler.precision
+        )
+        hot = rng.random(inputs.size) < self._a[inputs]
+        packed_assign_bits(packed, inputs, hot)
+        return packed
 
     # ------------------------------------------------------------------
     def pair_ratio_bound(self, i: int, j: int) -> float:

@@ -64,8 +64,13 @@ class SummationHistogramEncoding(Mechanism):
         bits[x] = 1.0
         return bits + rng.laplace(0.0, self.scale, size=self._m)
 
-    def perturb_many(self, xs, rng=None) -> np.ndarray:
-        """Vectorized reports: ``n x m`` float matrix."""
+    def perturb_many(self, xs, rng=None, *, sampler=None) -> np.ndarray:
+        """Vectorized reports: ``n x m`` float matrix.
+
+        *sampler* is accepted for interface uniformity only: SHE's
+        Laplace noise is inherently a float draw, so there is no packed
+        fast path and the argument is ignored.
+        """
         rng = check_rng(rng)
         items = as_int_array(xs, "xs")
         if items.size and (items.min() < 0 or items.max() >= self._m):

@@ -174,16 +174,32 @@ class IDUEPS(Mechanism):
         sampled = self.sampler.sample(itemset, rng)
         return self.unary.perturb(sampled, rng)
 
-    def perturb_many(self, flat_items, offsets, rng=None) -> np.ndarray:
+    def perturb_many(self, flat_items, offsets, rng=None, *, sampler=None) -> np.ndarray:
         """Vectorized Algorithm 3 over a ragged batch (CSR layout).
 
         Returns an ``n x (m + ell)`` 0/1 report matrix.  Intended for
         tests and small studies; large-scale simulation should go through
-        :mod:`repro.simulation.fast`.
+        :mod:`repro.simulation.fast`.  *sampler* selects the unary
+        perturbation kernel (see
+        :meth:`repro.mechanisms.base.UnaryMechanism.perturb_many`); the
+        padding-and-sampling step itself is O(n) and stays on float64.
         """
         rng = check_rng(rng)
         sampled = self.sampler.sample_many(flat_items, offsets, rng)
-        return self.unary.perturb_many(sampled, rng)
+        return self.unary.perturb_many(sampled, rng, sampler=sampler)
+
+    def perturb_many_packed(
+        self, flat_items, offsets, rng=None, *, sampler=None
+    ) -> np.ndarray:
+        """Algorithm 3 straight into the packed wire format.
+
+        Returns ``n x ceil((m + ell) / 8)`` ``uint8``; with a ``"fast"``
+        ``u64`` sampler the extended-domain report never exists
+        unpacked.
+        """
+        rng = check_rng(rng)
+        sampled = self.sampler.sample_many(flat_items, offsets, rng)
+        return self.unary.perturb_many_packed(sampled, rng, sampler=sampler)
 
     # ------------------------------------------------------------------
     def itemset_budget(self, itemset: Sequence[int]) -> float:

@@ -23,6 +23,7 @@ from .._validation import (
     check_rng,
 )
 from ..exceptions import EstimationError, ValidationError
+from ..kernels import resolve_sampler
 from .base import Mechanism
 
 __all__ = ["OptimizedLocalHashing"]
@@ -86,16 +87,22 @@ class OptimizedLocalHashing(Mechanism):
         seeds, buckets = self.perturb_many([int(x)], rng)
         return int(seeds[0]), int(buckets[0])
 
-    def perturb_many(self, xs, rng=None) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized reports: ``(seeds, perturbed buckets)`` arrays."""
+    def perturb_many(self, xs, rng=None, *, sampler=None) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized reports: ``(seeds, perturbed buckets)`` arrays.
+
+        A reduced-entropy ``"fast"`` *sampler* draws the keep-coins as
+        float32; seeds and bucket draws are integer-native either way.
+        """
         rng = check_rng(rng)
+        sampler = resolve_sampler(sampler)
         items = as_int_array(xs, "xs")
         if items.size and (items.min() < 0 or items.max() >= self._m):
             raise ValidationError(f"inputs fall outside domain [0, {self._m - 1}]")
         n = items.size
         seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
         true_buckets = _hash_buckets(seeds, items, self.g)
-        keep = rng.random(n) < self.p
+        dtype = sampler.uniform_dtype
+        keep = rng.random(n, dtype=dtype) < dtype(self.p)
         others = rng.integers(self.g - 1, size=n)
         others = np.where(others >= true_buckets, others + 1, others)
         reported = np.where(keep, true_buckets, others)

@@ -16,6 +16,7 @@ import numpy as np
 
 from .._validation import check_budget, check_positive_int, check_rng
 from ..exceptions import ValidationError
+from ..kernels import resolve_sampler
 from .base import CategoricalMechanism
 
 __all__ = ["BinaryRandomizedResponse", "GeneralizedRandomizedResponse"]
@@ -100,12 +101,14 @@ class GeneralizedRandomizedResponse(CategoricalMechanism):
         other = int(rng.integers(self._m - 1))
         return other if other < x else other + 1
 
-    def perturb_many(self, xs, rng=None) -> np.ndarray:
+    def perturb_many(self, xs, rng=None, *, sampler=None) -> np.ndarray:
         rng = check_rng(rng)
+        sampler = resolve_sampler(sampler)
         inputs = np.asarray(xs, dtype=np.int64)
         if inputs.size and (inputs.min() < 0 or inputs.max() >= self._m):
             raise ValidationError(f"inputs fall outside domain [0, {self._m - 1}]")
-        keep = rng.random(inputs.size) < self.p
+        dtype = sampler.uniform_dtype  # float32 keep-coins under fast configs
+        keep = rng.random(inputs.size, dtype=dtype) < dtype(self.p)
         others = rng.integers(self._m - 1, size=inputs.size)
         others = np.where(others >= inputs, others + 1, others)
         return np.where(keep, inputs, others).astype(np.int64)

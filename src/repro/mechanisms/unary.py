@@ -12,6 +12,11 @@ These are the LDP baselines the paper evaluates against:
 Both baselines instantiate every bit with the same ``(p, q)``; the
 paper's IDUE (:mod:`repro.mechanisms.idue`) is the input-discriminative
 generalization with per-level parameters.
+
+Uniform parameters are also the fastest case for the ``"fast"`` packed
+sampler (see :mod:`repro.kernels`): a single ``(p, q)`` pair means the
+bit-plane kernel runs its one-bitop-per-plane uniform path, and dyadic
+parameters (e.g. OUE's ``p = 1/2``) collapse to a single plane.
 """
 
 from __future__ import annotations

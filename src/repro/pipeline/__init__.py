@@ -14,6 +14,12 @@ in bounded memory:
 * :mod:`.sharded` — :class:`ShardedRunner`, a multi-process driver that
   fans user shards across workers and merges their accumulators.
 
+All three accept a sampler selection (``"bitexact"`` | ``"fast"`` | a
+:class:`repro.kernels.SamplerConfig`): the fast packed-word kernel
+produces wire-format chunks directly and the accumulator absorbs them
+with a columnwise popcount, so the whole hot loop is free of float64
+RNG and unpacked report matrices.
+
 When to use which simulation path
 ---------------------------------
 :mod:`repro.simulation.fast` draws aggregate counts directly from their

@@ -22,6 +22,7 @@ from .._validation import check_positive_int
 from ..estimation.frequency import FrequencyEstimator
 from ..estimation.merge import RoundEstimate
 from ..exceptions import ValidationError
+from ..kernels import packed_column_counts, packed_width
 from ..mechanisms.base import CategoricalMechanism
 
 __all__ = ["CountAccumulator"]
@@ -99,7 +100,7 @@ class CountAccumulator:
             trailing bits are padding.
         """
         matrix = np.asarray(packed)
-        width = -(-self.m // 8)  # ceil(m / 8)
+        width = packed_width(self.m)
         if matrix.ndim != 2 or matrix.shape[1] != width:
             raise ValidationError(
                 f"packed reports must have shape (k, {width}), got {matrix.shape}"
@@ -116,8 +117,10 @@ class CountAccumulator:
                 f"packed reports have set bits beyond m={self.m}; producer "
                 "and accumulator widths disagree"
             )
-        unpacked = np.unpackbits(matrix, axis=1, count=self.m)
-        self._counts += unpacked.sum(axis=0, dtype=np.int64)
+        # Columnwise popcount straight off the packed bytes (vertical-
+        # counting bit-plane adder) — the chunk is never unpacked to one
+        # byte per bit.
+        self._counts += packed_column_counts(matrix, self.m)
         self._n += matrix.shape[0]
 
     def add_categories(self, outputs) -> None:

@@ -23,6 +23,7 @@ import numpy as np
 from .._validation import as_int_array, check_positive_int, check_rng
 from ..datasets.base import ItemsetDataset
 from ..exceptions import ValidationError
+from ..kernels import resolve_sampler
 from ..mechanisms.base import CategoricalMechanism, Mechanism, UnaryMechanism
 from ..mechanisms.idue_ps import IDUEPS
 from .accumulator import CountAccumulator
@@ -53,6 +54,7 @@ def iter_report_chunks(
     chunk_size: int = 4096,
     rng=None,
     packed: bool = False,
+    sampler=None,
 ):
     """Yield per-chunk released reports for a whole dataset.
 
@@ -75,6 +77,13 @@ def iter_report_chunks(
         chunks (the transport wire format, 8x smaller).  Invalid for
         categorical mechanisms, whose report is already a single id per
         user.
+    sampler:
+        ``None`` / ``"bitexact"`` / ``"fast"`` / a
+        :class:`~repro.kernels.SamplerConfig`.  The default keeps the
+        fixed-seed float64 streams; ``"fast"`` draws each chunk through
+        the packed bit-plane kernel, in which case ``packed=True``
+        chunks come straight out of the kernel with no 0/1 matrix or
+        ``np.packbits`` pass at all.
 
     Yields
     ------
@@ -84,6 +93,7 @@ def iter_report_chunks(
     """
     chunk_size = check_positive_int(chunk_size, "chunk_size")
     rng = check_rng(rng)
+    sampler = resolve_sampler(sampler)
 
     if isinstance(mechanism, IDUEPS):
         if not isinstance(data, ItemsetDataset):
@@ -97,8 +107,14 @@ def iter_report_chunks(
             )
         for start, stop in _iter_user_slices(data.n, chunk_size):
             shard = data.slice_users(start, stop)
-            chunk = mechanism.perturb_many(shard.flat_items, shard.offsets, rng)
-            yield np.packbits(chunk, axis=1) if packed else chunk
+            if packed:
+                yield mechanism.perturb_many_packed(
+                    shard.flat_items, shard.offsets, rng, sampler=sampler
+                )
+            else:
+                yield mechanism.perturb_many(
+                    shard.flat_items, shard.offsets, rng, sampler=sampler
+                )
         return
 
     if not isinstance(mechanism, (UnaryMechanism, CategoricalMechanism)):
@@ -119,12 +135,16 @@ def iter_report_chunks(
                 "mechanisms already release one id per user"
             )
         for start, stop in _iter_user_slices(items.size, chunk_size):
-            yield mechanism.perturb_many(items[start:stop], rng)
+            yield mechanism.perturb_many(items[start:stop], rng, sampler=sampler)
         return
 
     for start, stop in _iter_user_slices(items.size, chunk_size):
-        chunk = mechanism.perturb_many(items[start:stop], rng)
-        yield np.packbits(chunk, axis=1) if packed else chunk
+        if packed:
+            yield mechanism.perturb_many_packed(
+                items[start:stop], rng, sampler=sampler
+            )
+        else:
+            yield mechanism.perturb_many(items[start:stop], rng, sampler=sampler)
 
 
 def stream_counts(
@@ -136,6 +156,7 @@ def stream_counts(
     packed: bool = False,
     round_id: int | None = None,
     accumulator: CountAccumulator | None = None,
+    sampler=None,
 ) -> CountAccumulator:
     """Run the exact per-user path end to end with bounded memory.
 
@@ -144,6 +165,13 @@ def stream_counts(
     ``n x m`` is ever allocated.  With ``packed=True`` the chunks make a
     round trip through the ``np.packbits`` wire format first, exercising
     what a real transport would ship.
+
+    *sampler* selects the perturbation kernel (see
+    :func:`iter_report_chunks`).  The throughput configuration is
+    ``sampler="fast"`` with ``packed=True``: chunks leave the bit-plane
+    kernel already packed and are absorbed by the accumulator's
+    columnwise popcount, so no per-bit array exists anywhere in the
+    loop.
 
     Pass *accumulator* to continue filling an existing round (e.g. users
     arriving in waves); its width must match the mechanism's, and a
@@ -163,7 +191,8 @@ def stream_counts(
         )
     categorical = isinstance(mechanism, CategoricalMechanism)
     for chunk in iter_report_chunks(
-        mechanism, data, chunk_size=chunk_size, rng=rng, packed=packed
+        mechanism, data, chunk_size=chunk_size, rng=rng, packed=packed,
+        sampler=sampler,
     ):
         if categorical:
             accumulator.add_categories(chunk)

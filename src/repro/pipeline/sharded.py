@@ -28,6 +28,7 @@ import numpy as np
 from .._validation import as_int_array, check_positive_int
 from ..datasets.base import ItemsetDataset
 from ..exceptions import ValidationError
+from ..kernels import resolve_sampler
 from .accumulator import CountAccumulator
 from .engine import stream_counts
 
@@ -61,14 +62,18 @@ def _slice_shard(data, start: int, stop: int):
 
 def _run_shard(payload):
     """Worker entry point (module-level so it pickles under spawn)."""
-    mechanism, shard_data, chunk_size, packed, round_id, seed_seq = payload
+    mechanism, shard_data, chunk_size, packed, round_id, seed_seq, sampler = payload
+    # The sampler's backend expands the shard's SeedSequence, so a fast
+    # run gets e.g. SFC64 workers while bitexact keeps PCG64 — the
+    # default_rng-equivalent stream it has always had.
     return stream_counts(
         mechanism,
         shard_data,
         chunk_size=chunk_size,
-        rng=np.random.default_rng(seed_seq),
+        rng=sampler.make_generator(seed_seq),
         packed=packed,
         round_id=round_id,
+        sampler=sampler,
     )
 
 
@@ -91,6 +96,11 @@ class ShardedRunner:
         Pool size; defaults to ``min(num_shards, cpu_count)``.  ``1``
         runs the shards serially in-process (no pool), which is also the
         automatic fallback where multiprocessing is unavailable.
+    sampler:
+        ``None`` / ``"bitexact"`` / ``"fast"`` / a
+        :class:`~repro.kernels.SamplerConfig` applied in every worker.
+        Also controls which BitGenerator the per-shard ``SeedSequence``
+        children are expanded with (the config's ``backend``).
     """
 
     def __init__(
@@ -101,6 +111,7 @@ class ShardedRunner:
         chunk_size: int = 4096,
         packed: bool = False,
         processes: int | None = None,
+        sampler=None,
     ) -> None:
         cpus = os.cpu_count() or 1
         self.mechanism = mechanism
@@ -112,6 +123,7 @@ class ShardedRunner:
         if processes is None:
             processes = min(self.num_shards, cpus)
         self.processes = check_positive_int(processes, "processes")
+        self.sampler = resolve_sampler(sampler)
 
     # ------------------------------------------------------------------
     def _num_users(self, data) -> int:
@@ -152,6 +164,7 @@ class ShardedRunner:
                 self.packed,
                 round_id,
                 child,
+                self.sampler,
             )
             for (start, stop), child in zip(bounds, children)
         )
@@ -211,5 +224,6 @@ class ShardedRunner:
     def __repr__(self) -> str:
         return (
             f"ShardedRunner({self.mechanism!r}, num_shards={self.num_shards}, "
-            f"chunk_size={self.chunk_size}, processes={self.processes})"
+            f"chunk_size={self.chunk_size}, processes={self.processes}, "
+            f"sampler={self.sampler.exactness!r})"
         )

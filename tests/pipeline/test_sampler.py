@@ -1,0 +1,207 @@
+"""Sampler plumbing through the streaming pipeline.
+
+Covers the acceptance contract of the kernels subsystem:
+
+* ``"fast"`` estimates are statistically indistinguishable from
+  ``"bitexact"`` estimates (chi-square on the per-bit counts, both
+  tested against the same analytic law);
+* the packed fast path, the unpacked fast path and the bitexact path
+  all feed the same :class:`CountAccumulator` protocol (user tallies,
+  merge, estimation);
+* ``ShardedRunner`` stays reproducible per ``(seed, sampler)`` and its
+  sampler reaches every worker;
+* the bitexact pipeline output is byte-identical to the pre-kernel
+  code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro import IDUE, OptimizedUnaryEncoding, SymmetricUnaryEncoding
+from repro.datasets import paper_default_spec, true_counts_from_items, zipf_items
+from repro.kernels import BITEXACT, FAST, SamplerConfig
+from repro.pipeline import CountAccumulator, ShardedRunner, stream_counts
+
+N, M = 12_000, 96
+
+
+@pytest.fixture(scope="module")
+def workload():
+    items = zipf_items(N, M, rng=0)
+    truth = true_counts_from_items(items, M)
+    return OptimizedUnaryEncoding(1.2, M), items, truth
+
+
+def _per_bit_probabilities(mechanism, truth):
+    """Analytic P(y_k = 1) for the workload: mixture of a- and b-laws."""
+    fractions = truth / truth.sum()
+    return fractions * mechanism.a + (1.0 - fractions) * mechanism.b
+
+
+class TestFastMatchesBitexactDistribution:
+    def test_chi_square_both_samplers_fit_the_same_law(self, workload):
+        """The acceptance check: per-bit counts from both samplers are
+        Binomial(n, p_k) for the *same* analytic p_k; chi-square accepts
+        both at the same confidence."""
+        mechanism, items, truth = workload
+        probabilities = _per_bit_probabilities(mechanism, truth)
+        expected = N * probabilities
+        variance = expected * (1.0 - probabilities)
+        for sampler, packed in ((BITEXACT, False), (FAST, True)):
+            accumulator = stream_counts(
+                mechanism,
+                items,
+                chunk_size=1024,
+                rng=sampler.make_generator(42),
+                packed=packed,
+                sampler=sampler,
+            )
+            statistic = float(
+                (((accumulator.counts() - expected) ** 2) / variance).sum()
+            )
+            p_value = stats.chi2.sf(statistic, df=M)
+            assert p_value > 1e-6, f"{sampler.exactness} failed goodness of fit"
+
+    def test_two_sample_counts_are_homogeneous(self, workload):
+        """Direct fast-vs-bitexact comparison: per-bit 2x2 homogeneity,
+        aggregated as a chi-square over bits."""
+        mechanism, items, _ = workload
+        fast = stream_counts(
+            mechanism, items, rng=FAST.make_generator(1), packed=True, sampler=FAST
+        ).counts()
+        exact = stream_counts(
+            mechanism, items, rng=BITEXACT.make_generator(2), sampler=BITEXACT
+        ).counts()
+        pooled = (fast + exact) / (2.0 * N)
+        variance = 2.0 * N * pooled * (1.0 - pooled)
+        statistic = float((((fast - exact) ** 2) / variance).sum())
+        assert stats.chi2.sf(statistic, df=M) > 1e-6
+
+    def test_estimates_agree_with_truth_at_same_scale(self, workload):
+        mechanism, items, truth = workload
+        mse = {}
+        for name, sampler in (("bitexact", BITEXACT), ("fast", FAST)):
+            accumulator = stream_counts(
+                mechanism,
+                items,
+                rng=sampler.make_generator(5),
+                packed=sampler.is_packed,
+                sampler=sampler,
+            )
+            mse[name] = float(np.mean((accumulator.estimate(mechanism) - truth) ** 2))
+        # Same estimator, same law: MSEs agree within statistical noise.
+        assert 0.5 < mse["fast"] / mse["bitexact"] < 2.0
+
+    def test_idue_fast_matches_analytic_law(self):
+        """Non-uniform per-bit parameters through the per-column kernel."""
+        spec = paper_default_spec(2.0, 60, rng=0)
+        mechanism = IDUE.optimized(spec, model="opt0")
+        items = zipf_items(8_000, 60, rng=1)
+        truth = true_counts_from_items(items, 60)
+        probabilities = _per_bit_probabilities(mechanism, truth)
+        counts = stream_counts(
+            mechanism, items, rng=FAST.make_generator(3), packed=True, sampler=FAST
+        ).counts()
+        expected = 8_000 * probabilities
+        variance = expected * (1.0 - probabilities)
+        statistic = float((((counts - expected) ** 2) / variance).sum())
+        assert stats.chi2.sf(statistic, df=60) > 1e-6
+
+
+class TestSamplerPlumbing:
+    def test_packed_and_unpacked_fast_agree_on_protocol(self, workload):
+        mechanism, items, _ = workload
+        packed = stream_counts(
+            mechanism, items, rng=FAST.make_generator(9), packed=True, sampler="fast"
+        )
+        unpacked = stream_counts(
+            mechanism, items, rng=FAST.make_generator(9), packed=False, sampler="fast"
+        )
+        assert packed.n == unpacked.n == N
+        # Same generator, same kernel draws: the packed round trip must
+        # not change the counts.
+        assert np.array_equal(packed.counts(), unpacked.counts())
+
+    def test_bitexact_pipeline_is_frozen(self, workload):
+        """sampler=None output equals a one-shot perturb_many (the
+        pre-kernel contract) for the same generator state."""
+        mechanism, items, _ = workload
+        streamed = stream_counts(
+            mechanism, items, chunk_size=N, rng=np.random.default_rng(11)
+        )
+        direct = mechanism.perturb_many(items, np.random.default_rng(11))
+        assert np.array_equal(streamed.counts(), direct.sum(axis=0))
+
+    def test_sharded_fast_reproducible_and_mergeable(self, workload):
+        mechanism, items, _ = workload
+        runner = ShardedRunner(
+            mechanism, num_shards=3, chunk_size=1024, packed=True, sampler="fast"
+        )
+        first = runner.run(items, seed=21)
+        second = runner.run(items, seed=21)
+        assert np.array_equal(first.counts(), second.counts())
+        assert first.n == N
+        different = runner.run(items, seed=22)
+        assert not np.array_equal(first.counts(), different.counts())
+
+    def test_sharded_sampler_repr_and_resolution(self, workload):
+        mechanism, _, _ = workload
+        runner = ShardedRunner(mechanism, sampler="fast")
+        assert runner.sampler is FAST
+        assert "fast" in repr(runner)
+        assert ShardedRunner(mechanism).sampler is BITEXACT
+
+    def test_float32_sampler_through_engine(self, workload):
+        mechanism, items, truth = workload
+        sampler = SamplerConfig(dtype="float32", exactness="fast")
+        accumulator = stream_counts(
+            mechanism, items, rng=np.random.default_rng(13), sampler=sampler
+        )
+        assert accumulator.n == N
+        mse = float(np.mean((accumulator.estimate(mechanism) - truth) ** 2))
+        bitexact = stream_counts(
+            mechanism, items, rng=np.random.default_rng(13), sampler=None
+        )
+        reference = float(np.mean((bitexact.estimate(mechanism) - truth) ** 2))
+        assert 0.5 < mse / reference < 2.0
+
+    def test_fast_packed_feeds_accumulator_validation(self, workload):
+        """Kernel chunks satisfy the accumulator's wire-format checks
+        (width, dtype, zero pad bits) for a non-multiple-of-8 domain."""
+        mechanism = SymmetricUnaryEncoding(1.0, 13)
+        items = zipf_items(500, 13, rng=0)
+        accumulator = CountAccumulator(13)
+        counts = stream_counts(
+            mechanism,
+            items,
+            rng=FAST.make_generator(0),
+            packed=True,
+            sampler="fast",
+            accumulator=accumulator,
+        )
+        assert counts is accumulator
+        assert accumulator.n == 500
+
+    def test_idueps_fast_packed_extended_domain(self):
+        """Item-set input: Algorithm 3 through the packed kernel."""
+        from repro import IDUEPS
+        from repro.datasets import kosarak_like
+
+        data = kosarak_like(n=1_000, m=40, rng=0)
+        mechanism = IDUEPS.oue_ps(1.0, m=40, ell=3)
+        accumulator = stream_counts(
+            mechanism, data, rng=FAST.make_generator(1), packed=True, sampler="fast"
+        )
+        assert accumulator.n == 1_000
+        assert accumulator.m == 43  # extended domain m + ell
+        assert accumulator.counts().sum() > 0
+
+    def test_invalid_sampler_name_rejected(self, workload):
+        mechanism, items, _ = workload
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            stream_counts(mechanism, items, sampler="approximate")

@@ -98,3 +98,47 @@ class TestPipelineCLI:
         )
         out = capsys.readouterr().out
         assert "mechanism=idue" in out and "packed=True" in out
+
+    def test_pipeline_fast_sampler(self, capsys):
+        """--sampler fast streams through the packed bit-plane kernel."""
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--n", "2000",
+                    "--m", "40",
+                    "--sampler", "fast",
+                    "--packed",
+                    "--shards", "2",
+                    "--chunk-size", "256",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sampler=fast" in out
+        assert "streamed-exact" in out and "MSE vs truth" in out
+
+    def test_pipeline_topk(self, capsys):
+        """--topk runs heavy-hitter identification on streamed estimates."""
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--n", "3000",
+                    "--m", "50",
+                    "--sampler", "fast",
+                    "--topk", "5",
+                    "--shards", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "top-5 heavy hitters" in out
+        assert "precision=" in out and "ncr=" in out
+        assert "estimated:" in out and "true:" in out
+
+    def test_pipeline_rejects_unknown_sampler(self):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "--n", "100", "--m", "10", "--sampler", "sloppy"])
