@@ -5,17 +5,22 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test check bench bench-pipeline bench-json
+.PHONY: test check bench bench-pipeline bench-collect bench-json
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
 
-# Tier-1 gate plus a smoke run of the packed fast-sampler pipeline on a
-# tiny domain, so the packed path cannot silently break.
+# Tier-1 gate plus smoke runs of (a) the packed fast-sampler pipeline and
+# (b) the durable-collection path — spill to a throwaway ShardStore,
+# out-of-core replay + digest audit, then a localhost socket round-trip
+# through the asyncio Collector — so neither can silently break.
 check: test
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
 		--n 2000 --m 64 --shards 2 --chunk-size 256 \
 		--sampler fast --packed --topk 3
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
+		--n 1000 --m 48 --shards 2 --chunk-size 128 \
+		--sampler fast --packed --collect --spill-dir $$(mktemp -d)/round
 
 # The benchmark suite uses bench_* naming so default collection skips it.
 bench:
@@ -25,6 +30,13 @@ bench:
 bench-pipeline:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_pipeline.py -q \
 		-o python_files='bench_*.py' -o python_functions='bench_*'
+
+# Durable-collection throughput (spill / replay / socket ingest), with a
+# machine-readable record under benchmarks/results/BENCH_collect.json.
+bench-collect:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_collect.py -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*' \
+		--json benchmarks/results/BENCH_collect.json
 
 # Machine-readable perf trajectory: BENCH_*.json under benchmarks/results/.
 bench-json:

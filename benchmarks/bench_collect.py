@@ -1,0 +1,147 @@
+"""Durable-collection throughput: spill, replay, and socket ingest.
+
+The collection subsystem's costs on top of the streaming pipeline:
+
+* **spill** — streaming a round while writing every packed chunk to a
+  :class:`~repro.pipeline.ShardStore` as wire frames (the durable path);
+* **replay** — re-aggregating the round out of core from the spilled
+  frames (the audit path);
+* **socket ingest** — pushing the spilled chunk frames through an
+  asyncio :class:`~repro.pipeline.Collector` over a localhost socket
+  (the cross-machine path).
+
+Rates are reported in Mbit/s of *wire payload* (spilled frame bytes), so
+the numbers compare directly against the sampler throughput benchmarks:
+the wire format is 8x denser than one byte per report bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+
+import pytest
+
+from repro import OptimizedUnaryEncoding
+from repro.datasets import zipf_items
+from repro.kernels import FAST
+from repro.pipeline import Collector, ShardStore, send_frames, stream_counts
+from repro.pipeline.collect import wire
+
+N_USERS = 40_000
+DOMAIN = 2_000
+CHUNK = 2_048
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return OptimizedUnaryEncoding(1.5, DOMAIN), zipf_items(N_USERS, DOMAIN, rng=0)
+
+
+@pytest.fixture()
+def spill_root():
+    root = tempfile.mkdtemp(prefix="bench_collect_")
+    yield root
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def _spill_round(mechanism, items, root) -> ShardStore:
+    store = ShardStore(root)
+    with store.writer(0, DOMAIN) as writer:
+        accumulator = stream_counts(
+            mechanism,
+            items,
+            chunk_size=CHUNK,
+            rng=FAST.make_generator(1),
+            packed=True,
+            sampler=FAST,
+            chunk_sink=writer.write,
+        )
+    store.write_snapshot(0, accumulator)
+    return store
+
+
+def bench_collect_spill(benchmark, workload, spill_root, record_result, record_json):
+    """Fast-sampler streaming with every chunk spilled as wire frames."""
+    mechanism, items = workload
+    store = benchmark(_spill_round, mechanism, items, spill_root)
+    secs = benchmark.stats["mean"]
+    wire_bits = 8 * store.spilled_bytes()
+    record_json(
+        "collect_spill",
+        n=N_USERS,
+        m=DOMAIN,
+        secs=secs,
+        bits_per_sec=wire_bits / secs,
+        spilled_bytes=store.spilled_bytes(),
+    )
+    record_result(
+        "collect_spill",
+        f"spill (stream + wire frames to disk): n={N_USERS}, m={DOMAIN}\n"
+        f"mean {secs * 1e3:.1f}ms -> {wire_bits / secs / 1e6:,.0f} Mbit/s wire "
+        f"({store.spilled_bytes() / 2**20:.1f} MiB spilled)",
+    )
+
+
+def bench_collect_replay(benchmark, workload, spill_root, record_result, record_json):
+    """Out-of-core re-aggregation of a spilled round (the audit path)."""
+    mechanism, items = workload
+    store = _spill_round(mechanism, items, spill_root)
+    replayed = benchmark(store.replay)
+    secs = benchmark.stats["mean"]
+    wire_bits = 8 * store.spilled_bytes()
+    record_json(
+        "collect_replay",
+        n=N_USERS,
+        m=DOMAIN,
+        secs=secs,
+        bits_per_sec=wire_bits / secs,
+    )
+    record_result(
+        "collect_replay",
+        f"replay (decode + popcount from disk): n={N_USERS}, m={DOMAIN}\n"
+        f"mean {secs * 1e3:.1f}ms -> {wire_bits / secs / 1e6:,.0f} Mbit/s wire",
+    )
+    assert replayed.digest() == store.load_snapshot(0).digest()
+
+
+def bench_collect_socket_ingest(
+    benchmark, workload, spill_root, record_result, record_json
+):
+    """Localhost socket feed: spilled chunk frames through a Collector."""
+    mechanism, items = workload
+    store = _spill_round(mechanism, items, spill_root)
+    with open(store.chunk_path(0), "rb") as handle:
+        frames = [wire.dumps(chunk) for chunk in wire.iter_frames(handle)]
+
+    async def ingest_once() -> Collector:
+        collector = Collector(DOMAIN)
+        host, port = await collector.serve()
+        try:
+            await send_frames(host, port, frames)
+        finally:
+            await collector.close()
+        return collector
+
+    def run() -> Collector:
+        return asyncio.run(ingest_once())
+
+    collector = benchmark(run)
+    secs = benchmark.stats["mean"]
+    wire_bits = 8 * sum(len(frame) for frame in frames)
+    record_json(
+        "collect_socket_ingest",
+        n=N_USERS,
+        m=DOMAIN,
+        secs=secs,
+        bits_per_sec=wire_bits / secs,
+        frames=len(frames),
+    )
+    record_result(
+        "collect_socket_ingest",
+        f"socket ingest (localhost, {len(frames)} chunk frames): "
+        f"n={N_USERS}, m={DOMAIN}\n"
+        f"mean {secs * 1e3:.1f}ms -> {wire_bits / secs / 1e6:,.0f} Mbit/s wire",
+    )
+    assert collector.accumulator.digest() == store.load_snapshot(0).digest()

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli fig5b [--quick]      # MSNBC
     python -m repro.cli pipeline [--n N] [--m M] [--shards K] [--chunk-size C]
                                  [--sampler fast|bitexact] [--topk K]
+                                 [--spill-dir DIR] [--collect]
 
 ``--quick`` runs scaled-down workloads (seconds instead of minutes); the
 default uses the paper-scale presets.  ``pipeline`` streams the exact
@@ -18,7 +19,12 @@ per-user protocol through :mod:`repro.pipeline` and reports throughput
 against the binomial-shortcut baseline; ``--sampler fast`` switches the
 perturbation onto the packed bit-plane kernel of :mod:`repro.kernels`
 (distributional contract, 4-10x faster), and ``--topk K`` runs
-heavy-hitter identification on the streamed estimates.
+heavy-hitter identification on the streamed estimates.  ``--spill-dir``
+makes every shard spill its packed report chunks to a durable
+:class:`~repro.pipeline.ShardStore` and audits the round (out-of-core
+replay vs. snapshot digests); ``--collect`` round-trips the shard
+snapshots through an asyncio :class:`~repro.pipeline.Collector` over a
+localhost socket and verifies the merged state digest-for-digest.
 """
 
 from __future__ import annotations
@@ -89,6 +95,79 @@ def _run_compare(args) -> None:
     print(f"\nbest by theory: {result['best']}")
 
 
+def _audit_spill(spill_dir: str, accumulator) -> None:
+    """Replay the spilled round out of core and verify digests."""
+    import time
+
+    from .pipeline import ShardStore
+
+    store = ShardStore(spill_dir)
+    start = time.perf_counter()
+    replayed, audit = store.replay_and_audit()  # one decode pass for both
+    replay_elapsed = time.perf_counter() - start
+    matched = sum(1 for entry in audit.values() if entry["match"])
+    spilled = store.spilled_bytes()
+    rate = 8 * spilled / replay_elapsed / 1e6 if replay_elapsed else float("inf")
+    print(
+        f"spill audit: {matched}/{len(audit)} shard digests match "
+        f"({spilled / 2**20:,.1f} MiB spilled, replay {replay_elapsed:.2f}s, "
+        f"{rate:,.0f} Mbit/s)"
+    )
+    if replayed.digest() != accumulator.digest():
+        raise SystemExit(
+            "spill audit FAILED: replayed round digest does not match the "
+            "live accumulator"
+        )
+    if matched != len(audit):
+        bad = [shard for shard, entry in audit.items() if not entry["match"]]
+        raise SystemExit(f"spill audit FAILED for shards {bad}")
+
+
+def _collect_over_socket(args, accumulator) -> None:
+    """Round-trip shard snapshots through a localhost asyncio Collector.
+
+    With a spill dir the per-shard snapshot frames feed the collector
+    (the real multi-producer shape); otherwise the merged snapshot
+    itself makes the trip.  Either way the collector's state must come
+    back digest-identical to the in-memory accumulator.
+    """
+    import asyncio
+
+    from .pipeline import Collector, ShardStore, send_frames
+    from .pipeline.collect import wire
+
+    if args.spill_dir is not None:
+        store = ShardStore(args.spill_dir)
+        frames = [
+            wire.dumps(store.load_snapshot(shard_id))
+            for shard_id in store.shard_ids()
+        ]
+    else:
+        frames = [wire.dumps(accumulator)]
+
+    async def _round_trip() -> int:
+        collector = Collector(accumulator.m, round_id=accumulator.round_id)
+        host, port = await collector.serve()
+        try:
+            acked = 0
+            for frame in frames:  # one connection per producer
+                acked += await send_frames(host, port, [frame])
+        finally:
+            await collector.close()
+        if collector.accumulator.digest() != accumulator.digest():
+            raise SystemExit(
+                "socket collection FAILED: collector state does not match "
+                "the in-memory accumulator"
+            )
+        return acked
+
+    acked = asyncio.run(_round_trip())
+    print(
+        f"socket collect: {acked} snapshot frame(s) ingested over localhost, "
+        "merged state digest-identical to the in-memory round"
+    )
+
+
 def _run_pipeline(args) -> None:
     """Stream the exact per-user path over a synthetic Zipf workload."""
     import time
@@ -123,9 +202,14 @@ def _run_pipeline(args) -> None:
         f"sampler={args.sampler}"
     )
     start = time.perf_counter()
-    accumulator = runner.run(items, seed=args.seed)
+    accumulator = runner.run(items, seed=args.seed, spill_dir=args.spill_dir)
     streamed_elapsed = time.perf_counter() - start
     estimates = accumulator.estimate(mechanism)
+
+    if args.spill_dir is not None:
+        _audit_spill(args.spill_dir, accumulator)
+    if args.collect:
+        _collect_over_socket(args, accumulator)
 
     start = time.perf_counter()
     fast_counts = simulate_counts_from_true(
@@ -248,6 +332,21 @@ def main(argv: list[str] | None = None) -> int:
         metavar="K",
         help="pipeline: also identify the top-K heavy hitters from the "
         "streamed estimates and score them against the true counts",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="pipeline: spill packed report chunks + shard snapshots to DIR "
+        "(wire-format ShardStore), then audit the round by out-of-core "
+        "replay against the snapshot digests",
+    )
+    parser.add_argument(
+        "--collect",
+        action="store_true",
+        help="pipeline: round-trip shard snapshots through an asyncio "
+        "Collector on a localhost socket and verify the merged state is "
+        "digest-identical to the in-memory round",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="pipeline: root seed for shard RNGs"

@@ -41,6 +41,52 @@ class RoundEstimate:
     estimates: np.ndarray
     noise_variance: np.ndarray
 
+    def to_dict(self) -> dict:
+        """JSON-compatible form for shipping a round between machines.
+
+        A remote collector that has already calibrated its round sends
+        this instead of raw counts: the receiver needs no knowledge of
+        the remote mechanism to run :func:`merge_round_estimates`.
+        """
+        return {
+            "type": "RoundEstimate",
+            "version": 1,
+            "estimates": np.asarray(self.estimates, dtype=float).tolist(),
+            "noise_variance": np.asarray(self.noise_variance, dtype=float).tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundEstimate":
+        """Inverse of :meth:`to_dict`."""
+        if not isinstance(payload, dict) or payload.get("type") != "RoundEstimate":
+            raise ValidationError(f"not a serialized RoundEstimate: {payload!r}")
+        if payload.get("version") != 1:
+            raise ValidationError(
+                f"unsupported RoundEstimate version {payload.get('version')!r}; "
+                "this reader supports version 1"
+            )
+        if "estimates" not in payload or "noise_variance" not in payload:
+            raise ValidationError(
+                "serialized RoundEstimate is missing 'estimates' or "
+                "'noise_variance'"
+            )
+        try:
+            estimates = np.asarray(payload["estimates"], dtype=float)
+            noise = np.asarray(payload["noise_variance"], dtype=float)
+        except (ValueError, TypeError) as exc:
+            # Ragged or non-numeric lists from a remote sender must be
+            # refused like every other malformed payload, not crash the
+            # receiving merger with a bare numpy error.
+            raise ValidationError(
+                f"serialized RoundEstimate holds non-numeric data: {exc}"
+            ) from exc
+        if estimates.ndim != 1 or estimates.shape != noise.shape:
+            raise ValidationError(
+                "estimates and noise_variance must be 1-D and the same "
+                f"length, got {estimates.shape} and {noise.shape}"
+            )
+        return cls(estimates=estimates, noise_variance=noise)
+
     @classmethod
     def from_counts(cls, estimator: FrequencyEstimator, counts) -> "RoundEstimate":
         """Build from a round's aggregated counts and its estimator."""

@@ -76,6 +76,17 @@ class DatasetError(ReproError):
     """A dataset file or generator specification is invalid."""
 
 
+class WireFormatError(ReproError):
+    """A serialized pipeline frame cannot be decoded.
+
+    Raised by :mod:`repro.pipeline.collect.wire` on wrong magic, an
+    unsupported format version, a truncated frame, or a checksum
+    mismatch.  The message always says *which* of those it was, and for
+    version errors names both the found and the supported version, so a
+    collector log pinpoints producer/consumer skew immediately.
+    """
+
+
 class EstimationError(ReproError):
     """Frequency estimation cannot proceed.
 

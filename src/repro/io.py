@@ -9,6 +9,12 @@ executable, safe to ship to clients.
 Supported objects: :class:`~repro.core.budgets.BudgetSpec`, the uniform
 unary mechanisms (SUE / OUE / UE), :class:`~repro.mechanisms.idue.IDUE`
 and :class:`~repro.mechanisms.idue_ps.IDUEPS`.
+
+Collector-side state (:class:`~repro.pipeline.CountAccumulator`) uses
+the binary wire format of :mod:`repro.pipeline.collect.wire` instead of
+JSON — counts are bulk numeric payload, and the wire frames carry the
+version + CRC checks a collector needs; :func:`save_accumulator` /
+:func:`load_accumulator` are the file-level entry points.
 """
 
 from __future__ import annotations
@@ -36,6 +42,8 @@ __all__ = [
     "mechanism_from_dict",
     "save_mechanism",
     "load_mechanism",
+    "save_accumulator",
+    "load_accumulator",
 ]
 
 _FORMAT_VERSION = 1
@@ -168,3 +176,42 @@ def load_mechanism(path: str):
         except json.JSONDecodeError as exc:
             raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
     return mechanism_from_dict(payload)
+
+
+def save_accumulator(accumulator, path: str) -> None:
+    """Write accumulator state as one wire-format snapshot frame.
+
+    Creates parent directories like :func:`save_mechanism`; the file is
+    a single frame, so :func:`load_accumulator`, a spill-file reader, or
+    a socket producer can all consume it unchanged.
+    """
+    from .pipeline.collect import wire
+
+    frame = wire.dump_snapshot(accumulator)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(frame)
+
+
+def load_accumulator(path: str):
+    """Read a snapshot frame written by :func:`save_accumulator`.
+
+    Raises :class:`~repro.exceptions.WireFormatError` on corrupted,
+    truncated, wrong-magic, or wrong-version input, and
+    :class:`ValidationError` if the file holds a chunk frame instead of
+    a snapshot.
+    """
+    from .pipeline.accumulator import CountAccumulator
+    from .pipeline.collect import wire
+
+    if not os.path.exists(path):
+        raise ValidationError(f"accumulator file not found: {path}")
+    with open(path, "rb") as handle:
+        obj = wire.loads(handle.read())
+    if not isinstance(obj, CountAccumulator):
+        raise ValidationError(
+            f"{path} holds a {type(obj).__name__} frame, not an "
+            "accumulator snapshot"
+        )
+    return obj

@@ -13,6 +13,11 @@ in bounded memory:
   exact integer addition, PrivCount-style.
 * :mod:`.sharded` — :class:`ShardedRunner`, a multi-process driver that
   fans user shards across workers and merges their accumulators.
+* :mod:`.collect` — the durable/distributed collection layer: the
+  versioned checksummed wire format for snapshots and packed chunks,
+  :class:`ShardStore` disk spill with out-of-core replay and digest
+  audit, and the asyncio :class:`Collector` ingesting frames from
+  concurrent producers (queue or socket feed).
 
 All three accept a sampler selection (``"bitexact"`` | ``"fast"`` | a
 :class:`repro.kernels.SamplerConfig`): the fast packed-word kernel
@@ -34,6 +39,7 @@ models differ.
 """
 
 from .accumulator import CountAccumulator
+from .collect import Collector, PackedChunk, ShardStore, send_frames
 from .engine import iter_report_chunks, report_width, stream_counts
 from .sharded import ShardedRunner, shard_bounds
 
@@ -44,4 +50,8 @@ __all__ = [
     "stream_counts",
     "ShardedRunner",
     "shard_bounds",
+    "Collector",
+    "send_frames",
+    "ShardStore",
+    "PackedChunk",
 ]

@@ -16,6 +16,9 @@ holding the ``n x m`` report matrix.
 
 from __future__ import annotations
 
+import hashlib
+import struct
+
 import numpy as np
 
 from .._validation import check_positive_int
@@ -60,6 +63,53 @@ class CountAccumulator:
     def counts(self) -> np.ndarray:
         """Copy of the per-bit 1-counts accumulated so far."""
         return self._counts.copy()
+
+    @classmethod
+    def from_state(
+        cls, m: int, counts, n: int, *, round_id: int = 0
+    ) -> "CountAccumulator":
+        """Rebuild an accumulator from externally supplied state.
+
+        The deserialization entry point (wire snapshots, audit replay):
+        *counts* must be a length-``m`` non-negative integer vector with
+        no entry exceeding *n* — every ingestion path (unary reports,
+        packed reports, categorical histograms) preserves that invariant,
+        so state violating it cannot have come from a real round.
+        """
+        acc = cls(m, round_id=round_id)
+        counts = np.asarray(counts)
+        if counts.shape != (acc.m,):
+            raise ValidationError(
+                f"counts must have shape ({acc.m},), got {counts.shape}"
+            )
+        if not np.issubdtype(counts.dtype, np.integer):
+            raise ValidationError(f"counts must be integers, got dtype {counts.dtype}")
+        n = int(n)
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        if counts.size and (counts.min() < 0 or counts.max() > n):
+            raise ValidationError(
+                f"counts must lie in [0, n={n}]; got range "
+                f"[{counts.min()}, {counts.max()}]"
+            )
+        acc._counts = counts.astype(np.int64)
+        acc._n = n
+        return acc
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical state.
+
+        Two accumulators have equal digests iff ``(m, round_id, n,
+        counts)`` are identical, so spill→replay audits and cross-machine
+        transfers can compare a 64-character string instead of shipping
+        the counts back.  The canonical form is fixed (little-endian
+        header + little-endian ``int64`` counts) and independent of the
+        wire-format version.
+        """
+        state = hashlib.sha256()
+        state.update(struct.pack("<QqQ", self.m, self.round_id, self._n))
+        state.update(np.ascontiguousarray(self._counts, dtype="<i8").tobytes())
+        return state.hexdigest()
 
     # ------------------------------------------------------------------
     # Ingestion

@@ -1,0 +1,58 @@
+"""Durable collection: wire format, disk-backed shards, async ingestion.
+
+The three pieces a distributed deployment of the pipeline needs between
+"devices perturb" and "collector estimates":
+
+* :mod:`.wire` — the versioned, CRC-checksummed binary frame format for
+  :class:`~repro.pipeline.accumulator.CountAccumulator` snapshots and
+  packed report chunks (``dumps``/``loads`` plus file/stream IO).  See
+  ``docs/wire_format.md`` for the byte layout and versioning rules.
+* :mod:`.store` — :class:`ShardStore`, append-only per-shard spill files
+  of chunk frames with out-of-core replay and digest-based audit.
+* :mod:`.collector` — :class:`Collector`, an asyncio endpoint merging
+  frames from concurrent producers (queue or localhost socket feed)
+  into a live accumulator, with :func:`send_frames` as the client side.
+
+Everything round-trips bit-exactly: a round spilled and replayed, or
+shipped frame-by-frame through a collector socket, reproduces the
+in-memory :func:`~repro.pipeline.engine.stream_counts` state digest for
+digest.
+"""
+
+from .collector import Collector, send_frames
+from .store import ShardChunkWriter, ShardStore
+from .wire import (
+    HEADER_SIZE,
+    KIND_CHUNK,
+    KIND_SNAPSHOT,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    PackedChunk,
+    dump_chunk,
+    dump_snapshot,
+    dumps,
+    iter_frames,
+    loads,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "Collector",
+    "send_frames",
+    "ShardStore",
+    "ShardChunkWriter",
+    "PackedChunk",
+    "dumps",
+    "loads",
+    "dump_snapshot",
+    "dump_chunk",
+    "write_frame",
+    "read_frame",
+    "iter_frames",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "KIND_SNAPSHOT",
+    "KIND_CHUNK",
+    "HEADER_SIZE",
+]

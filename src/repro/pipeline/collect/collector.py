@@ -1,0 +1,247 @@
+"""Async ingestion: merge wire frames from concurrent producers live.
+
+The spill/replay path (:mod:`.store`) is batch; real deployments also
+need the *online* shape — many producers (devices, edge aggregators,
+other collectors) pushing serialized chunks and snapshots at one
+collector that keeps a live merged accumulator, PrivCount-style.
+:class:`Collector` is that endpoint:
+
+* :meth:`Collector.ingest` / :meth:`Collector.ingest_bytes` — absorb one
+  decoded object or raw frame synchronously (ingestion is pure CPU work
+  on one chunk; the *async* part is the transport).
+* :meth:`Collector.consume` — drain an ``asyncio.Queue`` of frames until
+  a ``None`` sentinel (in-process producers).
+* :meth:`Collector.serve` — a localhost/socket feed: every connection
+  streams frames back to back (the header's payload length delimits
+  them).  A connection is a *transaction*: its frames stage into an
+  ``O(m)`` side accumulator and merge into the round only when the
+  whole stream has validated, acknowledged with the merged-frame
+  count.  A stream that fails validation mid-way therefore contributes
+  *nothing* — resending it cannot double-count the frames before the
+  bad one.  The residual delivery guarantee is at-least-once, not
+  exactly-once: if the *ack itself* is lost after a successful merge
+  (connection reset in the ack window), a blind resend would count
+  twice — producers needing exactness must reconcile (digest check or
+  an idempotency protocol; see ROADMAP) before retrying a no-ack send.
+
+All ingestion funnels through one code path, so queue producers, socket
+producers, and direct calls interleave freely into the same round state;
+asyncio's single-threaded scheduling makes each merge atomic without
+locks.  :func:`send_frames` is the matching client helper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from ...exceptions import ValidationError, WireFormatError
+from ..accumulator import CountAccumulator
+from . import wire
+
+__all__ = ["Collector", "send_frames"]
+
+
+class Collector:
+    """Live merged state for one collection round, fed asynchronously.
+
+    Parameters
+    ----------
+    m:
+        Report width in bits; every ingested frame must agree.
+    round_id:
+        Round tag; snapshots and chunks from other rounds are refused
+        (cross-round combination is an estimation-level merge, not a
+        count-level one).
+    """
+
+    def __init__(self, m: int, *, round_id: int = 0) -> None:
+        self.accumulator = CountAccumulator(m, round_id=round_id)
+        self.frames_ingested = 0
+        self.bytes_ingested = 0
+        self.connections_failed = 0
+        self.last_connection_error: str | None = None
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion core (shared by every transport)
+    # ------------------------------------------------------------------
+    def _apply(self, obj, accumulator: CountAccumulator) -> None:
+        """Absorb one decoded object into *accumulator* (live or staging)."""
+        if isinstance(obj, CountAccumulator):
+            accumulator.merge(obj)
+        elif isinstance(obj, wire.PackedChunk):
+            if obj.m != accumulator.m:
+                raise ValidationError(
+                    f"cannot ingest width-{obj.m} chunk into width-"
+                    f"{accumulator.m} round"
+                )
+            if obj.round_id != accumulator.round_id:
+                raise ValidationError(
+                    f"cannot ingest round-{obj.round_id} chunk into round "
+                    f"{accumulator.round_id}"
+                )
+            accumulator.add_packed_reports(obj.rows)
+        else:
+            raise ValidationError(
+                f"cannot ingest {type(obj).__name__}; expected "
+                "CountAccumulator or PackedChunk"
+            )
+
+    def ingest(self, obj) -> None:
+        """Merge one decoded snapshot or packed chunk into the round."""
+        self._apply(obj, self.accumulator)
+        self.frames_ingested += 1
+
+    def ingest_bytes(self, frame: bytes) -> None:
+        """Decode one raw wire frame and merge it."""
+        self.ingest(wire.loads(frame))
+        self.bytes_ingested += len(frame)
+
+    # ------------------------------------------------------------------
+    # Queue feed
+    # ------------------------------------------------------------------
+    async def consume(self, queue: asyncio.Queue) -> int:
+        """Drain *queue* until a ``None`` sentinel; returns frames merged.
+
+        Items may be raw frame bytes or already-decoded objects
+        (:class:`CountAccumulator` / :class:`~.wire.PackedChunk`).
+        """
+        merged = 0
+        while (item := await queue.get()) is not None:
+            if isinstance(item, (bytes, bytearray, memoryview)):
+                self.ingest_bytes(bytes(item))
+            else:
+                self.ingest(item)
+            merged += 1
+            queue.task_done()
+        queue.task_done()
+        return merged
+
+    # ------------------------------------------------------------------
+    # Socket feed
+    # ------------------------------------------------------------------
+    async def _read_frame(self, reader: asyncio.StreamReader):
+        try:
+            head = await reader.readexactly(wire.HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF on a frame boundary
+            raise WireFormatError(
+                f"truncated frame: header needs {wire.HEADER_SIZE} bytes, "
+                f"got {len(exc.partial)}"
+            ) from exc
+        kind, m, n, round_id, length = wire._parse_header(head)
+        del kind, m, n, round_id  # validated again by loads on the full frame
+        try:
+            rest = await reader.readexactly(length + 4)
+        except asyncio.IncompleteReadError as exc:
+            raise WireFormatError(
+                f"truncated frame: payload needs {length + 4} bytes, "
+                f"got {len(exc.partial)}"
+            ) from exc
+        return head + rest
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # A connection is a transaction: frames accumulate into O(m)
+        # staging state and reach the live round only after the whole
+        # stream has validated.  A corrupt frame therefore discards the
+        # connection's *entire* contribution — the producer gets no ack,
+        # and retrying cannot double-count the frames that preceded the
+        # bad one.
+        staging = CountAccumulator(
+            self.accumulator.m, round_id=self.accumulator.round_id
+        )
+        staged_frames = 0
+        staged_bytes = 0
+        try:
+            try:
+                while (frame := await self._read_frame(reader)) is not None:
+                    self._apply(wire.loads(frame), staging)
+                    staged_frames += 1
+                    staged_bytes += len(frame)
+            except (WireFormatError, ValidationError) as exc:
+                # Drop the connection (and its staging) without an ack;
+                # the producer sees the hang-up and knows nothing from
+                # this stream was merged.  Recorded, not raised: one bad
+                # producer must not take the collector down.
+                self.connections_failed += 1
+                self.last_connection_error = str(exc)
+                return
+            self.accumulator.merge(staging)
+            self.frames_ingested += staged_frames
+            self.bytes_ingested += staged_bytes
+            # Acknowledge with the merged-frame count only now that the
+            # stream is in the round, so producers (and tests) are
+            # race-free: ack received == state merged, exactly once.
+            writer.write(struct.pack("<Q", staged_frames))
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Start accepting framed connections; returns ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the common test/localhost
+        setup); the bound address comes back so producers can connect.
+        """
+        if self._server is not None:
+            raise ValidationError("collector is already serving")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def close(self) -> None:
+        """Stop accepting connections (already-merged state stays)."""
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+
+
+async def send_frames(host: str, port: int, frames) -> int:
+    """Producer side: stream frames to a serving collector.
+
+    *frames* is an iterable of ``bytes`` (already wire-encoded) or
+    encodable objects (:class:`CountAccumulator` /
+    :class:`~.wire.PackedChunk`).  Blocks until the collector
+    acknowledges, and returns the number of frames it reports merged
+    from this connection — on return the producer's state is in the
+    round, not merely in a socket buffer.  On a no-ack error the stream
+    was *almost certainly* not merged (the collector discards failed
+    streams whole), with one exception: an ack lost in flight after a
+    successful merge.  Treat a no-ack retry as at-least-once delivery
+    and reconcile by digest where exactness matters.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for frame in frames:
+            if not isinstance(frame, (bytes, bytearray, memoryview)):
+                frame = wire.dumps(frame)
+            writer.write(bytes(frame))
+        await writer.drain()
+        writer.write_eof()
+        try:
+            ack = await reader.readexactly(8)
+        except asyncio.IncompleteReadError as exc:
+            raise WireFormatError(
+                "collector hung up without acknowledging the stream"
+            ) from exc
+        return struct.unpack("<Q", ack)[0]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

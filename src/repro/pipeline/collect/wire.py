@@ -1,0 +1,271 @@
+"""Versioned, checksummed binary wire format for collection state.
+
+Everything a distributed deployment ships between machines — packed
+report chunks on their way to a collector, accumulator snapshots on
+their way to a merger — travels as a *frame*:
+
+``[ header 40 B ][ payload ][ payload CRC32 4 B ]``
+
+with a fixed little-endian header::
+
+    offset  size  field
+    0       4     magic  = b"IDLP"
+    4       2     format version (currently 1)
+    6       2     kind: 1 = accumulator snapshot, 2 = packed chunk
+    8       8     m         report width in bits
+    16      8     n         users absorbed (snapshot) / rows (chunk)
+    24      8     round_id  signed collection-round tag
+    32      4     payload length in bytes
+    36      4     CRC32 of header bytes [0, 36)
+
+The first 8 bytes (magic + version) are layout-invariant across all
+future versions, so any reader can always classify a frame before
+parsing the rest.  Snapshot payloads are the ``m`` little-endian
+``int64`` counts; chunk payloads are ``n`` rows of ``ceil(m / 8)``
+``np.packbits`` bytes.  Headers are self-delimiting (the payload length
+is inside the checksummed region), so frames concatenate freely into
+spill files and socket streams with no outer framing.
+
+Decoding is loud on every failure mode a transport can produce: wrong
+magic, unsupported version (the message names found and supported
+versions), truncation mid-header or mid-payload, and CRC mismatch on
+either region — all as :class:`~repro.exceptions.WireFormatError`.
+No pickle anywhere: frames are safe to accept from untrusted producers.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import ValidationError, WireFormatError
+from ...kernels import packed_width
+from ..accumulator import CountAccumulator
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "KIND_SNAPSHOT",
+    "KIND_CHUNK",
+    "HEADER_SIZE",
+    "PackedChunk",
+    "dump_snapshot",
+    "dump_chunk",
+    "dumps",
+    "loads",
+    "write_frame",
+    "read_frame",
+    "iter_frames",
+]
+
+WIRE_MAGIC = b"IDLP"
+WIRE_VERSION = 1
+KIND_SNAPSHOT = 1
+KIND_CHUNK = 2
+
+_HEADER = struct.Struct("<4sHHQQqI")
+_CRC = struct.Struct("<I")
+HEADER_SIZE = _HEADER.size + _CRC.size  # 40 bytes
+_KIND_NAMES = {KIND_SNAPSHOT: "snapshot", KIND_CHUNK: "chunk"}
+
+
+@dataclass(frozen=True)
+class PackedChunk:
+    """One wire-format chunk of packed unary reports.
+
+    ``rows`` is the ``k x ceil(m / 8)`` ``uint8`` matrix exactly as
+    :meth:`~repro.pipeline.accumulator.CountAccumulator.add_packed_reports`
+    consumes it; ``m`` and ``round_id`` carry the producer's claimed
+    width and round so the consumer can refuse mismatched state *before*
+    touching the payload.
+    """
+
+    m: int
+    round_id: int
+    rows: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of user reports (rows) in this chunk."""
+        return int(self.rows.shape[0])
+
+
+def _check_chunk_rows(rows, m: int) -> np.ndarray:
+    rows = np.ascontiguousarray(rows)
+    width = packed_width(m)
+    if rows.ndim != 2 or rows.shape[1] != width:
+        raise ValidationError(
+            f"packed chunk rows must have shape (k, {width}) for m={m}, "
+            f"got {rows.shape}"
+        )
+    if rows.dtype != np.uint8:
+        raise ValidationError(f"packed chunk rows must be uint8, got {rows.dtype}")
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _frame(kind: int, m: int, n: int, round_id: int, payload: bytes) -> bytes:
+    head = _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, kind, m, n, round_id, len(payload))
+    return b"".join(
+        (
+            head,
+            _CRC.pack(zlib.crc32(head)),
+            payload,
+            _CRC.pack(zlib.crc32(payload)),
+        )
+    )
+
+
+def dump_snapshot(accumulator: CountAccumulator) -> bytes:
+    """Serialize one accumulator's full state as a snapshot frame."""
+    if not isinstance(accumulator, CountAccumulator):
+        raise ValidationError(
+            f"expected a CountAccumulator, got {type(accumulator).__name__}"
+        )
+    payload = np.ascontiguousarray(accumulator.counts(), dtype="<i8").tobytes()
+    return _frame(
+        KIND_SNAPSHOT, accumulator.m, accumulator.n, accumulator.round_id, payload
+    )
+
+
+def dump_chunk(rows, m: int, *, round_id: int = 0) -> bytes:
+    """Serialize a ``k x ceil(m/8)`` packed report matrix as a chunk frame."""
+    rows = _check_chunk_rows(rows, m)
+    return _frame(KIND_CHUNK, m, rows.shape[0], int(round_id), rows.tobytes())
+
+
+def dumps(obj) -> bytes:
+    """Serialize a :class:`CountAccumulator` or :class:`PackedChunk`."""
+    if isinstance(obj, CountAccumulator):
+        return dump_snapshot(obj)
+    if isinstance(obj, PackedChunk):
+        return dump_chunk(obj.rows, obj.m, round_id=obj.round_id)
+    raise ValidationError(
+        f"cannot serialize {type(obj).__name__}; expected CountAccumulator "
+        "or PackedChunk"
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def _parse_header(head: bytes) -> tuple[int, int, int, int, int]:
+    """Validate a 40-byte header; returns ``(kind, m, n, round_id, length)``."""
+    if len(head) < HEADER_SIZE:
+        raise WireFormatError(
+            f"truncated frame: header needs {HEADER_SIZE} bytes, got {len(head)}"
+        )
+    magic, version = head[:4], int.from_bytes(head[4:6], "little")
+    if magic != WIRE_MAGIC:
+        raise WireFormatError(
+            f"bad magic {magic!r}: not a wire-format frame "
+            f"(expected {WIRE_MAGIC!r})"
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire-format version {version}; this reader "
+            f"supports version {WIRE_VERSION}"
+        )
+    (stored_crc,) = _CRC.unpack_from(head, _HEADER.size)
+    if stored_crc != zlib.crc32(head[: _HEADER.size]):
+        raise WireFormatError("header checksum mismatch: frame header is corrupted")
+    _, _, kind, m, n, round_id, length = _HEADER.unpack_from(head)
+    if kind not in _KIND_NAMES:
+        raise WireFormatError(f"unknown frame kind {kind}")
+    return kind, m, n, round_id, length
+
+
+def _decode(kind: int, m: int, n: int, round_id: int, payload: bytes):
+    name = _KIND_NAMES[kind]
+    if m <= 0:
+        raise WireFormatError(f"{name} frame declares non-positive width m={m}")
+    if kind == KIND_SNAPSHOT:
+        if len(payload) != 8 * m:
+            raise WireFormatError(
+                f"snapshot payload must be {8 * m} bytes for m={m}, "
+                f"got {len(payload)}"
+            )
+        counts = np.frombuffer(payload, dtype="<i8").astype(np.int64)
+        try:
+            return CountAccumulator.from_state(m, counts, n, round_id=round_id)
+        except ValidationError as exc:
+            raise WireFormatError(f"snapshot state is invalid: {exc}") from exc
+    width = packed_width(m)
+    if len(payload) != n * width:
+        raise WireFormatError(
+            f"chunk payload must be {n * width} bytes for n={n} rows of "
+            f"width {width}, got {len(payload)}"
+        )
+    rows = np.frombuffer(payload, dtype=np.uint8).reshape(n, width)
+    return PackedChunk(m=m, round_id=round_id, rows=rows)
+
+
+def loads(data: bytes):
+    """Decode exactly one frame from *data* (no trailing bytes allowed)."""
+    data = bytes(data)
+    kind, m, n, round_id, length = _parse_header(data[:HEADER_SIZE])
+    expected = HEADER_SIZE + length + _CRC.size
+    if len(data) < expected:
+        raise WireFormatError(
+            f"truncated frame: expected {expected} bytes, got {len(data)}"
+        )
+    if len(data) > expected:
+        raise WireFormatError(
+            f"{len(data) - expected} trailing bytes after a {expected}-byte "
+            "frame; use iter_frames for concatenated streams"
+        )
+    payload = data[HEADER_SIZE : HEADER_SIZE + length]
+    (stored_crc,) = _CRC.unpack_from(data, HEADER_SIZE + length)
+    if stored_crc != zlib.crc32(payload):
+        raise WireFormatError(
+            "payload checksum mismatch: frame payload is corrupted"
+        )
+    return _decode(kind, m, n, round_id, payload)
+
+
+# ----------------------------------------------------------------------
+# Stream IO
+# ----------------------------------------------------------------------
+def write_frame(stream, obj) -> int:
+    """Serialize *obj* onto a binary file object; returns bytes written."""
+    frame = dumps(obj)
+    stream.write(frame)
+    return len(frame)
+
+
+def read_frame(stream):
+    """Read one frame from a binary file object.
+
+    Returns the decoded object, or ``None`` at a clean end of stream
+    (EOF exactly on a frame boundary).  EOF *inside* a frame raises
+    :class:`WireFormatError` — a spill file cut off mid-write must never
+    read as merely shorter.
+    """
+    head = stream.read(HEADER_SIZE)
+    if not head:
+        return None
+    kind, m, n, round_id, length = _parse_header(head)
+    rest = stream.read(length + _CRC.size)
+    if len(rest) < length + _CRC.size:
+        raise WireFormatError(
+            f"truncated frame: payload needs {length + _CRC.size} bytes, "
+            f"got {len(rest)}"
+        )
+    payload = rest[:length]
+    (stored_crc,) = _CRC.unpack_from(rest, length)
+    if stored_crc != zlib.crc32(payload):
+        raise WireFormatError(
+            "payload checksum mismatch: frame payload is corrupted"
+        )
+    return _decode(kind, m, n, round_id, payload)
+
+
+def iter_frames(stream):
+    """Yield decoded frames from a binary file object until clean EOF."""
+    while (obj := read_frame(stream)) is not None:
+        yield obj

@@ -157,6 +157,7 @@ def stream_counts(
     round_id: int | None = None,
     accumulator: CountAccumulator | None = None,
     sampler=None,
+    chunk_sink=None,
 ) -> CountAccumulator:
     """Run the exact per-user path end to end with bounded memory.
 
@@ -176,6 +177,12 @@ def stream_counts(
     Pass *accumulator* to continue filling an existing round (e.g. users
     arriving in waves); its width must match the mechanism's, and a
     *round_id* given alongside it must match its round.
+
+    *chunk_sink*, if given, is called with every released chunk exactly
+    as the accumulator is about to see it — the tap used by
+    :class:`~repro.pipeline.collect.ShardStore` spilling (durable
+    replay/audit files) and by transports that forward chunks while
+    counting them.  The sink must not mutate the chunk.
     """
     width = report_width(mechanism)
     if accumulator is None:
@@ -194,6 +201,8 @@ def stream_counts(
         mechanism, data, chunk_size=chunk_size, rng=rng, packed=packed,
         sampler=sampler,
     ):
+        if chunk_sink is not None:
+            chunk_sink(chunk)
         if categorical:
             accumulator.add_categories(chunk)
         elif packed:

@@ -14,7 +14,17 @@ shards stay statistically independent.
 
 Workers receive the mechanism by pickling; all mechanisms in
 :mod:`repro.mechanisms` are plain objects over numpy arrays, so this is
-cheap relative to the perturbation work itself.
+cheap relative to the perturbation work itself.  Shard *results* come
+back the other way as versioned, checksummed wire-format snapshots
+(:mod:`repro.pipeline.collect.wire`) rather than bare pickles — the
+same frames a cross-machine deployment would ship, so a worker on
+another host (or another build) fails loudly on format skew instead of
+silently unpickling stale state.
+
+Pass ``spill_dir`` to :meth:`ShardedRunner.run` to make every worker
+spill its packed report chunks and final snapshot into a
+:class:`~repro.pipeline.collect.ShardStore` as it streams — the round
+then supports out-of-core replay and digest audit with no extra pass.
 """
 
 from __future__ import annotations
@@ -29,8 +39,10 @@ from .._validation import as_int_array, check_positive_int
 from ..datasets.base import ItemsetDataset
 from ..exceptions import ValidationError
 from ..kernels import resolve_sampler
+from ..mechanisms.base import CategoricalMechanism
 from .accumulator import CountAccumulator
-from .engine import stream_counts
+from .collect import ShardStore, wire
+from .engine import report_width, stream_counts
 
 __all__ = ["ShardedRunner", "shard_bounds"]
 
@@ -60,21 +72,59 @@ def _slice_shard(data, start: int, stop: int):
     return np.asarray(data)[start:stop].copy()
 
 
-def _run_shard(payload):
-    """Worker entry point (module-level so it pickles under spawn)."""
-    mechanism, shard_data, chunk_size, packed, round_id, seed_seq, sampler = payload
-    # The sampler's backend expands the shard's SeedSequence, so a fast
-    # run gets e.g. SFC64 workers while bitexact keeps PCG64 — the
-    # default_rng-equivalent stream it has always had.
-    return stream_counts(
+def _run_shard(payload) -> bytes:
+    """Worker entry point (module-level so it pickles under spawn).
+
+    Returns the shard's accumulator as a wire-format snapshot frame —
+    the parent decodes it with :func:`repro.pipeline.collect.loads`, so
+    results cross the process boundary in the same checked format they
+    would cross a machine boundary.
+    """
+    (
         mechanism,
         shard_data,
-        chunk_size=chunk_size,
-        rng=sampler.make_generator(seed_seq),
-        packed=packed,
-        round_id=round_id,
-        sampler=sampler,
-    )
+        chunk_size,
+        packed,
+        round_id,
+        seed_seq,
+        sampler,
+        shard_index,
+        spill_dir,
+    ) = payload
+    chunk_sink = None
+    writer = None
+    if spill_dir is not None:
+        store = ShardStore(spill_dir)
+        writer = store.writer(
+            shard_index, report_width(mechanism), round_id=round_id
+        )
+        if packed:
+            chunk_sink = writer.write
+        else:
+            # Unpacked int8 chunks spill in the packed wire format; the
+            # columnwise popcount on replay counts the same bits, so the
+            # round-trip stays bit-exact.
+            chunk_sink = lambda chunk: writer.write(np.packbits(chunk, axis=1))
+    try:
+        # The sampler's backend expands the shard's SeedSequence, so a fast
+        # run gets e.g. SFC64 workers while bitexact keeps PCG64 — the
+        # default_rng-equivalent stream it has always had.
+        accumulator = stream_counts(
+            mechanism,
+            shard_data,
+            chunk_size=chunk_size,
+            rng=sampler.make_generator(seed_seq),
+            packed=packed,
+            round_id=round_id,
+            sampler=sampler,
+            chunk_sink=chunk_sink,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+    if spill_dir is not None:
+        store.write_snapshot(shard_index, accumulator)
+    return wire.dumps(accumulator)
 
 
 class ShardedRunner:
@@ -132,7 +182,12 @@ class ShardedRunner:
         return as_int_array(data, "data").size
 
     def run(
-        self, data, *, seed: int | None = None, round_id: int = 0
+        self,
+        data,
+        *,
+        seed: int | None = None,
+        round_id: int = 0,
+        spill_dir: str | None = None,
     ) -> CountAccumulator:
         """Collect one full round over *data* and return the merged state.
 
@@ -144,7 +199,20 @@ class ShardedRunner:
         seed:
             Root seed for the per-shard ``SeedSequence`` spawn; ``None``
             draws fresh OS entropy.
+        spill_dir:
+            Directory for a :class:`~repro.pipeline.collect.ShardStore`;
+            when given, every worker spills its packed report chunks and
+            final snapshot there as it streams, making the round
+            replayable/auditable out of core.  Requires bit-vector
+            reports (categorical mechanisms release bare ids, which have
+            no packed chunk form).
         """
+        if spill_dir is not None and isinstance(self.mechanism, CategoricalMechanism):
+            raise ValidationError(
+                "spill_dir requires bit-vector reports; categorical "
+                "mechanisms release one id per user and have no packed "
+                "chunk form"
+            )
         if not isinstance(data, ItemsetDataset):
             data = as_int_array(data, "data")  # convert once, slice per shard
         n = self._num_users(data)
@@ -152,6 +220,17 @@ class ShardedRunner:
             raise ValidationError("cannot run a collection round over zero users")
         bounds = shard_bounds(n, self.num_shards)
         children = np.random.SeedSequence(seed).spawn(len(bounds))
+        if spill_dir is not None:
+            # Create the round directory up front — and refuse a reused
+            # one: stale shard files from a previous round would survive
+            # alongside this run's (e.g. 4 old shards vs 2 new) and
+            # silently inflate any later replay/audit.
+            stale = ShardStore(spill_dir).shard_ids()
+            if stale:
+                raise ValidationError(
+                    f"spill_dir {spill_dir!r} already holds spilled shards "
+                    f"{stale}; each collection round needs a fresh directory"
+                )
         # Generator, not list: each shard's copy is materialized only as
         # it is dispatched (and freed once its worker returns), keeping
         # the parent's transient copies bounded by the dispatch window in
@@ -165,11 +244,15 @@ class ShardedRunner:
                 round_id,
                 child,
                 self.sampler,
+                shard_index,
+                spill_dir,
             )
-            for (start, stop), child in zip(bounds, children)
+            for shard_index, ((start, stop), child) in enumerate(
+                zip(bounds, children)
+            )
         )
-        shards = self._map(payloads, len(bounds))
-        return CountAccumulator.merge_all(shards)
+        frames = self._map(payloads, len(bounds))
+        return CountAccumulator.merge_all(wire.loads(frame) for frame in frames)
 
     def run_rounds(self, data, *, seeds) -> list[CountAccumulator]:
         """Run one collection round per seed (multi-round deployments).

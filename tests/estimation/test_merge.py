@@ -91,3 +91,77 @@ class TestMerge:
         ]
         _, variance = merge_round_estimates(rounds)
         assert variance[0] == pytest.approx(1.0 / (1 / 2 + 1 / 6))
+
+
+class TestRoundEstimateSerialization:
+    """Cross-machine rounds: to_dict/from_dict is a JSON-safe identity."""
+
+    def test_dict_round_trip(self):
+        import json
+
+        original = RoundEstimate(np.array([5.0, 7.5]), np.array([2.0, 3.0]))
+        payload = json.loads(json.dumps(original.to_dict()))
+        restored = RoundEstimate.from_dict(payload)
+        assert np.array_equal(restored.estimates, original.estimates)
+        assert np.array_equal(restored.noise_variance, original.noise_variance)
+
+    def test_restored_rounds_merge_identically(self):
+        rounds = [
+            RoundEstimate(np.array([5.0]), np.array([2.0])),
+            RoundEstimate(np.array([7.0]), np.array([6.0])),
+        ]
+        direct, direct_var = merge_round_estimates(rounds)
+        shipped = [RoundEstimate.from_dict(r.to_dict()) for r in rounds]
+        merged, merged_var = merge_round_estimates(shipped)
+        assert np.array_equal(merged, direct)
+        assert np.array_equal(merged_var, direct_var)
+
+    def test_from_dict_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="not a serialized"):
+            RoundEstimate.from_dict({"type": "Mechanism"})
+
+    def test_from_dict_rejects_future_version(self):
+        payload = RoundEstimate(np.array([1.0]), np.array([1.0])).to_dict()
+        payload["version"] = 9
+        with pytest.raises(ValidationError, match="version 9"):
+            RoundEstimate.from_dict(payload)
+
+    def test_from_dict_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError, match="same"):
+            RoundEstimate.from_dict(
+                {
+                    "type": "RoundEstimate",
+                    "version": 1,
+                    "estimates": [1.0, 2.0],
+                    "noise_variance": [1.0],
+                }
+            )
+
+
+def test_round_estimate_from_dict_rejects_missing_keys():
+    with pytest.raises(ValidationError, match="missing"):
+        RoundEstimate.from_dict({"type": "RoundEstimate", "version": 1})
+
+
+def test_round_estimate_from_dict_rejects_ragged_payload():
+    with pytest.raises(ValidationError, match="non-numeric"):
+        RoundEstimate.from_dict(
+            {
+                "type": "RoundEstimate",
+                "version": 1,
+                "estimates": [[1.0], [2.0, 3.0]],
+                "noise_variance": [1.0],
+            }
+        )
+
+
+def test_round_estimate_from_dict_rejects_string_entries():
+    with pytest.raises(ValidationError, match="non-numeric"):
+        RoundEstimate.from_dict(
+            {
+                "type": "RoundEstimate",
+                "version": 1,
+                "estimates": ["many"],
+                "noise_variance": [1.0],
+            }
+        )

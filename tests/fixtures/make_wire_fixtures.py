@@ -1,0 +1,56 @@
+"""Regenerate the committed wire-format golden fixtures.
+
+Run from the repo root after a deliberate (versioned!) format change::
+
+    PYTHONPATH=src python tests/fixtures/make_wire_fixtures.py
+
+The fixtures pin wire-format version 1 byte for byte — if this script
+produces different bytes than the committed files without a version
+bump, that is a silent format break and the golden tests will say so.
+Keep the builders here in sync with the expectations hardcoded in
+``tests/pipeline/test_wire_golden.py`` (the duplication is the pin).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.pipeline import CountAccumulator
+from repro.pipeline.collect import wire
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "wire")
+
+SNAPSHOT_FILE = "snapshot_v1_m12_n5_round3.bin"
+CHUNK_FILE = "chunk_v1_m21_k4_round7.bin"
+
+
+def golden_snapshot() -> CountAccumulator:
+    """m=12 round: 5 users with a fixed, human-checkable count vector."""
+    return CountAccumulator.from_state(
+        12, np.array([5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 0]), 5, round_id=3
+    )
+
+
+def golden_chunk() -> wire.PackedChunk:
+    """m=21 chunk (pad bits in play): 4 fixed rows, one per corner case."""
+    bits = np.zeros((4, 21), dtype=np.uint8)
+    bits[0, :] = 1  # all ones
+    bits[1, 0] = bits[1, 20] = 1  # first and last bit
+    bits[2, ::2] = 1  # alternating
+    # row 3: all zeros
+    return wire.PackedChunk(m=21, round_id=7, rows=np.packbits(bits, axis=1))
+
+
+def main() -> None:
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    for name, obj in ((SNAPSHOT_FILE, golden_snapshot()), (CHUNK_FILE, golden_chunk())):
+        path = os.path.join(FIXTURE_DIR, name)
+        with open(path, "wb") as handle:
+            handle.write(wire.dumps(obj))
+        print(f"wrote {path} ({os.path.getsize(path)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

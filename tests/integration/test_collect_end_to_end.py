@@ -1,0 +1,168 @@
+"""End-to-end: durable and networked collection match in-memory exactly.
+
+The acceptance bar for the collection subsystem: on the same seed, the
+spill→replay path and the socket-ingest path must produce *estimates
+bit-identical* to the in-memory ``stream_counts`` path — not close, not
+statistically indistinguishable: identical float64 arrays, because every
+path aggregates the very same integer counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import OptimizedUnaryEncoding
+from repro.pipeline import (
+    Collector,
+    ShardedRunner,
+    ShardStore,
+    send_frames,
+    shard_bounds,
+    stream_counts,
+)
+from repro.pipeline.collect import wire
+
+M, N, CHUNK, SHARDS, SEED = 24, 900, 128, 3, 42
+
+
+@pytest.fixture(params=["bitexact", "fast"])
+def sampler(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def workload():
+    mechanism = OptimizedUnaryEncoding(2.0, M)
+    items = np.random.default_rng(7).integers(M, size=N)
+    return mechanism, items
+
+
+def _in_memory_reference(mechanism, items, sampler):
+    """The plain sharded in-memory run every other path must reproduce."""
+    return ShardedRunner(
+        mechanism,
+        num_shards=SHARDS,
+        chunk_size=CHUNK,
+        packed=True,
+        processes=1,
+        sampler=sampler,
+    ).run(items, seed=SEED)
+
+
+class TestSpillReplayPath:
+    def test_estimates_bit_identical(self, workload, sampler, tmp_path):
+        mechanism, items = workload
+        reference = _in_memory_reference(mechanism, items, sampler)
+        runner = ShardedRunner(
+            mechanism,
+            num_shards=SHARDS,
+            chunk_size=CHUNK,
+            packed=True,
+            processes=1,
+            sampler=sampler,
+        )
+        live = runner.run(items, seed=SEED, spill_dir=str(tmp_path / "round"))
+        store = ShardStore(str(tmp_path / "round"))
+        replayed = store.replay()
+
+        assert live.digest() == reference.digest()
+        assert replayed.digest() == reference.digest()
+        # Bit-identical estimates, not merely close:
+        assert np.array_equal(
+            replayed.estimate(mechanism), reference.estimate(mechanism)
+        )
+        audit = store.audit()
+        assert len(audit) == SHARDS
+        assert all(entry["match"] for entry in audit.values())
+
+
+class TestSocketIngestPath:
+    def test_estimates_bit_identical(self, workload, sampler):
+        """Each shard streams per-chunk frames to a live collector over a
+        localhost socket; the collector's round equals the in-memory one."""
+        mechanism, items = workload
+        reference = _in_memory_reference(mechanism, items, sampler)
+
+        # Reproduce the reference's exact per-shard chunk streams: same
+        # shard bounds, same spawned child seeds, same chunk size.
+        children = np.random.SeedSequence(SEED).spawn(SHARDS)
+        from repro.kernels import resolve_sampler
+        from repro.pipeline import iter_report_chunks
+
+        config = resolve_sampler(sampler)
+        shard_frames = []
+        for (start, stop), child in zip(shard_bounds(N, SHARDS), children):
+            frames = [
+                wire.dump_chunk(chunk, M)
+                for chunk in iter_report_chunks(
+                    mechanism,
+                    items[start:stop],
+                    chunk_size=CHUNK,
+                    rng=config.make_generator(child),
+                    packed=True,
+                    sampler=config,
+                )
+            ]
+            shard_frames.append(frames)
+
+        async def scenario():
+            collector = Collector(M)
+            host, port = await collector.serve()
+            try:
+                acks = await asyncio.gather(
+                    *(
+                        send_frames(host, port, frames)
+                        for frames in shard_frames
+                    )
+                )
+            finally:
+                await collector.close()
+            return acks, collector
+
+        acks, collector = asyncio.run(scenario())
+        assert sum(acks) == sum(len(frames) for frames in shard_frames)
+        assert collector.accumulator.digest() == reference.digest()
+        assert np.array_equal(
+            collector.accumulator.estimate(mechanism),
+            reference.estimate(mechanism),
+        )
+
+
+class TestSnapshotRelayPath:
+    def test_worker_snapshots_over_socket_match(self, workload, sampler, tmp_path):
+        """PrivCount shape: shards spill locally, ship only snapshots; the
+        collector's merge equals the reference bit for bit."""
+        mechanism, items = workload
+        reference = _in_memory_reference(mechanism, items, sampler)
+        runner = ShardedRunner(
+            mechanism,
+            num_shards=SHARDS,
+            chunk_size=CHUNK,
+            packed=True,
+            processes=1,
+            sampler=sampler,
+        )
+        runner.run(items, seed=SEED, spill_dir=str(tmp_path / "round"))
+        store = ShardStore(str(tmp_path / "round"))
+
+        async def scenario():
+            collector = Collector(M)
+            host, port = await collector.serve()
+            try:
+                for shard_id in store.shard_ids():
+                    await send_frames(
+                        host, port, [store.load_snapshot(shard_id)]
+                    )
+            finally:
+                await collector.close()
+            return collector
+
+        collector = asyncio.run(scenario())
+        assert collector.accumulator.digest() == reference.digest()
+        assert np.array_equal(
+            collector.accumulator.estimate(mechanism),
+            reference.estimate(mechanism),
+        )

@@ -182,6 +182,110 @@ class TestHashDomainMechanismRejected:
             acc.estimate(olh)
 
 
+class TestMergeEdgeCases:
+    def test_merge_empty_into_filled_is_identity(self):
+        acc = CountAccumulator(3)
+        acc.add_reports([[1, 0, 1], [1, 1, 0]])
+        before = acc.digest()
+        acc.merge(CountAccumulator(3))
+        assert acc.digest() == before and acc.n == 2
+
+    def test_merge_filled_into_empty_copies_state(self):
+        filled = CountAccumulator(3)
+        filled.add_reports([[1, 0, 1]])
+        empty = CountAccumulator(3)
+        empty.merge(filled)
+        assert empty.n == 1
+        assert np.array_equal(empty.counts(), filled.counts())
+
+    def test_merge_two_empties_stays_empty(self):
+        merged = CountAccumulator.merge_all(
+            [CountAccumulator(4), CountAccumulator(4)]
+        )
+        assert merged.n == 0 and merged.counts().tolist() == [0, 0, 0, 0]
+
+    def test_merge_rejects_non_accumulator(self):
+        with pytest.raises(ValidationError, match="can only merge"):
+            CountAccumulator(2).merge({"counts": [1, 2]})
+
+
+class TestPackedEdgeCases:
+    @pytest.mark.parametrize("m", [1, 7, 9, 21, 63])
+    def test_non_multiple_of_8_widths_round_trip(self, m, rng):
+        """Every pad-bit geometry counts identically packed or not."""
+        reports = (rng.random((25, m)) < 0.5).astype(np.int8)
+        plain = CountAccumulator(m)
+        plain.add_reports(reports)
+        packed = CountAccumulator(m)
+        packed.add_packed_reports(np.packbits(reports, axis=1))
+        assert np.array_equal(plain.counts(), packed.counts())
+
+    def test_zero_row_packed_chunk_is_noop(self):
+        acc = CountAccumulator(12)
+        acc.add_packed_reports(np.empty((0, 2), dtype=np.uint8))
+        assert acc.n == 0 and acc.counts().tolist() == [0] * 12
+
+
+class TestFromState:
+    def test_round_trips_state(self):
+        acc = CountAccumulator.from_state(
+            4, np.array([3, 0, 2, 1]), 3, round_id=5
+        )
+        assert acc.m == 4 and acc.n == 3 and acc.round_id == 5
+        assert acc.counts().tolist() == [3, 0, 2, 1]
+
+    def test_rebuilt_state_keeps_ingesting(self):
+        acc = CountAccumulator.from_state(2, np.array([1, 0]), 1)
+        acc.add_reports([[1, 1]])
+        assert acc.n == 2 and acc.counts().tolist() == [2, 1]
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValidationError, match="shape"):
+            CountAccumulator.from_state(3, np.array([1, 2]), 2)
+
+    def test_rejects_float_counts(self):
+        with pytest.raises(ValidationError, match="integers"):
+            CountAccumulator.from_state(2, np.array([1.0, 0.5]), 2)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValidationError, match=r"\[0, n"):
+            CountAccumulator.from_state(2, np.array([-1, 0]), 2)
+
+    def test_rejects_counts_exceeding_n(self):
+        """No ingestion path can produce a per-bit count above n."""
+        with pytest.raises(ValidationError, match=r"\[0, n"):
+            CountAccumulator.from_state(2, np.array([3, 0]), 2)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            CountAccumulator.from_state(2, np.array([0, 0]), -1)
+
+
+class TestDigest:
+    def test_equal_state_equal_digest(self):
+        one = CountAccumulator(3, round_id=2)
+        one.add_reports([[1, 0, 1]])
+        two = CountAccumulator.from_state(3, np.array([1, 0, 1]), 1, round_id=2)
+        assert one.digest() == two.digest()
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            CountAccumulator.from_state(3, np.array([1, 0, 1]), 1, round_id=0),
+            CountAccumulator.from_state(3, np.array([1, 1, 1]), 1, round_id=2),
+            CountAccumulator.from_state(3, np.array([1, 0, 1]), 2, round_id=2),
+            CountAccumulator(4, round_id=2),
+        ],
+    )
+    def test_any_field_change_changes_digest(self, other):
+        base = CountAccumulator.from_state(3, np.array([1, 0, 1]), 1, round_id=2)
+        assert base.digest() != other.digest()
+
+    def test_digest_is_64_hex_chars(self):
+        digest = CountAccumulator(2).digest()
+        assert len(digest) == 64 and set(digest) <= set("0123456789abcdef")
+
+
 class TestPackedWidthMismatch:
     def test_wider_producer_rejected(self, rng):
         """m=16 reports packed into 2 bytes must not feed an m=12 round."""

@@ -1,0 +1,233 @@
+"""Tests for the asyncio Collector: queue feed, socket feed, refusals."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError, WireFormatError
+from repro.pipeline import Collector, CountAccumulator, send_frames
+from repro.pipeline.collect import wire
+
+
+def _snapshot(m=8, n=6, round_id=0, seed=0) -> CountAccumulator:
+    rng = np.random.default_rng(seed)
+    acc = CountAccumulator(m, round_id=round_id)
+    acc.add_reports((rng.random((n, m)) < 0.5).astype(np.int8))
+    return acc
+
+
+def _chunk(m=8, k=4, round_id=0, seed=1) -> wire.PackedChunk:
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((k, m)) < 0.5).astype(np.uint8)
+    return wire.PackedChunk(m=m, round_id=round_id, rows=np.packbits(bits, axis=1))
+
+
+class TestDirectIngestion:
+    def test_snapshot_and_chunk_interleave(self):
+        collector = Collector(8)
+        snap, chunk = _snapshot(), _chunk()
+        collector.ingest(snap)
+        collector.ingest(chunk)
+        expected = CountAccumulator(8)
+        expected.merge(snap)
+        expected.add_packed_reports(chunk.rows)
+        assert collector.accumulator.digest() == expected.digest()
+        assert collector.frames_ingested == 2
+
+    def test_ingest_bytes_counts_bytes(self):
+        collector = Collector(8)
+        frame = wire.dumps(_snapshot())
+        collector.ingest_bytes(frame)
+        assert collector.bytes_ingested == len(frame)
+
+    def test_wrong_width_chunk_refused(self):
+        with pytest.raises(ValidationError, match="width"):
+            Collector(8).ingest(_chunk(m=16))
+
+    def test_wrong_round_chunk_refused(self):
+        with pytest.raises(ValidationError, match="round"):
+            Collector(8, round_id=0).ingest(_chunk(round_id=3))
+
+    def test_wrong_round_snapshot_refused(self):
+        with pytest.raises(ValidationError, match="round"):
+            Collector(8, round_id=0).ingest(_snapshot(round_id=1))
+
+    def test_corrupt_frame_refused(self):
+        frame = bytearray(wire.dumps(_snapshot()))
+        frame[-1] ^= 0xFF
+        with pytest.raises(WireFormatError, match="checksum"):
+            Collector(8).ingest_bytes(bytes(frame))
+
+    def test_unknown_object_refused(self):
+        with pytest.raises(ValidationError, match="cannot ingest"):
+            Collector(8).ingest([1, 2, 3])
+
+
+class TestQueueFeed:
+    def test_consume_until_sentinel(self):
+        async def scenario():
+            collector = Collector(8)
+            queue: asyncio.Queue = asyncio.Queue()
+            await queue.put(wire.dumps(_snapshot(seed=1)))
+            await queue.put(_chunk(seed=2))  # decoded objects also accepted
+            await queue.put(None)
+            return await collector.consume(queue), collector
+
+        merged, collector = asyncio.run(scenario())
+        assert merged == 2
+        assert collector.frames_ingested == 2
+        assert collector.accumulator.n == 10  # 6 snapshot users + 4 chunk rows
+
+    def test_concurrent_producers_one_consumer(self):
+        """Many producer tasks feeding one queue merge to the exact total."""
+
+        async def scenario():
+            collector = Collector(8)
+            queue: asyncio.Queue = asyncio.Queue(maxsize=4)
+
+            async def produce(seed):
+                await queue.put(wire.dumps(_snapshot(seed=seed)))
+
+            consumer = asyncio.ensure_future(collector.consume(queue))
+            await asyncio.gather(*(produce(seed) for seed in range(10)))
+            await queue.put(None)
+            await consumer
+            return collector
+
+        collector = asyncio.run(scenario())
+        expected = CountAccumulator.merge_all(_snapshot(seed=s) for s in range(10))
+        assert collector.accumulator.digest() == expected.digest()
+
+
+class TestSocketFeed:
+    def test_frames_over_localhost_socket(self):
+        async def scenario():
+            collector = Collector(8)
+            host, port = await collector.serve()
+            try:
+                acked = await send_frames(
+                    host, port, [_snapshot(seed=3), _chunk(seed=4)]
+                )
+            finally:
+                await collector.close()
+            return acked, collector
+
+        acked, collector = asyncio.run(scenario())
+        assert acked == 2
+        expected = CountAccumulator(8)
+        expected.merge(_snapshot(seed=3))
+        expected.add_packed_reports(_chunk(seed=4).rows)
+        assert collector.accumulator.digest() == expected.digest()
+
+    def test_multiple_connections_merge_exactly(self):
+        async def scenario():
+            collector = Collector(8)
+            host, port = await collector.serve()
+            try:
+                acks = await asyncio.gather(
+                    *(
+                        send_frames(host, port, [_snapshot(seed=seed)])
+                        for seed in range(6)
+                    )
+                )
+            finally:
+                await collector.close()
+            return acks, collector
+
+        acks, collector = asyncio.run(scenario())
+        assert acks == [1] * 6
+        expected = CountAccumulator.merge_all(_snapshot(seed=s) for s in range(6))
+        assert collector.accumulator.digest() == expected.digest()
+        assert collector.frames_ingested == 6
+
+    def test_serve_twice_rejected(self):
+        async def scenario():
+            collector = Collector(8)
+            await collector.serve()
+            try:
+                with pytest.raises(ValidationError, match="already serving"):
+                    await collector.serve()
+            finally:
+                await collector.close()
+
+        asyncio.run(scenario())
+
+    def test_close_without_serve_is_noop(self):
+        asyncio.run(Collector(8).close())
+
+
+class TestConnectionTransactionality:
+    def test_corrupt_stream_merges_nothing_and_retry_counts_once(self):
+        """A connection dying on a corrupt frame must contribute zero state
+        — so the producer's full resend lands exactly once, not twice."""
+
+        async def scenario():
+            collector = Collector(8)
+            host, port = await collector.serve()
+            good = wire.dumps(_snapshot(seed=5))
+            corrupt = bytearray(wire.dumps(_chunk(seed=6)))
+            corrupt[-1] ^= 0xFF
+            try:
+                with pytest.raises(WireFormatError, match="hung up"):
+                    await send_frames(host, port, [good, bytes(corrupt)])
+                assert collector.accumulator.n == 0  # good frame NOT merged
+                assert collector.frames_ingested == 0
+                assert collector.connections_failed == 1
+                assert "checksum" in collector.last_connection_error
+                # the retry with repaired frames merges exactly once
+                acked = await send_frames(
+                    host, port, [good, wire.dumps(_chunk(seed=6))]
+                )
+            finally:
+                await collector.close()
+            return acked, collector
+
+        acked, collector = asyncio.run(scenario())
+        assert acked == 2
+        expected = CountAccumulator(8)
+        expected.merge(_snapshot(seed=5))
+        expected.add_packed_reports(_chunk(seed=6).rows)
+        assert collector.accumulator.digest() == expected.digest()
+
+    def test_mismatched_round_stream_is_rejected_whole(self):
+        """Semantic refusal (wrong round) drops the connection's staging
+        just like corruption does."""
+
+        async def scenario():
+            collector = Collector(8, round_id=0)
+            host, port = await collector.serve()
+            try:
+                with pytest.raises(WireFormatError, match="hung up"):
+                    await send_frames(
+                        host,
+                        port,
+                        [_snapshot(seed=1), _snapshot(seed=2, round_id=9)],
+                    )
+            finally:
+                await collector.close()
+            return collector
+
+        collector = asyncio.run(scenario())
+        assert collector.accumulator.n == 0
+        assert collector.connections_failed == 1
+        assert "round" in collector.last_connection_error
+
+    def test_failed_connection_does_not_kill_server(self):
+        """Other producers keep working after one connection fails."""
+
+        async def scenario():
+            collector = Collector(8)
+            host, port = await collector.serve()
+            try:
+                with pytest.raises(WireFormatError, match="hung up"):
+                    await send_frames(host, port, [b"garbage-not-a-frame" * 4])
+                acked = await send_frames(host, port, [_snapshot(seed=3)])
+            finally:
+                await collector.close()
+            return acked, collector
+
+        acked, collector = asyncio.run(scenario())
+        assert acked == 1 and collector.frames_ingested == 1

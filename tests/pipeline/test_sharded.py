@@ -106,3 +106,133 @@ class TestShardedRuns:
         runner = ShardedRunner(mechanism, num_shards=2, processes=1)
         with pytest.raises(ValidationError, match="zero users"):
             runner.run(np.array([], dtype=np.int64), seed=0)
+
+
+class TestWireFormatResults:
+    """Shard results cross the process boundary as wire frames, not pickles."""
+
+    @pytest.fixture
+    def workload(self, rng):
+        m, n = 12, 2_000
+        return OptimizedUnaryEncoding(2.0, m), rng.integers(m, size=n)
+
+    def test_worker_returns_wire_snapshot(self, workload):
+        """_run_shard emits a decodable frame — what a remote worker ships."""
+        from repro.pipeline.collect import wire
+        from repro.pipeline.sharded import _run_shard
+
+        mechanism, items = workload
+        runner = ShardedRunner(mechanism, num_shards=1, chunk_size=256, processes=1)
+        frame = _run_shard(
+            (
+                mechanism,
+                items,
+                256,
+                False,
+                0,
+                np.random.SeedSequence(0),
+                runner.sampler,
+                0,
+                None,
+            )
+        )
+        assert isinstance(frame, bytes)
+        assert frame[:4] == wire.WIRE_MAGIC
+        accumulator = wire.loads(frame)
+        assert accumulator.n == items.size and accumulator.m == mechanism.m
+
+    def test_worker_process_snapshot_loads_in_parent(self, workload):
+        """A snapshot produced inside a real worker process round-trips the
+        wire format and merges correctly in the parent."""
+        mechanism, items = workload
+        parallel = ShardedRunner(
+            mechanism, num_shards=2, chunk_size=256, processes=2
+        ).run(items, seed=11)
+        serial = ShardedRunner(
+            mechanism, num_shards=2, chunk_size=256, processes=1
+        ).run(items, seed=11)
+        assert parallel.digest() == serial.digest()
+        assert parallel.n == items.size
+
+    def test_corrupted_worker_frame_fails_loudly(self, workload, monkeypatch):
+        """A mangled result frame must raise WireFormatError in the parent,
+        never merge garbage."""
+        from repro.exceptions import WireFormatError
+        from repro.pipeline import sharded as sharded_module
+
+        mechanism, items = workload
+        real_run_shard = sharded_module._run_shard
+
+        def corrupt_run_shard(payload):
+            frame = bytearray(real_run_shard(payload))
+            frame[-1] ^= 0xFF
+            return bytes(frame)
+
+        monkeypatch.setattr(sharded_module, "_run_shard", corrupt_run_shard)
+        runner = ShardedRunner(mechanism, num_shards=2, chunk_size=256, processes=1)
+        with pytest.raises(WireFormatError, match="checksum"):
+            runner.run(items, seed=0)
+
+
+class TestRunnerSpill:
+    @pytest.fixture
+    def workload(self, rng):
+        m, n = 12, 1_500
+        return OptimizedUnaryEncoding(2.0, m), rng.integers(m, size=n)
+
+    @pytest.mark.parametrize("packed", [False, True])
+    def test_spill_dir_replays_to_identical_round(self, workload, tmp_path, packed):
+        """spill_dir leaves a store whose replay matches the live result —
+        for packed transport and for unpacked chunks packed at the sink."""
+        from repro.pipeline import ShardStore
+
+        mechanism, items = workload
+        runner = ShardedRunner(
+            mechanism, num_shards=3, chunk_size=128, packed=packed, processes=1
+        )
+        live = runner.run(items, seed=7, spill_dir=str(tmp_path / "round"))
+        store = ShardStore(str(tmp_path / "round"))
+        assert store.shard_ids() == [0, 1, 2]
+        assert store.replay().digest() == live.digest()
+        audit = store.audit()
+        assert all(entry["match"] for entry in audit.values())
+
+    def test_spill_matches_unspilled_run(self, workload, tmp_path):
+        """Spilling is a pure tap: the returned accumulator is unchanged."""
+        mechanism, items = workload
+        runner = ShardedRunner(mechanism, num_shards=2, chunk_size=200, processes=1)
+        plain = runner.run(items, seed=3)
+        spilled = runner.run(items, seed=3, spill_dir=str(tmp_path / "round"))
+        assert plain.digest() == spilled.digest()
+
+    def test_spill_under_worker_processes(self, workload, tmp_path):
+        """Workers in separate processes spill to disjoint shard files."""
+        from repro.pipeline import ShardStore
+
+        mechanism, items = workload
+        runner = ShardedRunner(mechanism, num_shards=2, chunk_size=200, processes=2)
+        live = runner.run(items, seed=5, spill_dir=str(tmp_path / "round"))
+        store = ShardStore(str(tmp_path / "round"))
+        assert store.replay().digest() == live.digest()
+
+    def test_categorical_spill_rejected(self, rng):
+        from repro.mechanisms import GeneralizedRandomizedResponse
+
+        runner = ShardedRunner(
+            GeneralizedRandomizedResponse(2.0, 6), num_shards=2, processes=1
+        )
+        with pytest.raises(ValidationError, match="bit-vector"):
+            runner.run(rng.integers(6, size=100), seed=0, spill_dir="/tmp/never")
+
+
+class TestSpillDirReuseRefused:
+    def test_second_round_into_same_dir_rejected(self, rng, tmp_path):
+        """Stale shards from a previous round must never survive into a
+        new round's replay; the runner refuses the reused directory."""
+        mechanism = OptimizedUnaryEncoding(2.0, 8)
+        items = rng.integers(8, size=300)
+        runner = ShardedRunner(mechanism, num_shards=3, chunk_size=64, processes=1)
+        spill = str(tmp_path / "round")
+        runner.run(items, seed=0, spill_dir=spill)
+        with pytest.raises(ValidationError, match="fresh directory"):
+            runner.run(items, seed=1, spill_dir=spill)

@@ -1,0 +1,142 @@
+"""Golden-fixture tests pinning wire-format version 1 byte for byte.
+
+The committed fixtures under ``tests/fixtures/wire/`` are the contract
+with every producer that has ever written a frame: spill files on disk,
+snapshots archived by collectors, frames in flight between releases.
+These tests assert (a) the committed bytes still decode to exactly the
+objects that produced them, (b) re-encoding reproduces the committed
+bytes exactly, and (c) every corruption a transport can inflict —
+wrong magic, bumped version, truncation, flipped payload/header bits —
+fails loudly with a :class:`WireFormatError` naming the failure mode.
+
+If a deliberate format change breaks these tests, bump ``WIRE_VERSION``,
+regenerate via ``tests/fixtures/make_wire_fixtures.py``, and keep the
+version-1 decode path working; never regenerate to paper over an
+accidental diff.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WireFormatError
+from repro.pipeline import CountAccumulator
+from repro.pipeline.collect import wire
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "fixtures", "wire"
+)
+SNAPSHOT_PATH = os.path.join(FIXTURE_DIR, "snapshot_v1_m12_n5_round3.bin")
+CHUNK_PATH = os.path.join(FIXTURE_DIR, "chunk_v1_m21_k4_round7.bin")
+
+# The expected decoded state, duplicated from make_wire_fixtures.py on
+# purpose: the duplication is what pins producer and consumer together.
+SNAPSHOT_COUNTS = [5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 0]
+
+
+def _expected_chunk_bits() -> np.ndarray:
+    bits = np.zeros((4, 21), dtype=np.uint8)
+    bits[0, :] = 1
+    bits[1, 0] = bits[1, 20] = 1
+    bits[2, ::2] = 1
+    return bits
+
+
+def _read(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _fix_header_crc(frame: bytearray) -> bytearray:
+    """Recompute the header CRC after tampering with header fields."""
+    frame[36:40] = struct.pack("<I", zlib.crc32(bytes(frame[:36])))
+    return frame
+
+
+class TestGoldenSnapshot:
+    def test_decodes_to_pinned_state(self):
+        acc = wire.loads(_read(SNAPSHOT_PATH))
+        assert isinstance(acc, CountAccumulator)
+        assert acc.m == 12 and acc.n == 5 and acc.round_id == 3
+        assert acc.counts().tolist() == SNAPSHOT_COUNTS
+
+    def test_reencodes_byte_exact(self):
+        blob = _read(SNAPSHOT_PATH)
+        assert wire.dumps(wire.loads(blob)) == blob
+
+    def test_fresh_encode_matches_committed_bytes(self):
+        acc = CountAccumulator.from_state(
+            12, np.array(SNAPSHOT_COUNTS), 5, round_id=3
+        )
+        assert wire.dumps(acc) == _read(SNAPSHOT_PATH)
+
+
+class TestGoldenChunk:
+    def test_decodes_to_pinned_rows(self):
+        chunk = wire.loads(_read(CHUNK_PATH))
+        assert isinstance(chunk, wire.PackedChunk)
+        assert chunk.m == 21 and chunk.round_id == 7 and chunk.n == 4
+        assert np.array_equal(
+            chunk.rows, np.packbits(_expected_chunk_bits(), axis=1)
+        )
+
+    def test_reencodes_byte_exact(self):
+        blob = _read(CHUNK_PATH)
+        assert wire.dumps(wire.loads(blob)) == blob
+
+    def test_chunk_feeds_accumulator(self):
+        """The pinned chunk aggregates to the obvious per-bit counts."""
+        chunk = wire.loads(_read(CHUNK_PATH))
+        acc = CountAccumulator(21, round_id=7)
+        acc.add_packed_reports(chunk.rows)
+        assert np.array_equal(
+            acc.counts(), _expected_chunk_bits().sum(axis=0).astype(np.int64)
+        )
+
+
+@pytest.fixture(params=[SNAPSHOT_PATH, CHUNK_PATH], ids=["snapshot", "chunk"])
+def golden_frame(request) -> bytes:
+    return _read(request.param)
+
+
+class TestCorruptionIsLoud:
+    def test_wrong_magic(self, golden_frame):
+        bad = b"NOPE" + golden_frame[4:]
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.loads(bad)
+
+    def test_future_version_names_both_versions(self, golden_frame):
+        bad = bytearray(golden_frame)
+        bad[4:6] = struct.pack("<H", 99)
+        _fix_header_crc(bad)
+        with pytest.raises(WireFormatError, match=r"version 99.*supports version 1"):
+            wire.loads(bytes(bad))
+
+    def test_truncated_header(self, golden_frame):
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.loads(golden_frame[: wire.HEADER_SIZE - 7])
+
+    def test_truncated_payload(self, golden_frame):
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.loads(golden_frame[:-5])
+
+    def test_flipped_payload_bit_fails_checksum(self, golden_frame):
+        bad = bytearray(golden_frame)
+        bad[wire.HEADER_SIZE] ^= 0x01
+        with pytest.raises(WireFormatError, match="payload checksum"):
+            wire.loads(bytes(bad))
+
+    def test_corrupted_header_field_fails_header_checksum(self, golden_frame):
+        bad = bytearray(golden_frame)
+        bad[8] ^= 0xFF  # the m field; CRC not recomputed
+        with pytest.raises(WireFormatError, match="header checksum"):
+            wire.loads(bytes(bad))
+
+    def test_trailing_garbage_rejected(self, golden_frame):
+        with pytest.raises(WireFormatError, match="trailing"):
+            wire.loads(golden_frame + b"\x00")

@@ -131,3 +131,52 @@ class TestFileRoundtrip:
 
         est = FrequencyEstimator.for_mechanism(restored, items.size)
         assert est.m == toy_spec.m
+
+
+class TestAccumulatorIO:
+    """Wire-format snapshot files via save_accumulator/load_accumulator."""
+
+    def _accumulator(self):
+        from repro.pipeline import CountAccumulator
+
+        acc = CountAccumulator(6, round_id=4)
+        acc.add_reports([[1, 0, 1, 0, 0, 1], [0, 1, 1, 0, 1, 0]])
+        return acc
+
+    def test_round_trip(self, tmp_path):
+        from repro.io import load_accumulator, save_accumulator
+
+        acc = self._accumulator()
+        path = str(tmp_path / "rounds" / "round4.snapshot")
+        save_accumulator(acc, path)  # creates parent directories
+        restored = load_accumulator(path)
+        assert restored.digest() == acc.digest()
+        assert restored.n == 2 and restored.round_id == 4
+
+    def test_load_missing_file(self):
+        from repro.io import load_accumulator
+
+        with pytest.raises(ValidationError, match="not found"):
+            load_accumulator("/nonexistent/acc.snapshot")
+
+    def test_load_corrupted_file_is_loud(self, tmp_path):
+        from repro.exceptions import WireFormatError
+        from repro.io import load_accumulator, save_accumulator
+
+        path = str(tmp_path / "acc.snapshot")
+        save_accumulator(self._accumulator(), path)
+        blob = bytearray(open(path, "rb").read())
+        blob[-2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(WireFormatError, match="checksum"):
+            load_accumulator(path)
+
+    def test_load_rejects_chunk_frame(self, tmp_path):
+        from repro.io import load_accumulator
+        from repro.pipeline.collect import wire
+
+        path = tmp_path / "chunk.bin"
+        path.write_bytes(wire.dump_chunk(np.zeros((1, 1), dtype=np.uint8), m=8))
+        with pytest.raises(ValidationError, match="not an"):
+            load_accumulator(str(path))
