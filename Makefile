@@ -5,15 +5,17 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test check bench bench-pipeline bench-collect bench-json
+.PHONY: test check bench bench-pipeline bench-collect bench-service bench-json
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
 
-# Tier-1 gate plus smoke runs of (a) the packed fast-sampler pipeline and
+# Tier-1 gate plus smoke runs of (a) the packed fast-sampler pipeline,
 # (b) the durable-collection path — spill to a throwaway ShardStore,
 # out-of-core replay + digest audit, then a localhost socket round-trip
-# through the asyncio Collector — so neither can silently break.
+# through the asyncio Collector — and (c) the authenticated exactly-once
+# CollectionService round-trip with its blind-resend duplicate check —
+# so none of them can silently break.
 check: test
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
 		--n 2000 --m 64 --shards 2 --chunk-size 256 \
@@ -21,6 +23,10 @@ check: test
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
 		--n 1000 --m 48 --shards 2 --chunk-size 128 \
 		--sampler fast --packed --collect --spill-dir $$(mktemp -d)/round
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
+		--n 1000 --m 48 --shards 2 --chunk-size 128 \
+		--sampler fast --packed --collect --spill-dir $$(mktemp -d)/round \
+		--auth-key 00112233445566778899aabbccddeeff
 
 # The benchmark suite uses bench_* naming so default collection skips it.
 bench:
@@ -37,6 +43,14 @@ bench-collect:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_collect.py -q \
 		-o python_files='bench_*.py' -o python_functions='bench_*' \
 		--json benchmarks/results/BENCH_collect.json
+
+# Exactly-once service: authenticated-ingest throughput (vs the raw
+# socket path, with the <= 2x acceptance assertion) and restart-recovery
+# latency, recorded under benchmarks/results/BENCH_service.json.
+bench-service:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_service.py -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*' \
+		--json benchmarks/results/BENCH_service.json
 
 # Machine-readable perf trajectory: BENCH_*.json under benchmarks/results/.
 bench-json:

@@ -11,7 +11,10 @@ Usage::
     python -m repro.cli fig5b [--quick]      # MSNBC
     python -m repro.cli pipeline [--n N] [--m M] [--shards K] [--chunk-size C]
                                  [--sampler fast|bitexact] [--topk K]
-                                 [--spill-dir DIR] [--collect]
+                                 [--spill-dir DIR] [--collect] [--auth-key KEY]
+    python -m repro.cli serve --m M --auth-key KEY --spill-dir DIR
+                              [--round-id R] [--host H] [--port P]
+                              [--resume] [--exit-after N]
 
 ``--quick`` runs scaled-down workloads (seconds instead of minutes); the
 default uses the paper-scale presets.  ``pipeline`` streams the exact
@@ -24,7 +27,13 @@ makes every shard spill its packed report chunks to a durable
 :class:`~repro.pipeline.ShardStore` and audits the round (out-of-core
 replay vs. snapshot digests); ``--collect`` round-trips the shard
 snapshots through an asyncio :class:`~repro.pipeline.Collector` over a
-localhost socket and verifies the merged state digest-for-digest.
+localhost socket and verifies the merged state digest-for-digest (add
+``--auth-key`` to route the round-trip through the authenticated
+exactly-once :class:`~repro.pipeline.CollectionService` instead,
+including a blind-resend duplicate check).  ``serve`` runs the
+exactly-once collection service standalone: HMAC-authenticated
+producer sessions, fsync'd idempotency ledger, durable spill, and
+``--resume`` crash recovery (see ``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -123,13 +132,84 @@ def _audit_spill(spill_dir: str, accumulator) -> None:
         raise SystemExit(f"spill audit FAILED for shards {bad}")
 
 
+def _collect_over_service(args, accumulator, frames) -> None:
+    """Round-trip frames through the authenticated exactly-once service.
+
+    Each frame plays one producer: an HMAC session, one record, one
+    durable ack.  Then every producer *blindly resends* — the
+    exactly-once check: all resends come back ``ACK_DUPLICATE`` and the
+    merged state stays digest-identical to the in-memory round.
+    """
+    import asyncio
+    import shutil
+    import tempfile
+
+    from .pipeline import CollectionService, send_records
+    from .pipeline.collect import wire
+
+    store_root = tempfile.mkdtemp(prefix="repro_service_")
+
+    async def _round_trip() -> tuple[int, int]:
+        service = CollectionService(
+            accumulator.m,
+            round_id=accumulator.round_id,
+            key=args.auth_key,
+            store_root=store_root,
+        )
+        host, port = await service.serve()
+        try:
+            merged = duplicate = 0
+            for index, frame in enumerate(frames):
+                for _attempt in range(2):  # second pass = blind resend
+                    acks = await send_records(
+                        host,
+                        port,
+                        [frame],
+                        key=args.auth_key,
+                        producer_id=f"shard-{index}",
+                        m=accumulator.m,
+                        round_id=accumulator.round_id,
+                    )
+                    merged += sum(
+                        ack.status == wire.ACK_MERGED for ack in acks
+                    )
+                    duplicate += sum(
+                        ack.status == wire.ACK_DUPLICATE for ack in acks
+                    )
+        finally:
+            await service.close()
+        if service.accumulator.digest() != accumulator.digest():
+            raise SystemExit(
+                "service collection FAILED: merged state does not match "
+                "the in-memory accumulator"
+            )
+        return merged, duplicate
+
+    try:
+        merged, duplicate = asyncio.run(_round_trip())
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+    if merged != len(frames) or duplicate != len(frames):
+        raise SystemExit(
+            f"service collection FAILED: expected {len(frames)} merged + "
+            f"{len(frames)} duplicate acks, got {merged} + {duplicate}"
+        )
+    print(
+        f"service collect: {merged} record(s) merged exactly once over an "
+        f"authenticated session, {duplicate} blind resend(s) deduplicated, "
+        "merged state digest-identical to the in-memory round"
+    )
+
+
 def _collect_over_socket(args, accumulator) -> None:
     """Round-trip shard snapshots through a localhost asyncio Collector.
 
     With a spill dir the per-shard snapshot frames feed the collector
     (the real multi-producer shape); otherwise the merged snapshot
     itself makes the trip.  Either way the collector's state must come
-    back digest-identical to the in-memory accumulator.
+    back digest-identical to the in-memory accumulator.  With
+    ``--auth-key`` the trip instead goes through the exactly-once
+    :class:`~repro.pipeline.CollectionService`.
     """
     import asyncio
 
@@ -144,6 +224,10 @@ def _collect_over_socket(args, accumulator) -> None:
         ]
     else:
         frames = [wire.dumps(accumulator)]
+
+    if args.auth_key is not None:
+        _collect_over_service(args, accumulator, frames)
+        return
 
     async def _round_trip() -> int:
         collector = Collector(accumulator.m, round_id=accumulator.round_id)
@@ -259,6 +343,69 @@ def _run_pipeline(args) -> None:
         print(f"  true:      {', '.join(str(i) for i in metrics['true_top'])}")
 
 
+def _run_serve(args) -> None:
+    """Run the exactly-once collection service until stopped.
+
+    ``--exit-after N`` stops once N records have merged (smoke tests,
+    bounded rounds); otherwise the service runs until interrupted.
+    Either way shutdown is graceful: handlers cancelled, spill + ledger
+    synced, final snapshot written atomically.
+    """
+    import asyncio
+
+    from .pipeline import CollectionService
+
+    if args.auth_key is None:
+        raise SystemExit("serve requires --auth-key (the shared round key)")
+    if args.spill_dir is None:
+        raise SystemExit(
+            "serve requires --spill-dir (the round's durable state directory)"
+        )
+
+    async def _serve() -> dict:
+        service = CollectionService(
+            args.m,
+            round_id=args.round_id,
+            key=args.auth_key,
+            store_root=args.spill_dir,
+            resume=args.resume,
+        )
+        host, port = await service.serve(args.host, args.port)
+        resumed = (
+            f", resumed {service.recovered_records} ledgered record(s)"
+            if args.resume
+            else ""
+        )
+        print(
+            f"collection service listening on {host}:{port} "
+            f"(m={args.m}, round={args.round_id}){resumed}",
+            flush=True,
+        )
+        try:
+            while (
+                args.exit_after is None
+                or service.records_merged
+                < service.recovered_records + args.exit_after
+            ):
+                await asyncio.sleep(0.05)
+        finally:
+            await service.close()
+        return service.stats()
+
+    try:
+        stats = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ncollection service interrupted; round state is durable")
+        return
+    print(
+        f"collection service closed: {stats['records_merged']} merged, "
+        f"{stats['records_duplicate']} duplicate, "
+        f"{stats['records_refused']} refused, "
+        f"{stats['sessions_opened']} session(s) from "
+        f"{len(stats['producers'])} producer(s), n={stats['n']}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -277,10 +424,12 @@ def main(argv: list[str] | None = None) -> int:
             "fig5b",
             "compare",
             "pipeline",
+            "serve",
         ],
         help="which table/figure to regenerate, 'compare' to rank all "
-        "mechanisms on a synthetic workload, or 'pipeline' to stream the "
-        "exact per-user path through the sharded aggregation pipeline",
+        "mechanisms on a synthetic workload, 'pipeline' to stream the "
+        "exact per-user path through the sharded aggregation pipeline, or "
+        "'serve' to run the authenticated exactly-once collection service",
     )
     parser.add_argument(
         "--n", type=int, default=20_000, help="compare/pipeline: user count"
@@ -349,6 +498,46 @@ def main(argv: list[str] | None = None) -> int:
         "digest-identical to the in-memory round",
     )
     parser.add_argument(
+        "--auth-key",
+        metavar="KEY",
+        default=None,
+        help="shared round key (hex or passphrase, >= 8 bytes). serve: "
+        "required. pipeline --collect: route the round-trip through the "
+        "authenticated exactly-once CollectionService, including a "
+        "blind-resend duplicate check",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve: recover an interrupted round from the ledger + spill "
+        "under --spill-dir instead of starting fresh",
+    )
+    parser.add_argument(
+        "--round-id",
+        type=int,
+        default=0,
+        help="serve: collection-round tag sessions and records must match",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve: bind port (0 = ephemeral, printed at startup)",
+    )
+    parser.add_argument(
+        "--exit-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: exit cleanly after N newly merged records "
+        "(smoke tests / bounded rounds); default runs until interrupted",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="pipeline: root seed for shard RNGs"
     )
     parser.add_argument(
@@ -393,6 +582,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "pipeline":
         _run_pipeline(args)
+        return 0
+    if args.experiment == "serve":
+        _run_serve(args)
         return 0
 
     if args.experiment == "fig3":

@@ -87,6 +87,36 @@ class WireFormatError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for errors in the exactly-once collection service.
+
+    Everything :mod:`repro.pipeline.service` raises derives from this,
+    so an operator embedding the service can fence off service failures
+    from library-level validation errors with one ``except``.
+    """
+
+
+class AuthenticationError(ServiceError):
+    """A session handshake failed: wrong round key, malformed proof, or
+    a handshake frame out of protocol order.  The service refuses the
+    session before any record frame is examined."""
+
+
+class QuotaExceededError(ServiceError):
+    """A connection exceeded its byte/frame quota or the service's
+    session capacity; the offending connection is shed, already-merged
+    state is untouched."""
+
+
+class LedgerError(ServiceError):
+    """The idempotency ledger refused an operation.
+
+    Raised on equivocation (a producer re-using a sequence number for
+    different frame bytes) and on unrecoverable ledger/spill
+    disagreement during restart recovery.
+    """
+
+
 class EstimationError(ReproError):
     """Frequency estimation cannot proceed.
 

@@ -183,15 +183,17 @@ def save_accumulator(accumulator, path: str) -> None:
 
     Creates parent directories like :func:`save_mechanism`; the file is
     a single frame, so :func:`load_accumulator`, a spill-file reader, or
-    a socket producer can all consume it unchanged.
+    a socket producer can all consume it unchanged.  The write is atomic
+    (temp file + ``os.replace``): a crash mid-save leaves either the
+    previous snapshot or the new one, never a torn frame.
     """
     from .pipeline.collect import wire
+    from .pipeline.collect.store import atomic_write_bytes
 
     frame = wire.dump_snapshot(accumulator)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    with open(path, "wb") as handle:
-        handle.write(frame)
+    atomic_write_bytes(os.path.abspath(path), frame)
 
 
 def load_accumulator(path: str):

@@ -18,6 +18,12 @@ in bounded memory:
   :class:`ShardStore` disk spill with out-of-core replay and digest
   audit, and the asyncio :class:`Collector` ingesting frames from
   concurrent producers (queue or socket feed).
+* :mod:`.service` — the deployment-shaped endpoint on top of
+  :mod:`.collect`: :class:`CollectionService`, an authenticated
+  (HMAC-keyed sessions), exactly-once (fsync'd idempotency ledger),
+  bounded (per-connection quotas + session backpressure), and
+  crash-resumable (ledger + spill recovery) collection service, with
+  :class:`ServiceSession` / :func:`send_records` as the producer side.
 
 All three accept a sampler selection (``"bitexact"`` | ``"fast"`` | a
 :class:`repro.kernels.SamplerConfig`): the fast packed-word kernel
@@ -41,6 +47,13 @@ models differ.
 from .accumulator import CountAccumulator
 from .collect import Collector, PackedChunk, ShardStore, send_frames
 from .engine import iter_report_chunks, report_width, stream_counts
+from .service import (
+    CollectionService,
+    IdempotencyLedger,
+    ServiceLimits,
+    ServiceSession,
+    send_records,
+)
 from .sharded import ShardedRunner, shard_bounds
 
 __all__ = [
@@ -54,4 +67,9 @@ __all__ = [
     "send_frames",
     "ShardStore",
     "PackedChunk",
+    "CollectionService",
+    "ServiceSession",
+    "ServiceLimits",
+    "IdempotencyLedger",
+    "send_records",
 ]

@@ -19,15 +19,26 @@ in-memory :func:`~repro.pipeline.engine.stream_counts` state digest for
 digest.
 """
 
-from .collector import Collector, send_frames
+from .collector import Collector, apply_frame_object, send_frames
 from .store import ShardChunkWriter, ShardStore
 from .wire import (
     HEADER_SIZE,
+    KIND_ACK,
+    KIND_CHALLENGE,
     KIND_CHUNK,
+    KIND_HELLO,
+    KIND_PROOF,
+    KIND_RECORD,
     KIND_SNAPSHOT,
     WIRE_MAGIC,
     WIRE_VERSION,
+    WIRE_VERSION_SESSION,
+    Ack,
     PackedChunk,
+    Record,
+    SessionChallenge,
+    SessionHello,
+    SessionProof,
     dump_chunk,
     dump_snapshot,
     dumps,
@@ -40,9 +51,15 @@ from .wire import (
 __all__ = [
     "Collector",
     "send_frames",
+    "apply_frame_object",
     "ShardStore",
     "ShardChunkWriter",
     "PackedChunk",
+    "SessionHello",
+    "SessionChallenge",
+    "SessionProof",
+    "Record",
+    "Ack",
     "dumps",
     "loads",
     "dump_snapshot",
@@ -52,7 +69,13 @@ __all__ = [
     "iter_frames",
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "WIRE_VERSION_SESSION",
     "KIND_SNAPSHOT",
     "KIND_CHUNK",
+    "KIND_HELLO",
+    "KIND_CHALLENGE",
+    "KIND_PROOF",
+    "KIND_RECORD",
+    "KIND_ACK",
     "HEADER_SIZE",
 ]

@@ -38,8 +38,38 @@ import struct
 from ...exceptions import ValidationError, WireFormatError
 from ..accumulator import CountAccumulator
 from . import wire
+from .framing import read_frame_bytes
 
-__all__ = ["Collector", "send_frames"]
+__all__ = ["Collector", "send_frames", "apply_frame_object"]
+
+
+def apply_frame_object(obj, accumulator: CountAccumulator) -> None:
+    """Absorb one decoded snapshot or chunk into *accumulator*.
+
+    The single merge rule shared by every ingestion surface — the
+    :class:`Collector` transports here and the exactly-once service's
+    live merge and spill replay (:mod:`repro.pipeline.service.server`) —
+    so width/round refusals behave identically everywhere.
+    """
+    if isinstance(obj, CountAccumulator):
+        accumulator.merge(obj)
+    elif isinstance(obj, wire.PackedChunk):
+        if obj.m != accumulator.m:
+            raise ValidationError(
+                f"cannot ingest width-{obj.m} chunk into width-"
+                f"{accumulator.m} round"
+            )
+        if obj.round_id != accumulator.round_id:
+            raise ValidationError(
+                f"cannot ingest round-{obj.round_id} chunk into round "
+                f"{accumulator.round_id}"
+            )
+        accumulator.add_packed_reports(obj.rows)
+    else:
+        raise ValidationError(
+            f"cannot ingest {type(obj).__name__}; expected "
+            "CountAccumulator or PackedChunk"
+        )
 
 
 class Collector:
@@ -62,31 +92,14 @@ class Collector:
         self.connections_failed = 0
         self.last_connection_error: str | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Ingestion core (shared by every transport)
     # ------------------------------------------------------------------
     def _apply(self, obj, accumulator: CountAccumulator) -> None:
         """Absorb one decoded object into *accumulator* (live or staging)."""
-        if isinstance(obj, CountAccumulator):
-            accumulator.merge(obj)
-        elif isinstance(obj, wire.PackedChunk):
-            if obj.m != accumulator.m:
-                raise ValidationError(
-                    f"cannot ingest width-{obj.m} chunk into width-"
-                    f"{accumulator.m} round"
-                )
-            if obj.round_id != accumulator.round_id:
-                raise ValidationError(
-                    f"cannot ingest round-{obj.round_id} chunk into round "
-                    f"{accumulator.round_id}"
-                )
-            accumulator.add_packed_reports(obj.rows)
-        else:
-            raise ValidationError(
-                f"cannot ingest {type(obj).__name__}; expected "
-                "CountAccumulator or PackedChunk"
-            )
+        apply_frame_object(obj, accumulator)
 
     def ingest(self, obj) -> None:
         """Merge one decoded snapshot or packed chunk into the round."""
@@ -122,25 +135,7 @@ class Collector:
     # Socket feed
     # ------------------------------------------------------------------
     async def _read_frame(self, reader: asyncio.StreamReader):
-        try:
-            head = await reader.readexactly(wire.HEADER_SIZE)
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None  # clean EOF on a frame boundary
-            raise WireFormatError(
-                f"truncated frame: header needs {wire.HEADER_SIZE} bytes, "
-                f"got {len(exc.partial)}"
-            ) from exc
-        kind, m, n, round_id, length = wire._parse_header(head)
-        del kind, m, n, round_id  # validated again by loads on the full frame
-        try:
-            rest = await reader.readexactly(length + 4)
-        except asyncio.IncompleteReadError as exc:
-            raise WireFormatError(
-                f"truncated frame: payload needs {length + 4} bytes, "
-                f"got {len(exc.partial)}"
-            ) from exc
-        return head + rest
+        return await read_frame_bytes(reader)
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -156,12 +151,24 @@ class Collector:
         )
         staged_frames = 0
         staged_bytes = 0
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             try:
                 while (frame := await self._read_frame(reader)) is not None:
                     self._apply(wire.loads(frame), staging)
                     staged_frames += 1
                     staged_bytes += len(frame)
+            except asyncio.CancelledError:
+                # close() cancelled a stalled in-flight stream: treat it
+                # as a failed connection (no ack, staging discarded) and
+                # finish normally so the served-task callback stays quiet.
+                self.connections_failed += 1
+                self.last_connection_error = (
+                    "collector closed during an in-flight stream"
+                )
+                return
             except (WireFormatError, ValidationError) as exc:
                 # Drop the connection (and its staging) without an ack;
                 # the producer sees the hang-up and knows nothing from
@@ -179,6 +186,8 @@ class Collector:
             writer.write(struct.pack("<Q", staged_frames))
             await writer.drain()
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -202,11 +211,22 @@ class Collector:
         return bound[0], bound[1]
 
     async def close(self) -> None:
-        """Stop accepting connections (already-merged state stays)."""
+        """Stop accepting connections (already-merged state stays).
+
+        In-flight connection handlers are cancelled and awaited, so a
+        stalled producer — connected, never finishing its stream — can
+        no longer hang shutdown (its staged frames are discarded, same
+        as any other failed connection).
+        """
         if self._server is None:
             return
         server, self._server = self._server, None
         server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
         await server.wait_closed()
 
 

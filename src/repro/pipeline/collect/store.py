@@ -13,6 +13,7 @@ Layout under the store root::
 
     round/
         shard_00000.chunks     concatenated chunk frames (append-only)
+        shard_00000.index      frame-boundary sidecar (durable writers)
         shard_00000.snapshot   one snapshot frame, written at shard end
         shard_00001.chunks
         ...
@@ -20,12 +21,23 @@ Layout under the store root::
 Chunk files are self-describing (every frame carries ``m`` and
 ``round_id``), so a store can be replayed by a process that knows
 nothing but the directory path.
+
+Crash safety: snapshots are written atomically (temp file +
+``os.replace``), so a crash can never leave a torn snapshot frame.  A
+*durable* :class:`ShardChunkWriter` additionally appends each frame's
+end offset to a ``.index`` sidecar and exposes :meth:`~ShardChunkWriter.
+sync` for fsync-before-ack protocols; :meth:`ShardStore.recover_shard`
+then truncates a crashed spill back to its last complete frame (index
+fast path plus a frame-scan fallback for spills written without one),
+so a restart resumes the shard instead of failing on a partial frame.
 """
 
 from __future__ import annotations
 
 import os
 import re
+import struct
+import tempfile
 
 import numpy as np
 
@@ -34,10 +46,38 @@ from ...kernels import packed_width
 from ..accumulator import CountAccumulator
 from . import wire
 
-__all__ = ["ShardStore", "ShardChunkWriter"]
+__all__ = ["ShardStore", "ShardChunkWriter", "atomic_write_bytes"]
 
 _CHUNK_SUFFIX = ".chunks"
+_INDEX_SUFFIX = ".index"
 _SNAPSHOT_SUFFIX = ".snapshot"
+_INDEX_ENTRY = struct.Struct("<Q")
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Atomically replace *path* with *payload* (temp file + rename).
+
+    The shared torn-write guard: snapshots here, accumulator saves in
+    :mod:`repro.io`, and index rewrites during recovery all go through
+    this one helper, so a crash can never leave any of them half
+    written.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 class ShardChunkWriter:
@@ -47,35 +87,136 @@ class ShardChunkWriter:
     no chunks still ends up with one empty chunk frame so the file pins
     ``(m, round_id)`` and replays to an empty accumulator rather than
     failing as frameless.
+
+    Parameters
+    ----------
+    durable:
+        Keep a ``.index`` sidecar of frame end offsets and enable
+        :meth:`sync` (flush + fsync of both files).  This is what lets a
+        service acknowledge a frame only once it can survive a crash,
+        and what :meth:`ShardStore.recover_shard` uses to find the last
+        complete frame without decoding the whole spill.
+    resume:
+        Append to an existing spill instead of starting one.  Run
+        :meth:`ShardStore.recover_shard` first so the file ends on a
+        frame boundary; the writer trusts the current end of file.
     """
 
-    def __init__(self, path: str, m: int, *, round_id: int = 0) -> None:
+    def __init__(
+        self,
+        path: str,
+        m: int,
+        *,
+        round_id: int = 0,
+        durable: bool = False,
+        resume: bool = False,
+    ) -> None:
         self.path = path
         self.m = int(m)
         self.round_id = int(round_id)
+        self.durable = bool(durable)
         self.rows_written = 0
         self.bytes_written = 0
         self.frames_written = 0
-        self._handle = open(path, "wb")
+        mode = "ab" if resume else "wb"
+        self._handle = open(path, mode)
+        self._offset = os.path.getsize(path) if resume else 0
+        self._index = None
+        if self.durable:
+            self._index = open(path + _INDEX_SUFFIX, mode)
+
+    @property
+    def end_offset(self) -> int:
+        """Current end-of-spill offset (a frame boundary after writes)."""
+        return self._offset
+
+    def append_frame(self, frame: bytes) -> int:
+        """Append one already-encoded frame verbatim; returns its size.
+
+        The raw-bytes entry point for services that spill the exact
+        frame a producer sent (so ledgered digests match the file
+        contents byte for byte).  The caller is responsible for having
+        validated the frame; :meth:`write` is the validating path.
+        """
+        if self._handle is None:
+            raise ValidationError(f"writer for {self.path} is closed")
+        self._handle.write(frame)
+        self._offset += len(frame)
+        if self._index is not None:
+            self._index.write(_INDEX_ENTRY.pack(self._offset))
+        self.bytes_written += len(frame)
+        self.frames_written += 1
+        return len(frame)
 
     def write(self, rows) -> int:
         """Append one packed chunk; returns frame bytes written."""
         if self._handle is None:
             raise ValidationError(f"writer for {self.path} is closed")
         frame = wire.dump_chunk(rows, self.m, round_id=self.round_id)
-        self._handle.write(frame)
+        self.append_frame(frame)
         self.rows_written += len(rows)
-        self.bytes_written += len(frame)
-        self.frames_written += 1
         return len(frame)
+
+    def rollback(self, offset: int) -> None:
+        """Undo appends past *offset* (a prior frame boundary).
+
+        The repair path for a multi-frame append that failed partway
+        (e.g. an fsync error mid group-commit): truncate the spill back
+        to the last known-good boundary so appended-but-uncommitted
+        frames can never be mistaken for committed state.  Index
+        entries beyond the boundary are truncated too (entries are
+        strictly increasing, so they form a suffix).
+        """
+        if self._handle is None:
+            raise ValidationError(f"writer for {self.path} is closed")
+        offset = int(offset)
+        if offset < 0 or offset > self._offset:
+            raise ValidationError(
+                f"cannot roll back to offset {offset}: spill ends at "
+                f"{self._offset}"
+            )
+        self._handle.flush()
+        os.ftruncate(self._handle.fileno(), offset)
+        self._offset = offset
+        if self._index is not None:
+            self._index.flush()
+            with open(self.path + _INDEX_SUFFIX, "rb") as handle:
+                blob = handle.read()
+            blob = blob[: len(blob) - len(blob) % _INDEX_ENTRY.size]
+            keep = 0
+            for (entry,) in _INDEX_ENTRY.iter_unpack(blob):
+                if entry > offset:
+                    break
+                keep += 1
+            os.ftruncate(self._index.fileno(), keep * _INDEX_ENTRY.size)
+
+    def sync(self) -> None:
+        """Flush and fsync the spill; flush (only) the index.
+
+        After ``sync`` returns, every appended frame survives a crash —
+        the precondition for acknowledging it to a producer.  The index
+        sidecar is deliberately *not* fsync'd on the hot path: recovery
+        treats it as a fast path and frame-scans any unindexed tail, so
+        a lost index entry costs recovery time, never correctness — and
+        skipping its fsync removes a third of the per-commit fsyncs.
+        """
+        if self._handle is None:
+            raise ValidationError(f"writer for {self.path} is closed")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        if self._index is not None:
+            self._index.flush()
 
     def close(self) -> None:
         if self._handle is None:
             return
-        if self.frames_written == 0:
+        if self.frames_written == 0 and self._offset == 0:
             self.write(np.empty((0, packed_width(self.m)), dtype=np.uint8))
         handle, self._handle = self._handle, None
         handle.close()
+        if self._index is not None:
+            index, self._index = self._index, None
+            index.close()
 
     def __enter__(self) -> "ShardChunkWriter":
         return self
@@ -105,6 +246,9 @@ class ShardStore:
     def chunk_path(self, shard_id: int) -> str:
         return os.path.join(self.root, f"shard_{int(shard_id):05d}{_CHUNK_SUFFIX}")
 
+    def index_path(self, shard_id: int) -> str:
+        return self.chunk_path(shard_id) + _INDEX_SUFFIX
+
     def snapshot_path(self, shard_id: int) -> str:
         return os.path.join(self.root, f"shard_{int(shard_id):05d}{_SNAPSHOT_SUFFIX}")
 
@@ -132,16 +276,126 @@ class ShardStore:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def writer(self, shard_id: int, m: int, *, round_id: int = 0) -> ShardChunkWriter:
+    def writer(
+        self,
+        shard_id: int,
+        m: int,
+        *,
+        round_id: int = 0,
+        durable: bool = False,
+        resume: bool = False,
+    ) -> ShardChunkWriter:
         """Open an append-only chunk writer for one shard."""
-        return ShardChunkWriter(self.chunk_path(shard_id), m, round_id=round_id)
+        return ShardChunkWriter(
+            self.chunk_path(shard_id),
+            m,
+            round_id=round_id,
+            durable=durable,
+            resume=resume,
+        )
 
     def write_snapshot(self, shard_id: int, accumulator: CountAccumulator) -> str:
-        """Persist one shard's final accumulator state; returns the path."""
+        """Persist one shard's final accumulator state; returns the path.
+
+        The write is atomic (temp file + ``os.replace``): readers see
+        either the previous snapshot or the new one, never a torn frame.
+        """
         path = self.snapshot_path(shard_id)
-        with open(path, "wb") as handle:
-            wire.write_frame(handle, accumulator)
+        atomic_write_bytes(path, wire.dumps(accumulator))
         return path
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _read_index(self, shard_id: int, file_size: int) -> list[int]:
+        """Frame end offsets from the ``.index`` sidecar, crash-tolerant.
+
+        A torn trailing entry (crash mid index append) is dropped, as is
+        any offset beyond the chunk file's actual size (index flushed
+        ahead of a chunk write that never hit the disk) or out of order.
+        """
+        path = self.index_path(shard_id)
+        if not os.path.exists(path):
+            return []
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        blob = blob[: len(blob) - len(blob) % _INDEX_ENTRY.size]
+        offsets: list[int] = []
+        for (offset,) in _INDEX_ENTRY.iter_unpack(blob):
+            if offset > file_size or (offsets and offset <= offsets[-1]):
+                break
+            offsets.append(offset)
+        return offsets
+
+    def recover_shard(
+        self, shard_id: int, *, committed_offset: int | None = None
+    ) -> dict:
+        """Truncate a crashed shard spill back to complete-frame state.
+
+        Finds the last frame boundary — the ``.index`` sidecar is the
+        fast path, then a frame-by-frame scan of any unindexed tail — and
+        truncates both the chunk file and the sidecar there, discarding a
+        partial frame torn by a crash.  With *committed_offset* (a
+        service's ledger high-water mark) the spill is instead cut at
+        exactly that boundary, so frames that were spilled but never
+        acknowledged are dropped and a producer's blind resend cannot
+        double-count them.
+
+        Returns ``{"offset", "frames", "discarded_bytes"}`` for the
+        recovered spill.
+        """
+        path = self.chunk_path(shard_id)
+        if not os.path.exists(path):
+            if committed_offset not in (None, 0):
+                raise ValidationError(
+                    f"cannot recover shard {shard_id}: ledger commits "
+                    f"{committed_offset} spill bytes but no chunk file "
+                    f"exists under {self.root}"
+                )
+            return {"offset": 0, "frames": 0, "discarded_bytes": 0}
+        file_size = os.path.getsize(path)
+        offsets = self._read_index(shard_id, file_size)
+        end = offsets[-1] if offsets else 0
+        frames = len(offsets)
+        # Scan the unindexed tail (non-durable writers have no index at
+        # all) for further complete frames.
+        with open(path, "rb") as handle:
+            handle.seek(end)
+            while True:
+                try:
+                    if wire.read_frame(handle) is None:
+                        break
+                except WireFormatError:
+                    break
+                end = handle.tell()
+                frames += 1
+                offsets.append(end)
+        if committed_offset is not None:
+            if committed_offset > end:
+                raise ValidationError(
+                    f"cannot recover shard {shard_id}: ledger commits "
+                    f"offset {committed_offset} but only {end} bytes of "
+                    "complete frames survive on disk"
+                )
+            if committed_offset not in offsets and committed_offset != 0:
+                raise ValidationError(
+                    f"cannot recover shard {shard_id}: committed offset "
+                    f"{committed_offset} is not a frame boundary"
+                )
+            while offsets and offsets[-1] > committed_offset:
+                offsets.pop()
+                frames -= 1
+            end = committed_offset
+        discarded = file_size - end
+        if discarded:
+            with open(path, "r+b") as handle:
+                handle.truncate(end)
+        if os.path.exists(self.index_path(shard_id)):
+            atomic_write_bytes(
+                self.index_path(shard_id),
+                b"".join(_INDEX_ENTRY.pack(offset) for offset in offsets),
+            )
+        return {"offset": end, "frames": frames, "discarded_bytes": discarded}
 
     # ------------------------------------------------------------------
     # Reading

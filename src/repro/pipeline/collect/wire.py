@@ -26,6 +26,16 @@ parsing the rest.  Snapshot payloads are the ``m`` little-endian
 is inside the checksummed region), so frames concatenate freely into
 spill files and socket streams with no outer framing.
 
+Version 2 adds the *session* frames of the exactly-once collection
+service (:mod:`repro.pipeline.service`): an HMAC handshake
+(``SessionHello`` → ``SessionChallenge`` → ``SessionProof``), the
+``Record`` envelope that wraps a core frame with a producer-assigned
+sequence number, and the ``Ack`` status frame.  Session kinds are
+version-gated: the core data frames (kinds 1-2) still encode as version
+1 — every existing spill file and golden fixture stays byte-identical —
+while kinds 3-7 encode as version 2, and a reader refuses a kind paired
+with the wrong version.
+
 Decoding is loud on every failure mode a transport can produce: wrong
 magic, unsupported version (the message names found and supported
 versions), truncation mid-header or mid-payload, and CRC mismatch on
@@ -48,10 +58,27 @@ from ..accumulator import CountAccumulator
 __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "WIRE_VERSION_SESSION",
     "KIND_SNAPSHOT",
     "KIND_CHUNK",
+    "KIND_HELLO",
+    "KIND_CHALLENGE",
+    "KIND_PROOF",
+    "KIND_RECORD",
+    "KIND_ACK",
+    "ACK_SESSION",
+    "ACK_MERGED",
+    "ACK_DUPLICATE",
+    "ACK_REFUSED",
     "HEADER_SIZE",
+    "SESSION_NONCE_SIZE",
+    "SESSION_MAC_SIZE",
     "PackedChunk",
+    "SessionHello",
+    "SessionChallenge",
+    "SessionProof",
+    "Record",
+    "Ack",
     "dump_snapshot",
     "dump_chunk",
     "dumps",
@@ -63,13 +90,48 @@ __all__ = [
 
 WIRE_MAGIC = b"IDLP"
 WIRE_VERSION = 1
+WIRE_VERSION_SESSION = 2
 KIND_SNAPSHOT = 1
 KIND_CHUNK = 2
+KIND_HELLO = 3
+KIND_CHALLENGE = 4
+KIND_PROOF = 5
+KIND_RECORD = 6
+KIND_ACK = 7
+
+# Ack statuses (the u16 leading the Ack payload).
+ACK_SESSION = 1  # handshake accepted; records may flow
+ACK_MERGED = 2  # record merged into the round and durably ledgered
+ACK_DUPLICATE = 3  # record already ledgered; acked but NOT re-merged
+ACK_REFUSED = 4  # auth failure, quota breach, conflict, or bad frame
+
+SESSION_NONCE_SIZE = 16
+SESSION_MAC_SIZE = 32  # HMAC-SHA256
 
 _HEADER = struct.Struct("<4sHHQQqI")
 _CRC = struct.Struct("<I")
 HEADER_SIZE = _HEADER.size + _CRC.size  # 40 bytes
-_KIND_NAMES = {KIND_SNAPSHOT: "snapshot", KIND_CHUNK: "chunk"}
+_KIND_NAMES = {
+    KIND_SNAPSHOT: "snapshot",
+    KIND_CHUNK: "chunk",
+    KIND_HELLO: "session-hello",
+    KIND_CHALLENGE: "session-challenge",
+    KIND_PROOF: "session-proof",
+    KIND_RECORD: "record",
+    KIND_ACK: "ack",
+}
+# Kind <-> version gating: core data frames stay version 1 (their bytes
+# are pinned by golden fixtures); session frames require version 2.
+_KIND_VERSIONS = {
+    KIND_SNAPSHOT: WIRE_VERSION,
+    KIND_CHUNK: WIRE_VERSION,
+    KIND_HELLO: WIRE_VERSION_SESSION,
+    KIND_CHALLENGE: WIRE_VERSION_SESSION,
+    KIND_PROOF: WIRE_VERSION_SESSION,
+    KIND_RECORD: WIRE_VERSION_SESSION,
+    KIND_ACK: WIRE_VERSION_SESSION,
+}
+SUPPORTED_VERSIONS = (WIRE_VERSION, WIRE_VERSION_SESSION)
 
 
 @dataclass(frozen=True)
@@ -93,6 +155,80 @@ class PackedChunk:
         return int(self.rows.shape[0])
 
 
+@dataclass(frozen=True)
+class SessionHello:
+    """Session opener: a producer's claimed identity and round geometry.
+
+    ``nonce`` is the producer's fresh random contribution to the
+    handshake transcript; the service answers with its own
+    (:class:`SessionChallenge`), and both go under the HMAC so neither
+    side can replay a recorded handshake.
+    """
+
+    m: int
+    round_id: int
+    producer_id: str
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class SessionChallenge:
+    """Service reply to a hello: the server-side handshake nonce."""
+
+    m: int
+    round_id: int
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class SessionProof:
+    """Producer's HMAC over the handshake transcript (see service.auth)."""
+
+    m: int
+    round_id: int
+    mac: bytes
+
+
+@dataclass(frozen=True)
+class Record:
+    """Exactly-once envelope: one core frame plus a producer sequence.
+
+    ``frame`` is a complete serialized version-1 frame (chunk or
+    snapshot); ``seq`` is the producer's durable, monotonically assigned
+    sequence number.  The service's idempotency ledger keys on
+    ``(producer_id, seq)`` with a digest of ``frame``, so a blind resend
+    of an already-merged record is acknowledged but not re-merged, and
+    the same ``seq`` with *different* bytes is refused as equivocation.
+    """
+
+    m: int
+    round_id: int
+    seq: int
+    frame: bytes
+
+    def decode(self):
+        """Decode the enclosed core frame (chunk or snapshot).
+
+        The full CRC check runs even though the envelope's own CRC
+        already covered these bytes: the service spills record frames
+        verbatim and re-reads them through the checksummed path at
+        every recovery, so a record whose *inner* CRC is wrong must be
+        refused at ingest — accepting it would poison restart replay.
+        """
+        return loads(self.frame)
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Per-frame service response: a status code plus a detail string."""
+
+    m: int
+    round_id: int
+    seq: int
+    status: int
+    detail: str = ""
+
+
 def _check_chunk_rows(rows, m: int) -> np.ndarray:
     rows = np.ascontiguousarray(rows)
     width = packed_width(m)
@@ -110,7 +246,9 @@ def _check_chunk_rows(rows, m: int) -> np.ndarray:
 # Encoding
 # ----------------------------------------------------------------------
 def _frame(kind: int, m: int, n: int, round_id: int, payload: bytes) -> bytes:
-    head = _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, kind, m, n, round_id, len(payload))
+    head = _HEADER.pack(
+        WIRE_MAGIC, _KIND_VERSIONS[kind], kind, m, n, round_id, len(payload)
+    )
     return b"".join(
         (
             head,
@@ -119,6 +257,15 @@ def _frame(kind: int, m: int, n: int, round_id: int, payload: bytes) -> bytes:
             _CRC.pack(zlib.crc32(payload)),
         )
     )
+
+
+def _check_nonce(nonce: bytes, who: str) -> bytes:
+    nonce = bytes(nonce)
+    if len(nonce) != SESSION_NONCE_SIZE:
+        raise ValidationError(
+            f"{who} nonce must be {SESSION_NONCE_SIZE} bytes, got {len(nonce)}"
+        )
+    return nonce
 
 
 def dump_snapshot(accumulator: CountAccumulator) -> bytes:
@@ -139,23 +286,94 @@ def dump_chunk(rows, m: int, *, round_id: int = 0) -> bytes:
     return _frame(KIND_CHUNK, m, rows.shape[0], int(round_id), rows.tobytes())
 
 
+def dump_hello(hello: SessionHello) -> bytes:
+    """Serialize a session hello (version-2 frame)."""
+    producer = hello.producer_id.encode("utf-8")
+    if not producer:
+        raise ValidationError("producer_id must be a non-empty string")
+    if len(producer) > 0xFFFF:
+        raise ValidationError(
+            f"producer_id is {len(producer)} UTF-8 bytes; the wire caps it "
+            "at 65535"
+        )
+    payload = (
+        struct.pack("<H", len(producer))
+        + producer
+        + _check_nonce(hello.nonce, "hello")
+    )
+    return _frame(KIND_HELLO, hello.m, 0, hello.round_id, payload)
+
+
+def dump_challenge(challenge: SessionChallenge) -> bytes:
+    """Serialize a session challenge (version-2 frame)."""
+    payload = _check_nonce(challenge.nonce, "challenge")
+    return _frame(KIND_CHALLENGE, challenge.m, 0, challenge.round_id, payload)
+
+
+def dump_proof(proof: SessionProof) -> bytes:
+    """Serialize a session proof (version-2 frame)."""
+    mac = bytes(proof.mac)
+    if len(mac) != SESSION_MAC_SIZE:
+        raise ValidationError(
+            f"session proof MAC must be {SESSION_MAC_SIZE} bytes, got {len(mac)}"
+        )
+    return _frame(KIND_PROOF, proof.m, 0, proof.round_id, mac)
+
+
+def dump_record(record: Record) -> bytes:
+    """Serialize an exactly-once record envelope (version-2 frame)."""
+    frame = bytes(record.frame)
+    if len(frame) < HEADER_SIZE:
+        raise ValidationError(
+            f"record must wrap a complete core frame (>= {HEADER_SIZE} "
+            f"bytes), got {len(frame)}"
+        )
+    seq = int(record.seq)
+    if seq < 0:
+        raise ValidationError(f"record seq must be non-negative, got {seq}")
+    return _frame(KIND_RECORD, record.m, seq, record.round_id, frame)
+
+
+def dump_ack(ack: Ack) -> bytes:
+    """Serialize a service acknowledgement (version-2 frame)."""
+    if ack.status not in (ACK_SESSION, ACK_MERGED, ACK_DUPLICATE, ACK_REFUSED):
+        raise ValidationError(f"unknown ack status {ack.status}")
+    payload = struct.pack("<H", ack.status) + ack.detail.encode("utf-8")
+    return _frame(KIND_ACK, ack.m, int(ack.seq), ack.round_id, payload)
+
+
+_SESSION_DUMPERS = {
+    SessionHello: dump_hello,
+    SessionChallenge: dump_challenge,
+    SessionProof: dump_proof,
+    Record: dump_record,
+    Ack: dump_ack,
+}
+
+
 def dumps(obj) -> bytes:
-    """Serialize a :class:`CountAccumulator` or :class:`PackedChunk`."""
+    """Serialize any wire object (core data frame or session frame)."""
     if isinstance(obj, CountAccumulator):
         return dump_snapshot(obj)
     if isinstance(obj, PackedChunk):
         return dump_chunk(obj.rows, obj.m, round_id=obj.round_id)
+    dumper = _SESSION_DUMPERS.get(type(obj))
+    if dumper is not None:
+        return dumper(obj)
     raise ValidationError(
-        f"cannot serialize {type(obj).__name__}; expected CountAccumulator "
-        "or PackedChunk"
+        f"cannot serialize {type(obj).__name__}; expected CountAccumulator, "
+        "PackedChunk, or a session frame object"
     )
 
 
 # ----------------------------------------------------------------------
 # Decoding
 # ----------------------------------------------------------------------
-def _parse_header(head: bytes) -> tuple[int, int, int, int, int]:
-    """Validate a 40-byte header; returns ``(kind, m, n, round_id, length)``."""
+def _parse_header(head: bytes) -> tuple[int, int, int, int, int, int]:
+    """Validate a 40-byte header.
+
+    Returns ``(version, kind, m, n, round_id, length)``.
+    """
     if len(head) < HEADER_SIZE:
         raise WireFormatError(
             f"truncated frame: header needs {HEADER_SIZE} bytes, got {len(head)}"
@@ -166,10 +384,11 @@ def _parse_header(head: bytes) -> tuple[int, int, int, int, int]:
             f"bad magic {magic!r}: not a wire-format frame "
             f"(expected {WIRE_MAGIC!r})"
         )
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise WireFormatError(
             f"unsupported wire-format version {version}; this reader "
-            f"supports version {WIRE_VERSION}"
+            f"supports version {WIRE_VERSION} (core frames) and "
+            f"{WIRE_VERSION_SESSION} (session frames)"
         )
     (stored_crc,) = _CRC.unpack_from(head, _HEADER.size)
     if stored_crc != zlib.crc32(head[: _HEADER.size]):
@@ -177,13 +396,78 @@ def _parse_header(head: bytes) -> tuple[int, int, int, int, int]:
     _, _, kind, m, n, round_id, length = _HEADER.unpack_from(head)
     if kind not in _KIND_NAMES:
         raise WireFormatError(f"unknown frame kind {kind}")
-    return kind, m, n, round_id, length
+    if version != _KIND_VERSIONS[kind]:
+        raise WireFormatError(
+            f"{_KIND_NAMES[kind]} frames require wire-format version "
+            f"{_KIND_VERSIONS[kind]}, got version {version}"
+        )
+    return version, kind, m, n, round_id, length
+
+
+def _decode_session(kind: int, m: int, n: int, round_id: int, payload: bytes):
+    name = _KIND_NAMES[kind]
+    if kind == KIND_HELLO:
+        if len(payload) < 2:
+            raise WireFormatError(f"{name} payload is too short to parse")
+        (producer_len,) = struct.unpack_from("<H", payload)
+        expected = 2 + producer_len + SESSION_NONCE_SIZE
+        if len(payload) != expected:
+            raise WireFormatError(
+                f"{name} payload must be {expected} bytes for a "
+                f"{producer_len}-byte producer id, got {len(payload)}"
+            )
+        try:
+            producer_id = payload[2 : 2 + producer_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"{name} producer id is not UTF-8") from exc
+        if not producer_id:
+            raise WireFormatError(f"{name} declares an empty producer id")
+        return SessionHello(
+            m=m,
+            round_id=round_id,
+            producer_id=producer_id,
+            nonce=payload[2 + producer_len :],
+        )
+    if kind == KIND_CHALLENGE:
+        if len(payload) != SESSION_NONCE_SIZE:
+            raise WireFormatError(
+                f"{name} payload must be {SESSION_NONCE_SIZE} bytes, "
+                f"got {len(payload)}"
+            )
+        return SessionChallenge(m=m, round_id=round_id, nonce=payload)
+    if kind == KIND_PROOF:
+        if len(payload) != SESSION_MAC_SIZE:
+            raise WireFormatError(
+                f"{name} payload must be {SESSION_MAC_SIZE} bytes, "
+                f"got {len(payload)}"
+            )
+        return SessionProof(m=m, round_id=round_id, mac=payload)
+    if kind == KIND_RECORD:
+        if len(payload) < HEADER_SIZE:
+            raise WireFormatError(
+                f"{name} payload must hold a complete core frame "
+                f"(>= {HEADER_SIZE} bytes), got {len(payload)}"
+            )
+        return Record(m=m, round_id=round_id, seq=n, frame=payload)
+    # KIND_ACK
+    if len(payload) < 2:
+        raise WireFormatError(f"{name} payload is too short to parse")
+    (status,) = struct.unpack_from("<H", payload)
+    if status not in (ACK_SESSION, ACK_MERGED, ACK_DUPLICATE, ACK_REFUSED):
+        raise WireFormatError(f"{name} carries unknown status {status}")
+    try:
+        detail = payload[2:].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"{name} detail is not UTF-8") from exc
+    return Ack(m=m, round_id=round_id, seq=n, status=status, detail=detail)
 
 
 def _decode(kind: int, m: int, n: int, round_id: int, payload: bytes):
     name = _KIND_NAMES[kind]
     if m <= 0:
         raise WireFormatError(f"{name} frame declares non-positive width m={m}")
+    if kind not in (KIND_SNAPSHOT, KIND_CHUNK):
+        return _decode_session(kind, m, n, round_id, payload)
     if kind == KIND_SNAPSHOT:
         if len(payload) != 8 * m:
             raise WireFormatError(
@@ -208,7 +492,7 @@ def _decode(kind: int, m: int, n: int, round_id: int, payload: bytes):
 def loads(data: bytes):
     """Decode exactly one frame from *data* (no trailing bytes allowed)."""
     data = bytes(data)
-    kind, m, n, round_id, length = _parse_header(data[:HEADER_SIZE])
+    _, kind, m, n, round_id, length = _parse_header(data[:HEADER_SIZE])
     expected = HEADER_SIZE + length + _CRC.size
     if len(data) < expected:
         raise WireFormatError(
@@ -249,7 +533,7 @@ def read_frame(stream):
     head = stream.read(HEADER_SIZE)
     if not head:
         return None
-    kind, m, n, round_id, length = _parse_header(head)
+    _, kind, m, n, round_id, length = _parse_header(head)
     rest = stream.read(length + _CRC.size)
     if len(rest) < length + _CRC.size:
         raise WireFormatError(

@@ -1,0 +1,50 @@
+"""Exactly-once, authenticated collection service.
+
+The :class:`~repro.pipeline.collect.collector.Collector` of
+:mod:`repro.pipeline.collect` is a lab endpoint: producers are
+anonymous, delivery is at-least-once (a lost ack after a successful
+merge makes a blind resend double-count), and a crash mid-round loses
+the live state.  This package is the deployment-shaped endpoint layered
+on the same wire format, PrivCount-style:
+
+* :mod:`.auth` — the HMAC-keyed session handshake: only producers
+  holding the shared round key can open a session, and every session
+  carries a producer identity.
+* :mod:`.ledger` — :class:`IdempotencyLedger`, the append-only
+  write-ahead ledger of ``(producer_id, seq, digest, spill_end)``
+  records, fsync'd before every ack, that turns at-least-once transport
+  into exactly-once ingestion: a blind resend is acked but not
+  re-merged, and a reused sequence number with different bytes is
+  refused as equivocation.
+* :mod:`.quotas` — :class:`ServiceLimits`, per-connection byte/frame
+  quotas and session capacity, so a flood of producers stalls or is
+  shed instead of OOMing the service.
+* :mod:`.server` — :class:`CollectionService`, the asyncio endpoint
+  tying it together: durable spill (via a durable
+  :class:`~repro.pipeline.collect.store.ShardChunkWriter`), ledger,
+  live accumulator, and crash recovery (``resume=True`` truncates the
+  spill to the ledger's committed offset and replays it, so a restart
+  loses nothing and double-counts nothing).
+* :mod:`.client` — :class:`ServiceSession` / :func:`send_records`, the
+  producer side of the handshake and record protocol.
+
+See ``docs/service.md`` for the protocol, ledger format, and recovery
+semantics.
+"""
+
+from .auth import derive_round_key, session_mac
+from .client import ServiceSession, send_records
+from .ledger import IdempotencyLedger, LedgerEntry
+from .quotas import ServiceLimits
+from .server import CollectionService
+
+__all__ = [
+    "CollectionService",
+    "ServiceSession",
+    "send_records",
+    "IdempotencyLedger",
+    "LedgerEntry",
+    "ServiceLimits",
+    "session_mac",
+    "derive_round_key",
+]

@@ -1,0 +1,126 @@
+"""HMAC session authentication for the collection service.
+
+The handshake is a three-frame challenge-response over the version-2
+session frames of :mod:`repro.pipeline.collect.wire`:
+
+1. producer → service: :class:`~repro.pipeline.collect.wire.SessionHello`
+   with the claimed ``(m, round_id)``, a producer identity, and a fresh
+   16-byte client nonce;
+2. service → producer: :class:`~repro.pipeline.collect.wire.
+   SessionChallenge` with a fresh 16-byte server nonce;
+3. producer → service: :class:`~repro.pipeline.collect.wire.SessionProof`
+   carrying ``HMAC-SHA256(key, transcript)`` where the transcript binds
+   the protocol label, round geometry, producer identity, and both
+   nonces.
+
+Because both nonces are inside the MAC, a recorded handshake cannot be
+replayed against a fresh challenge, and a proof minted for one round or
+producer identity cannot be spent on another.  The key is a shared
+*round* secret — whoever holds it is a legitimate producer for that
+round; per-producer keys would drop in here as a key-lookup by
+``producer_id`` without touching the frame flow.
+
+Record frames after the handshake are not individually MAC'd: the
+threat model is an untrusted *network* and unauthorized producers, not
+a man-in-the-middle tampering inside an established TCP stream (run TLS
+underneath for that).  What exactness requires — resend-safety — comes
+from the idempotency ledger, not the MAC.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+
+from ...exceptions import ValidationError
+
+__all__ = [
+    "MIN_KEY_BYTES",
+    "derive_round_key",
+    "fresh_nonce",
+    "session_mac",
+    "verify_session_mac",
+]
+
+_PROTOCOL_LABEL = b"IDLP-session-v2"
+MIN_KEY_BYTES = 8
+
+
+def derive_round_key(secret) -> bytes:
+    """Normalize an operator-supplied secret into a round key.
+
+    Accepts raw ``bytes`` or a string (hex is decoded, anything else is
+    taken as a UTF-8 passphrase).  The result must be at least
+    ``MIN_KEY_BYTES`` bytes — a round key guards every report of a
+    round, and a trivially guessable one is a configuration error worth
+    failing loudly on.
+    """
+    if isinstance(secret, str):
+        try:
+            key = bytes.fromhex(secret)
+        except ValueError:
+            key = secret.encode("utf-8")
+    else:
+        key = bytes(secret)
+    if len(key) < MIN_KEY_BYTES:
+        raise ValidationError(
+            f"round key must be at least {MIN_KEY_BYTES} bytes, got {len(key)}"
+        )
+    return key
+
+
+def fresh_nonce() -> bytes:
+    """A fresh 16-byte handshake nonce from the OS CSPRNG."""
+    return os.urandom(16)
+
+
+def session_mac(
+    key: bytes,
+    *,
+    m: int,
+    round_id: int,
+    producer_id: str,
+    client_nonce: bytes,
+    server_nonce: bytes,
+) -> bytes:
+    """HMAC-SHA256 over the handshake transcript (32 bytes).
+
+    The producer id is length-prefixed inside the transcript so no two
+    distinct ``(producer_id, nonce)`` pairs can collide into the same
+    MAC input.
+    """
+    producer = producer_id.encode("utf-8")
+    transcript = b"".join(
+        (
+            _PROTOCOL_LABEL,
+            struct.pack("<QqH", m, round_id, len(producer)),
+            producer,
+            bytes(client_nonce),
+            bytes(server_nonce),
+        )
+    )
+    return hmac.new(key, transcript, hashlib.sha256).digest()
+
+
+def verify_session_mac(
+    key: bytes,
+    mac: bytes,
+    *,
+    m: int,
+    round_id: int,
+    producer_id: str,
+    client_nonce: bytes,
+    server_nonce: bytes,
+) -> bool:
+    """Constant-time check of a producer's session proof."""
+    expected = session_mac(
+        key,
+        m=m,
+        round_id=round_id,
+        producer_id=producer_id,
+        client_nonce=client_nonce,
+        server_nonce=server_nonce,
+    )
+    return hmac.compare_digest(expected, bytes(mac))

@@ -1,0 +1,263 @@
+"""Producer side of the exactly-once collection protocol.
+
+:class:`ServiceSession` runs the HMAC handshake and then ships records
+one at a time, each blocking on its per-record ack; :func:`send_records`
+is the one-shot convenience.  The client-visible contract:
+
+* ``ACK_MERGED`` — the record is durably committed (spill + ledger
+  fsync'd) and in the round;
+* ``ACK_DUPLICATE`` — the record was *already* committed (this send was
+  a resend after a lost ack); the producer advances exactly as for
+  merged — that status is the exactly-once guarantee working;
+* ``ACK_REFUSED`` — the record (or session) was rejected; the detail
+  string says why, and the service closes the connection.
+
+A producer that crashes or loses its connection mid-round simply
+reconnects and **blindly resends every record it cannot prove was
+acked** — duplicates are free, gaps are losses, so resending is always
+the safe move.  Sequence numbers must be durable at the producer (a
+file, a cursor into its own spill) and never reused for different
+bytes; the service refuses such equivocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ...exceptions import (
+    AuthenticationError,
+    ServiceError,
+    ValidationError,
+    WireFormatError,
+)
+from ..collect import wire
+from .auth import derive_round_key, fresh_nonce, session_mac
+from ..collect.framing import read_session_frame
+
+__all__ = ["ServiceSession", "send_records"]
+
+
+class ServiceSession:
+    """One authenticated producer connection to a collection service."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        key,
+        producer_id: str,
+        m: int,
+        round_id: int = 0,
+    ) -> None:
+        if not producer_id:
+            raise ValidationError("producer_id must be a non-empty string")
+        self.host = host
+        self.port = port
+        self.key = derive_round_key(key)
+        self.producer_id = producer_id
+        self.m = int(m)
+        self.round_id = int(round_id)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        """Open the connection and complete the HMAC handshake.
+
+        Raises :class:`~repro.exceptions.AuthenticationError` when the
+        service refuses the session (wrong key, round mismatch, or
+        capacity shed — the message carries the service's detail).
+        """
+        if self._writer is not None:
+            raise ValidationError("session is already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        try:
+            client_nonce = fresh_nonce()
+            await self._send(
+                wire.SessionHello(
+                    m=self.m,
+                    round_id=self.round_id,
+                    producer_id=self.producer_id,
+                    nonce=client_nonce,
+                )
+            )
+            reply = await self._read("session challenge")
+            if isinstance(reply, wire.Ack):
+                raise AuthenticationError(
+                    f"service refused the session: {reply.detail}"
+                )
+            if not isinstance(reply, wire.SessionChallenge):
+                raise AuthenticationError(
+                    f"expected a session challenge, got {type(reply).__name__}"
+                )
+            mac = session_mac(
+                self.key,
+                m=self.m,
+                round_id=self.round_id,
+                producer_id=self.producer_id,
+                client_nonce=client_nonce,
+                server_nonce=reply.nonce,
+            )
+            await self._send(
+                wire.SessionProof(m=self.m, round_id=self.round_id, mac=mac)
+            )
+            ack = await self._read("session ack")
+            if not isinstance(ack, wire.Ack) or ack.status != wire.ACK_SESSION:
+                detail = ack.detail if isinstance(ack, wire.Ack) else repr(ack)
+                raise AuthenticationError(
+                    f"service refused the session: {detail}"
+                )
+        except BaseException:
+            await self.close()
+            raise
+
+    async def send(self, frame, seq: int) -> wire.Ack:
+        """Ship one record and block for its ack.
+
+        *frame* is core-frame ``bytes`` or an encodable object
+        (:class:`~repro.pipeline.accumulator.CountAccumulator` /
+        :class:`~repro.pipeline.collect.wire.PackedChunk`).  Returns the
+        service's :class:`~repro.pipeline.collect.wire.Ack`; both
+        ``ACK_MERGED`` and ``ACK_DUPLICATE`` mean the record is in the
+        round.
+        """
+        await self.send_nowait(frame, seq)
+        return await self.read_ack(seq)
+
+    async def send_nowait(self, frame, seq: int) -> None:
+        """Ship one record without waiting for its ack.
+
+        The pipelining half of the protocol: acks come back strictly in
+        send order on a connection, so a producer may stream a window of
+        records and then collect acks with :meth:`read_ack` — the
+        pattern :func:`send_records` uses to avoid one network round
+        trip per record.
+        """
+        if self._writer is None:
+            raise ValidationError("session is not connected")
+        if not isinstance(frame, (bytes, bytearray, memoryview)):
+            frame = wire.dumps(frame)
+        record = wire.Record(
+            m=self.m, round_id=self.round_id, seq=int(seq), frame=bytes(frame)
+        )
+        await self._send(record)
+
+    async def read_ack(self, seq) -> wire.Ack:
+        """Collect the next in-order ack (*seq* names it in errors)."""
+        ack = await self._read(f"ack for seq {seq}")
+        if not isinstance(ack, wire.Ack):
+            raise WireFormatError(
+                f"expected an ack for seq {seq}, got {type(ack).__name__}"
+            )
+        return ack
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        writer, self._writer = self._writer, None
+        self._reader = None
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceSession":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _send(self, obj) -> None:
+        self._writer.write(wire.dumps(obj))
+        await self._writer.drain()
+
+    async def _read(self, expectation: str):
+        obj = await read_session_frame(self._reader)
+        if obj is None:
+            raise WireFormatError(
+                f"service hung up while the producer awaited the {expectation}"
+            )
+        return obj
+
+
+async def send_records(
+    host: str,
+    port: int,
+    frames,
+    *,
+    key,
+    producer_id: str,
+    m: int,
+    round_id: int = 0,
+    start_seq: int = 0,
+    raise_on_refusal: bool = True,
+    max_inflight: int = 64,
+) -> list[wire.Ack]:
+    """Authenticate and ship *frames* as records ``start_seq, ...``.
+
+    The exactly-once counterpart of
+    :func:`repro.pipeline.collect.collector.send_frames`: each frame
+    becomes one record, acks come back in order, and re-running the call
+    verbatim (a blind resend) yields ``ACK_DUPLICATE`` for everything
+    already committed instead of double-counting it.
+
+    Records are pipelined through a *bounded window*: up to
+    ``max_inflight`` records stream out before their acks are
+    collected, so the cost per record is the service's commit rather
+    than a network round trip — while unread acks can never pile up
+    past the window.  (Unbounded pipelining would deadlock on TCP flow
+    control for very large batches: the service blocks draining acks
+    nobody is reading while the producer blocks writing records nobody
+    is reading.)
+    """
+    session = ServiceSession(
+        host, port, key=key, producer_id=producer_id, m=m, round_id=round_id
+    )
+    await session.connect()
+    try:
+        frames = list(frames)
+        max_inflight = max(1, int(max_inflight))
+        acks: list[wire.Ack] = []
+        write_error: Exception | None = None
+
+        async def collect_ack() -> None:
+            ack = await session.read_ack(start_seq + len(acks))
+            acks.append(ack)
+            if raise_on_refusal and ack.status == wire.ACK_REFUSED:
+                raise ServiceError(
+                    f"service refused seq {ack.seq}: {ack.detail}"
+                )
+
+        sent = 0
+        try:
+            for offset, frame in enumerate(frames):
+                while sent - len(acks) >= max_inflight:
+                    await collect_ack()
+                await session.send_nowait(frame, start_seq + offset)
+                sent += 1
+        except (ConnectionError, OSError) as exc:
+            # The service may have refused a record and dropped the
+            # connection while the batch was still streaming; collect
+            # the acks that made it out to surface the real reason.
+            write_error = exc
+        while len(acks) < len(frames):
+            try:
+                await collect_ack()
+            except (WireFormatError, ConnectionError, OSError):
+                break
+        if len(acks) < len(frames) and not any(
+            ack.status == wire.ACK_REFUSED for ack in acks
+        ):
+            detail = f": {write_error}" if write_error is not None else ""
+            raise WireFormatError(
+                f"service hung up after acknowledging {len(acks)} of "
+                f"{len(frames)} records{detail}"
+            )
+        return acks
+    finally:
+        await session.close()

@@ -1,0 +1,128 @@
+"""Resource bounds for the collection service.
+
+A public collection endpoint faces arbitrarily many producers, each
+able to declare arbitrarily large frames.  Every limit here exists to
+make the service's memory and connection load *bounded by
+configuration*, not by producer behavior:
+
+* ``max_frame_bytes`` is enforced against the header's declared payload
+  length **before** the payload is read, so no connection ever buffers
+  more than one capped frame;
+* per-connection byte/frame quotas cut off a producer that streams
+  forever on one connection (records it already got acks for stay
+  merged — shedding is not a rollback);
+* session capacity stalls excess producers at the accept gate
+  (bounded-wait backpressure) and sheds them with a refusal ack once
+  the wait queue itself is full, which is the difference between
+  degrading and OOMing under a producer flood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...exceptions import QuotaExceededError
+
+__all__ = ["ServiceLimits", "ConnectionQuota"]
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Service-wide resource policy (defaults suit a localhost round).
+
+    Attributes
+    ----------
+    max_frame_bytes:
+        Cap on one frame's declared payload; checked before the payload
+        is read.
+    max_connection_bytes / max_connection_frames:
+        Per-connection ingest quota; the connection is shed with a
+        refusal ack when it crosses either.
+    max_sessions:
+        Concurrent connections being served; arrivals beyond this stall
+        at the accept gate until a slot frees.
+    max_waiting_sessions:
+        Stalled arrivals beyond this are shed immediately — the bound
+        on the backpressure queue itself.
+    max_commit_batch:
+        Group-commit window: up to this many pipelined records share
+        one spill-fsync + ledger-fsync pair (acks still follow the
+        fsyncs, so the durability contract per ack is unchanged).
+    max_commit_batch_bytes:
+        Byte-based batch trigger: a batch also closes once its staged
+        record frames exceed this, so large records commit in small
+        groups whose fsyncs overlap the next batch's network reads
+        instead of one monolithic end-of-burst commit.
+    commit_idle_seconds:
+        How long a non-empty batch waits for another pipelined record
+        before committing what it has.  Only a producer that stops
+        mid-burst ever observes this latency.
+    handshake_timeout_seconds:
+        Deadline for the whole handshake (hello through proof).  This is
+        the anti-slow-loris bound: without it, an *unauthenticated*
+        connection that sends nothing — or half a frame — would hold a
+        session slot forever, and 64 idle sockets would wedge the
+        service for every legitimate producer.
+    session_idle_seconds:
+        Deadline for an authenticated session's next record (including
+        a stalled mid-frame payload).  Idle sessions are reaped so
+        their slots return to the pool; a reaped producer reconnects
+        and resends, which exactly-once makes free.
+    """
+
+    max_frame_bytes: int = 16 * 2**20
+    max_connection_bytes: int = 2**30
+    max_connection_frames: int = 1_000_000
+    max_sessions: int = 64
+    max_waiting_sessions: int = 256
+    max_commit_batch: int = 32
+    max_commit_batch_bytes: int = 2**21
+    commit_idle_seconds: float = 0.002
+    handshake_timeout_seconds: float = 30.0
+    session_idle_seconds: float = 900.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "max_frame_bytes",
+            "max_connection_bytes",
+            "max_connection_frames",
+            "max_sessions",
+            "max_waiting_sessions",
+            "max_commit_batch",
+            "max_commit_batch_bytes",
+        ):
+            if int(getattr(self, field)) <= 0 and field != "max_waiting_sessions":
+                raise ValueError(f"{field} must be positive")
+            if int(getattr(self, field)) < 0:
+                raise ValueError(f"{field} must be non-negative")
+        for field in (
+            "commit_idle_seconds",
+            "handshake_timeout_seconds",
+            "session_idle_seconds",
+        ):
+            if float(getattr(self, field)) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+
+class ConnectionQuota:
+    """Running byte/frame tally for one connection."""
+
+    def __init__(self, limits: ServiceLimits) -> None:
+        self.limits = limits
+        self.bytes_used = 0
+        self.frames_used = 0
+
+    def charge(self, nbytes: int) -> None:
+        """Account one frame of *nbytes*; raises when over quota."""
+        self.bytes_used += int(nbytes)
+        self.frames_used += 1
+        if self.bytes_used > self.limits.max_connection_bytes:
+            raise QuotaExceededError(
+                f"connection exceeded its byte quota "
+                f"({self.bytes_used} > {self.limits.max_connection_bytes})"
+            )
+        if self.frames_used > self.limits.max_connection_frames:
+            raise QuotaExceededError(
+                f"connection exceeded its frame quota "
+                f"({self.frames_used} > {self.limits.max_connection_frames})"
+            )

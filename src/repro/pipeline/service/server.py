@@ -1,0 +1,854 @@
+"""The exactly-once collection endpoint.
+
+:class:`CollectionService` merges producer records into one live
+:class:`~repro.pipeline.accumulator.CountAccumulator` with four
+guarantees the plain :class:`~repro.pipeline.collect.collector.
+Collector` does not make:
+
+* **authenticated**: a session must complete the HMAC handshake of
+  :mod:`.auth` before any record frame is looked at — unauthenticated
+  or wrong-key producers merge nothing;
+* **exactly-once**: every merged record is committed to the
+  :class:`~.ledger.IdempotencyLedger` (spill fsync → ledger fsync →
+  merge → ack), so a blind resend after a lost ack is acknowledged as a
+  duplicate and not re-merged, and a reused sequence number carrying
+  different bytes is refused as equivocation;
+* **bounded**: frames over ``limits.max_frame_bytes`` are refused at
+  header-parse time, connections over their byte/frame quota are shed,
+  and session capacity stalls (then sheds) a producer flood instead of
+  OOMing — see :mod:`.quotas`;
+* **resumable**: ``resume=True`` reloads the ledger, truncates the
+  spill back to the ledger's committed offset (dropping frames that
+  were spilled but never acknowledged — their producers will resend),
+  replays the spill into a fresh accumulator, and keeps serving the
+  same round.
+
+The commit order is the correctness core::
+
+    spill append → spill fsync → ledger append → ledger fsync
+                 → merge into the live round → ack
+
+An ack therefore implies durability; absence of an ack implies the
+producer must resend; and the ledger entry's ``spill_end`` makes the
+spill truncatable to exactly the acknowledged prefix on restart.
+
+Commits are *group commits*: a connection's pipelined records stage
+into a batch (bounded by records, bytes, and stream idleness — see
+:class:`~.quotas.ServiceLimits`) and one spill-fsync + ledger-fsync
+pair covers the whole batch, with every ack still sent only after both.
+Batches run in a background task so the fsyncs overlap the next batch's
+network reads, digests are hashed on the executor next to the spill
+fsync, and a global lock serializes batches so spill order equals
+ledger order — the prefix property recovery depends on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+
+import numpy as np
+
+from ...exceptions import (
+    LedgerError,
+    QuotaExceededError,
+    ServiceError,
+    ValidationError,
+    WireFormatError,
+)
+from ...kernels import packed_width
+from ..accumulator import CountAccumulator
+from ..collect import wire
+from ..collect.collector import apply_frame_object
+from ..collect.store import ShardStore
+from .auth import derive_round_key, fresh_nonce, verify_session_mac
+from ..collect.framing import read_frame_bytes
+from .ledger import IdempotencyLedger
+from .quotas import ConnectionQuota, ServiceLimits
+
+__all__ = ["CollectionService", "LEDGER_FILENAME", "SERVICE_SHARD_ID"]
+
+LEDGER_FILENAME = "round.ledger"
+SERVICE_SHARD_ID = 0
+
+
+class CollectionService:
+    """Durable, authenticated, exactly-once collection for one round.
+
+    Parameters
+    ----------
+    m, round_id:
+        The round geometry every session and record must match.
+    key:
+        Shared round secret (bytes, hex string, or passphrase — see
+        :func:`~.auth.derive_round_key`).
+    store_root:
+        Directory for the round's durable state: the record spill
+        (``shard_00000.chunks`` + ``.index``), the idempotency ledger
+        (``round.ledger``), and the final snapshot.
+    limits:
+        Resource policy; defaults to :class:`~.quotas.ServiceLimits`.
+    resume:
+        Recover an interrupted round from ledger + spill instead of
+        starting fresh.  Starting fresh over existing round files is
+        refused — that is how double-counting accidents happen.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        *,
+        key,
+        store_root: str,
+        round_id: int = 0,
+        limits: ServiceLimits | None = None,
+        resume: bool = False,
+    ) -> None:
+        self.m = int(m)
+        self.round_id = int(round_id)
+        self.key = derive_round_key(key)
+        self.limits = limits or ServiceLimits()
+        self.store = ShardStore(store_root)
+        self.ledger = IdempotencyLedger(
+            os.path.join(self.store.root, LEDGER_FILENAME)
+        )
+        self.accumulator = CountAccumulator(self.m, round_id=self.round_id)
+
+        # Counters (stats(), tests, and operator logs).
+        self.records_merged = 0
+        self.records_duplicate = 0
+        self.records_refused = 0
+        self.sessions_opened = 0
+        self.sessions_rejected = 0
+        self.sessions_shed = 0
+        self.connections_failed = 0
+        self.last_connection_error: str | None = None
+        self.bytes_ingested = 0
+        self.producers_seen: set[str] = set()
+        self.recovered_records = 0
+        self.recovered_spill_bytes_discarded = 0
+
+        existing = os.path.exists(self.ledger.path) or os.path.exists(
+            self.store.chunk_path(SERVICE_SHARD_ID)
+        )
+        if existing and not resume:
+            raise ValidationError(
+                f"{self.store.root} already holds round state "
+                f"({LEDGER_FILENAME} / spill); pass resume=True to recover "
+                "it, or point the service at a fresh directory"
+            )
+        self._recover()
+        self._writer = self.store.writer(
+            SERVICE_SHARD_ID,
+            self.m,
+            round_id=self.round_id,
+            durable=True,
+            resume=True,
+        )
+
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._commit_tasks: set[asyncio.Task] = set()
+        self._session_slots = asyncio.Semaphore(self.limits.max_sessions)
+        self._waiting_sessions = 0
+        self._commit_lock = asyncio.Lock()
+        self._commit_failed: str | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild round state from ledger + spill (both may be absent)."""
+        count = self.ledger.load()
+        recovered = self.store.recover_shard(
+            SERVICE_SHARD_ID, committed_offset=self.ledger.committed_offset
+        )
+        if recovered["frames"] != count:
+            raise LedgerError(
+                f"ledger commits {count} records but the recovered spill "
+                f"holds {recovered['frames']} frames; round state under "
+                f"{self.store.root} is inconsistent"
+            )
+        self.recovered_spill_bytes_discarded = recovered["discarded_bytes"]
+        chunk_path = self.store.chunk_path(SERVICE_SHARD_ID)
+        if count and os.path.exists(chunk_path):
+            with open(chunk_path, "rb") as handle:
+                for obj in wire.iter_frames(handle):
+                    apply_frame_object(obj, self.accumulator)
+        self.bytes_ingested = recovered["offset"]
+        self.records_merged = count
+        self.recovered_records = count
+        self.producers_seen = {
+            entry.producer_id for entry in self.ledger.entries()
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Start accepting sessions; returns the bound ``(host, port)``."""
+        if self._closed:
+            raise ValidationError("service is closed")
+        if self._server is not None:
+            raise ValidationError("service is already serving")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop serving, persist the final snapshot.
+
+        In-flight connection handlers are cancelled and awaited (a
+        stalled producer cannot hang shutdown); the spill and ledger are
+        synced and closed; the round's snapshot is written atomically
+        next to them.  The live accumulator stays readable.
+        """
+        await self._stop_serving()
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.sync()
+        self._writer.close()
+        self.store.write_snapshot(SERVICE_SHARD_ID, self.accumulator)
+        self.ledger.close()
+
+    async def abort(self) -> None:
+        """Shutdown without the final snapshot (crash-adjacent teardown).
+
+        Everything acknowledged is already fsync'd, so an aborted
+        service resumes exactly like a killed one; tests use this to
+        exercise the recovery path without process-level kills.
+        """
+        await self._stop_serving()
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        self.ledger.close()
+
+    async def _stop_serving(self) -> None:
+        if self._server is not None:
+            server, self._server = self._server, None
+            server.close()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+                self._conn_tasks.clear()
+            await server.wait_closed()
+        # Cancelled handlers may leave shielded commit batches running;
+        # those hold durable work (and the commit lock order), so drain
+        # them before anyone closes the spill or ledger handles.
+        while self._commit_tasks:
+            await asyncio.gather(
+                *list(self._commit_tasks), return_exceptions=True
+            )
+
+    def stats(self) -> dict:
+        """Operator-facing counters for logs and tests."""
+        return {
+            "m": self.m,
+            "round_id": self.round_id,
+            "n": self.accumulator.n,
+            "records_merged": self.records_merged,
+            "records_duplicate": self.records_duplicate,
+            "records_refused": self.records_refused,
+            "sessions_opened": self.sessions_opened,
+            "sessions_rejected": self.sessions_rejected,
+            "sessions_shed": self.sessions_shed,
+            "connections_failed": self.connections_failed,
+            "bytes_ingested": self.bytes_ingested,
+            "producers": sorted(self.producers_seen),
+            "recovered_records": self.recovered_records,
+            "recovered_spill_bytes_discarded": (
+                self.recovered_spill_bytes_discarded
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _send(self, writer: asyncio.StreamWriter, obj) -> None:
+        writer.write(wire.dumps(obj))
+        await writer.drain()
+
+    async def _refuse(
+        self, writer: asyncio.StreamWriter, seq: int, detail: str
+    ) -> None:
+        await self._send(
+            writer,
+            wire.Ack(
+                m=self.m,
+                round_id=self.round_id,
+                seq=seq,
+                status=wire.ACK_REFUSED,
+                detail=detail,
+            ),
+        )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            # Backpressure gate: stall while the service is at session
+            # capacity, shed outright once the wait queue is full too.
+            if self._session_slots.locked():
+                if self._waiting_sessions >= self.limits.max_waiting_sessions:
+                    self.sessions_shed += 1
+                    await self._refuse(writer, 0, "service at capacity")
+                    return
+                self._waiting_sessions += 1
+                try:
+                    await self._session_slots.acquire()
+                finally:
+                    self._waiting_sessions -= 1
+            else:
+                await self._session_slots.acquire()
+            try:
+                await self._serve_session(reader, writer)
+            finally:
+                self._session_slots.release()
+        except asyncio.CancelledError:
+            # Service shutdown cancelled this handler; committed records
+            # are durable, the in-flight one was never acked.
+            self.connections_failed += 1
+            self.last_connection_error = (
+                "service closed during an in-flight session"
+            )
+            return
+        except (WireFormatError, ValidationError, ServiceError) as exc:
+            # One broken producer must not take the service down.
+            self.connections_failed += 1
+            self.last_connection_error = str(exc)
+            return
+        except (ConnectionError, OSError) as exc:
+            self.connections_failed += 1
+            self.last_connection_error = str(exc)
+            return
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        quota = ConnectionQuota(self.limits)
+        try:
+            # The anti-slow-loris bound: an unauthenticated connection
+            # gets one deadline for the whole handshake, so it cannot
+            # hold a session slot by sending nothing (or half a frame).
+            producer_id = await asyncio.wait_for(
+                self._handshake(reader, writer, quota),
+                self.limits.handshake_timeout_seconds,
+            )
+        except asyncio.TimeoutError:
+            self.sessions_rejected += 1
+            self.last_connection_error = "handshake timed out"
+            return
+        if producer_id is None:
+            return
+        # Group commit with double buffering: pipelined records stage
+        # into `pending` while the previous batch commits in a
+        # background task, so the fsyncs overlap the network reads.  A
+        # batch closes when it hits max_commit_batch, when the stream
+        # goes idle for commit_idle_seconds, or at end of session / any
+        # refusal.  Batches commit strictly in order (the next one is
+        # only scheduled once the previous is settled), and acks always
+        # follow the batch's fsyncs — each individual ack still
+        # certifies durability.
+        pending: list[dict] = []
+        pending_bytes = 0
+        staged_frames: dict[int, bytes] = {}
+        commit_task: asyncio.Task | None = None
+
+        async def settle() -> bool:
+            """Await the in-flight batch; True if the session survives.
+
+            ``commit_task`` is cleared only once the task has actually
+            finished: if cancellation lands while we are suspended here,
+            the still-set reference lets the function's ``finally`` wait
+            the task out instead of abandoning it mid-ack.
+            """
+            nonlocal commit_task
+            if commit_task is None:
+                return True
+            task = commit_task
+            try:
+                result = await task
+            finally:
+                if commit_task is task and task.done():
+                    commit_task = None
+            return result
+
+        async def flush() -> bool:
+            """Settle the in-flight batch, then commit `pending` inline."""
+            nonlocal pending_bytes
+            if not await settle():
+                return False
+            if not pending:
+                return True
+            batch, pending[:] = list(pending), []
+            pending_bytes = 0
+            staged_frames.clear()
+            return await self._commit_batch(writer, producer_id, batch)
+
+        try:
+            while True:
+                try:
+                    # Header deadline: the group-commit idle signal when
+                    # a batch is staged, the session reap deadline when
+                    # nothing is.  Payload deadline: a peer stalled
+                    # mid-frame can never recover to a frame boundary,
+                    # so that raises WireFormatError (drop), not the
+                    # idle TimeoutError (flush / reap).
+                    frame = await read_frame_bytes(
+                        reader,
+                        max_frame_bytes=self.limits.max_frame_bytes,
+                        header_timeout=(
+                            self.limits.commit_idle_seconds
+                            if pending
+                            else self.limits.session_idle_seconds
+                        ),
+                        payload_timeout=self.limits.session_idle_seconds,
+                    )
+                except asyncio.TimeoutError:
+                    if pending:
+                        if not await flush():
+                            return
+                        continue
+                    # Idle session: free the slot; everything acked is
+                    # durable, so the producer just reconnects.
+                    self.connections_failed += 1
+                    self.last_connection_error = "session idle timeout"
+                    await self._refuse(writer, 0, "session idle timeout")
+                    return
+                except QuotaExceededError as exc:
+                    # A failed flush already sent the connection's last
+                    # ack (a commit-time refusal); a second refusal here
+                    # would desync the client's positional accounting.
+                    if not await flush():
+                        return
+                    self.records_refused += 1
+                    await self._refuse(writer, 0, str(exc))
+                    return
+                if frame is None:
+                    await flush()
+                    return  # clean end of session
+                try:
+                    quota.charge(len(frame))
+                except QuotaExceededError as exc:
+                    if not await flush():
+                        return
+                    self.records_refused += 1
+                    await self._refuse(writer, 0, str(exc))
+                    return
+                obj = wire.loads(frame)
+                if not isinstance(obj, wire.Record):
+                    if not await flush():
+                        return
+                    self.records_refused += 1
+                    await self._refuse(
+                        writer,
+                        0,
+                        f"expected a record frame, got {type(obj).__name__}",
+                    )
+                    return
+                staged = self._stage_record(producer_id, obj, staged_frames)
+                if staged["status"] == "refused":
+                    if not await flush():
+                        return
+                    self.records_refused += 1
+                    await self._refuse(writer, obj.seq, staged["detail"])
+                    return
+                pending.append(staged)
+                pending_bytes += len(frame)
+                if staged["status"] == "fresh":
+                    staged_frames[obj.seq] = staged["frame"]
+                if (
+                    len(pending) >= self.limits.max_commit_batch
+                    or pending_bytes >= self.limits.max_commit_batch_bytes
+                ):
+                    # Hand the full batch to a background commit and keep
+                    # reading; if the previous batch refused (equivocation
+                    # at commit time), the session is over.
+                    if not await settle():
+                        return
+                    batch, pending = pending, []
+                    pending_bytes = 0
+                    staged_frames = {}
+                    commit_task = asyncio.create_task(
+                        self._commit_batch(writer, producer_id, batch)
+                    )
+        finally:
+            # Never abandon an in-flight commit: it holds durable work
+            # (and the commit lock order).  Awaiting here is safe even
+            # on cancellation — the task itself was never cancelled.
+            # Its ack writes may fail against a closing socket; swallow
+            # that (the durable half is separately tracked and drained
+            # via _commit_tasks) rather than masking the original exit.
+            if commit_task is not None:
+                try:
+                    await commit_task
+                except Exception:
+                    pass
+
+    async def _handshake(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        quota: ConnectionQuota,
+    ) -> str | None:
+        """Run the server side of the HMAC handshake.
+
+        Returns the authenticated producer id, or ``None`` after a
+        refusal ack (the caller just closes the connection).
+        """
+        frame = await read_frame_bytes(
+            reader, max_frame_bytes=self.limits.max_frame_bytes
+        )
+        if frame is None:
+            return None  # connected and left without a word
+        quota.charge(len(frame))
+        hello = wire.loads(frame)
+        if not isinstance(hello, wire.SessionHello):
+            self.sessions_rejected += 1
+            await self._refuse(
+                writer,
+                0,
+                f"expected a session hello, got {type(hello).__name__}",
+            )
+            return None
+        if hello.m != self.m or hello.round_id != self.round_id:
+            self.sessions_rejected += 1
+            await self._refuse(
+                writer,
+                0,
+                f"round mismatch: service is (m={self.m}, round="
+                f"{self.round_id}), hello claims (m={hello.m}, round="
+                f"{hello.round_id})",
+            )
+            return None
+        server_nonce = fresh_nonce()
+        await self._send(
+            writer,
+            wire.SessionChallenge(
+                m=self.m, round_id=self.round_id, nonce=server_nonce
+            ),
+        )
+        frame = await read_frame_bytes(
+            reader, max_frame_bytes=self.limits.max_frame_bytes
+        )
+        if frame is None:
+            self.sessions_rejected += 1
+            return None
+        quota.charge(len(frame))
+        proof = wire.loads(frame)
+        authenticated = isinstance(proof, wire.SessionProof) and verify_session_mac(
+            self.key,
+            proof.mac,
+            m=self.m,
+            round_id=self.round_id,
+            producer_id=hello.producer_id,
+            client_nonce=hello.nonce,
+            server_nonce=server_nonce,
+        )
+        if not authenticated:
+            self.sessions_rejected += 1
+            await self._refuse(writer, 0, "authentication failed")
+            return None
+        self.sessions_opened += 1
+        self.producers_seen.add(hello.producer_id)
+        await self._send(
+            writer,
+            wire.Ack(
+                m=self.m,
+                round_id=self.round_id,
+                seq=0,
+                status=wire.ACK_SESSION,
+                detail=hello.producer_id,
+            ),
+        )
+        return hello.producer_id
+
+    # ------------------------------------------------------------------
+    # The exactly-once record commit
+    # ------------------------------------------------------------------
+    def _validate_inner(self, obj) -> None:
+        """Pre-commit validation, mirroring every check the later merge
+        would make — so a record that reaches the ledger can never fail
+        to merge (a ledgered-but-unmergeable record would poison every
+        subsequent restart's replay)."""
+        if isinstance(obj, CountAccumulator):
+            matches = obj.m == self.m and obj.round_id == self.round_id
+        elif isinstance(obj, wire.PackedChunk):
+            matches = obj.m == self.m and obj.round_id == self.round_id
+            if matches:
+                width = packed_width(self.m)
+                pad_bits = 8 * width - self.m
+                if (
+                    pad_bits
+                    and obj.rows.size
+                    and np.any(obj.rows[:, -1] & ((1 << pad_bits) - 1))
+                ):
+                    raise ValidationError(
+                        f"record chunk has set bits beyond m={self.m}"
+                    )
+        else:
+            raise ValidationError(
+                f"records must wrap a snapshot or packed chunk, got "
+                f"{type(obj).__name__}"
+            )
+        if not matches:
+            raise ValidationError(
+                f"record is for (m={obj.m}, round={obj.round_id}); this "
+                f"service collects (m={self.m}, round={self.round_id})"
+            )
+
+    def _stage_record(
+        self,
+        producer_id: str,
+        record: wire.Record,
+        staged_frames: dict[int, bytes],
+    ) -> dict:
+        """Classify one record for its batch: fresh, duplicate, refused.
+
+        Everything that can be decided without the commit lock happens
+        here — envelope/round checks, dedup against the ledger *and*
+        against records staged earlier in the same batch, and full
+        inner validation for fresh records.  The SHA-256 digest is
+        *not* computed here on the fresh path: the background commit
+        hashes the whole batch on the executor, overlapped with the
+        next batch's network reads.  The commit also re-checks the
+        ledger under the lock (another connection of the same producer
+        may commit the same seq first).
+        """
+        seq = record.seq
+        if record.m != self.m or record.round_id != self.round_id:
+            return {
+                "status": "refused",
+                "seq": seq,
+                "detail": (
+                    f"record envelope is for (m={record.m}, round="
+                    f"{record.round_id}), not this round"
+                ),
+            }
+        equivocation = {
+            "status": "refused",
+            "seq": seq,
+            "detail": (
+                f"equivocation: seq {seq} is already committed with "
+                "different frame bytes"
+            ),
+        }
+        previous = staged_frames.get(seq)
+        if previous is not None:
+            # Same seq twice in one burst: byte equality decides.
+            if previous != record.frame:
+                return equivocation
+            return {"status": "duplicate", "seq": seq}
+        entry = self.ledger.seen(producer_id, seq)
+        if entry is not None:
+            # Resend path: the digest comparison against the committed
+            # entry is deferred to the batch commit, which hashes on the
+            # executor — a producer blind-resending a large round must
+            # not stall the event loop for every other session.
+            return {
+                "status": "verify-dup",
+                "seq": seq,
+                "frame": record.frame,
+                "known_digest": entry.digest,
+            }
+        try:
+            inner = record.decode()
+            self._validate_inner(inner)
+        except (WireFormatError, ValidationError) as exc:
+            return {"status": "refused", "seq": seq, "detail": str(exc)}
+        return {
+            "status": "fresh",
+            "seq": seq,
+            "frame": record.frame,
+            "inner": inner,
+        }
+
+    async def _commit_batch(
+        self,
+        writer: asyncio.StreamWriter,
+        producer_id: str,
+        pending: list[dict],
+    ) -> bool:
+        """Durably commit a batch of staged records, then ack in order.
+
+        One spill fsync and one ledger fsync cover the whole batch
+        (group commit); every ack still goes out only after both, so
+        per-record durability-on-ack is exactly what it was with
+        per-record fsyncs — at a fraction of the cost for pipelined
+        producers.  Returns False when an equivocation surfaced at
+        commit time (connection must drop).
+
+        The durable half runs as a *shielded, tracked* task: cancelling
+        the connection handler (service shutdown, inline flushes
+        included) cannot interrupt it between its fsyncs, and
+        ``close()``/``abort()`` drain ``_commit_tasks`` before touching
+        the spill or ledger handles — so a half-committed batch can
+        never be abandoned with spill frames but no ledger entries.
+        """
+        inner = asyncio.ensure_future(
+            self._commit_batch_durable(producer_id, pending)
+        )
+        self._commit_tasks.add(inner)
+        inner.add_done_callback(self._commit_tasks.discard)
+        await asyncio.shield(inner)
+        return await self._send_batch_acks(writer, pending)
+
+    async def _commit_batch_durable(
+        self, producer_id: str, pending: list[dict]
+    ) -> None:
+        """The commit-lock critical section: spill, fsync, ledger, merge.
+
+        Nothing cancels this coroutine (callers shield it), so its only
+        failure mode is a real error — ENOSPC, a dying disk.  On any
+        such error the spill (and any staged ledger entries) roll back
+        to the pre-batch boundary, preserving the invariant that every
+        frame below a ledgered offset is itself ledgered; if even the
+        rollback fails, the service fail-stops further commits and
+        points the operator at restart-with-resume, which reconciles
+        from the last durable prefix.
+        """
+        loop = asyncio.get_running_loop()
+        # Resolve deferred duplicate checks first (no lock needed: a
+        # committed ledger entry's digest never changes), hashing on the
+        # executor so resend-heavy sessions do not stall the loop.
+        to_verify = [item for item in pending if item["status"] == "verify-dup"]
+        if to_verify:
+            digests = await loop.run_in_executor(
+                None,
+                lambda: [
+                    hashlib.sha256(item["frame"]).digest()
+                    for item in to_verify
+                ],
+            )
+            for item, digest in zip(to_verify, digests):
+                item["status"] = (
+                    "duplicate"
+                    if digest == item["known_digest"]
+                    else "equivocation"
+                )
+        async with self._commit_lock:
+            if self._commit_failed is not None:
+                raise ServiceError(
+                    "service refused the commit: a previous commit failed "
+                    f"({self._commit_failed}) and the spill could not be "
+                    "rolled back; restart the service with resume=True"
+                )
+            spill_mark = self._writer.end_offset
+            ledger_mark = self.ledger.mark()
+            appended_keys: list[tuple[str, int]] = []
+            to_commit = []
+            try:
+                for item in pending:
+                    if item["status"] != "fresh":
+                        continue
+                    # Re-check under the lock: another connection of
+                    # this producer may have committed the seq while we
+                    # staged.
+                    entry = self.ledger.seen(producer_id, item["seq"])
+                    if entry is not None:
+                        digest = hashlib.sha256(item["frame"]).digest()
+                        item["status"] = (
+                            "duplicate"
+                            if entry.digest == digest
+                            else "equivocation"
+                        )
+                        continue
+                    self._writer.append_frame(item["frame"])
+                    item["spill_end"] = self._writer.end_offset
+                    to_commit.append(item)
+                if to_commit:
+                    # Hash the batch and fsync the spill concurrently on
+                    # the executor (sha256 releases the GIL on large
+                    # buffers); both must finish before any ledger entry
+                    # exists, so a ledger entry can never point past
+                    # durable bytes.
+                    digests, _ = await asyncio.gather(
+                        loop.run_in_executor(
+                            None,
+                            lambda: [
+                                hashlib.sha256(item["frame"]).digest()
+                                for item in to_commit
+                            ],
+                        ),
+                        loop.run_in_executor(None, self._writer.sync),
+                    )
+                    for item, digest in zip(to_commit, digests):
+                        self.ledger.append(
+                            producer_id,
+                            item["seq"],
+                            digest,
+                            item["spill_end"],
+                        )
+                        appended_keys.append((producer_id, item["seq"]))
+                    await loop.run_in_executor(None, self.ledger.sync)
+                    for item in to_commit:
+                        apply_frame_object(item["inner"], self.accumulator)
+                        self.records_merged += 1
+                        self.bytes_ingested += len(item["frame"])
+                        item["status"] = "merged"
+            except BaseException as exc:
+                try:
+                    if appended_keys:
+                        self.ledger.rollback(ledger_mark, appended_keys)
+                    self._writer.rollback(spill_mark)
+                except BaseException as repair_exc:
+                    self._commit_failed = repr(exc)
+                    raise LedgerError(
+                        f"commit failed ({exc}) and rolling the spill back "
+                        f"failed too ({repair_exc}); refusing further "
+                        "commits — restart the service with resume=True"
+                    ) from exc
+                raise
+
+    async def _send_batch_acks(
+        self, writer: asyncio.StreamWriter, pending: list[dict]
+    ) -> bool:
+        survived = True
+        for item in pending:
+            if item["status"] == "merged":
+                status, detail = wire.ACK_MERGED, ""
+            elif item["status"] == "duplicate":
+                self.records_duplicate += 1
+                status, detail = wire.ACK_DUPLICATE, "already merged"
+            else:  # equivocation discovered at commit time
+                self.records_refused += 1
+                status = wire.ACK_REFUSED
+                detail = (
+                    f"equivocation: seq {item['seq']} is already "
+                    "committed with different frame bytes"
+                )
+                survived = False
+            await self._send(
+                writer,
+                wire.Ack(
+                    m=self.m,
+                    round_id=self.round_id,
+                    seq=item["seq"],
+                    status=status,
+                    detail=detail,
+                ),
+            )
+            if not survived:
+                break  # refusal is the connection's last ack
+        return survived

@@ -165,3 +165,58 @@ def test_round_estimate_from_dict_rejects_string_entries():
                 "noise_variance": [1.0],
             }
         )
+
+
+class TestFromDictShapeAndVersionSkew:
+    """Satellite coverage: the remaining from_dict refusal paths."""
+
+    def test_rejects_non_dict_payload(self):
+        with pytest.raises(ValidationError, match="not a serialized"):
+            RoundEstimate.from_dict([1.0, 2.0])
+
+    def test_rejects_missing_version(self):
+        with pytest.raises(ValidationError, match="version None"):
+            RoundEstimate.from_dict(
+                {"type": "RoundEstimate", "estimates": [1.0], "noise_variance": [1.0]}
+            )
+
+    def test_rejects_stale_version_zero(self):
+        payload = RoundEstimate(np.array([1.0]), np.array([1.0])).to_dict()
+        payload["version"] = 0
+        with pytest.raises(ValidationError, match="version 0"):
+            RoundEstimate.from_dict(payload)
+
+    def test_rejects_two_dimensional_estimates(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            RoundEstimate.from_dict(
+                {
+                    "type": "RoundEstimate",
+                    "version": 1,
+                    "estimates": [[1.0, 2.0], [3.0, 4.0]],
+                    "noise_variance": [[1.0, 1.0], [1.0, 1.0]],
+                }
+            )
+
+    def test_rejects_wrong_m_between_fields(self):
+        # The remote's estimates and noise profile disagree on m.
+        with pytest.raises(ValidationError, match="same"):
+            RoundEstimate.from_dict(
+                {
+                    "type": "RoundEstimate",
+                    "version": 1,
+                    "estimates": [1.0, 2.0, 3.0],
+                    "noise_variance": [1.0, 2.0],
+                }
+            )
+
+    def test_wrong_m_across_rounds_fails_at_merge(self):
+        # Two structurally valid rounds of different m must be refused
+        # by the merge, not silently broadcast.
+        one = RoundEstimate.from_dict(
+            RoundEstimate(np.ones(3), np.ones(3)).to_dict()
+        )
+        other = RoundEstimate.from_dict(
+            RoundEstimate(np.ones(2), np.ones(2)).to_dict()
+        )
+        with pytest.raises(ValidationError, match="same item domain"):
+            merge_round_estimates([one, other])

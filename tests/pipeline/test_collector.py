@@ -143,6 +143,42 @@ class TestSocketFeed:
         assert collector.accumulator.digest() == expected.digest()
         assert collector.frames_ingested == 6
 
+    def test_close_cancels_stalled_connection(self):
+        """A producer that connects and then stalls forever must not be
+        able to hang collector shutdown: close() cancels the in-flight
+        handler and discards its staging."""
+
+        async def scenario():
+            collector = Collector(8)
+            host, port = await collector.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            # Half a frame, then silence: the handler is mid-read.
+            writer.write(wire.dumps(_snapshot())[:10])
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            await asyncio.wait_for(collector.close(), timeout=2.0)
+            writer.close()
+            return collector
+
+        collector = asyncio.run(scenario())
+        assert collector.accumulator.n == 0  # nothing partial merged
+        assert collector.connections_failed == 1
+        assert "closed during" in collector.last_connection_error
+
+    def test_close_after_clean_streams_keeps_state(self):
+        """Cancellation on close must not disturb already-merged rounds."""
+
+        async def scenario():
+            collector = Collector(8)
+            host, port = await collector.serve()
+            await send_frames(host, port, [_snapshot(seed=8)])
+            await collector.close()
+            return collector
+
+        collector = asyncio.run(scenario())
+        assert collector.frames_ingested == 1
+        assert collector.connections_failed == 0
+
     def test_serve_twice_rejected(self):
         async def scenario():
             collector = Collector(8)

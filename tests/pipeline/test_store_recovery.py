@@ -1,0 +1,206 @@
+"""Tests for crash-safe spill state: index sidecar, truncation recovery,
+atomic snapshots, and audit on degenerate stores."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline import CountAccumulator, ShardStore
+
+M = 16
+
+
+def _rows(k=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.packbits((rng.random((k, M)) < 0.5).astype(np.uint8), axis=1)
+
+
+def _spill(store, frames, *, durable=True, sync=True):
+    """Write *frames* chunk payloads; returns each frame's end offset."""
+    offsets = []
+    with store.writer(0, M, durable=durable) as writer:
+        for seed in range(frames):
+            writer.write(_rows(seed=seed))
+            if sync:
+                writer.sync()
+            offsets.append(writer.end_offset)
+    return offsets
+
+
+class TestIndexSidecar:
+    def test_durable_writer_keeps_offsets(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        offsets = _spill(store, 3)
+        with open(store.index_path(0), "rb") as handle:
+            stored = [
+                offset for (offset,) in struct.Struct("<Q").iter_unpack(handle.read())
+            ]
+        assert stored == offsets
+        assert offsets[-1] == os.path.getsize(store.chunk_path(0))
+
+    def test_non_durable_writer_has_no_index(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        _spill(store, 2, durable=False, sync=False)
+        assert not os.path.exists(store.index_path(0))
+
+    def test_sync_on_closed_writer_rejected(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        writer = store.writer(0, M, durable=True)
+        writer.close()
+        with pytest.raises(ValidationError, match="closed"):
+            writer.sync()
+
+
+class TestRecoverShard:
+    def test_clean_shard_recovers_unchanged(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        offsets = _spill(store, 3)
+        report = store.recover_shard(0)
+        assert report == {
+            "offset": offsets[-1],
+            "frames": 3,
+            "discarded_bytes": 0,
+        }
+
+    def test_torn_frame_is_truncated(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        offsets = _spill(store, 2)
+        with open(store.chunk_path(0), "ab") as handle:
+            handle.write(b"IDLP\x01\x00 partial frame junk")
+        report = store.recover_shard(0)
+        assert report["offset"] == offsets[-1] and report["frames"] == 2
+        assert report["discarded_bytes"] > 0
+        # The recovered spill replays cleanly.
+        assert store.replay_shard(0).n == 8
+
+    def test_recovery_without_index_scans_frames(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        _spill(store, 2, durable=False, sync=False)
+        size = os.path.getsize(store.chunk_path(0))
+        with open(store.chunk_path(0), "ab") as handle:
+            handle.write(b"\xde\xad")
+        report = store.recover_shard(0)
+        assert report["offset"] == size and report["frames"] == 2
+        assert report["discarded_bytes"] == 2
+
+    def test_torn_index_entry_is_dropped(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        offsets = _spill(store, 2)
+        with open(store.index_path(0), "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # crash mid index append
+        report = store.recover_shard(0)
+        assert report["offset"] == offsets[-1] and report["frames"] == 2
+        assert os.path.getsize(store.index_path(0)) == 16
+
+    def test_index_ahead_of_chunk_file_is_dropped(self, tmp_path):
+        # Index flushed an entry whose chunk bytes never hit the disk.
+        store = ShardStore(tmp_path / "round")
+        offsets = _spill(store, 2)
+        with open(store.index_path(0), "ab") as handle:
+            handle.write(struct.pack("<Q", offsets[-1] + 999))
+        report = store.recover_shard(0)
+        assert report["offset"] == offsets[-1] and report["frames"] == 2
+
+    def test_committed_offset_drops_unledgered_tail(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        offsets = _spill(store, 3)
+        report = store.recover_shard(0, committed_offset=offsets[0])
+        assert report["offset"] == offsets[0] and report["frames"] == 1
+        assert store.replay_shard(0).n == 4
+        # The index shrank with the file.
+        assert os.path.getsize(store.index_path(0)) == 8
+
+    def test_committed_offset_beyond_disk_rejected(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        offsets = _spill(store, 1)
+        with pytest.raises(ValidationError, match="only .* complete frames"):
+            store.recover_shard(0, committed_offset=offsets[0] + 100)
+
+    def test_committed_offset_off_boundary_rejected(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        _spill(store, 2)
+        with pytest.raises(ValidationError, match="frame boundary"):
+            store.recover_shard(0, committed_offset=7)
+
+    def test_missing_shard_recovers_empty(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        assert store.recover_shard(3) == {
+            "offset": 0,
+            "frames": 0,
+            "discarded_bytes": 0,
+        }
+
+    def test_missing_shard_with_commitments_rejected(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        with pytest.raises(ValidationError, match="no chunk file"):
+            store.recover_shard(3, committed_offset=64)
+
+    def test_resume_after_recovery_appends(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        _spill(store, 2)
+        with open(store.chunk_path(0), "ab") as handle:
+            handle.write(b"torn")
+        store.recover_shard(0)
+        with store.writer(0, M, durable=True, resume=True) as writer:
+            writer.write(_rows(seed=9))
+            writer.sync()
+        assert store.replay_shard(0).n == 12
+        assert store.recover_shard(0)["frames"] == 3
+
+
+class TestAtomicSnapshots:
+    def test_snapshot_write_leaves_no_temp_litter(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        acc = CountAccumulator(M)
+        acc.add_reports(np.ones((2, M), dtype=np.int8))
+        store.write_snapshot(0, acc)
+        assert store.load_snapshot(0).digest() == acc.digest()
+        assert os.listdir(store.root) == ["shard_00000.snapshot"]
+
+    def test_failed_replacement_keeps_previous_snapshot(self, tmp_path, monkeypatch):
+        store = ShardStore(tmp_path / "round")
+        first = CountAccumulator(M)
+        first.add_reports(np.ones((3, M), dtype=np.int8))
+        store.write_snapshot(0, first)
+
+        import repro.pipeline.collect.store as store_module
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store_module.os, "replace", exploding_replace)
+        second = CountAccumulator(M)
+        second.add_reports(np.zeros((1, M), dtype=np.int8))
+        with pytest.raises(OSError, match="disk full"):
+            store.write_snapshot(0, second)
+        monkeypatch.undo()
+        # The old snapshot is intact and no temp file remains.
+        assert store.load_snapshot(0).digest() == first.digest()
+        assert os.listdir(store.root) == ["shard_00000.snapshot"]
+
+
+class TestAuditDegenerateStores:
+    def test_audit_on_empty_store_rejected(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        with pytest.raises(ValidationError, match="no spilled shards"):
+            store.audit()
+
+    def test_audit_on_fresh_missing_directory_rejected(self, tmp_path):
+        # The constructor creates the directory; auditing it is still an
+        # explicit error, not an empty-dict success.
+        missing = tmp_path / "never" / "written"
+        store = ShardStore(missing)
+        assert os.path.isdir(missing)
+        with pytest.raises(ValidationError, match="no spilled shards"):
+            store.audit()
+
+    def test_foreign_files_do_not_become_shards(self, tmp_path):
+        store = ShardStore(tmp_path / "round")
+        (tmp_path / "round" / "notes.txt").write_text("operator litter")
+        with pytest.raises(ValidationError, match="no spilled shards"):
+            store.audit()

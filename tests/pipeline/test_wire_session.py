@@ -1,0 +1,156 @@
+"""Tests for the version-2 session frames: handshake, record, ack.
+
+Version gating is the contract under test: core data frames (kinds 1-2)
+still encode as version 1 — their bytes are pinned by the golden
+fixtures — while session frames encode as version 2, and a reader
+refuses any kind paired with the wrong version.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError, WireFormatError
+from repro.pipeline import CountAccumulator
+from repro.pipeline.collect import wire
+
+NONCE = bytes(range(16))
+MAC = bytes(range(32))
+
+
+def _session_objects():
+    snapshot = CountAccumulator(8, round_id=3)
+    return [
+        wire.SessionHello(m=8, round_id=3, producer_id="edge-7", nonce=NONCE),
+        wire.SessionChallenge(m=8, round_id=3, nonce=NONCE),
+        wire.SessionProof(m=8, round_id=3, mac=MAC),
+        wire.Record(m=8, round_id=3, seq=42, frame=wire.dumps(snapshot)),
+        wire.Ack(
+            m=8, round_id=3, seq=42, status=wire.ACK_MERGED, detail="ok"
+        ),
+    ]
+
+
+def _rewrite_version(frame: bytes, version: int) -> bytes:
+    bad = bytearray(frame)
+    bad[4:6] = struct.pack("<H", version)
+    bad[36:40] = struct.pack("<I", zlib.crc32(bytes(bad[:36])))
+    return bytes(bad)
+
+
+class TestSessionRoundTrips:
+    @pytest.mark.parametrize(
+        "obj", _session_objects(), ids=lambda o: type(o).__name__
+    )
+    def test_round_trip_identity(self, obj):
+        assert wire.loads(wire.dumps(obj)) == obj
+
+    def test_session_frames_carry_version_2(self):
+        for obj in _session_objects():
+            frame = wire.dumps(obj)
+            assert int.from_bytes(frame[4:6], "little") == 2
+
+    def test_core_frames_still_carry_version_1(self):
+        frame = wire.dumps(CountAccumulator(8))
+        assert int.from_bytes(frame[4:6], "little") == 1
+
+    def test_record_decodes_inner_frame(self):
+        acc = CountAccumulator(8, round_id=1)
+        acc.add_reports(np.ones((3, 8), dtype=np.int8))
+        record = wire.Record(m=8, round_id=1, seq=0, frame=wire.dumps(acc))
+        inner = wire.loads(wire.dumps(record)).decode()
+        assert inner.digest() == acc.digest()
+
+    def test_non_ascii_producer_id(self):
+        hello = wire.SessionHello(
+            m=8, round_id=0, producer_id="producteur-été", nonce=NONCE
+        )
+        assert wire.loads(wire.dumps(hello)).producer_id == "producteur-été"
+
+
+class TestVersionGating:
+    def test_session_kind_with_version_1_refused(self):
+        frame = _rewrite_version(wire.dumps(_session_objects()[0]), 1)
+        with pytest.raises(WireFormatError, match="require wire-format version 2"):
+            wire.loads(frame)
+
+    def test_core_kind_with_version_2_refused(self):
+        frame = _rewrite_version(wire.dumps(CountAccumulator(8)), 2)
+        with pytest.raises(WireFormatError, match="require wire-format version 1"):
+            wire.loads(frame)
+
+    def test_future_version_names_supported_versions(self):
+        frame = _rewrite_version(wire.dumps(CountAccumulator(8)), 7)
+        with pytest.raises(WireFormatError, match=r"version 7.*supports version 1"):
+            wire.loads(frame)
+
+
+class TestEncodingValidation:
+    def test_empty_producer_id_refused(self):
+        hello = wire.SessionHello(m=8, round_id=0, producer_id="", nonce=NONCE)
+        with pytest.raises(ValidationError, match="non-empty"):
+            wire.dumps(hello)
+
+    def test_wrong_nonce_size_refused(self):
+        hello = wire.SessionHello(
+            m=8, round_id=0, producer_id="p", nonce=b"short"
+        )
+        with pytest.raises(ValidationError, match="16 bytes"):
+            wire.dumps(hello)
+
+    def test_wrong_mac_size_refused(self):
+        with pytest.raises(ValidationError, match="32 bytes"):
+            wire.dumps(wire.SessionProof(m=8, round_id=0, mac=b"tiny"))
+
+    def test_negative_seq_refused(self):
+        record = wire.Record(
+            m=8, round_id=0, seq=-1, frame=wire.dumps(CountAccumulator(8))
+        )
+        with pytest.raises(ValidationError, match="non-negative"):
+            wire.dumps(record)
+
+    def test_record_must_wrap_a_whole_frame(self):
+        record = wire.Record(m=8, round_id=0, seq=0, frame=b"tiny")
+        with pytest.raises(ValidationError, match="complete core frame"):
+            wire.dumps(record)
+
+    def test_unknown_ack_status_refused(self):
+        ack = wire.Ack(m=8, round_id=0, seq=0, status=99)
+        with pytest.raises(ValidationError, match="status"):
+            wire.dumps(ack)
+
+
+class TestDecodingValidation:
+    def test_truncated_hello_payload_refused(self):
+        frame = bytearray(wire.dumps(_session_objects()[0]))
+        # Claim a longer producer id than the payload holds.
+        payload_start = wire.HEADER_SIZE
+        frame[payload_start : payload_start + 2] = struct.pack("<H", 200)
+        # Fix the payload CRC so only the semantic check can object.
+        frame[-4:] = struct.pack(
+            "<I", zlib.crc32(bytes(frame[payload_start:-4]))
+        )
+        with pytest.raises(WireFormatError, match="payload must be"):
+            wire.loads(bytes(frame))
+
+    def test_ack_with_unknown_status_refused(self):
+        good = wire.dumps(
+            wire.Ack(m=8, round_id=0, seq=0, status=wire.ACK_MERGED)
+        )
+        frame = bytearray(good)
+        frame[wire.HEADER_SIZE : wire.HEADER_SIZE + 2] = struct.pack("<H", 88)
+        frame[-4:] = struct.pack(
+            "<I", zlib.crc32(bytes(frame[wire.HEADER_SIZE : -4]))
+        )
+        with pytest.raises(WireFormatError, match="status 88"):
+            wire.loads(bytes(frame))
+
+    def test_corrupt_session_payload_fails_checksum(self):
+        frame = bytearray(wire.dumps(_session_objects()[2]))
+        frame[wire.HEADER_SIZE] ^= 0xFF
+        with pytest.raises(WireFormatError, match="payload checksum"):
+            wire.loads(bytes(frame))

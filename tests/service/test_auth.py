@@ -1,0 +1,110 @@
+"""Tests for the HMAC session handshake primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.service.auth import (
+    MIN_KEY_BYTES,
+    derive_round_key,
+    fresh_nonce,
+    session_mac,
+    verify_session_mac,
+)
+
+KEY = derive_round_key("0123456789abcdef0123456789abcdef")
+ARGS = dict(
+    m=24,
+    round_id=3,
+    producer_id="edge-1",
+    client_nonce=bytes(range(16)),
+    server_nonce=bytes(range(16, 32)),
+)
+
+
+class TestDeriveRoundKey:
+    def test_hex_strings_decode(self):
+        assert derive_round_key("00ff" * 8) == bytes([0, 255]) * 8
+
+    def test_passphrases_encode_utf8(self):
+        assert derive_round_key("correct horse battery") == b"correct horse battery"
+
+    def test_raw_bytes_pass_through(self):
+        assert derive_round_key(b"\x01" * 12) == b"\x01" * 12
+
+    def test_short_keys_refused(self):
+        with pytest.raises(ValidationError, match=f"{MIN_KEY_BYTES} bytes"):
+            derive_round_key("abc")
+
+    def test_short_hex_refused_by_decoded_length(self):
+        # 8 hex chars decode to 4 bytes — under the floor even though
+        # the string itself is 8 characters long.
+        with pytest.raises(ValidationError, match="at least"):
+            derive_round_key("deadbeef")
+
+
+class TestSessionMac:
+    def test_deterministic(self):
+        assert session_mac(KEY, **ARGS) == session_mac(KEY, **ARGS)
+        assert len(session_mac(KEY, **ARGS)) == 32
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("m", 25),
+            ("round_id", 4),
+            ("producer_id", "edge-2"),
+            ("client_nonce", bytes(16)),
+            ("server_nonce", bytes(16)),
+        ],
+    )
+    def test_transcript_binds_every_field(self, field, value):
+        changed = {**ARGS, field: value}
+        assert session_mac(KEY, **changed) != session_mac(KEY, **ARGS)
+
+    def test_different_keys_differ(self):
+        other = derive_round_key(b"another-round-key")
+        assert session_mac(other, **ARGS) != session_mac(KEY, **ARGS)
+
+    def test_producer_id_is_length_prefixed(self):
+        # "ab" + nonce starting with c must not collide with "abc" +
+        # shifted nonce: the length prefix separates the fields.
+        one = session_mac(
+            KEY,
+            m=8,
+            round_id=0,
+            producer_id="ab",
+            client_nonce=b"c" + bytes(15),
+            server_nonce=bytes(16),
+        )
+        two = session_mac(
+            KEY,
+            m=8,
+            round_id=0,
+            producer_id="abc",
+            client_nonce=bytes(15) + b"c",
+            server_nonce=bytes(16),
+        )
+        assert one != two
+
+
+class TestVerify:
+    def test_round_trip(self):
+        mac = session_mac(KEY, **ARGS)
+        assert verify_session_mac(KEY, mac, **ARGS)
+
+    def test_wrong_key_fails(self):
+        mac = session_mac(derive_round_key(b"wrong-key-entirely"), **ARGS)
+        assert not verify_session_mac(KEY, mac, **ARGS)
+
+    def test_tampered_mac_fails(self):
+        mac = bytearray(session_mac(KEY, **ARGS))
+        mac[0] ^= 1
+        assert not verify_session_mac(KEY, bytes(mac), **ARGS)
+
+
+def test_fresh_nonces_are_fresh():
+    nonces = {fresh_nonce() for _ in range(64)}
+    assert len(nonces) == 64
+    assert all(len(nonce) == 16 for nonce in nonces)

@@ -142,3 +142,95 @@ class TestPipelineCLI:
     def test_pipeline_rejects_unknown_sampler(self):
         with pytest.raises(SystemExit):
             main(["pipeline", "--n", "100", "--m", "10", "--sampler", "sloppy"])
+
+
+class TestServiceCLI:
+    def test_collect_with_auth_key_uses_service(self, capsys, tmp_path):
+        """--collect --auth-key routes through the exactly-once service,
+        including the blind-resend duplicate verification."""
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--n", "600",
+                    "--m", "24",
+                    "--shards", "2",
+                    "--chunk-size", "128",
+                    "--sampler", "fast",
+                    "--packed",
+                    "--collect",
+                    "--spill-dir", str(tmp_path / "round"),
+                    "--auth-key", "00112233445566778899aabbccddeeff",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "service collect:" in out
+        assert "merged exactly once" in out
+        assert "deduplicated" in out
+
+    def test_serve_requires_auth_key(self, tmp_path):
+        with pytest.raises(SystemExit, match="auth-key"):
+            main(["serve", "--m", "8", "--spill-dir", str(tmp_path / "r")])
+
+    def test_serve_requires_spill_dir(self):
+        with pytest.raises(SystemExit, match="spill-dir"):
+            main(["serve", "--m", "8", "--auth-key", "deadbeefcafebabe"])
+
+    def test_serve_exit_after_round_trip(self, capsys, tmp_path):
+        """Run the serve loop in a thread, feed it one record, and let
+        --exit-after bring it down cleanly."""
+        import asyncio
+        import socket
+        import threading
+        import time
+
+        import numpy as np
+
+        from repro.pipeline import send_records
+        from repro.pipeline.collect import wire
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        key = "deadbeefcafebabe"
+        argv = [
+            "serve",
+            "--m", "8",
+            "--auth-key", key,
+            "--spill-dir", str(tmp_path / "round"),
+            "--port", str(port),
+            "--exit-after", "1",
+        ]
+        server = threading.Thread(target=main, args=(argv,))
+        server.start()
+        try:
+            frame = wire.dump_chunk(
+                np.packbits(np.ones((2, 8), dtype=np.uint8), axis=1), 8
+            )
+            deadline = time.monotonic() + 10.0
+            while True:
+                try:
+                    acks = asyncio.run(
+                        send_records(
+                            "127.0.0.1",
+                            port,
+                            [frame],
+                            key=key,
+                            producer_id="cli-test",
+                            m=8,
+                        )
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+            assert [a.status for a in acks] == [wire.ACK_MERGED]
+        finally:
+            server.join(timeout=10.0)
+        assert not server.is_alive()
+        out = capsys.readouterr().out
+        assert "collection service listening" in out
+        assert "1 merged" in out and "n=2" in out

@@ -180,3 +180,45 @@ class TestAccumulatorIO:
         path.write_bytes(wire.dump_chunk(np.zeros((1, 1), dtype=np.uint8), m=8))
         with pytest.raises(ValidationError, match="not an"):
             load_accumulator(str(path))
+
+
+class TestAtomicAccumulatorSaves:
+    """save_accumulator must be torn-write-proof (temp + os.replace)."""
+
+    def _accumulator(self):
+        from repro.pipeline import CountAccumulator
+
+        acc = CountAccumulator(6, round_id=4)
+        acc.add_reports([[1, 0, 1, 0, 0, 1], [0, 1, 1, 0, 1, 0]])
+        return acc
+
+    def test_save_leaves_no_temp_litter(self, tmp_path):
+        import os
+
+        from repro.io import save_accumulator
+
+        path = tmp_path / "acc.snapshot"
+        save_accumulator(self._accumulator(), str(path))
+        assert os.listdir(tmp_path) == ["acc.snapshot"]
+
+    def test_failed_save_keeps_previous_snapshot(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.io import load_accumulator, save_accumulator
+        from repro.pipeline import CountAccumulator
+
+        path = str(tmp_path / "acc.snapshot")
+        first = self._accumulator()
+        save_accumulator(first, path)
+
+        import repro.pipeline.collect.store as store_module
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            save_accumulator(CountAccumulator(6, round_id=4), path)
+        monkeypatch.undo()
+        assert load_accumulator(path).digest() == first.digest()
+        assert os.listdir(tmp_path) == ["acc.snapshot"]
