@@ -5,16 +5,32 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test check bench bench-pipeline bench-collect bench-service bench-json
+.PHONY: test test-faults coverage check bench bench-pipeline bench-collect bench-service bench-json
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
 
+# The fault-injection harness alone (torn writes, fsync crashes,
+# mid-frame disconnects — tests/faults/): a named run for CI so a
+# recovery regression is visible at a glance.
+test-faults:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/faults -q
+
+# Coverage gate over the collection stack (repro.pipeline).  The floor
+# is a ratchet: raise it when coverage rises, never lower it to make a
+# PR pass.  Needs pytest-cov (`pip install -e .[dev]`).
+COV_FAIL_UNDER ?= 85
+coverage:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q \
+		--cov=repro.pipeline --cov-report=term-missing:skip-covered \
+		--cov-fail-under=$(COV_FAIL_UNDER)
+
 # Tier-1 gate plus smoke runs of (a) the packed fast-sampler pipeline,
 # (b) the durable-collection path — spill to a throwaway ShardStore,
 # out-of-core replay + digest audit, then a localhost socket round-trip
-# through the asyncio Collector — and (c) the authenticated exactly-once
+# through the asyncio Collector — (c) the authenticated exactly-once
 # CollectionService round-trip with its blind-resend duplicate check —
+# and (d) the same through per-producer derived keys (KeyRegistry) —
 # so none of them can silently break.
 check: test
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
@@ -27,6 +43,10 @@ check: test
 		--n 1000 --m 48 --shards 2 --chunk-size 128 \
 		--sampler fast --packed --collect --spill-dir $$(mktemp -d)/round \
 		--auth-key 00112233445566778899aabbccddeeff
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
+		--n 1000 --m 48 --shards 2 --chunk-size 128 \
+		--sampler fast --packed --collect --spill-dir $$(mktemp -d)/round \
+		--producer-key fleet-master-0001
 
 # The benchmark suite uses bench_* naming so default collection skips it.
 bench:

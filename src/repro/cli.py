@@ -12,8 +12,12 @@ Usage::
     python -m repro.cli pipeline [--n N] [--m M] [--shards K] [--chunk-size C]
                                  [--sampler fast|bitexact] [--topk K]
                                  [--spill-dir DIR] [--collect] [--auth-key KEY]
+                                 [--producer-key KEY]
     python -m repro.cli serve --m M --auth-key KEY --spill-dir DIR
                               [--round-id R] [--host H] [--port P]
+                              [--resume] [--exit-after N]
+    python -m repro.cli serve --rounds-config ROUNDS.json --spill-dir DIR
+                              [--keys-file KEYS.txt] [--auth-key KEY]
                               [--resume] [--exit-after N]
 
 ``--quick`` runs scaled-down workloads (seconds instead of minutes); the
@@ -30,10 +34,14 @@ snapshots through an asyncio :class:`~repro.pipeline.Collector` over a
 localhost socket and verifies the merged state digest-for-digest (add
 ``--auth-key`` to route the round-trip through the authenticated
 exactly-once :class:`~repro.pipeline.CollectionService` instead,
-including a blind-resend duplicate check).  ``serve`` runs the
-exactly-once collection service standalone: HMAC-authenticated
-producer sessions, fsync'd idempotency ledger, durable spill, and
-``--resume`` crash recovery (see ``docs/service.md``).
+including a blind-resend duplicate check; add ``--producer-key`` to
+give every synthetic producer its own derived key through a
+:class:`~repro.pipeline.KeyRegistry`).  ``serve`` runs the exactly-once
+collection service standalone: HMAC-authenticated producer sessions,
+fsync'd idempotency ledger, durable spill, and ``--resume`` crash
+recovery; ``--rounds-config`` hosts many concurrent rounds from a JSON
+spec and ``--keys-file`` loads per-producer keys from a hot-reloadable
+keyfile (rotation without restart) — see ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -139,34 +147,53 @@ def _collect_over_service(args, accumulator, frames) -> None:
     durable ack.  Then every producer *blindly resends* — the
     exactly-once check: all resends come back ``ACK_DUPLICATE`` and the
     merged state stays digest-identical to the in-memory round.
+
+    With ``--producer-key`` each synthetic producer authenticates with
+    its *own* key (derived from the master via
+    :func:`~repro.pipeline.service.derive_producer_key` and registered
+    in a :class:`~repro.pipeline.KeyRegistry`) instead of the shared
+    ``--auth-key`` — exercising the per-producer key path end to end.
     """
     import asyncio
     import shutil
     import tempfile
 
-    from .pipeline import CollectionService, send_records
+    from .pipeline import CollectionService, KeyRegistry, send_records
     from .pipeline.collect import wire
+    from .pipeline.service import derive_producer_key
 
     store_root = tempfile.mkdtemp(prefix="repro_service_")
+    producer_ids = [f"shard-{index}" for index in range(len(frames))]
+    if args.producer_key is not None:
+        producer_keys = {
+            producer: derive_producer_key(args.producer_key, producer)
+            for producer in producer_ids
+        }
+        registry = KeyRegistry(producer_keys)
+        service_auth = {"keys": registry}
+    else:
+        producer_keys = {producer: args.auth_key for producer in producer_ids}
+        service_auth = {"key": args.auth_key}
 
     async def _round_trip() -> tuple[int, int]:
         service = CollectionService(
             accumulator.m,
             round_id=accumulator.round_id,
-            key=args.auth_key,
             store_root=store_root,
+            **service_auth,
         )
         host, port = await service.serve()
         try:
             merged = duplicate = 0
             for index, frame in enumerate(frames):
+                producer = producer_ids[index]
                 for _attempt in range(2):  # second pass = blind resend
                     acks = await send_records(
                         host,
                         port,
                         [frame],
-                        key=args.auth_key,
-                        producer_id=f"shard-{index}",
+                        key=producer_keys[producer],
+                        producer_id=producer,
                         m=accumulator.m,
                         round_id=accumulator.round_id,
                     )
@@ -194,10 +221,13 @@ def _collect_over_service(args, accumulator, frames) -> None:
             f"service collection FAILED: expected {len(frames)} merged + "
             f"{len(frames)} duplicate acks, got {merged} + {duplicate}"
         )
+    key_mode = (
+        "per-producer keys" if args.producer_key is not None else "a shared key"
+    )
     print(
-        f"service collect: {merged} record(s) merged exactly once over an "
-        f"authenticated session, {duplicate} blind resend(s) deduplicated, "
-        "merged state digest-identical to the in-memory round"
+        f"service collect: {merged} record(s) merged exactly once over "
+        f"authenticated sessions ({key_mode}), {duplicate} blind resend(s) "
+        "deduplicated, merged state digest-identical to the in-memory round"
     )
 
 
@@ -225,7 +255,7 @@ def _collect_over_socket(args, accumulator) -> None:
     else:
         frames = [wire.dumps(accumulator)]
 
-    if args.auth_key is not None:
+    if args.auth_key is not None or args.producer_key is not None:
         _collect_over_service(args, accumulator, frames)
         return
 
@@ -343,33 +373,71 @@ def _run_pipeline(args) -> None:
         print(f"  true:      {', '.join(str(i) for i in metrics['true_top'])}")
 
 
+def _load_rounds_config(path: str) -> list[dict]:
+    """Parse a ``--rounds-config`` JSON file into round specs.
+
+    Accepts either a bare list of ``{"m": ..., "round_id": ...}``
+    objects or ``{"rounds": [...]}`` wrapping one.
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    if isinstance(spec, dict):
+        spec = spec.get("rounds")
+    if not isinstance(spec, list) or not spec:
+        raise SystemExit(
+            f"{path}: rounds config must be a non-empty JSON list of "
+            '{"m": ..., "round_id": ...} objects (optionally under a '
+            '"rounds" key)'
+        )
+    return spec
+
+
 def _run_serve(args) -> None:
     """Run the exactly-once collection service until stopped.
 
     ``--exit-after N`` stops once N records have merged (smoke tests,
     bounded rounds); otherwise the service runs until interrupted.
     Either way shutdown is graceful: handlers cancelled, spill + ledger
-    synced, final snapshot written atomically.
+    synced, final snapshots written atomically.  ``--rounds-config``
+    hosts many concurrent rounds; ``--keys-file`` authenticates each
+    producer with its own key (the file hot-reloads on change, so keys
+    rotate without a restart).
     """
     import asyncio
 
     from .pipeline import CollectionService
 
-    if args.auth_key is None:
-        raise SystemExit("serve requires --auth-key (the shared round key)")
+    if args.auth_key is None and args.keys_file is None:
+        raise SystemExit(
+            "serve requires --auth-key (shared key) and/or --keys-file "
+            "(per-producer keys)"
+        )
     if args.spill_dir is None:
         raise SystemExit(
             "serve requires --spill-dir (the round's durable state directory)"
         )
 
     async def _serve() -> dict:
-        service = CollectionService(
-            args.m,
-            round_id=args.round_id,
-            key=args.auth_key,
-            store_root=args.spill_dir,
-            resume=args.resume,
-        )
+        kwargs = {
+            "key": args.auth_key,
+            "keys": args.keys_file,
+            "store_root": args.spill_dir,
+            "resume": args.resume,
+        }
+        if args.rounds_config is not None:
+            rounds = _load_rounds_config(args.rounds_config)
+            service = CollectionService(rounds=rounds, **kwargs)
+            geometry = ", ".join(
+                f"round {state.round_id} (m={state.m})"
+                for state in service.registry.rounds()
+            )
+        else:
+            service = CollectionService(
+                args.m, round_id=args.round_id, **kwargs
+            )
+            geometry = f"m={args.m}, round={args.round_id}"
         host, port = await service.serve(args.host, args.port)
         resumed = (
             f", resumed {service.recovered_records} ledgered record(s)"
@@ -378,7 +446,7 @@ def _run_serve(args) -> None:
         )
         print(
             f"collection service listening on {host}:{port} "
-            f"(m={args.m}, round={args.round_id}){resumed}",
+            f"({geometry}){resumed}",
             flush=True,
         )
         try:
@@ -404,6 +472,15 @@ def _run_serve(args) -> None:
         f"{stats['sessions_opened']} session(s) from "
         f"{len(stats['producers'])} producer(s), n={stats['n']}"
     )
+    if len(stats["rounds"]) > 1:
+        for round_id, round_stats in sorted(stats["rounds"].items()):
+            print(
+                f"  round {round_id} (m={round_stats['m']}): "
+                f"{round_stats['records_merged']} merged, "
+                f"n={round_stats['n']}, "
+                f"{round_stats['commits']} group commit(s) "
+                f"({round_stats['cross_connection_batches']} cross-connection)"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -507,10 +584,38 @@ def main(argv: list[str] | None = None) -> int:
         "blind-resend duplicate check",
     )
     parser.add_argument(
+        "--producer-key",
+        metavar="KEY",
+        default=None,
+        help="pipeline --collect: master secret for per-producer keys — "
+        "every synthetic producer authenticates with its own key derived "
+        "via derive_producer_key(master, producer_id) through a "
+        "KeyRegistry, instead of one shared --auth-key",
+    )
+    parser.add_argument(
+        "--rounds-config",
+        metavar="FILE",
+        default=None,
+        help="serve: host many concurrent rounds from a JSON spec — a "
+        'list of {"m": ..., "round_id": ...} objects (optionally under a '
+        '"rounds" key); each round gets its own namespace under '
+        "--spill-dir and its sessions are bound to the round's "
+        "registration token",
+    )
+    parser.add_argument(
+        "--keys-file",
+        metavar="FILE",
+        default=None,
+        help="serve: per-producer keyfile ('producer = secret' lines, "
+        "'*' for the default); the file is re-read whenever it changes "
+        "on disk, so keys rotate without restarting the service",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
-        help="serve: recover an interrupted round from the ledger + spill "
-        "under --spill-dir instead of starting fresh",
+        help="serve: recover an interrupted round (every hosted round, "
+        "with --rounds-config) from the ledger + spill under --spill-dir "
+        "instead of starting fresh",
     )
     parser.add_argument(
         "--round-id",

@@ -50,6 +50,8 @@ from .engine import iter_report_chunks, report_width, stream_counts
 from .service import (
     CollectionService,
     IdempotencyLedger,
+    KeyRegistry,
+    RoundRegistry,
     ServiceLimits,
     ServiceSession,
     send_records,
@@ -71,5 +73,7 @@ __all__ = [
     "ServiceSession",
     "ServiceLimits",
     "IdempotencyLedger",
+    "KeyRegistry",
+    "RoundRegistry",
     "send_records",
 ]

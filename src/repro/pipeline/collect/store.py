@@ -207,10 +207,18 @@ class ShardChunkWriter:
         if self._index is not None:
             self._index.flush()
 
-    def close(self) -> None:
+    def close(self, *, finalize: bool = True) -> None:
+        """Close the writer.
+
+        With *finalize* (the default) an empty spill gets its one empty
+        chunk frame so the file pins ``(m, round_id)``.  ``finalize=
+        False`` skips that — the teardown for a writer whose round
+        never came to exist (a failed multi-round service constructor
+        must be able to drop handles without manufacturing state).
+        """
         if self._handle is None:
             return
-        if self.frames_written == 0 and self._offset == 0:
+        if finalize and self.frames_written == 0 and self._offset == 0:
             self.write(np.empty((0, packed_width(self.m)), dtype=np.uint8))
         handle, self._handle = self._handle, None
         handle.close()
@@ -239,6 +247,31 @@ class ShardStore:
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
+
+    def namespaced(self, name) -> "ShardStore":
+        """A child store rooted at ``<root>/<name>``.
+
+        The multi-round service hosts one round per namespace
+        (``round_00007/``, ...) under a single operator-facing
+        directory; each namespace is a complete, self-contained store —
+        its own spill files, snapshots, and (for a service round)
+        ledger — so rounds can be archived, audited, or deleted
+        independently.  Namespace names must be path-safe: exactly one
+        new directory level, no separators or traversal.
+        """
+        name = str(name)
+        if (
+            not name
+            or name in (".", "..")
+            or "/" in name
+            or "\\" in name
+            or os.sep in name
+        ):
+            raise ValidationError(
+                f"store namespace must be a single path-safe component, "
+                f"got {name!r}"
+            )
+        return ShardStore(os.path.join(self.root, name))
 
     # ------------------------------------------------------------------
     # Paths and discovery

@@ -36,6 +36,17 @@ version-gated: the core data frames (kinds 1-2) still encode as version
 while kinds 3-7 encode as version 2, and a reader refuses a kind paired
 with the wrong version.
 
+Version 3 adds *round-scoped session binding* for the multi-round
+service: a :class:`SessionChallenge` may carry a 16-byte *round token*
+(the hosted round's registration epoch) after the server nonce, and the
+producer's proof MAC must bind it — so a proof minted against one
+hosted incarnation of a round can never be spent against another, even
+one re-registered under the same ``round_id`` after a key rotation.
+The gate is per *object*, not per kind: a challenge without a token
+still encodes as version 2, byte-identical to every committed fixture;
+only a token-carrying challenge encodes as version 3, and a reader
+refuses a 32-byte challenge payload claiming version 2 (or vice versa).
+
 Decoding is loud on every failure mode a transport can produce: wrong
 magic, unsupported version (the message names found and supported
 versions), truncation mid-header or mid-payload, and CRC mismatch on
@@ -59,6 +70,7 @@ __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
     "WIRE_VERSION_SESSION",
+    "WIRE_VERSION_MULTIROUND",
     "KIND_SNAPSHOT",
     "KIND_CHUNK",
     "KIND_HELLO",
@@ -73,6 +85,7 @@ __all__ = [
     "HEADER_SIZE",
     "SESSION_NONCE_SIZE",
     "SESSION_MAC_SIZE",
+    "SESSION_TOKEN_SIZE",
     "PackedChunk",
     "SessionHello",
     "SessionChallenge",
@@ -91,6 +104,7 @@ __all__ = [
 WIRE_MAGIC = b"IDLP"
 WIRE_VERSION = 1
 WIRE_VERSION_SESSION = 2
+WIRE_VERSION_MULTIROUND = 3
 KIND_SNAPSHOT = 1
 KIND_CHUNK = 2
 KIND_HELLO = 3
@@ -107,6 +121,7 @@ ACK_REFUSED = 4  # auth failure, quota breach, conflict, or bad frame
 
 SESSION_NONCE_SIZE = 16
 SESSION_MAC_SIZE = 32  # HMAC-SHA256
+SESSION_TOKEN_SIZE = 16  # round registration token (version-3 challenges)
 
 _HEADER = struct.Struct("<4sHHQQqI")
 _CRC = struct.Struct("<I")
@@ -121,17 +136,22 @@ _KIND_NAMES = {
     KIND_ACK: "ack",
 }
 # Kind <-> version gating: core data frames stay version 1 (their bytes
-# are pinned by golden fixtures); session frames require version 2.
+# are pinned by golden fixtures); session frames require version 2,
+# except a round-token-carrying challenge, which requires version 3.
 _KIND_VERSIONS = {
-    KIND_SNAPSHOT: WIRE_VERSION,
-    KIND_CHUNK: WIRE_VERSION,
-    KIND_HELLO: WIRE_VERSION_SESSION,
-    KIND_CHALLENGE: WIRE_VERSION_SESSION,
-    KIND_PROOF: WIRE_VERSION_SESSION,
-    KIND_RECORD: WIRE_VERSION_SESSION,
-    KIND_ACK: WIRE_VERSION_SESSION,
+    KIND_SNAPSHOT: (WIRE_VERSION,),
+    KIND_CHUNK: (WIRE_VERSION,),
+    KIND_HELLO: (WIRE_VERSION_SESSION,),
+    KIND_CHALLENGE: (WIRE_VERSION_SESSION, WIRE_VERSION_MULTIROUND),
+    KIND_PROOF: (WIRE_VERSION_SESSION,),
+    KIND_RECORD: (WIRE_VERSION_SESSION,),
+    KIND_ACK: (WIRE_VERSION_SESSION,),
 }
-SUPPORTED_VERSIONS = (WIRE_VERSION, WIRE_VERSION_SESSION)
+SUPPORTED_VERSIONS = (
+    WIRE_VERSION,
+    WIRE_VERSION_SESSION,
+    WIRE_VERSION_MULTIROUND,
+)
 
 
 @dataclass(frozen=True)
@@ -173,11 +193,20 @@ class SessionHello:
 
 @dataclass(frozen=True)
 class SessionChallenge:
-    """Service reply to a hello: the server-side handshake nonce."""
+    """Service reply to a hello: the server-side handshake nonce.
+
+    ``round_token`` is the hosted round's registration token (see
+    :class:`repro.pipeline.service.RoundRegistry`).  Empty for a
+    single-round service — the challenge then encodes as a version-2
+    frame, byte-identical to the pre-multiround wire.  When present
+    (16 bytes, version-3 frame) the producer must fold it into the
+    proof MAC, scoping the session to this exact round incarnation.
+    """
 
     m: int
     round_id: int
     nonce: bytes
+    round_token: bytes = b""
 
 
 @dataclass(frozen=True)
@@ -245,10 +274,18 @@ def _check_chunk_rows(rows, m: int) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Encoding
 # ----------------------------------------------------------------------
-def _frame(kind: int, m: int, n: int, round_id: int, payload: bytes) -> bytes:
-    head = _HEADER.pack(
-        WIRE_MAGIC, _KIND_VERSIONS[kind], kind, m, n, round_id, len(payload)
-    )
+def _frame(
+    kind: int,
+    m: int,
+    n: int,
+    round_id: int,
+    payload: bytes,
+    *,
+    version: int | None = None,
+) -> bytes:
+    if version is None:
+        version = _KIND_VERSIONS[kind][0]
+    head = _HEADER.pack(WIRE_MAGIC, version, kind, m, n, round_id, len(payload))
     return b"".join(
         (
             head,
@@ -305,9 +342,29 @@ def dump_hello(hello: SessionHello) -> bytes:
 
 
 def dump_challenge(challenge: SessionChallenge) -> bytes:
-    """Serialize a session challenge (version-2 frame)."""
+    """Serialize a session challenge.
+
+    Without a round token the frame is version 2 — byte-identical to
+    the single-round wire.  With one it is version 3, the payload being
+    ``nonce || round_token``.
+    """
     payload = _check_nonce(challenge.nonce, "challenge")
-    return _frame(KIND_CHALLENGE, challenge.m, 0, challenge.round_id, payload)
+    token = bytes(challenge.round_token)
+    if not token:
+        return _frame(KIND_CHALLENGE, challenge.m, 0, challenge.round_id, payload)
+    if len(token) != SESSION_TOKEN_SIZE:
+        raise ValidationError(
+            f"challenge round token must be {SESSION_TOKEN_SIZE} bytes, "
+            f"got {len(token)}"
+        )
+    return _frame(
+        KIND_CHALLENGE,
+        challenge.m,
+        0,
+        challenge.round_id,
+        payload + token,
+        version=WIRE_VERSION_MULTIROUND,
+    )
 
 
 def dump_proof(proof: SessionProof) -> bytes:
@@ -387,8 +444,9 @@ def _parse_header(head: bytes) -> tuple[int, int, int, int, int, int]:
     if version not in SUPPORTED_VERSIONS:
         raise WireFormatError(
             f"unsupported wire-format version {version}; this reader "
-            f"supports version {WIRE_VERSION} (core frames) and "
-            f"{WIRE_VERSION_SESSION} (session frames)"
+            f"supports version {WIRE_VERSION} (core frames), "
+            f"{WIRE_VERSION_SESSION} (session frames), and "
+            f"{WIRE_VERSION_MULTIROUND} (round-scoped session frames)"
         )
     (stored_crc,) = _CRC.unpack_from(head, _HEADER.size)
     if stored_crc != zlib.crc32(head[: _HEADER.size]):
@@ -396,15 +454,18 @@ def _parse_header(head: bytes) -> tuple[int, int, int, int, int, int]:
     _, _, kind, m, n, round_id, length = _HEADER.unpack_from(head)
     if kind not in _KIND_NAMES:
         raise WireFormatError(f"unknown frame kind {kind}")
-    if version != _KIND_VERSIONS[kind]:
+    if version not in _KIND_VERSIONS[kind]:
+        allowed = " or ".join(str(v) for v in _KIND_VERSIONS[kind])
         raise WireFormatError(
             f"{_KIND_NAMES[kind]} frames require wire-format version "
-            f"{_KIND_VERSIONS[kind]}, got version {version}"
+            f"{allowed}, got version {version}"
         )
     return version, kind, m, n, round_id, length
 
 
-def _decode_session(kind: int, m: int, n: int, round_id: int, payload: bytes):
+def _decode_session(
+    kind: int, m: int, n: int, round_id: int, payload: bytes, version: int
+):
     name = _KIND_NAMES[kind]
     if kind == KIND_HELLO:
         if len(payload) < 2:
@@ -429,12 +490,20 @@ def _decode_session(kind: int, m: int, n: int, round_id: int, payload: bytes):
             nonce=payload[2 + producer_len :],
         )
     if kind == KIND_CHALLENGE:
-        if len(payload) != SESSION_NONCE_SIZE:
+        expected = SESSION_NONCE_SIZE
+        if version == WIRE_VERSION_MULTIROUND:
+            expected += SESSION_TOKEN_SIZE
+        if len(payload) != expected:
             raise WireFormatError(
-                f"{name} payload must be {SESSION_NONCE_SIZE} bytes, "
-                f"got {len(payload)}"
+                f"{name} payload must be {expected} bytes at wire-format "
+                f"version {version}, got {len(payload)}"
             )
-        return SessionChallenge(m=m, round_id=round_id, nonce=payload)
+        return SessionChallenge(
+            m=m,
+            round_id=round_id,
+            nonce=payload[:SESSION_NONCE_SIZE],
+            round_token=payload[SESSION_NONCE_SIZE:],
+        )
     if kind == KIND_PROOF:
         if len(payload) != SESSION_MAC_SIZE:
             raise WireFormatError(
@@ -462,12 +531,19 @@ def _decode_session(kind: int, m: int, n: int, round_id: int, payload: bytes):
     return Ack(m=m, round_id=round_id, seq=n, status=status, detail=detail)
 
 
-def _decode(kind: int, m: int, n: int, round_id: int, payload: bytes):
+def _decode(
+    kind: int,
+    m: int,
+    n: int,
+    round_id: int,
+    payload: bytes,
+    version: int = WIRE_VERSION,
+):
     name = _KIND_NAMES[kind]
     if m <= 0:
         raise WireFormatError(f"{name} frame declares non-positive width m={m}")
     if kind not in (KIND_SNAPSHOT, KIND_CHUNK):
-        return _decode_session(kind, m, n, round_id, payload)
+        return _decode_session(kind, m, n, round_id, payload, version)
     if kind == KIND_SNAPSHOT:
         if len(payload) != 8 * m:
             raise WireFormatError(
@@ -492,7 +568,7 @@ def _decode(kind: int, m: int, n: int, round_id: int, payload: bytes):
 def loads(data: bytes):
     """Decode exactly one frame from *data* (no trailing bytes allowed)."""
     data = bytes(data)
-    _, kind, m, n, round_id, length = _parse_header(data[:HEADER_SIZE])
+    version, kind, m, n, round_id, length = _parse_header(data[:HEADER_SIZE])
     expected = HEADER_SIZE + length + _CRC.size
     if len(data) < expected:
         raise WireFormatError(
@@ -509,7 +585,7 @@ def loads(data: bytes):
         raise WireFormatError(
             "payload checksum mismatch: frame payload is corrupted"
         )
-    return _decode(kind, m, n, round_id, payload)
+    return _decode(kind, m, n, round_id, payload, version)
 
 
 # ----------------------------------------------------------------------
@@ -533,7 +609,7 @@ def read_frame(stream):
     head = stream.read(HEADER_SIZE)
     if not head:
         return None
-    _, kind, m, n, round_id, length = _parse_header(head)
+    version, kind, m, n, round_id, length = _parse_header(head)
     rest = stream.read(length + _CRC.size)
     if len(rest) < length + _CRC.size:
         raise WireFormatError(
@@ -546,7 +622,7 @@ def read_frame(stream):
         raise WireFormatError(
             "payload checksum mismatch: frame payload is corrupted"
         )
-    return _decode(kind, m, n, round_id, payload)
+    return _decode(kind, m, n, round_id, payload, version)
 
 
 def iter_frames(stream):

@@ -7,9 +7,20 @@ merge makes a blind resend double-count), and a crash mid-round loses
 the live state.  This package is the deployment-shaped endpoint layered
 on the same wire format, PrivCount-style:
 
-* :mod:`.auth` — the HMAC-keyed session handshake: only producers
-  holding the shared round key can open a session, and every session
-  carries a producer identity.
+* :mod:`.auth` — the HMAC-keyed session handshake and the
+  :class:`KeyRegistry` of per-producer keys (keyfile-loadable,
+  hot-rotatable): every session authenticates with *its own
+  producer's* key, so one compromised producer can forge nothing for
+  another.
+* :mod:`.rounds` — :class:`RoundState` / :class:`RoundRegistry`, the
+  multi-round multiplexing layer: each hosted round owns its geometry,
+  store namespace, ledger, accumulator, quota meters, registration
+  token, and commit pipeline; sessions are routed by the HELLO's
+  ``round_id`` and can never cross-merge.
+* :mod:`.commit` — :class:`GroupCommitScheduler`, cross-connection
+  group commit: one spill-fsync + ledger-fsync pair covers everything
+  *every* session of a round staged while the previous commit was in
+  flight.
 * :mod:`.ledger` — :class:`IdempotencyLedger`, the append-only
   write-ahead ledger of ``(producer_id, seq, digest, spill_end)``
   records, fsync'd before every ack, that turns at-least-once transport
@@ -32,10 +43,17 @@ See ``docs/service.md`` for the protocol, ledger format, and recovery
 semantics.
 """
 
-from .auth import derive_round_key, session_mac
+from .auth import (
+    KeyRegistry,
+    derive_producer_key,
+    derive_round_key,
+    session_mac,
+)
 from .client import ServiceSession, send_records
+from .commit import GroupCommitScheduler
 from .ledger import IdempotencyLedger, LedgerEntry
 from .quotas import ServiceLimits
+from .rounds import RoundRegistry, RoundState
 from .server import CollectionService
 
 __all__ = [
@@ -44,7 +62,12 @@ __all__ = [
     "send_records",
     "IdempotencyLedger",
     "LedgerEntry",
+    "KeyRegistry",
+    "RoundRegistry",
+    "RoundState",
+    "GroupCommitScheduler",
     "ServiceLimits",
     "session_mac",
     "derive_round_key",
+    "derive_producer_key",
 ]

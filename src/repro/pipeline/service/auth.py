@@ -15,10 +15,18 @@ session frames of :mod:`repro.pipeline.collect.wire`:
 
 Because both nonces are inside the MAC, a recorded handshake cannot be
 replayed against a fresh challenge, and a proof minted for one round or
-producer identity cannot be spent on another.  The key is a shared
-*round* secret — whoever holds it is a legitimate producer for that
-round; per-producer keys would drop in here as a key-lookup by
-``producer_id`` without touching the frame flow.
+producer identity cannot be spent on another.  A multi-round service
+additionally folds the hosted round's *registration token* (carried in
+a version-3 challenge) into the transcript, so a proof is scoped to one
+exact incarnation of a round — not merely a ``round_id`` number that a
+later registration might reuse.
+
+Keys come from a :class:`KeyRegistry`: per-producer secrets looked up
+by ``producer_id`` during the handshake (one compromised producer can
+therefore never forge records for another), with an optional default
+key for producers without an individual entry.  Registries load from a
+keyfile (``producer = secret`` lines) and hot-reload when the file
+changes on disk, so keys rotate without a service restart.
 
 Record frames after the handshake are not individually MAC'd: the
 threat model is an untrusted *network* and unauthorized producers, not
@@ -38,6 +46,8 @@ from ...exceptions import ValidationError
 
 __all__ = [
     "MIN_KEY_BYTES",
+    "KeyRegistry",
+    "derive_producer_key",
     "derive_round_key",
     "fresh_nonce",
     "session_mac",
@@ -71,9 +81,185 @@ def derive_round_key(secret) -> bytes:
     return key
 
 
+def derive_producer_key(master, producer_id: str) -> bytes:
+    """Derive one producer's key from a deployment master secret.
+
+    ``HMAC-SHA256(master, "IDLP-producer-key" || producer_id)`` — the
+    operational convenience for fleets too large to mint independent
+    keys: the coordinator keeps the master, hands each node only its
+    derived key, and a node's key reveals nothing about any other
+    node's.  The result is a valid :class:`KeyRegistry` /
+    :func:`derive_round_key` secret (32 raw bytes).
+    """
+    master = derive_round_key(master)
+    if not producer_id:
+        raise ValidationError("producer_id must be a non-empty string")
+    return hmac.new(
+        master,
+        b"IDLP-producer-key" + producer_id.encode("utf-8"),
+        hashlib.sha256,
+    ).digest()
+
+
 def fresh_nonce() -> bytes:
     """A fresh 16-byte handshake nonce from the OS CSPRNG."""
     return os.urandom(16)
+
+
+class KeyRegistry:
+    """Per-producer key store with keyfile loading and hot rotation.
+
+    Lookup order: the producer's own entry, else the registry default
+    (``None`` when neither exists — the service refuses the session).
+    Holding only a *default* key reproduces the single-shared-key
+    behavior of the single-round service exactly.
+
+    A registry constructed with :meth:`from_file` (or ``path=``)
+    re-stats the keyfile on every lookup and reloads it when the mtime
+    or size changed — `kill -HUP`-style rotation without the signal:
+    edit the file, and the next handshake sees the new keys.  Sessions
+    already authenticated are untouched (the key only guards the
+    handshake), which is exactly the rotation semantics PrivCount-style
+    deployments want: revoke a node — or the ``*`` fallback — by
+    deleting its line, no restart, no disruption to the other
+    producers.  (A ``default_key`` passed at construction is a separate
+    layer: the file's ``*`` entry shadows it while present, and
+    deleting the ``*`` line falls back to it, not to nothing.)
+
+    Keyfile format — one entry per line::
+
+        # comment (blank lines ignored)
+        tally-node-1 = 00112233445566778899aabbccddeeff
+        tally-node-2 = a longer passphrase works too
+        *            = fallback-key-for-unlisted-producers
+
+    Producer ids may not contain ``=``; secrets go through
+    :func:`derive_round_key` (hex or UTF-8 passphrase, >= 8 bytes).
+    ``*`` names the default key.
+    """
+
+    def __init__(
+        self,
+        keys: dict | None = None,
+        *,
+        default_key=None,
+        path: str | None = None,
+    ) -> None:
+        self._keys: dict[str, bytes] = {
+            str(producer): derive_round_key(secret)
+            for producer, secret in (keys or {}).items()
+        }
+        self._base_default = (
+            derive_round_key(default_key) if default_key is not None else None
+        )
+        self._file_default: bytes | None = None
+        self._path = path
+        self._stamp: tuple[int, int] | None = None
+        if path is not None:
+            self.reload()
+
+    @classmethod
+    def from_file(cls, path: str, *, default_key=None) -> "KeyRegistry":
+        """A registry bound to *path*, hot-reloading on file change."""
+        return cls(default_key=default_key, path=path)
+
+    # ------------------------------------------------------------------
+    # Keyfile loading / rotation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse(text: str, path: str) -> tuple[dict[str, bytes], bytes | None]:
+        keys: dict[str, bytes] = {}
+        default: bytes | None = None
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            producer, sep, secret = line.partition("=")
+            producer, secret = producer.strip(), secret.strip()
+            if not sep or not producer or not secret:
+                raise ValidationError(
+                    f"{path}:{lineno}: keyfile lines are "
+                    f"'producer = secret', got {raw!r}"
+                )
+            key = derive_round_key(secret)
+            if producer == "*":
+                if default is not None:
+                    raise ValidationError(
+                        f"{path}:{lineno}: duplicate default ('*') entry"
+                    )
+                default = key
+            elif producer in keys:
+                raise ValidationError(
+                    f"{path}:{lineno}: duplicate entry for producer "
+                    f"{producer!r}"
+                )
+            else:
+                keys[producer] = key
+        return keys, default
+
+    def reload(self) -> None:
+        """Re-read the keyfile now (lookups do this automatically)."""
+        if self._path is None:
+            return
+        stat = os.stat(self._path)
+        with open(self._path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        keys, default = self._parse(text, self._path)
+        self._keys = keys
+        # The file's '*' entry is authoritative for the file layer:
+        # deleting the line REVOKES the file default (falling back to
+        # any construction-time default, not to the stale key).
+        self._file_default = default
+        self._stamp = (stat.st_mtime_ns, stat.st_size)
+
+    def _maybe_reload(self) -> None:
+        """Reload on file change, but never let a broken file take the
+        service down: a missing, unreadable, or malformed keyfile (a
+        non-atomic editor save mid-rotation, a typo'd line) keeps the
+        last good key set serving and retries on the next lookup —
+        rotation must not be able to lock every producer out.  Only the
+        *explicit* :meth:`reload` (service construction) fails loudly.
+        """
+        if self._path is None:
+            return
+        try:
+            stat = os.stat(self._path)
+        except OSError:
+            return  # keep serving the last good key set
+        if (stat.st_mtime_ns, stat.st_size) != self._stamp:
+            try:
+                self.reload()
+            except (ValidationError, OSError):
+                return  # malformed mid-edit; retry at the next lookup
+
+    # ------------------------------------------------------------------
+    # Lookup / mutation
+    # ------------------------------------------------------------------
+    def lookup(self, producer_id: str) -> bytes | None:
+        """The producer's key, the default key, or ``None`` (refuse)."""
+        self._maybe_reload()
+        default = (
+            self._file_default
+            if self._file_default is not None
+            else self._base_default
+        )
+        return self._keys.get(producer_id, default)
+
+    def set_key(self, producer_id: str, secret) -> None:
+        """Insert or rotate one producer's key in place."""
+        self._keys[str(producer_id)] = derive_round_key(secret)
+
+    def remove(self, producer_id: str) -> None:
+        """Revoke one producer (its sessions fall back to the default)."""
+        self._keys.pop(str(producer_id), None)
+
+    def producers(self) -> list[str]:
+        """Sorted producer ids with an individual key entry."""
+        self._maybe_reload()
+        return sorted(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
 
 
 def session_mac(
@@ -84,12 +270,16 @@ def session_mac(
     producer_id: str,
     client_nonce: bytes,
     server_nonce: bytes,
+    round_token: bytes = b"",
 ) -> bytes:
     """HMAC-SHA256 over the handshake transcript (32 bytes).
 
     The producer id is length-prefixed inside the transcript so no two
     distinct ``(producer_id, nonce)`` pairs can collide into the same
-    MAC input.
+    MAC input.  *round_token* is the multi-round registration token
+    from a version-3 challenge; it is appended after the fixed-size
+    nonces (no ambiguity — empty or exactly 16 bytes), and an empty
+    token reproduces the single-round transcript bit for bit.
     """
     producer = producer_id.encode("utf-8")
     transcript = b"".join(
@@ -99,6 +289,7 @@ def session_mac(
             producer,
             bytes(client_nonce),
             bytes(server_nonce),
+            bytes(round_token),
         )
     )
     return hmac.new(key, transcript, hashlib.sha256).digest()
@@ -113,6 +304,7 @@ def verify_session_mac(
     producer_id: str,
     client_nonce: bytes,
     server_nonce: bytes,
+    round_token: bytes = b"",
 ) -> bool:
     """Constant-time check of a producer's session proof."""
     expected = session_mac(
@@ -122,5 +314,6 @@ def verify_session_mac(
         producer_id=producer_id,
         client_nonce=client_nonce,
         server_nonce=server_nonce,
+        round_token=round_token,
     )
     return hmac.compare_digest(expected, bytes(mac))

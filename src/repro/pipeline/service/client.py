@@ -92,6 +92,11 @@ class ServiceSession:
                 raise AuthenticationError(
                     f"expected a session challenge, got {type(reply).__name__}"
                 )
+            # A version-3 challenge carries the hosted round's
+            # registration token; binding it scopes this proof to that
+            # exact round incarnation.  An empty token (version-2
+            # challenge, single-round service) leaves the transcript
+            # byte-identical to the original protocol.
             mac = session_mac(
                 self.key,
                 m=self.m,
@@ -99,6 +104,7 @@ class ServiceSession:
                 producer_id=self.producer_id,
                 client_nonce=client_nonce,
                 server_nonce=reply.nonce,
+                round_token=reply.round_token,
             )
             await self._send(
                 wire.SessionProof(m=self.m, round_id=self.round_id, mac=mac)

@@ -223,3 +223,24 @@ class IdempotencyLedger:
     def entries(self) -> list[LedgerEntry]:
         """All committed entries, in insertion (= commit) order."""
         return list(self._entries.values())
+
+    def producer_totals(self) -> dict[str, tuple[int, int]]:
+        """Committed ``(records, frame_bytes)`` per producer.
+
+        Resume seeds each producer's cross-connection quota meter from
+        this, so a restart never forgives budget a producer already
+        spent — the quota ledger *is* the idempotency ledger.  Byte
+        totals fall out of the entries' ``spill_end`` offsets: entries
+        commit in spill order, so each entry's frame size is its
+        ``spill_end`` minus the previous entry's.
+        """
+        totals: dict[str, tuple[int, int]] = {}
+        previous_end = 0
+        for entry in self._entries.values():
+            records, nbytes = totals.get(entry.producer_id, (0, 0))
+            totals[entry.producer_id] = (
+                records + 1,
+                nbytes + entry.spill_end - previous_end,
+            )
+            previous_end = entry.spill_end
+        return totals

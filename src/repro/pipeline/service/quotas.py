@@ -19,11 +19,22 @@ configuration*, not by producer behavior:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ...exceptions import QuotaExceededError
 
-__all__ = ["ServiceLimits", "ConnectionQuota"]
+__all__ = [
+    "ServiceLimits",
+    "ConnectionQuota",
+    "BudgetMeter",
+    "ProducerQuota",
+    "RoundQuota",
+    "Deadline",
+]
+
+COMMIT_SCOPE_ROUND = "round"
+COMMIT_SCOPE_CONNECTION = "connection"
 
 
 @dataclass(frozen=True)
@@ -65,9 +76,35 @@ class ServiceLimits:
         service for every legitimate producer.
     session_idle_seconds:
         Deadline for an authenticated session's next record (including
-        a stalled mid-frame payload).  Idle sessions are reaped so
-        their slots return to the pool; a reaped producer reconnects
-        and resends, which exactly-once makes free.
+        a stalled mid-frame payload), measured on the **monotonic
+        clock from the last completed frame** — never from connection
+        start, so a legitimately slow producer that keeps trickling
+        records (even across a long multi-round engagement) is never
+        reaped, while one that goes silent is.  Reaped producers
+        reconnect and resend, which exactly-once makes free.
+    max_producer_bytes / max_producer_frames:
+        Per-*producer* contribution quota, shared across every
+        connection and session the producer opens on a round (``None``
+        = unlimited).  Metered on records **accepted for commit**, so
+        the blind resend the exactly-once protocol relies on is free:
+        duplicates dedup before they are charged.  A producer cannot
+        dodge its budget by reconnecting — the tally lives with the
+        round, not the connection — and on resume both frames and
+        bytes are rebuilt exactly from the ledger, so a restart
+        forgives nothing (and double-charges nothing).
+    max_round_bytes / max_round_records:
+        Whole-round contribution caps (``None`` = unlimited), metered
+        like the producer quota: once a hosted round has committed
+        this much, further fresh records are refused while other
+        rounds on the same service keep ingesting.
+    commit_scope:
+        ``"round"`` (default) coalesces group commits **across
+        connections**: one spill-fsync + ledger-fsync pair covers every
+        batch any session of the round has staged while the previous
+        commit was in flight.  ``"connection"`` restores the
+        per-connection batching of the single-round service — each
+        connection's batch pays its own fsync pair (the benchmark
+        baseline, and a debugging aid).
     """
 
     max_frame_bytes: int = 16 * 2**20
@@ -80,6 +117,11 @@ class ServiceLimits:
     commit_idle_seconds: float = 0.002
     handshake_timeout_seconds: float = 30.0
     session_idle_seconds: float = 900.0
+    max_producer_bytes: int | None = None
+    max_producer_frames: int | None = None
+    max_round_bytes: int | None = None
+    max_round_records: int | None = None
+    commit_scope: str = COMMIT_SCOPE_ROUND
 
     def __post_init__(self) -> None:
         for field in (
@@ -102,6 +144,20 @@ class ServiceLimits:
         ):
             if float(getattr(self, field)) <= 0:
                 raise ValueError(f"{field} must be positive")
+        for field in (
+            "max_producer_bytes",
+            "max_producer_frames",
+            "max_round_bytes",
+            "max_round_records",
+        ):
+            value = getattr(self, field)
+            if value is not None and int(value) <= 0:
+                raise ValueError(f"{field} must be positive (or None)")
+        if self.commit_scope not in (COMMIT_SCOPE_ROUND, COMMIT_SCOPE_CONNECTION):
+            raise ValueError(
+                f"commit_scope must be '{COMMIT_SCOPE_ROUND}' or "
+                f"'{COMMIT_SCOPE_CONNECTION}', got {self.commit_scope!r}"
+            )
 
 
 class ConnectionQuota:
@@ -126,3 +182,133 @@ class ConnectionQuota:
                 f"connection exceeded its frame quota "
                 f"({self.frames_used} > {self.limits.max_connection_frames})"
             )
+
+
+class BudgetMeter:
+    """A persistent ``(bytes, count)`` budget with **atomic** charging.
+
+    Unlike :class:`ConnectionQuota` (which dies with its connection, so
+    its meter state after a refusal is irrelevant), these meters
+    outlive connections — so :meth:`charge` must be all-or-nothing: a
+    refused charge leaves the meter exactly as it was, else the failed
+    attempt itself would burn budget and lock a producer out below its
+    real committed usage.  One implementation serves both the
+    per-producer and per-round scopes; fixes cannot drift between them.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        *,
+        max_bytes: int | None,
+        max_count: int | None,
+        count_noun: str,
+    ) -> None:
+        self.label = label
+        self.max_bytes = max_bytes
+        self.max_count = max_count
+        self.count_noun = count_noun
+        self.bytes_used = 0
+        self.count_used = 0
+
+    def charge(self, nbytes: int) -> None:
+        """Charge one record of *nbytes* atomically; raises untouched."""
+        new_bytes = self.bytes_used + int(nbytes)
+        new_count = self.count_used + 1
+        if self.max_bytes is not None and new_bytes > self.max_bytes:
+            raise QuotaExceededError(
+                f"{self.label} exceeded its byte quota "
+                f"({new_bytes} > {self.max_bytes})"
+            )
+        if self.max_count is not None and new_count > self.max_count:
+            raise QuotaExceededError(
+                f"{self.label} exceeded its {self.count_noun} quota "
+                f"({new_count} > {self.max_count})"
+            )
+        self.bytes_used = new_bytes
+        self.count_used = new_count
+
+    def refund(self, nbytes: int) -> None:
+        """Return the charge for a staged record that never committed
+        (dead connection, commit rollback, lost a same-seq race) — the
+        producer will resend it, and resending must not double-bill."""
+        self.bytes_used -= int(nbytes)
+        self.count_used -= 1
+
+
+class ProducerQuota(BudgetMeter):
+    """One producer's cross-connection meter on one hosted round.
+
+    The round hands every session of producer ``p`` the same instance,
+    so reconnecting never resets the meter, and resume seeds it from
+    the ledger's per-producer totals.  Charged only for records staged
+    fresh (duplicates are free); under two connections of one producer
+    racing the same seq, the loser's charge is refunded at commit time.
+    """
+
+    def __init__(self, limits: ServiceLimits, producer_id: str) -> None:
+        super().__init__(
+            f"producer {producer_id!r}",
+            max_bytes=limits.max_producer_bytes,
+            max_count=limits.max_producer_frames,
+            count_noun="frame",
+        )
+        self.producer_id = producer_id
+
+    @property
+    def frames_used(self) -> int:
+        return self.count_used
+
+    @frames_used.setter
+    def frames_used(self, value: int) -> None:
+        self.count_used = int(value)
+
+
+class RoundQuota(BudgetMeter):
+    """Whole-round commit meter (all producers, all connections)."""
+
+    def __init__(self, limits: ServiceLimits, round_id: int) -> None:
+        super().__init__(
+            f"round {round_id}",
+            max_bytes=limits.max_round_bytes,
+            max_count=limits.max_round_records,
+            count_noun="record",
+        )
+        self.round_id = round_id
+
+    @property
+    def records_used(self) -> int:
+        return self.count_used
+
+    @records_used.setter
+    def records_used(self, value: int) -> None:
+        self.count_used = int(value)
+
+
+class Deadline:
+    """A monotonic-clock idle deadline.
+
+    All service reaping runs through this class so no deadline can ever
+    be measured from the wrong origin (connection start) or the wrong
+    clock (wall time, which NTP may step backwards or forwards under a
+    long-lived session).  :meth:`reset` marks activity; :meth:`remaining`
+    is what goes into ``asyncio.wait_for``.
+    """
+
+    def __init__(self, seconds: float, *, clock=time.monotonic) -> None:
+        if float(seconds) <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._last = clock()
+
+    def reset(self) -> None:
+        """Record activity now; the deadline restarts from this instant."""
+        self._last = self._clock()
+
+    def remaining(self) -> float:
+        """Seconds left before the deadline expires (may be <= 0)."""
+        return self.seconds - (self._clock() - self._last)
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0

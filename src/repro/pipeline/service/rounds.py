@@ -1,0 +1,418 @@
+"""Hosted rounds: per-round durable state and the multiplexing registry.
+
+A multi-tenant collection service runs many measurement rounds at once —
+different widths, different producer populations, different lifetimes.
+Everything one round owns lives in a :class:`RoundState`:
+
+* geometry ``(m, round_id)`` that every session and record must match;
+* a :class:`~repro.pipeline.collect.store.ShardStore` namespace holding
+  the round's spill, ``.index`` sidecar, snapshot, and idempotency
+  ledger — rounds never share files, so archiving or deleting one round
+  cannot touch another;
+* the live :class:`~repro.pipeline.accumulator.CountAccumulator`;
+* a :class:`~.commit.GroupCommitScheduler` — the round's single durable
+  commit pipeline, which is what lets group commit coalesce across
+  *connections* (every session of the round feeds the same scheduler);
+* per-producer and whole-round quota meters that survive reconnects
+  (and, via the ledger, restarts);
+* a 16-byte *registration token*, minted when the round is opened and
+  folded into every session proof of a scoped (multi-round) service, so
+  a proof for one incarnation of round 7 can never be spent on a later
+  re-registration of round 7.
+
+:class:`RoundRegistry` is the router: ``round_id`` → :class:`RoundState`
+for every hosted round, with loud refusal of duplicate registrations.
+Sessions resolve their round exactly once, at HELLO time; after that
+every stage/commit/ack path works against the resolved round alone,
+which is the structural reason records can never cross-merge between
+rounds (the property suite pins this).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ...exceptions import LedgerError, ValidationError, WireFormatError
+from ...kernels import packed_width
+from ..accumulator import CountAccumulator
+from ..collect import wire
+from ..collect.collector import apply_frame_object
+from ..collect.store import ShardStore
+from .auth import fresh_nonce
+from .commit import GroupCommitScheduler
+from .ledger import IdempotencyLedger
+from .quotas import ProducerQuota, RoundQuota, ServiceLimits
+
+__all__ = [
+    "RoundState",
+    "RoundRegistry",
+    "LEDGER_FILENAME",
+    "SERVICE_SHARD_ID",
+    "round_namespace",
+]
+
+LEDGER_FILENAME = "round.ledger"
+SERVICE_SHARD_ID = 0
+
+
+def round_namespace(round_id: int) -> str:
+    """The store namespace a hosted round's files live under."""
+    return f"round_{int(round_id):05d}"
+
+
+class RoundState:
+    """One hosted round: geometry, durable state, commit pipeline."""
+
+    def __init__(
+        self,
+        m: int,
+        round_id: int,
+        store: ShardStore,
+        limits: ServiceLimits,
+        *,
+        resume: bool = False,
+        scoped: bool = False,
+    ) -> None:
+        self.m = int(m)
+        if self.m <= 0:
+            raise ValidationError(f"round width m must be positive, got {m}")
+        self.round_id = int(round_id)
+        self.limits = limits
+        self.store = store
+        self.ledger = IdempotencyLedger(
+            os.path.join(store.root, LEDGER_FILENAME)
+        )
+        self.accumulator = CountAccumulator(self.m, round_id=self.round_id)
+        # The registration token: fresh every time the round is opened,
+        # so session proofs are scoped to this exact incarnation.  An
+        # unscoped (single-round, legacy-wire) round keeps it empty and
+        # its challenges stay version-2 byte-identical.
+        self.token = fresh_nonce() if scoped else b""
+
+        self.records_merged = 0
+        self.records_duplicate = 0
+        self.records_refused = 0
+        self.bytes_ingested = 0
+        self.producers_seen: set[str] = set()
+        self.recovered_records = 0
+        self.recovered_spill_bytes_discarded = 0
+
+        existing = os.path.exists(self.ledger.path) or os.path.exists(
+            self.store.chunk_path(SERVICE_SHARD_ID)
+        )
+        self.preexisting = existing
+        if existing and not resume:
+            raise ValidationError(
+                f"{self.store.root} already holds round state "
+                f"({LEDGER_FILENAME} / spill); pass resume=True to recover "
+                "it, or point the service at a fresh directory"
+            )
+        self._recover()
+        self.writer = self.store.writer(
+            SERVICE_SHARD_ID,
+            self.m,
+            round_id=self.round_id,
+            durable=True,
+            resume=True,
+        )
+        self.scheduler = GroupCommitScheduler(self, limits)
+        self.quota = RoundQuota(limits, self.round_id)
+        self.quota.bytes_used = self.bytes_ingested
+        self.quota.records_used = self.records_merged
+        self._producer_quotas: dict[str, ProducerQuota] = {}
+        # Quotas meter *committed* records, so the ledger reconstructs
+        # every meter exactly — a restart forgives nothing, and (because
+        # resends dedup before they are charged) forgives resends too.
+        for producer_id, (records, nbytes) in (
+            self.ledger.producer_totals().items()
+        ):
+            meter = self.producer_quota(producer_id)
+            meter.frames_used = records
+            meter.bytes_used = nbytes
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild round state from ledger + spill (both may be absent)."""
+        count = self.ledger.load()
+        recovered = self.store.recover_shard(
+            SERVICE_SHARD_ID, committed_offset=self.ledger.committed_offset
+        )
+        if recovered["frames"] != count:
+            raise LedgerError(
+                f"ledger commits {count} records but the recovered spill "
+                f"holds {recovered['frames']} frames; round state under "
+                f"{self.store.root} is inconsistent"
+            )
+        self.recovered_spill_bytes_discarded = recovered["discarded_bytes"]
+        chunk_path = self.store.chunk_path(SERVICE_SHARD_ID)
+        if count and os.path.exists(chunk_path):
+            with open(chunk_path, "rb") as handle:
+                for obj in wire.iter_frames(handle):
+                    apply_frame_object(obj, self.accumulator)
+        self.bytes_ingested = recovered["offset"]
+        self.records_merged = count
+        self.recovered_records = count
+        self.producers_seen = {
+            entry.producer_id for entry in self.ledger.entries()
+        }
+
+    # ------------------------------------------------------------------
+    # Quota scoping
+    # ------------------------------------------------------------------
+    def producer_quota(self, producer_id: str) -> ProducerQuota:
+        """The producer's cross-connection meter on this round."""
+        meter = self._producer_quotas.get(producer_id)
+        if meter is None:
+            meter = ProducerQuota(self.limits, producer_id)
+            self._producer_quotas[producer_id] = meter
+        return meter
+
+    def refund_uncommitted(self, producer_id: str, items: list[dict]) -> None:
+        """Return quota charges for staged records that never committed.
+
+        Idempotent per item (the charge marker is cleared on refund):
+        called by the commit scheduler after every batch (covering
+        commit-time dedup losses and rolled-back batches) and by the
+        session teardown for staged-but-never-submitted records.
+        Without this, a producer whose connection died mid-batch would
+        pay for those records *twice* when it resends them — and a
+        producer near its cap could be locked out by charges for
+        records that were never committed at all.
+        """
+        for item in items:
+            charge = item.get("charged")
+            if charge and item["status"] != "merged":
+                self.producer_quota(producer_id).refund(charge)
+                self.quota.refund(charge)
+                item["charged"] = None
+
+    # ------------------------------------------------------------------
+    # Record staging (everything decidable without the commit pipeline)
+    # ------------------------------------------------------------------
+    def validate_inner(self, obj) -> None:
+        """Pre-commit validation, mirroring every check the later merge
+        would make — so a record that reaches the ledger can never fail
+        to merge (a ledgered-but-unmergeable record would poison every
+        subsequent restart's replay)."""
+        if isinstance(obj, CountAccumulator):
+            matches = obj.m == self.m and obj.round_id == self.round_id
+        elif isinstance(obj, wire.PackedChunk):
+            matches = obj.m == self.m and obj.round_id == self.round_id
+            if matches:
+                width = packed_width(self.m)
+                pad_bits = 8 * width - self.m
+                if (
+                    pad_bits
+                    and obj.rows.size
+                    and np.any(obj.rows[:, -1] & ((1 << pad_bits) - 1))
+                ):
+                    raise ValidationError(
+                        f"record chunk has set bits beyond m={self.m}"
+                    )
+        else:
+            raise ValidationError(
+                f"records must wrap a snapshot or packed chunk, got "
+                f"{type(obj).__name__}"
+            )
+        if not matches:
+            raise ValidationError(
+                f"record is for (m={obj.m}, round={obj.round_id}); this "
+                f"round collects (m={self.m}, round={self.round_id})"
+            )
+
+    def stage_record(
+        self,
+        producer_id: str,
+        record: wire.Record,
+        staged_frames: dict[int, bytes],
+    ) -> dict:
+        """Classify one record for its batch: fresh, duplicate, refused.
+
+        Everything that can be decided without the commit pipeline
+        happens here — envelope/round checks, dedup against the ledger
+        *and* against records staged earlier in the same connection
+        batch, and full inner validation for fresh records.  SHA-256
+        digests are *not* computed on the fresh path: the round's
+        commit scheduler hashes whole batches on the executor,
+        overlapped with the next batch's network reads.  The commit
+        also re-checks the ledger (another connection of the same
+        producer may commit the same seq first).
+        """
+        seq = record.seq
+        if record.m != self.m or record.round_id != self.round_id:
+            return {
+                "status": "refused",
+                "seq": seq,
+                "detail": (
+                    f"record envelope is for (m={record.m}, round="
+                    f"{record.round_id}), not this round"
+                ),
+            }
+        previous = staged_frames.get(seq)
+        if previous is not None:
+            # Same seq twice in one burst: byte equality decides.
+            if previous != record.frame:
+                return {
+                    "status": "refused",
+                    "seq": seq,
+                    "detail": (
+                        f"equivocation: seq {seq} is already committed "
+                        "with different frame bytes"
+                    ),
+                }
+            return {"status": "duplicate", "seq": seq}
+        entry = self.ledger.seen(producer_id, seq)
+        if entry is not None:
+            # Resend path: the digest comparison against the committed
+            # entry is deferred to the batch commit, which hashes on
+            # the executor — a producer blind-resending a large round
+            # must not stall the event loop for every other session.
+            return {
+                "status": "verify-dup",
+                "seq": seq,
+                "frame": record.frame,
+                "known_digest": entry.digest,
+            }
+        try:
+            inner = record.decode()
+            self.validate_inner(inner)
+        except (WireFormatError, ValidationError) as exc:
+            return {"status": "refused", "seq": seq, "detail": str(exc)}
+        return {
+            "status": "fresh",
+            "seq": seq,
+            "frame": record.frame,
+            "inner": inner,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Constructor-failure teardown: drop handles, undo creation.
+
+        When a multi-round service fails partway through opening its
+        rounds (a later spec is bad, a round id is duplicated), the
+        rounds already opened must not leak file handles — and, if they
+        did not exist before this attempt, must not leave freshly
+        created state behind that would force ``resume=True`` on the
+        operator's corrected rerun.  Pre-existing state is left exactly
+        as found.
+        """
+        self.writer.close(finalize=False)
+        self.ledger.close()
+        if not self.preexisting:
+            for path in (
+                self.store.chunk_path(SERVICE_SHARD_ID),
+                self.store.index_path(SERVICE_SHARD_ID),
+                self.ledger.path,
+            ):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            try:
+                os.rmdir(self.store.root)
+            except OSError:
+                pass  # shared or non-empty root (single-round layout)
+        self._closed = True
+
+    async def close(self, *, snapshot: bool = True) -> None:
+        """Drain the commit pipeline and durably close the round.
+
+        With *snapshot* the round's final accumulator state is written
+        atomically next to the spill (graceful shutdown); without it
+        the files close as-is (crash-adjacent teardown — everything
+        acknowledged is already fsync'd, so resume recovers it).
+        """
+        await self.scheduler.close()
+        if self._closed:
+            return
+        self._closed = True
+        if snapshot:
+            self.writer.sync()
+            self.writer.close()
+            self.store.write_snapshot(SERVICE_SHARD_ID, self.accumulator)
+        else:
+            self.writer.close()
+        self.ledger.close()
+
+    def stats(self) -> dict:
+        """Operator-facing counters for this round."""
+        return {
+            "m": self.m,
+            "round_id": self.round_id,
+            "n": self.accumulator.n,
+            "records_merged": self.records_merged,
+            "records_duplicate": self.records_duplicate,
+            "records_refused": self.records_refused,
+            "bytes_ingested": self.bytes_ingested,
+            "producers": sorted(self.producers_seen),
+            "recovered_records": self.recovered_records,
+            "recovered_spill_bytes_discarded": (
+                self.recovered_spill_bytes_discarded
+            ),
+            "commits": self.scheduler.commits,
+            "cross_connection_batches": (
+                self.scheduler.cross_connection_batches
+            ),
+        }
+
+
+class RoundRegistry:
+    """``round_id`` → :class:`RoundState` router for a hosted service.
+
+    The registry is deliberately dumb: it opens rounds, finds rounds,
+    and enumerates rounds.  All correctness-critical state lives in the
+    :class:`RoundState` a session resolves at HELLO time — after that
+    resolution nothing consults the registry again, so no registry
+    operation (including opening new rounds mid-flight) can redirect an
+    established session.
+    """
+
+    def __init__(self) -> None:
+        self._rounds: dict[int, RoundState] = {}
+
+    def open_round(
+        self,
+        m: int,
+        round_id: int,
+        store: ShardStore,
+        limits: ServiceLimits,
+        *,
+        resume: bool = False,
+        scoped: bool = True,
+    ) -> RoundState:
+        """Create, recover (with *resume*), and register one round."""
+        round_id = int(round_id)
+        if round_id in self._rounds:
+            raise ValidationError(
+                f"round {round_id} is already hosted; round ids must be "
+                "unique within a service"
+            )
+        state = RoundState(
+            m, round_id, store, limits, resume=resume, scoped=scoped
+        )
+        self._rounds[round_id] = state
+        return state
+
+    def get(self, round_id: int) -> RoundState | None:
+        return self._rounds.get(int(round_id))
+
+    def rounds(self) -> list[RoundState]:
+        """All hosted rounds, ordered by round id."""
+        return [self._rounds[key] for key in sorted(self._rounds)]
+
+    def round_ids(self) -> list[int]:
+        return sorted(self._rounds)
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __contains__(self, round_id: int) -> bool:
+        return int(round_id) in self._rounds

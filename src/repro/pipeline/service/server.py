@@ -1,188 +1,311 @@
-"""The exactly-once collection endpoint.
+"""The multi-tenant, exactly-once collection endpoint.
 
-:class:`CollectionService` merges producer records into one live
-:class:`~repro.pipeline.accumulator.CountAccumulator` with four
-guarantees the plain :class:`~repro.pipeline.collect.collector.
-Collector` does not make:
+:class:`CollectionService` hosts one or many concurrent collection
+*rounds* and merges producer records into each round's live
+:class:`~repro.pipeline.accumulator.CountAccumulator` with guarantees
+the plain :class:`~repro.pipeline.collect.collector.Collector` does not
+make:
 
-* **authenticated**: a session must complete the HMAC handshake of
-  :mod:`.auth` before any record frame is looked at — unauthenticated
-  or wrong-key producers merge nothing;
-* **exactly-once**: every merged record is committed to the
+* **authenticated, per producer**: a session must complete the HMAC
+  handshake of :mod:`.auth` before any record frame is looked at, and
+  the key is the *producer's own* (looked up in the service's
+  :class:`~.auth.KeyRegistry` by the HELLO's producer id) — so a
+  compromised producer can forge nothing for any other producer;
+* **multiplexed**: the HELLO's ``round_id`` routes the session through
+  the :class:`~.rounds.RoundRegistry` to one hosted round; every check,
+  spill, ledger entry, and merge after that point happens against that
+  round's own state, and a scoped round's registration token is bound
+  into the session proof (version-3 challenge) so the session cannot
+  even in principle be confused with another incarnation of the round;
+* **exactly-once**: every merged record is committed to the round's
   :class:`~.ledger.IdempotencyLedger` (spill fsync → ledger fsync →
   merge → ack), so a blind resend after a lost ack is acknowledged as a
   duplicate and not re-merged, and a reused sequence number carrying
   different bytes is refused as equivocation;
 * **bounded**: frames over ``limits.max_frame_bytes`` are refused at
-  header-parse time, connections over their byte/frame quota are shed,
-  and session capacity stalls (then sheds) a producer flood instead of
-  OOMing — see :mod:`.quotas`;
-* **resumable**: ``resume=True`` reloads the ledger, truncates the
-  spill back to the ledger's committed offset (dropping frames that
-  were spilled but never acknowledged — their producers will resend),
-  replays the spill into a fresh accumulator, and keeps serving the
-  same round.
+  header-parse time; connection, *producer* (cross-connection), and
+  *round* quotas shed abusive traffic without rollback; session
+  capacity stalls (then sheds) a producer flood instead of OOMing; and
+  every reap deadline is monotonic-clock based, measured from the last
+  completed frame (:class:`~.quotas.Deadline`) — never from connection
+  start;
+* **resumable**: ``resume=True`` replays every hosted round's ledger,
+  truncates each spill back to its ledger's committed offset, and
+  keeps serving the same rounds.
 
-The commit order is the correctness core::
-
-    spill append → spill fsync → ledger append → ledger fsync
-                 → merge into the live round → ack
-
-An ack therefore implies durability; absence of an ack implies the
-producer must resend; and the ledger entry's ``spill_end`` makes the
-spill truncatable to exactly the acknowledged prefix on restart.
-
-Commits are *group commits*: a connection's pipelined records stage
-into a batch (bounded by records, bytes, and stream idleness — see
-:class:`~.quotas.ServiceLimits`) and one spill-fsync + ledger-fsync
-pair covers the whole batch, with every ack still sent only after both.
-Batches run in a background task so the fsyncs overlap the next batch's
-network reads, digests are hashed on the executor next to the spill
-fsync, and a global lock serializes batches so spill order equals
-ledger order — the prefix property recovery depends on.
+The commit order per record is unchanged from the single-round design
+(spill append → spill fsync → ledger append → ledger fsync → merge →
+ack), but batching moved from the connection to the round: all active
+sessions of a round feed one :class:`~.commit.GroupCommitScheduler`,
+and one fsync pair covers everything any of them staged while the
+previous commit was in flight — see :mod:`.commit`.
 """
 
 from __future__ import annotations
 
 import asyncio
-import hashlib
 import os
 
-import numpy as np
-
 from ...exceptions import (
-    LedgerError,
     QuotaExceededError,
     ServiceError,
     ValidationError,
     WireFormatError,
 )
-from ...kernels import packed_width
-from ..accumulator import CountAccumulator
 from ..collect import wire
-from ..collect.collector import apply_frame_object
-from ..collect.store import ShardStore
-from .auth import derive_round_key, fresh_nonce, verify_session_mac
 from ..collect.framing import read_frame_bytes
-from .ledger import IdempotencyLedger
-from .quotas import ConnectionQuota, ServiceLimits
+from ..collect.store import ShardStore
+from .auth import KeyRegistry, fresh_nonce, verify_session_mac
+from .quotas import ConnectionQuota, Deadline, ServiceLimits
+from .rounds import (
+    LEDGER_FILENAME,
+    SERVICE_SHARD_ID,
+    RoundRegistry,
+    RoundState,
+    round_namespace,
+)
 
-__all__ = ["CollectionService", "LEDGER_FILENAME", "SERVICE_SHARD_ID"]
+__all__ = [
+    "CollectionService",
+    "LEDGER_FILENAME",
+    "SERVICE_SHARD_ID",
+]
 
-LEDGER_FILENAME = "round.ledger"
-SERVICE_SHARD_ID = 0
+
+def _coerce_round_spec(spec) -> tuple[int, int]:
+    """``(m, round_id)`` from a dict, mapping-like, or pair."""
+    if isinstance(spec, dict):
+        try:
+            return int(spec["m"]), int(spec["round_id"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"round spec {spec!r} must carry integer 'm' and 'round_id'"
+            ) from exc
+    try:
+        m, round_id = spec
+        return int(m), int(round_id)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"round specs are dicts with integer 'm'/'round_id' or "
+            f"(m, round_id) pairs, got {spec!r}"
+        ) from exc
 
 
 class CollectionService:
-    """Durable, authenticated, exactly-once collection for one round.
+    """Durable, authenticated, exactly-once collection — single- or
+    multi-round.
 
     Parameters
     ----------
-    m, round_id:
-        The round geometry every session and record must match.
+    m:
+        Single-round mode: the round's report width.  The round is
+        ``round_id`` (default 0), its files live directly under
+        *store_root* (the layout of the original single-round service,
+        so existing round directories resume unchanged), and its
+        challenges stay version-2 wire frames.
+    rounds:
+        Multi-round mode (mutually exclusive with *m*): an iterable of
+        ``{"m": ..., "round_id": ...}`` dicts or ``(m, round_id)``
+        pairs.  Each round lives in its own store namespace
+        (``<store_root>/round_<id>/``) with its own spill, ledger, and
+        commit pipeline, and its sessions are bound to the round's
+        registration token (version-3 challenges).
     key:
-        Shared round secret (bytes, hex string, or passphrase — see
-        :func:`~.auth.derive_round_key`).
+        Default producer secret (bytes, hex string, or passphrase —
+        see :func:`~.auth.derive_round_key`): any producer without an
+        individual entry authenticates against it.  Omit it to require
+        an individual key for every producer.
+    keys:
+        Per-producer keys: a :class:`~.auth.KeyRegistry`, a
+        ``{producer_id: secret}`` dict, or a keyfile path (hot-reloaded
+        on change — rotation without restart).
     store_root:
-        Directory for the round's durable state: the record spill
-        (``shard_00000.chunks`` + ``.index``), the idempotency ledger
-        (``round.ledger``), and the final snapshot.
+        Directory for all durable round state.
     limits:
         Resource policy; defaults to :class:`~.quotas.ServiceLimits`.
     resume:
-        Recover an interrupted round from ledger + spill instead of
-        starting fresh.  Starting fresh over existing round files is
+        Recover every configured round from its ledger + spill instead
+        of starting fresh.  Starting fresh over existing round files is
         refused — that is how double-counting accidents happen.
     """
 
     def __init__(
         self,
-        m: int,
+        m: int | None = None,
         *,
-        key,
+        key=None,
+        keys=None,
         store_root: str,
         round_id: int = 0,
+        rounds=None,
         limits: ServiceLimits | None = None,
         resume: bool = False,
     ) -> None:
-        self.m = int(m)
-        self.round_id = int(round_id)
-        self.key = derive_round_key(key)
+        if (m is None) == (rounds is None):
+            raise ValidationError(
+                "pass exactly one of m= (single-round) or rounds= "
+                "(multi-round)"
+            )
+        if key is None and keys is None:
+            raise ValidationError(
+                "the service needs key= (shared default) and/or keys= "
+                "(per-producer registry / dict / keyfile path)"
+            )
+        if isinstance(keys, KeyRegistry):
+            if key is not None:
+                raise ValidationError(
+                    "pass the default key to the KeyRegistry itself when "
+                    "supplying one"
+                )
+            self.keys = keys
+        elif isinstance(keys, dict):
+            self.keys = KeyRegistry(keys, default_key=key)
+        elif keys is not None:
+            self.keys = KeyRegistry.from_file(
+                os.fspath(keys), default_key=key
+            )
+        else:
+            self.keys = KeyRegistry(default_key=key)
+
         self.limits = limits or ServiceLimits()
         self.store = ShardStore(store_root)
-        self.ledger = IdempotencyLedger(
-            os.path.join(self.store.root, LEDGER_FILENAME)
-        )
-        self.accumulator = CountAccumulator(self.m, round_id=self.round_id)
+        self.registry = RoundRegistry()
+        self._closed = False
+        try:
+            if m is not None:
+                # Legacy flat layout: the lone round owns store_root.
+                self.registry.open_round(
+                    int(m),
+                    int(round_id),
+                    self.store,
+                    self.limits,
+                    resume=resume,
+                    scoped=False,
+                )
+            else:
+                for spec in rounds:
+                    self.add_round(*_coerce_round_spec(spec), resume=resume)
+            if not len(self.registry):
+                raise ValidationError("rounds= must name at least one round")
+        except BaseException:
+            # A half-configured service must not leak the rounds it
+            # already opened: drop their handles and (for rounds that
+            # did not exist before this attempt) the files they
+            # created, so a corrected rerun starts clean.
+            for state in self.registry.rounds():
+                state.release()
+            raise
 
-        # Counters (stats(), tests, and operator logs).
-        self.records_merged = 0
-        self.records_duplicate = 0
-        self.records_refused = 0
+        # Service-wide counters (sessions are a service resource; record
+        # counters live with their round and aggregate via properties).
         self.sessions_opened = 0
         self.sessions_rejected = 0
         self.sessions_shed = 0
         self.connections_failed = 0
         self.last_connection_error: str | None = None
-        self.bytes_ingested = 0
-        self.producers_seen: set[str] = set()
-        self.recovered_records = 0
-        self.recovered_spill_bytes_discarded = 0
-
-        existing = os.path.exists(self.ledger.path) or os.path.exists(
-            self.store.chunk_path(SERVICE_SHARD_ID)
-        )
-        if existing and not resume:
-            raise ValidationError(
-                f"{self.store.root} already holds round state "
-                f"({LEDGER_FILENAME} / spill); pass resume=True to recover "
-                "it, or point the service at a fresh directory"
-            )
-        self._recover()
-        self._writer = self.store.writer(
-            SERVICE_SHARD_ID,
-            self.m,
-            round_id=self.round_id,
-            durable=True,
-            resume=True,
-        )
 
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
-        self._commit_tasks: set[asyncio.Task] = set()
         self._session_slots = asyncio.Semaphore(self.limits.max_sessions)
         self._waiting_sessions = 0
-        self._commit_lock = asyncio.Lock()
-        self._commit_failed: str | None = None
-        self._closed = False
 
     # ------------------------------------------------------------------
-    # Recovery
+    # Round management
     # ------------------------------------------------------------------
-    def _recover(self) -> None:
-        """Rebuild round state from ledger + spill (both may be absent)."""
-        count = self.ledger.load()
-        recovered = self.store.recover_shard(
-            SERVICE_SHARD_ID, committed_offset=self.ledger.committed_offset
+    def add_round(
+        self, m: int, round_id: int, *, resume: bool = False
+    ) -> RoundState:
+        """Host one more round (usable while the service is serving).
+
+        The round's files live under ``<store_root>/round_<id>/``; its
+        sessions are scoped to a fresh registration token.
+        """
+        if self._closed:
+            raise ValidationError("service is closed")
+        return self.registry.open_round(
+            m,
+            round_id,
+            self.store.namespaced(round_namespace(round_id)),
+            self.limits,
+            resume=resume,
+            scoped=True,
         )
-        if recovered["frames"] != count:
-            raise LedgerError(
-                f"ledger commits {count} records but the recovered spill "
-                f"holds {recovered['frames']} frames; round state under "
-                f"{self.store.root} is inconsistent"
+
+    def round(self, round_id: int) -> RoundState:
+        """The hosted round *round_id* (loud when absent)."""
+        state = self.registry.get(round_id)
+        if state is None:
+            raise ValidationError(
+                f"no hosted round {round_id}; hosted: "
+                f"{self.registry.round_ids()}"
             )
-        self.recovered_spill_bytes_discarded = recovered["discarded_bytes"]
-        chunk_path = self.store.chunk_path(SERVICE_SHARD_ID)
-        if count and os.path.exists(chunk_path):
-            with open(chunk_path, "rb") as handle:
-                for obj in wire.iter_frames(handle):
-                    apply_frame_object(obj, self.accumulator)
-        self.bytes_ingested = recovered["offset"]
-        self.records_merged = count
-        self.recovered_records = count
-        self.producers_seen = {
-            entry.producer_id for entry in self.ledger.entries()
-        }
+        return state
+
+    def _single_round(self) -> RoundState:
+        rounds = self.registry.rounds()
+        if len(rounds) != 1:
+            raise ValidationError(
+                f"service hosts {len(rounds)} rounds; use "
+                ".round(round_id) to address one"
+            )
+        return rounds[0]
+
+    # Single-round conveniences (and the original service's public
+    # surface): each delegates to the lone hosted round.
+    @property
+    def m(self) -> int:
+        return self._single_round().m
+
+    @property
+    def round_id(self) -> int:
+        return self._single_round().round_id
+
+    @property
+    def accumulator(self):
+        return self._single_round().accumulator
+
+    @property
+    def ledger(self):
+        return self._single_round().ledger
+
+    @property
+    def _writer(self):
+        return self._single_round().writer
+
+    # Aggregate record counters across every hosted round.
+    @property
+    def records_merged(self) -> int:
+        return sum(r.records_merged for r in self.registry.rounds())
+
+    @property
+    def records_duplicate(self) -> int:
+        return sum(r.records_duplicate for r in self.registry.rounds())
+
+    @property
+    def records_refused(self) -> int:
+        return sum(r.records_refused for r in self.registry.rounds())
+
+    @property
+    def bytes_ingested(self) -> int:
+        return sum(r.bytes_ingested for r in self.registry.rounds())
+
+    @property
+    def recovered_records(self) -> int:
+        return sum(r.recovered_records for r in self.registry.rounds())
+
+    @property
+    def recovered_spill_bytes_discarded(self) -> int:
+        return sum(
+            r.recovered_spill_bytes_discarded
+            for r in self.registry.rounds()
+        )
+
+    @property
+    def producers_seen(self) -> set[str]:
+        seen: set[str] = set()
+        for state in self.registry.rounds():
+            seen |= state.producers_seen
+        return seen
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -202,24 +325,23 @@ class CollectionService:
         return bound[0], bound[1]
 
     async def close(self) -> None:
-        """Graceful shutdown: stop serving, persist the final snapshot.
+        """Graceful shutdown: stop serving, persist every round.
 
         In-flight connection handlers are cancelled and awaited (a
-        stalled producer cannot hang shutdown); the spill and ledger are
-        synced and closed; the round's snapshot is written atomically
-        next to them.  The live accumulator stays readable.
+        stalled producer cannot hang shutdown); each round's commit
+        pipeline is drained, its spill and ledger synced and closed,
+        and its snapshot written atomically.  Live accumulators stay
+        readable.
         """
         await self._stop_serving()
         if self._closed:
             return
         self._closed = True
-        self._writer.sync()
-        self._writer.close()
-        self.store.write_snapshot(SERVICE_SHARD_ID, self.accumulator)
-        self.ledger.close()
+        for state in self.registry.rounds():
+            await state.close(snapshot=True)
 
     async def abort(self) -> None:
-        """Shutdown without the final snapshot (crash-adjacent teardown).
+        """Shutdown without final snapshots (crash-adjacent teardown).
 
         Everything acknowledged is already fsync'd, so an aborted
         service resumes exactly like a killed one; tests use this to
@@ -229,8 +351,8 @@ class CollectionService:
         if self._closed:
             return
         self._closed = True
-        self._writer.close()
-        self.ledger.close()
+        for state in self.registry.rounds():
+            await state.close(snapshot=False)
 
     async def _stop_serving(self) -> None:
         if self._server is not None:
@@ -242,20 +364,15 @@ class CollectionService:
                 await asyncio.gather(*self._conn_tasks, return_exceptions=True)
                 self._conn_tasks.clear()
             await server.wait_closed()
-        # Cancelled handlers may leave shielded commit batches running;
-        # those hold durable work (and the commit lock order), so drain
-        # them before anyone closes the spill or ledger handles.
-        while self._commit_tasks:
-            await asyncio.gather(
-                *list(self._commit_tasks), return_exceptions=True
-            )
+        # Cancelled handlers may have left submissions queued on round
+        # schedulers; those hold durable work, so the rounds' close()
+        # (which every shutdown path runs next) drains them before any
+        # spill or ledger handle closes.
 
     def stats(self) -> dict:
-        """Operator-facing counters for logs and tests."""
-        return {
-            "m": self.m,
-            "round_id": self.round_id,
-            "n": self.accumulator.n,
+        """Operator-facing counters: service-wide plus per round."""
+        rounds = self.registry.rounds()
+        stats = {
             "records_merged": self.records_merged,
             "records_duplicate": self.records_duplicate,
             "records_refused": self.records_refused,
@@ -264,12 +381,20 @@ class CollectionService:
             "sessions_shed": self.sessions_shed,
             "connections_failed": self.connections_failed,
             "bytes_ingested": self.bytes_ingested,
+            "n": sum(state.accumulator.n for state in rounds),
             "producers": sorted(self.producers_seen),
             "recovered_records": self.recovered_records,
             "recovered_spill_bytes_discarded": (
                 self.recovered_spill_bytes_discarded
             ),
+            "rounds": {
+                state.round_id: state.stats() for state in rounds
+            },
         }
+        if len(rounds) == 1:
+            stats["m"] = rounds[0].m
+            stats["round_id"] = rounds[0].round_id
+        return stats
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -279,13 +404,19 @@ class CollectionService:
         await writer.drain()
 
     async def _refuse(
-        self, writer: asyncio.StreamWriter, seq: int, detail: str
+        self,
+        writer: asyncio.StreamWriter,
+        seq: int,
+        detail: str,
+        *,
+        m: int = 1,
+        round_id: int = 0,
     ) -> None:
         await self._send(
             writer,
             wire.Ack(
-                m=self.m,
-                round_id=self.round_id,
+                m=max(1, int(m)),
+                round_id=int(round_id),
                 seq=seq,
                 status=wire.ACK_REFUSED,
                 detail=detail,
@@ -351,7 +482,7 @@ class CollectionService:
             # The anti-slow-loris bound: an unauthenticated connection
             # gets one deadline for the whole handshake, so it cannot
             # hold a session slot by sending nothing (or half a frame).
-            producer_id = await asyncio.wait_for(
+            resolved = await asyncio.wait_for(
                 self._handshake(reader, writer, quota),
                 self.limits.handshake_timeout_seconds,
             )
@@ -359,17 +490,37 @@ class CollectionService:
             self.sessions_rejected += 1
             self.last_connection_error = "handshake timed out"
             return
-        if producer_id is None:
+        if resolved is None:
             return
+        round_, producer_id = resolved
+        producer_quota = round_.producer_quota(producer_id)
+
+        async def refuse_record(seq: int, detail: str) -> None:
+            """Count and ack one refusal with this round's geometry.
+
+            Every refusal goes through here so no future site can
+            forget the round geometry and fall back to the m=1 default.
+            """
+            round_.records_refused += 1
+            await self._refuse(
+                writer, seq, detail, m=round_.m, round_id=round_.round_id
+            )
+        # The idle reap deadline: monotonic, measured from the last
+        # completed frame — a session's age is irrelevant, only its
+        # silence.  (Measuring from connection start would reap any
+        # legitimately long engagement, e.g. a producer trickling
+        # records to several rounds back to back.)
+        idle = Deadline(self.limits.session_idle_seconds)
         # Group commit with double buffering: pipelined records stage
-        # into `pending` while the previous batch commits in a
-        # background task, so the fsyncs overlap the network reads.  A
+        # into `pending` while the previous batch commits through the
+        # round's scheduler, so fsyncs overlap the network reads.  A
         # batch closes when it hits max_commit_batch, when the stream
         # goes idle for commit_idle_seconds, or at end of session / any
-        # refusal.  Batches commit strictly in order (the next one is
-        # only scheduled once the previous is settled), and acks always
-        # follow the batch's fsyncs — each individual ack still
-        # certifies durability.
+        # refusal.  This connection's batches commit strictly in order
+        # (the next is only scheduled once the previous settled); the
+        # round's scheduler interleaves them with other sessions'
+        # batches under one fsync pair — acks still always follow the
+        # fsyncs covering them.
         pending: list[dict] = []
         pending_bytes = 0
         staged_frames: dict[int, bytes] = {}
@@ -404,24 +555,35 @@ class CollectionService:
             batch, pending[:] = list(pending), []
             pending_bytes = 0
             staged_frames.clear()
-            return await self._commit_batch(writer, producer_id, batch)
+            return await self._commit_batch(writer, round_, producer_id, batch)
 
         try:
             while True:
+                if not pending and idle.expired():
+                    self.connections_failed += 1
+                    self.last_connection_error = "session idle timeout"
+                    await self._refuse(
+                        writer,
+                        0,
+                        "session idle timeout",
+                        m=round_.m,
+                        round_id=round_.round_id,
+                    )
+                    return
                 try:
                     # Header deadline: the group-commit idle signal when
-                    # a batch is staged, the session reap deadline when
-                    # nothing is.  Payload deadline: a peer stalled
-                    # mid-frame can never recover to a frame boundary,
-                    # so that raises WireFormatError (drop), not the
-                    # idle TimeoutError (flush / reap).
+                    # a batch is staged, the remaining monotonic reap
+                    # window when nothing is.  Payload deadline: a peer
+                    # stalled mid-frame can never recover to a frame
+                    # boundary, so that raises WireFormatError (drop),
+                    # not the idle TimeoutError (flush / reap).
                     frame = await read_frame_bytes(
                         reader,
                         max_frame_bytes=self.limits.max_frame_bytes,
                         header_timeout=(
                             self.limits.commit_idle_seconds
                             if pending
-                            else self.limits.session_idle_seconds
+                            else idle.remaining()
                         ),
                         payload_timeout=self.limits.session_idle_seconds,
                     )
@@ -434,7 +596,13 @@ class CollectionService:
                     # durable, so the producer just reconnects.
                     self.connections_failed += 1
                     self.last_connection_error = "session idle timeout"
-                    await self._refuse(writer, 0, "session idle timeout")
+                    await self._refuse(
+                        writer,
+                        0,
+                        "session idle timeout",
+                        m=round_.m,
+                        round_id=round_.round_id,
+                    )
                     return
                 except QuotaExceededError as exc:
                     # A failed flush already sent the connection's last
@@ -442,38 +610,58 @@ class CollectionService:
                     # would desync the client's positional accounting.
                     if not await flush():
                         return
-                    self.records_refused += 1
-                    await self._refuse(writer, 0, str(exc))
+                    await refuse_record(0, str(exc))
                     return
                 if frame is None:
                     await flush()
                     return  # clean end of session
+                idle.reset()
                 try:
                     quota.charge(len(frame))
                 except QuotaExceededError as exc:
                     if not await flush():
                         return
-                    self.records_refused += 1
-                    await self._refuse(writer, 0, str(exc))
+                    await refuse_record(0, str(exc))
                     return
                 obj = wire.loads(frame)
                 if not isinstance(obj, wire.Record):
                     if not await flush():
                         return
-                    self.records_refused += 1
-                    await self._refuse(
-                        writer,
+                    await refuse_record(
                         0,
                         f"expected a record frame, got {type(obj).__name__}",
                     )
                     return
-                staged = self._stage_record(producer_id, obj, staged_frames)
+                staged = round_.stage_record(producer_id, obj, staged_frames)
                 if staged["status"] == "refused":
                     if not await flush():
                         return
-                    self.records_refused += 1
-                    await self._refuse(writer, obj.seq, staged["detail"])
+                    await refuse_record(obj.seq, staged["detail"])
                     return
+                if staged["status"] == "fresh":
+                    # Producer and round budgets meter records accepted
+                    # for commit — never duplicates — so the blind
+                    # resend the exactly-once protocol relies on is
+                    # quota-free, before and after a restart.  (The
+                    # connection quota above still bounds raw ingest.)
+                    # Charges are atomic and paired: a refused or
+                    # half-failed attempt leaves both meters untouched,
+                    # and charges for records that end up NOT
+                    # committing are refunded — see
+                    # RoundState.refund_uncommitted.
+                    try:
+                        producer_quota.charge(len(staged["frame"]))
+                        try:
+                            round_.quota.charge(len(staged["frame"]))
+                        except QuotaExceededError:
+                            producer_quota.refund(len(staged["frame"]))
+                            raise
+                        staged["charged"] = len(staged["frame"])
+                    except QuotaExceededError as exc:
+                        if not await flush():
+                            return
+                        await refuse_record(obj.seq, str(exc))
+                        return
                 pending.append(staged)
                 pending_bytes += len(frame)
                 if staged["status"] == "fresh":
@@ -491,15 +679,18 @@ class CollectionService:
                     pending_bytes = 0
                     staged_frames = {}
                     commit_task = asyncio.create_task(
-                        self._commit_batch(writer, producer_id, batch)
+                        self._commit_batch(writer, round_, producer_id, batch)
                     )
         finally:
-            # Never abandon an in-flight commit: it holds durable work
-            # (and the commit lock order).  Awaiting here is safe even
-            # on cancellation — the task itself was never cancelled.
-            # Its ack writes may fail against a closing socket; swallow
-            # that (the durable half is separately tracked and drained
-            # via _commit_tasks) rather than masking the original exit.
+            # Staged-but-never-submitted records will be resent by the
+            # producer; give their quota charges back first.  (Items
+            # handed to a commit task are the scheduler's to settle.)
+            round_.refund_uncommitted(producer_id, pending)
+            # Never abandon an in-flight commit's *ack half*: the
+            # durable half lives with the round's scheduler (drained at
+            # close), but this task still owes the client its acks.
+            # Its writes may fail against a closing socket; swallow
+            # that rather than masking the original exit.
             if commit_task is not None:
                 try:
                     await commit_task
@@ -511,11 +702,13 @@ class CollectionService:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         quota: ConnectionQuota,
-    ) -> str | None:
+    ) -> tuple[RoundState, str] | None:
         """Run the server side of the HMAC handshake.
 
-        Returns the authenticated producer id, or ``None`` after a
-        refusal ack (the caller just closes the connection).
+        Routes the HELLO through the round registry and authenticates
+        against the producer's own key.  Returns ``(round, producer_id)``,
+        or ``None`` after a refusal ack (the caller just closes the
+        connection).
         """
         frame = await read_frame_bytes(
             reader, max_frame_bytes=self.limits.max_frame_bytes
@@ -532,21 +725,44 @@ class CollectionService:
                 f"expected a session hello, got {type(hello).__name__}",
             )
             return None
-        if hello.m != self.m or hello.round_id != self.round_id:
+        round_ = self.registry.get(hello.round_id)
+        if round_ is None:
             self.sessions_rejected += 1
             await self._refuse(
                 writer,
                 0,
-                f"round mismatch: service is (m={self.m}, round="
-                f"{self.round_id}), hello claims (m={hello.m}, round="
-                f"{hello.round_id})",
+                f"round mismatch: this service hosts rounds "
+                f"{self.registry.round_ids()}, hello claims round "
+                f"{hello.round_id}",
+                m=hello.m,
+                round_id=hello.round_id,
             )
             return None
+        if hello.m != round_.m:
+            self.sessions_rejected += 1
+            await self._refuse(
+                writer,
+                0,
+                f"round mismatch: round {round_.round_id} is "
+                f"m={round_.m}, hello claims m={hello.m}",
+                m=round_.m,
+                round_id=round_.round_id,
+            )
+            return None
+        # Key lookup happens here, but an unknown producer is NOT
+        # refused yet: it receives a challenge like anyone else and
+        # fails at proof verification with the same message as a
+        # wrong key, so an unauthenticated client cannot probe which
+        # producer ids are registered (enumeration oracle).
+        producer_key = self.keys.lookup(hello.producer_id)
         server_nonce = fresh_nonce()
         await self._send(
             writer,
             wire.SessionChallenge(
-                m=self.m, round_id=self.round_id, nonce=server_nonce
+                m=round_.m,
+                round_id=round_.round_id,
+                nonce=server_nonce,
+                round_token=round_.token,
             ),
         )
         frame = await read_frame_bytes(
@@ -557,282 +773,81 @@ class CollectionService:
             return None
         quota.charge(len(frame))
         proof = wire.loads(frame)
-        authenticated = isinstance(proof, wire.SessionProof) and verify_session_mac(
-            self.key,
-            proof.mac,
-            m=self.m,
-            round_id=self.round_id,
-            producer_id=hello.producer_id,
-            client_nonce=hello.nonce,
-            server_nonce=server_nonce,
+        authenticated = (
+            producer_key is not None
+            and isinstance(proof, wire.SessionProof)
+            and verify_session_mac(
+                producer_key,
+                proof.mac,
+                m=round_.m,
+                round_id=round_.round_id,
+                producer_id=hello.producer_id,
+                client_nonce=hello.nonce,
+                server_nonce=server_nonce,
+                round_token=round_.token,
+            )
         )
         if not authenticated:
             self.sessions_rejected += 1
-            await self._refuse(writer, 0, "authentication failed")
+            await self._refuse(
+                writer,
+                0,
+                "authentication failed",
+                m=round_.m,
+                round_id=round_.round_id,
+            )
             return None
         self.sessions_opened += 1
-        self.producers_seen.add(hello.producer_id)
+        round_.producers_seen.add(hello.producer_id)
         await self._send(
             writer,
             wire.Ack(
-                m=self.m,
-                round_id=self.round_id,
+                m=round_.m,
+                round_id=round_.round_id,
                 seq=0,
                 status=wire.ACK_SESSION,
                 detail=hello.producer_id,
             ),
         )
-        return hello.producer_id
+        return round_, hello.producer_id
 
     # ------------------------------------------------------------------
     # The exactly-once record commit
     # ------------------------------------------------------------------
-    def _validate_inner(self, obj) -> None:
-        """Pre-commit validation, mirroring every check the later merge
-        would make — so a record that reaches the ledger can never fail
-        to merge (a ledgered-but-unmergeable record would poison every
-        subsequent restart's replay)."""
-        if isinstance(obj, CountAccumulator):
-            matches = obj.m == self.m and obj.round_id == self.round_id
-        elif isinstance(obj, wire.PackedChunk):
-            matches = obj.m == self.m and obj.round_id == self.round_id
-            if matches:
-                width = packed_width(self.m)
-                pad_bits = 8 * width - self.m
-                if (
-                    pad_bits
-                    and obj.rows.size
-                    and np.any(obj.rows[:, -1] & ((1 << pad_bits) - 1))
-                ):
-                    raise ValidationError(
-                        f"record chunk has set bits beyond m={self.m}"
-                    )
-        else:
-            raise ValidationError(
-                f"records must wrap a snapshot or packed chunk, got "
-                f"{type(obj).__name__}"
-            )
-        if not matches:
-            raise ValidationError(
-                f"record is for (m={obj.m}, round={obj.round_id}); this "
-                f"service collects (m={self.m}, round={self.round_id})"
-            )
-
-    def _stage_record(
-        self,
-        producer_id: str,
-        record: wire.Record,
-        staged_frames: dict[int, bytes],
-    ) -> dict:
-        """Classify one record for its batch: fresh, duplicate, refused.
-
-        Everything that can be decided without the commit lock happens
-        here — envelope/round checks, dedup against the ledger *and*
-        against records staged earlier in the same batch, and full
-        inner validation for fresh records.  The SHA-256 digest is
-        *not* computed here on the fresh path: the background commit
-        hashes the whole batch on the executor, overlapped with the
-        next batch's network reads.  The commit also re-checks the
-        ledger under the lock (another connection of the same producer
-        may commit the same seq first).
-        """
-        seq = record.seq
-        if record.m != self.m or record.round_id != self.round_id:
-            return {
-                "status": "refused",
-                "seq": seq,
-                "detail": (
-                    f"record envelope is for (m={record.m}, round="
-                    f"{record.round_id}), not this round"
-                ),
-            }
-        equivocation = {
-            "status": "refused",
-            "seq": seq,
-            "detail": (
-                f"equivocation: seq {seq} is already committed with "
-                "different frame bytes"
-            ),
-        }
-        previous = staged_frames.get(seq)
-        if previous is not None:
-            # Same seq twice in one burst: byte equality decides.
-            if previous != record.frame:
-                return equivocation
-            return {"status": "duplicate", "seq": seq}
-        entry = self.ledger.seen(producer_id, seq)
-        if entry is not None:
-            # Resend path: the digest comparison against the committed
-            # entry is deferred to the batch commit, which hashes on the
-            # executor — a producer blind-resending a large round must
-            # not stall the event loop for every other session.
-            return {
-                "status": "verify-dup",
-                "seq": seq,
-                "frame": record.frame,
-                "known_digest": entry.digest,
-            }
-        try:
-            inner = record.decode()
-            self._validate_inner(inner)
-        except (WireFormatError, ValidationError) as exc:
-            return {"status": "refused", "seq": seq, "detail": str(exc)}
-        return {
-            "status": "fresh",
-            "seq": seq,
-            "frame": record.frame,
-            "inner": inner,
-        }
-
     async def _commit_batch(
         self,
         writer: asyncio.StreamWriter,
+        round_: RoundState,
         producer_id: str,
         pending: list[dict],
     ) -> bool:
-        """Durably commit a batch of staged records, then ack in order.
+        """Commit a staged batch through the round's scheduler, then ack.
 
-        One spill fsync and one ledger fsync cover the whole batch
-        (group commit); every ack still goes out only after both, so
-        per-record durability-on-ack is exactly what it was with
-        per-record fsyncs — at a fraction of the cost for pipelined
-        producers.  Returns False when an equivocation surfaced at
-        commit time (connection must drop).
-
-        The durable half runs as a *shielded, tracked* task: cancelling
-        the connection handler (service shutdown, inline flushes
-        included) cannot interrupt it between its fsyncs, and
-        ``close()``/``abort()`` drain ``_commit_tasks`` before touching
-        the spill or ledger handles — so a half-committed batch can
-        never be abandoned with spill frames but no ledger entries.
+        The scheduler resolves every item's status under the fsync pair
+        covering it (group commit, possibly coalesced with other
+        sessions' batches); acks go out here, in this connection's
+        stage order, only afterwards — each individual ack still
+        certifies durability.  Returns False when an equivocation
+        surfaced at commit time (connection must drop).
         """
-        inner = asyncio.ensure_future(
-            self._commit_batch_durable(producer_id, pending)
-        )
-        self._commit_tasks.add(inner)
-        inner.add_done_callback(self._commit_tasks.discard)
-        await asyncio.shield(inner)
-        return await self._send_batch_acks(writer, pending)
-
-    async def _commit_batch_durable(
-        self, producer_id: str, pending: list[dict]
-    ) -> None:
-        """The commit-lock critical section: spill, fsync, ledger, merge.
-
-        Nothing cancels this coroutine (callers shield it), so its only
-        failure mode is a real error — ENOSPC, a dying disk.  On any
-        such error the spill (and any staged ledger entries) roll back
-        to the pre-batch boundary, preserving the invariant that every
-        frame below a ledgered offset is itself ledgered; if even the
-        rollback fails, the service fail-stops further commits and
-        points the operator at restart-with-resume, which reconciles
-        from the last durable prefix.
-        """
-        loop = asyncio.get_running_loop()
-        # Resolve deferred duplicate checks first (no lock needed: a
-        # committed ledger entry's digest never changes), hashing on the
-        # executor so resend-heavy sessions do not stall the loop.
-        to_verify = [item for item in pending if item["status"] == "verify-dup"]
-        if to_verify:
-            digests = await loop.run_in_executor(
-                None,
-                lambda: [
-                    hashlib.sha256(item["frame"]).digest()
-                    for item in to_verify
-                ],
-            )
-            for item, digest in zip(to_verify, digests):
-                item["status"] = (
-                    "duplicate"
-                    if digest == item["known_digest"]
-                    else "equivocation"
-                )
-        async with self._commit_lock:
-            if self._commit_failed is not None:
-                raise ServiceError(
-                    "service refused the commit: a previous commit failed "
-                    f"({self._commit_failed}) and the spill could not be "
-                    "rolled back; restart the service with resume=True"
-                )
-            spill_mark = self._writer.end_offset
-            ledger_mark = self.ledger.mark()
-            appended_keys: list[tuple[str, int]] = []
-            to_commit = []
-            try:
-                for item in pending:
-                    if item["status"] != "fresh":
-                        continue
-                    # Re-check under the lock: another connection of
-                    # this producer may have committed the seq while we
-                    # staged.
-                    entry = self.ledger.seen(producer_id, item["seq"])
-                    if entry is not None:
-                        digest = hashlib.sha256(item["frame"]).digest()
-                        item["status"] = (
-                            "duplicate"
-                            if entry.digest == digest
-                            else "equivocation"
-                        )
-                        continue
-                    self._writer.append_frame(item["frame"])
-                    item["spill_end"] = self._writer.end_offset
-                    to_commit.append(item)
-                if to_commit:
-                    # Hash the batch and fsync the spill concurrently on
-                    # the executor (sha256 releases the GIL on large
-                    # buffers); both must finish before any ledger entry
-                    # exists, so a ledger entry can never point past
-                    # durable bytes.
-                    digests, _ = await asyncio.gather(
-                        loop.run_in_executor(
-                            None,
-                            lambda: [
-                                hashlib.sha256(item["frame"]).digest()
-                                for item in to_commit
-                            ],
-                        ),
-                        loop.run_in_executor(None, self._writer.sync),
-                    )
-                    for item, digest in zip(to_commit, digests):
-                        self.ledger.append(
-                            producer_id,
-                            item["seq"],
-                            digest,
-                            item["spill_end"],
-                        )
-                        appended_keys.append((producer_id, item["seq"]))
-                    await loop.run_in_executor(None, self.ledger.sync)
-                    for item in to_commit:
-                        apply_frame_object(item["inner"], self.accumulator)
-                        self.records_merged += 1
-                        self.bytes_ingested += len(item["frame"])
-                        item["status"] = "merged"
-            except BaseException as exc:
-                try:
-                    if appended_keys:
-                        self.ledger.rollback(ledger_mark, appended_keys)
-                    self._writer.rollback(spill_mark)
-                except BaseException as repair_exc:
-                    self._commit_failed = repr(exc)
-                    raise LedgerError(
-                        f"commit failed ({exc}) and rolling the spill back "
-                        f"failed too ({repair_exc}); refusing further "
-                        "commits — restart the service with resume=True"
-                    ) from exc
-                raise
+        await round_.scheduler.submit(producer_id, pending)
+        return await self._send_batch_acks(writer, round_, pending)
 
     async def _send_batch_acks(
-        self, writer: asyncio.StreamWriter, pending: list[dict]
+        self,
+        writer: asyncio.StreamWriter,
+        round_: RoundState,
+        pending: list[dict],
     ) -> bool:
         survived = True
         for item in pending:
             if item["status"] == "merged":
                 status, detail = wire.ACK_MERGED, ""
             elif item["status"] == "duplicate":
-                self.records_duplicate += 1
+                round_.records_duplicate += 1
                 status, detail = wire.ACK_DUPLICATE, "already merged"
             else:  # equivocation discovered at commit time
-                self.records_refused += 1
+                round_.records_refused += 1
                 status = wire.ACK_REFUSED
                 detail = (
                     f"equivocation: seq {item['seq']} is already "
@@ -842,8 +857,8 @@ class CollectionService:
             await self._send(
                 writer,
                 wire.Ack(
-                    m=self.m,
-                    round_id=self.round_id,
+                    m=round_.m,
+                    round_id=round_.round_id,
                     seq=item["seq"],
                     status=status,
                     detail=detail,

@@ -1,0 +1,46 @@
+"""Fixtures exposing the reusable fault-injection harness.
+
+``tests/faults/harness.py`` is loaded here by path (the suite runs in
+importlib mode without package ``__init__`` files) and registered as
+the importable module ``fault_harness`` so sibling test files — and any
+future suite that wants to inject faults — can simply::
+
+    import fault_harness
+
+    def test_something(fault_injector, tmp_path):
+        fault_injector.crash_on_fsync("round.ledger")
+        ...
+
+The ``fault_injector`` fixture arrives installed over ``tmp_path``:
+every binary file the code under test opens below ``tmp_path`` is
+wrapped (unbuffered) and subject to the triggers the test arms;
+``builtins.open`` / ``os.fsync`` are restored at teardown by
+``monkeypatch``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+_HARNESS_PATH = os.path.join(os.path.dirname(__file__), "harness.py")
+
+if "fault_harness" not in sys.modules:
+    spec = importlib.util.spec_from_file_location("fault_harness", _HARNESS_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["fault_harness"] = module
+    spec.loader.exec_module(module)
+
+fault_harness = sys.modules["fault_harness"]
+
+
+@pytest.fixture
+def fault_injector(monkeypatch, tmp_path):
+    """A :class:`fault_harness.FaultInjector` armed over ``tmp_path``."""
+    injector = fault_harness.FaultInjector()
+    injector.install(monkeypatch, str(tmp_path))
+    yield injector
+    injector.disarm()

@@ -1,0 +1,318 @@
+"""Reusable fault-injection harness for the collection stack.
+
+Wraps every binary file the service opens under a chosen root in a
+:class:`FaultyFile` proxy (opened **unbuffered**, so "bytes written
+before the fault" is exactly the on-disk state a real crash would
+leave — no hidden userspace buffer to flush during teardown), and
+intercepts ``os.fsync`` for the wrapped handles.  Tests arm *triggers*:
+
+* :meth:`FaultInjector.torn_write` — the Nth write to a matching file
+  persists only a prefix, then the process "dies" (every wrapped handle
+  slams shut, the rollback that a live service would run never gets to
+  touch the disk);
+* :meth:`FaultInjector.crash_on_fsync` — the Nth fsync of a matching
+  file never returns: the crash lands exactly between the spill fsync
+  and the ledger fsync when pointed at the right file;
+* :meth:`FaultInjector.io_error_on_write` /
+  :meth:`FaultInjector.io_error_on_fsync` — the *non-fatal* variants: the
+  operation fails (ENOSPC-style) but the process survives, exercising
+  the service's rollback + fail-stop repair path instead of recovery;
+* :meth:`FaultInjector.short_read` — the Nth read of a matching file
+  silently returns a prefix, simulating a filesystem that lost the tail
+  (recovery-time torn state without any write-side fault);
+* :func:`tear_tail` — chop bytes off a closed file between runs (the
+  classic kill-mid-append shape);
+* :func:`disconnect_mid_frame` — the transport-side fault: an
+  authenticated producer ships a prefix of a record frame and drops the
+  connection.
+
+After a fatal trigger fires, ``injector.crashed`` is set and the
+surviving in-process service object must be treated as dead: tear down
+its event-loop half with :func:`abandon` (no file IO runs) and start a
+fresh service with ``resume=True`` — the assertion every test here
+builds to is that the resumed round's state is *bit-identical* to the
+no-fault reference once producers blindly resend.
+"""
+
+from __future__ import annotations
+
+import builtins
+import os
+from dataclasses import dataclass, field
+
+from repro.pipeline import ServiceSession
+from repro.pipeline.collect import wire
+
+
+class FaultInjected(OSError):
+    """The simulated hardware/OS fault (an ``OSError``, as the real
+    thing would be)."""
+
+
+@dataclass
+class _Trigger:
+    op: str  # "write" | "fsync" | "read"
+    match: str  # substring of the file path
+    nth: int  # 1-based index among this trigger's matching calls
+    fatal: bool  # True: simulate a process crash as the fault fires
+    keep: float | int | None = None  # bytes (int) / fraction (float) kept
+    calls: int = 0
+    fired: bool = False
+
+    def keep_bytes(self, total: int) -> int:
+        if self.keep is None:
+            return total // 2
+        if isinstance(self.keep, float):
+            return int(total * self.keep)
+        return min(int(self.keep), total)
+
+
+class FaultyFile:
+    """Unbuffered binary file proxy that injects planned faults."""
+
+    def __init__(self, raw, injector: "FaultInjector", path: str) -> None:
+        self._raw = raw
+        self._injector = injector
+        self.path = path
+        self.crashed = False
+
+    # -- fault plumbing -------------------------------------------------
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise FaultInjected(
+                f"simulated crash: handle for {self.path} is gone"
+            )
+
+    def hard_close(self) -> None:
+        """Close the OS handle as a crash would: no flush, no ceremony."""
+        self.crashed = True
+        try:
+            self._raw.close()
+        except OSError:
+            pass
+
+    # -- file protocol --------------------------------------------------
+    def write(self, data) -> int:
+        self._check_alive()
+        trigger = self._injector._pick("write", self.path)
+        if trigger is not None:
+            keep = trigger.keep_bytes(len(data))
+            if keep:
+                self._raw.write(bytes(data[:keep]))
+            self._injector._fire(trigger, f"torn write to {self.path}")
+        return self._raw.write(data)
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_alive()
+        data = self._raw.read(size)
+        trigger = self._injector._pick("read", self.path)
+        if trigger is not None:
+            trigger.fired = True
+            self._injector.fired.append(f"short read of {self.path}")
+            data = data[: trigger.keep_bytes(len(data))]
+        return data
+
+    def flush(self) -> None:
+        self._check_alive()
+        self._raw.flush()
+
+    def fileno(self) -> int:
+        self._check_alive()
+        return self._raw.fileno()
+
+    def seek(self, *args) -> int:
+        self._check_alive()
+        return self._raw.seek(*args)
+
+    def tell(self) -> int:
+        self._check_alive()
+        return self._raw.tell()
+
+    def truncate(self, *args) -> int:
+        self._check_alive()
+        return self._raw.truncate(*args)
+
+    def close(self) -> None:
+        if not self.crashed:
+            self._raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.crashed or self._raw.closed
+
+    @property
+    def name(self) -> str:
+        return self.path
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __iter__(self):
+        self._check_alive()
+        return iter(self._raw)
+
+
+@dataclass
+class FaultInjector:
+    """Installs the open/fsync interception and owns the trigger plan."""
+
+    root: str | None = None
+    crashed: bool = False
+    armed: bool = True
+    fired: list = field(default_factory=list)
+    _triggers: list = field(default_factory=list)
+    _files: list = field(default_factory=list)
+
+    # -- installation ---------------------------------------------------
+    def install(self, monkeypatch, root: str) -> None:
+        """Patch ``builtins.open`` / ``os.fsync`` to wrap binary files
+        under *root* (monkeypatch undoes both at test teardown)."""
+        self.root = os.path.abspath(str(root))
+        real_open = builtins.open
+        real_fsync = os.fsync
+
+        def open_with_faults(file, mode="r", *args, **kwargs):
+            if (
+                self.armed
+                and isinstance(file, (str, os.PathLike))
+                and "b" in str(mode)
+            ):
+                path = os.path.abspath(os.fspath(file))
+                if path.startswith(self.root + os.sep) or path == self.root:
+                    raw = real_open(path, mode, buffering=0)
+                    wrapped = FaultyFile(raw, self, path)
+                    self._files.append(wrapped)
+                    return wrapped
+            return real_open(file, mode, *args, **kwargs)
+
+        def fsync_with_faults(fd):
+            for wrapped in self._files:
+                if wrapped.crashed or wrapped._raw.closed:
+                    continue
+                if wrapped._raw.fileno() == fd:
+                    trigger = self._pick("fsync", wrapped.path)
+                    if trigger is not None:
+                        self._fire(trigger, f"fsync of {wrapped.path}")
+                    break
+            return real_fsync(fd)
+
+        monkeypatch.setattr(builtins, "open", open_with_faults)
+        monkeypatch.setattr(os, "fsync", fsync_with_faults)
+
+    def disarm(self) -> None:
+        """Stop wrapping new files and clear every un-fired trigger."""
+        self.armed = False
+        self._triggers = [t for t in self._triggers if t.fired]
+
+    # -- trigger registration -------------------------------------------
+    def torn_write(self, match: str, *, nth: int = 1, keep=None) -> None:
+        """Nth write to a file matching *match*: persist a prefix, crash."""
+        self._triggers.append(
+            _Trigger(op="write", match=match, nth=nth, fatal=True, keep=keep)
+        )
+
+    def io_error_on_write(self, match: str, *, nth: int = 1, keep=0) -> None:
+        """Nth write fails (ENOSPC-style) but the process survives."""
+        self._triggers.append(
+            _Trigger(op="write", match=match, nth=nth, fatal=False, keep=keep)
+        )
+
+    def crash_on_fsync(self, match: str, *, nth: int = 1) -> None:
+        """Nth fsync of a matching file never returns: process crash."""
+        self._triggers.append(
+            _Trigger(op="fsync", match=match, nth=nth, fatal=True)
+        )
+
+    def io_error_on_fsync(self, match: str, *, nth: int = 1) -> None:
+        """Nth fsync fails but the process survives (rollback path)."""
+        self._triggers.append(
+            _Trigger(op="fsync", match=match, nth=nth, fatal=False)
+        )
+
+    def short_read(self, match: str, *, nth: int = 1, keep=None) -> None:
+        """Nth read of a matching file silently returns a prefix."""
+        self._triggers.append(
+            _Trigger(op="read", match=match, nth=nth, fatal=False, keep=keep)
+        )
+
+    # -- firing machinery ----------------------------------------------
+    def _pick(self, op: str, path: str):
+        if not self.armed:
+            return None
+        for trigger in self._triggers:
+            if trigger.fired or trigger.op != op or trigger.match not in path:
+                continue
+            trigger.calls += 1
+            if trigger.calls == trigger.nth:
+                return trigger
+        return None
+
+    def _fire(self, trigger: _Trigger, what: str) -> None:
+        trigger.fired = True
+        self.fired.append(what)
+        if trigger.fatal:
+            self.simulate_crash()
+            raise FaultInjected(f"simulated crash during {what}")
+        raise FaultInjected(f"simulated IO error during {what}")
+
+    def simulate_crash(self) -> None:
+        """Slam every wrapped handle shut — the process is 'dead' now."""
+        self.crashed = True
+        for wrapped in self._files:
+            wrapped.hard_close()
+
+
+# ----------------------------------------------------------------------
+# Transport- and teardown-side helpers
+# ----------------------------------------------------------------------
+def tear_tail(path: str, nbytes: int) -> int:
+    """Chop *nbytes* off the end of *path* (kill-mid-append); returns
+    the surviving size."""
+    size = os.path.getsize(path)
+    keep = max(0, size - int(nbytes))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+async def disconnect_mid_frame(
+    host: str,
+    port: int,
+    *,
+    key,
+    producer_id: str,
+    m: int,
+    round_id: int = 0,
+    frame: bytes,
+    seq: int,
+    keep: int | None = None,
+) -> None:
+    """Authenticate, ship a *prefix* of one record frame, vanish."""
+    session = ServiceSession(
+        host, port, key=key, producer_id=producer_id, m=m, round_id=round_id
+    )
+    await session.connect()
+    record = wire.dumps(
+        wire.Record(m=m, round_id=round_id, seq=seq, frame=bytes(frame))
+    )
+    cut = keep if keep is not None else wire.HEADER_SIZE + 5
+    session._writer.write(record[:cut])
+    await session._writer.drain()
+    await session.close()
+
+
+async def abandon(service) -> None:
+    """Tear down the event-loop half of a crashed service.
+
+    The "process" died: no file IO may run, so this never calls
+    ``close()``/``abort()`` — it stops the listening socket, cancels
+    connection handlers, and drains each round's scheduler task (whose
+    remaining submissions fail against the closed handles without
+    touching the disk).
+    """
+    await service._stop_serving()
+    for state in service.registry.rounds():
+        await state.scheduler.close()

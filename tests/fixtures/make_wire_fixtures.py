@@ -24,6 +24,19 @@ FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "wire")
 
 SNAPSHOT_FILE = "snapshot_v1_m12_n5_round3.bin"
 CHUNK_FILE = "chunk_v1_m21_k4_round7.bin"
+HELLO_FILE = "hello_v2_m16_round2.bin"
+CHALLENGE_V2_FILE = "challenge_v2_m16_round2.bin"
+CHALLENGE_V3_FILE = "challenge_v3_m16_round2.bin"
+PROOF_FILE = "proof_v2_m16_round2.bin"
+RECORD_FILE = "record_v2_m21_seq9_round7.bin"
+ACK_FILE = "ack_v2_m16_seq9_round2.bin"
+
+# Deterministic handshake bytes: fixtures must be reproducible, so the
+# nonces/token/MAC are fixed patterns, not fresh randomness.
+CLIENT_NONCE = bytes(range(16))
+SERVER_NONCE = bytes(range(16, 32))
+ROUND_TOKEN = bytes(range(32, 48))
+PROOF_MAC = bytes(range(64, 96))
 
 
 def golden_snapshot() -> CountAccumulator:
@@ -43,9 +56,52 @@ def golden_chunk() -> wire.PackedChunk:
     return wire.PackedChunk(m=21, round_id=7, rows=np.packbits(bits, axis=1))
 
 
+def golden_hello() -> wire.SessionHello:
+    """m=16 round-2 hello from a fixed producer with a fixed nonce."""
+    return wire.SessionHello(
+        m=16, round_id=2, producer_id="tally-node-7", nonce=CLIENT_NONCE
+    )
+
+
+def golden_challenge_v2() -> wire.SessionChallenge:
+    """Single-round (tokenless) challenge: must stay a version-2 frame."""
+    return wire.SessionChallenge(m=16, round_id=2, nonce=SERVER_NONCE)
+
+
+def golden_challenge_v3() -> wire.SessionChallenge:
+    """Round-scoped challenge: server nonce plus the registration token."""
+    return wire.SessionChallenge(
+        m=16, round_id=2, nonce=SERVER_NONCE, round_token=ROUND_TOKEN
+    )
+
+
+def golden_proof() -> wire.SessionProof:
+    return wire.SessionProof(m=16, round_id=2, mac=PROOF_MAC)
+
+
+def golden_record() -> wire.Record:
+    """A record envelope wrapping the golden chunk frame verbatim."""
+    return wire.Record(m=21, round_id=7, seq=9, frame=wire.dumps(golden_chunk()))
+
+
+def golden_ack() -> wire.Ack:
+    return wire.Ack(
+        m=16, round_id=2, seq=9, status=wire.ACK_DUPLICATE, detail="already merged"
+    )
+
+
 def main() -> None:
     os.makedirs(FIXTURE_DIR, exist_ok=True)
-    for name, obj in ((SNAPSHOT_FILE, golden_snapshot()), (CHUNK_FILE, golden_chunk())):
+    for name, obj in (
+        (SNAPSHOT_FILE, golden_snapshot()),
+        (CHUNK_FILE, golden_chunk()),
+        (HELLO_FILE, golden_hello()),
+        (CHALLENGE_V2_FILE, golden_challenge_v2()),
+        (CHALLENGE_V3_FILE, golden_challenge_v3()),
+        (PROOF_FILE, golden_proof()),
+        (RECORD_FILE, golden_record()),
+        (ACK_FILE, golden_ack()),
+    ):
         path = os.path.join(FIXTURE_DIR, name)
         with open(path, "wb") as handle:
             handle.write(wire.dumps(obj))

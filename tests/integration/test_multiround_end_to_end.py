@@ -1,0 +1,234 @@
+"""End-to-end acceptance for the multi-tenant service.
+
+The bar (ISSUE 5): two concurrent rounds with per-producer keys ingest
+simultaneously, survive a forced kill + resume — with a torn in-flight
+frame on one round's spill — and, after every producer blindly resends
+everything, reproduce both rounds' estimates **bit-identical** to the
+single-pass in-memory ``stream_counts`` path.  Along the way: a
+producer using another producer's key merges nothing, and sessions are
+scoped so neither round contains a byte of the other's traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AuthenticationError
+from repro.kernels import resolve_sampler
+from repro.mechanisms import OptimizedUnaryEncoding
+from repro.pipeline import (
+    CollectionService,
+    KeyRegistry,
+    iter_report_chunks,
+    send_records,
+    shard_bounds,
+    stream_counts,
+)
+from repro.pipeline.collect import wire
+from repro.pipeline.service import derive_producer_key
+from repro.pipeline.service.server import SERVICE_SHARD_ID
+
+N, CHUNK, PRODUCERS_PER_ROUND, SEED = 600, 96, 2, 77
+ROUNDS = ({"m": 20, "round_id": 5}, {"m": 28, "round_id": 6})
+MASTER = "multiround-master-secret"
+
+
+def _producer_id(round_id: int, index: int) -> str:
+    return f"r{round_id}-producer-{index}"
+
+
+@pytest.fixture(scope="module", params=["bitexact", "fast"])
+def workloads(request):
+    """Per-round: mechanism, per-producer frames, single-pass reference."""
+    config = resolve_sampler(request.param)
+    out = {}
+    for spec in ROUNDS:
+        m, round_id = spec["m"], spec["round_id"]
+        mechanism = OptimizedUnaryEncoding(2.0, m)
+        items = np.random.default_rng(SEED + round_id).integers(m, size=N)
+        children = np.random.SeedSequence(SEED + round_id).spawn(
+            PRODUCERS_PER_ROUND
+        )
+        frames, reference = [], None
+        for (start, stop), child in zip(
+            shard_bounds(N, PRODUCERS_PER_ROUND), children
+        ):
+            frames.append(
+                [
+                    wire.dump_chunk(chunk, m, round_id=round_id)
+                    for chunk in iter_report_chunks(
+                        mechanism,
+                        items[start:stop],
+                        chunk_size=CHUNK,
+                        rng=config.make_generator(child),
+                        packed=True,
+                        sampler=config,
+                    )
+                ]
+            )
+            shard = stream_counts(
+                mechanism,
+                items[start:stop],
+                chunk_size=CHUNK,
+                rng=config.make_generator(child),
+                packed=True,
+                round_id=round_id,
+                sampler=config,
+            )
+            reference = shard if reference is None else reference.merge(shard)
+        out[round_id] = (mechanism, frames, reference)
+    return out
+
+
+@pytest.fixture
+def keys():
+    producers = [
+        _producer_id(spec["round_id"], index)
+        for spec in ROUNDS
+        for index in range(PRODUCERS_PER_ROUND)
+    ]
+    return KeyRegistry(
+        {producer: derive_producer_key(MASTER, producer) for producer in producers}
+    )
+
+
+def test_two_rounds_kill_resume_bit_identical(workloads, keys, tmp_path):
+    root = str(tmp_path / "rounds")
+
+    async def first_run():
+        """Both rounds ingest *simultaneously*; every producer lands only
+        a prefix before the 'kill'."""
+        service = CollectionService(rounds=list(ROUNDS), keys=keys, store_root=root)
+        host, port = await service.serve()
+
+        async def produce(round_id, index, frames):
+            producer = _producer_id(round_id, index)
+            prefix = frames[: max(1, len(frames) // 2)]
+            acks = await send_records(
+                host,
+                port,
+                prefix,
+                key=derive_producer_key(MASTER, producer),
+                producer_id=producer,
+                m=workloads[round_id][2].m,
+                round_id=round_id,
+            )
+            assert all(ack.status == wire.ACK_MERGED for ack in acks)
+
+        try:
+            await asyncio.gather(
+                *(
+                    produce(spec["round_id"], index, workloads[spec["round_id"]][1][index])
+                    for spec in ROUNDS
+                    for index in range(PRODUCERS_PER_ROUND)
+                )
+            )
+        finally:
+            await service.abort()  # forced kill: no final snapshots
+        return service
+
+    service = asyncio.run(first_run())
+    acked = {
+        spec["round_id"]: service.round(spec["round_id"]).records_merged
+        for spec in ROUNDS
+    }
+    for spec in ROUNDS:
+        round_id = spec["round_id"]
+        total = sum(len(f) for f in workloads[round_id][1])
+        assert 0 < acked[round_id] < total
+
+    # The kill's signature: half an in-flight frame on round 5's spill.
+    torn_round = ROUNDS[0]["round_id"]
+    torn = workloads[torn_round][1][0][-1]
+    spill = service.round(torn_round).store.chunk_path(SERVICE_SHARD_ID)
+    with open(spill, "ab") as handle:
+        handle.write(torn[: len(torn) // 2])
+
+    async def resumed_run():
+        service = CollectionService(
+            rounds=list(ROUNDS), keys=keys, store_root=root, resume=True
+        )
+        for spec in ROUNDS:
+            assert (
+                service.round(spec["round_id"]).recovered_records
+                == acked[spec["round_id"]]
+            )
+        assert (
+            service.round(torn_round).recovered_spill_bytes_discarded
+            == len(torn) // 2
+        )
+        host, port = await service.serve()
+        statuses = {spec["round_id"]: [] for spec in ROUNDS}
+        try:
+            # A producer wielding a *colleague's* key merges nothing.
+            victim = _producer_id(torn_round, 0)
+            other = _producer_id(ROUNDS[1]["round_id"], 0)
+            with pytest.raises(AuthenticationError):
+                await send_records(
+                    host,
+                    port,
+                    workloads[torn_round][1][0],
+                    key=derive_producer_key(MASTER, other),
+                    producer_id=victim,
+                    m=workloads[torn_round][2].m,
+                    round_id=torn_round,
+                )
+
+            async def resend(round_id, index, frames):
+                producer = _producer_id(round_id, index)
+                acks = await send_records(
+                    host,
+                    port,
+                    frames,  # blind full resend, seq 0..len-1
+                    key=derive_producer_key(MASTER, producer),
+                    producer_id=producer,
+                    m=workloads[round_id][2].m,
+                    round_id=round_id,
+                )
+                statuses[round_id].extend(ack.status for ack in acks)
+
+            await asyncio.gather(
+                *(
+                    resend(spec["round_id"], index, workloads[spec["round_id"]][1][index])
+                    for spec in ROUNDS
+                    for index in range(PRODUCERS_PER_ROUND)
+                )
+            )
+        finally:
+            await service.close()
+        return service, statuses
+
+    service, statuses = asyncio.run(resumed_run())
+    for spec in ROUNDS:
+        round_id = spec["round_id"]
+        mechanism, producer_frames, reference = workloads[round_id]
+        total = sum(len(f) for f in producer_frames)
+        assert statuses[round_id].count(wire.ACK_DUPLICATE) == acked[round_id]
+        assert statuses[round_id].count(wire.ACK_MERGED) == total - acked[round_id]
+
+        state = service.round(round_id)
+        # The acceptance bar: bit-identical to the single-pass path.
+        assert state.accumulator.digest() == reference.digest()
+        assert np.array_equal(
+            state.accumulator.estimate(mechanism),
+            reference.estimate(mechanism),
+        )
+        # Durable state agrees with itself: snapshot vs out-of-core replay.
+        audit = state.store.audit()
+        assert audit[SERVICE_SHARD_ID]["match"] is True
+
+    # And a third, cold start reconstructs both rounds from disk alone.
+    third = CollectionService(
+        rounds=list(ROUNDS), keys=keys, store_root=root, resume=True
+    )
+    asyncio.run(third.abort())
+    for spec in ROUNDS:
+        round_id = spec["round_id"]
+        assert (
+            third.round(round_id).accumulator.digest()
+            == workloads[round_id][2].digest()
+        )

@@ -1,0 +1,138 @@
+"""Golden-fixture tests pinning session frames: v2 byte-identical, v3 new.
+
+The multi-round service introduced wire-format version 3 — a
+:class:`~repro.pipeline.collect.wire.SessionChallenge` carrying the
+hosted round's 16-byte registration token after the server nonce.  The
+contract these fixtures pin:
+
+* every **version-2** session frame (hello, tokenless challenge, proof,
+  record, ack) still encodes byte-for-byte as it did before the
+  multi-round change — a single-round service and its producers are
+  wire-compatible across the upgrade;
+* the **version-3** challenge has exactly the documented layout
+  (``nonce || round_token``, version field 3), and decoding is version
+  gated both ways: a 32-byte challenge payload claiming version 2 is
+  refused, as is a 16-byte payload claiming version 3.
+
+Expectations are duplicated from ``tests/fixtures/make_wire_fixtures.py``
+on purpose — the duplication is what pins producer and consumer
+together.  If a deliberate format change breaks this file, bump the
+version, regenerate, and keep the old decode paths working.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.exceptions import WireFormatError
+from repro.pipeline.collect import wire
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "fixtures",
+    "wire",
+)
+
+CLIENT_NONCE = bytes(range(16))
+SERVER_NONCE = bytes(range(16, 32))
+ROUND_TOKEN = bytes(range(32, 48))
+PROOF_MAC = bytes(range(64, 96))
+
+
+def _read(name: str) -> bytes:
+    with open(os.path.join(FIXTURE_DIR, name), "rb") as handle:
+        return handle.read()
+
+
+def _fix_header_crc(frame: bytearray) -> bytes:
+    frame[36:40] = struct.pack("<I", zlib.crc32(bytes(frame[:36])))
+    return bytes(frame)
+
+
+GOLDEN = {
+    "hello_v2_m16_round2.bin": wire.SessionHello(
+        m=16, round_id=2, producer_id="tally-node-7", nonce=CLIENT_NONCE
+    ),
+    "challenge_v2_m16_round2.bin": wire.SessionChallenge(
+        m=16, round_id=2, nonce=SERVER_NONCE
+    ),
+    "challenge_v3_m16_round2.bin": wire.SessionChallenge(
+        m=16, round_id=2, nonce=SERVER_NONCE, round_token=ROUND_TOKEN
+    ),
+    "proof_v2_m16_round2.bin": wire.SessionProof(
+        m=16, round_id=2, mac=PROOF_MAC
+    ),
+    "ack_v2_m16_seq9_round2.bin": wire.Ack(
+        m=16,
+        round_id=2,
+        seq=9,
+        status=wire.ACK_DUPLICATE,
+        detail="already merged",
+    ),
+}
+
+
+class TestGoldenSessionFrames:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_decodes_to_pinned_object(self, name):
+        assert wire.loads(_read(name)) == GOLDEN[name]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_fresh_encode_matches_committed_bytes(self, name):
+        assert wire.dumps(GOLDEN[name]) == _read(name)
+
+    def test_record_fixture_wraps_the_golden_chunk(self):
+        record = wire.loads(_read("record_v2_m21_seq9_round7.bin"))
+        assert isinstance(record, wire.Record)
+        assert (record.m, record.round_id, record.seq) == (21, 7, 9)
+        # The envelope's payload is the committed v1 chunk fixture,
+        # verbatim — records ship core frames byte-for-byte.
+        assert record.frame == _read("chunk_v1_m21_k4_round7.bin")
+        assert wire.dumps(record) == _read("record_v2_m21_seq9_round7.bin")
+
+    def test_v2_frames_do_not_depend_on_multiround_code(self):
+        """A tokenless challenge still *encodes* as version 2: the
+        version bytes in the committed v2 fixtures are all 2."""
+        for name in GOLDEN:
+            expected = 3 if "_v3_" in name else 2
+            assert _read(name)[4:6] == struct.pack("<H", expected), name
+
+
+class TestChallengeVersionGate:
+    def test_v3_layout_is_nonce_then_token(self):
+        blob = _read("challenge_v3_m16_round2.bin")
+        payload = blob[wire.HEADER_SIZE : wire.HEADER_SIZE + 32]
+        assert payload[:16] == SERVER_NONCE
+        assert payload[16:] == ROUND_TOKEN
+
+    def test_token_payload_claiming_v2_refused(self):
+        bad = bytearray(_read("challenge_v3_m16_round2.bin"))
+        bad[4:6] = struct.pack("<H", wire.WIRE_VERSION_SESSION)
+        with pytest.raises(WireFormatError, match=r"must be 16 bytes.*got 32"):
+            wire.loads(_fix_header_crc(bad))
+
+    def test_tokenless_payload_claiming_v3_refused(self):
+        bad = bytearray(_read("challenge_v2_m16_round2.bin"))
+        bad[4:6] = struct.pack("<H", wire.WIRE_VERSION_MULTIROUND)
+        with pytest.raises(WireFormatError, match=r"must be 32 bytes.*got 16"):
+            wire.loads(_fix_header_crc(bad))
+
+    def test_v3_on_a_non_challenge_kind_refused(self):
+        """Version 3 is a challenge-only dialect: a hello claiming it
+        must fail the kind/version gate, not decode."""
+        bad = bytearray(_read("hello_v2_m16_round2.bin"))
+        bad[4:6] = struct.pack("<H", wire.WIRE_VERSION_MULTIROUND)
+        with pytest.raises(WireFormatError, match="require wire-format version"):
+            wire.loads(_fix_header_crc(bad))
+
+    def test_future_version_names_all_supported(self):
+        bad = bytearray(_read("challenge_v2_m16_round2.bin"))
+        bad[4:6] = struct.pack("<H", 99)
+        with pytest.raises(
+            WireFormatError, match=r"version 99.*supports version 1.*2.*3"
+        ):
+            wire.loads(_fix_header_crc(bad))

@@ -1,0 +1,857 @@
+"""Behavioral tests for multi-round multiplexing and per-producer keys.
+
+The multi-tenant surface, pillar by pillar: round routing (sessions
+land in exactly the round their HELLO names; unknown rounds are
+refused), the per-producer :class:`KeyRegistry` (own key works, someone
+else's never does, rotation applies without a restart), quota scoping
+(per-producer meters survive reconnects, per-round caps don't starve
+other rounds), cross-connection group commit (one fsync pair really
+does cover several sessions' batches), and the monotonic idle deadline
+(a slow-but-alive producer spanning two rounds outlives any
+measured-from-connection-start implementation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AuthenticationError, ValidationError
+from repro.pipeline import (
+    CollectionService,
+    CountAccumulator,
+    KeyRegistry,
+    ServiceLimits,
+    ServiceSession,
+    send_records,
+)
+from repro.pipeline.collect import wire
+from repro.pipeline.service import derive_producer_key
+
+ROUNDS = [{"m": 16, "round_id": 1}, {"m": 24, "round_id": 2}]
+KEYS = {"alice": "alice-key-000001", "bob": "bob-key-00000002"}
+
+
+def _chunk_frame(m, round_id, k=4, seed=0) -> bytes:
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((k, m)) < 0.5).astype(np.uint8)
+    return wire.dump_chunk(np.packbits(bits, axis=1), m, round_id=round_id)
+
+
+def _run(scenario, tmp_path, *, limits=None, keys=None, rounds=None, **kwargs):
+    async def main():
+        service = CollectionService(
+            rounds=rounds or ROUNDS,
+            keys=KeyRegistry(keys or KEYS) if not isinstance(keys, KeyRegistry) else keys,
+            store_root=str(tmp_path / "rounds"),
+            limits=limits,
+            **kwargs,
+        )
+        host, port = await service.serve()
+        try:
+            result = await scenario(service, host, port)
+        finally:
+            await service.close()
+        return service, result
+
+    return asyncio.run(main())
+
+
+class TestRoundRouting:
+    def test_concurrent_rounds_ingest_simultaneously_and_stay_isolated(
+        self, tmp_path
+    ):
+        async def scenario(service, host, port):
+            await asyncio.gather(
+                send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1, k=3, seed=s) for s in range(4)],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                ),
+                send_records(
+                    host,
+                    port,
+                    [_chunk_frame(24, 2, k=5, seed=s) for s in range(4)],
+                    key=KEYS["bob"],
+                    producer_id="bob",
+                    m=24,
+                    round_id=2,
+                ),
+            )
+
+        service, _ = _run(scenario, tmp_path)
+        one, two = service.round(1), service.round(2)
+        assert (one.accumulator.n, two.accumulator.n) == (12, 20)
+        assert one.producers_seen == {"alice"}
+        assert two.producers_seen == {"bob"}
+        assert service.records_merged == 8
+
+    def test_unknown_round_refused(self, tmp_path):
+        async def scenario(service, host, port):
+            with pytest.raises(AuthenticationError, match="round mismatch"):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 9)],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=9,
+                )
+
+        service, _ = _run(scenario, tmp_path)
+        assert service.sessions_rejected == 1
+        assert service.records_merged == 0
+
+    def test_wrong_m_for_round_refused(self, tmp_path):
+        async def scenario(service, host, port):
+            with pytest.raises(AuthenticationError, match="round mismatch"):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(24, 1)],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=24,  # round 1 is m=16
+                    round_id=1,
+                )
+
+        service, _ = _run(scenario, tmp_path)
+        assert service.records_merged == 0
+
+    def test_record_for_other_hosted_round_refused_in_session(self, tmp_path):
+        """A session bound to round 1 cannot smuggle a round-2 record."""
+
+        async def scenario(service, host, port):
+            async with ServiceSession(
+                host, port, key=KEYS["alice"], producer_id="alice", m=16, round_id=1
+            ) as session:
+                return await session.send(_chunk_frame(24, 2), 0)
+
+        service, ack = _run(scenario, tmp_path)
+        assert ack.status == wire.ACK_REFUSED
+        assert service.round(2).accumulator.n == 0
+        assert service.round(2).records_merged == 0
+
+    def test_duplicate_round_id_refused(self, tmp_path):
+        with pytest.raises(ValidationError, match="already hosted"):
+            CollectionService(
+                rounds=[(16, 1), (24, 1)],
+                keys=KEYS,
+                store_root=str(tmp_path / "rounds"),
+            )
+
+    def test_add_round_while_serving(self, tmp_path):
+        async def scenario(service, host, port):
+            service.add_round(32, 7)
+            return await send_records(
+                host,
+                port,
+                [_chunk_frame(32, 7)],
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=32,
+                round_id=7,
+            )
+
+        service, acks = _run(scenario, tmp_path)
+        assert [a.status for a in acks] == [wire.ACK_MERGED]
+        assert service.round(7).accumulator.n == 4
+
+
+class TestPerProducerKeys:
+    def test_each_producer_needs_its_own_key(self, tmp_path):
+        async def scenario(service, host, port):
+            # bob's key cannot open an alice session...
+            with pytest.raises(AuthenticationError, match="authentication"):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1)],
+                    key=KEYS["bob"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                )
+            # ...and an unregistered producer fails with the SAME
+            # message as a wrong key — unknown ids must not be
+            # distinguishable before authentication (enumeration).
+            with pytest.raises(AuthenticationError, match="authentication failed"):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1)],
+                    key=KEYS["alice"],
+                    producer_id="mallory",
+                    m=16,
+                    round_id=1,
+                )
+            return await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1)],
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+
+        service, acks = _run(scenario, tmp_path)
+        assert [a.status for a in acks] == [wire.ACK_MERGED]
+        assert service.producers_seen == {"alice"}
+        assert service.sessions_rejected == 2
+
+    def test_key_rotation_without_restart(self, tmp_path):
+        registry = KeyRegistry(dict(KEYS))
+
+        async def scenario(service, host, port):
+            first = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=1)],
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+            registry.set_key("alice", "rotated-key-0001")
+            # The old key is dead for new sessions...
+            with pytest.raises(AuthenticationError):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1, seed=2)],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                )
+            # ...and the new one works, same running service.
+            second = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=2)],
+                key="rotated-key-0001",
+                producer_id="alice",
+                m=16,
+                round_id=1,
+                start_seq=1,
+            )
+            return first + second
+
+        service, acks = _run(scenario, tmp_path, keys=registry)
+        assert [a.status for a in acks] == [wire.ACK_MERGED] * 2
+
+    def test_keyfile_rotation_applies_to_live_service(self, tmp_path):
+        """Rewriting the keyfile rotates keys for the *running* service —
+        the operational promise behind --keys-file."""
+        path = tmp_path / "keys.txt"
+        path.write_text("carol = first-key-000001\n", encoding="utf-8")
+        registry = KeyRegistry.from_file(str(path))
+
+        async def scenario(service, host, port):
+            first = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=3)],
+                key="first-key-000001",
+                producer_id="carol",
+                m=16,
+                round_id=1,
+            )
+            path.write_text("carol = second-key-00002\n", encoding="utf-8")
+            import os
+
+            os.utime(path, ns=(1, 1))  # ensure the stamp visibly changes
+            with pytest.raises(AuthenticationError):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1, seed=4)],
+                    key="first-key-000001",
+                    producer_id="carol",
+                    m=16,
+                    round_id=1,
+                )
+            second = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=4)],
+                key="second-key-00002",
+                producer_id="carol",
+                m=16,
+                round_id=1,
+                start_seq=1,
+            )
+            return first + second
+
+        service, acks = _run(scenario, tmp_path, keys=registry)
+        assert [a.status for a in acks] == [wire.ACK_MERGED] * 2
+
+    def test_derived_producer_keys_are_registry_compatible(self, tmp_path):
+        master = "fleet-master-secret"
+        registry = KeyRegistry(
+            {p: derive_producer_key(master, p) for p in ("n1", "n2")}
+        )
+
+        async def scenario(service, host, port):
+            return await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1)],
+                key=derive_producer_key(master, "n1"),
+                producer_id="n1",
+                m=16,
+                round_id=1,
+            )
+
+        service, acks = _run(scenario, tmp_path, keys=registry)
+        assert [a.status for a in acks] == [wire.ACK_MERGED]
+
+
+class TestQuotaScoping:
+    def test_producer_quota_survives_reconnect(self, tmp_path):
+        """Reconnecting must not reset the producer's meter — the tally
+        lives with the round, not the connection."""
+        limits = ServiceLimits(max_producer_frames=3)
+
+        async def scenario(service, host, port):
+            acks = []
+            for seq in range(3):  # three connections, one frame each
+                acks += await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1, seed=seq)],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                    start_seq=seq,
+                )
+            with pytest.raises(Exception, match="frame quota"):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1, seed=9)],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                    start_seq=9,
+                )
+            # A different producer on the same round is unaffected.
+            return acks, await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=5)],
+                key=KEYS["bob"],
+                producer_id="bob",
+                m=16,
+                round_id=1,
+            )
+
+        service, (acks, bob_acks) = _run(scenario, tmp_path, limits=limits)
+        assert [a.status for a in acks] == [wire.ACK_MERGED] * 3
+        assert [a.status for a in bob_acks] == [wire.ACK_MERGED]
+
+    def test_round_quota_does_not_starve_other_rounds(self, tmp_path):
+        limits = ServiceLimits(max_round_records=2)
+
+        async def scenario(service, host, port):
+            acks = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=s) for s in range(2)],
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+            with pytest.raises(Exception, match="record quota"):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1, seed=9)],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                    start_seq=5,
+                )
+            # Round 2's meter is its own: it keeps ingesting (up to its
+            # own cap) after round 1 is exhausted.
+            return acks, await send_records(
+                host,
+                port,
+                [_chunk_frame(24, 2, seed=s) for s in range(2)],
+                key=KEYS["bob"],
+                producer_id="bob",
+                m=24,
+                round_id=2,
+            )
+
+        service, (acks, other) = _run(scenario, tmp_path, limits=limits)
+        assert [a.status for a in acks] == [wire.ACK_MERGED] * 2
+        assert [a.status for a in other] == [wire.ACK_MERGED] * 2
+        assert service.round(1).records_merged == 2
+        assert service.round(2).records_merged == 2
+
+
+class TestQuotaResendSafety:
+    def test_blind_resend_at_quota_cap_is_free(self, tmp_path):
+        """A producer at exactly its frame cap must still be able to
+        blind-resend everything (duplicates dedup before they are
+        charged) — otherwise exactly-once's 'resend on any doubt'
+        contract and the quota system would deadlock a producer that
+        lost its acks."""
+        limits = ServiceLimits(max_producer_frames=3)
+        frames = [_chunk_frame(16, 1, seed=s) for s in range(3)]
+
+        async def scenario(service, host, port):
+            first = await send_records(
+                host,
+                port,
+                frames,
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+            again = await send_records(
+                host,
+                port,
+                frames,  # blind resend, quota already exhausted
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+            return first, again
+
+        service, (first, again) = _run(scenario, tmp_path, limits=limits)
+        assert [a.status for a in first] == [wire.ACK_MERGED] * 3
+        assert [a.status for a in again] == [wire.ACK_DUPLICATE] * 3
+
+    def test_producer_quota_survives_restart_including_bytes(self, tmp_path):
+        """Resume rebuilds both halves of the producer meter from the
+        ledger: the committed frames AND their bytes — then resends stay
+        free while fresh records are still refused."""
+        limits = ServiceLimits(max_producer_frames=2)
+        frames = [_chunk_frame(16, 1, seed=s) for s in range(2)]
+
+        async def scenario(service, host, port):
+            return await send_records(
+                host,
+                port,
+                frames,
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+
+        _run(scenario, tmp_path, limits=limits)
+
+        async def resumed():
+            service = CollectionService(
+                rounds=ROUNDS,
+                keys=KeyRegistry(KEYS),
+                store_root=str(tmp_path / "rounds"),
+                limits=limits,
+                resume=True,
+            )
+            meter = service.round(1).producer_quota("alice")
+            frames_used, bytes_used = meter.frames_used, meter.bytes_used
+            host, port = await service.serve()
+            try:
+                again = await send_records(
+                    host,
+                    port,
+                    frames,  # resend across the restart: free
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                )
+                with pytest.raises(Exception, match="frame quota"):
+                    await send_records(
+                        host,
+                        port,
+                        [_chunk_frame(16, 1, seed=9)],  # fresh: refused
+                        key=KEYS["alice"],
+                        producer_id="alice",
+                        m=16,
+                        round_id=1,
+                        start_seq=9,
+                    )
+            finally:
+                await service.close()
+            return frames_used, bytes_used, again
+
+        frames_used, bytes_used, again = asyncio.run(resumed())
+        assert frames_used == 2
+        assert bytes_used == sum(len(frame) for frame in frames)
+        assert [a.status for a in again] == [wire.ACK_DUPLICATE] * 2
+
+    def test_staged_but_uncommitted_records_refund_their_charge(
+        self, tmp_path
+    ):
+        """A connection that dies after staging (mid-frame stall drops
+        it) must hand back the quota charged for records that never
+        committed — the resend is the protocol's recovery, and it must
+        fit in the same budget."""
+        limits = ServiceLimits(
+            max_producer_frames=2,
+            session_idle_seconds=0.15,
+            # Large batch + long idle flush: staged records sit
+            # uncommitted until the torn frame kills the connection.
+            commit_idle_seconds=5.0,
+        )
+        frames = [_chunk_frame(16, 1, seed=s) for s in range(2)]
+
+        async def scenario(service, host, port):
+            dying = ServiceSession(
+                host, port, key=KEYS["alice"], producer_id="alice", m=16, round_id=1
+            )
+            await dying.connect()
+            # Stage both records without collecting acks, then stall
+            # mid-frame: the whole staged batch dies with the session.
+            for seq, frame in enumerate(frames):
+                await dying.send_nowait(frame, seq)
+            record = wire.dumps(
+                wire.Record(m=16, round_id=1, seq=2, frame=frames[0])
+            )
+            dying._writer.write(record[: wire.HEADER_SIZE + 3])
+            await dying._writer.drain()
+            await asyncio.sleep(0.5)  # service reaps the stalled frame
+            await dying.close()
+            # The resend must succeed within the SAME 2-frame budget.
+            return await send_records(
+                host,
+                port,
+                frames,
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+
+        service, acks = _run(scenario, tmp_path, limits=limits)
+        # Whatever the first connection managed to commit before dying
+        # answers as DUPLICATE; the rest merge fresh — nothing refused.
+        assert all(
+            ack.status in (wire.ACK_MERGED, wire.ACK_DUPLICATE) for ack in acks
+        )
+        assert service.round(1).records_merged == 2
+        meter = service.round(1).producer_quota("alice")
+        assert meter.frames_used == 2  # exactly the committed records
+
+    def test_malformed_keyfile_mid_rotation_keeps_last_good_keys(
+        self, tmp_path
+    ):
+        """A botched keyfile edit (typo'd line, non-atomic save) must
+        not lock every producer out: handshakes keep using the last
+        good key set until the file parses again."""
+        path = tmp_path / "keys.txt"
+        path.write_text("alice = alice-key-000001\n", encoding="utf-8")
+        registry = KeyRegistry.from_file(str(path))
+
+        async def scenario(service, host, port):
+            import os
+
+            path.write_text("alice broken-line-no-equals\n", encoding="utf-8")
+            os.utime(path, ns=(1, 1))
+            survived = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=1)],
+                key="alice-key-000001",
+                producer_id="alice",
+                m=16,
+                round_id=1,
+            )
+            path.write_text("alice = repaired-key-0001\n", encoding="utf-8")
+            os.utime(path, ns=(2, 2))
+            repaired = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=2)],
+                key="repaired-key-0001",
+                producer_id="alice",
+                m=16,
+                round_id=1,
+                start_seq=1,
+            )
+            return survived + repaired
+
+        service, acks = _run(scenario, tmp_path, keys=registry)
+        assert [a.status for a in acks] == [wire.ACK_MERGED] * 2
+        # The broken file never caused a handshake refusal.
+        assert service.sessions_rejected == 0
+
+    def test_bad_rounds_spec_is_a_validation_error(self, tmp_path):
+        for bad in ({"m": "16k", "round_id": 1}, {"m": 16}, "nonsense", (1,)):
+            with pytest.raises(ValidationError, match="round spec"):
+                CollectionService(
+                    rounds=[bad],
+                    keys=KEYS,
+                    store_root=str(tmp_path / f"r{hash(str(bad)) % 100}"),
+                )
+
+    def test_failed_constructor_cleans_up_opened_rounds(self, tmp_path):
+        """A bad spec after good ones must not leave the good rounds'
+        freshly created files behind — the operator's corrected rerun
+        must start clean, not demand resume=True for rounds that never
+        ingested anything."""
+        root = str(tmp_path / "rounds")
+        with pytest.raises(ValidationError, match="round spec"):
+            CollectionService(
+                rounds=[(16, 1), (24, 2), "nonsense"],
+                keys=KEYS,
+                store_root=root,
+            )
+        # The corrected rerun works without resume.
+        service = CollectionService(
+            rounds=[(16, 1), (24, 2)], keys=KEYS, store_root=root
+        )
+        asyncio.run(service.close())
+
+    def test_refused_charge_leaves_meters_untouched(self, tmp_path):
+        """A record refused over quota must not itself burn budget: a
+        later record that legitimately fits is still accepted."""
+        big = _chunk_frame(16, 1, k=40, seed=1)  # 40 rows -> 80 payload B
+        small = _chunk_frame(16, 1, k=2, seed=2)
+        limits = ServiceLimits(max_producer_bytes=len(small) + len(big) // 2)
+
+        async def scenario(service, host, port):
+            with pytest.raises(Exception, match="byte quota"):
+                await send_records(
+                    host,
+                    port,
+                    [big],
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=16,
+                    round_id=1,
+                )
+            # The failed attempt charged nothing, so this still fits.
+            return await send_records(
+                host,
+                port,
+                [small],
+                key=KEYS["alice"],
+                producer_id="alice",
+                m=16,
+                round_id=1,
+                start_seq=1,
+            )
+
+        service, acks = _run(scenario, tmp_path, limits=limits)
+        assert [a.status for a in acks] == [wire.ACK_MERGED]
+        meter = service.round(1).producer_quota("alice")
+        assert meter.frames_used == 1
+        assert meter.bytes_used == len(small)
+
+    def test_deleting_keyfile_default_revokes_it(self, tmp_path):
+        """Removing the '*' line from the keyfile revokes the fallback
+        for new sessions — the same no-restart semantics as revoking a
+        producer line."""
+        path = tmp_path / "keys.txt"
+        path.write_text(
+            "alice = alice-key-000001\n* = fallback-key-0001\n",
+            encoding="utf-8",
+        )
+        registry = KeyRegistry.from_file(str(path))
+
+        async def scenario(service, host, port):
+            first = await send_records(
+                host,
+                port,
+                [_chunk_frame(16, 1, seed=1)],
+                key="fallback-key-0001",
+                producer_id="walk-in",
+                m=16,
+                round_id=1,
+            )
+            path.write_text("alice = alice-key-000001\n", encoding="utf-8")
+            import os
+
+            os.utime(path, ns=(1, 1))
+            with pytest.raises(AuthenticationError):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(16, 1, seed=2)],
+                    key="fallback-key-0001",
+                    producer_id="walk-in-2",
+                    m=16,
+                    round_id=1,
+                )
+            return first
+
+        service, first = _run(scenario, tmp_path, keys=registry)
+        assert [a.status for a in first] == [wire.ACK_MERGED]
+
+
+class TestCrossConnectionCommit:
+    def test_concurrent_sessions_coalesce_into_shared_commits(self, tmp_path):
+        """With many producers pipelining into one round, at least one
+        commit must cover more than one session's batch — the
+        cross-connection coalescing the scheduler exists for."""
+        producers = 8
+        keys = {f"p{i}": f"producer-key-{i:04d}" for i in range(producers)}
+
+        async def scenario(service, host, port):
+            await asyncio.gather(
+                *(
+                    send_records(
+                        host,
+                        port,
+                        [_chunk_frame(16, 1, seed=17 * i + s) for s in range(6)],
+                        key=keys[f"p{i}"],
+                        producer_id=f"p{i}",
+                        m=16,
+                        round_id=1,
+                    )
+                    for i in range(producers)
+                )
+            )
+
+        service, _ = _run(
+            scenario, tmp_path, keys=keys, rounds=[{"m": 16, "round_id": 1}]
+        )
+        state = service.round(1)
+        assert state.records_merged == 6 * producers
+        assert state.scheduler.cross_connection_batches >= 1
+        # Coalescing means strictly fewer fsync pairs than batches.
+        assert state.scheduler.commits < 6 * producers
+
+    def test_connection_scope_still_correct(self, tmp_path):
+        limits = ServiceLimits(commit_scope="connection")
+
+        async def scenario(service, host, port):
+            results = await asyncio.gather(
+                *(
+                    send_records(
+                        host,
+                        port,
+                        [_chunk_frame(16, 1, seed=7 * i + s) for s in range(3)],
+                        key=KEYS["alice"],
+                        producer_id="alice",
+                        m=16,
+                        round_id=1,
+                        start_seq=3 * i,
+                    )
+                    for i in range(3)
+                )
+            )
+            return results
+
+        service, results = _run(scenario, tmp_path, limits=limits)
+        statuses = [a.status for acks in results for a in acks]
+        assert statuses.count(wire.ACK_MERGED) == 9
+        assert service.round(1).scheduler.cross_connection_batches == 0
+
+
+class TestMonotonicDeadlines:
+    def test_slow_loris_across_two_rounds_is_not_reaped(self, tmp_path):
+        """The idle deadline measures from the last completed frame on
+        the monotonic clock — NOT from connection start.  A producer
+        trickling records to two rounds, with every gap under the idle
+        deadline but a total engagement far over it, must never be
+        reaped.  (A from-connection-start implementation fails this.)"""
+        limits = ServiceLimits(session_idle_seconds=0.3)
+
+        async def scenario(service, host, port):
+            statuses = []
+            sessions = {}
+            for round_id, m in ((1, 16), (2, 24)):
+                sessions[round_id] = ServiceSession(
+                    host,
+                    port,
+                    key=KEYS["alice"],
+                    producer_id="alice",
+                    m=m,
+                    round_id=round_id,
+                )
+                await sessions[round_id].connect()
+            try:
+                # 6 records alternating between rounds, ~0.12s apart:
+                # total ≈ 0.7s >> 0.3s idle deadline, every gap under it.
+                for seq in range(3):
+                    for round_id, m in ((1, 16), (2, 24)):
+                        await asyncio.sleep(0.12)
+                        ack = await sessions[round_id].send(
+                            _chunk_frame(m, round_id, seed=seq), seq
+                        )
+                        statuses.append(ack.status)
+            finally:
+                for session in sessions.values():
+                    await session.close()
+            return statuses
+
+        service, statuses = _run(scenario, tmp_path, limits=limits)
+        assert statuses == [wire.ACK_MERGED] * 6
+        assert service.last_connection_error != "session idle timeout"
+        assert service.round(1).accumulator.n == 12
+        assert service.round(2).accumulator.n == 12
+
+    def test_truly_idle_session_still_reaped(self, tmp_path):
+        """The regression guard's dual: the monotonic deadline still
+        reaps a producer that authenticates and then goes silent."""
+        limits = ServiceLimits(session_idle_seconds=0.15)
+
+        async def scenario(service, host, port):
+            idler = ServiceSession(
+                host, port, key=KEYS["alice"], producer_id="alice", m=16, round_id=1
+            )
+            await idler.connect()
+            await asyncio.sleep(0.5)
+            await idler.close()
+
+        service, _ = _run(scenario, tmp_path, limits=limits)
+        assert service.last_connection_error == "session idle timeout"
+
+    def test_resume_replays_every_rounds_ledger(self, tmp_path):
+        """Multi-round resume is per round: each ledger replays into its
+        own accumulator, digests intact."""
+
+        async def scenario(service, host, port):
+            for m, round_id, producer in ((16, 1, "alice"), (24, 2, "bob")):
+                await send_records(
+                    host,
+                    port,
+                    [_chunk_frame(m, round_id, seed=s) for s in range(3)],
+                    key=KEYS[producer],
+                    producer_id=producer,
+                    m=m,
+                    round_id=round_id,
+                )
+
+        service, _ = _run(scenario, tmp_path)
+        digests = {
+            round_id: service.round(round_id).accumulator.digest()
+            for round_id in (1, 2)
+        }
+
+        async def resume():
+            resumed = CollectionService(
+                rounds=ROUNDS,
+                keys=KeyRegistry(KEYS),
+                store_root=str(tmp_path / "rounds"),
+                resume=True,
+            )
+            await resumed.abort()
+            return resumed
+
+        resumed = asyncio.run(resume())
+        assert resumed.recovered_records == 6
+        for round_id in (1, 2):
+            assert resumed.round(round_id).accumulator.digest() == digests[round_id]
+            assert resumed.round(round_id).recovered_records == 3
