@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-faults coverage check bench bench-pipeline bench-collect bench-service bench-json
+.PHONY: test test-faults coverage check bench bench-pipeline bench-collect bench-service bench-scaleout-smoke bench-json
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -31,8 +31,10 @@ coverage:
 # through the asyncio Collector — (c) the authenticated exactly-once
 # CollectionService round-trip with its blind-resend duplicate check —
 # and (d) the same through per-producer derived keys (KeyRegistry) —
-# so none of them can silently break.
-check: test
+# so none of them can silently break — plus (e) a smoke-profile run of
+# the scale-out fleet benchmark (2 shard processes, tiny population) so
+# the routed multi-process path is exercised on every check.
+check: test bench-scaleout-smoke
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
 		--n 2000 --m 64 --shards 2 --chunk-size 256 \
 		--sampler fast --packed --topk 3
@@ -71,6 +73,14 @@ bench-service:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_service.py -q \
 		-o python_files='bench_*.py' -o python_functions='bench_*' \
 		--json benchmarks/results/BENCH_service.json
+
+# Scale-out fleet ingest at smoke scale: 2 shard processes, 16 routed
+# producers, no throughput assertion — a fast liveness check that the
+# fork/route/aggregate path works end to end (full profile: bench-service).
+bench-scaleout-smoke:
+	BENCH_SCALEOUT_SMOKE=1 $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest \
+		"benchmarks/bench_service.py::bench_service_scaleout" -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*'
 
 # Machine-readable perf trajectory: BENCH_*.json under benchmarks/results/.
 bench-json:

@@ -16,7 +16,6 @@ the exact Eq. 9 total for the UE family, so the table is deterministic.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import BudgetSpec, IDUE
 from repro.datasets import paper_default_spec, zipf_items, true_counts_from_items

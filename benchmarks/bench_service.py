@@ -25,6 +25,7 @@ Rates are Mbit/s of wire payload, comparable to ``bench_collect``.
 from __future__ import annotations
 
 import asyncio
+import os
 import shutil
 import tempfile
 import time
@@ -44,11 +45,26 @@ from repro.pipeline import (
     stream_counts,
 )
 from repro.pipeline.collect import wire
+from repro.pipeline.service import ShardFleet, aggregate_round, send_records_routed
 
 N_USERS = 40_000
 DOMAIN = 2_000
 CHUNK = 2_048
 KEY = "benchmark-round-key-0123"
+
+# Scale-out scenario shape.  The smoke profile (BENCH_SCALEOUT_SMOKE=1,
+# `make bench-scaleout-smoke`) shrinks the fleet and the population so
+# `make check` can afford the run; the full profile is the recorded
+# benchmark: >= 4 shard processes, >= 200 routed producers.
+SO_SMOKE = os.environ.get("BENCH_SCALEOUT_SMOKE") == "1"
+SO_SHARDS = 2 if SO_SMOKE else 4
+SO_PRODUCERS = 16 if SO_SMOKE else 200
+SO_FRAMES_PER_PRODUCER = 2 if SO_SMOKE else 4
+SO_DOMAIN = 64 if SO_SMOKE else 256
+SO_CHUNK = 16 if SO_SMOKE else 32
+SO_ROUND = 1
+SO_KEY = "bench-scaleout-key-0456"
+SO_CONTROL_KEY = "bench-scaleout-control"
 
 # Multi-round / group-commit scenario shape: many producers, many small
 # records, so the commit pipeline (not the payload bytes) is the cost.
@@ -353,3 +369,138 @@ def bench_service_recovery(
         f"n={N_USERS}, m={DOMAIN}, {service.recovered_records} records\n"
         f"mean {secs * 1e3:.1f}ms -> {wire_bits / secs / 1e6:,.0f} Mbit/s wire",
     )
+
+
+@pytest.fixture(scope="module")
+def scaleout_workload():
+    """Per-producer frame streams for the sharded round."""
+    mechanism = OptimizedUnaryEncoding(1.5, SO_DOMAIN)
+    per_producer = []
+    for index in range(SO_PRODUCERS):
+        items = zipf_items(
+            SO_CHUNK * SO_FRAMES_PER_PRODUCER, SO_DOMAIN, rng=1000 + index
+        )
+        collected: list[bytes] = []
+        stream_counts(
+            mechanism,
+            items,
+            chunk_size=SO_CHUNK,
+            rng=FAST.make_generator(2000 + index),
+            packed=True,
+            round_id=SO_ROUND,
+            sampler=FAST,
+            chunk_sink=lambda rows: collected.append(
+                wire.dump_chunk(rows, SO_DOMAIN, round_id=SO_ROUND)
+            ),
+        )
+        per_producer.append((f"edge-{index:04d}", collected))
+    return per_producer
+
+
+def _fleet_ingest(per_producer, shard_names, root) -> float:
+    """Wall-clock seconds to route every producer into a shard fleet,
+    then drain + aggregate (the full round cost, not just the sends)."""
+
+    async def run() -> float:
+        fleet = ShardFleet(
+            shard_names,
+            fleet_root=root,
+            rounds=[{"m": SO_DOMAIN, "round_id": SO_ROUND}],
+            key=SO_KEY,
+            control_key=SO_CONTROL_KEY,
+        )
+        table = await fleet.start()
+        try:
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    send_records_routed(
+                        table,
+                        frames,
+                        key=SO_KEY,
+                        producer_id=producer,
+                        m=SO_DOMAIN,
+                        round_id=SO_ROUND,
+                    )
+                    for producer, frames in per_producer
+                )
+            )
+            result = await aggregate_round(
+                fleet.infos(),
+                control_key=SO_CONTROL_KEY,
+                round_id=SO_ROUND,
+            )
+            secs = time.perf_counter() - start
+            expected = sum(len(frames) for _p, frames in per_producer)
+            assert result.records_merged == expected
+            assert result.accumulator.n == expected * SO_CHUNK
+            return secs
+        finally:
+            fleet.stop()
+
+    return asyncio.run(run())
+
+
+def bench_service_scaleout(
+    scaleout_workload, scratch_roots, record_result, record_json
+):
+    """Routed ingest across K shard processes vs one shard process.
+
+    >= 4 shards, >= 200 producers (2 shards, 16 producers under the
+    smoke profile), every producer's stream routed by consistent hash,
+    the round aggregated at the end — against the identical workload
+    through a single shard process.  The >= 3x throughput bar needs
+    cores for the shards to land on, so it is asserted only where the
+    hardware can express the parallelism (and never in smoke mode);
+    the measured speedup and the core count are recorded regardless.
+    """
+    per_producer = scaleout_workload
+    shard_names = [f"shard-{chr(ord('a') + i)}" for i in range(SO_SHARDS)]
+    attempts = 1 if SO_SMOKE else 2
+    fleet_secs = min(
+        _fleet_ingest(per_producer, shard_names, scratch_roots() + "/fleet")
+        for _ in range(attempts)
+    )
+    solo_secs = min(
+        _fleet_ingest(per_producer, ["solo"], scratch_roots() + "/solo")
+        for _ in range(attempts)
+    )
+
+    wire_bits = 8 * sum(
+        len(frame) for _p, frames in per_producer for frame in frames
+    )
+    speedup = solo_secs / fleet_secs
+    cores = os.cpu_count() or 1
+    record_json(
+        "service_scaleout",
+        n=SO_PRODUCERS * SO_FRAMES_PER_PRODUCER * SO_CHUNK,
+        m=SO_DOMAIN,
+        secs=fleet_secs,
+        bits_per_sec=wire_bits / fleet_secs,
+        shards=SO_SHARDS,
+        producers=SO_PRODUCERS,
+        frames=SO_PRODUCERS * SO_FRAMES_PER_PRODUCER,
+        single_shard_secs=solo_secs,
+        speedup_vs_single_shard=speedup,
+        cpu_count=cores,
+        smoke=SO_SMOKE,
+    )
+    record_result(
+        "service_scaleout",
+        f"scale-out ingest, {SO_PRODUCERS} routed producers x "
+        f"{SO_FRAMES_PER_PRODUCER} records over {SO_SHARDS} shard "
+        f"processes (m={SO_DOMAIN}, {cores} cores)\n"
+        f"fleet:        {fleet_secs * 1e3:.1f}ms -> "
+        f"{wire_bits / fleet_secs / 1e6:,.0f} Mbit/s wire\n"
+        f"single shard: {solo_secs * 1e3:.1f}ms -> "
+        f"{wire_bits / solo_secs / 1e6:,.0f} Mbit/s wire\n"
+        f"scale-out speedup: {speedup:.2f}x "
+        f"(acceptance bar: >= 3x, asserted only with >= {SO_SHARDS + 1} "
+        "cores)",
+    )
+    if not SO_SMOKE and cores >= SO_SHARDS + 1:
+        assert speedup >= 3.0, (
+            f"{SO_SHARDS} shard processes deliver only {speedup:.2f}x the "
+            "single-shard throughput on hardware with enough cores; the "
+            "acceptance bar is 3x"
+        )

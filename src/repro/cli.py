@@ -19,6 +19,13 @@ Usage::
     python -m repro.cli serve --rounds-config ROUNDS.json --spill-dir DIR
                               [--keys-file KEYS.txt] [--auth-key KEY]
                               [--resume] [--exit-after N]
+    python -m repro.cli serve --shard NAME --control-key KEY --auth-key KEY
+                              --spill-dir DIR [--resume]
+    python -m repro.cli coordinator --fleet a=H:P,b=H:P --control-key KEY
+                                    (--rounds-config F | --m M [--round-id R])
+                                    [--exit-after N] [--resume]
+    python -m repro.cli aggregate --fleet a=H:P,b=H:P --control-key KEY
+                                  --round-id R [--fan-in F] [--estimate]
 
 ``--quick`` runs scaled-down workloads (seconds instead of minutes); the
 default uses the paper-scale presets.  ``pipeline`` streams the exact
@@ -40,8 +47,17 @@ give every synthetic producer its own derived key through a
 collection service standalone: HMAC-authenticated producer sessions,
 fsync'd idempotency ledger, durable spill, and ``--resume`` crash
 recovery; ``--rounds-config`` hosts many concurrent rounds from a JSON
-spec and ``--keys-file`` loads per-producer keys from a hot-reloadable
-keyfile (rotation without restart) — see ``docs/service.md``.
+spec (each round may carry a ``"limits"`` override object) and
+``--keys-file`` loads per-producer keys from a hot-reloadable keyfile
+(rotation without restart; a ``[revoked]`` section reaps producers
+mid-session).  The scale-out tier splits the deployment into three
+roles: ``serve --shard`` runs one named shard of a fleet (bare when no
+rounds are given — rounds arrive over the authenticated control
+plane), ``coordinator`` owns round lifecycle across the fleet
+(registers rounds with minted tokens, pushes the consistent-hash
+routing table, drains and closes), and ``aggregate`` pulls every
+shard's digest-verified accumulator state and tree-merges it into the
+round total — see ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -377,9 +393,17 @@ def _load_rounds_config(path: str) -> list[dict]:
     """Parse a ``--rounds-config`` JSON file into round specs.
 
     Accepts either a bare list of ``{"m": ..., "round_id": ...}``
-    objects or ``{"rounds": [...]}`` wrapping one.
+    objects or ``{"rounds": [...]}`` wrapping one.  A round object may
+    carry a ``"limits"`` object of per-round
+    :class:`~repro.pipeline.ServiceLimits` field overrides; overrides
+    are validated here, eagerly, so a typo'd field or out-of-range
+    value fails at startup with the offending round named — not
+    mid-round when the first session hits the quota path.
     """
     import json
+
+    from .exceptions import ValidationError
+    from .pipeline.service.quotas import ServiceLimits
 
     with open(path, "r", encoding="utf-8") as handle:
         spec = json.load(handle)
@@ -391,6 +415,23 @@ def _load_rounds_config(path: str) -> list[dict]:
             '{"m": ..., "round_id": ...} objects (optionally under a '
             '"rounds" key)'
         )
+    for entry in spec:
+        if not isinstance(entry, dict) or "limits" not in entry:
+            continue
+        round_id = entry.get("round_id", "?")
+        overrides = entry["limits"]
+        if not isinstance(overrides, dict):
+            raise SystemExit(
+                f"{path}: round {round_id}: \"limits\" must be a JSON "
+                f"object of ServiceLimits overrides, got "
+                f"{type(overrides).__name__}"
+            )
+        try:
+            ServiceLimits().with_overrides(overrides)
+        except (ValidationError, ValueError) as exc:
+            raise SystemExit(
+                f"{path}: round {round_id}: invalid limits override: {exc}"
+            ) from exc
     return spec
 
 
@@ -403,7 +444,11 @@ def _run_serve(args) -> None:
     synced, final snapshots written atomically.  ``--rounds-config``
     hosts many concurrent rounds; ``--keys-file`` authenticates each
     producer with its own key (the file hot-reloads on change, so keys
-    rotate without a restart).
+    rotate without a restart).  ``--shard NAME --control-key KEY`` runs
+    the service as one named shard of a scale-out fleet: the control
+    plane comes up, and with no rounds given the shard starts *bare* —
+    a coordinator registers rounds (and pushes the routing table) over
+    authenticated ``open-round`` / ``route-update`` calls.
     """
     import asyncio
 
@@ -418,6 +463,12 @@ def _run_serve(args) -> None:
         raise SystemExit(
             "serve requires --spill-dir (the round's durable state directory)"
         )
+    if args.shard is not None and args.control_key is None:
+        raise SystemExit(
+            "serve --shard requires --control-key (the fleet's control-plane "
+            "secret); a shard without one can never receive rounds or "
+            "routing tables"
+        )
 
     async def _serve() -> dict:
         kwargs = {
@@ -425,6 +476,8 @@ def _run_serve(args) -> None:
             "keys": args.keys_file,
             "store_root": args.spill_dir,
             "resume": args.resume,
+            "control_key": args.control_key,
+            "shard_name": args.shard,
         }
         if args.rounds_config is not None:
             rounds = _load_rounds_config(args.rounds_config)
@@ -433,6 +486,9 @@ def _run_serve(args) -> None:
                 f"round {state.round_id} (m={state.m})"
                 for state in service.registry.rounds()
             )
+        elif args.control_key is not None:
+            service = CollectionService(rounds=[], **kwargs)
+            geometry = "bare shard; rounds arrive over the control plane"
         else:
             service = CollectionService(
                 args.m, round_id=args.round_id, **kwargs
@@ -444,9 +500,13 @@ def _run_serve(args) -> None:
             if args.resume
             else ""
         )
+        role = (
+            f"shard {args.shard!r} listening"
+            if args.shard is not None
+            else "collection service listening"
+        )
         print(
-            f"collection service listening on {host}:{port} "
-            f"({geometry}){resumed}",
+            f"{role} on {host}:{port} ({geometry}){resumed}",
             flush=True,
         )
         try:
@@ -483,6 +543,184 @@ def _run_serve(args) -> None:
             )
 
 
+def _parse_shard_addresses(spec: str):
+    """Parse ``--fleet a=host:port,b=host:port`` into ShardInfo entries."""
+    from .exceptions import ValidationError
+    from .pipeline.service import ShardInfo
+
+    shards = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, sep, address = entry.partition("=")
+        host, colon, port = address.rpartition(":")
+        if not sep or not colon or not name:
+            raise SystemExit(
+                f"--fleet entry {entry!r} is not name=host:port"
+            )
+        try:
+            shards.append(ShardInfo(name=name, host=host, port=int(port)))
+        except (ValueError, ValidationError) as exc:  # bad port / bad name
+            raise SystemExit(f"--fleet entry {entry!r}: {exc}") from exc
+    if not shards:
+        raise SystemExit("--fleet must name at least one shard")
+    return shards
+
+
+def _run_coordinator(args) -> None:
+    """Own round lifecycle across a shard fleet until the round is done.
+
+    Pushes the consistent-hash routing table to every shard, registers
+    each round (minting its registration token) fleet-wide, then waits:
+    with ``--exit-after N`` until N records have merged across the
+    fleet, otherwise until interrupted.  Either way the exit path runs
+    the full lifecycle — ``drain`` (no new sessions anywhere, in-flight
+    batches commit) then ``close-round`` (snapshots, durable) — and
+    prints per-shard totals.  Rounds are left closed, not retired, so
+    ``aggregate`` can still pull their state.
+    """
+    import asyncio
+
+    from .pipeline.service import RoundCoordinator
+
+    if args.fleet is None or args.control_key is None:
+        raise SystemExit(
+            "coordinator requires --fleet (name=host:port,...) and "
+            "--control-key (the fleet's control-plane secret)"
+        )
+    shards = _parse_shard_addresses(args.fleet)
+    if args.rounds_config is not None:
+        rounds = _load_rounds_config(args.rounds_config)
+    else:
+        rounds = [{"m": args.m, "round_id": args.round_id}]
+
+    async def _coordinate() -> None:
+        coordinator = RoundCoordinator(shards, control_key=args.control_key)
+        epoch = await coordinator.push_routing()
+        print(
+            f"routing table epoch {epoch} pushed to {len(shards)} shard(s): "
+            + ", ".join(f"{s.name}={s.host}:{s.port}" for s in shards),
+            flush=True,
+        )
+        for spec in rounds:
+            record = await coordinator.register_round(
+                spec["m"],
+                spec.get("round_id", 0),
+                limits=spec.get("limits"),
+                resume=args.resume,
+            )
+            print(
+                f"round {record.round_id} (m={record.m}) {record.phase} "
+                f"on {len(shards)} shard(s)",
+                flush=True,
+            )
+        try:
+            while True:
+                status = await coordinator.status()
+                merged = sum(
+                    reply.get("records_merged", 0)
+                    for reply in status["shards"].values()
+                )
+                if args.exit_after is not None and merged >= args.exit_after:
+                    break
+                await asyncio.sleep(0.2)
+        finally:
+            status = await coordinator.status()
+            for record in list(coordinator.rounds.values()):
+                await coordinator.drain(record.round_id)
+                await coordinator.close_round(record.round_id)
+                print(
+                    f"round {record.round_id} drained and closed "
+                    f"({record.phase})",
+                    flush=True,
+                )
+            for shard in shards:
+                reply = status["shards"][shard.name]
+                print(
+                    f"  shard {shard.name}: "
+                    f"{reply.get('records_merged', 0)} merged, "
+                    f"{reply.get('sessions_opened', 0)} session(s), "
+                    f"n={reply.get('n', 0)}"
+                )
+
+    try:
+        asyncio.run(_coordinate())
+    except KeyboardInterrupt:
+        print(
+            "\ncoordinator interrupted; shards keep serving "
+            "(round state is durable)"
+        )
+
+
+def _run_aggregate(args) -> None:
+    """Pull every shard's state for one round and tree-merge it.
+
+    Each shard's accumulator arrives as a wire snapshot frame over the
+    authenticated control plane and is verified against the digest the
+    shard claimed in its MAC'd reply before merging.  ``--estimate``
+    additionally calibrates the merged counts through the chosen
+    ``--mechanism`` into the round's frequency estimates.
+    """
+    import asyncio
+
+    from .pipeline.service import aggregate_round
+
+    if args.fleet is None or args.control_key is None:
+        raise SystemExit(
+            "aggregate requires --fleet (name=host:port,...) and "
+            "--control-key (the fleet's control-plane secret)"
+        )
+    shards = _parse_shard_addresses(args.fleet)
+
+    result = asyncio.run(
+        aggregate_round(
+            shards,
+            control_key=args.control_key,
+            round_id=args.round_id,
+            fan_in=args.fan_in,
+        )
+    )
+    for pull in result.pulls:
+        print(
+            f"shard {pull.shard.name}: n={pull.accumulator.n}, "
+            f"{pull.records_merged} record(s) merged, phase={pull.phase}"
+        )
+    merged = result.accumulator
+    print(
+        f"aggregate round {args.round_id}: n={merged.n} over "
+        f"{len(result.pulls)} shard(s) (fan-in {args.fan_in}), "
+        f"m={merged.m}, digest {merged.digest()[:16]}…"
+    )
+    if args.estimate:
+        from .mechanisms import OptimizedUnaryEncoding, SymmetricUnaryEncoding
+
+        if args.mechanism == "idue":
+            from .datasets import paper_default_spec
+            from .mechanisms import IDUE
+
+            mechanism = IDUE.optimized(
+                paper_default_spec(args.epsilon, merged.m, rng=0), model="opt1"
+            )
+        elif args.mechanism == "rappor":
+            mechanism = SymmetricUnaryEncoding(args.epsilon, merged.m)
+        else:
+            mechanism = OptimizedUnaryEncoding(args.epsilon, merged.m)
+        estimate = merged.to_round_estimate(mechanism)
+        top = sorted(
+            range(merged.m),
+            key=lambda item: estimate.estimates[item],
+            reverse=True,
+        )[: min(10, merged.m)]
+        ranked = ", ".join(
+            f"{item}({estimate.estimates[item]:,.0f})" for item in top
+        )
+        print(
+            f"estimate ({mechanism.name}, eps={args.epsilon}): top items "
+            f"{ranked}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -502,11 +740,16 @@ def main(argv: list[str] | None = None) -> int:
             "compare",
             "pipeline",
             "serve",
+            "coordinator",
+            "aggregate",
         ],
         help="which table/figure to regenerate, 'compare' to rank all "
         "mechanisms on a synthetic workload, 'pipeline' to stream the "
-        "exact per-user path through the sharded aggregation pipeline, or "
-        "'serve' to run the authenticated exactly-once collection service",
+        "exact per-user path through the sharded aggregation pipeline, "
+        "'serve' to run the authenticated exactly-once collection service "
+        "(one shard of a fleet with --shard), 'coordinator' to own round "
+        "lifecycle across a shard fleet, or 'aggregate' to pull and "
+        "tree-merge every shard's state for a round",
     )
     parser.add_argument(
         "--n", type=int, default=20_000, help="compare/pipeline: user count"
@@ -611,17 +854,58 @@ def main(argv: list[str] | None = None) -> int:
         "on disk, so keys rotate without restarting the service",
     )
     parser.add_argument(
+        "--shard",
+        metavar="NAME",
+        default=None,
+        help="serve: run as the named shard of a scale-out fleet "
+        "(requires --control-key; with no --rounds-config the shard "
+        "starts bare and a coordinator registers rounds over the "
+        "control plane)",
+    )
+    parser.add_argument(
+        "--control-key",
+        metavar="KEY",
+        default=None,
+        help="serve/coordinator/aggregate: the fleet's control-plane "
+        "secret — authenticates drain / close / open-round / pull-state / "
+        "route-update calls between coordinator, shards, and aggregator",
+    )
+    parser.add_argument(
+        "--fleet",
+        metavar="LIST",
+        default=None,
+        help="coordinator/aggregate: the shard fleet as "
+        "'name=host:port,name=host:port,...' (stable names; the "
+        "consistent-hash ring keys on names, never addresses)",
+    )
+    parser.add_argument(
+        "--fan-in",
+        type=int,
+        default=2,
+        metavar="F",
+        help="aggregate: aggregation-tree fan-in (>= 2; every fan-in "
+        "produces bit-identical counts — merge is exact)",
+    )
+    parser.add_argument(
+        "--estimate",
+        action="store_true",
+        help="aggregate: also calibrate the merged counts through "
+        "--mechanism/--epsilon into the round's frequency estimates",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="serve: recover an interrupted round (every hosted round, "
         "with --rounds-config) from the ledger + spill under --spill-dir "
-        "instead of starting fresh",
+        "instead of starting fresh; coordinator: register rounds with "
+        "resume=True so shards replay their ledgers",
     )
     parser.add_argument(
         "--round-id",
         type=int,
         default=0,
-        help="serve: collection-round tag sessions and records must match",
+        help="serve/coordinator/aggregate: collection-round tag sessions "
+        "and records must match",
     )
     parser.add_argument(
         "--host",
@@ -639,7 +923,8 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="serve: exit cleanly after N newly merged records "
+        help="serve: exit cleanly after N newly merged records; "
+        "coordinator: drain + close once N records merged fleet-wide "
         "(smoke tests / bounded rounds); default runs until interrupted",
     )
     parser.add_argument(
@@ -690,6 +975,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "serve":
         _run_serve(args)
+        return 0
+    if args.experiment == "coordinator":
+        _run_coordinator(args)
+        return 0
+    if args.experiment == "aggregate":
+        _run_aggregate(args)
         return 0
 
     if args.experiment == "fig3":

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 
 from ..exceptions import DatasetError
 from .base import ItemsetDataset

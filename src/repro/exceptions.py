@@ -102,6 +102,32 @@ class AuthenticationError(ServiceError):
     session before any record frame is examined."""
 
 
+class MovedError(ServiceError):
+    """The producer's records belong to a different shard.
+
+    A shard refusing a mis-routed handshake includes a ``MOVED``
+    redirect naming the owning shard; the routing-aware client catches
+    this and reconnects there.  Carries the shard fleet's routing-table
+    epoch and the owning shard's identity so a client holding a stale
+    table knows both *where* to go and *how stale* it is.
+    """
+
+    def __init__(
+        self, message: str, *, epoch: int, shard: str, host: str, port: int
+    ) -> None:
+        super().__init__(message)
+        self.epoch = int(epoch)
+        self.shard = shard
+        self.host = host
+        self.port = int(port)
+
+
+class ControlError(ServiceError):
+    """A control-plane request failed: the peer refused the op, the
+    reply MAC did not verify, or the reply was out of protocol.  The
+    message carries the peer's detail when one was authenticated."""
+
+
 class QuotaExceededError(ServiceError):
     """A connection exceeded its byte/frame quota or the service's
     session capacity; the offending connection is shed, already-merged

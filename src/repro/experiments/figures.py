@@ -29,7 +29,7 @@ from ..mechanisms.idue_ps import IDUEPS
 from ..mechanisms.unary import OptimizedUnaryEncoding, SymmetricUnaryEncoding
 from .config import Figure3Config, Figure4aConfig, Figure4bConfig, Figure5Config
 from .runner import empirical_total_mse_itemset, empirical_total_mse_single
-from .theory import theoretical_total_mse_itemset, theoretical_total_mse_single
+from .theory import theoretical_total_mse_single
 
 __all__ = ["figure3", "figure4a", "figure4b", "figure5"]
 

@@ -47,6 +47,18 @@ still encodes as version 2, byte-identical to every committed fixture;
 only a token-carrying challenge encodes as version 3, and a reader
 refuses a 32-byte challenge payload claiming version 2 (or vice versa).
 
+Version 4 adds the *coordinator control plane* of the scale-out tier
+(:mod:`repro.pipeline.service.coordinator`): a ``ControlRequest`` frame
+carrying an operation name, a fresh nonce, a canonical-JSON body, and
+an HMAC over all three, and a ``ControlReply`` echoing the nonce with a
+status, JSON body, an optional binary attachment (e.g. a pulled
+snapshot frame), and its own HMAC.  These are operator/coordinator
+frames — route-table publication, drain/close/retire commands,
+shard-state pulls — never producer frames, and they are version-gated
+exactly like the session kinds: versions 1-3 encode byte-identically to
+every committed golden fixture, and a reader refuses a control kind
+paired with any version but 4.
+
 Decoding is loud on every failure mode a transport can produce: wrong
 magic, unsupported version (the message names found and supported
 versions), truncation mid-header or mid-payload, and CRC mismatch on
@@ -56,9 +68,10 @@ No pickle anywhere: frames are safe to accept from untrusted producers.
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -71,6 +84,7 @@ __all__ = [
     "WIRE_VERSION",
     "WIRE_VERSION_SESSION",
     "WIRE_VERSION_MULTIROUND",
+    "WIRE_VERSION_CONTROL",
     "KIND_SNAPSHOT",
     "KIND_CHUNK",
     "KIND_HELLO",
@@ -78,10 +92,14 @@ __all__ = [
     "KIND_PROOF",
     "KIND_RECORD",
     "KIND_ACK",
+    "KIND_CONTROL_REQUEST",
+    "KIND_CONTROL_REPLY",
     "ACK_SESSION",
     "ACK_MERGED",
     "ACK_DUPLICATE",
     "ACK_REFUSED",
+    "CONTROL_OK",
+    "CONTROL_ERROR",
     "HEADER_SIZE",
     "SESSION_NONCE_SIZE",
     "SESSION_MAC_SIZE",
@@ -92,6 +110,10 @@ __all__ = [
     "SessionProof",
     "Record",
     "Ack",
+    "ControlRequest",
+    "ControlReply",
+    "encode_control_body",
+    "decode_control_body",
     "dump_snapshot",
     "dump_chunk",
     "dumps",
@@ -105,6 +127,7 @@ WIRE_MAGIC = b"IDLP"
 WIRE_VERSION = 1
 WIRE_VERSION_SESSION = 2
 WIRE_VERSION_MULTIROUND = 3
+WIRE_VERSION_CONTROL = 4
 KIND_SNAPSHOT = 1
 KIND_CHUNK = 2
 KIND_HELLO = 3
@@ -112,6 +135,8 @@ KIND_CHALLENGE = 4
 KIND_PROOF = 5
 KIND_RECORD = 6
 KIND_ACK = 7
+KIND_CONTROL_REQUEST = 8
+KIND_CONTROL_REPLY = 9
 
 # Ack statuses (the u16 leading the Ack payload).
 ACK_SESSION = 1  # handshake accepted; records may flow
@@ -119,9 +144,14 @@ ACK_MERGED = 2  # record merged into the round and durably ledgered
 ACK_DUPLICATE = 3  # record already ledgered; acked but NOT re-merged
 ACK_REFUSED = 4  # auth failure, quota breach, conflict, or bad frame
 
+# Control-reply statuses (the u16 leading the ControlReply payload).
+CONTROL_OK = 1
+CONTROL_ERROR = 2
+
 SESSION_NONCE_SIZE = 16
 SESSION_MAC_SIZE = 32  # HMAC-SHA256
 SESSION_TOKEN_SIZE = 16  # round registration token (version-3 challenges)
+CONTROL_OP_MAX_BYTES = 64  # operation names are short, fixed vocabulary
 
 _HEADER = struct.Struct("<4sHHQQqI")
 _CRC = struct.Struct("<I")
@@ -134,10 +164,13 @@ _KIND_NAMES = {
     KIND_PROOF: "session-proof",
     KIND_RECORD: "record",
     KIND_ACK: "ack",
+    KIND_CONTROL_REQUEST: "control-request",
+    KIND_CONTROL_REPLY: "control-reply",
 }
 # Kind <-> version gating: core data frames stay version 1 (their bytes
 # are pinned by golden fixtures); session frames require version 2,
-# except a round-token-carrying challenge, which requires version 3.
+# except a round-token-carrying challenge, which requires version 3;
+# coordinator control frames require version 4.
 _KIND_VERSIONS = {
     KIND_SNAPSHOT: (WIRE_VERSION,),
     KIND_CHUNK: (WIRE_VERSION,),
@@ -146,11 +179,14 @@ _KIND_VERSIONS = {
     KIND_PROOF: (WIRE_VERSION_SESSION,),
     KIND_RECORD: (WIRE_VERSION_SESSION,),
     KIND_ACK: (WIRE_VERSION_SESSION,),
+    KIND_CONTROL_REQUEST: (WIRE_VERSION_CONTROL,),
+    KIND_CONTROL_REPLY: (WIRE_VERSION_CONTROL,),
 }
 SUPPORTED_VERSIONS = (
     WIRE_VERSION,
     WIRE_VERSION_SESSION,
     WIRE_VERSION_MULTIROUND,
+    WIRE_VERSION_CONTROL,
 )
 
 
@@ -256,6 +292,80 @@ class Ack:
     seq: int
     status: int
     detail: str = ""
+
+
+def encode_control_body(body: dict) -> bytes:
+    """Canonical JSON encoding of a control body.
+
+    Canonical (sorted keys, no whitespace) because the control MAC is
+    computed over these exact bytes on both sides — two dict orderings
+    must never yield two different MACs for the same body.
+    """
+    if not isinstance(body, dict):
+        raise ValidationError(
+            f"control body must be a dict, got {type(body).__name__}"
+        )
+    try:
+        return json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"control body is not JSON-serializable: {exc}"
+        ) from exc
+
+
+def decode_control_body(payload: bytes, name: str) -> dict:
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireFormatError(f"{name} body is not valid JSON") from exc
+    if not isinstance(body, dict):
+        raise WireFormatError(
+            f"{name} body must be a JSON object, got "
+            f"{type(body).__name__}"
+        )
+    return body
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """One coordinator/operator control operation (version-4 frame).
+
+    ``op`` names the operation (``route-table``, ``drain-round``,
+    ``pull-round``, ...); ``body`` carries its JSON arguments;
+    ``nonce`` is the requester's fresh 16 bytes, echoed (and MAC'd) in
+    the reply so a recorded reply cannot answer a later request; and
+    ``mac`` is ``HMAC-SHA256(control_key, label || op || nonce ||
+    canonical-json(body))`` — see
+    :func:`repro.pipeline.service.auth.control_request_mac`.  Control
+    frames never carry producer data, so they have no round geometry;
+    the target round, when there is one, lives in the body.
+    """
+
+    op: str
+    nonce: bytes
+    body: dict = field(default_factory=dict)
+    mac: bytes = b"\x00" * SESSION_MAC_SIZE
+
+
+@dataclass(frozen=True)
+class ControlReply:
+    """The service's answer to one control request (version-4 frame).
+
+    ``status`` is :data:`CONTROL_OK` or :data:`CONTROL_ERROR`;
+    ``body`` is the JSON result (for errors: a ``detail`` key);
+    ``attachment`` is optional raw bytes riding below the JSON — a
+    pulled snapshot frame travels here verbatim, never base64'd through
+    the body; ``nonce`` echoes the request's nonce; ``mac`` binds
+    status, nonce, body, and attachment under the control key.
+    """
+
+    status: int
+    nonce: bytes
+    body: dict = field(default_factory=dict)
+    attachment: bytes = b""
+    mac: bytes = b"\x00" * SESSION_MAC_SIZE
 
 
 def _check_chunk_rows(rows, m: int) -> np.ndarray:
@@ -399,12 +509,67 @@ def dump_ack(ack: Ack) -> bytes:
     return _frame(KIND_ACK, ack.m, int(ack.seq), ack.round_id, payload)
 
 
+def _check_mac(mac: bytes, who: str) -> bytes:
+    mac = bytes(mac)
+    if len(mac) != SESSION_MAC_SIZE:
+        raise ValidationError(
+            f"{who} MAC must be {SESSION_MAC_SIZE} bytes, got {len(mac)}"
+        )
+    return mac
+
+
+def dump_control_request(request: ControlRequest) -> bytes:
+    """Serialize a coordinator control request (version-4 frame)."""
+    op = request.op.encode("utf-8")
+    if not op:
+        raise ValidationError("control op must be a non-empty string")
+    if len(op) > CONTROL_OP_MAX_BYTES:
+        raise ValidationError(
+            f"control op is {len(op)} UTF-8 bytes; the wire caps it at "
+            f"{CONTROL_OP_MAX_BYTES}"
+        )
+    body = encode_control_body(request.body)
+    payload = b"".join(
+        (
+            struct.pack("<H", len(op)),
+            op,
+            _check_nonce(request.nonce, "control request"),
+            struct.pack("<I", len(body)),
+            body,
+            _check_mac(request.mac, "control request"),
+        )
+    )
+    return _frame(KIND_CONTROL_REQUEST, 1, 0, 0, payload)
+
+
+def dump_control_reply(reply: ControlReply) -> bytes:
+    """Serialize a control reply (version-4 frame)."""
+    if reply.status not in (CONTROL_OK, CONTROL_ERROR):
+        raise ValidationError(f"unknown control status {reply.status}")
+    body = encode_control_body(reply.body)
+    attachment = bytes(reply.attachment)
+    payload = b"".join(
+        (
+            struct.pack("<H", reply.status),
+            _check_nonce(reply.nonce, "control reply"),
+            struct.pack("<I", len(body)),
+            body,
+            struct.pack("<I", len(attachment)),
+            attachment,
+            _check_mac(reply.mac, "control reply"),
+        )
+    )
+    return _frame(KIND_CONTROL_REPLY, 1, 0, 0, payload)
+
+
 _SESSION_DUMPERS = {
     SessionHello: dump_hello,
     SessionChallenge: dump_challenge,
     SessionProof: dump_proof,
     Record: dump_record,
     Ack: dump_ack,
+    ControlRequest: dump_control_request,
+    ControlReply: dump_control_reply,
 }
 
 
@@ -518,6 +683,10 @@ def _decode_session(
                 f"(>= {HEADER_SIZE} bytes), got {len(payload)}"
             )
         return Record(m=m, round_id=round_id, seq=n, frame=payload)
+    if kind == KIND_CONTROL_REQUEST:
+        return _decode_control_request(payload, name)
+    if kind == KIND_CONTROL_REPLY:
+        return _decode_control_reply(payload, name)
     # KIND_ACK
     if len(payload) < 2:
         raise WireFormatError(f"{name} payload is too short to parse")
@@ -529,6 +698,69 @@ def _decode_session(
     except UnicodeDecodeError as exc:
         raise WireFormatError(f"{name} detail is not UTF-8") from exc
     return Ack(m=m, round_id=round_id, seq=n, status=status, detail=detail)
+
+
+def _decode_control_request(payload: bytes, name: str) -> ControlRequest:
+    if len(payload) < 2:
+        raise WireFormatError(f"{name} payload is too short to parse")
+    (op_len,) = struct.unpack_from("<H", payload)
+    if op_len == 0 or op_len > CONTROL_OP_MAX_BYTES:
+        raise WireFormatError(
+            f"{name} declares a {op_len}-byte op; ops are 1-"
+            f"{CONTROL_OP_MAX_BYTES} bytes"
+        )
+    offset = 2 + op_len
+    if len(payload) < offset + SESSION_NONCE_SIZE + 4:
+        raise WireFormatError(f"{name} payload is too short to parse")
+    try:
+        op = payload[2:offset].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"{name} op is not UTF-8") from exc
+    nonce = payload[offset : offset + SESSION_NONCE_SIZE]
+    offset += SESSION_NONCE_SIZE
+    (body_len,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    expected = offset + body_len + SESSION_MAC_SIZE
+    if len(payload) != expected:
+        raise WireFormatError(
+            f"{name} payload must be {expected} bytes for a "
+            f"{body_len}-byte body, got {len(payload)}"
+        )
+    body = decode_control_body(payload[offset : offset + body_len], name)
+    return ControlRequest(
+        op=op, nonce=nonce, body=body, mac=payload[offset + body_len :]
+    )
+
+
+def _decode_control_reply(payload: bytes, name: str) -> ControlReply:
+    prefix = 2 + SESSION_NONCE_SIZE + 4
+    if len(payload) < prefix:
+        raise WireFormatError(f"{name} payload is too short to parse")
+    (status,) = struct.unpack_from("<H", payload)
+    if status not in (CONTROL_OK, CONTROL_ERROR):
+        raise WireFormatError(f"{name} carries unknown status {status}")
+    nonce = payload[2 : 2 + SESSION_NONCE_SIZE]
+    (body_len,) = struct.unpack_from("<I", payload, 2 + SESSION_NONCE_SIZE)
+    offset = prefix
+    if len(payload) < offset + body_len + 4:
+        raise WireFormatError(f"{name} payload is too short to parse")
+    body = decode_control_body(payload[offset : offset + body_len], name)
+    offset += body_len
+    (att_len,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    expected = offset + att_len + SESSION_MAC_SIZE
+    if len(payload) != expected:
+        raise WireFormatError(
+            f"{name} payload must be {expected} bytes for a "
+            f"{att_len}-byte attachment, got {len(payload)}"
+        )
+    return ControlReply(
+        status=status,
+        nonce=nonce,
+        body=body,
+        attachment=payload[offset : offset + att_len],
+        mac=payload[offset + att_len :],
+    )
 
 
 def _decode(

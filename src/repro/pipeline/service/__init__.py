@@ -36,38 +36,88 @@ on the same wire format, PrivCount-style:
   live accumulator, and crash recovery (``resume=True`` truncates the
   spill to the ledger's committed offset and replays it, so a restart
   loses nothing and double-counts nothing).
-* :mod:`.client` — :class:`ServiceSession` / :func:`send_records`, the
-  producer side of the handshake and record protocol.
+* :mod:`.client` — :class:`ServiceSession` / :func:`send_records` /
+  :func:`send_records_routed`, the producer side of the handshake and
+  record protocol (routing-aware against a shard fleet), plus
+  :func:`control_call`, the authenticated control-plane client.
 
-See ``docs/service.md`` for the protocol, ledger format, and recovery
-semantics.
+The scale-out tier splits the endpoint into three roles:
+
+* :mod:`.lifecycle` — :class:`RoundLifecycle`, the explicit round
+  state machine (``open → serving → draining → closed → retired``).
+* :mod:`.routing` — :class:`RoutingTable` / :class:`ShardInfo`,
+  consistent-hash assignment of producers to named shards, with
+  ``MOVED`` redirects for stale clients.
+* :mod:`.sessions` — :class:`SessionHost`, the connection-handling
+  half of the original server (handshakes, the record loop, group
+  commit acks, revocation reaping, routing enforcement).
+* :mod:`.server` — :class:`CollectionService` is now the round
+  *ownership* layer composing a session host, and answers the
+  authenticated control plane (drain / close / retire / pull-state /
+  route-update).
+* :mod:`.coordinator` — :class:`RoundCoordinator`, the round lifecycle
+  authority for a fleet: mints registration tokens, registers rounds
+  fleet-wide, pushes routing tables, drives drains and closes.
+* :mod:`.aggregator` — pull per-shard accumulator state over the
+  control plane (digest-verified) and merge it — exactly — into the
+  round estimate via :mod:`repro.estimation.merge`.
+* :mod:`.topology` — :class:`ShardProcess` / :class:`ShardFleet`,
+  shard services as real OS processes with crash (SIGKILL) and
+  resume semantics.
+
+See ``docs/service.md`` for the protocol, ledger format, recovery
+semantics, and the scale-out topology.
 """
 
+from .aggregator import AggregateResult, aggregate_round, merge_tree
 from .auth import (
     KeyRegistry,
     derive_producer_key,
     derive_round_key,
     session_mac,
 )
-from .client import ServiceSession, send_records
+from .client import (
+    ServiceSession,
+    control_call,
+    send_records,
+    send_records_routed,
+)
 from .commit import GroupCommitScheduler
+from .coordinator import CoordinatedRound, RoundCoordinator
 from .ledger import IdempotencyLedger, LedgerEntry
+from .lifecycle import RoundLifecycle
 from .quotas import ServiceLimits
 from .rounds import RoundRegistry, RoundState
+from .routing import RoutingTable, ShardInfo
 from .server import CollectionService
+from .sessions import SessionHost
+from .topology import ShardFleet, ShardProcess
 
 __all__ = [
+    "AggregateResult",
     "CollectionService",
-    "ServiceSession",
-    "send_records",
+    "CoordinatedRound",
+    "GroupCommitScheduler",
     "IdempotencyLedger",
-    "LedgerEntry",
     "KeyRegistry",
+    "LedgerEntry",
+    "RoundCoordinator",
+    "RoundLifecycle",
     "RoundRegistry",
     "RoundState",
-    "GroupCommitScheduler",
+    "RoutingTable",
     "ServiceLimits",
-    "session_mac",
-    "derive_round_key",
+    "ServiceSession",
+    "SessionHost",
+    "ShardFleet",
+    "ShardInfo",
+    "ShardProcess",
+    "aggregate_round",
+    "control_call",
     "derive_producer_key",
+    "derive_round_key",
+    "merge_tree",
+    "send_records",
+    "send_records_routed",
+    "session_mac",
 ]

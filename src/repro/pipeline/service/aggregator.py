@@ -1,0 +1,165 @@
+"""The aggregator: pull per-shard state and merge it into the round.
+
+A scale-out round ends with K shard accumulators, each holding the
+exact counts of the producers routed to it.  Because
+:class:`~repro.pipeline.accumulator.CountAccumulator` merge is exact
+integer addition — associative, commutative, order-independent — the
+fleet-wide counts are *bit-identical* to what one process ingesting the
+same report stream would hold, no matter how the merge is shaped.  The
+aggregator exploits that:
+
+* :func:`pull_shard_state` fetches one shard's accumulator over the
+  authenticated control plane (``pull-state``).  The attachment is a
+  core wire snapshot frame (the same bytes PR 3 defined — scale-out
+  costs no new serialization), and the shard's **digest claim in the
+  MAC'd reply body is verified against the decoded accumulator** before
+  anything is merged: a corrupted or tampered attachment is refused
+  loudly, never averaged in;
+* :func:`merge_tree` folds accumulators pairwise with a configurable
+  fan-in — the PrivCount-style aggregation tree.  With exact merges the
+  tree buys structure (bounded per-node work, parallelizable tiers),
+  not different numbers;
+* :func:`aggregate_round` is the whole pipeline: pull every shard,
+  verify, tree-merge, and (given a mechanism) produce the round's
+  :class:`~repro.estimation.merge.RoundEstimate` via
+  :mod:`repro.estimation.merge` — the same estimate object a
+  single-process round emits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ...estimation.merge import RoundEstimate
+from ...exceptions import ControlError, ValidationError
+from ..accumulator import CountAccumulator
+from ..collect import wire
+from .client import control_call
+from .routing import ShardInfo
+
+__all__ = [
+    "ShardPull",
+    "pull_shard_state",
+    "merge_tree",
+    "aggregate_round",
+    "AggregateResult",
+]
+
+
+@dataclass(frozen=True)
+class ShardPull:
+    """One shard's verified contribution to a round."""
+
+    shard: ShardInfo
+    accumulator: CountAccumulator
+    records_merged: int
+    phase: str
+
+
+async def pull_shard_state(
+    shard: ShardInfo, *, control_key, round_id: int
+) -> ShardPull:
+    """Pull and digest-verify one shard's accumulator for *round_id*."""
+    body, attachment = await control_call(
+        shard.host,
+        shard.port,
+        key=control_key,
+        op="pull-state",
+        body={"round_id": int(round_id)},
+    )
+    accumulator = wire.loads(attachment)
+    if not isinstance(accumulator, CountAccumulator):
+        raise ControlError(
+            f"shard {shard.name} sent a {type(accumulator).__name__} "
+            f"attachment for pull-state; expected a snapshot frame"
+        )
+    if accumulator.digest() != body.get("digest"):
+        raise ControlError(
+            f"shard {shard.name} state digest mismatch for round "
+            f"{round_id}: body claims {body.get('digest')!r}, attachment "
+            f"decodes to {accumulator.digest()!r}"
+        )
+    if accumulator.round_id != int(round_id):
+        raise ControlError(
+            f"shard {shard.name} sent state for round "
+            f"{accumulator.round_id}, not {round_id}"
+        )
+    return ShardPull(
+        shard=shard,
+        accumulator=accumulator,
+        records_merged=int(body.get("records_merged", 0)),
+        phase=str(body.get("phase", "")),
+    )
+
+
+def merge_tree(accumulators, *, fan_in: int = 2) -> CountAccumulator:
+    """Fold *accumulators* as an aggregation tree of degree *fan_in*.
+
+    Tier by tier, consecutive groups of *fan_in* merge into one node
+    until a single root remains.  Exactness makes every shape produce
+    identical counts; the tree form is what a geographically tiered
+    deployment runs (leaf aggregators near their shards, one root).
+    """
+    nodes = list(accumulators)
+    if not nodes:
+        raise ValidationError("merge_tree needs at least one accumulator")
+    if int(fan_in) < 2:
+        raise ValidationError(f"fan_in must be >= 2, got {fan_in}")
+    while len(nodes) > 1:
+        nodes = [
+            CountAccumulator.merge_all(nodes[i : i + int(fan_in)])
+            for i in range(0, len(nodes), int(fan_in))
+        ]
+    return nodes[0]
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """A round's fleet-wide aggregate: exact counts plus the estimate."""
+
+    accumulator: CountAccumulator
+    estimate: RoundEstimate | None
+    pulls: tuple[ShardPull, ...]
+
+    @property
+    def records_merged(self) -> int:
+        return sum(pull.records_merged for pull in self.pulls)
+
+
+async def aggregate_round(
+    shards,
+    *,
+    control_key,
+    round_id: int,
+    mechanism=None,
+    fan_in: int = 2,
+) -> AggregateResult:
+    """Pull every shard of *round_id*, verify, and merge.
+
+    Pulls run concurrently; any shard failure (unreachable, digest
+    mismatch, wrong round) fails the whole aggregate — a partial sum
+    presented as the round total is the one bug this layer exists to
+    make impossible.  With *mechanism* the merged counts become the
+    round's :class:`~repro.estimation.merge.RoundEstimate` (the same
+    object, bit for bit, a single-process round would produce over the
+    same report stream).
+    """
+    shards = list(shards)
+    if not shards:
+        raise ValidationError("aggregate_round needs at least one shard")
+    pulls = await asyncio.gather(
+        *(
+            pull_shard_state(shard, control_key=control_key, round_id=round_id)
+            for shard in shards
+        )
+    )
+    merged = merge_tree(
+        [pull.accumulator for pull in pulls], fan_in=fan_in
+    )
+    estimate = (
+        merged.to_round_estimate(mechanism) if mechanism is not None else None
+    )
+    return AggregateResult(
+        accumulator=merged, estimate=estimate, pulls=tuple(pulls)
+    )

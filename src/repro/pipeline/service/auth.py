@@ -47,14 +47,19 @@ from ...exceptions import ValidationError
 __all__ = [
     "MIN_KEY_BYTES",
     "KeyRegistry",
+    "control_reply_mac",
+    "control_request_mac",
     "derive_producer_key",
     "derive_round_key",
     "fresh_nonce",
     "session_mac",
+    "verify_control_reply_mac",
+    "verify_control_request_mac",
     "verify_session_mac",
 ]
 
 _PROTOCOL_LABEL = b"IDLP-session-v2"
+_CONTROL_LABEL = b"IDLP-control-v4"
 MIN_KEY_BYTES = 8
 
 
@@ -133,9 +138,24 @@ class KeyRegistry:
         tally-node-2 = a longer passphrase works too
         *            = fallback-key-for-unlisted-producers
 
+        [revoked]
+        tally-node-9
+        compromised-node
+
     Producer ids may not contain ``=``; secrets go through
     :func:`derive_round_key` (hex or UTF-8 passphrase, >= 8 bytes).
     ``*`` names the default key.
+
+    The optional ``[revoked]`` section lists bare producer ids that are
+    **banned outright**: :meth:`lookup` returns ``None`` for them even
+    when they have a key line or a default key would apply, so a new
+    handshake fails exactly like a wrong key (same refusal, no
+    enumeration oracle), and the service reaps their open sessions.
+    Revocation beats every key layer — a revoked id with a still-listed
+    key stays revoked until its ``[revoked]`` line is deleted.  A
+    ``[keys]`` header may optionally open the key section; lines before
+    any header are key lines, preserving the PR 4/5 keyfile format
+    byte for byte.
     """
 
     def __init__(
@@ -153,6 +173,7 @@ class KeyRegistry:
             derive_round_key(default_key) if default_key is not None else None
         )
         self._file_default: bytes | None = None
+        self._revoked: set[str] = set()
         self._path = path
         self._stamp: tuple[int, int] | None = None
         if path is not None:
@@ -167,12 +188,37 @@ class KeyRegistry:
     # Keyfile loading / rotation
     # ------------------------------------------------------------------
     @staticmethod
-    def _parse(text: str, path: str) -> tuple[dict[str, bytes], bytes | None]:
+    def _parse(
+        text: str, path: str
+    ) -> tuple[dict[str, bytes], bytes | None, set[str]]:
         keys: dict[str, bytes] = {}
         default: bytes | None = None
+        revoked: set[str] = set()
+        section = "keys"
         for lineno, raw in enumerate(text.splitlines(), start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                section = line[1:-1].strip().lower()
+                if section not in ("keys", "revoked"):
+                    raise ValidationError(
+                        f"{path}:{lineno}: unknown keyfile section "
+                        f"[{section}]; sections are [keys] and [revoked]"
+                    )
+                continue
+            if section == "revoked":
+                if "=" in line:
+                    raise ValidationError(
+                        f"{path}:{lineno}: [revoked] entries are bare "
+                        f"producer ids, got {raw!r}"
+                    )
+                if line in revoked:
+                    raise ValidationError(
+                        f"{path}:{lineno}: duplicate [revoked] entry for "
+                        f"producer {line!r}"
+                    )
+                revoked.add(line)
                 continue
             producer, sep, secret = line.partition("=")
             producer, secret = producer.strip(), secret.strip()
@@ -195,7 +241,7 @@ class KeyRegistry:
                 )
             else:
                 keys[producer] = key
-        return keys, default
+        return keys, default, revoked
 
     def reload(self) -> None:
         """Re-read the keyfile now (lookups do this automatically)."""
@@ -204,12 +250,16 @@ class KeyRegistry:
         stat = os.stat(self._path)
         with open(self._path, "r", encoding="utf-8") as handle:
             text = handle.read()
-        keys, default = self._parse(text, self._path)
+        keys, default, revoked = self._parse(text, self._path)
         self._keys = keys
         # The file's '*' entry is authoritative for the file layer:
         # deleting the line REVOKES the file default (falling back to
         # any construction-time default, not to the stale key).
         self._file_default = default
+        # The revocation list is likewise authoritative per reload:
+        # deleting a [revoked] line un-revokes (new handshakes only —
+        # reaped sessions stay dead and must re-handshake).
+        self._revoked = revoked
         self._stamp = (stat.st_mtime_ns, stat.st_size)
 
     def _maybe_reload(self) -> None:
@@ -236,14 +286,31 @@ class KeyRegistry:
     # Lookup / mutation
     # ------------------------------------------------------------------
     def lookup(self, producer_id: str) -> bytes | None:
-        """The producer's key, the default key, or ``None`` (refuse)."""
+        """The producer's key, the default key, or ``None`` (refuse).
+
+        Revoked producers get ``None`` unconditionally — before the key
+        layers — so a revoked handshake is indistinguishable from an
+        unknown producer's.
+        """
         self._maybe_reload()
+        if producer_id in self._revoked:
+            return None
         default = (
             self._file_default
             if self._file_default is not None
             else self._base_default
         )
         return self._keys.get(producer_id, default)
+
+    def is_revoked(self, producer_id: str) -> bool:
+        """Is *producer_id* on the (hot-reloaded) revocation list?"""
+        self._maybe_reload()
+        return producer_id in self._revoked
+
+    def revoke(self, producer_id: str) -> None:
+        """Revoke *producer_id* in place (until the next file reload,
+        which replaces the in-memory list with the file's section)."""
+        self._revoked.add(str(producer_id))
 
     def set_key(self, producer_id: str, secret) -> None:
         """Insert or rotate one producer's key in place."""
@@ -315,5 +382,90 @@ def verify_session_mac(
         client_nonce=client_nonce,
         server_nonce=server_nonce,
         round_token=round_token,
+    )
+    return hmac.compare_digest(expected, bytes(mac))
+
+
+def _control_transcript(
+    role: bytes, head: bytes, nonce: bytes, body: dict, attachment: bytes = b""
+) -> bytes:
+    from ..collect.wire import encode_control_body
+
+    body_bytes = encode_control_body(body)
+    return b"".join(
+        (
+            _CONTROL_LABEL,
+            role,
+            head,
+            bytes(nonce),
+            struct.pack("<I", len(body_bytes)),
+            body_bytes,
+            bytes(attachment),
+        )
+    )
+
+
+def control_request_mac(
+    key: bytes, *, op: str, nonce: bytes, body: dict
+) -> bytes:
+    """HMAC-SHA256 over a control request (32 bytes).
+
+    Binds the op (length-prefixed), the requester's fresh nonce, and
+    the canonical-JSON body, under a label distinct from the session
+    handshake's — a session proof can never double as a control MAC or
+    vice versa.  The body is canonicalized (sorted keys, compact
+    separators) by the same encoder the wire uses, so the MAC'd bytes
+    are exactly the transmitted bytes.
+    """
+    op_bytes = op.encode("utf-8")
+    head = struct.pack("<H", len(op_bytes)) + op_bytes
+    return hmac.new(
+        key, _control_transcript(b"\x01", head, nonce, body), hashlib.sha256
+    ).digest()
+
+
+def verify_control_request_mac(
+    key: bytes, mac: bytes, *, op: str, nonce: bytes, body: dict
+) -> bool:
+    """Constant-time check of a control request's MAC."""
+    expected = control_request_mac(key, op=op, nonce=nonce, body=body)
+    return hmac.compare_digest(expected, bytes(mac))
+
+
+def control_reply_mac(
+    key: bytes,
+    *,
+    status: int,
+    nonce: bytes,
+    body: dict,
+    attachment: bytes = b"",
+) -> bytes:
+    """HMAC-SHA256 over a control reply (32 bytes).
+
+    Echoes the *request's* nonce inside the MAC, so a recorded reply
+    cannot be replayed against a different request; binds the status,
+    body, and the raw binary attachment (shard state frames), so none
+    of them can be swapped in transit.
+    """
+    head = struct.pack("<H", int(status))
+    return hmac.new(
+        key,
+        _control_transcript(b"\x02", head, nonce, body, attachment),
+        hashlib.sha256,
+    ).digest()
+
+
+def verify_control_reply_mac(
+    key: bytes,
+    mac: bytes,
+    *,
+    status: int,
+    nonce: bytes,
+    body: dict,
+    attachment: bytes = b"",
+) -> bool:
+    """Constant-time check of a control reply's MAC."""
+    expected = control_reply_mac(
+        key, status=status, nonce=nonce, body=body, attachment=attachment
     )
     return hmac.compare_digest(expected, bytes(mac))

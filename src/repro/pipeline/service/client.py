@@ -18,6 +18,15 @@ acked** — duplicates are free, gaps are losses, so resending is always
 the safe move.  Sequence numbers must be durable at the producer (a
 file, a cursor into its own spill) and never reused for different
 bytes; the service refuses such equivocation.
+
+Against a scale-out deployment the producer is *routing-aware*:
+:func:`send_records_routed` resolves its shard from the fleet's
+:class:`~.routing.RoutingTable` and follows ``MOVED`` redirects
+(surfaced as :class:`~repro.exceptions.MovedError` by
+:meth:`ServiceSession.connect`) when its table is stale — mid-rebalance
+a producer loses one round trip, never a record.  :func:`control_call`
+is the operator/coordinator side: one authenticated control request,
+one MAC-verified reply.
 """
 
 from __future__ import annotations
@@ -26,15 +35,29 @@ import asyncio
 
 from ...exceptions import (
     AuthenticationError,
+    ControlError,
+    MovedError,
     ServiceError,
     ValidationError,
     WireFormatError,
 )
 from ..collect import wire
-from .auth import derive_round_key, fresh_nonce, session_mac
 from ..collect.framing import read_session_frame
+from .auth import (
+    control_request_mac,
+    derive_round_key,
+    fresh_nonce,
+    session_mac,
+    verify_control_reply_mac,
+)
+from .routing import RoutingTable, parse_moved
 
-__all__ = ["ServiceSession", "send_records"]
+__all__ = [
+    "ServiceSession",
+    "send_records",
+    "send_records_routed",
+    "control_call",
+]
 
 
 class ServiceSession:
@@ -85,6 +108,17 @@ class ServiceSession:
             )
             reply = await self._read("session challenge")
             if isinstance(reply, wire.Ack):
+                moved = parse_moved(reply.detail)
+                if moved is not None:
+                    epoch, shard, host, port = moved
+                    raise MovedError(
+                        f"producer {self.producer_id!r} is routed to shard "
+                        f"{shard} at {host}:{port} (table epoch {epoch})",
+                        epoch=epoch,
+                        shard=shard,
+                        host=host,
+                        port=port,
+                    )
                 raise AuthenticationError(
                     f"service refused the session: {reply.detail}"
                 )
@@ -267,3 +301,138 @@ async def send_records(
         return acks
     finally:
         await session.close()
+
+
+async def send_records_routed(
+    table: RoutingTable,
+    frames,
+    *,
+    key,
+    producer_id: str,
+    m: int,
+    round_id: int = 0,
+    start_seq: int = 0,
+    raise_on_refusal: bool = True,
+    max_inflight: int = 64,
+    max_redirects: int = 3,
+) -> list[wire.Ack]:
+    """:func:`send_records` against a shard fleet.
+
+    Resolves the producer's shard from *table* (consistent hashing on
+    the producer id — the same function the shards enforce) and ships
+    there; when the shard answers ``MOVED`` (this table is stale, a
+    rebalance moved the producer), follows the redirect to the owning
+    shard's address instead of failing.  Redirects are bounded by
+    *max_redirects*: a fleet whose shards disagree about ownership
+    (mid-rollout, each bouncing the producer to the other) surfaces as
+    a loud error, not a livelock.
+
+    Records either commit on the shard that owns the producer or are
+    never acked — a redirect happens at handshake time, before any
+    record frame is sent, so no partial batch can land on a wrong
+    shard.
+    """
+    owner = table.owner(producer_id)
+    host, port = owner.host, owner.port
+    hops: list[str] = []
+    for _ in range(max(1, int(max_redirects)) + 1):
+        try:
+            return await send_records(
+                host,
+                port,
+                frames,
+                key=key,
+                producer_id=producer_id,
+                m=m,
+                round_id=round_id,
+                start_seq=start_seq,
+                raise_on_refusal=raise_on_refusal,
+                max_inflight=max_inflight,
+            )
+        except MovedError as moved:
+            hops.append(f"{host}:{port} -> {moved.shard}@{moved.host}:"
+                        f"{moved.port} (epoch {moved.epoch})")
+            host, port = moved.host, moved.port
+    raise ServiceError(
+        f"producer {producer_id!r} exceeded {max_redirects} MOVED "
+        f"redirects; the shard fleet disagrees about ownership: "
+        f"{'; '.join(hops)}"
+    )
+
+
+async def control_call(
+    host: str,
+    port: int,
+    *,
+    key,
+    op: str,
+    body: dict | None = None,
+    timeout: float = 30.0,
+) -> tuple[dict, bytes]:
+    """One authenticated control-plane round trip.
+
+    Sends a MAC'd :class:`~repro.pipeline.collect.wire.ControlRequest`
+    with a fresh nonce and returns the reply's ``(body, attachment)``
+    after verifying that the reply MAC covers this request's nonce —
+    a recorded reply to some other request can never be replayed into
+    this call.  A ``CONTROL_ERROR`` reply raises
+    :class:`~repro.exceptions.ControlError` with the peer's detail;
+    so does a reply whose MAC fails (its body is then *not* trusted
+    for the error message).
+    """
+    control_key = derive_round_key(key)
+    body = dict(body or {})
+    nonce = fresh_nonce()
+    request = wire.ControlRequest(
+        op=op,
+        nonce=nonce,
+        body=body,
+        mac=control_request_mac(control_key, op=op, nonce=nonce, body=body),
+    )
+
+    async def roundtrip() -> tuple[dict, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(wire.dumps(request))
+            await writer.drain()
+            reply = await read_session_frame(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if reply is None:
+            raise ControlError(
+                f"{host}:{port} hung up on control op {op!r}"
+            )
+        if isinstance(reply, wire.Ack):
+            # A host without a control plane refuses with a plain ack.
+            raise ControlError(
+                f"{host}:{port} refused control op {op!r}: {reply.detail}"
+            )
+        if not isinstance(reply, wire.ControlReply):
+            raise ControlError(
+                f"expected a control reply from {host}:{port}, got "
+                f"{type(reply).__name__}"
+            )
+        if not verify_control_reply_mac(
+            control_key,
+            reply.mac,
+            status=reply.status,
+            nonce=reply.nonce,
+            body=reply.body,
+            attachment=reply.attachment,
+        ) or reply.nonce != nonce:
+            raise ControlError(
+                f"control reply from {host}:{port} failed MAC/nonce "
+                f"verification for op {op!r}"
+            )
+        if reply.status != wire.CONTROL_OK:
+            raise ControlError(
+                f"{host}:{port} refused control op {op!r}: "
+                f"{reply.body.get('detail', reply.body)}"
+            )
+        return reply.body, reply.attachment
+
+    return await asyncio.wait_for(roundtrip(), timeout)

@@ -1,0 +1,289 @@
+"""The coordinator: round lifecycle authority for a shard fleet.
+
+In a scale-out deployment no shard owns a round — each hosts a *slice*
+(the producers the routing table assigns to it).  Someone must own the
+round itself: decide when it starts serving, when it drains, when it is
+closed and safe to aggregate, and what registration token scopes its
+sessions.  :class:`RoundCoordinator` is that owner:
+
+* it holds the fleet's :class:`~.routing.RoutingTable` and pushes
+  epoch-bumped tables to every shard (``route-update``);
+* it **mints one registration token per round** and registers the round
+  on every shard with it (``open-round``) — which is why a session
+  proof minted against any shard of the round is scoped to the same
+  incarnation, and why a retired round id can be re-registered without
+  any old proof coming back to life;
+* it drives the round's lifecycle state machine
+  (:mod:`~.lifecycle`: ``open → serving → draining → closed →
+  retired``) and keeps its own authoritative
+  :class:`~.lifecycle.RoundLifecycle` per round, transitioning it only
+  after every shard acknowledged the matching control op — so the
+  coordinator's answer to "what is round 7 doing?" is never *ahead* of
+  any shard;
+* it is a pure control-plane *client*: all its verbs ride
+  :func:`~.client.control_call` (authenticated, nonce-bound), and it
+  binds no socket of its own.
+
+The coordinator deliberately does not proxy record traffic — producers
+talk straight to their shard.  Losing the coordinator mid-round loses
+nothing durable: shards keep serving, and a new coordinator rebuilds
+its view from ``status`` calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ...exceptions import ValidationError
+from .auth import fresh_nonce
+from .client import control_call
+from .lifecycle import CLOSED, DRAINING, RETIRED, SERVING, RoundLifecycle
+from .routing import RoutingTable, ShardInfo
+
+__all__ = ["CoordinatedRound", "RoundCoordinator"]
+
+
+@dataclass
+class CoordinatedRound:
+    """The coordinator's authoritative record of one round."""
+
+    round_id: int
+    m: int
+    token: bytes
+    lifecycle: RoundLifecycle = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lifecycle = RoundLifecycle(self.round_id)
+
+    @property
+    def phase(self) -> str:
+        return self.lifecycle.phase
+
+
+class RoundCoordinator:
+    """Owns rounds across a fleet of shard services.
+
+    Parameters
+    ----------
+    shards:
+        The fleet: :class:`~.routing.ShardInfo` entries (stable names,
+        current addresses).
+    control_key:
+        The fleet's control-plane secret; every verb authenticates
+        with it.
+    replicas / epoch:
+        Routing-table construction knobs (see
+        :class:`~.routing.RoutingTable`).
+    """
+
+    def __init__(
+        self,
+        shards,
+        *,
+        control_key,
+        replicas: int | None = None,
+        epoch: int = 1,
+    ) -> None:
+        kwargs = {} if replicas is None else {"replicas": replicas}
+        self.table = RoutingTable(shards, epoch=epoch, **kwargs)
+        self.control_key = control_key
+        self.rounds: dict[int, CoordinatedRound] = {}
+
+    # ------------------------------------------------------------------
+    # Fleet plumbing
+    # ------------------------------------------------------------------
+    async def _call_shard(
+        self, shard: ShardInfo, op: str, body: dict
+    ) -> tuple[dict, bytes]:
+        return await control_call(
+            shard.host, shard.port, key=self.control_key, op=op, body=body
+        )
+
+    async def _broadcast(self, op: str, body: dict) -> list[dict]:
+        """Run one op against every shard, concurrently, all-or-error.
+
+        Any shard failure raises after all calls settle (the error
+        names the shard), so a partially applied broadcast is loud —
+        the caller decides whether to retry (every shard op here is
+        idempotent-or-loud, never silently divergent).
+        """
+        shards = self.table.shards()
+        results = await asyncio.gather(
+            *(self._call_shard(shard, op, body) for shard in shards),
+            return_exceptions=True,
+        )
+        failures = [
+            f"{shard.name}: {result}"
+            for shard, result in zip(shards, results)
+            if isinstance(result, BaseException)
+        ]
+        if failures:
+            raise ValidationError(
+                f"control op {op!r} failed on {len(failures)} of "
+                f"{len(shards)} shards: {'; '.join(failures)}"
+            )
+        return [body for body, _attachment in results]
+
+    async def push_routing(self, table: RoutingTable | None = None) -> int:
+        """Install *table* (default: the current one) on every shard."""
+        if table is not None:
+            self.table = table
+        await self._broadcast(
+            "route-update", {"table": self.table.to_payload()}
+        )
+        return self.table.epoch
+
+    async def rebalance(self, *, add=None, remove=None) -> RoutingTable:
+        """Add and/or remove shards; push the next-epoch table.
+
+        Consistent hashing keeps the move minimal: only producers owned
+        by a removed shard, or newly claimed by an added one, change
+        shards.  Producers mid-session are untouched (tables gate
+        handshakes only); their next reconnect follows a MOVED
+        redirect.
+        """
+        table = self.table
+        for shard in add or ():
+            table = table.with_shard(shard)
+        for name in remove or ():
+            table = table.without_shard(name)
+        await self.push_routing(table)
+        return table
+
+    # ------------------------------------------------------------------
+    # Round lifecycle verbs
+    # ------------------------------------------------------------------
+    def _round(self, round_id: int) -> CoordinatedRound:
+        record = self.rounds.get(int(round_id))
+        if record is None:
+            raise ValidationError(
+                f"round {round_id} is not coordinated here; rounds: "
+                f"{sorted(self.rounds)}"
+            )
+        return record
+
+    def phase(self, round_id: int) -> str:
+        """The authoritative lifecycle phase of *round_id*."""
+        return self._round(round_id).phase
+
+    async def register_round(
+        self, m: int, round_id: int, *, limits=None, resume: bool = False
+    ) -> CoordinatedRound:
+        """Register one round on every shard and start it serving.
+
+        Mints the round's registration token and opens the round with
+        it fleet-wide, so all shards challenge with the same token.
+        The coordinator's lifecycle record passes through ``open``
+        (while shards are being registered) and lands on ``serving``
+        only after every shard acknowledged.
+        """
+        round_id = int(round_id)
+        if round_id in self.rounds:
+            raise ValidationError(
+                f"round {round_id} is already coordinated; retire it first"
+            )
+        record = CoordinatedRound(round_id=round_id, m=int(m), token=fresh_nonce())
+        body: dict = {
+            "m": int(m),
+            "round_id": round_id,
+            "token": record.token.hex(),
+            "resume": bool(resume),
+        }
+        if limits is not None:
+            body["limits"] = dict(limits)
+        await self._broadcast("open-round", body)
+        record.lifecycle.transition(SERVING)
+        self.rounds[round_id] = record
+        return record
+
+    async def recover_shard(self, shard: ShardInfo) -> list[int]:
+        """Re-register every coordinated round on a restarted shard.
+
+        The shard resumes each round from its own ledger + spill
+        (``resume=True``) under the round's *original* token, so the
+        recovered slice is the same incarnation — sessions against the
+        other shards never noticed anything.  Returns the round ids
+        recovered.
+        """
+        if any(
+            existing.name == shard.name for existing in self.table.shards()
+        ):
+            # A restarted shard keeps its name (the ring is unmoved) but
+            # may bind a new port; broadcasts must dial the live address.
+            self.table = RoutingTable(
+                [
+                    shard if existing.name == shard.name else existing
+                    for existing in self.table.shards()
+                ],
+                epoch=self.table.epoch,
+                replicas=self.table.replicas,
+            )
+        recovered = []
+        for record in sorted(self.rounds.values(), key=lambda r: r.round_id):
+            await self._call_shard(
+                shard,
+                "open-round",
+                {
+                    "m": record.m,
+                    "round_id": record.round_id,
+                    "token": record.token.hex(),
+                    "resume": True,
+                },
+            )
+            recovered.append(record.round_id)
+        return recovered
+
+    async def drain(self, round_id: int) -> str:
+        """Fleet-wide drain: no new sessions or records anywhere;
+        batches already in flight on any shard still commit."""
+        record = self._round(round_id)
+        record.lifecycle.require(SERVING)
+        await self._broadcast("drain", {"round_id": record.round_id})
+        record.lifecycle.transition(DRAINING)
+        return record.phase
+
+    async def close_round(
+        self, round_id: int, *, snapshot: bool = True
+    ) -> str:
+        """Durably close the round on every shard (drains each shard's
+        commit pipeline; with *snapshot*, writes final snapshots)."""
+        record = self._round(round_id)
+        await self._broadcast(
+            "close-round",
+            {"round_id": record.round_id, "snapshot": bool(snapshot)},
+        )
+        if record.lifecycle.phase != CLOSED:
+            record.lifecycle.transition(CLOSED)
+        return record.phase
+
+    async def retire(self, round_id: int) -> str:
+        """Retire the closed round fleet-wide and forget it here; the
+        id becomes re-registrable (a fresh token, so old proofs stay
+        dead)."""
+        record = self._round(round_id)
+        record.lifecycle.require(CLOSED)
+        await self._broadcast("retire-round", {"round_id": record.round_id})
+        record.lifecycle.transition(RETIRED)
+        del self.rounds[record.round_id]
+        return record.phase
+
+    async def status(self, round_id: int | None = None) -> dict:
+        """Fleet status: per-shard stats plus the coordinator's view."""
+        body = {} if round_id is None else {"round_id": int(round_id)}
+        shards = self.table.shards()
+        replies = await self._broadcast("status", body)
+        status: dict = {
+            "epoch": self.table.epoch,
+            "shards": {
+                shard.name: reply for shard, reply in zip(shards, replies)
+            },
+        }
+        if round_id is not None:
+            status["round_id"] = int(round_id)
+            status["phase"] = self.phase(round_id)
+        else:
+            status["rounds"] = {
+                rid: record.phase for rid, record in sorted(self.rounds.items())
+            }
+        return status

@@ -20,7 +20,7 @@ configuration*, not by producer behavior:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 from ...exceptions import QuotaExceededError
 
@@ -158,6 +158,25 @@ class ServiceLimits:
                 f"commit_scope must be '{COMMIT_SCOPE_ROUND}' or "
                 f"'{COMMIT_SCOPE_CONNECTION}', got {self.commit_scope!r}"
             )
+
+    def with_overrides(self, overrides: dict) -> "ServiceLimits":
+        """A copy with *overrides* layered over these limits.
+
+        This is how per-round limits work: the service's defaults stay
+        one immutable instance, and each round that declares a
+        ``limits`` block in the rounds config gets its own derived
+        instance.  Unknown field names are loud (a typo'd limit that
+        silently fell through would look enforced while enforcing
+        nothing); values re-run the full ``__post_init__`` validation.
+        """
+        known = {field.name for field in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ServiceLimits field(s) {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        return replace(self, **overrides)
 
 
 class ConnectionQuota:

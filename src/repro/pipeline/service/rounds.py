@@ -43,6 +43,7 @@ from ..collect.store import ShardStore
 from .auth import fresh_nonce
 from .commit import GroupCommitScheduler
 from .ledger import IdempotencyLedger
+from .lifecycle import CLOSED, DRAINING, RETIRED, SERVING, RoundLifecycle
 from .quotas import ProducerQuota, RoundQuota, ServiceLimits
 
 __all__ = [
@@ -74,6 +75,7 @@ class RoundState:
         *,
         resume: bool = False,
         scoped: bool = False,
+        token: bytes | None = None,
     ) -> None:
         self.m = int(m)
         if self.m <= 0:
@@ -88,8 +90,19 @@ class RoundState:
         # The registration token: fresh every time the round is opened,
         # so session proofs are scoped to this exact incarnation.  An
         # unscoped (single-round, legacy-wire) round keeps it empty and
-        # its challenges stay version-2 byte-identical.
-        self.token = fresh_nonce() if scoped else b""
+        # its challenges stay version-2 byte-identical.  A coordinator
+        # passes *token* explicitly so every shard hosting a slice of
+        # the round challenges with the SAME incarnation token.
+        if token is not None:
+            token = bytes(token)
+            if len(token) != 16:
+                raise ValidationError(
+                    f"round token must be 16 bytes, got {len(token)}"
+                )
+            self.token = token
+        else:
+            self.token = fresh_nonce() if scoped else b""
+        self.lifecycle = RoundLifecycle(self.round_id)
 
         self.records_merged = 0
         self.records_duplicate = 0
@@ -244,6 +257,15 @@ class RoundState:
         producer may commit the same seq first).
         """
         seq = record.seq
+        if not self.lifecycle.accepts_records:
+            return {
+                "status": "refused",
+                "seq": seq,
+                "detail": (
+                    f"round {self.round_id} is {self.lifecycle.phase}; "
+                    "records are only accepted while serving"
+                ),
+            }
         if record.m != self.m or record.round_id != self.round_id:
             return {
                 "status": "refused",
@@ -293,6 +315,26 @@ class RoundState:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def serve(self) -> None:
+        """Move ``open -> serving``: sessions and records may flow."""
+        self.lifecycle.transition(SERVING)
+
+    def drain(self) -> None:
+        """Move to ``draining``: refuse new sessions and new records
+        while batches already staged or in the commit pipeline still
+        commit and are acked.  Callers await :meth:`close` (or just the
+        scheduler) to observe the drain finishing."""
+        self.lifecycle.transition(DRAINING)
+
+    def retire(self) -> None:
+        """Move ``closed -> retired``: the durably closed round's
+        handles are already freed by :meth:`close`; after this the
+        registry forgets the round and its id may be re-registered (as
+        a new incarnation with a fresh token).  Loud unless closed —
+        retiring a round that is still serving would strand its
+        producers with no durable close."""
+        self.lifecycle.transition(RETIRED)
+
     def release(self) -> None:
         """Constructor-failure teardown: drop handles, undo creation.
 
@@ -334,6 +376,8 @@ class RoundState:
         if self._closed:
             return
         self._closed = True
+        if self.lifecycle.phase not in (CLOSED, RETIRED):
+            self.lifecycle.transition(CLOSED)
         if snapshot:
             self.writer.sync()
             self.writer.close()
@@ -347,6 +391,7 @@ class RoundState:
         return {
             "m": self.m,
             "round_id": self.round_id,
+            "phase": self.lifecycle.phase,
             "n": self.accumulator.n,
             "records_merged": self.records_merged,
             "records_duplicate": self.records_duplicate,
@@ -387,8 +432,17 @@ class RoundRegistry:
         *,
         resume: bool = False,
         scoped: bool = True,
+        token: bytes | None = None,
+        serve: bool = True,
     ) -> RoundState:
-        """Create, recover (with *resume*), and register one round."""
+        """Create, recover (with *resume*), and register one round.
+
+        With *serve* (the default) the round moves straight
+        ``open -> serving`` — the behavior of a standalone service,
+        where hosting a round means serving it.  A coordinator-managed
+        shard passes the coordinator's *token* so every shard of the
+        round challenges with the same incarnation token.
+        """
         round_id = int(round_id)
         if round_id in self._rounds:
             raise ValidationError(
@@ -396,13 +450,37 @@ class RoundRegistry:
                 "unique within a service"
             )
         state = RoundState(
-            m, round_id, store, limits, resume=resume, scoped=scoped
+            m,
+            round_id,
+            store,
+            limits,
+            resume=resume,
+            scoped=scoped,
+            token=token,
         )
+        if serve:
+            state.serve()
         self._rounds[round_id] = state
         return state
 
     def get(self, round_id: int) -> RoundState | None:
         return self._rounds.get(int(round_id))
+
+    def retire(self, round_id: int) -> RoundState:
+        """Retire a *closed* round and forget it (loud otherwise).
+
+        After this the round id is free to re-register — as a new
+        incarnation whose fresh token keeps old session proofs dead.
+        """
+        state = self._rounds.get(int(round_id))
+        if state is None:
+            raise ValidationError(
+                f"round {round_id} is not hosted; hosted rounds: "
+                f"{sorted(self._rounds)}"
+            )
+        state.retire()
+        del self._rounds[int(round_id)]
+        return state
 
     def rounds(self) -> list[RoundState]:
         """All hosted rounds, ordered by round id."""

@@ -1,0 +1,243 @@
+"""Producer → shard routing for the scale-out collection tier.
+
+One logical round spans K independent shard services, each with its own
+spill namespace, ledger, and commit pipeline.  What makes that safe is
+that any one producer's records all land on *one* shard — the
+idempotency ledger keys on ``(producer_id, seq)``, so exactly-once
+holds as long as a producer never splits its sequence space across
+shards.  :class:`RoutingTable` is that assignment:
+
+* **consistent hashing** over a ring of virtual points per shard
+  (:data:`DEFAULT_REPLICAS` each), keyed by the shard's stable *name* —
+  never its list position — so adding or removing a shard moves only
+  the producers that must move (the hypothesis suite pins this:
+  adding shard X changes ownership only *to* X, removing X changes
+  ownership only *for* X's producers);
+* an **epoch** that increases on every rebalance, so a shard can tell
+  a producer holding a stale table *which* table to refetch, and two
+  tables can be ordered without comparing their contents;
+* a wire-portable payload (:meth:`to_payload` / :meth:`from_payload`)
+  shipped in coordinator control frames.
+
+Shards enforce the table at handshake time: a producer that connects to
+the wrong shard is refused with a ``MOVED`` detail naming the owning
+shard's address and the table epoch (:func:`format_moved` /
+:func:`parse_moved`), Redis-cluster style, and the routing-aware client
+reconnects there.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import re
+from dataclasses import dataclass
+
+from ...exceptions import ValidationError
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "ShardInfo",
+    "RoutingTable",
+    "format_moved",
+    "parse_moved",
+]
+
+DEFAULT_REPLICAS = 64
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard service's stable identity and address.
+
+    ``name`` is the routing identity — it must survive restarts and
+    address changes, because ring points hash the name.  Moving a shard
+    to a new host/port (same name) moves zero producers.
+    """
+
+    name: str
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValidationError("shard name must be a non-empty string")
+        if "=" in self.name or any(c.isspace() for c in self.name):
+            raise ValidationError(
+                f"shard name {self.name!r} may not contain '=' or whitespace"
+            )
+        if not self.host:
+            raise ValidationError("shard host must be non-empty")
+        if not 0 <= int(self.port) <= 65535:
+            raise ValidationError(f"shard port {self.port} is out of range")
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def _ring_point(label: bytes) -> int:
+    """A point on the 2^64 ring from a stable hash of *label*."""
+    return int.from_bytes(
+        hashlib.sha256(label).digest()[:8], "big", signed=False
+    )
+
+
+class RoutingTable:
+    """Consistent-hash assignment of producers to named shards."""
+
+    def __init__(
+        self,
+        shards,
+        *,
+        epoch: int = 1,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValidationError("a routing table needs at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ValidationError(
+                f"duplicate shard names in routing table: {sorted(names)}"
+            )
+        if int(epoch) <= 0:
+            raise ValidationError(f"table epoch must be positive, got {epoch}")
+        if int(replicas) <= 0:
+            raise ValidationError(
+                f"replicas per shard must be positive, got {replicas}"
+            )
+        self.epoch = int(epoch)
+        self.replicas = int(replicas)
+        self._shards = {shard.name: shard for shard in shards}
+        # The ring: sorted virtual points, each owned by one shard name.
+        points: list[tuple[int, str]] = []
+        for shard in shards:
+            for replica in range(self.replicas):
+                label = f"{shard.name}\x00{replica}".encode("utf-8")
+                points.append((_ring_point(label), shard.name))
+        points.sort()
+        self._points = [point for point, _name in points]
+        self._owners = [name for _point, name in points]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def owner(self, producer_id: str) -> ShardInfo:
+        """The shard that owns *producer_id*'s records."""
+        if not producer_id:
+            raise ValidationError("producer_id must be a non-empty string")
+        point = _ring_point(producer_id.encode("utf-8"))
+        index = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._shards[self._owners[index]]
+
+    def shard(self, name: str) -> ShardInfo:
+        info = self._shards.get(name)
+        if info is None:
+            raise ValidationError(
+                f"no shard {name!r} in routing table; shards: "
+                f"{sorted(self._shards)}"
+            )
+        return info
+
+    def shards(self) -> list[ShardInfo]:
+        """All shards, ordered by name."""
+        return [self._shards[name] for name in sorted(self._shards)]
+
+    def names(self) -> list[str]:
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    # ------------------------------------------------------------------
+    # Rebalancing (new table, next epoch; tables are immutable)
+    # ------------------------------------------------------------------
+    def with_shard(self, shard: ShardInfo) -> "RoutingTable":
+        """A next-epoch table with *shard* added (or re-addressed)."""
+        shards = {**self._shards, shard.name: shard}
+        return RoutingTable(
+            shards.values(), epoch=self.epoch + 1, replicas=self.replicas
+        )
+
+    def without_shard(self, name: str) -> "RoutingTable":
+        """A next-epoch table with shard *name* removed."""
+        if name not in self._shards:
+            raise ValidationError(
+                f"no shard {name!r} to remove; shards: {sorted(self._shards)}"
+            )
+        remaining = [
+            shard for shard in self._shards.values() if shard.name != name
+        ]
+        return RoutingTable(
+            remaining, epoch=self.epoch + 1, replicas=self.replicas
+        )
+
+    # ------------------------------------------------------------------
+    # Wire portability (control-frame JSON payload)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "replicas": self.replicas,
+            "shards": [
+                {"name": s.name, "host": s.host, "port": s.port}
+                for s in self.shards()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload) -> "RoutingTable":
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"routing table payload must be a dict, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            shards = [
+                ShardInfo(
+                    name=str(entry["name"]),
+                    host=str(entry["host"]),
+                    port=int(entry["port"]),
+                )
+                for entry in payload["shards"]
+            ]
+            return cls(
+                shards,
+                epoch=int(payload["epoch"]),
+                replicas=int(payload.get("replicas", DEFAULT_REPLICAS)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed routing table payload: {exc}"
+            ) from exc
+
+
+# ----------------------------------------------------------------------
+# MOVED redirects
+# ----------------------------------------------------------------------
+_MOVED_RE = re.compile(
+    r"^MOVED epoch=(\d+) shard=(\S+) addr=([^\s:]+):(\d+)$"
+)
+
+
+def format_moved(epoch: int, shard: ShardInfo) -> str:
+    """The refusal detail a shard sends a mis-routed producer."""
+    return f"MOVED epoch={int(epoch)} shard={shard.name} addr={shard.address}"
+
+
+def parse_moved(detail: str) -> tuple[int, str, str, int] | None:
+    """``(epoch, shard_name, host, port)`` from a MOVED detail, or None.
+
+    Tolerant by design: any non-matching detail returns ``None`` so the
+    client treats it as an ordinary refusal — a hostile or buggy server
+    cannot crash a producer with a malformed redirect.
+    """
+    match = _MOVED_RE.match(detail or "")
+    if match is None:
+        return None
+    epoch, name, host, port = match.groups()
+    return int(epoch), name, host, int(port)

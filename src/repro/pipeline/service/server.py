@@ -39,6 +39,20 @@ ack), but batching moved from the connection to the round: all active
 sessions of a round feed one :class:`~.commit.GroupCommitScheduler`,
 and one fsync pair covers everything any of them staged while the
 previous commit was in flight — see :mod:`.commit`.
+
+Since the scale-out refactor this class is the *round ownership* layer:
+it opens, recovers, drains, closes, and retires rounds, resolves each
+round's :class:`~.quotas.ServiceLimits` (service defaults layered with
+per-round overrides), and answers the authenticated **control plane**
+(version-4 wire frames: drain / close / retire / pull-state /
+route-update, MAC'd with a dedicated control key).  Everything
+socket-facing — handshakes, the record loop, group-commit acks, MOVED
+routing enforcement, revocation reaping — lives in
+:class:`~.sessions.SessionHost`, which this service composes over its
+round registry.  A shard process is just a ``CollectionService``
+configured with a ``shard_name`` + routing table and a store root of
+its own; the coordinator and aggregator (:mod:`.coordinator`,
+:mod:`.aggregator`) drive fleets of them over the control plane.
 """
 
 from __future__ import annotations
@@ -46,17 +60,16 @@ from __future__ import annotations
 import asyncio
 import os
 
-from ...exceptions import (
-    QuotaExceededError,
-    ServiceError,
-    ValidationError,
-    WireFormatError,
-)
+from ...exceptions import ServiceError, ValidationError
 from ..collect import wire
-from ..collect.framing import read_frame_bytes
 from ..collect.store import ShardStore
-from .auth import KeyRegistry, fresh_nonce, verify_session_mac
-from .quotas import ConnectionQuota, Deadline, ServiceLimits
+from .auth import (
+    KeyRegistry,
+    control_reply_mac,
+    derive_round_key,
+    verify_control_request_mac,
+)
+from .quotas import ServiceLimits
 from .rounds import (
     LEDGER_FILENAME,
     SERVICE_SHARD_ID,
@@ -64,26 +77,58 @@ from .rounds import (
     RoundState,
     round_namespace,
 )
+from .routing import RoutingTable
+from .sessions import SessionHost
 
 __all__ = [
     "CollectionService",
     "LEDGER_FILENAME",
     "SERVICE_SHARD_ID",
+    "CONTROL_OPS",
 ]
 
+#: Every control-plane op this service answers (docs and tests pin it).
+CONTROL_OPS = (
+    "status",
+    "drain",
+    "close-round",
+    "retire-round",
+    "open-round",
+    "pull-state",
+    "route-table",
+    "route-update",
+)
 
-def _coerce_round_spec(spec) -> tuple[int, int]:
-    """``(m, round_id)`` from a dict, mapping-like, or pair."""
+
+def _coerce_round_spec(spec) -> tuple[int, int, dict]:
+    """``(m, round_id, extras)`` from a dict, mapping-like, or pair.
+
+    *extras* carries the optional per-round keys a dict spec may
+    declare: ``limits`` (a ``ServiceLimits`` override mapping) and
+    ``token`` (a coordinator-minted registration token, hex).
+    """
     if isinstance(spec, dict):
         try:
-            return int(spec["m"]), int(spec["round_id"])
+            m, round_id = int(spec["m"]), int(spec["round_id"])
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(
                 f"round spec {spec!r} must carry integer 'm' and 'round_id'"
             ) from exc
+        unknown = sorted(set(spec) - {"m", "round_id", "limits", "token"})
+        if unknown:
+            raise ValidationError(
+                f"round {round_id}: unknown round spec key(s) {unknown}; "
+                "known keys: m, round_id, limits, token"
+            )
+        extras: dict = {}
+        if spec.get("limits") is not None:
+            extras["limits"] = spec["limits"]
+        if spec.get("token") is not None:
+            extras["token"] = spec["token"]
+        return m, round_id, extras
     try:
         m, round_id = spec
-        return int(m), int(round_id)
+        return int(m), int(round_id), {}
     except (TypeError, ValueError) as exc:
         raise ValidationError(
             f"round specs are dicts with integer 'm'/'round_id' or "
@@ -93,7 +138,7 @@ def _coerce_round_spec(spec) -> tuple[int, int]:
 
 class CollectionService:
     """Durable, authenticated, exactly-once collection — single- or
-    multi-round.
+    multi-round, standalone or as one shard of a scale-out deployment.
 
     Parameters
     ----------
@@ -109,7 +154,11 @@ class CollectionService:
         pairs.  Each round lives in its own store namespace
         (``<store_root>/round_<id>/``) with its own spill, ledger, and
         commit pipeline, and its sessions are bound to the round's
-        registration token (version-3 challenges).
+        registration token (version-3 challenges).  A dict spec may
+        additionally carry ``"limits"`` — per-round
+        :class:`~.quotas.ServiceLimits` overrides layered over the
+        service defaults — and ``"token"`` (hex), the coordinator's
+        registration token for the round.
     key:
         Default producer secret (bytes, hex string, or passphrase —
         see :func:`~.auth.derive_round_key`): any producer without an
@@ -118,15 +167,26 @@ class CollectionService:
     keys:
         Per-producer keys: a :class:`~.auth.KeyRegistry`, a
         ``{producer_id: secret}`` dict, or a keyfile path (hot-reloaded
-        on change — rotation without restart).
+        on change — rotation *and revocation* without restart).
     store_root:
         Directory for all durable round state.
     limits:
-        Resource policy; defaults to :class:`~.quotas.ServiceLimits`.
+        Service-default resource policy; defaults to
+        :class:`~.quotas.ServiceLimits`.
     resume:
         Recover every configured round from its ledger + spill instead
         of starting fresh.  Starting fresh over existing round files is
         refused — that is how double-counting accidents happen.
+    control_key:
+        Secret for the authenticated control plane (same formats as
+        *key*).  Without it the service answers no control frames at
+        all — a shard that was never given a control key exposes no
+        remote drain/close/pull surface.
+    shard_name / routing:
+        Scale-out membership: this service's stable shard name and the
+        :class:`~.routing.RoutingTable` (or its payload dict) to
+        enforce.  With both set, handshakes from producers the table
+        assigns to another shard are refused with a ``MOVED`` redirect.
     """
 
     def __init__(
@@ -140,6 +200,9 @@ class CollectionService:
         rounds=None,
         limits: ServiceLimits | None = None,
         resume: bool = False,
+        control_key=None,
+        shard_name: str | None = None,
+        routing=None,
     ) -> None:
         if (m is None) == (rounds is None):
             raise ValidationError(
@@ -168,6 +231,12 @@ class CollectionService:
             self.keys = KeyRegistry(default_key=key)
 
         self.limits = limits or ServiceLimits()
+        self.control_key = (
+            derive_round_key(control_key) if control_key is not None else None
+        )
+        self.shard_name = shard_name
+        if routing is not None and not isinstance(routing, RoutingTable):
+            routing = RoutingTable.from_payload(routing)
         self.store = ShardStore(store_root)
         self.registry = RoundRegistry()
         self._closed = False
@@ -184,8 +253,12 @@ class CollectionService:
                 )
             else:
                 for spec in rounds:
-                    self.add_round(*_coerce_round_spec(spec), resume=resume)
-            if not len(self.registry):
+                    m_, rid, extras = _coerce_round_spec(spec)
+                    self.add_round(m_, rid, resume=resume, **extras)
+            if not len(self.registry) and control_key is None:
+                # A control-plane shard may legitimately start bare and
+                # have its rounds registered remotely (open-round); a
+                # plain service with no rounds is an operator mistake.
                 raise ValidationError("rounds= must name at least one round")
         except BaseException:
             # A half-configured service must not leak the rounds it
@@ -196,39 +269,76 @@ class CollectionService:
                 state.release()
             raise
 
-        # Service-wide counters (sessions are a service resource; record
-        # counters live with their round and aggregate via properties).
-        self.sessions_opened = 0
-        self.sessions_rejected = 0
-        self.sessions_shed = 0
-        self.connections_failed = 0
-        self.last_connection_error: str | None = None
-
+        # Everything socket-facing lives in the session host; the
+        # service keeps round ownership and the control plane.
+        self.sessions = SessionHost(
+            keys=self.keys,
+            limits=self.limits,
+            registry=self.registry,
+            shard_name=shard_name,
+            table=routing,
+            control_handler=(
+                self._handle_control if self.control_key is not None else None
+            ),
+        )
         self._server: asyncio.AbstractServer | None = None
-        self._conn_tasks: set[asyncio.Task] = set()
-        self._session_slots = asyncio.Semaphore(self.limits.max_sessions)
-        self._waiting_sessions = 0
 
     # ------------------------------------------------------------------
     # Round management
     # ------------------------------------------------------------------
     def add_round(
-        self, m: int, round_id: int, *, resume: bool = False
+        self,
+        m: int,
+        round_id: int,
+        *,
+        resume: bool = False,
+        limits=None,
+        token=None,
     ) -> RoundState:
         """Host one more round (usable while the service is serving).
 
         The round's files live under ``<store_root>/round_<id>/``; its
-        sessions are scoped to a fresh registration token.
+        sessions are scoped to a registration token — the caller's
+        *token* (hex or 16 bytes, e.g. coordinator-minted so every
+        shard of the round shares it) or a fresh one.  *limits* layers
+        per-round overrides (a mapping) over the service defaults, or
+        substitutes a full :class:`~.quotas.ServiceLimits`; validation
+        failures name the offending round.
         """
         if self._closed:
             raise ValidationError("service is closed")
+        round_id = int(round_id)
+        if isinstance(limits, ServiceLimits):
+            round_limits = limits
+        elif limits is not None:
+            if not isinstance(limits, dict):
+                raise ValidationError(
+                    f"round {round_id}: limits overrides must be a mapping "
+                    f"of ServiceLimits fields, got {type(limits).__name__}"
+                )
+            try:
+                round_limits = self.limits.with_overrides(limits)
+            except (ValueError, TypeError) as exc:
+                raise ValidationError(
+                    f"round {round_id}: invalid limits override: {exc}"
+                ) from exc
+        else:
+            round_limits = self.limits
+        if isinstance(token, str):
+            try:
+                token = bytes.fromhex(token)
+            except ValueError as exc:
+                raise ValidationError(
+                    f"round {round_id}: token must be hex, got {token!r}"
+                ) from exc
         return self.registry.open_round(
             m,
             round_id,
             self.store.namespaced(round_namespace(round_id)),
-            self.limits,
+            round_limits,
             resume=resume,
             scoped=True,
+            token=token,
         )
 
     def round(self, round_id: int) -> RoundState:
@@ -307,6 +417,53 @@ class CollectionService:
             seen |= state.producers_seen
         return seen
 
+    # Session counters live with the session host; these properties
+    # keep the original service surface (tests and benches read them).
+    @property
+    def sessions_opened(self) -> int:
+        return self.sessions.sessions_opened
+
+    @property
+    def sessions_rejected(self) -> int:
+        return self.sessions.sessions_rejected
+
+    @property
+    def sessions_shed(self) -> int:
+        return self.sessions.sessions_shed
+
+    @property
+    def connections_failed(self) -> int:
+        return self.sessions.connections_failed
+
+    @property
+    def last_connection_error(self) -> str | None:
+        return self.sessions.last_connection_error
+
+    # ------------------------------------------------------------------
+    # Routing membership
+    # ------------------------------------------------------------------
+    @property
+    def routing(self) -> RoutingTable | None:
+        return self.sessions.table
+
+    def install_routing(self, table) -> RoutingTable:
+        """Install a newer routing table (accepts a payload dict too).
+
+        Epochs must strictly increase — a stale or replayed
+        ``route-update`` is refused, so out-of-order delivery across a
+        shard fleet can never roll a shard's table backwards.
+        """
+        if not isinstance(table, RoutingTable):
+            table = RoutingTable.from_payload(table)
+        current = self.sessions.table
+        if current is not None and table.epoch <= current.epoch:
+            raise ValidationError(
+                f"routing table epoch {table.epoch} is not newer than the "
+                f"installed epoch {current.epoch}"
+            )
+        self.sessions.table = table
+        return table
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -319,7 +476,7 @@ class CollectionService:
         if self._server is not None:
             raise ValidationError("service is already serving")
         self._server = await asyncio.start_server(
-            self._handle_connection, host=host, port=port
+            self.sessions.handle_connection, host=host, port=port
         )
         bound = self._server.sockets[0].getsockname()
         return bound[0], bound[1]
@@ -358,11 +515,7 @@ class CollectionService:
         if self._server is not None:
             server, self._server = self._server, None
             server.close()
-            for task in list(self._conn_tasks):
-                task.cancel()
-            if self._conn_tasks:
-                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-                self._conn_tasks.clear()
+            await self.sessions.cancel_connections()
             await server.wait_closed()
         # Cancelled handlers may have left submissions queued on round
         # schedulers; those hold durable work, so the rounds' close()
@@ -379,6 +532,9 @@ class CollectionService:
             "sessions_opened": self.sessions_opened,
             "sessions_rejected": self.sessions_rejected,
             "sessions_shed": self.sessions_shed,
+            "sessions_moved": self.sessions.sessions_moved,
+            "sessions_reaped_revoked": self.sessions.sessions_reaped_revoked,
+            "control_requests": self.sessions.control_requests,
             "connections_failed": self.connections_failed,
             "bytes_ingested": self.bytes_ingested,
             "n": sum(state.accumulator.n for state in rounds),
@@ -391,479 +547,147 @@ class CollectionService:
                 state.round_id: state.stats() for state in rounds
             },
         }
+        if self.shard_name is not None:
+            stats["shard"] = self.shard_name
+        if self.sessions.table is not None:
+            stats["routing_epoch"] = self.sessions.table.epoch
         if len(rounds) == 1:
             stats["m"] = rounds[0].m
             stats["round_id"] = rounds[0].round_id
         return stats
 
     # ------------------------------------------------------------------
-    # Connection handling
+    # Control plane (round ownership's remote surface)
     # ------------------------------------------------------------------
-    async def _send(self, writer: asyncio.StreamWriter, obj) -> None:
-        writer.write(wire.dumps(obj))
-        await writer.drain()
-
-    async def _refuse(
+    def _control_reply(
         self,
-        writer: asyncio.StreamWriter,
-        seq: int,
-        detail: str,
+        nonce: bytes,
+        body: dict,
         *,
-        m: int = 1,
-        round_id: int = 0,
-    ) -> None:
-        await self._send(
-            writer,
-            wire.Ack(
-                m=max(1, int(m)),
-                round_id=int(round_id),
-                seq=seq,
-                status=wire.ACK_REFUSED,
-                detail=detail,
-            ),
+        status: int = wire.CONTROL_OK,
+        attachment: bytes = b"",
+    ) -> wire.ControlReply:
+        mac = control_reply_mac(
+            self.control_key,
+            status=status,
+            nonce=nonce,
+            body=body,
+            attachment=attachment,
+        )
+        return wire.ControlReply(
+            status=status,
+            nonce=nonce,
+            body=body,
+            attachment=attachment,
+            mac=mac,
         )
 
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-        try:
-            # Backpressure gate: stall while the service is at session
-            # capacity, shed outright once the wait queue is full too.
-            if self._session_slots.locked():
-                if self._waiting_sessions >= self.limits.max_waiting_sessions:
-                    self.sessions_shed += 1
-                    await self._refuse(writer, 0, "service at capacity")
-                    return
-                self._waiting_sessions += 1
-                try:
-                    await self._session_slots.acquire()
-                finally:
-                    self._waiting_sessions -= 1
-            else:
-                await self._session_slots.acquire()
-            try:
-                await self._serve_session(reader, writer)
-            finally:
-                self._session_slots.release()
-        except asyncio.CancelledError:
-            # Service shutdown cancelled this handler; committed records
-            # are durable, the in-flight one was never acked.
-            self.connections_failed += 1
-            self.last_connection_error = (
-                "service closed during an in-flight session"
-            )
-            return
-        except (WireFormatError, ValidationError, ServiceError) as exc:
-            # One broken producer must not take the service down.
-            self.connections_failed += 1
-            self.last_connection_error = str(exc)
-            return
-        except (ConnectionError, OSError) as exc:
-            self.connections_failed += 1
-            self.last_connection_error = str(exc)
-            return
-        finally:
-            if task is not None:
-                self._conn_tasks.discard(task)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+    def _control_error(self, nonce: bytes, detail: str) -> wire.ControlReply:
+        return self._control_reply(
+            nonce, {"detail": detail}, status=wire.CONTROL_ERROR
+        )
 
-    async def _serve_session(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        quota = ConnectionQuota(self.limits)
-        try:
-            # The anti-slow-loris bound: an unauthenticated connection
-            # gets one deadline for the whole handshake, so it cannot
-            # hold a session slot by sending nothing (or half a frame).
-            resolved = await asyncio.wait_for(
-                self._handshake(reader, writer, quota),
-                self.limits.handshake_timeout_seconds,
-            )
-        except asyncio.TimeoutError:
-            self.sessions_rejected += 1
-            self.last_connection_error = "handshake timed out"
-            return
-        if resolved is None:
-            return
-        round_, producer_id = resolved
-        producer_quota = round_.producer_quota(producer_id)
+    async def _handle_control(
+        self, request: wire.ControlRequest
+    ) -> wire.ControlReply:
+        """Answer one authenticated control request.
 
-        async def refuse_record(seq: int, detail: str) -> None:
-            """Count and ack one refusal with this round's geometry.
-
-            Every refusal goes through here so no future site can
-            forget the round geometry and fall back to the m=1 default.
-            """
-            round_.records_refused += 1
-            await self._refuse(
-                writer, seq, detail, m=round_.m, round_id=round_.round_id
-            )
-        # The idle reap deadline: monotonic, measured from the last
-        # completed frame — a session's age is irrelevant, only its
-        # silence.  (Measuring from connection start would reap any
-        # legitimately long engagement, e.g. a producer trickling
-        # records to several rounds back to back.)
-        idle = Deadline(self.limits.session_idle_seconds)
-        # Group commit with double buffering: pipelined records stage
-        # into `pending` while the previous batch commits through the
-        # round's scheduler, so fsyncs overlap the network reads.  A
-        # batch closes when it hits max_commit_batch, when the stream
-        # goes idle for commit_idle_seconds, or at end of session / any
-        # refusal.  This connection's batches commit strictly in order
-        # (the next is only scheduled once the previous settled); the
-        # round's scheduler interleaves them with other sessions'
-        # batches under one fsync pair — acks still always follow the
-        # fsyncs covering them.
-        pending: list[dict] = []
-        pending_bytes = 0
-        staged_frames: dict[int, bytes] = {}
-        commit_task: asyncio.Task | None = None
-
-        async def settle() -> bool:
-            """Await the in-flight batch; True if the session survives.
-
-            ``commit_task`` is cleared only once the task has actually
-            finished: if cancellation lands while we are suspended here,
-            the still-set reference lets the function's ``finally`` wait
-            the task out instead of abandoning it mid-ack.
-            """
-            nonlocal commit_task
-            if commit_task is None:
-                return True
-            task = commit_task
-            try:
-                result = await task
-            finally:
-                if commit_task is task and task.done():
-                    commit_task = None
-            return result
-
-        async def flush() -> bool:
-            """Settle the in-flight batch, then commit `pending` inline."""
-            nonlocal pending_bytes
-            if not await settle():
-                return False
-            if not pending:
-                return True
-            batch, pending[:] = list(pending), []
-            pending_bytes = 0
-            staged_frames.clear()
-            return await self._commit_batch(writer, round_, producer_id, batch)
-
-        try:
-            while True:
-                if not pending and idle.expired():
-                    self.connections_failed += 1
-                    self.last_connection_error = "session idle timeout"
-                    await self._refuse(
-                        writer,
-                        0,
-                        "session idle timeout",
-                        m=round_.m,
-                        round_id=round_.round_id,
-                    )
-                    return
-                try:
-                    # Header deadline: the group-commit idle signal when
-                    # a batch is staged, the remaining monotonic reap
-                    # window when nothing is.  Payload deadline: a peer
-                    # stalled mid-frame can never recover to a frame
-                    # boundary, so that raises WireFormatError (drop),
-                    # not the idle TimeoutError (flush / reap).
-                    frame = await read_frame_bytes(
-                        reader,
-                        max_frame_bytes=self.limits.max_frame_bytes,
-                        header_timeout=(
-                            self.limits.commit_idle_seconds
-                            if pending
-                            else idle.remaining()
-                        ),
-                        payload_timeout=self.limits.session_idle_seconds,
-                    )
-                except asyncio.TimeoutError:
-                    if pending:
-                        if not await flush():
-                            return
-                        continue
-                    # Idle session: free the slot; everything acked is
-                    # durable, so the producer just reconnects.
-                    self.connections_failed += 1
-                    self.last_connection_error = "session idle timeout"
-                    await self._refuse(
-                        writer,
-                        0,
-                        "session idle timeout",
-                        m=round_.m,
-                        round_id=round_.round_id,
-                    )
-                    return
-                except QuotaExceededError as exc:
-                    # A failed flush already sent the connection's last
-                    # ack (a commit-time refusal); a second refusal here
-                    # would desync the client's positional accounting.
-                    if not await flush():
-                        return
-                    await refuse_record(0, str(exc))
-                    return
-                if frame is None:
-                    await flush()
-                    return  # clean end of session
-                idle.reset()
-                try:
-                    quota.charge(len(frame))
-                except QuotaExceededError as exc:
-                    if not await flush():
-                        return
-                    await refuse_record(0, str(exc))
-                    return
-                obj = wire.loads(frame)
-                if not isinstance(obj, wire.Record):
-                    if not await flush():
-                        return
-                    await refuse_record(
-                        0,
-                        f"expected a record frame, got {type(obj).__name__}",
-                    )
-                    return
-                staged = round_.stage_record(producer_id, obj, staged_frames)
-                if staged["status"] == "refused":
-                    if not await flush():
-                        return
-                    await refuse_record(obj.seq, staged["detail"])
-                    return
-                if staged["status"] == "fresh":
-                    # Producer and round budgets meter records accepted
-                    # for commit — never duplicates — so the blind
-                    # resend the exactly-once protocol relies on is
-                    # quota-free, before and after a restart.  (The
-                    # connection quota above still bounds raw ingest.)
-                    # Charges are atomic and paired: a refused or
-                    # half-failed attempt leaves both meters untouched,
-                    # and charges for records that end up NOT
-                    # committing are refunded — see
-                    # RoundState.refund_uncommitted.
-                    try:
-                        producer_quota.charge(len(staged["frame"]))
-                        try:
-                            round_.quota.charge(len(staged["frame"]))
-                        except QuotaExceededError:
-                            producer_quota.refund(len(staged["frame"]))
-                            raise
-                        staged["charged"] = len(staged["frame"])
-                    except QuotaExceededError as exc:
-                        if not await flush():
-                            return
-                        await refuse_record(obj.seq, str(exc))
-                        return
-                pending.append(staged)
-                pending_bytes += len(frame)
-                if staged["status"] == "fresh":
-                    staged_frames[obj.seq] = staged["frame"]
-                if (
-                    len(pending) >= self.limits.max_commit_batch
-                    or pending_bytes >= self.limits.max_commit_batch_bytes
-                ):
-                    # Hand the full batch to a background commit and keep
-                    # reading; if the previous batch refused (equivocation
-                    # at commit time), the session is over.
-                    if not await settle():
-                        return
-                    batch, pending = pending, []
-                    pending_bytes = 0
-                    staged_frames = {}
-                    commit_task = asyncio.create_task(
-                        self._commit_batch(writer, round_, producer_id, batch)
-                    )
-        finally:
-            # Staged-but-never-submitted records will be resent by the
-            # producer; give their quota charges back first.  (Items
-            # handed to a commit task are the scheduler's to settle.)
-            round_.refund_uncommitted(producer_id, pending)
-            # Never abandon an in-flight commit's *ack half*: the
-            # durable half lives with the round's scheduler (drained at
-            # close), but this task still owes the client its acks.
-            # Its writes may fail against a closing socket; swallow
-            # that rather than masking the original exit.
-            if commit_task is not None:
-                try:
-                    await commit_task
-                except Exception:
-                    pass
-
-    async def _handshake(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        quota: ConnectionQuota,
-    ) -> tuple[RoundState, str] | None:
-        """Run the server side of the HMAC handshake.
-
-        Routes the HELLO through the round registry and authenticates
-        against the producer's own key.  Returns ``(round, producer_id)``,
-        or ``None`` after a refusal ack (the caller just closes the
-        connection).
+        Every reply — success or error — echoes the request nonce under
+        the reply MAC, so the coordinator can trust refusals too.  The
+        single exception is a bad request MAC: that refusal carries the
+        nonce but proves nothing (an unauthenticated peer learns only
+        that it is unauthenticated).
         """
-        frame = await read_frame_bytes(
-            reader, max_frame_bytes=self.limits.max_frame_bytes
-        )
-        if frame is None:
-            return None  # connected and left without a word
-        quota.charge(len(frame))
-        hello = wire.loads(frame)
-        if not isinstance(hello, wire.SessionHello):
-            self.sessions_rejected += 1
-            await self._refuse(
-                writer,
-                0,
-                f"expected a session hello, got {type(hello).__name__}",
+        if not verify_control_request_mac(
+            self.control_key,
+            request.mac,
+            op=request.op,
+            nonce=request.nonce,
+            body=request.body,
+        ):
+            return self._control_error(
+                request.nonce, "control authentication failed"
             )
-            return None
-        round_ = self.registry.get(hello.round_id)
-        if round_ is None:
-            self.sessions_rejected += 1
-            await self._refuse(
-                writer,
-                0,
-                f"round mismatch: this service hosts rounds "
-                f"{self.registry.round_ids()}, hello claims round "
-                f"{hello.round_id}",
-                m=hello.m,
-                round_id=hello.round_id,
-            )
-            return None
-        if hello.m != round_.m:
-            self.sessions_rejected += 1
-            await self._refuse(
-                writer,
-                0,
-                f"round mismatch: round {round_.round_id} is "
-                f"m={round_.m}, hello claims m={hello.m}",
-                m=round_.m,
-                round_id=round_.round_id,
-            )
-            return None
-        # Key lookup happens here, but an unknown producer is NOT
-        # refused yet: it receives a challenge like anyone else and
-        # fails at proof verification with the same message as a
-        # wrong key, so an unauthenticated client cannot probe which
-        # producer ids are registered (enumeration oracle).
-        producer_key = self.keys.lookup(hello.producer_id)
-        server_nonce = fresh_nonce()
-        await self._send(
-            writer,
-            wire.SessionChallenge(
-                m=round_.m,
-                round_id=round_.round_id,
-                nonce=server_nonce,
-                round_token=round_.token,
-            ),
-        )
-        frame = await read_frame_bytes(
-            reader, max_frame_bytes=self.limits.max_frame_bytes
-        )
-        if frame is None:
-            self.sessions_rejected += 1
-            return None
-        quota.charge(len(frame))
-        proof = wire.loads(frame)
-        authenticated = (
-            producer_key is not None
-            and isinstance(proof, wire.SessionProof)
-            and verify_session_mac(
-                producer_key,
-                proof.mac,
-                m=round_.m,
-                round_id=round_.round_id,
-                producer_id=hello.producer_id,
-                client_nonce=hello.nonce,
-                server_nonce=server_nonce,
-                round_token=round_.token,
-            )
-        )
-        if not authenticated:
-            self.sessions_rejected += 1
-            await self._refuse(
-                writer,
-                0,
-                "authentication failed",
-                m=round_.m,
-                round_id=round_.round_id,
-            )
-            return None
-        self.sessions_opened += 1
-        round_.producers_seen.add(hello.producer_id)
-        await self._send(
-            writer,
-            wire.Ack(
-                m=round_.m,
-                round_id=round_.round_id,
-                seq=0,
-                status=wire.ACK_SESSION,
-                detail=hello.producer_id,
-            ),
-        )
-        return round_, hello.producer_id
+        try:
+            return await self._dispatch_control(request)
+        except (ValidationError, ServiceError, ValueError, KeyError) as exc:
+            return self._control_error(request.nonce, str(exc))
 
-    # ------------------------------------------------------------------
-    # The exactly-once record commit
-    # ------------------------------------------------------------------
-    async def _commit_batch(
-        self,
-        writer: asyncio.StreamWriter,
-        round_: RoundState,
-        producer_id: str,
-        pending: list[dict],
-    ) -> bool:
-        """Commit a staged batch through the round's scheduler, then ack.
-
-        The scheduler resolves every item's status under the fsync pair
-        covering it (group commit, possibly coalesced with other
-        sessions' batches); acks go out here, in this connection's
-        stage order, only afterwards — each individual ack still
-        certifies durability.  Returns False when an equivocation
-        surfaced at commit time (connection must drop).
-        """
-        await round_.scheduler.submit(producer_id, pending)
-        return await self._send_batch_acks(writer, round_, pending)
-
-    async def _send_batch_acks(
-        self,
-        writer: asyncio.StreamWriter,
-        round_: RoundState,
-        pending: list[dict],
-    ) -> bool:
-        survived = True
-        for item in pending:
-            if item["status"] == "merged":
-                status, detail = wire.ACK_MERGED, ""
-            elif item["status"] == "duplicate":
-                round_.records_duplicate += 1
-                status, detail = wire.ACK_DUPLICATE, "already merged"
-            else:  # equivocation discovered at commit time
-                round_.records_refused += 1
-                status = wire.ACK_REFUSED
-                detail = (
-                    f"equivocation: seq {item['seq']} is already "
-                    "committed with different frame bytes"
+    async def _dispatch_control(
+        self, request: wire.ControlRequest
+    ) -> wire.ControlReply:
+        op, body, nonce = request.op, request.body, request.nonce
+        if op == "status":
+            if body.get("round_id") is not None:
+                return self._control_reply(
+                    nonce, self.round(int(body["round_id"])).stats()
                 )
-                survived = False
-            await self._send(
-                writer,
-                wire.Ack(
-                    m=round_.m,
-                    round_id=round_.round_id,
-                    seq=item["seq"],
-                    status=status,
-                    detail=detail,
-                ),
+            return self._control_reply(nonce, self.stats())
+        if op == "drain":
+            state = self.round(int(body["round_id"]))
+            state.drain()
+            return self._control_reply(
+                nonce,
+                {"round_id": state.round_id, "phase": state.lifecycle.phase},
             )
-            if not survived:
-                break  # refusal is the connection's last ack
-        return survived
+        if op == "close-round":
+            state = self.round(int(body["round_id"]))
+            await state.close(snapshot=bool(body.get("snapshot", True)))
+            return self._control_reply(
+                nonce,
+                {"round_id": state.round_id, "phase": state.lifecycle.phase},
+            )
+        if op == "retire-round":
+            state = self.registry.retire(int(body["round_id"]))
+            return self._control_reply(
+                nonce,
+                {"round_id": state.round_id, "phase": state.lifecycle.phase},
+            )
+        if op == "open-round":
+            state = self.add_round(
+                int(body["m"]),
+                int(body["round_id"]),
+                resume=bool(body.get("resume", False)),
+                limits=body.get("limits"),
+                token=body.get("token"),
+            )
+            return self._control_reply(
+                nonce,
+                {
+                    "round_id": state.round_id,
+                    "m": state.m,
+                    "phase": state.lifecycle.phase,
+                    "recovered_records": state.recovered_records,
+                },
+            )
+        if op == "pull-state":
+            state = self.round(int(body["round_id"]))
+            # The attachment is the round's accumulator as a core wire
+            # snapshot — the same frame bytes a single-process round
+            # would spill — and the body carries its digest so the
+            # aggregator verifies what it decodes before merging.
+            attachment = wire.dump_snapshot(state.accumulator)
+            return self._control_reply(
+                nonce,
+                {
+                    "round_id": state.round_id,
+                    "m": state.m,
+                    "n": state.accumulator.n,
+                    "digest": state.accumulator.digest(),
+                    "records_merged": state.records_merged,
+                    "phase": state.lifecycle.phase,
+                },
+                attachment=attachment,
+            )
+        if op == "route-table":
+            table = self.sessions.table
+            return self._control_reply(
+                nonce,
+                {"table": table.to_payload() if table is not None else None},
+            )
+        if op == "route-update":
+            table = self.install_routing(body["table"])
+            return self._control_reply(nonce, {"epoch": table.epoch})
+        return self._control_error(
+            nonce, f"unknown control op {op!r}; ops: {', '.join(CONTROL_OPS)}"
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import BudgetSpec, IDUE, MIN
+from repro import BudgetSpec, IDUE
 from repro.audit import unary_channel
 from repro.core import channel_mutual_information, per_input_kl_divergence
 from repro.exceptions import ValidationError

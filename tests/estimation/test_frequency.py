@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import BudgetSpec, FrequencyEstimator, IDUE, IDUEPS, OptimizedUnaryEncoding
+from repro import FrequencyEstimator, IDUE, IDUEPS, OptimizedUnaryEncoding
 from repro.exceptions import EstimationError, ValidationError
 
 

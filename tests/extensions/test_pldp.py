@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import BudgetSpec, IDLDP, MIN
+from repro import IDLDP, MIN
 from repro.audit import audit_unary_pairwise
-from repro.exceptions import EstimationError, ValidationError
+from repro.exceptions import ValidationError
 from repro.extensions import PLDPCollector
 
 

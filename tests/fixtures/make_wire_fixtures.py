@@ -30,6 +30,8 @@ CHALLENGE_V3_FILE = "challenge_v3_m16_round2.bin"
 PROOF_FILE = "proof_v2_m16_round2.bin"
 RECORD_FILE = "record_v2_m21_seq9_round7.bin"
 ACK_FILE = "ack_v2_m16_seq9_round2.bin"
+CONTROL_REQUEST_FILE = "control_request_v4_drain_round2.bin"
+CONTROL_REPLY_FILE = "control_reply_v4_ok_round2.bin"
 
 # Deterministic handshake bytes: fixtures must be reproducible, so the
 # nonces/token/MAC are fixed patterns, not fresh randomness.
@@ -37,6 +39,9 @@ CLIENT_NONCE = bytes(range(16))
 SERVER_NONCE = bytes(range(16, 32))
 ROUND_TOKEN = bytes(range(32, 48))
 PROOF_MAC = bytes(range(64, 96))
+CONTROL_NONCE = bytes(range(48, 64))
+CONTROL_MAC = bytes(range(96, 128))
+CONTROL_ATTACHMENT = b"attached-snapshot-bytes"
 
 
 def golden_snapshot() -> CountAccumulator:
@@ -90,6 +95,27 @@ def golden_ack() -> wire.Ack:
     )
 
 
+def golden_control_request() -> wire.ControlRequest:
+    """A drain of round 2: op + nonce + canonical-JSON body + MAC."""
+    return wire.ControlRequest(
+        op="drain",
+        nonce=CONTROL_NONCE,
+        body={"round_id": 2},
+        mac=CONTROL_MAC,
+    )
+
+
+def golden_control_reply() -> wire.ControlReply:
+    """An OK reply echoing the request nonce, with an attachment."""
+    return wire.ControlReply(
+        status=wire.CONTROL_OK,
+        nonce=CONTROL_NONCE,
+        body={"phase": "draining", "round_id": 2},
+        attachment=CONTROL_ATTACHMENT,
+        mac=CONTROL_MAC,
+    )
+
+
 def main() -> None:
     os.makedirs(FIXTURE_DIR, exist_ok=True)
     for name, obj in (
@@ -101,6 +127,8 @@ def main() -> None:
         (PROOF_FILE, golden_proof()),
         (RECORD_FILE, golden_record()),
         (ACK_FILE, golden_ack()),
+        (CONTROL_REQUEST_FILE, golden_control_request()),
+        (CONTROL_REPLY_FILE, golden_control_reply()),
     ):
         path = os.path.join(FIXTURE_DIR, name)
         with open(path, "wb") as handle:

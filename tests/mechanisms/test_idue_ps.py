@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import BudgetSpec, IDUEPS, itemset_budget
+from repro import IDUEPS, itemset_budget
 from repro.exceptions import ValidationError
 from repro.mechanisms.base import UnaryMechanism
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import BudgetSpec
 from repro.exceptions import SolverError
 from repro.optim import build_constraints, solve_opt0, solve_opt1, solve_opt2
 import repro.optim.opt0 as opt0_module

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import BudgetSpec, IDUEPS, OptimizedUnaryEncoding
+from repro import IDUEPS, OptimizedUnaryEncoding
 from repro.datasets import ItemsetDataset
 from repro.exceptions import ValidationError
 from repro.mechanisms import GeneralizedRandomizedResponse

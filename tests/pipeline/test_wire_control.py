@@ -1,0 +1,217 @@
+"""Version-4 control frames: golden fixtures, round-trips, loudness.
+
+Control frames carry the scale-out tier's coordination verbs (drain,
+close, pull-state, route-update, ...) between coordinator, shards, and
+aggregator.  They ride the same `IDLP` header as every other frame but
+carry no producer data — geometry is pinned to (m=1, n=0, round=0) and
+the target round travels in the JSON body.  These tests pin the byte
+layout (golden fixtures), the canonical body encoding the MACs depend
+on, and the failure modes: truncation anywhere in the variable-length
+payload must raise :class:`WireFormatError`, never return a partially
+parsed frame.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.exceptions import ValidationError, WireFormatError
+from repro.pipeline.collect import wire
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "fixtures",
+    "wire",
+)
+REQUEST_PATH = os.path.join(FIXTURE_DIR, "control_request_v4_drain_round2.bin")
+REPLY_PATH = os.path.join(FIXTURE_DIR, "control_reply_v4_ok_round2.bin")
+
+# Pinned constants, duplicated from make_wire_fixtures.py on purpose.
+CONTROL_NONCE = bytes(range(48, 64))
+CONTROL_MAC = bytes(range(96, 128))
+CONTROL_ATTACHMENT = b"attached-snapshot-bytes"
+
+
+def _read(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestGoldenControlRequest:
+    def test_decodes_to_pinned_fields(self):
+        request = wire.loads(_read(REQUEST_PATH))
+        assert isinstance(request, wire.ControlRequest)
+        assert request.op == "drain"
+        assert request.nonce == CONTROL_NONCE
+        assert request.body == {"round_id": 2}
+        assert request.mac == CONTROL_MAC
+
+    def test_reencodes_byte_exact(self):
+        blob = _read(REQUEST_PATH)
+        assert wire.dumps(wire.loads(blob)) == blob
+
+    def test_fresh_encode_matches_committed_bytes(self):
+        request = wire.ControlRequest(
+            op="drain",
+            nonce=CONTROL_NONCE,
+            body={"round_id": 2},
+            mac=CONTROL_MAC,
+        )
+        assert wire.dumps(request) == _read(REQUEST_PATH)
+
+
+class TestGoldenControlReply:
+    def test_decodes_to_pinned_fields(self):
+        reply = wire.loads(_read(REPLY_PATH))
+        assert isinstance(reply, wire.ControlReply)
+        assert reply.status == wire.CONTROL_OK
+        assert reply.nonce == CONTROL_NONCE
+        assert reply.body == {"phase": "draining", "round_id": 2}
+        assert reply.attachment == CONTROL_ATTACHMENT
+        assert reply.mac == CONTROL_MAC
+
+    def test_reencodes_byte_exact(self):
+        blob = _read(REPLY_PATH)
+        assert wire.dumps(wire.loads(blob)) == blob
+
+    def test_fresh_encode_matches_committed_bytes(self):
+        reply = wire.ControlReply(
+            status=wire.CONTROL_OK,
+            nonce=CONTROL_NONCE,
+            body={"phase": "draining", "round_id": 2},
+            attachment=CONTROL_ATTACHMENT,
+            mac=CONTROL_MAC,
+        )
+        assert wire.dumps(reply) == _read(REPLY_PATH)
+
+
+class TestCanonicalBody:
+    def test_key_order_never_changes_the_bytes(self):
+        assert wire.encode_control_body(
+            {"b": 1, "a": 2}
+        ) == wire.encode_control_body({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        assert wire.encode_control_body({"a": [1, 2]}) == b'{"a":[1,2]}'
+
+    def test_non_dict_refused(self):
+        with pytest.raises(ValidationError, match="must be a dict"):
+            wire.encode_control_body(["not", "a", "dict"])
+
+    def test_unserializable_refused(self):
+        with pytest.raises(ValidationError, match="not JSON-serializable"):
+            wire.encode_control_body({"key": object()})
+
+    def test_non_json_body_decode_is_loud(self):
+        with pytest.raises(WireFormatError, match="not valid JSON"):
+            wire.decode_control_body(b"\xff\xfe", "control-request")
+
+    def test_non_object_body_decode_is_loud(self):
+        with pytest.raises(WireFormatError, match="JSON object"):
+            wire.decode_control_body(b"[1,2]", "control-request")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            wire.ControlRequest(op="status", nonce=bytes(16)),
+            wire.ControlRequest(
+                op="open-round",
+                nonce=CONTROL_NONCE,
+                body={"m": 64, "round_id": 9, "token": "ab" * 16},
+                mac=bytes(range(32)),
+            ),
+            wire.ControlRequest(
+                op="x" * wire.CONTROL_OP_MAX_BYTES, nonce=bytes(16)
+            ),
+        ],
+    )
+    def test_request_round_trip(self, request_):
+        assert wire.loads(wire.dumps(request_)) == request_
+
+    @pytest.mark.parametrize(
+        "reply",
+        [
+            wire.ControlReply(status=wire.CONTROL_OK, nonce=bytes(16)),
+            wire.ControlReply(
+                status=wire.CONTROL_ERROR,
+                nonce=CONTROL_NONCE,
+                body={"detail": "round 9 is not hosted"},
+            ),
+            wire.ControlReply(
+                status=wire.CONTROL_OK,
+                nonce=bytes(16),
+                body={"digest": "ff" * 32},
+                attachment=bytes(range(256)) * 4,
+            ),
+        ],
+    )
+    def test_reply_round_trip(self, reply):
+        assert wire.loads(wire.dumps(reply)) == reply
+
+    def test_empty_attachment_stays_empty(self):
+        reply = wire.loads(
+            wire.dumps(wire.ControlReply(status=wire.CONTROL_OK, nonce=bytes(16)))
+        )
+        assert reply.attachment == b""
+
+
+class TestEncodeRefusals:
+    def test_oversized_op_refused(self):
+        with pytest.raises(ValidationError, match="op"):
+            wire.dumps(
+                wire.ControlRequest(
+                    op="y" * (wire.CONTROL_OP_MAX_BYTES + 1), nonce=bytes(16)
+                )
+            )
+
+    def test_bad_reply_status_refused(self):
+        with pytest.raises(ValidationError, match="status"):
+            wire.dumps(wire.ControlReply(status=7, nonce=bytes(16)))
+
+
+def _reframe_truncated(blob: bytes, kind: int, cut: int) -> bytes:
+    """Re-seal a frame whose *payload* lost its last *cut* bytes.
+
+    Slicing the outer blob only exercises the frame-length check; this
+    rebuilds a checksum-valid frame around the truncated payload, so the
+    *inner* control parser is what must refuse it.
+    """
+    payload = blob[wire.HEADER_SIZE :][:-cut]
+    return wire._frame(kind, 1, 0, 0, payload)
+
+
+class TestTruncationIsLoud:
+    """Every variable-length field boundary must fail loudly when cut."""
+
+    @pytest.mark.parametrize("cut", [1, 16, 32, 33, 50, 74])
+    def test_cut_request_payloads_never_parse_silently(self, cut):
+        blob = _read(REQUEST_PATH)
+        with pytest.raises(WireFormatError):
+            wire.loads(
+                _reframe_truncated(blob, wire.KIND_CONTROL_REQUEST, cut)
+            )
+
+    @pytest.mark.parametrize("cut", [1, 8, 23, 24, 40, 60, 100])
+    def test_cut_reply_payloads_never_parse_silently(self, cut):
+        blob = _read(REPLY_PATH)
+        with pytest.raises(WireFormatError):
+            wire.loads(_reframe_truncated(blob, wire.KIND_CONTROL_REPLY, cut))
+
+    def test_outer_truncation_is_loud_too(self):
+        for path in (REQUEST_PATH, REPLY_PATH):
+            with pytest.raises(WireFormatError, match="truncated"):
+                wire.loads(_read(path)[:-3])
+
+    def test_oversized_op_length_claim_is_loud(self):
+        blob = _read(REQUEST_PATH)
+        payload = bytearray(blob[wire.HEADER_SIZE :])
+        payload[0:2] = struct.pack("<H", wire.CONTROL_OP_MAX_BYTES + 1)
+        with pytest.raises(WireFormatError, match="65-byte op"):
+            wire.loads(
+                wire._frame(wire.KIND_CONTROL_REQUEST, 1, 0, 0, bytes(payload))
+            )

@@ -1,0 +1,193 @@
+"""The round lifecycle state machine, exhaustively.
+
+``open → serving → draining → closed → retired`` with forward-only
+skips — the one authoritative answer to "what is round 7 doing?".
+These tests enumerate the complete transition relation (every legal
+move succeeds, every one of the remaining 5x5 - 7 moves raises),
+then pin the behavior the machine gates in a real
+:class:`~repro.pipeline.service.rounds.RoundState`: draining refuses
+new records while staged work still commits, and retiring frees the
+round's store handles so its id can be re-registered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.collect import wire
+from repro.pipeline.service.lifecycle import (
+    CLOSED,
+    DRAINING,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    PHASES,
+    RETIRED,
+    SERVING,
+    RoundLifecycle,
+)
+from repro.pipeline.service.quotas import ServiceLimits
+from repro.pipeline.service.rounds import RoundRegistry
+
+ILLEGAL = [
+    pair
+    for pair in itertools.product(PHASES, repeat=2)
+    if pair not in LEGAL_TRANSITIONS
+]
+
+
+class TestTransitionRelation:
+    def test_relation_is_exactly_the_documented_seven(self):
+        assert LEGAL_TRANSITIONS == {
+            (OPEN, SERVING),
+            (OPEN, DRAINING),
+            (OPEN, CLOSED),
+            (SERVING, DRAINING),
+            (SERVING, CLOSED),
+            (DRAINING, CLOSED),
+            (CLOSED, RETIRED),
+        }
+
+    @pytest.mark.parametrize("source,target", sorted(LEGAL_TRANSITIONS))
+    def test_every_legal_transition_succeeds(self, source, target):
+        lifecycle = RoundLifecycle(7, phase=source)
+        assert lifecycle.can_transition(target)
+        lifecycle.transition(target)
+        assert lifecycle.phase == target
+
+    @pytest.mark.parametrize("source,target", ILLEGAL)
+    def test_every_illegal_transition_raises(self, source, target):
+        lifecycle = RoundLifecycle(7, phase=source)
+        assert not lifecycle.can_transition(target)
+        with pytest.raises(ValidationError, match="cannot move"):
+            lifecycle.transition(target)
+        assert lifecycle.phase == source  # unchanged after the refusal
+
+    def test_transitions_never_move_backward(self):
+        order = {phase: index for index, phase in enumerate(PHASES)}
+        assert all(order[a] < order[b] for a, b in LEGAL_TRANSITIONS)
+
+    def test_retired_is_terminal(self):
+        assert not any(a == RETIRED for a, _ in LEGAL_TRANSITIONS)
+        assert RoundLifecycle(1, phase=RETIRED).is_terminal
+
+    def test_retired_only_reachable_from_closed(self):
+        assert [a for a, b in LEGAL_TRANSITIONS if b == RETIRED] == [CLOSED]
+
+    def test_unknown_phase_is_loud(self):
+        with pytest.raises(ValidationError, match="unknown lifecycle phase"):
+            RoundLifecycle(1, phase="paused")
+        with pytest.raises(ValidationError, match="unknown lifecycle phase"):
+            RoundLifecycle(1).transition("paused")
+
+    def test_error_names_round_and_legal_targets(self):
+        with pytest.raises(ValidationError, match=r"round 42 .*'serving'"):
+            RoundLifecycle(42, phase=CLOSED).transition(SERVING)
+
+
+class TestQueries:
+    def test_only_serving_accepts_anything(self):
+        for phase in PHASES:
+            lifecycle = RoundLifecycle(1, phase=phase)
+            assert lifecycle.accepts_sessions == (phase == SERVING)
+            assert lifecycle.accepts_records == (phase == SERVING)
+
+    def test_require_passes_and_fails_loudly(self):
+        lifecycle = RoundLifecycle(3, phase=DRAINING)
+        lifecycle.require(DRAINING, CLOSED)
+        with pytest.raises(ValidationError, match="round 3 is 'draining'"):
+            lifecycle.require(SERVING)
+
+
+def _record_frame(m: int, round_id: int, seq: int) -> wire.Record:
+    import numpy as np
+
+    rows = np.packbits(np.ones((1, m), dtype=np.uint8), axis=1)
+    inner = wire.dump_chunk(rows, m, round_id=round_id)
+    return wire.Record(m=m, round_id=round_id, seq=seq, frame=inner)
+
+
+class TestRoundStateGates:
+    """The machine wired into a real round: staging and handle release."""
+
+    def _open(self, tmp_path, **kwargs):
+        from repro.pipeline import ShardStore
+
+        registry = RoundRegistry()
+        state = registry.open_round(
+            8, 5, ShardStore(str(tmp_path)), ServiceLimits(), **kwargs
+        )
+        return registry, state
+
+    def test_open_round_serves_by_default(self, tmp_path):
+        registry, state = self._open(tmp_path)
+        assert state.lifecycle.phase == SERVING
+        asyncio.run(state.close())
+
+    def test_coordinator_managed_round_starts_open(self, tmp_path):
+        registry, state = self._open(tmp_path, serve=False)
+        assert state.lifecycle.phase == OPEN
+        result = state.stage_record("edge-1", _record_frame(8, 5, 0), {})
+        assert result["status"] == "refused"
+        assert "round 5 is open" in result["detail"]
+        asyncio.run(state.close())
+
+    def test_draining_refuses_new_records_but_staged_work_commits(
+        self, tmp_path
+    ):
+        async def scenario():
+            registry, state = self._open(tmp_path)
+            staged: dict[int, bytes] = {}
+            fresh = state.stage_record("edge-1", _record_frame(8, 5, 0), staged)
+            assert fresh["status"] == "fresh"
+            staged[0] = fresh["frame"]
+            state.drain()
+            # Already-staged work still commits and is acked...
+            await state.scheduler.submit("edge-1", [fresh])
+            assert fresh["status"] == "merged"
+            assert state.accumulator.n == 1
+            # ...but nothing new may stage.
+            late = state.stage_record("edge-1", _record_frame(8, 5, 1), {})
+            assert late["status"] == "refused"
+            assert "round 5 is draining" in late["detail"]
+            await state.close()
+            assert state.lifecycle.phase == CLOSED
+
+        asyncio.run(scenario())
+
+    def test_retire_requires_close_and_frees_handles(self, tmp_path):
+        async def scenario():
+            registry, state = self._open(tmp_path)
+            fresh = state.stage_record("edge-1", _record_frame(8, 5, 0), {})
+            await state.scheduler.submit("edge-1", [fresh])
+            with pytest.raises(ValidationError, match="cannot move"):
+                registry.retire(5)  # still serving: refused, still hosted
+            assert registry.get(5) is state
+            await state.close()
+            retired = registry.retire(5)
+            assert retired.lifecycle.phase == RETIRED
+            assert registry.get(5) is None
+            # Handles are freed: the writer refuses further appends...
+            with pytest.raises(ValidationError, match="closed"):
+                state.writer.append_frame(b"late")
+            # ...and the id is re-registrable as a fresh incarnation
+            # over the same durable state.
+            from repro.pipeline import ShardStore
+
+            reopened = registry.open_round(
+                8, 5, ShardStore(str(tmp_path)), ServiceLimits(), resume=True
+            )
+            assert reopened.accumulator.n == 1  # the committed record
+            assert reopened.token != state.token  # new incarnation
+            await reopened.close()
+
+        asyncio.run(scenario())
+
+    def test_retire_unknown_round_is_loud(self, tmp_path):
+        registry, state = self._open(tmp_path)
+        with pytest.raises(ValidationError, match="round 9 is not hosted"):
+            registry.retire(9)
+        asyncio.run(state.close())

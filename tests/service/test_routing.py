@@ -1,0 +1,173 @@
+"""Consistent-hash producer routing: determinism, stability, MOVED.
+
+The property that justifies consistent hashing over modulo assignment
+is *minimal movement*: adding a shard may move producers only **onto**
+the new shard, and removing one may move only **that shard's**
+producers.  The hypothesis tests below pin exactly that, over random
+fleets and producer populations; the unit tests pin determinism (same
+names → same ring, regardless of address or insertion order), the
+payload round-trip the control plane ships, and the MOVED redirect
+grammar stale clients follow.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.pipeline.service.routing import (
+    RoutingTable,
+    ShardInfo,
+    format_moved,
+    parse_moved,
+)
+
+ALPHA = ShardInfo("alpha", "127.0.0.1", 7001)
+BETA = ShardInfo("beta", "127.0.0.1", 7002)
+GAMMA = ShardInfo("gamma", "10.0.0.9", 7003)
+
+shard_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+producer_ids = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=64, unique=True
+)
+
+
+def _fleet(names: list[str]) -> list[ShardInfo]:
+    return [
+        ShardInfo(name, "127.0.0.1", 7000 + index)
+        for index, name in enumerate(names)
+    ]
+
+
+class TestShardInfo:
+    def test_rejects_separator_characters_in_names(self):
+        for bad in ("a=b", "a b", "a\tb", "", "a\nb"):
+            with pytest.raises(ValidationError):
+                ShardInfo(bad, "127.0.0.1", 7000)
+
+    def test_rejects_bad_ports(self):
+        for bad in (-1, 65536, 1 << 20):
+            with pytest.raises(ValidationError):
+                ShardInfo("alpha", "127.0.0.1", bad)
+
+
+class TestRoutingTable:
+    def test_owner_is_deterministic(self):
+        table = RoutingTable([ALPHA, BETA, GAMMA], epoch=1)
+        again = RoutingTable([GAMMA, ALPHA, BETA], epoch=1)
+        for producer in (f"producer-{i}" for i in range(50)):
+            assert table.owner(producer) == again.owner(producer)
+
+    def test_ownership_ignores_addresses(self):
+        """Ring points hash names, so a shard rebinding its port after a
+        crash-restart moves zero producers."""
+        before = RoutingTable([ALPHA, BETA], epoch=1)
+        rebound = RoutingTable(
+            [ShardInfo("alpha", "127.0.0.1", 9999), BETA], epoch=2
+        )
+        for producer in (f"producer-{i}" for i in range(50)):
+            assert before.owner(producer).name == rebound.owner(producer).name
+
+    def test_all_shards_reachable(self):
+        table = RoutingTable([ALPHA, BETA, GAMMA], epoch=1)
+        owners = {
+            table.owner(f"producer-{i}").name for i in range(500)
+        }
+        assert owners == {"alpha", "beta", "gamma"}
+
+    def test_with_and_without_shard_bump_the_epoch(self):
+        table = RoutingTable([ALPHA, BETA], epoch=3)
+        grown = table.with_shard(GAMMA)
+        assert grown.epoch == 4 and len(grown.shards()) == 3
+        shrunk = grown.without_shard("beta")
+        assert shrunk.epoch == 5 and shrunk.names() == ["alpha", "gamma"]
+
+    def test_removing_the_last_shard_is_loud(self):
+        with pytest.raises(ValidationError):
+            RoutingTable([ALPHA], epoch=1).without_shard("alpha")
+
+    def test_duplicate_names_are_loud(self):
+        with pytest.raises(ValidationError):
+            RoutingTable(
+                [ALPHA, ShardInfo("alpha", "10.0.0.2", 8000)], epoch=1
+            )
+
+    def test_payload_round_trip(self):
+        table = RoutingTable([ALPHA, BETA, GAMMA], epoch=7)
+        clone = RoutingTable.from_payload(table.to_payload())
+        assert clone.epoch == 7
+        assert clone.names() == table.names()
+        for producer in (f"p-{i}" for i in range(100)):
+            assert clone.owner(producer) == table.owner(producer)
+
+
+class TestMovedGrammar:
+    def test_round_trip(self):
+        message = format_moved(9, GAMMA)
+        epoch, name, host, port = parse_moved(message)
+        assert (epoch, name, host, port) == (9, "gamma", "10.0.0.9", 7003)
+
+    def test_parse_rejects_non_moved_text(self):
+        assert parse_moved("authentication failed") is None
+
+    def test_format_is_the_documented_grammar(self):
+        assert format_moved(3, ALPHA) == (
+            "MOVED epoch=3 shard=alpha addr=127.0.0.1:7001"
+        )
+
+
+class TestStabilityProperties:
+    """The minimal-movement contract, over random fleets."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(names=shard_names, producers=producer_ids)
+    def test_adding_a_shard_only_moves_producers_onto_it(
+        self, names, producers
+    ):
+        table = RoutingTable(_fleet(names), epoch=1)
+        new = ShardInfo("zz-new-shard", "127.0.0.1", 9000)
+        grown = table.with_shard(new)
+        for producer in producers:
+            before = table.owner(producer).name
+            after = grown.owner(producer).name
+            assert after in (before, new.name)
+
+    @settings(max_examples=60, deadline=None)
+    @given(names=shard_names, producers=producer_ids, data=st.data())
+    def test_removing_a_shard_only_moves_its_own_producers(
+        self, names, producers, data
+    ):
+        if len(names) < 2:
+            return  # removing the only shard is a (tested) error
+        table = RoutingTable(_fleet(names), epoch=1)
+        victim = data.draw(st.sampled_from(names))
+        shrunk = table.without_shard(victim)
+        for producer in producers:
+            before = table.owner(producer).name
+            after = shrunk.owner(producer).name
+            if before != victim:
+                assert after == before
+            else:
+                assert after != victim
+
+    @settings(max_examples=30, deadline=None)
+    @given(names=shard_names, producers=producer_ids)
+    def test_remove_then_readd_restores_every_assignment(
+        self, names, producers
+    ):
+        if len(names) < 2:
+            return
+        table = RoutingTable(_fleet(names), epoch=1)
+        victim = table.shards()[0]
+        cycled = table.without_shard(victim.name).with_shard(victim)
+        for producer in producers:
+            assert cycled.owner(producer).name == table.owner(producer).name
