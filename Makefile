@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-faults coverage check bench bench-pipeline bench-collect bench-service bench-scaleout-smoke bench-json
+.PHONY: test test-faults coverage check bench bench-pipeline bench-collect bench-service bench-scaleout-smoke bench-json bench-smoke
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -81,6 +81,17 @@ bench-scaleout-smoke:
 	BENCH_SCALEOUT_SMOKE=1 $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest \
 		"benchmarks/bench_service.py::bench_service_scaleout" -q \
 		-o python_files='bench_*.py' -o python_functions='bench_*'
+
+# Tiny-scale throughput run (BENCH_SMOKE=1) into a scratch JSON, then
+# validate that every compute backend available on this machine ran and
+# emitted a well-formed record.  CI runs this with and without the
+# numba extra; it never touches the committed BENCH_*.json numbers.
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest \
+		benchmarks/bench_throughput.py -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*' \
+		-k "sampler" --json /tmp/BENCH_smoke.json
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/check_results.py /tmp/BENCH_smoke.json
 
 # Machine-readable perf trajectory: BENCH_*.json under benchmarks/results/.
 bench-json:

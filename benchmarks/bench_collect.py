@@ -62,10 +62,17 @@ def _spill_round(mechanism, items, root) -> ShardStore:
     return store
 
 
-def bench_collect_spill(benchmark, workload, spill_root, record_result, record_json):
+def bench_collect_spill(
+    benchmark, workload, spill_root, record_result, record_json, repeat
+):
     """Fast-sampler streaming with every chunk spilled as wire frames."""
     mechanism, items = workload
-    store = benchmark(_spill_round, mechanism, items, spill_root)
+    store = benchmark.pedantic(
+        _spill_round,
+        args=(mechanism, items, spill_root),
+        rounds=repeat(3),
+        warmup_rounds=1,
+    )
     secs = benchmark.stats["mean"]
     wire_bits = 8 * store.spilled_bytes()
     record_json(
@@ -84,11 +91,32 @@ def bench_collect_spill(benchmark, workload, spill_root, record_result, record_j
     )
 
 
-def bench_collect_replay(benchmark, workload, spill_root, record_result, record_json):
-    """Out-of-core re-aggregation of a spilled round (the audit path)."""
+def bench_collect_replay(
+    benchmark, workload, spill_root, record_result, record_json, repeat
+):
+    """Out-of-core re-aggregation of a spilled round (the audit path).
+
+    Replay is the zero-copy showcase: the spill is mmap'd and every
+    chunk's rows are numpy views over the mapped pages.  The benchmark
+    counts payload copies through ``wire.payload_copy_hook`` and records
+    them (the whole replay must make zero) next to the throughput.
+    """
     mechanism, items = workload
     store = _spill_round(mechanism, items, spill_root)
-    replayed = benchmark(store.replay)
+    copies = {"events": 0, "bytes": 0}
+
+    def note_copy(site, nbytes):
+        copies["events"] += 1
+        copies["bytes"] += nbytes
+
+    previous = wire.payload_copy_hook
+    wire.payload_copy_hook = note_copy
+    try:
+        replayed = benchmark.pedantic(
+            store.replay, rounds=repeat(3), warmup_rounds=1
+        )
+    finally:
+        wire.payload_copy_hook = previous
     secs = benchmark.stats["mean"]
     wire_bits = 8 * store.spilled_bytes()
     record_json(
@@ -97,17 +125,23 @@ def bench_collect_replay(benchmark, workload, spill_root, record_result, record_
         m=DOMAIN,
         secs=secs,
         bits_per_sec=wire_bits / secs,
+        payload_copy_events=copies["events"],
+        payload_copy_bytes=copies["bytes"],
     )
     record_result(
         "collect_replay",
-        f"replay (decode + popcount from disk): n={N_USERS}, m={DOMAIN}\n"
-        f"mean {secs * 1e3:.1f}ms -> {wire_bits / secs / 1e6:,.0f} Mbit/s wire",
+        f"replay (mmap decode + popcount): n={N_USERS}, m={DOMAIN}\n"
+        f"mean {secs * 1e3:.1f}ms -> {wire_bits / secs / 1e6:,.0f} Mbit/s wire, "
+        f"{copies['events']} payload copies ({copies['bytes']} bytes)",
     )
     assert replayed.digest() == store.load_snapshot(0).digest()
+    # The chunk replay path is copy-free end to end; a regression that
+    # reintroduces a per-frame bytes copy fails here, not in review.
+    assert copies["events"] == 0, copies
 
 
 def bench_collect_socket_ingest(
-    benchmark, workload, spill_root, record_result, record_json
+    benchmark, workload, spill_root, record_result, record_json, repeat
 ):
     """Localhost socket feed: spilled chunk frames through a Collector."""
     mechanism, items = workload
@@ -127,7 +161,7 @@ def bench_collect_socket_ingest(
     def run() -> Collector:
         return asyncio.run(ingest_once())
 
-    collector = benchmark(run)
+    collector = benchmark.pedantic(run, rounds=repeat(3), warmup_rounds=1)
     secs = benchmark.stats["mean"]
     wire_bits = 8 * sum(len(frame) for frame in frames)
     record_json(

@@ -136,7 +136,7 @@ def _raw_socket_ingest(frames) -> Collector:
 
 
 def bench_service_ingest(
-    benchmark, frames, scratch_roots, record_result, record_json
+    benchmark, frames, scratch_roots, record_result, record_json, repeat
 ):
     """Authenticated exactly-once ingest vs the raw at-least-once socket."""
 
@@ -154,7 +154,7 @@ def bench_service_ingest(
     # scheduling noise dominate the tails on shared machines, and the
     # bar is about the protocol's cost, not the disk's worst mood.
     raw_times = []
-    for _ in range(5):
+    for _ in range(repeat(5)):
         start = time.perf_counter()
         collector = _raw_socket_ingest(frames)
         raw_times.append(time.perf_counter() - start)
@@ -256,7 +256,7 @@ def _multiround_ingest(per_producer, keys, root, scope) -> CollectionService:
 
 
 def bench_service_multiround_group_commit(
-    benchmark, multiround_workload, scratch_roots, record_result, record_json
+    benchmark, multiround_workload, scratch_roots, record_result, record_json, repeat
 ):
     """Cross-connection group commit vs the per-connection baseline.
 
@@ -288,7 +288,7 @@ def bench_service_multiround_group_commit(
     # The per-connection baseline on the very same frames; best-of like
     # the raw-socket comparison above (fsync noise dominates tails).
     baseline_times = []
-    for _ in range(3):
+    for _ in range(repeat(3)):
         start = time.perf_counter()
         baseline = _multiround_ingest(
             per_producer, keys, scratch_roots() + "/rounds", "connection"
@@ -442,7 +442,7 @@ def _fleet_ingest(per_producer, shard_names, root) -> float:
 
 
 def bench_service_scaleout(
-    scaleout_workload, scratch_roots, record_result, record_json
+    scaleout_workload, scratch_roots, record_result, record_json, repeat
 ):
     """Routed ingest across K shard processes vs one shard process.
 
@@ -456,7 +456,7 @@ def bench_service_scaleout(
     """
     per_producer = scaleout_workload
     shard_names = [f"shard-{chr(ord('a') + i)}" for i in range(SO_SHARDS)]
-    attempts = 1 if SO_SMOKE else 2
+    attempts = 1 if SO_SMOKE else repeat(2)
     fleet_secs = min(
         _fleet_ingest(per_producer, shard_names, scratch_roots() + "/fleet")
         for _ in range(attempts)

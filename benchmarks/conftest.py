@@ -33,6 +33,15 @@ def pytest_addoption(parser):
         metavar="PATH",
         help="write machine-readable benchmark records to PATH as a JSON list",
     )
+    parser.addoption(
+        "--repeat",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run each timed benchmark N times and keep the best attempt "
+        "(reduces scheduler noise; recorded numbers note the repeat count)",
+    )
 
 
 def _peak_rss_bytes() -> int:
@@ -77,12 +86,32 @@ def record_json(json_records):
             "secs": float(secs),
             "bits_per_sec": None if bits_per_sec is None else float(bits_per_sec),
             "peak_rss": _peak_rss_bytes(),
+            "cpu_count": os.cpu_count(),
         }
         entry.update(extra)
         json_records.append(entry)
         return entry
 
     return _record
+
+
+@pytest.fixture
+def repeat(request):
+    """Best-of-N attempt count from ``--repeat N``.
+
+    Benchmarks use this to size their retry loops: ``best = min(run()
+    for _ in range(repeat(default)))``.  Without the flag each
+    benchmark's own default applies, so existing invocations keep their
+    historical behavior.
+    """
+    value = request.config.getoption("--repeat")
+    if value is not None and value < 1:
+        raise pytest.UsageError("--repeat must be a positive integer")
+
+    def _repeat(default: int = 1) -> int:
+        return default if value is None else value
+
+    return _repeat
 
 
 @pytest.fixture(scope="session")

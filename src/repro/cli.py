@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli fig5b [--quick]      # MSNBC
     python -m repro.cli pipeline [--n N] [--m M] [--shards K] [--chunk-size C]
                                  [--sampler fast|bitexact] [--topk K]
+                                 [--compute numpy|numba|threaded]
                                  [--spill-dir DIR] [--collect] [--auth-key KEY]
                                  [--producer-key KEY]
     python -m repro.cli serve --m M --auth-key KEY --spill-dir DIR
@@ -76,6 +77,7 @@ from .experiments import (
     table1_leakage_bounds,
     table2_toy_example,
 )
+from .kernels import compute_backend_names
 
 __all__ = ["main"]
 
@@ -305,6 +307,7 @@ def _run_pipeline(args) -> None:
     import numpy as np
 
     from .datasets import paper_default_spec, true_counts_from_items, zipf_items
+    from .kernels import resolve_sampler
     from .mechanisms import IDUE, OptimizedUnaryEncoding, SymmetricUnaryEncoding
     from .pipeline import ShardedRunner
     from .simulation import simulate_counts_from_true
@@ -318,18 +321,21 @@ def _run_pipeline(args) -> None:
         mechanism = SymmetricUnaryEncoding(args.epsilon, args.m)
     else:
         mechanism = OptimizedUnaryEncoding(args.epsilon, args.m)
+    # The compute backend rides inside the sampler config, so every
+    # worker (and its accumulator) picks it up by name after unpickling.
+    sampler = resolve_sampler(args.sampler).with_compute(args.compute)
     runner = ShardedRunner(
         mechanism,
         num_shards=args.shards,
         chunk_size=args.chunk_size,
         packed=args.packed,
-        sampler=args.sampler,
+        sampler=sampler,
     )
     print(
         f"pipeline: mechanism={mechanism.name}, n={args.n}, m={args.m}, "
         f"eps={args.epsilon}, shards={runner.num_shards}, "
         f"chunk_size={args.chunk_size}, packed={args.packed}, "
-        f"sampler={args.sampler}"
+        f"sampler={args.sampler}, compute={args.compute}"
     )
     start = time.perf_counter()
     accumulator = runner.run(items, seed=args.seed, spill_dir=args.spill_dir)
@@ -793,6 +799,15 @@ def main(argv: list[str] | None = None) -> int:
         help="pipeline: perturbation kernel — 'bitexact' keeps the frozen "
         "fixed-seed float64 streams, 'fast' uses the packed bit-plane "
         "kernel (same distribution, 4-10x faster)",
+    )
+    parser.add_argument(
+        "--compute",
+        choices=list(compute_backend_names()),
+        default="numpy",
+        help="pipeline: compute backend for the packed kernels — 'numpy' "
+        "(portable baseline), 'numba' (JIT, needs the numba extra), or "
+        "'threaded' (tiled multi-core; pairs with --sampler fast). "
+        "Popcounts are bit-identical on every backend; see docs/kernels.md",
     )
     parser.add_argument(
         "--topk",

@@ -25,7 +25,7 @@ from .._validation import check_positive_int
 from ..estimation.frequency import FrequencyEstimator
 from ..estimation.merge import RoundEstimate
 from ..exceptions import ValidationError
-from ..kernels import packed_column_counts, packed_width
+from ..kernels import get_compute_backend, packed_width
 from ..mechanisms.base import CategoricalMechanism
 
 __all__ = ["CountAccumulator"]
@@ -44,13 +44,35 @@ class CountAccumulator:
         (cross-round combination goes through
         :func:`repro.estimation.merge.merge_round_estimates`, which
         weights by each round's noise level instead of adding counts).
+    compute:
+        Compute backend executing the packed popcount (``"numpy"`` |
+        ``"numba"`` | ``"threaded"``, see
+        :mod:`repro.kernels.backends`).  Pure performance: the popcount
+        is exact integer math on every backend, so accumulated state is
+        bit-identical regardless of the choice.  Resolved eagerly so an
+        unavailable backend fails at construction, not mid-round.
     """
 
-    def __init__(self, m: int, *, round_id: int = 0) -> None:
+    def __init__(
+        self, m: int, *, round_id: int = 0, compute: str = "numpy"
+    ) -> None:
         self.m = check_positive_int(m, "m")
         self.round_id = int(round_id)
+        self.compute = str(compute)
+        self._backend = get_compute_backend(self.compute)
         self._counts = np.zeros(self.m, dtype=np.int64)
         self._n = 0
+
+    def __getstate__(self):
+        # The resolved backend may hold a thread pool / JIT state;
+        # re-resolve by name on the other side instead of shipping it.
+        state = self.__dict__.copy()
+        state.pop("_backend", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._backend = get_compute_backend(self.compute)
 
     # ------------------------------------------------------------------
     # State
@@ -147,7 +169,10 @@ class CountAccumulator:
             format: one byte per 8 bits instead of one byte per bit).
             Row-wise packing preserves the user count, so ``k`` rows are
             ``k`` users; the accumulator's own width says how many of the
-            trailing bits are padding.
+            trailing bits are padding.  Read-only views are accepted
+            directly — a zero-copy decode (``memoryview`` over a socket
+            buffer or an mmap'd spill file) feeds the popcount without
+            ever materializing the payload as ``bytes``.
         """
         matrix = np.asarray(packed)
         width = packed_width(self.m)
@@ -170,7 +195,7 @@ class CountAccumulator:
         # Columnwise popcount straight off the packed bytes (vertical-
         # counting bit-plane adder) — the chunk is never unpacked to one
         # byte per bit.
-        self._counts += packed_column_counts(matrix, self.m)
+        self._counts += self._backend.packed_column_counts(matrix, self.m)
         self._n += matrix.shape[0]
 
     def add_categories(self, outputs) -> None:

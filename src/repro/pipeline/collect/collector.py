@@ -83,10 +83,16 @@ class Collector:
         Round tag; snapshots and chunks from other rounds are refused
         (cross-round combination is an estimation-level merge, not a
         count-level one).
+    compute:
+        Compute backend for the popcount absorbing packed chunks
+        (:mod:`repro.kernels.backends`); merged state is bit-identical
+        on every backend.
     """
 
-    def __init__(self, m: int, *, round_id: int = 0) -> None:
-        self.accumulator = CountAccumulator(m, round_id=round_id)
+    def __init__(
+        self, m: int, *, round_id: int = 0, compute: str = "numpy"
+    ) -> None:
+        self.accumulator = CountAccumulator(m, round_id=round_id, compute=compute)
         self.frames_ingested = 0
         self.bytes_ingested = 0
         self.connections_failed = 0
@@ -123,7 +129,8 @@ class Collector:
         merged = 0
         while (item := await queue.get()) is not None:
             if isinstance(item, (bytes, bytearray, memoryview)):
-                self.ingest_bytes(bytes(item))
+                # Buffers decode in place (wire.loads is zero-copy).
+                self.ingest_bytes(item)
             else:
                 self.ingest(item)
             merged += 1
@@ -147,7 +154,9 @@ class Collector:
         # and retrying cannot double-count the frames that preceded the
         # bad one.
         staging = CountAccumulator(
-            self.accumulator.m, round_id=self.accumulator.round_id
+            self.accumulator.m,
+            round_id=self.accumulator.round_id,
+            compute=self.accumulator.compute,
         )
         staged_frames = 0
         staged_bytes = 0
@@ -249,7 +258,8 @@ async def send_frames(host: str, port: int, frames) -> int:
         for frame in frames:
             if not isinstance(frame, (bytes, bytearray, memoryview)):
                 frame = wire.dumps(frame)
-            writer.write(bytes(frame))
+            # Bytes-like frames go to the transport as-is — no copy.
+            writer.write(frame)
         await writer.drain()
         writer.write_eof()
         try:

@@ -34,6 +34,7 @@ so a restart resumes the shard instead of failing on a partial frame.
 
 from __future__ import annotations
 
+import mmap
 import os
 import re
 import struct
@@ -52,6 +53,11 @@ _CHUNK_SUFFIX = ".chunks"
 _INDEX_SUFFIX = ".index"
 _SNAPSHOT_SUFFIX = ".snapshot"
 _INDEX_ENTRY = struct.Struct("<Q")
+
+# Replay releases consumed mmap pages back to the OS in windows of this
+# many bytes (page-aligned), so a multi-gigabyte spill replays with a
+# bounded resident set instead of faulting the whole file into memory.
+_REPLAY_RELEASE_BYTES = 4 * 1024 * 1024
 
 
 def atomic_write_bytes(path: str, payload: bytes) -> None:
@@ -441,44 +447,88 @@ class ShardStore:
         with open(path, "rb") as handle:
             return wire.loads(handle.read())
 
-    def replay_shard(self, shard_id: int) -> CountAccumulator:
-        """Re-aggregate one shard from its spilled chunks, out of core."""
+    def replay_shard(
+        self, shard_id: int, *, compute: str = "numpy"
+    ) -> CountAccumulator:
+        """Re-aggregate one shard from its spilled chunks, out of core.
+
+        The spill file is mmap'd and decoded in place: each chunk's rows
+        are a read-only numpy view over the mapped pages (never a
+        per-frame ``bytes`` copy), and the consumed prefix is released
+        back to the OS (``madvise(MADV_DONTNEED)``) as the walk passes
+        it, so peak resident memory stays bounded by the release window
+        regardless of spill size.  *compute* selects the popcount
+        backend (:mod:`repro.kernels.backends`); the replayed state is
+        bit-identical on every backend.
+        """
         path = self.chunk_path(shard_id)
         if not os.path.exists(path):
             raise ValidationError(
                 f"no spilled chunks for shard {shard_id} under {self.root}"
             )
+        if os.path.getsize(path) == 0:
+            raise WireFormatError(f"{path} holds no frames")
         accumulator = None
         with open(path, "rb") as handle:
-            for chunk in wire.iter_frames(handle):
-                if not isinstance(chunk, wire.PackedChunk):
-                    raise WireFormatError(
-                        f"{path} holds a non-chunk frame "
-                        f"({type(chunk).__name__}); chunk files carry "
-                        "packed report chunks only"
-                    )
-                if accumulator is None:
-                    accumulator = CountAccumulator(
-                        chunk.m, round_id=chunk.round_id
-                    )
-                elif chunk.m != accumulator.m or chunk.round_id != accumulator.round_id:
-                    raise WireFormatError(
-                        f"{path} mixes (m={chunk.m}, round={chunk.round_id}) "
-                        f"into a (m={accumulator.m}, "
-                        f"round={accumulator.round_id}) shard"
-                    )
-                accumulator.add_packed_reports(chunk.rows)
-        if accumulator is None:
-            raise WireFormatError(f"{path} holds no frames")
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            view = memoryview(mapped)
+            try:
+                offset, released, size = 0, 0, len(view)
+                can_release = hasattr(mapped, "madvise") and hasattr(
+                    mmap, "MADV_DONTNEED"
+                )
+                while offset < size:
+                    chunk, offset = wire.decode_frame_at(view, offset)
+                    if not isinstance(chunk, wire.PackedChunk):
+                        raise WireFormatError(
+                            f"{path} holds a non-chunk frame "
+                            f"({type(chunk).__name__}); chunk files carry "
+                            "packed report chunks only"
+                        )
+                    if accumulator is None:
+                        accumulator = CountAccumulator(
+                            chunk.m, round_id=chunk.round_id, compute=compute
+                        )
+                    elif (
+                        chunk.m != accumulator.m
+                        or chunk.round_id != accumulator.round_id
+                    ):
+                        raise WireFormatError(
+                            f"{path} mixes (m={chunk.m}, "
+                            f"round={chunk.round_id}) into a "
+                            f"(m={accumulator.m}, "
+                            f"round={accumulator.round_id}) shard"
+                        )
+                    accumulator.add_packed_reports(chunk.rows)
+                    # Drop the rows view before releasing its pages.
+                    chunk = None
+                    if can_release:
+                        boundary = offset - offset % mmap.PAGESIZE
+                        if boundary - released >= _REPLAY_RELEASE_BYTES:
+                            mapped.madvise(
+                                mmap.MADV_DONTNEED, released, boundary - released
+                            )
+                            released = boundary
+            finally:
+                # The exported buffer must go before the map can close.
+                del view
+        finally:
+            try:
+                mapped.close()
+            except BufferError:
+                # An escaping error left a decoded view aliasing the map;
+                # the OS reclaims it when those references are collected.
+                pass
         return accumulator
 
-    def replay(self) -> CountAccumulator:
+    def replay(self, *, compute: str = "numpy") -> CountAccumulator:
         """Re-aggregate the whole round: replay every shard and merge."""
         ids = self.shard_ids()
         if not ids:
             raise ValidationError(f"no spilled shards under {self.root}")
         return CountAccumulator.merge_all(
-            self.replay_shard(shard_id) for shard_id in ids
+            self.replay_shard(shard_id, compute=compute) for shard_id in ids
         )
 
     # ------------------------------------------------------------------
@@ -498,7 +548,9 @@ class ShardStore:
         """
         return self.replay_and_audit()[1]
 
-    def replay_and_audit(self) -> tuple[CountAccumulator, dict[int, dict]]:
+    def replay_and_audit(
+        self, *, compute: str = "numpy"
+    ) -> tuple[CountAccumulator, dict[int, dict]]:
         """One out-of-core pass: the merged round plus the audit report.
 
         Equivalent to ``(replay(), audit())`` but each spilled chunk
@@ -509,7 +561,7 @@ class ShardStore:
         merged: CountAccumulator | None = None
         report: dict[int, dict] = {}
         for shard_id in self.shard_ids():
-            replayed = self.replay_shard(shard_id)
+            replayed = self.replay_shard(shard_id, compute=compute)
             snapshot_digest = None
             if os.path.exists(self.snapshot_path(shard_id)):
                 snapshot_digest = self.load_snapshot(shard_id).digest()

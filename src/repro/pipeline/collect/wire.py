@@ -64,6 +64,20 @@ magic, unsupported version (the message names found and supported
 versions), truncation mid-header or mid-payload, and CRC mismatch on
 either region — all as :class:`~repro.exceptions.WireFormatError`.
 No pickle anywhere: frames are safe to accept from untrusted producers.
+
+Decoding is also *zero-copy* for the hot payloads: :func:`loads` and
+:func:`decode_frame_at` accept any buffer (``bytes``, ``bytearray``,
+``memoryview``, an ``mmap``) and hand chunk rows to numpy as a view
+over the caller's buffer — no intermediate ``bytes`` materialization
+anywhere on the chunk path.  The decoded ``PackedChunk.rows`` therefore
+borrows the input buffer: it is read-only when the buffer is, and the
+caller must keep the buffer alive (and release numpy references before
+closing an mmap).  The remaining copies are structural — session
+payloads become ``bytes`` (they carry strings and are tiny) and a
+snapshot's counts become the accumulator's own writable state — and
+each fires the module-level :data:`payload_copy_hook` (``hook(site,
+nbytes)``) when one is installed, so tests can assert a path copies
+exactly as much as it claims.
 """
 
 from __future__ import annotations
@@ -118,10 +132,26 @@ __all__ = [
     "dump_chunk",
     "dumps",
     "loads",
+    "decode_frame_at",
     "write_frame",
     "read_frame",
     "iter_frames",
 ]
+
+# Optional observability tap for the structural copies the decoder still
+# makes: set to a callable ``hook(site: str, nbytes: int)`` and every
+# payload copy reports itself ("session-payload" for session frames
+# materializing bytes, "snapshot-counts" for an accumulator taking
+# ownership of its counts).  The packed-chunk path has no sites at all —
+# that absence is what the zero-copy tests pin down.  ``None`` (the
+# default) disables the tap; reads go through the module attribute so
+# tests can install/remove hooks without reloading.
+payload_copy_hook = None
+
+
+def _note_copy(site: str, nbytes: int) -> None:
+    if payload_copy_hook is not None:
+        payload_copy_hook(site, nbytes)
 
 WIRE_MAGIC = b"IDLP"
 WIRE_VERSION = 1
@@ -591,8 +621,8 @@ def dumps(obj) -> bytes:
 # ----------------------------------------------------------------------
 # Decoding
 # ----------------------------------------------------------------------
-def _parse_header(head: bytes) -> tuple[int, int, int, int, int, int]:
-    """Validate a 40-byte header.
+def _parse_header(head) -> tuple[int, int, int, int, int, int]:
+    """Validate a 40-byte header (any buffer: ``bytes`` or ``memoryview``).
 
     Returns ``(version, kind, m, n, round_id, length)``.
     """
@@ -600,7 +630,7 @@ def _parse_header(head: bytes) -> tuple[int, int, int, int, int, int]:
         raise WireFormatError(
             f"truncated frame: header needs {HEADER_SIZE} bytes, got {len(head)}"
         )
-    magic, version = head[:4], int.from_bytes(head[4:6], "little")
+    magic, version = bytes(head[:4]), int.from_bytes(head[4:6], "little")
     if magic != WIRE_MAGIC:
         raise WireFormatError(
             f"bad magic {magic!r}: not a wire-format frame "
@@ -768,13 +798,20 @@ def _decode(
     m: int,
     n: int,
     round_id: int,
-    payload: bytes,
+    payload,
     version: int = WIRE_VERSION,
 ):
     name = _KIND_NAMES[kind]
     if m <= 0:
         raise WireFormatError(f"{name} frame declares non-positive width m={m}")
     if kind not in (KIND_SNAPSHOT, KIND_CHUNK):
+        # Session payloads materialize as bytes at this boundary: they
+        # carry UTF-8 strings / fixed-size nonces (or, for records, a
+        # frame the ledger digests), are tiny next to chunk traffic, and
+        # their dataclasses promise `bytes` fields.
+        if not isinstance(payload, bytes):
+            _note_copy("session-payload", len(payload))
+            payload = bytes(payload)
         return _decode_session(kind, m, n, round_id, payload, version)
     if kind == KIND_SNAPSHOT:
         if len(payload) != 8 * m:
@@ -782,7 +819,10 @@ def _decode(
                 f"snapshot payload must be {8 * m} bytes for m={m}, "
                 f"got {len(payload)}"
             )
-        counts = np.frombuffer(payload, dtype="<i8").astype(np.int64)
+        # One copy, inside from_state's astype: the accumulator must own
+        # writable counts.  frombuffer itself is a view over the payload.
+        _note_copy("snapshot-counts", len(payload))
+        counts = np.frombuffer(payload, dtype="<i8")
         try:
             return CountAccumulator.from_state(m, counts, n, round_id=round_id)
         except ValidationError as exc:
@@ -793,13 +833,22 @@ def _decode(
             f"chunk payload must be {n * width} bytes for n={n} rows of "
             f"width {width}, got {len(payload)}"
         )
+    # Zero-copy: the rows are a numpy view over the caller's buffer
+    # (read-only when the buffer is).  add_packed_reports consumes such
+    # views directly; the caller keeps the buffer alive.
     rows = np.frombuffer(payload, dtype=np.uint8).reshape(n, width)
     return PackedChunk(m=m, round_id=round_id, rows=rows)
 
 
-def loads(data: bytes):
-    """Decode exactly one frame from *data* (no trailing bytes allowed)."""
-    data = bytes(data)
+def loads(data):
+    """Decode exactly one frame from *data* (no trailing bytes allowed).
+
+    *data* may be any byte buffer — ``bytes``, ``bytearray``,
+    ``memoryview``, an ``mmap`` — and is never copied wholesale: a
+    decoded chunk's rows are a numpy view over it (see the module
+    docstring for the buffer-lifetime contract).
+    """
+    data = memoryview(data)
     version, kind, m, n, round_id, length = _parse_header(data[:HEADER_SIZE])
     expected = HEADER_SIZE + length + _CRC.size
     if len(data) < expected:
@@ -818,6 +867,42 @@ def loads(data: bytes):
             "payload checksum mismatch: frame payload is corrupted"
         )
     return _decode(kind, m, n, round_id, payload, version)
+
+
+def decode_frame_at(buffer, offset: int = 0):
+    """Decode one frame at *offset* in an in-memory buffer.
+
+    The random-access sibling of :func:`read_frame`: walk a buffer that
+    holds concatenated frames (an mmap'd spill file, a reassembled
+    socket buffer) without slicing per-frame ``bytes`` out of it.
+    Returns ``(obj, next_offset)`` where *next_offset* is the first byte
+    after this frame — feed it back in to walk the stream.  Raises
+    :class:`WireFormatError` on every corruption :func:`loads` rejects,
+    including truncation at the buffer's end.
+    """
+    view = memoryview(buffer)
+    offset = int(offset)
+    if offset < 0 or offset > len(view):
+        raise ValidationError(
+            f"offset must lie in [0, {len(view)}], got {offset}"
+        )
+    version, kind, m, n, round_id, length = _parse_header(
+        view[offset : offset + HEADER_SIZE]
+    )
+    body = offset + HEADER_SIZE
+    end = body + length + _CRC.size
+    if len(view) < end:
+        raise WireFormatError(
+            f"truncated frame: payload needs {length + _CRC.size} bytes, "
+            f"got {len(view) - body}"
+        )
+    payload = view[body : body + length]
+    (stored_crc,) = _CRC.unpack_from(view, body + length)
+    if stored_crc != zlib.crc32(payload):
+        raise WireFormatError(
+            "payload checksum mismatch: frame payload is corrupted"
+        )
+    return _decode(kind, m, n, round_id, payload, version), end
 
 
 # ----------------------------------------------------------------------
@@ -848,7 +933,9 @@ def read_frame(stream):
             f"truncated frame: payload needs {length + _CRC.size} bytes, "
             f"got {len(rest)}"
         )
-    payload = rest[:length]
+    # View, not a bytes slice: a decoded chunk's rows alias `rest`
+    # directly instead of copying the payload a second time.
+    payload = memoryview(rest)[:length]
     (stored_crc,) = _CRC.unpack_from(rest, length)
     if stored_crc != zlib.crc32(payload):
         raise WireFormatError(

@@ -186,7 +186,14 @@ def stream_counts(
     """
     width = report_width(mechanism)
     if accumulator is None:
-        accumulator = CountAccumulator(width, round_id=0 if round_id is None else round_id)
+        # The accumulator inherits the sampler's compute backend, so
+        # `--compute threaded` accelerates both sides of the loop (the
+        # popcount is exact on every backend; see repro.kernels.backends).
+        accumulator = CountAccumulator(
+            width,
+            round_id=0 if round_id is None else round_id,
+            compute=resolve_sampler(sampler).compute,
+        )
     elif accumulator.m != width:
         raise ValidationError(
             f"accumulator width {accumulator.m} does not match report width {width}"
