@@ -33,7 +33,9 @@ coverage:
 # and (d) the same through per-producer derived keys (KeyRegistry) —
 # so none of them can silently break — plus (e) a smoke-profile run of
 # the scale-out fleet benchmark (2 shard processes, tiny population) so
-# the routed multi-process path is exercised on every check.
+# the routed multi-process path is exercised on every check, and (f)
+# the split-trust round (1 blinded collector + 2 share keepers, blind
+# resends, combined decode asserted bit-identical to the direct tally).
 check: test bench-scaleout-smoke
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
 		--n 2000 --m 64 --shards 2 --chunk-size 256 \
@@ -49,6 +51,7 @@ check: test bench-scaleout-smoke
 		--n 1000 --m 48 --shards 2 --chunk-size 128 \
 		--sampler fast --packed --collect --spill-dir $$(mktemp -d)/round \
 		--producer-key fleet-master-0001
+	$(PYTHONPATH_PREFIX) $(PYTHON) examples/split_trust_round.py
 
 # The benchmark suite uses bench_* naming so default collection skips it.
 bench:

@@ -22,11 +22,16 @@ Usage::
                               [--resume] [--exit-after N]
     python -m repro.cli serve --shard NAME --control-key KEY --auth-key KEY
                               --spill-dir DIR [--resume]
+    python -m repro.cli serve --share-keeper NAME --m M --auth-key KEY
+                              --spill-dir DIR [--resume]
+    python -m repro.cli serve --blinded --m M --auth-key KEY --spill-dir DIR
     python -m repro.cli coordinator --fleet a=H:P,b=H:P --control-key KEY
                                     (--rounds-config F | --m M [--round-id R])
+                                    [--keepers k1=H:P,...]
                                     [--exit-after N] [--resume]
     python -m repro.cli aggregate --fleet a=H:P,b=H:P --control-key KEY
                                   --round-id R [--fan-in F] [--estimate]
+                                  [--keepers k1=H:P,k2=H:P]
 
 ``--quick`` runs scaled-down workloads (seconds instead of minutes); the
 default uses the paper-scale presets.  ``pipeline`` streams the exact
@@ -58,7 +63,13 @@ plane), ``coordinator`` owns round lifecycle across the fleet
 (registers rounds with minted tokens, pushes the consistent-hash
 routing table, drains and closes), and ``aggregate`` pulls every
 shard's digest-verified accumulator state and tree-merges it into the
-round total — see ``docs/service.md``.
+round total — see ``docs/service.md``.  The split-trust tier removes
+the collector's view of raw reports: ``serve --blinded`` hosts rounds
+as a blinded collector, ``serve --share-keeper NAME`` runs one share
+keeper, ``coordinator --keepers`` registers rounds as split-trust
+across both fleets, and ``aggregate --keepers`` decodes the tally via
+``combine_round`` — bit-identical to the unblinded aggregate, and
+impossible for any single party to produce alone.
 """
 
 from __future__ import annotations
@@ -475,6 +486,17 @@ def _run_serve(args) -> None:
             "secret); a shard without one can never receive rounds or "
             "routing tables"
         )
+    if args.share_keeper is not None and args.blinded:
+        raise SystemExit(
+            "--share-keeper and --blinded are different split-trust roles; "
+            "pick one per process"
+        )
+    if args.share_keeper is not None:
+        mode = "keeper"
+    elif args.blinded:
+        mode = "blinded"
+    else:
+        mode = "collect"
 
     async def _serve() -> dict:
         kwargs = {
@@ -484,6 +506,8 @@ def _run_serve(args) -> None:
             "resume": args.resume,
             "control_key": args.control_key,
             "shard_name": args.shard,
+            "mode": mode,
+            "keeper_id": args.share_keeper,
         }
         if args.rounds_config is not None:
             rounds = _load_rounds_config(args.rounds_config)
@@ -506,11 +530,14 @@ def _run_serve(args) -> None:
             if args.resume
             else ""
         )
-        role = (
-            f"shard {args.shard!r} listening"
-            if args.shard is not None
-            else "collection service listening"
-        )
+        if args.share_keeper is not None:
+            role = f"share keeper {args.share_keeper!r} listening"
+        elif args.shard is not None:
+            role = f"shard {args.shard!r} listening"
+        elif args.blinded:
+            role = "blinded collector listening"
+        else:
+            role = "collection service listening"
         print(
             f"{role} on {host}:{port} ({geometry}){resumed}",
             flush=True,
@@ -596,13 +623,20 @@ def _run_coordinator(args) -> None:
             "--control-key (the fleet's control-plane secret)"
         )
     shards = _parse_shard_addresses(args.fleet)
+    keepers = (
+        _parse_shard_addresses(args.keepers)
+        if args.keepers is not None
+        else []
+    )
     if args.rounds_config is not None:
         rounds = _load_rounds_config(args.rounds_config)
     else:
         rounds = [{"m": args.m, "round_id": args.round_id}]
 
     async def _coordinate() -> None:
-        coordinator = RoundCoordinator(shards, control_key=args.control_key)
+        coordinator = RoundCoordinator(
+            shards, control_key=args.control_key, keepers=keepers
+        )
         epoch = await coordinator.push_routing()
         print(
             f"routing table epoch {epoch} pushed to {len(shards)} shard(s): "
@@ -615,10 +649,18 @@ def _run_coordinator(args) -> None:
                 spec.get("round_id", 0),
                 limits=spec.get("limits"),
                 resume=args.resume,
+                mode="blinded" if keepers else "collect",
             )
+            where = f"on {len(shards)} shard(s)"
+            if keepers:
+                where += (
+                    f" (split-trust, {len(keepers)} share keeper(s): "
+                    + ", ".join(k.name for k in keepers)
+                    + ")"
+                )
             print(
                 f"round {record.round_id} (m={record.m}) {record.phase} "
-                f"on {len(shards)} shard(s)",
+                f"{where}",
                 flush=True,
             )
         try:
@@ -666,11 +708,16 @@ def _run_aggregate(args) -> None:
     authenticated control plane and is verified against the digest the
     shard claimed in its MAC'd reply before merging.  ``--estimate``
     additionally calibrates the merged counts through the chosen
-    ``--mechanism`` into the round's frequency estimates.
+    ``--mechanism`` into the round's frequency estimates.  With
+    ``--keepers`` the round is split-trust: every share keeper's state
+    is pulled alongside the blinded collector shards, membership
+    digests are reconciled, and the tally decodes via
+    :func:`~repro.pipeline.service.combine_round` — the only point in
+    the deployment where plain counts ever exist.
     """
     import asyncio
 
-    from .pipeline.service import aggregate_round
+    from .pipeline.service import aggregate_round, combine_round
 
     if args.fleet is None or args.control_key is None:
         raise SystemExit(
@@ -679,25 +726,53 @@ def _run_aggregate(args) -> None:
         )
     shards = _parse_shard_addresses(args.fleet)
 
-    result = asyncio.run(
-        aggregate_round(
-            shards,
-            control_key=args.control_key,
-            round_id=args.round_id,
-            fan_in=args.fan_in,
+    if args.keepers is not None:
+        keepers = _parse_shard_addresses(args.keepers)
+        result = asyncio.run(
+            combine_round(
+                shards,
+                keepers,
+                control_key=args.control_key,
+                round_id=args.round_id,
+            )
         )
-    )
-    for pull in result.pulls:
+        for pull in result.collector_pulls:
+            print(
+                f"blinded shard {pull.shard.name}: n={pull.accumulator.n}, "
+                f"{pull.records_merged} record(s) merged, phase={pull.phase}"
+            )
+        for pull in result.keeper_pulls:
+            print(
+                f"share keeper {pull.shard.name}: n={pull.accumulator.n}, "
+                f"{pull.records_merged} record(s) merged, phase={pull.phase}"
+            )
+        merged = result.accumulator
         print(
-            f"shard {pull.shard.name}: n={pull.accumulator.n}, "
-            f"{pull.records_merged} record(s) merged, phase={pull.phase}"
+            f"combined round {args.round_id}: n={merged.n} decoded from "
+            f"{len(result.collector_pulls)} blinded shard(s) + "
+            f"{len(result.keeper_pulls)} share keeper(s), "
+            f"m={merged.m}, digest {merged.digest()[:16]}…"
         )
-    merged = result.accumulator
-    print(
-        f"aggregate round {args.round_id}: n={merged.n} over "
-        f"{len(result.pulls)} shard(s) (fan-in {args.fan_in}), "
-        f"m={merged.m}, digest {merged.digest()[:16]}…"
-    )
+    else:
+        result = asyncio.run(
+            aggregate_round(
+                shards,
+                control_key=args.control_key,
+                round_id=args.round_id,
+                fan_in=args.fan_in,
+            )
+        )
+        for pull in result.pulls:
+            print(
+                f"shard {pull.shard.name}: n={pull.accumulator.n}, "
+                f"{pull.records_merged} record(s) merged, phase={pull.phase}"
+            )
+        merged = result.accumulator
+        print(
+            f"aggregate round {args.round_id}: n={merged.n} over "
+            f"{len(result.pulls)} shard(s) (fan-in {args.fan_in}), "
+            f"m={merged.m}, digest {merged.digest()[:16]}…"
+        )
     if args.estimate:
         from .mechanisms import OptimizedUnaryEncoding, SymmetricUnaryEncoding
 
@@ -884,6 +959,32 @@ def main(argv: list[str] | None = None) -> int:
         help="serve/coordinator/aggregate: the fleet's control-plane "
         "secret — authenticates drain / close / open-round / pull-state / "
         "route-update calls between coordinator, shards, and aggregator",
+    )
+    parser.add_argument(
+        "--share-keeper",
+        metavar="NAME",
+        default=None,
+        help="serve: run as the named share keeper of a split-trust "
+        "deployment — this service accumulates one blinding stream "
+        "(mod-2^64 word sums that decode nothing alone); producers bind "
+        "their share sessions to NAME, so keep it stable across restarts",
+    )
+    parser.add_argument(
+        "--blinded",
+        action="store_true",
+        help="serve: host rounds in blinded-collector mode — the service "
+        "accumulates producers' blinded counts and never sees a raw "
+        "report; the tally decodes only via 'aggregate --keepers'",
+    )
+    parser.add_argument(
+        "--keepers",
+        metavar="LIST",
+        default=None,
+        help="coordinator/aggregate: the share-keeper fleet as "
+        "'name=host:port,...'. coordinator: registers every round as "
+        "split-trust across shards and keepers; aggregate: decodes the "
+        "round by combining all keeper states with the blinded "
+        "collector state (combine_round)",
     )
     parser.add_argument(
         "--fleet",

@@ -11,6 +11,16 @@ the small data term, so the weights use the dominant data-independent
 noise term ``n b(1−b)/(a−b)^2`` — the same convention the paper's opt1
 objective uses.  With equal-budget rounds this reduces to the plain
 mean, and merging ``k`` such rounds divides the variance by ``k``.
+
+:func:`combine_shares` is the decode step of the split-trust tier
+(:mod:`repro.pipeline.service.shares`): it subtracts every share
+keeper's accumulated blinding words from the blinded collector's word
+sums mod 2^64, recovering the exact per-bit counts — bit-identical to a
+direct unblinded tally, because mod-2^64 addition of uint64 words is
+lossless and the blinding cancels exactly.  It refuses, loudly, any
+combination whose residual is not a valid count vector (a missing or
+corrupt keeper share leaves uniformly random words, which exceed ``n``
+with overwhelming probability) — garbage is never decoded as counts.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ import numpy as np
 from ..exceptions import EstimationError, ValidationError
 from .frequency import FrequencyEstimator
 
-__all__ = ["RoundEstimate", "merge_round_estimates"]
+__all__ = ["RoundEstimate", "combine_shares", "merge_round_estimates"]
 
 
 @dataclass(frozen=True)
@@ -138,3 +148,68 @@ def merge_round_estimates(rounds) -> tuple[np.ndarray, np.ndarray]:
     total_weight = weights.sum(axis=0)
     merged = (weights * estimates).sum(axis=0) / total_weight
     return merged, 1.0 / total_weight
+
+
+def _as_share_words(words, m: int, name: str) -> np.ndarray:
+    words = np.asarray(words)
+    if words.ndim != 1 or words.shape[0] != m:
+        raise ValidationError(
+            f"{name} must be a 1-D length-{m} word vector, got shape {words.shape}"
+        )
+    if words.dtype != np.uint64:
+        raise ValidationError(f"{name} must have dtype uint64, got {words.dtype}")
+    return words
+
+
+def combine_shares(blinded_words, share_words, *, n: int) -> np.ndarray:
+    """Decode a split-trust tally: blinded sums minus every keeper's shares.
+
+    Parameters
+    ----------
+    blinded_words:
+        The blinded collector's accumulated uint64 word sums (length ``m``).
+    share_words:
+        Iterable of each share keeper's accumulated uint64 blinding word
+        sums, all length ``m``.  May be empty, in which case the blinded
+        words must already be plain counts (a degenerate zero-keeper
+        deployment).
+    n:
+        Total number of reports the tally covers; every decoded count
+        must land in ``[0, n]`` or the combination is refused.
+
+    Returns
+    -------
+    Length-``m`` int64 count vector, bit-identical to the direct
+    unblinded tally.
+    """
+    n = int(n)
+    if n < 0:
+        raise ValidationError(f"n must be non-negative, got {n}")
+    blinded = np.asarray(blinded_words)
+    if blinded.ndim != 1:
+        raise ValidationError(
+            f"blinded_words must be 1-D, got shape {blinded.shape}"
+        )
+    m = int(blinded.shape[0])
+    blinded = _as_share_words(blinded, m, "blinded_words")
+    shares = [
+        _as_share_words(s, m, f"share_words[{i}]")
+        for i, s in enumerate(share_words)
+    ]
+
+    # uint64 arithmetic wraps mod 2^64 by construction, which is exactly
+    # the ring the producers blinded in; numpy emits overflow warnings we
+    # deliberately silence because wraparound here is the algorithm.
+    with np.errstate(over="ignore"):
+        residual = blinded.copy()
+        for s in shares:
+            residual -= s
+
+    if np.any(residual > np.uint64(n)):
+        bad = int(np.argmax(residual > np.uint64(n)))
+        raise EstimationError(
+            "share combination does not reconcile: decoded word at index "
+            f"{bad} is {int(residual[bad])}, outside [0, {n}] — a keeper "
+            "share is missing, duplicated, or corrupt; refusing to decode"
+        )
+    return residual.astype(np.int64)

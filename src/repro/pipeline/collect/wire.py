@@ -59,6 +59,19 @@ exactly like the session kinds: versions 1-3 encode byte-identically to
 every committed golden fixture, and a reader refuses a control kind
 paired with any version but 4.
 
+Version 5 adds the *split-trust share frames* of the share-keeper tier
+(:mod:`repro.pipeline.service.shares`): a ``BlindedCounts`` frame
+carrying a chunk's per-bit count vector additively blinded mod 2^64
+(what a blinded collector ingests — uniformly random words to anyone
+without every keeper's state), and a ``BlindingShare`` frame carrying
+one keeper's blinding words for the same chunk.  Both payloads are
+``m`` little-endian ``uint64`` words with the covered row count in the
+header's ``n`` field, decode as zero-copy numpy views, and double as
+the parties' accumulated-state transfer form (``n`` then being the
+total rows covered).  They are version-gated exactly like every prior
+extension: versions 1-4 stay byte-identical to their golden fixtures,
+and a reader refuses a share kind paired with any version but 5.
+
 Decoding is loud on every failure mode a transport can produce: wrong
 magic, unsupported version (the message names found and supported
 versions), truncation mid-header or mid-payload, and CRC mismatch on
@@ -99,6 +112,7 @@ __all__ = [
     "WIRE_VERSION_SESSION",
     "WIRE_VERSION_MULTIROUND",
     "WIRE_VERSION_CONTROL",
+    "WIRE_VERSION_SHARES",
     "KIND_SNAPSHOT",
     "KIND_CHUNK",
     "KIND_HELLO",
@@ -108,6 +122,8 @@ __all__ = [
     "KIND_ACK",
     "KIND_CONTROL_REQUEST",
     "KIND_CONTROL_REPLY",
+    "KIND_BLINDED",
+    "KIND_SHARE",
     "ACK_SESSION",
     "ACK_MERGED",
     "ACK_DUPLICATE",
@@ -119,6 +135,8 @@ __all__ = [
     "SESSION_MAC_SIZE",
     "SESSION_TOKEN_SIZE",
     "PackedChunk",
+    "BlindedCounts",
+    "BlindingShare",
     "SessionHello",
     "SessionChallenge",
     "SessionProof",
@@ -130,6 +148,8 @@ __all__ = [
     "decode_control_body",
     "dump_snapshot",
     "dump_chunk",
+    "dump_blinded_counts",
+    "dump_blinding_share",
     "dumps",
     "loads",
     "decode_frame_at",
@@ -158,6 +178,7 @@ WIRE_VERSION = 1
 WIRE_VERSION_SESSION = 2
 WIRE_VERSION_MULTIROUND = 3
 WIRE_VERSION_CONTROL = 4
+WIRE_VERSION_SHARES = 5
 KIND_SNAPSHOT = 1
 KIND_CHUNK = 2
 KIND_HELLO = 3
@@ -167,6 +188,8 @@ KIND_RECORD = 6
 KIND_ACK = 7
 KIND_CONTROL_REQUEST = 8
 KIND_CONTROL_REPLY = 9
+KIND_BLINDED = 10
+KIND_SHARE = 11
 
 # Ack statuses (the u16 leading the Ack payload).
 ACK_SESSION = 1  # handshake accepted; records may flow
@@ -196,11 +219,14 @@ _KIND_NAMES = {
     KIND_ACK: "ack",
     KIND_CONTROL_REQUEST: "control-request",
     KIND_CONTROL_REPLY: "control-reply",
+    KIND_BLINDED: "blinded-counts",
+    KIND_SHARE: "blinding-share",
 }
 # Kind <-> version gating: core data frames stay version 1 (their bytes
 # are pinned by golden fixtures); session frames require version 2,
 # except a round-token-carrying challenge, which requires version 3;
-# coordinator control frames require version 4.
+# coordinator control frames require version 4; split-trust share
+# frames require version 5.
 _KIND_VERSIONS = {
     KIND_SNAPSHOT: (WIRE_VERSION,),
     KIND_CHUNK: (WIRE_VERSION,),
@@ -211,12 +237,15 @@ _KIND_VERSIONS = {
     KIND_ACK: (WIRE_VERSION_SESSION,),
     KIND_CONTROL_REQUEST: (WIRE_VERSION_CONTROL,),
     KIND_CONTROL_REPLY: (WIRE_VERSION_CONTROL,),
+    KIND_BLINDED: (WIRE_VERSION_SHARES,),
+    KIND_SHARE: (WIRE_VERSION_SHARES,),
 }
 SUPPORTED_VERSIONS = (
     WIRE_VERSION,
     WIRE_VERSION_SESSION,
     WIRE_VERSION_MULTIROUND,
     WIRE_VERSION_CONTROL,
+    WIRE_VERSION_SHARES,
 )
 
 
@@ -239,6 +268,56 @@ class PackedChunk:
     def n(self) -> int:
         """Number of user reports (rows) in this chunk."""
         return int(self.rows.shape[0])
+
+
+def _check_share_words(words, m: int, name: str) -> np.ndarray:
+    words = np.ascontiguousarray(words)
+    if words.ndim != 1 or words.shape[0] != m:
+        raise ValidationError(
+            f"{name} words must have shape ({m},) for m={m}, "
+            f"got {words.shape}"
+        )
+    if words.dtype != np.uint64:
+        raise ValidationError(
+            f"{name} words must be uint64, got {words.dtype}"
+        )
+    return words
+
+
+@dataclass(frozen=True)
+class BlindedCounts:
+    """A chunk's per-bit counts, additively blinded mod 2^64 (kind 10).
+
+    ``words`` is the length-``m`` ``uint64`` vector ``counts + sum_j
+    R_j (mod 2^64)`` where each ``R_j`` is one share keeper's blinding
+    stream for this chunk — uniformly random to any party missing even
+    one keeper's words.  ``n`` is the number of user reports the counts
+    cover (header field; chunk rows never travel in this frame).  The
+    same frame shape carries a blinded collector's *accumulated* state,
+    ``n`` then being the round's total rows.
+    """
+
+    m: int
+    round_id: int
+    n: int
+    words: np.ndarray
+
+
+@dataclass(frozen=True)
+class BlindingShare:
+    """One share keeper's blinding words for one chunk (kind 11).
+
+    ``words`` is the keeper's length-``m`` ``uint64`` blinding vector
+    ``R_j`` for the chunk (or, as a state-transfer frame, the keeper's
+    accumulated word sums mod 2^64); ``n`` is the rows the share covers.
+    A keeper's whole job is summing these mod 2^64 — it never sees a
+    report, a count, or a blinded count.
+    """
+
+    m: int
+    round_id: int
+    n: int
+    words: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -463,6 +542,25 @@ def dump_chunk(rows, m: int, *, round_id: int = 0) -> bytes:
     return _frame(KIND_CHUNK, m, rows.shape[0], int(round_id), rows.tobytes())
 
 
+def _dump_share_frame(kind: int, obj, name: str) -> bytes:
+    words = _check_share_words(obj.words, int(obj.m), name)
+    n = int(obj.n)
+    if n < 0:
+        raise ValidationError(f"{name} n must be non-negative, got {n}")
+    payload = np.ascontiguousarray(words, dtype="<u8").tobytes()
+    return _frame(kind, int(obj.m), n, int(obj.round_id), payload)
+
+
+def dump_blinded_counts(blinded: BlindedCounts) -> bytes:
+    """Serialize blinded per-bit counts (version-5 frame)."""
+    return _dump_share_frame(KIND_BLINDED, blinded, "blinded-counts")
+
+
+def dump_blinding_share(share: BlindingShare) -> bytes:
+    """Serialize one keeper's blinding words (version-5 frame)."""
+    return _dump_share_frame(KIND_SHARE, share, "blinding-share")
+
+
 def dump_hello(hello: SessionHello) -> bytes:
     """Serialize a session hello (version-2 frame)."""
     producer = hello.producer_id.encode("utf-8")
@@ -593,6 +691,8 @@ def dump_control_reply(reply: ControlReply) -> bytes:
 
 
 _SESSION_DUMPERS = {
+    BlindedCounts: dump_blinded_counts,
+    BlindingShare: dump_blinding_share,
     SessionHello: dump_hello,
     SessionChallenge: dump_challenge,
     SessionProof: dump_proof,
@@ -614,7 +714,7 @@ def dumps(obj) -> bytes:
         return dumper(obj)
     raise ValidationError(
         f"cannot serialize {type(obj).__name__}; expected CountAccumulator, "
-        "PackedChunk, or a session frame object"
+        "PackedChunk, a share frame, or a session frame object"
     )
 
 
@@ -640,8 +740,10 @@ def _parse_header(head) -> tuple[int, int, int, int, int, int]:
         raise WireFormatError(
             f"unsupported wire-format version {version}; this reader "
             f"supports version {WIRE_VERSION} (core frames), "
-            f"{WIRE_VERSION_SESSION} (session frames), and "
-            f"{WIRE_VERSION_MULTIROUND} (round-scoped session frames)"
+            f"{WIRE_VERSION_SESSION} (session frames), "
+            f"{WIRE_VERSION_MULTIROUND} (round-scoped session frames), "
+            f"{WIRE_VERSION_CONTROL} (control frames), and "
+            f"{WIRE_VERSION_SHARES} (split-trust share frames)"
         )
     (stored_crc,) = _CRC.unpack_from(head, _HEADER.size)
     if stored_crc != zlib.crc32(head[: _HEADER.size]):
@@ -804,6 +906,17 @@ def _decode(
     name = _KIND_NAMES[kind]
     if m <= 0:
         raise WireFormatError(f"{name} frame declares non-positive width m={m}")
+    if kind in (KIND_BLINDED, KIND_SHARE):
+        if len(payload) != 8 * m:
+            raise WireFormatError(
+                f"{name} payload must be {8 * m} bytes for m={m}, "
+                f"got {len(payload)}"
+            )
+        # Zero-copy, like the chunk path: the words are a numpy view
+        # over the caller's buffer (read-only when the buffer is).
+        words = np.frombuffer(payload, dtype="<u8")
+        cls = BlindedCounts if kind == KIND_BLINDED else BlindingShare
+        return cls(m=m, round_id=round_id, n=n, words=words)
     if kind not in (KIND_SNAPSHOT, KIND_CHUNK):
         # Session payloads materialize as bytes at this boundary: they
         # carry UTF-8 strings / fixed-size nonces (or, for records, a

@@ -65,15 +65,43 @@ The scale-out tier splits the endpoint into three roles:
   shard services as real OS processes with crash (SIGKILL) and
   resume semantics.
 
+The **split-trust tier** removes the last single point of trust — a
+collector that sees what it aggregates:
+
+* :mod:`.shares` — additive mod-2^64 blinding of per-chunk packed
+  counts against per-keeper transcript-derived secrets
+  (:func:`blind_report_chunk`), the per-party
+  :class:`BlindedAccumulator`, and the membership digest that makes a
+  missing keeper loud.  A share keeper is just a
+  :class:`CollectionService` in ``mode="keeper"``; the blinded
+  collector runs ``mode="blinded"``; neither can decode anything alone.
+* :func:`combine_round` (in :mod:`.aggregator`) — the only place a
+  split-trust round's plain tally comes into existence: all keeper
+  states plus the blinded collector state, membership-reconciled, then
+  decoded via :func:`repro.estimation.merge.combine_shares` —
+  bit-identical to the direct unblinded tally.
+
 See ``docs/service.md`` for the protocol, ledger format, recovery
-semantics, and the scale-out topology.
+semantics, the scale-out topology, and the split-trust trust model.
 """
 
-from .aggregator import AggregateResult, aggregate_round, merge_tree
+from .aggregator import (
+    AggregateResult,
+    PartyPull,
+    ShardPull,
+    SplitTrustResult,
+    aggregate_round,
+    combine_round,
+    merge_tree,
+    pull_party_state,
+    pull_shard_state,
+)
 from .auth import (
     KeyRegistry,
     derive_producer_key,
     derive_round_key,
+    derive_share_secret,
+    keeper_party_label,
     session_mac,
 )
 from .client import (
@@ -87,20 +115,42 @@ from .coordinator import CoordinatedRound, RoundCoordinator
 from .ledger import IdempotencyLedger, LedgerEntry
 from .lifecycle import RoundLifecycle
 from .quotas import ServiceLimits
-from .rounds import RoundRegistry, RoundState
+from .rounds import (
+    MODE_BLINDED,
+    MODE_COLLECT,
+    MODE_KEEPER,
+    RoundRegistry,
+    RoundState,
+)
 from .routing import RoutingTable, ShardInfo
 from .server import CollectionService
 from .sessions import SessionHost
+from .shares import (
+    ROLE_BLINDED,
+    ROLE_KEEPER,
+    BlindedAccumulator,
+    blind_report_chunk,
+    blinding_words,
+    combine_accumulators,
+    send_split_trust,
+)
 from .topology import ShardFleet, ShardProcess
 
 __all__ = [
     "AggregateResult",
+    "BlindedAccumulator",
     "CollectionService",
     "CoordinatedRound",
     "GroupCommitScheduler",
     "IdempotencyLedger",
     "KeyRegistry",
     "LedgerEntry",
+    "MODE_BLINDED",
+    "MODE_COLLECT",
+    "MODE_KEEPER",
+    "PartyPull",
+    "ROLE_BLINDED",
+    "ROLE_KEEPER",
     "RoundCoordinator",
     "RoundLifecycle",
     "RoundRegistry",
@@ -111,13 +161,23 @@ __all__ = [
     "SessionHost",
     "ShardFleet",
     "ShardInfo",
-    "ShardProcess",
+    "ShardPull",
+    "SplitTrustResult",
     "aggregate_round",
+    "blind_report_chunk",
+    "blinding_words",
+    "combine_accumulators",
+    "combine_round",
     "control_call",
     "derive_producer_key",
     "derive_round_key",
+    "derive_share_secret",
+    "keeper_party_label",
     "merge_tree",
+    "pull_party_state",
+    "pull_shard_state",
     "send_records",
     "send_records_routed",
+    "send_split_trust",
     "session_mac",
 ]

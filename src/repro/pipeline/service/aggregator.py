@@ -24,6 +24,16 @@ aggregator exploits that:
   :class:`~repro.estimation.merge.RoundEstimate` via
   :mod:`repro.estimation.merge` — the same estimate object a
   single-process round emits.
+
+A **split-trust** round ends differently: the collector fleet holds
+only blinded word sums and each share keeper holds only its blinding
+stream (:mod:`.shares`).  :func:`combine_round` is the only place the
+plain tally ever comes into existence — it pulls every party's state
+(:func:`pull_party_state`, role-checked), reconciles the parties'
+membership digests so a keeper that lost records fails the round
+loudly, and decodes via :func:`~.shares.combine_accumulators`.  The
+result is bit-identical to :func:`aggregate_round` over the same
+(unblinded) report stream.
 """
 
 from __future__ import annotations
@@ -31,12 +41,21 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
+import numpy as np
+
 from ...estimation.merge import RoundEstimate
 from ...exceptions import ControlError, ValidationError
 from ..accumulator import CountAccumulator
 from ..collect import wire
 from .client import control_call
 from .routing import ShardInfo
+from .shares import (
+    ROLE_BLINDED,
+    ROLE_KEEPER,
+    BlindedAccumulator,
+    combine_accumulators,
+    decode_member_digest,
+)
 
 __all__ = [
     "ShardPull",
@@ -44,6 +63,10 @@ __all__ = [
     "merge_tree",
     "aggregate_round",
     "AggregateResult",
+    "PartyPull",
+    "pull_party_state",
+    "combine_round",
+    "SplitTrustResult",
 ]
 
 
@@ -162,4 +185,180 @@ async def aggregate_round(
     )
     return AggregateResult(
         accumulator=merged, estimate=estimate, pulls=tuple(pulls)
+    )
+
+
+# ----------------------------------------------------------------------
+# Split-trust combine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartyPull:
+    """One split-trust party's verified (still blinded) contribution."""
+
+    shard: ShardInfo
+    accumulator: BlindedAccumulator
+    member_digest: str
+    records_merged: int
+    phase: str
+
+
+async def pull_party_state(
+    shard: ShardInfo, *, control_key, round_id: int, role: str
+) -> PartyPull:
+    """Pull one party's blinded state, pinned to its expected *role*.
+
+    The role check is structural trust enforcement: an aggregator that
+    mistakes a keeper for the blinded collector (or vice versa) would
+    combine nonsense; instead the wrong frame kind in the attachment is
+    refused before anything is accumulated.
+    """
+    if role not in (ROLE_BLINDED, ROLE_KEEPER):
+        raise ValidationError(
+            f"role must be {ROLE_BLINDED!r} or {ROLE_KEEPER!r}, got {role!r}"
+        )
+    body, attachment = await control_call(
+        shard.host,
+        shard.port,
+        key=control_key,
+        op="pull-state",
+        body={"round_id": int(round_id)},
+    )
+    obj = wire.loads(attachment)
+    expected = wire.BlindedCounts if role == ROLE_BLINDED else (
+        wire.BlindingShare
+    )
+    if not isinstance(obj, expected):
+        raise ControlError(
+            f"party {shard.name} sent a {type(obj).__name__} attachment "
+            f"for a {role} pull; expected {expected.__name__} — the "
+            "deployment's party roles are misconfigured"
+        )
+    accumulator = BlindedAccumulator.from_frame(obj)
+    if accumulator.digest() != body.get("digest"):
+        raise ControlError(
+            f"party {shard.name} state digest mismatch for round "
+            f"{round_id}: body claims {body.get('digest')!r}, attachment "
+            f"decodes to {accumulator.digest()!r}"
+        )
+    if accumulator.round_id != int(round_id):
+        raise ControlError(
+            f"party {shard.name} sent state for round "
+            f"{accumulator.round_id}, not {round_id}"
+        )
+    member_digest = body.get("member_digest")
+    if not member_digest:
+        raise ControlError(
+            f"party {shard.name} sent no membership digest for round "
+            f"{round_id}; refusing to combine unverifiable share streams"
+        )
+    decode_member_digest(member_digest)  # loud on malformed hex
+    return PartyPull(
+        shard=shard,
+        accumulator=accumulator,
+        member_digest=str(member_digest),
+        records_merged=int(body.get("records_merged", 0)),
+        phase=str(body.get("phase", "")),
+    )
+
+
+@dataclass(frozen=True)
+class SplitTrustResult:
+    """A split-trust round's decoded tally and its provenance."""
+
+    accumulator: CountAccumulator
+    estimate: RoundEstimate | None
+    collector_pulls: tuple[PartyPull, ...]
+    keeper_pulls: tuple[PartyPull, ...]
+
+    @property
+    def records_merged(self) -> int:
+        return sum(pull.records_merged for pull in self.collector_pulls)
+
+
+async def combine_round(
+    shards,
+    keepers,
+    *,
+    control_key,
+    round_id: int,
+    mechanism=None,
+) -> SplitTrustResult:
+    """Pull every party of a split-trust *round_id*, reconcile, decode.
+
+    *shards* are the blinded collector's shard(s); *keepers* the share
+    keeper services (each a whole keeper — one per blinding stream).
+    The decode happens **only after** every party answered and all
+    membership digests reconcile: the lane-sum of the collector shards'
+    digests must equal every keeper's digest, certifying all parties
+    committed exactly the same record set.  Any unreachable party,
+    digest mismatch, coverage gap, or non-count residual fails the
+    round loudly — a split-trust round never emits a partially decoded
+    (i.e. still-random) tally.
+    """
+    shards = list(shards)
+    keepers = list(keepers)
+    if not shards:
+        raise ValidationError("combine_round needs at least one collector shard")
+    if not keepers:
+        raise ValidationError(
+            "combine_round needs at least one share keeper; a zero-keeper "
+            "round is a plain aggregate_round"
+        )
+    pulls = await asyncio.gather(
+        *(
+            pull_party_state(
+                shard,
+                control_key=control_key,
+                round_id=round_id,
+                role=ROLE_BLINDED,
+            )
+            for shard in shards
+        ),
+        *(
+            pull_party_state(
+                keeper,
+                control_key=control_key,
+                round_id=round_id,
+                role=ROLE_KEEPER,
+            )
+            for keeper in keepers
+        ),
+    )
+    collector_pulls = tuple(pulls[: len(shards)])
+    keeper_pulls = tuple(pulls[len(shards):])
+
+    blinded = collector_pulls[0].accumulator
+    for pull in collector_pulls[1:]:
+        blinded = blinded.merge(pull.accumulator)
+    # Membership is additive across collector shards (each producer's
+    # records commit on exactly one shard), so the fleet-wide digest is
+    # the mod-2^64 lane sum — which every keeper, covering the whole
+    # producer population, must match exactly.
+    with np.errstate(over="ignore"):
+        fleet_members = sum(
+            (decode_member_digest(pull.member_digest)
+             for pull in collector_pulls),
+            start=np.zeros(4, dtype=np.uint64),
+        )
+    for pull in keeper_pulls:
+        if not np.array_equal(
+            decode_member_digest(pull.member_digest), fleet_members
+        ):
+            raise ControlError(
+                f"share keeper {pull.shard.name} membership digest does "
+                f"not reconcile with the collector fleet for round "
+                f"{round_id}: the keeper's committed record set differs — "
+                "refusing to decode"
+            )
+    plain = combine_accumulators(
+        blinded, [pull.accumulator for pull in keeper_pulls]
+    )
+    estimate = (
+        plain.to_round_estimate(mechanism) if mechanism is not None else None
+    )
+    return SplitTrustResult(
+        accumulator=plain,
+        estimate=estimate,
+        collector_pulls=collector_pulls,
+        keeper_pulls=keeper_pulls,
     )

@@ -33,6 +33,18 @@ threat model is an untrusted *network* and unauthorized producers, not
 a man-in-the-middle tampering inside an established TCP stream (run TLS
 underneath for that).  What exactness requires — resend-safety — comes
 from the idempotency ledger, not the MAC.
+
+The split-trust tier adds two things here.  A *party label*
+(:func:`keeper_party_label`) folds the serving party's role into the
+session transcript: a share keeper's sessions MAC a label naming that
+keeper, so a proof minted for the blinded collector can never be spent
+at a keeper, nor a proof for keeper A at keeper B — even if an operator
+misconfigures two parties with the same producer key.  And
+:func:`derive_share_secret` derives the per-(producer, keeper) blinding
+secret from the producer's *keeper-side* key over stable round
+coordinates only (no session nonces), so a blind resend regenerates
+byte-identical share frames — which is what lets the idempotency ledger
+dedup them — and a restarted keeper changes nothing.
 """
 
 from __future__ import annotations
@@ -51,7 +63,9 @@ __all__ = [
     "control_request_mac",
     "derive_producer_key",
     "derive_round_key",
+    "derive_share_secret",
     "fresh_nonce",
+    "keeper_party_label",
     "session_mac",
     "verify_control_reply_mac",
     "verify_control_request_mac",
@@ -60,6 +74,8 @@ __all__ = [
 
 _PROTOCOL_LABEL = b"IDLP-session-v2"
 _CONTROL_LABEL = b"IDLP-control-v4"
+_SHARE_LABEL = b"IDLP-share-v5"
+_KEEPER_PARTY_LABEL = b"IDLP-share-keeper"
 MIN_KEY_BYTES = 8
 
 
@@ -104,6 +120,60 @@ def derive_producer_key(master, producer_id: str) -> bytes:
         b"IDLP-producer-key" + producer_id.encode("utf-8"),
         hashlib.sha256,
     ).digest()
+
+
+def derive_share_secret(
+    key, *, m: int, round_id: int, producer_id: str, keeper_id: str
+) -> bytes:
+    """One (producer, keeper) pair's blinding secret for one round.
+
+    ``HMAC-SHA256(K_pj, label || m || round_id || len(producer) ||
+    producer || len(keeper) || keeper)`` where ``K_pj`` is the
+    producer's key *at keeper j's own registry* — a key universe the
+    collector never holds, which is the whole split-trust point: a
+    party that knows only the collector-side keys can expand none of
+    the blinding streams.  The transcript uses stable round coordinates
+    only (never session nonces or registration tokens), so a blind
+    resend after a lost ack — or after the keeper restarts — derives
+    byte-identical blinding words and dedups in the keeper's ledger
+    instead of corrupting the share sum.
+    """
+    key = derive_round_key(key)
+    producer = producer_id.encode("utf-8")
+    keeper = keeper_id.encode("utf-8")
+    if not producer:
+        raise ValidationError("producer_id must be a non-empty string")
+    if not keeper:
+        raise ValidationError("keeper_id must be a non-empty string")
+    transcript = b"".join(
+        (
+            _SHARE_LABEL,
+            struct.pack("<QqH", int(m), int(round_id), len(producer)),
+            producer,
+            struct.pack("<H", len(keeper)),
+            keeper,
+        )
+    )
+    return hmac.new(key, transcript, hashlib.sha256).digest()
+
+
+def keeper_party_label(keeper_id: str) -> bytes:
+    """The session-transcript party label of one share keeper.
+
+    Folded into :func:`session_mac` by keeper-mode rounds (and by the
+    producers talking to them), scoping a proof to that exact keeper:
+    collector sessions use the empty label (transcripts byte-identical
+    to every prior wire version), and no two keepers share a label.
+    """
+    keeper = str(keeper_id).encode("utf-8")
+    if not keeper:
+        raise ValidationError("keeper_id must be a non-empty string")
+    if len(keeper) > 0xFFFF:
+        raise ValidationError(
+            f"keeper_id is {len(keeper)} UTF-8 bytes; the label caps it "
+            "at 65535"
+        )
+    return _KEEPER_PARTY_LABEL + struct.pack("<H", len(keeper)) + keeper
 
 
 def fresh_nonce() -> bytes:
@@ -338,6 +408,7 @@ def session_mac(
     client_nonce: bytes,
     server_nonce: bytes,
     round_token: bytes = b"",
+    party: bytes = b"",
 ) -> bytes:
     """HMAC-SHA256 over the handshake transcript (32 bytes).
 
@@ -346,7 +417,10 @@ def session_mac(
     MAC input.  *round_token* is the multi-round registration token
     from a version-3 challenge; it is appended after the fixed-size
     nonces (no ambiguity — empty or exactly 16 bytes), and an empty
-    token reproduces the single-round transcript bit for bit.
+    token reproduces the single-round transcript bit for bit.  *party*
+    is the serving party's role label (:func:`keeper_party_label` for a
+    share keeper); empty — every non-keeper session — leaves the
+    transcript byte-identical to the pre-split-trust protocol.
     """
     producer = producer_id.encode("utf-8")
     transcript = b"".join(
@@ -357,6 +431,7 @@ def session_mac(
             bytes(client_nonce),
             bytes(server_nonce),
             bytes(round_token),
+            bytes(party),
         )
     )
     return hmac.new(key, transcript, hashlib.sha256).digest()
@@ -372,6 +447,7 @@ def verify_session_mac(
     client_nonce: bytes,
     server_nonce: bytes,
     round_token: bytes = b"",
+    party: bytes = b"",
 ) -> bool:
     """Constant-time check of a producer's session proof."""
     expected = session_mac(
@@ -382,6 +458,7 @@ def verify_session_mac(
         client_nonce=client_nonce,
         server_nonce=server_nonce,
         round_token=round_token,
+        party=party,
     )
     return hmac.compare_digest(expected, bytes(mac))
 

@@ -72,6 +72,7 @@ class ServiceSession:
         producer_id: str,
         m: int,
         round_id: int = 0,
+        party: bytes = b"",
     ) -> None:
         if not producer_id:
             raise ValidationError("producer_id must be a non-empty string")
@@ -81,6 +82,12 @@ class ServiceSession:
         self.producer_id = producer_id
         self.m = int(m)
         self.round_id = int(round_id)
+        # The party label scopes the session proof to the peer's role in
+        # a split-trust round: empty against a plain collector (the
+        # transcript stays byte-identical to earlier protocol versions),
+        # keeper_party_label(keeper_id) against that share keeper — so a
+        # proof minted for one party is unspendable at any other.
+        self.party = bytes(party)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -139,6 +146,7 @@ class ServiceSession:
                 client_nonce=client_nonce,
                 server_nonce=reply.nonce,
                 round_token=reply.round_token,
+                party=self.party,
             )
             await self._send(
                 wire.SessionProof(m=self.m, round_id=self.round_id, mac=mac)
@@ -237,6 +245,7 @@ async def send_records(
     start_seq: int = 0,
     raise_on_refusal: bool = True,
     max_inflight: int = 64,
+    party: bytes = b"",
 ) -> list[wire.Ack]:
     """Authenticate and ship *frames* as records ``start_seq, ...``.
 
@@ -256,7 +265,13 @@ async def send_records(
     is reading.)
     """
     session = ServiceSession(
-        host, port, key=key, producer_id=producer_id, m=m, round_id=round_id
+        host,
+        port,
+        key=key,
+        producer_id=producer_id,
+        m=m,
+        round_id=round_id,
+        party=party,
     )
     await session.connect()
     try:
@@ -315,6 +330,7 @@ async def send_records_routed(
     raise_on_refusal: bool = True,
     max_inflight: int = 64,
     max_redirects: int = 3,
+    party: bytes = b"",
 ) -> list[wire.Ack]:
     """:func:`send_records` against a shard fleet.
 
@@ -348,6 +364,7 @@ async def send_records_routed(
                 start_seq=start_seq,
                 raise_on_refusal=raise_on_refusal,
                 max_inflight=max_inflight,
+                party=party,
             )
         except MovedError as moved:
             hops.append(f"{host}:{port} -> {moved.shard}@{moved.host}:"

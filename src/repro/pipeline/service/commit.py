@@ -46,7 +46,6 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ...exceptions import LedgerError, ServiceError
-from ..collect.collector import apply_frame_object
 from .quotas import COMMIT_SCOPE_ROUND, ServiceLimits
 
 __all__ = ["GroupCommitScheduler"]
@@ -264,7 +263,8 @@ class GroupCommitScheduler:
                     appended_keys.append((producer_id, item["seq"]))
                 await loop.run_in_executor(None, round_.ledger.sync)
                 for producer_id, item in to_commit:
-                    apply_frame_object(item["inner"], round_.accumulator)
+                    round_.absorb(item["inner"])
+                    round_.note_member(producer_id, item["seq"])
                     round_.records_merged += 1
                     round_.bytes_ingested += len(item["frame"])
                     item["status"] = "merged"

@@ -28,6 +28,13 @@ The coordinator deliberately does not proxy record traffic — producers
 talk straight to their shard.  Losing the coordinator mid-round loses
 nothing durable: shards keep serving, and a new coordinator rebuilds
 its view from ``status`` calls.
+
+A coordinator given *keepers* also owns **split-trust rounds**
+(:mod:`.shares`): ``register_round(..., mode="blinded")`` opens the
+round as a blinded collector on every shard and as a keeper round on
+every share keeper — all under the same registration token — and every
+lifecycle verb (drain / close / retire / status) spans both fleets, so
+no party can be left serving a round the others closed.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from ...exceptions import ValidationError
 from .auth import fresh_nonce
 from .client import control_call
 from .lifecycle import CLOSED, DRAINING, RETIRED, SERVING, RoundLifecycle
+from .rounds import MODE_BLINDED, MODE_COLLECT, MODE_KEEPER
 from .routing import RoutingTable, ShardInfo
 
 __all__ = ["CoordinatedRound", "RoundCoordinator"]
@@ -51,6 +59,7 @@ class CoordinatedRound:
     round_id: int
     m: int
     token: bytes
+    mode: str = MODE_COLLECT
     lifecycle: RoundLifecycle = field(init=False)
 
     def __post_init__(self) -> None:
@@ -75,6 +84,12 @@ class RoundCoordinator:
     replicas / epoch:
         Routing-table construction knobs (see
         :class:`~.routing.RoutingTable`).
+    keepers:
+        Share-keeper services (:class:`~.routing.ShardInfo` entries)
+        for split-trust rounds.  Keepers are *not* part of the routing
+        ring — every producer sends its share stream to every keeper —
+        they are a second fleet the coordinator drives through the same
+        control plane.
     """
 
     def __init__(
@@ -84,10 +99,17 @@ class RoundCoordinator:
         control_key,
         replicas: int | None = None,
         epoch: int = 1,
+        keepers=(),
     ) -> None:
         kwargs = {} if replicas is None else {"replicas": replicas}
         self.table = RoutingTable(shards, epoch=epoch, **kwargs)
         self.control_key = control_key
+        self.keepers: tuple[ShardInfo, ...] = tuple(keepers)
+        names = [keeper.name for keeper in self.keepers]
+        if len(set(names)) != len(names):
+            raise ValidationError(
+                f"share keeper names must be unique, got {names}"
+            )
         self.rounds: dict[int, CoordinatedRound] = {}
 
     # ------------------------------------------------------------------
@@ -100,15 +122,19 @@ class RoundCoordinator:
             shard.host, shard.port, key=self.control_key, op=op, body=body
         )
 
-    async def _broadcast(self, op: str, body: dict) -> list[dict]:
+    async def _broadcast(
+        self, op: str, body: dict, *, fleet=None
+    ) -> list[dict]:
         """Run one op against every shard, concurrently, all-or-error.
 
         Any shard failure raises after all calls settle (the error
         names the shard), so a partially applied broadcast is loud —
         the caller decides whether to retry (every shard op here is
-        idempotent-or-loud, never silently divergent).
+        idempotent-or-loud, never silently divergent).  *fleet*
+        overrides the target set (default: the routing table's shards;
+        split-trust verbs pass shards + keepers).
         """
-        shards = self.table.shards()
+        shards = list(self.table.shards()) if fleet is None else list(fleet)
         results = await asyncio.gather(
             *(self._call_shard(shard, op, body) for shard in shards),
             return_exceptions=True,
@@ -124,6 +150,14 @@ class RoundCoordinator:
                 f"{len(shards)} shards: {'; '.join(failures)}"
             )
         return [body for body, _attachment in results]
+
+    def _round_fleet(self, record: CoordinatedRound) -> list[ShardInfo]:
+        """Every service hosting *record*: shards, plus keepers for a
+        split-trust round — lifecycle verbs must span both fleets."""
+        fleet = list(self.table.shards())
+        if record.mode == MODE_BLINDED:
+            fleet.extend(self.keepers)
+        return fleet
 
     async def push_routing(self, table: RoutingTable | None = None) -> int:
         """Install *table* (default: the current one) on every shard."""
@@ -168,7 +202,13 @@ class RoundCoordinator:
         return self._round(round_id).phase
 
     async def register_round(
-        self, m: int, round_id: int, *, limits=None, resume: bool = False
+        self,
+        m: int,
+        round_id: int,
+        *,
+        limits=None,
+        resume: bool = False,
+        mode: str = MODE_COLLECT,
     ) -> CoordinatedRound:
         """Register one round on every shard and start it serving.
 
@@ -177,13 +217,33 @@ class RoundCoordinator:
         The coordinator's lifecycle record passes through ``open``
         (while shards are being registered) and lands on ``serving``
         only after every shard acknowledged.
+
+        ``mode="blinded"`` registers a **split-trust round**: every
+        shard opens it as a blinded collector and every configured
+        keeper opens it as a keeper round — same token, so a producer's
+        proofs across all parties are scoped to one incarnation (and
+        distinguished per party by the keeper labels in the transcript).
         """
         round_id = int(round_id)
         if round_id in self.rounds:
             raise ValidationError(
                 f"round {round_id} is already coordinated; retire it first"
             )
-        record = CoordinatedRound(round_id=round_id, m=int(m), token=fresh_nonce())
+        if mode not in (MODE_COLLECT, MODE_BLINDED):
+            raise ValidationError(
+                f"coordinated rounds are {MODE_COLLECT!r} or "
+                f"{MODE_BLINDED!r} (keeper rounds are opened implicitly "
+                f"on the keeper fleet), got {mode!r}"
+            )
+        if mode == MODE_BLINDED and not self.keepers:
+            raise ValidationError(
+                "a blinded round needs share keepers; construct the "
+                "coordinator with keepers=[...] or register a plain "
+                "collect round"
+            )
+        record = CoordinatedRound(
+            round_id=round_id, m=int(m), token=fresh_nonce(), mode=mode
+        )
         body: dict = {
             "m": int(m),
             "round_id": round_id,
@@ -192,7 +252,15 @@ class RoundCoordinator:
         }
         if limits is not None:
             body["limits"] = dict(limits)
+        if mode == MODE_BLINDED:
+            body["mode"] = MODE_BLINDED
         await self._broadcast("open-round", body)
+        if mode == MODE_BLINDED:
+            keeper_body = dict(body)
+            keeper_body["mode"] = MODE_KEEPER
+            await self._broadcast(
+                "open-round", keeper_body, fleet=list(self.keepers)
+            )
         record.lifecycle.transition(SERVING)
         self.rounds[round_id] = record
         return record
@@ -221,14 +289,53 @@ class RoundCoordinator:
             )
         recovered = []
         for record in sorted(self.rounds.values(), key=lambda r: r.round_id):
+            body = {
+                "m": record.m,
+                "round_id": record.round_id,
+                "token": record.token.hex(),
+                "resume": True,
+            }
+            if record.mode == MODE_BLINDED:
+                body["mode"] = MODE_BLINDED
+            await self._call_shard(shard, "open-round", body)
+            recovered.append(record.round_id)
+        return recovered
+
+    async def recover_keeper(self, keeper: ShardInfo) -> list[int]:
+        """Re-register split-trust rounds on a restarted share keeper.
+
+        The keeper resumes each blinded round's keeper state from its
+        own ledger + spill under the original token; its blinding
+        stream replays to exactly the sums it held (derivation is
+        transcript-stable, see :mod:`.shares`), so the eventual combine
+        is bit-identical to a crash-free run.  Returns the round ids
+        recovered.
+        """
+        if not any(
+            existing.name == keeper.name for existing in self.keepers
+        ):
+            raise ValidationError(
+                f"{keeper.name!r} is not a configured share keeper; "
+                f"keepers: {[k.name for k in self.keepers]}"
+            )
+        # A restarted keeper keeps its name but may bind a new port.
+        self.keepers = tuple(
+            keeper if existing.name == keeper.name else existing
+            for existing in self.keepers
+        )
+        recovered = []
+        for record in sorted(self.rounds.values(), key=lambda r: r.round_id):
+            if record.mode != MODE_BLINDED:
+                continue
             await self._call_shard(
-                shard,
+                keeper,
                 "open-round",
                 {
                     "m": record.m,
                     "round_id": record.round_id,
                     "token": record.token.hex(),
                     "resume": True,
+                    "mode": MODE_KEEPER,
                 },
             )
             recovered.append(record.round_id)
@@ -239,7 +346,11 @@ class RoundCoordinator:
         batches already in flight on any shard still commit."""
         record = self._round(round_id)
         record.lifecycle.require(SERVING)
-        await self._broadcast("drain", {"round_id": record.round_id})
+        await self._broadcast(
+            "drain",
+            {"round_id": record.round_id},
+            fleet=self._round_fleet(record),
+        )
         record.lifecycle.transition(DRAINING)
         return record.phase
 
@@ -252,6 +363,7 @@ class RoundCoordinator:
         await self._broadcast(
             "close-round",
             {"round_id": record.round_id, "snapshot": bool(snapshot)},
+            fleet=self._round_fleet(record),
         )
         if record.lifecycle.phase != CLOSED:
             record.lifecycle.transition(CLOSED)
@@ -263,7 +375,11 @@ class RoundCoordinator:
         dead)."""
         record = self._round(round_id)
         record.lifecycle.require(CLOSED)
-        await self._broadcast("retire-round", {"round_id": record.round_id})
+        await self._broadcast(
+            "retire-round",
+            {"round_id": record.round_id},
+            fleet=self._round_fleet(record),
+        )
         record.lifecycle.transition(RETIRED)
         del self.rounds[record.round_id]
         return record.phase
@@ -279,6 +395,17 @@ class RoundCoordinator:
                 shard.name: reply for shard, reply in zip(shards, replies)
             },
         }
+        if self.keepers and (
+            round_id is None
+            or self._round(round_id).mode == MODE_BLINDED
+        ):
+            keeper_replies = await self._broadcast(
+                "status", body, fleet=list(self.keepers)
+            )
+            status["keepers"] = {
+                keeper.name: reply
+                for keeper, reply in zip(self.keepers, keeper_replies)
+            }
         if round_id is not None:
             status["round_id"] = int(round_id)
             status["phase"] = self.phase(round_id)

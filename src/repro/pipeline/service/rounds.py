@@ -40,22 +40,44 @@ from ..accumulator import CountAccumulator
 from ..collect import wire
 from ..collect.collector import apply_frame_object
 from ..collect.store import ShardStore
-from .auth import fresh_nonce
+from .auth import fresh_nonce, keeper_party_label
 from .commit import GroupCommitScheduler
 from .ledger import IdempotencyLedger
 from .lifecycle import CLOSED, DRAINING, RETIRED, SERVING, RoundLifecycle
 from .quotas import ProducerQuota, RoundQuota, ServiceLimits
+from .shares import (
+    ROLE_BLINDED,
+    ROLE_KEEPER,
+    BlindedAccumulator,
+    add_member,
+    empty_member_digest,
+    encode_member_digest,
+)
 
 __all__ = [
     "RoundState",
     "RoundRegistry",
     "LEDGER_FILENAME",
     "SERVICE_SHARD_ID",
+    "MODE_COLLECT",
+    "MODE_BLINDED",
+    "MODE_KEEPER",
+    "ROUND_MODES",
     "round_namespace",
 ]
 
 LEDGER_FILENAME = "round.ledger"
 SERVICE_SHARD_ID = 0
+
+# A hosted round's aggregation mode: "collect" is the classic plaintext
+# collector; "blinded" and "keeper" are the two split-trust roles (see
+# :mod:`.shares`) — a blinded collector absorbs BlindedCounts frames,
+# a share keeper absorbs BlindingShare frames, and neither can decode
+# anything alone.
+MODE_COLLECT = "collect"
+MODE_BLINDED = "blinded"
+MODE_KEEPER = "keeper"
+ROUND_MODES = (MODE_COLLECT, MODE_BLINDED, MODE_KEEPER)
 
 
 def round_namespace(round_id: int) -> str:
@@ -76,6 +98,8 @@ class RoundState:
         resume: bool = False,
         scoped: bool = False,
         token: bytes | None = None,
+        mode: str = MODE_COLLECT,
+        keeper_id: str | None = None,
     ) -> None:
         self.m = int(m)
         if self.m <= 0:
@@ -83,10 +107,40 @@ class RoundState:
         self.round_id = int(round_id)
         self.limits = limits
         self.store = store
+        if mode not in ROUND_MODES:
+            raise ValidationError(
+                f"round mode must be one of {ROUND_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        if mode == MODE_KEEPER:
+            if not keeper_id:
+                raise ValidationError(
+                    "a keeper-mode round needs a non-empty keeper_id (the "
+                    "identity producers bind their share streams to)"
+                )
+            self.keeper_id = str(keeper_id)
+        else:
+            if keeper_id is not None:
+                raise ValidationError(
+                    f"keeper_id is only meaningful for {MODE_KEEPER!r} "
+                    f"rounds, got keeper_id={keeper_id!r} with mode={mode!r}"
+                )
+            self.keeper_id = None
         self.ledger = IdempotencyLedger(
             os.path.join(store.root, LEDGER_FILENAME)
         )
-        self.accumulator = CountAccumulator(self.m, round_id=self.round_id)
+        if mode == MODE_COLLECT:
+            self.accumulator = CountAccumulator(self.m, round_id=self.round_id)
+        else:
+            role = ROLE_BLINDED if mode == MODE_BLINDED else ROLE_KEEPER
+            self.accumulator = BlindedAccumulator(
+                self.m, round_id=self.round_id, role=role
+            )
+        # Order-independent digest of the committed record set (see
+        # shares.member_stamp) — maintained in EVERY mode so a split-
+        # trust combine can certify that collector and keepers hold
+        # exactly the same records before any decode is attempted.
+        self.member_digest = empty_member_digest()
         # The registration token: fresh every time the round is opened,
         # so session proofs are scoped to this exact incarnation.  An
         # unscoped (single-round, legacy-wire) round keeps it empty and
@@ -166,13 +220,49 @@ class RoundState:
         if count and os.path.exists(chunk_path):
             with open(chunk_path, "rb") as handle:
                 for obj in wire.iter_frames(handle):
-                    apply_frame_object(obj, self.accumulator)
+                    self.absorb(obj)
         self.bytes_ingested = recovered["offset"]
         self.records_merged = count
         self.recovered_records = count
         self.producers_seen = {
             entry.producer_id for entry in self.ledger.entries()
         }
+        # The ledger is the membership authority: replaying it in commit
+        # order rebuilds the member digest exactly, so a restarted party
+        # still reconciles with its peers at combine time.
+        for entry in self.ledger.entries():
+            self.note_member(entry.producer_id, entry.seq)
+
+    # ------------------------------------------------------------------
+    # Mode-dependent merge surface
+    # ------------------------------------------------------------------
+    @property
+    def party(self) -> bytes:
+        """The party label sessions of this round must bind in their
+        proofs: empty for collect/blinded rounds (wire-compatible with
+        earlier protocol versions), the keeper label for keeper rounds —
+        so a proof minted for the collector is unspendable at a keeper
+        and each keeper's proofs are distinct."""
+        if self.mode == MODE_KEEPER:
+            return keeper_party_label(self.keeper_id)
+        return b""
+
+    def absorb(self, obj) -> None:
+        """Merge one validated inner object into this round's state.
+
+        The single dispatch point between the classic plaintext merge
+        (:func:`~repro.pipeline.collect.collector.apply_frame_object`)
+        and the split-trust accumulators — commit and recovery both go
+        through here, so replay is the same code path as live ingest.
+        """
+        if self.mode == MODE_COLLECT:
+            apply_frame_object(obj, self.accumulator)
+        else:
+            self.accumulator.absorb_frame(obj)
+
+    def note_member(self, producer_id: str, seq: int) -> None:
+        """Fold one committed record into the membership digest."""
+        add_member(self.member_digest, producer_id, seq)
 
     # ------------------------------------------------------------------
     # Quota scoping
@@ -212,6 +302,24 @@ class RoundState:
         would make — so a record that reaches the ledger can never fail
         to merge (a ledgered-but-unmergeable record would poison every
         subsequent restart's replay)."""
+        if self.mode != MODE_COLLECT:
+            expected = (
+                wire.BlindedCounts
+                if self.mode == MODE_BLINDED
+                else wire.BlindingShare
+            )
+            if not isinstance(obj, expected):
+                raise ValidationError(
+                    f"a {self.mode} round accepts only "
+                    f"{expected.__name__} records, got {type(obj).__name__}"
+                )
+            if obj.m != self.m or obj.round_id != self.round_id:
+                raise ValidationError(
+                    f"record is for (m={obj.m}, round={obj.round_id}); "
+                    f"this round collects (m={self.m}, "
+                    f"round={self.round_id})"
+                )
+            return
         if isinstance(obj, CountAccumulator):
             matches = obj.m == self.m and obj.round_id == self.round_id
         elif isinstance(obj, wire.PackedChunk):
@@ -381,7 +489,12 @@ class RoundState:
         if snapshot:
             self.writer.sync()
             self.writer.close()
-            self.store.write_snapshot(SERVICE_SHARD_ID, self.accumulator)
+            snap = (
+                self.accumulator
+                if self.mode == MODE_COLLECT
+                else self.accumulator.state_frame()
+            )
+            self.store.write_snapshot(SERVICE_SHARD_ID, snap)
         else:
             self.writer.close()
         self.ledger.close()
@@ -391,6 +504,9 @@ class RoundState:
         return {
             "m": self.m,
             "round_id": self.round_id,
+            "mode": self.mode,
+            "keeper_id": self.keeper_id,
+            "member_digest": encode_member_digest(self.member_digest),
             "phase": self.lifecycle.phase,
             "n": self.accumulator.n,
             "records_merged": self.records_merged,
@@ -434,6 +550,8 @@ class RoundRegistry:
         scoped: bool = True,
         token: bytes | None = None,
         serve: bool = True,
+        mode: str = MODE_COLLECT,
+        keeper_id: str | None = None,
     ) -> RoundState:
         """Create, recover (with *resume*), and register one round.
 
@@ -457,6 +575,8 @@ class RoundRegistry:
             resume=resume,
             scoped=scoped,
             token=token,
+            mode=mode,
+            keeper_id=keeper_id,
         )
         if serve:
             state.serve()

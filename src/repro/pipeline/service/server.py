@@ -72,6 +72,9 @@ from .auth import (
 from .quotas import ServiceLimits
 from .rounds import (
     LEDGER_FILENAME,
+    MODE_COLLECT,
+    MODE_KEEPER,
+    ROUND_MODES,
     SERVICE_SHARD_ID,
     RoundRegistry,
     RoundState,
@@ -79,6 +82,7 @@ from .rounds import (
 )
 from .routing import RoutingTable
 from .sessions import SessionHost
+from .shares import encode_member_digest
 
 __all__ = [
     "CollectionService",
@@ -104,8 +108,10 @@ def _coerce_round_spec(spec) -> tuple[int, int, dict]:
     """``(m, round_id, extras)`` from a dict, mapping-like, or pair.
 
     *extras* carries the optional per-round keys a dict spec may
-    declare: ``limits`` (a ``ServiceLimits`` override mapping) and
-    ``token`` (a coordinator-minted registration token, hex).
+    declare: ``limits`` (a ``ServiceLimits`` override mapping),
+    ``token`` (a coordinator-minted registration token, hex), and
+    ``mode`` (``collect`` | ``blinded`` | ``keeper`` — the round's
+    aggregation role, see :mod:`.shares`).
     """
     if isinstance(spec, dict):
         try:
@@ -114,17 +120,21 @@ def _coerce_round_spec(spec) -> tuple[int, int, dict]:
             raise ValidationError(
                 f"round spec {spec!r} must carry integer 'm' and 'round_id'"
             ) from exc
-        unknown = sorted(set(spec) - {"m", "round_id", "limits", "token"})
+        unknown = sorted(
+            set(spec) - {"m", "round_id", "limits", "token", "mode"}
+        )
         if unknown:
             raise ValidationError(
                 f"round {round_id}: unknown round spec key(s) {unknown}; "
-                "known keys: m, round_id, limits, token"
+                "known keys: m, round_id, limits, token, mode"
             )
         extras: dict = {}
         if spec.get("limits") is not None:
             extras["limits"] = spec["limits"]
         if spec.get("token") is not None:
             extras["token"] = spec["token"]
+        if spec.get("mode") is not None:
+            extras["mode"] = spec["mode"]
         return m, round_id, extras
     try:
         m, round_id = spec
@@ -203,6 +213,8 @@ class CollectionService:
         control_key=None,
         shard_name: str | None = None,
         routing=None,
+        mode: str = MODE_COLLECT,
+        keeper_id: str | None = None,
     ) -> None:
         if (m is None) == (rounds is None):
             raise ValidationError(
@@ -237,6 +249,29 @@ class CollectionService:
         self.shard_name = shard_name
         if routing is not None and not isinstance(routing, RoutingTable):
             routing = RoutingTable.from_payload(routing)
+        # Split-trust identity: mode is the service-wide default for
+        # rounds opened without an explicit per-round mode, keeper_id
+        # the stable identity producers bind their share streams to.
+        # A share-keeper process is just CollectionService(mode="keeper",
+        # keeper_id="keeper-a", ...) — every other guarantee (sessions,
+        # ledger, group commit, recovery) carries over unchanged.
+        if mode not in ROUND_MODES:
+            raise ValidationError(
+                f"mode must be one of {ROUND_MODES}, got {mode!r}"
+            )
+        self.default_mode = mode
+        self.keeper_id = str(keeper_id) if keeper_id is not None else None
+        if mode == MODE_KEEPER and not self.keeper_id:
+            raise ValidationError(
+                "a keeper-mode service needs keeper_id= (the identity "
+                "producers derive this keeper's blinding stream from)"
+            )
+        if mode != MODE_KEEPER and self.keeper_id is not None:
+            raise ValidationError(
+                f"keeper_id={self.keeper_id!r} only applies to "
+                f"mode={MODE_KEEPER!r} services; a {mode!r} service has no "
+                "keeper identity (did you mean mode=\"keeper\"?)"
+            )
         self.store = ShardStore(store_root)
         self.registry = RoundRegistry()
         self._closed = False
@@ -250,6 +285,12 @@ class CollectionService:
                     self.limits,
                     resume=resume,
                     scoped=False,
+                    mode=self.default_mode,
+                    keeper_id=(
+                        self.keeper_id
+                        if self.default_mode == MODE_KEEPER
+                        else None
+                    ),
                 )
             else:
                 for spec in rounds:
@@ -294,6 +335,7 @@ class CollectionService:
         resume: bool = False,
         limits=None,
         token=None,
+        mode: str | None = None,
     ) -> RoundState:
         """Host one more round (usable while the service is serving).
 
@@ -303,11 +345,14 @@ class CollectionService:
         shard of the round shares it) or a fresh one.  *limits* layers
         per-round overrides (a mapping) over the service defaults, or
         substitutes a full :class:`~.quotas.ServiceLimits`; validation
-        failures name the offending round.
+        failures name the offending round.  *mode* picks the round's
+        aggregation role (default: the service's own); a keeper round
+        takes the service's ``keeper_id`` identity.
         """
         if self._closed:
             raise ValidationError("service is closed")
         round_id = int(round_id)
+        mode = self.default_mode if mode is None else str(mode)
         if isinstance(limits, ServiceLimits):
             round_limits = limits
         elif limits is not None:
@@ -339,6 +384,8 @@ class CollectionService:
             resume=resume,
             scoped=True,
             token=token,
+            mode=mode,
+            keeper_id=self.keeper_id if mode == MODE_KEEPER else None,
         )
 
     def round(self, round_id: int) -> RoundState:
@@ -650,30 +697,43 @@ class CollectionService:
                 resume=bool(body.get("resume", False)),
                 limits=body.get("limits"),
                 token=body.get("token"),
+                mode=body.get("mode"),
             )
             return self._control_reply(
                 nonce,
                 {
                     "round_id": state.round_id,
                     "m": state.m,
+                    "mode": state.mode,
                     "phase": state.lifecycle.phase,
                     "recovered_records": state.recovered_records,
                 },
             )
         if op == "pull-state":
             state = self.round(int(body["round_id"]))
-            # The attachment is the round's accumulator as a core wire
-            # snapshot — the same frame bytes a single-process round
-            # would spill — and the body carries its digest so the
-            # aggregator verifies what it decodes before merging.
-            attachment = wire.dump_snapshot(state.accumulator)
+            # The attachment is the round's accumulated state: a core
+            # wire snapshot for a collect round (the same frame bytes a
+            # single-process round would spill), or the party's v5
+            # state-transfer share frame for a blinded/keeper round.
+            # The body carries its digest so the aggregator verifies
+            # what it decodes before merging — and, for split-trust
+            # rounds, the membership digest the combine reconciles
+            # across parties before any decode is attempted.
+            if state.mode == MODE_COLLECT:
+                attachment = wire.dump_snapshot(state.accumulator)
+            else:
+                attachment = wire.dumps(state.accumulator.state_frame())
             return self._control_reply(
                 nonce,
                 {
                     "round_id": state.round_id,
                     "m": state.m,
+                    "mode": state.mode,
                     "n": state.accumulator.n,
                     "digest": state.accumulator.digest(),
+                    "member_digest": encode_member_digest(
+                        state.member_digest
+                    ),
                     "records_merged": state.records_merged,
                     "phase": state.lifecycle.phase,
                 },

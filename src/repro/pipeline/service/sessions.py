@@ -577,6 +577,7 @@ class SessionHost:
                 client_nonce=hello.nonce,
                 server_nonce=server_nonce,
                 round_token=round_.token,
+                party=round_.party,
             )
         )
         if not authenticated:

@@ -32,6 +32,8 @@ RECORD_FILE = "record_v2_m21_seq9_round7.bin"
 ACK_FILE = "ack_v2_m16_seq9_round2.bin"
 CONTROL_REQUEST_FILE = "control_request_v4_drain_round2.bin"
 CONTROL_REPLY_FILE = "control_reply_v4_ok_round2.bin"
+BLINDED_FILE = "blinded_v5_m5_n4_round2.bin"
+SHARE_FILE = "share_v5_m5_n4_round2.bin"
 
 # Deterministic handshake bytes: fixtures must be reproducible, so the
 # nonces/token/MAC are fixed patterns, not fresh randomness.
@@ -116,6 +118,26 @@ def golden_control_reply() -> wire.ControlReply:
     )
 
 
+def golden_blinded_counts() -> wire.BlindedCounts:
+    """m=5 blinded counts with wraparound in play: two words sit above
+    any possible plain count (2^64-1 and 2^63), pinning that the wire
+    carries the full uint64 range, not just values <= n."""
+    words = np.array(
+        [3, 2**64 - 1, 0, 2**63, 41], dtype=np.uint64
+    )
+    return wire.BlindedCounts(m=5, round_id=2, n=4, words=words)
+
+
+def golden_blinding_share() -> wire.BlindingShare:
+    """One keeper's m=5 blinding words for the same chunk — subtracting
+    these from the golden blinded counts mod 2^64 must land every word
+    back inside [0, n=4] (the combine-identity the share tests pin)."""
+    words = np.array(
+        [1, 2**64 - 3, 2**64 - 4, 2**63 - 1, 40], dtype=np.uint64
+    )
+    return wire.BlindingShare(m=5, round_id=2, n=4, words=words)
+
+
 def main() -> None:
     os.makedirs(FIXTURE_DIR, exist_ok=True)
     for name, obj in (
@@ -129,6 +151,8 @@ def main() -> None:
         (ACK_FILE, golden_ack()),
         (CONTROL_REQUEST_FILE, golden_control_request()),
         (CONTROL_REPLY_FILE, golden_control_reply()),
+        (BLINDED_FILE, golden_blinded_counts()),
+        (SHARE_FILE, golden_blinding_share()),
     ):
         path = os.path.join(FIXTURE_DIR, name)
         with open(path, "wb") as handle:

@@ -46,6 +46,12 @@ def test_policy_graph_gain_runs(capsys):
     assert "star policy" in out
 
 
+def test_split_trust_round_runs(capsys):
+    out = _run_example("split_trust_round.py", capsys)
+    assert "all ACK_DUPLICATE" in out
+    assert "digest matches the direct unblinded tally: True" in out
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -57,6 +63,7 @@ def test_policy_graph_gain_runs(capsys):
         "heavy_hitters.py",
         "pldp_personalization.py",
         "padding_length_selection.py",
+        "split_trust_round.py",
     ],
 )
 def test_every_example_exists_and_has_docstring(name):

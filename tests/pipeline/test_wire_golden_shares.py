@@ -1,0 +1,184 @@
+"""Golden-fixture tests pinning the version-5 split-trust share frames.
+
+The split-trust tier introduced wire-format version 5: blinded
+per-bit counts (kind 10, :class:`~repro.pipeline.collect.wire.
+BlindedCounts`) and one keeper's blinding words (kind 11,
+:class:`~repro.pipeline.collect.wire.BlindingShare`).  Both carry a
+length-``m`` little-endian ``uint64`` word vector as the payload and
+the covered row count ``n`` in the header.  The contract these
+fixtures pin:
+
+* the **version-5** frames have exactly the documented layout — the
+  committed bytes decode to the pinned field values, re-encode
+  byte-for-byte, and a fresh encode from the pinned values matches the
+  committed file;
+* the full ``uint64`` range travels: the golden words include
+  ``2^64 - 1`` and ``2^63``, and subtracting the golden share from the
+  golden blinded counts mod 2^64 lands every word back inside
+  ``[0, n]`` — the combine identity the share tests rely on;
+* adding version 5 changed **nothing** below it: every committed
+  v1–v4 fixture still round-trips byte-identically through the
+  current codec;
+* decoding is version gated both ways: a share payload claiming
+  version 2 is refused, as is a truncated word vector.
+
+Expectations are duplicated from ``tests/fixtures/make_wire_fixtures.py``
+on purpose — the duplication is what pins producer and consumer
+together.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WireFormatError
+from repro.pipeline.collect import wire
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "fixtures",
+    "wire",
+)
+
+BLINDED_FILE = "blinded_v5_m5_n4_round2.bin"
+SHARE_FILE = "share_v5_m5_n4_round2.bin"
+
+BLINDED_WORDS = np.array(
+    [3, 2**64 - 1, 0, 2**63, 41], dtype=np.uint64
+)
+SHARE_WORDS = np.array(
+    [1, 2**64 - 3, 2**64 - 4, 2**63 - 1, 40], dtype=np.uint64
+)
+
+
+def _read(name: str) -> bytes:
+    with open(os.path.join(FIXTURE_DIR, name), "rb") as handle:
+        return handle.read()
+
+
+def _fix_header_crc(frame: bytearray) -> bytes:
+    frame[36:40] = struct.pack("<I", zlib.crc32(bytes(frame[:36])))
+    return bytes(frame)
+
+
+class TestGoldenBlindedCounts:
+    def test_decodes_to_pinned_state(self):
+        obj = wire.loads(_read(BLINDED_FILE))
+        assert isinstance(obj, wire.BlindedCounts)
+        assert obj.m == 5
+        assert obj.round_id == 2
+        assert obj.n == 4
+        assert obj.words.dtype == np.uint64
+        assert np.array_equal(obj.words, BLINDED_WORDS)
+
+    def test_reencodes_byte_identically(self):
+        blob = _read(BLINDED_FILE)
+        assert wire.dumps(wire.loads(blob)) == blob
+
+    def test_fresh_encode_matches_committed(self):
+        fresh = wire.dumps(
+            wire.BlindedCounts(m=5, round_id=2, n=4, words=BLINDED_WORDS)
+        )
+        assert fresh == _read(BLINDED_FILE)
+
+    def test_header_pins_version_and_kind(self):
+        blob = _read(BLINDED_FILE)
+        magic, version, kind, m, n, round_id, length = struct.unpack_from(
+            "<4sHHQQqI", blob
+        )
+        assert magic == b"IDLP"
+        assert version == wire.WIRE_VERSION_SHARES == 5
+        assert kind == wire.KIND_BLINDED == 10
+        assert (m, n, round_id) == (5, 4, 2)
+        assert length == 8 * 5  # payload is m LE u64 words, nothing else
+
+
+class TestGoldenBlindingShare:
+    def test_decodes_to_pinned_state(self):
+        obj = wire.loads(_read(SHARE_FILE))
+        assert isinstance(obj, wire.BlindingShare)
+        assert obj.m == 5
+        assert obj.round_id == 2
+        assert obj.n == 4
+        assert obj.words.dtype == np.uint64
+        assert np.array_equal(obj.words, SHARE_WORDS)
+
+    def test_reencodes_byte_identically(self):
+        blob = _read(SHARE_FILE)
+        assert wire.dumps(wire.loads(blob)) == blob
+
+    def test_fresh_encode_matches_committed(self):
+        fresh = wire.dumps(
+            wire.BlindingShare(m=5, round_id=2, n=4, words=SHARE_WORDS)
+        )
+        assert fresh == _read(SHARE_FILE)
+
+    def test_golden_pair_combines_inside_counts_range(self):
+        # The two fixtures are a matched pair: blinded - share mod 2^64
+        # must be a valid count vector for n=4, exercising wraparound
+        # (word 2 decodes 0 - (2^64-4) = 4) on the way.
+        blinded = wire.loads(_read(BLINDED_FILE))
+        share = wire.loads(_read(SHARE_FILE))
+        with np.errstate(over="ignore"):
+            residual = blinded.words - share.words
+        assert np.array_equal(
+            residual, np.array([2, 2, 4, 1, 1], dtype=np.uint64)
+        )
+        assert residual.max() <= blinded.n
+
+
+class TestPriorVersionsUntouched:
+    """Adding v5 must not move a byte of any committed v1-v4 fixture."""
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(
+            os.path.basename(path)
+            for path in glob.glob(os.path.join(FIXTURE_DIR, "*.bin"))
+            if "_v5_" not in os.path.basename(path)
+        ),
+    )
+    def test_committed_fixture_roundtrips_byte_identically(self, name):
+        blob = _read(name)
+        assert wire.dumps(wire.loads(blob)) == blob
+
+    def test_all_four_prior_versions_are_covered(self):
+        versions = {
+            os.path.basename(path).split("_v")[1][0]
+            for path in glob.glob(os.path.join(FIXTURE_DIR, "*.bin"))
+        }
+        assert versions == {"1", "2", "3", "4", "5"}
+
+
+class TestShareFramesAreVersionGated:
+    def test_share_frame_claiming_version_2_is_refused(self):
+        frame = bytearray(_read(SHARE_FILE))
+        struct.pack_into("<H", frame, 4, wire.WIRE_VERSION_SESSION)
+        with pytest.raises(WireFormatError, match="version"):
+            wire.loads(_fix_header_crc(frame))
+
+    def test_blinded_frame_claiming_version_1_is_refused(self):
+        frame = bytearray(_read(BLINDED_FILE))
+        struct.pack_into("<H", frame, 4, wire.WIRE_VERSION)
+        with pytest.raises(WireFormatError, match="version"):
+            wire.loads(_fix_header_crc(frame))
+
+    def test_truncated_word_vector_is_refused(self):
+        frame = bytearray(_read(BLINDED_FILE))
+        # Claim m=6 in the header: the 40-byte payload no longer matches
+        # the promised 8*m words.
+        struct.pack_into("<Q", frame, 8, 6)
+        with pytest.raises(WireFormatError):
+            wire.loads(_fix_header_crc(frame))
+
+    def test_flipped_payload_bit_is_loud(self):
+        frame = bytearray(_read(BLINDED_FILE))
+        frame[-1] ^= 0x01
+        with pytest.raises(WireFormatError, match="checksum|crc|corrupt"):
+            wire.loads(bytes(frame))

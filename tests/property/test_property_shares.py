@@ -1,0 +1,282 @@
+"""Property-based tests for split-trust blinding (hypothesis).
+
+The whole split-trust construction rests on one algebraic identity:
+for any report matrix, any keeper population, and any partition of the
+reports into chunks,
+
+    combine(blind(counts) accumulated per party)  ==  plain counts,
+
+word for word, because additive blinding mod 2^64 is a group operation
+and every party's accumulator is a mod-2^64 sum.  These tests drive
+exactly that identity through the public API —
+:func:`~repro.pipeline.service.shares.blind_report_chunk`,
+:class:`~repro.pipeline.service.shares.BlindedAccumulator`, and
+:func:`~repro.pipeline.service.shares.combine_accumulators` — for
+arbitrary packed matrices, share counts 1–5, and chunk partitions, and
+pin the mod-2^64 wraparound cases explicitly (a blinded word *below*
+the plain count decodes only via wraparound).
+
+Alongside the identity: blinding determinism (the resend/recovery
+contract — same transcript, same words), and loud refusal when a
+share stream is missing, duplicated, or tampered — the "never decode
+garbage" half of the contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.merge import combine_shares
+from repro.exceptions import EstimationError, ValidationError
+from repro.pipeline import CountAccumulator
+from repro.pipeline.service import (
+    ROLE_KEEPER,
+    BlindedAccumulator,
+    blind_report_chunk,
+    blinding_words,
+    combine_accumulators,
+    derive_share_secret,
+)
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+# An arbitrary report stream: m in [1, 24], up to 24 report rows of m
+# bits each, and a keeper population of 1-5.
+report_plans = st.tuples(
+    st.integers(min_value=1, max_value=24),  # m
+    st.lists(st.integers(min_value=0, max_value=2**24 - 1), max_size=24),
+    st.integers(min_value=1, max_value=5),  # keepers
+    st.randoms(use_true_random=False),  # chunk partition choices
+)
+
+
+def _bits(row_ints, m: int) -> np.ndarray:
+    """Rows of m bits from arbitrary ints (bit i of the int -> column i)."""
+    k = len(row_ints)
+    bits = np.zeros((k, m), dtype=np.uint8)
+    for r, value in enumerate(row_ints):
+        for c in range(m):
+            bits[r, c] = (value >> c) & 1
+    return bits
+
+
+def _partition(k: int, rng) -> list[tuple[int, int]]:
+    """A random partition of range(k) into contiguous non-empty chunks."""
+    if k == 0:
+        return []
+    cuts = sorted(rng.sample(range(1, k), rng.randint(0, k - 1))) if k > 1 else []
+    edges = [0, *cuts, k]
+    return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+def _secrets(m: int, round_id: int, producer: str, n_keepers: int) -> dict:
+    key = b"property-suite-master-key"
+    return {
+        f"keeper-{j}": derive_share_secret(
+            key,
+            m=m,
+            round_id=round_id,
+            producer_id=producer,
+            keeper_id=f"keeper-{j}",
+        )
+        for j in range(n_keepers)
+    }
+
+
+class TestBlindSplitCombineIsIdentity:
+    @given(report_plans)
+    @SETTINGS
+    def test_combined_decode_equals_direct_tally(self, plan):
+        m, row_ints, n_keepers, rng = plan
+        round_id = 6
+        bits = _bits(row_ints, m)
+        packed = np.packbits(bits, axis=1)
+        secrets = _secrets(m, round_id, "prop-producer", n_keepers)
+
+        direct = CountAccumulator(m, round_id=round_id)
+        blinded_acc = BlindedAccumulator(m, round_id=round_id)
+        keeper_accs = {
+            kid: BlindedAccumulator(m, round_id=round_id, role=ROLE_KEEPER)
+            for kid in secrets
+        }
+        for seq, (lo, hi) in enumerate(_partition(len(row_ints), rng)):
+            chunk = packed[lo:hi]
+            direct.add_packed_reports(chunk)
+            blinded, shares = blind_report_chunk(
+                chunk, m=m, round_id=round_id, seq=seq, secrets=secrets
+            )
+            blinded_acc.absorb_frame(blinded)
+            for kid, share in shares.items():
+                keeper_accs[kid].absorb_frame(share)
+
+        combined = combine_accumulators(blinded_acc, keeper_accs.values())
+        assert combined.n == direct.n == len(row_ints)
+        assert np.array_equal(combined.counts(), direct.counts())
+        assert combined.digest() == direct.digest()
+
+    @given(report_plans)
+    @SETTINGS
+    def test_any_strict_keeper_subset_decodes_nothing(self, plan):
+        """Dropping even one keeper leaves the residual non-count.
+
+        With >= 1 report and >= 1 missing 64-bit blinding stream the
+        residual words are uniform mod 2^64; the chance all of them
+        land inside [0, n] is ~ (n+1)/2^64 per word.  combine must
+        refuse rather than hand back those random words.
+        """
+        m, row_ints, n_keepers, rng = plan
+        assume(row_ints)  # empty rounds decode trivially from any subset
+        round_id = 6
+        packed = np.packbits(_bits(row_ints, m), axis=1)
+        secrets = _secrets(m, round_id, "prop-producer", n_keepers)
+
+        blinded_acc = BlindedAccumulator(m, round_id=round_id)
+        keeper_accs = {
+            kid: BlindedAccumulator(m, round_id=round_id, role=ROLE_KEEPER)
+            for kid in secrets
+        }
+        blinded, shares = blind_report_chunk(
+            packed, m=m, round_id=round_id, seq=0, secrets=secrets
+        )
+        blinded_acc.absorb_frame(blinded)
+        for kid, share in shares.items():
+            keeper_accs[kid].absorb_frame(share)
+
+        dropped = rng.choice(sorted(keeper_accs))
+        survivors = [
+            acc for kid, acc in keeper_accs.items() if kid != dropped
+        ]
+        # Missing-keeper decode must refuse — the residual still carries
+        # the dropped keeper's uniform blinding words, so it is not a
+        # valid count vector (except with probability ~ m*(n+1)/2^64).
+        with pytest.raises(EstimationError):
+            combine_accumulators(blinded_acc, survivors)
+
+
+class TestBlindingWordsContract:
+    @given(
+        st.binary(min_size=1, max_size=48),
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=64),
+    )
+    @SETTINGS
+    def test_deterministic_per_transcript(self, secret, seq, m):
+        a = blinding_words(secret, seq, m)
+        b = blinding_words(secret, seq, m)
+        assert a.dtype == np.uint64
+        assert a.shape == (m,)
+        assert np.array_equal(a, b)
+
+    @given(
+        st.binary(min_size=1, max_size=48),
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=8, max_value=64),
+    )
+    @SETTINGS
+    def test_distinct_seqs_give_distinct_streams(self, secret, seq, m):
+        a = blinding_words(secret, seq, m)
+        b = blinding_words(secret, seq + 1, m)
+        # 8+ words of 64 bits each: collision probability ~ 2^-512.
+        assert not np.array_equal(a, b)
+
+    def test_prefix_stability_is_not_promised_across_m(self):
+        # Document the actual contract: the words are a function of
+        # (secret, seq, m) jointly; no prefix relation across m is
+        # required, only determinism at fixed m (checked above).
+        a = blinding_words(b"k", 0, 4)
+        assert a.shape == (4,)
+
+
+class TestWraparoundPinnedExplicitly:
+    def test_combine_shares_wraps_mod_2_64(self):
+        # blinded word 1 sits *below* the share word: the true count 3
+        # is reachable only by wrapping through 2^64.
+        blinded = np.array([1, 0, 2**64 - 1], dtype=np.uint64)
+        share = np.array([2**64 - 2, 2**64 - 4, 2**64 - 5], dtype=np.uint64)
+        counts = combine_shares(blinded, [share], n=5)
+        assert counts.dtype == np.int64
+        assert counts.tolist() == [3, 4, 4]
+
+    def test_multi_share_wraparound_cancels_exactly(self):
+        m = 3
+        true = np.array([5, 0, 2], dtype=np.uint64)
+        r1 = np.array([2**64 - 1, 2**63, 7], dtype=np.uint64)
+        r2 = np.array([2**63 + 12, 2**63 - 1, 2**64 - 3], dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            blinded = true + r1 + r2
+        counts = combine_shares(blinded, [r1, r2], n=5)
+        assert counts.tolist() == [5, 0, 2]
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=1,
+            max_size=16,
+        ),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=30),
+    )
+    @SETTINGS
+    def test_identity_for_arbitrary_uint64_shares(self, share_seed, k, n):
+        """counts + sum(R_j) - sum(R_j) == counts for any R_j words."""
+        m = len(share_seed)
+        rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(7)))
+        true = rng.integers(0, n + 1, size=m).astype(np.uint64)
+        shares = []
+        base = np.array(share_seed, dtype=np.uint64)
+        for j in range(k):
+            with np.errstate(over="ignore"):
+                shares.append(base * np.uint64(j + 1) + np.uint64(j))
+        with np.errstate(over="ignore"):
+            blinded = true + sum(shares, start=np.zeros(m, dtype=np.uint64))
+        counts = combine_shares(blinded, shares, n=n)
+        assert np.array_equal(counts.astype(np.uint64), true)
+
+
+class TestCombineRefusals:
+    def _parts(self, n_keepers: int = 3):
+        m, round_id = 6, 2
+        rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(3)))
+        bits = rng.integers(0, 2, size=(9, m)).astype(np.uint8)
+        packed = np.packbits(bits, axis=1)
+        secrets = _secrets(m, round_id, "refusal-producer", n_keepers)
+        blinded_acc = BlindedAccumulator(m, round_id=round_id)
+        keeper_accs = {
+            kid: BlindedAccumulator(m, round_id=round_id, role=ROLE_KEEPER)
+            for kid in secrets
+        }
+        blinded, shares = blind_report_chunk(
+            packed, m=m, round_id=round_id, seq=0, secrets=secrets
+        )
+        blinded_acc.absorb_frame(blinded)
+        for kid, share in shares.items():
+            keeper_accs[kid].absorb_frame(share)
+        return bits, blinded_acc, keeper_accs
+
+    def test_duplicated_share_stream_is_refused(self):
+        _, blinded_acc, keeper_accs = self._parts()
+        accs = list(keeper_accs.values())
+        with pytest.raises(EstimationError, match="refusing to decode"):
+            combine_accumulators(blinded_acc, [*accs, accs[0]])
+
+    def test_dropped_share_stream_is_refused(self):
+        _, blinded_acc, keeper_accs = self._parts()
+        accs = list(keeper_accs.values())
+        with pytest.raises(EstimationError):
+            combine_accumulators(blinded_acc, accs[:-1])
+
+    def test_role_confusion_is_refused(self):
+        _, blinded_acc, keeper_accs = self._parts()
+        accs = list(keeper_accs.values())
+        with pytest.raises(ValidationError, match="role"):
+            combine_accumulators(accs[0], [blinded_acc, *accs[1:]])
+
+    def test_intact_streams_decode(self):
+        bits, blinded_acc, keeper_accs = self._parts()
+        combined = combine_accumulators(blinded_acc, keeper_accs.values())
+        assert np.array_equal(
+            combined.counts(), bits.sum(axis=0).astype(np.int64)
+        )
