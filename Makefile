@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-faults coverage check bench bench-pipeline bench-collect bench-service bench-scaleout-smoke bench-json bench-smoke
+.PHONY: test test-faults coverage check bench bench-pipeline bench-collect bench-service bench-scaleout-smoke bench-rebalance-smoke bench-json bench-smoke
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -35,8 +35,10 @@ coverage:
 # the scale-out fleet benchmark (2 shard processes, tiny population) so
 # the routed multi-process path is exercised on every check, and (f)
 # the split-trust round (1 blinded collector + 2 share keepers, blind
-# resends, combined decode asserted bit-identical to the direct tally).
-check: test bench-scaleout-smoke
+# resends, combined decode asserted bit-identical to the direct tally),
+# plus (g) the live-rebalance smoke: 2 shards grow to 3 under streaming
+# producers, the migration pause recorded and exactness asserted.
+check: test bench-scaleout-smoke bench-rebalance-smoke
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.cli pipeline \
 		--n 2000 --m 64 --shards 2 --chunk-size 256 \
 		--sampler fast --packed --topk 3
@@ -83,6 +85,14 @@ bench-service:
 bench-scaleout-smoke:
 	BENCH_SCALEOUT_SMOKE=1 $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest \
 		"benchmarks/bench_service.py::bench_service_scaleout" -q \
+		-o python_files='bench_*.py' -o python_functions='bench_*'
+
+# Live rebalance at smoke scale: 2 shards grow to 3 while producers
+# stream, the migration's wall time and observed ack pause recorded,
+# exactly-once asserted across the move (full profile: bench-service).
+bench-rebalance-smoke:
+	BENCH_REBALANCE_SMOKE=1 $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest \
+		"benchmarks/bench_service.py::bench_service_rebalance" -q \
 		-o python_files='bench_*.py' -o python_functions='bench_*'
 
 # Tiny-scale throughput run (BENCH_SMOKE=1) into a scratch JSON, then

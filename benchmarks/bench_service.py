@@ -66,6 +66,18 @@ SO_ROUND = 1
 SO_KEY = "bench-scaleout-key-0456"
 SO_CONTROL_KEY = "bench-scaleout-control"
 
+# Live-rebalance scenario shape: 2 shards grow to 3 under streaming
+# producers; the smoke profile (BENCH_REBALANCE_SMOKE=1, `make
+# bench-rebalance-smoke`) shrinks the population for `make check`.
+REB_SMOKE = os.environ.get("BENCH_REBALANCE_SMOKE") == "1"
+REB_PRODUCERS = 12 if REB_SMOKE else 48
+REB_FRAMES_PER_PRODUCER = 6 if REB_SMOKE else 16
+REB_DOMAIN = 64
+REB_CHUNK = 8
+REB_ROUND = 2
+REB_KEY = "bench-rebalance-key-0789"
+REB_CONTROL_KEY = "bench-rebalance-control"
+
 # Multi-round / group-commit scenario shape: many producers, many small
 # records, so the commit pipeline (not the payload bytes) is the cost.
 MR_PRODUCERS = 8
@@ -504,3 +516,147 @@ def bench_service_scaleout(
             "single-shard throughput on hardware with enough cores; the "
             "acceptance bar is 3x"
         )
+
+
+def _rebalance_frames(producer_id: str) -> list[bytes]:
+    """Deterministic per-producer chunk frames for the rebalance run."""
+    import hashlib
+
+    import numpy as np
+
+    seed = int.from_bytes(
+        hashlib.sha256(producer_id.encode()).digest()[:4], "little"
+    )
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(REB_FRAMES_PER_PRODUCER):
+        bits = (rng.random((REB_CHUNK, REB_DOMAIN)) < 0.5).astype(np.uint8)
+        frames.append(
+            wire.dump_chunk(
+                np.packbits(bits, axis=1), REB_DOMAIN, round_id=REB_ROUND
+            )
+        )
+    return frames
+
+
+def bench_service_rebalance(scratch_roots, record_result, record_json):
+    """Live rebalance cost: grow 2 shards to 3 under producer traffic.
+
+    Producers stream records continuously while the coordinator admits
+    a third shard (``join_shard``: open the round on it, push the
+    epoch-bumped table, migrate every moved producer's committed
+    records).  Two costs are recorded: the migration's total wall time,
+    and the longest gap between any two consecutive record acks across
+    all producers during the run — the observed stop-the-world pause
+    (each source shard's commit pipeline pauses while its records are
+    copied out).  Correctness is asserted, not timed: every record ends
+    the round counted exactly once.
+    """
+    from repro.exceptions import MovedError, ServiceError
+    from repro.pipeline.service import RoundCoordinator
+
+    async def run():
+        fleet = ShardFleet(
+            ["alpha", "beta"],
+            fleet_root=scratch_roots() + "/rebalance",
+            rounds=[],
+            key=REB_KEY,
+            control_key=REB_CONTROL_KEY,
+        )
+        table = await fleet.start()
+        try:
+            coordinator = RoundCoordinator(
+                fleet.infos(), control_key=REB_CONTROL_KEY, epoch=table.epoch
+            )
+            await coordinator.register_round(REB_DOMAIN, REB_ROUND)
+            shared = {"table": coordinator.table}
+            ack_times: list[float] = []
+
+            async def stream(producer_id: str) -> None:
+                for seq, frame in enumerate(_rebalance_frames(producer_id)):
+                    for _attempt in range(40):
+                        try:
+                            await send_records_routed(
+                                shared["table"],
+                                [frame],
+                                key=REB_KEY,
+                                producer_id=producer_id,
+                                m=REB_DOMAIN,
+                                round_id=REB_ROUND,
+                                start_seq=seq,
+                                raise_on_refusal=False,
+                                control_key=REB_CONTROL_KEY,
+                            )
+                            break
+                        except (
+                            MovedError,
+                            ServiceError,
+                            ConnectionError,
+                            OSError,
+                        ):
+                            await asyncio.sleep(0.02)
+                    ack_times.append(time.perf_counter())
+                    await asyncio.sleep(0.01)
+
+            producers = [f"edge-{i:03d}" for i in range(REB_PRODUCERS)]
+            tasks = [
+                asyncio.ensure_future(stream(producer))
+                for producer in producers
+            ]
+            await asyncio.sleep(0.1)  # let traffic establish first
+
+            info = await fleet.add_shard("gamma")
+            migrate_start = time.perf_counter()
+            stats = await coordinator.join_shard(info)
+            migrate_secs = time.perf_counter() - migrate_start
+            shared["table"] = coordinator.table
+            await asyncio.gather(*tasks)
+
+            await coordinator.drain(REB_ROUND)
+            await coordinator.close_round(REB_ROUND)
+            result = await aggregate_round(
+                coordinator.table.shards(),
+                control_key=REB_CONTROL_KEY,
+                round_id=REB_ROUND,
+                fan_in=2,
+            )
+            expected = REB_PRODUCERS * REB_FRAMES_PER_PRODUCER
+            assert result.records_merged == expected
+            assert result.accumulator.n == expected * REB_CHUNK
+
+            # The observed pause: the longest ack silence that overlaps
+            # the migration window (gaps wholly outside it are just the
+            # producers' own pacing).
+            times = sorted(ack_times)
+            migrate_end = migrate_start + migrate_secs
+            pause = 0.0
+            for before, after in zip(times, times[1:]):
+                if after >= migrate_start and before <= migrate_end:
+                    pause = max(pause, after - before)
+            return migrate_secs, pause, stats
+        finally:
+            fleet.stop()
+
+    migrate_secs, pause_secs, stats = asyncio.run(run())
+    record_json(
+        "service_rebalance",
+        n=REB_PRODUCERS * REB_FRAMES_PER_PRODUCER * REB_CHUNK,
+        m=REB_DOMAIN,
+        secs=migrate_secs,
+        producers=REB_PRODUCERS,
+        shards_before=2,
+        shards_after=3,
+        records_moved=stats["installed"],
+        resend_duplicates=stats["duplicates"],
+        migration_pause_secs=pause_secs,
+        smoke=REB_SMOKE,
+    )
+    record_result(
+        "service_rebalance",
+        f"live rebalance, 2 -> 3 shards under {REB_PRODUCERS} streaming "
+        f"producers (m={REB_DOMAIN})\n"
+        f"migration wall time: {migrate_secs * 1e3:.1f}ms "
+        f"({stats['installed']} records moved, "
+        f"{stats['duplicates']} resend duplicates)\n"
+        f"observed ack pause during migration: {pause_secs * 1e3:.1f}ms",
+    )

@@ -486,6 +486,13 @@ def _run_serve(args) -> None:
             "secret); a shard without one can never receive rounds or "
             "routing tables"
         )
+    if args.coordinator is not None and (
+        args.shard is None or args.control_key is None
+    ):
+        raise SystemExit(
+            "serve --coordinator requires --shard and --control-key "
+            "(the announcement is a MAC'd join-fleet control call)"
+        )
     if args.share_keeper is not None and args.blinded:
         raise SystemExit(
             "--share-keeper and --blinded are different split-trust roles; "
@@ -542,6 +549,31 @@ def _run_serve(args) -> None:
             f"{role} on {host}:{port} ({geometry}){resumed}",
             flush=True,
         )
+        if args.coordinator is not None:
+            from .pipeline.service import control_call
+
+            chost, colon, cport = args.coordinator.rpartition(":")
+            if not colon:
+                raise SystemExit(
+                    f"--coordinator {args.coordinator!r} is not host:port"
+                )
+            reply, _ = await control_call(
+                chost,
+                int(cport),
+                key=args.control_key,
+                op="join-fleet",
+                body={"name": args.shard, "host": host, "port": port},
+            )
+            what = (
+                "joined the ring (live rebalance ran)"
+                if reply.get("joined")
+                else "re-announced (rounds resumed)"
+            )
+            print(
+                f"shard {args.shard!r} {what} via coordinator at "
+                f"{args.coordinator}",
+                flush=True,
+            )
         try:
             while (
                 args.exit_after is None
@@ -614,15 +646,26 @@ def _run_coordinator(args) -> None:
     ``aggregate`` can still pull their state.
     """
     import asyncio
+    import os
 
     from .pipeline.service import RoundCoordinator
 
-    if args.fleet is None or args.control_key is None:
+    resuming = (
+        args.journal is not None
+        and args.resume
+        and os.path.exists(args.journal)
+        and os.path.getsize(args.journal) > 0
+    )
+    if args.control_key is None or (args.fleet is None and not resuming):
         raise SystemExit(
             "coordinator requires --fleet (name=host:port,...) and "
-            "--control-key (the fleet's control-plane secret)"
+            "--control-key (the fleet's control-plane secret); with "
+            "--journal FILE --resume the fleet is replayed from the "
+            "journal instead"
         )
-    shards = _parse_shard_addresses(args.fleet)
+    shards = (
+        _parse_shard_addresses(args.fleet) if args.fleet is not None else []
+    )
     keepers = (
         _parse_shard_addresses(args.keepers)
         if args.keepers is not None
@@ -634,33 +677,67 @@ def _run_coordinator(args) -> None:
         rounds = [{"m": args.m, "round_id": args.round_id}]
 
     async def _coordinate() -> None:
-        coordinator = RoundCoordinator(
-            shards, control_key=args.control_key, keepers=keepers
-        )
-        epoch = await coordinator.push_routing()
-        print(
-            f"routing table epoch {epoch} pushed to {len(shards)} shard(s): "
-            + ", ".join(f"{s.name}={s.host}:{s.port}" for s in shards),
-            flush=True,
-        )
-        for spec in rounds:
-            record = await coordinator.register_round(
-                spec["m"],
-                spec.get("round_id", 0),
-                limits=spec.get("limits"),
-                resume=args.resume,
-                mode="blinded" if keepers else "collect",
+        if resuming:
+            coordinator = RoundCoordinator.resume(
+                args.journal, control_key=args.control_key
             )
-            where = f"on {len(shards)} shard(s)"
-            if keepers:
-                where += (
-                    f" (split-trust, {len(keepers)} share keeper(s): "
-                    + ", ".join(k.name for k in keepers)
-                    + ")"
-                )
+            summary = await coordinator.reconcile()
+            fleet = coordinator.table.shards()
             print(
-                f"round {record.round_id} (m={record.m}) {record.phase} "
-                f"{where}",
+                f"coordinator resumed from {args.journal}: epoch "
+                f"{coordinator.table.epoch}, {len(fleet)} shard(s), "
+                f"re-asserted round(s) {summary['rounds']}"
+                + (
+                    " and re-ran an interrupted migration"
+                    if summary["migration_rerun"]
+                    else ""
+                ),
+                flush=True,
+            )
+        else:
+            coordinator = RoundCoordinator(
+                shards,
+                control_key=args.control_key,
+                keepers=keepers,
+                journal=args.journal,
+            )
+            epoch = await coordinator.push_routing()
+            print(
+                f"routing table epoch {epoch} pushed to {len(shards)} "
+                "shard(s): "
+                + ", ".join(f"{s.name}={s.host}:{s.port}" for s in shards),
+                flush=True,
+            )
+            for spec in rounds:
+                record = await coordinator.register_round(
+                    spec["m"],
+                    spec.get("round_id", 0),
+                    limits=spec.get("limits"),
+                    resume=args.resume,
+                    mode="blinded" if keepers else "collect",
+                )
+                where = f"on {len(shards)} shard(s)"
+                if keepers:
+                    where += (
+                        f" (split-trust, {len(keepers)} share keeper(s): "
+                        + ", ".join(k.name for k in keepers)
+                        + ")"
+                    )
+                print(
+                    f"round {record.round_id} (m={record.m}) {record.phase} "
+                    f"{where}",
+                    flush=True,
+                )
+        if args.listen is not None:
+            lhost, colon, lport = args.listen.rpartition(":")
+            if not colon:
+                raise SystemExit(
+                    f"--listen {args.listen!r} is not host:port"
+                )
+            host, port = await coordinator.serve(lhost, int(lport))
+            print(
+                f"coordinator endpoint listening on {host}:{port} "
+                "(hello-coordinator / join-fleet)",
                 flush=True,
             )
         try:
@@ -683,7 +760,7 @@ def _run_coordinator(args) -> None:
                     f"({record.phase})",
                     flush=True,
                 )
-            for shard in shards:
+            for shard in coordinator.table.shards():
                 reply = status["shards"][shard.name]
                 print(
                     f"  shard {shard.name}: "
@@ -691,6 +768,7 @@ def _run_coordinator(args) -> None:
                     f"{reply.get('sessions_opened', 0)} session(s), "
                     f"n={reply.get('n', 0)}"
                 )
+            await coordinator.close()
 
     try:
         asyncio.run(_coordinate())
@@ -993,6 +1071,33 @@ def main(argv: list[str] | None = None) -> int:
         help="coordinator/aggregate: the shard fleet as "
         "'name=host:port,name=host:port,...' (stable names; the "
         "consistent-hash ring keys on names, never addresses)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="coordinator: append-only durability journal (CRC-framed, "
+        "fsync'd before every fleet action) — registrations, tokens, "
+        "lifecycle transitions, fleet snapshots, migration markers; "
+        "with --resume a non-empty journal is replayed instead of "
+        "registering fresh rounds (kill -9 recovery)",
+    )
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="coordinator: additionally serve a control endpoint where "
+        "shards announce themselves (hello-coordinator after a restart, "
+        "join-fleet to enter the ring and trigger a live rebalance)",
+    )
+    parser.add_argument(
+        "--coordinator",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve --shard: announce this shard to a coordinator "
+        "endpoint via a MAC'd join-fleet call once the socket is bound "
+        "(auto-discovery; a new name triggers a live rebalance onto "
+        "this shard)",
     )
     parser.add_argument(
         "--fan-in",

@@ -236,7 +236,21 @@ class BudgetSpec:
         scales the universal levels by a personal factor.
         """
         factor = check_positive_float(factor, "factor")
-        return BudgetSpec(self._item_epsilons * factor)
+        # Re-grouping the scaled per-item budgets would merge two levels
+        # whose budgets round to the same float after multiplication
+        # (e.g. 0.05 and its next-ulp neighbour at factor 0.1), silently
+        # changing ``t`` and the item→level map.  Scaling is a relabeling
+        # of budgets, not a re-partition: keep the level structure as is.
+        spec = object.__new__(BudgetSpec)
+        spec._item_epsilons = check_budget_vector(
+            self._item_epsilons * factor, "item_epsilons"
+        )
+        spec._item_epsilons.flags.writeable = False
+        spec._level_epsilons = self._level_epsilons * factor
+        spec._level_epsilons.flags.writeable = False
+        spec._item_level = self._item_level
+        spec._level_sizes = self._level_sizes
+        return spec
 
     def restricted_to(self, items: Sequence[int]) -> "BudgetSpec":
         """Spec over a sub-domain, re-indexing items to ``0..len(items)-1``."""

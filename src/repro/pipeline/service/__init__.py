@@ -107,11 +107,13 @@ from .auth import (
 from .client import (
     ServiceSession,
     control_call,
+    refresh_routing_table,
     send_records,
     send_records_routed,
 )
 from .commit import GroupCommitScheduler
 from .coordinator import CoordinatedRound, RoundCoordinator
+from .journal import CoordinatorJournal
 from .ledger import IdempotencyLedger, LedgerEntry
 from .lifecycle import RoundLifecycle
 from .quotas import ServiceLimits
@@ -141,6 +143,7 @@ __all__ = [
     "BlindedAccumulator",
     "CollectionService",
     "CoordinatedRound",
+    "CoordinatorJournal",
     "GroupCommitScheduler",
     "IdempotencyLedger",
     "KeyRegistry",
@@ -176,6 +179,7 @@ __all__ = [
     "merge_tree",
     "pull_party_state",
     "pull_shard_state",
+    "refresh_routing_table",
     "send_records",
     "send_records_routed",
     "send_split_trust",

@@ -245,7 +245,7 @@ class KeyRegistry:
         self._file_default: bytes | None = None
         self._revoked: set[str] = set()
         self._path = path
-        self._stamp: tuple[int, int] | None = None
+        self._stamp: tuple[int, int, int, bytes] | None = None
         if path is not None:
             self.reload()
 
@@ -318,8 +318,9 @@ class KeyRegistry:
         if self._path is None:
             return
         stat = os.stat(self._path)
-        with open(self._path, "r", encoding="utf-8") as handle:
-            text = handle.read()
+        with open(self._path, "rb") as handle:
+            blob = handle.read()
+        text = blob.decode("utf-8")
         keys, default, revoked = self._parse(text, self._path)
         self._keys = keys
         # The file's '*' entry is authoritative for the file layer:
@@ -330,7 +331,12 @@ class KeyRegistry:
         # deleting a [revoked] line un-revokes (new handshakes only —
         # reaped sessions stay dead and must re-handshake).
         self._revoked = revoked
-        self._stamp = (stat.st_mtime_ns, stat.st_size)
+        self._stamp = (
+            stat.st_mtime_ns,
+            stat.st_size,
+            stat.st_ino,
+            hashlib.sha256(blob).digest(),
+        )
 
     def _maybe_reload(self) -> None:
         """Reload on file change, but never let a broken file take the
@@ -346,11 +352,28 @@ class KeyRegistry:
             stat = os.stat(self._path)
         except OSError:
             return  # keep serving the last good key set
-        if (stat.st_mtime_ns, stat.st_size) != self._stamp:
+        if self._stamp is not None and (
+            stat.st_mtime_ns,
+            stat.st_size,
+            stat.st_ino,
+        ) == self._stamp[:3]:
+            # The cheap stat triple can miss a rotation entirely: a
+            # same-size in-place rewrite on a coarse-mtime filesystem,
+            # or an ``os.replace`` whose new file inherits the old
+            # timestamps.  A revoked key staying live is the one
+            # failure this layer must not have, so confirm against the
+            # content digest before trusting the stat.
             try:
-                self.reload()
-            except (ValidationError, OSError):
-                return  # malformed mid-edit; retry at the next lookup
+                with open(self._path, "rb") as handle:
+                    digest = hashlib.sha256(handle.read()).digest()
+            except OSError:
+                return  # keep serving the last good key set
+            if digest == self._stamp[3]:
+                return
+        try:
+            self.reload()
+        except (ValidationError, OSError):
+            return  # malformed mid-edit; retry at the next lookup
 
     # ------------------------------------------------------------------
     # Lookup / mutation

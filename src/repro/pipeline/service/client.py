@@ -56,6 +56,7 @@ __all__ = [
     "ServiceSession",
     "send_records",
     "send_records_routed",
+    "refresh_routing_table",
     "control_call",
 ]
 
@@ -283,10 +284,28 @@ async def send_records(
         async def collect_ack() -> None:
             ack = await session.read_ack(start_seq + len(acks))
             acks.append(ack)
-            if raise_on_refusal and ack.status == wire.ACK_REFUSED:
-                raise ServiceError(
-                    f"service refused seq {ack.seq}: {ack.detail}"
-                )
+            if ack.status == wire.ACK_REFUSED:
+                moved = parse_moved(ack.detail)
+                if moved is not None:
+                    # A live rebalance moved this producer mid-batch.
+                    # Raise MovedError even when refusals are tolerated:
+                    # the routed sender blind-resends the whole batch to
+                    # the new owner, where the transferred ledger
+                    # entries dedup whatever already committed here.
+                    epoch, shard, host, port = moved
+                    raise MovedError(
+                        f"producer moved to shard {shard!r} at "
+                        f"{host}:{port} (table epoch {epoch}, seq "
+                        f"{ack.seq})",
+                        epoch=epoch,
+                        shard=shard,
+                        host=host,
+                        port=port,
+                    )
+                if raise_on_refusal:
+                    raise ServiceError(
+                        f"service refused seq {ack.seq}: {ack.detail}"
+                    )
 
         sent = 0
         try:
@@ -318,6 +337,47 @@ async def send_records(
         await session.close()
 
 
+async def refresh_routing_table(
+    table: RoutingTable, *, control_key, timeout: float = 10.0
+) -> RoutingTable | None:
+    """Best-effort fetch of a *newer* routing table from the fleet.
+
+    Asks every shard in *table* for its installed table (``route-table``
+    control op) and returns the highest-epoch answer that is strictly
+    newer than *table*, or ``None`` when no shard is reachable or none
+    knows a newer table.  Mid-rebalance the shards legitimately
+    disagree — some already hold the next epoch, some still the old
+    one — so only the maximum is trustworthy.  Requires the fleet's
+    control key — the coordinator/operator credential — so only
+    routing-aware senders that hold it (tests, operator tools, the
+    coordinator's own relays) can refresh.
+    """
+    best: RoutingTable | None = None
+    for shard in table.shards():
+        try:
+            body, _ = await control_call(
+                shard.host,
+                shard.port,
+                key=control_key,
+                op="route-table",
+                timeout=timeout,
+            )
+        except (ControlError, ConnectionError, OSError, TimeoutError):
+            continue
+        payload = body.get("table")
+        if payload is None:
+            continue
+        try:
+            fresh = RoutingTable.from_payload(payload)
+        except ValidationError:
+            continue
+        if fresh.epoch > table.epoch and (
+            best is None or fresh.epoch > best.epoch
+        ):
+            best = fresh
+    return best
+
+
 async def send_records_routed(
     table: RoutingTable,
     frames,
@@ -331,6 +391,7 @@ async def send_records_routed(
     max_inflight: int = 64,
     max_redirects: int = 3,
     party: bytes = b"",
+    control_key=None,
 ) -> list[wire.Ack]:
     """:func:`send_records` against a shard fleet.
 
@@ -343,6 +404,16 @@ async def send_records_routed(
     (mid-rollout, each bouncing the producer to the other) surfaces as
     a loud error, not a livelock.
 
+    When *control_key* is given, a stale table is no longer a dead
+    end: exhausting the redirect budget — or finding the resolved
+    owner's address unreachable (the shard was re-addressed
+    mid-rebalance) — triggers ONE table refresh from the fleet
+    (:func:`refresh_routing_table`); if a newer epoch turns up, the
+    redirect budget restarts against the refreshed owner.  Without the
+    credential the old behaviour is unchanged: exhaustion raises
+    :class:`~repro.exceptions.ServiceError`, a dead shard raises its
+    connection error.
+
     Records either commit on the shard that owns the producer or are
     never acked — a redirect happens at handshake time, before any
     record frame is sent, so no partial batch can land on a wrong
@@ -351,7 +422,28 @@ async def send_records_routed(
     owner = table.owner(producer_id)
     host, port = owner.host, owner.port
     hops: list[str] = []
-    for _ in range(max(1, int(max_redirects)) + 1):
+    attempts = max(1, int(max_redirects)) + 1
+    remaining = attempts
+    refreshed = False
+
+    async def refresh_once() -> bool:
+        """Swap in a newer fleet table, once per call; False = give up."""
+        nonlocal table, host, port, remaining, refreshed
+        if control_key is None or refreshed:
+            return False
+        refreshed = True
+        fresh = await refresh_routing_table(table, control_key=control_key)
+        if fresh is None:
+            return False
+        table = fresh
+        fresh_owner = fresh.owner(producer_id)
+        host, port = fresh_owner.host, fresh_owner.port
+        hops.append(f"refreshed table to epoch {fresh.epoch}")
+        remaining = attempts
+        return True
+
+    while remaining > 0:
+        remaining -= 1
         try:
             return await send_records(
                 host,
@@ -370,6 +462,14 @@ async def send_records_routed(
             hops.append(f"{host}:{port} -> {moved.shard}@{moved.host}:"
                         f"{moved.port} (epoch {moved.epoch})")
             host, port = moved.host, moved.port
+        except (ConnectionError, OSError):
+            # The address this table (or a MOVED detail minted from an
+            # equally stale one) points at is gone — the one situation
+            # where retrying the same table can never succeed.
+            if not await refresh_once():
+                raise
+        if remaining == 0:
+            await refresh_once()
     raise ServiceError(
         f"producer {producer_id!r} exceeded {max_redirects} MOVED "
         f"redirects; the shard fleet disagrees about ownership: "

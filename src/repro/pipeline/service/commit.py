@@ -41,6 +41,7 @@ reconciles from the last durable prefix.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import hashlib
 from collections import deque
 from dataclasses import dataclass, field
@@ -73,6 +74,12 @@ class GroupCommitScheduler:
         self._wakeup = asyncio.Event()
         self._task: asyncio.Task | None = None
         self._closed = False
+        self._paused = False
+        # Set whenever the committer is parked (no batch mid-commit);
+        # cleared the instant it takes one.  paused() waits on it so a
+        # migration never interleaves with a half-written batch.
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     # ------------------------------------------------------------------
     # Session-facing API
@@ -112,17 +119,45 @@ class GroupCommitScheduler:
             task, self._task = self._task, None
             await task
 
+    @contextlib.asynccontextmanager
+    async def paused(self):
+        """No commit runs — or starts — while this context is held.
+
+        The migration primitive: ``migrate-out`` / ``migrate-in`` must
+        read and mutate the round's spill, ledger, and accumulator as
+        one atomic unit, which in a single-threaded event loop means
+        "synchronously, with no commit batch in flight".  Entering the
+        context waits for the current batch (if any) to finish and
+        parks the committer; submissions keep queueing and drain the
+        moment the context exits.  Holders must not await between the
+        mutations they need to be atomic.
+        """
+        if self._paused:
+            raise ServiceError(
+                f"round {self.round.round_id}'s commit pipeline is already "
+                "paused; one migration at a time"
+            )
+        self._paused = True
+        try:
+            await self._idle.wait()
+            yield
+        finally:
+            self._paused = False
+            self._wakeup.set()
+
     # ------------------------------------------------------------------
     # The committer task
     # ------------------------------------------------------------------
     async def _run(self) -> None:
         while True:
-            if not self._queue:
-                if self._closed:
+            if self._paused or not self._queue:
+                self._idle.set()
+                if self._closed and not self._queue:
                     return
                 self._wakeup.clear()
                 await self._wakeup.wait()
                 continue
+            self._idle.clear()
             if self.cross_connection:
                 batch = list(self._queue)
                 self._queue.clear()
@@ -210,6 +245,13 @@ class GroupCommitScheduler:
         try:
             for producer_id, item in flat:
                 if item["status"] != "fresh":
+                    continue
+                if producer_id in round_.excluded:
+                    # The producer was migrated off this shard after the
+                    # item was staged; refuse instead of merging so the
+                    # producer resends to the new owner (where the
+                    # transferred ledger entries dedup the resend).
+                    item["status"] = "moved"
                     continue
                 key = (producer_id, item["seq"])
                 # Re-check now: another connection of this producer may

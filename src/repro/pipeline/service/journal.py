@@ -1,0 +1,180 @@
+"""Append-only coordinator journal: the round table's durable memory.
+
+The :class:`~.coordinator.RoundCoordinator` is the round lifecycle
+authority for a shard fleet — it mints registration tokens, owns the
+routing-table epoch, and drives every round's phase transitions.  All
+of that used to live only in coordinator memory: kill the coordinator
+process and the fleet kept serving, but nobody could ever again drain,
+close, or aggregate the open rounds, because the tokens and the round
+table died with it.
+
+:class:`CoordinatorJournal` fixes that with the same discipline the
+ingest path uses (:mod:`.ledger`): an append-only file of CRC-framed
+records, fsync'd *before* the action they describe takes effect on the
+fleet.  A restarted coordinator replays the journal, rebuilds its round
+table (tokens included), re-learns shard addresses over the control
+plane, and resumes ownership of every open round — a ``kill -9``
+mid-round is recoverable.
+
+On-disk format: self-delimiting binary records
+
+``[ u32 CRC32 of the rest ][ u32 body_len ][ canonical JSON body ]``
+
+The JSON body is one event dict with a ``"kind"`` key; everything else
+is event-specific.  Kinds the coordinator writes today:
+
+* ``fleet`` — the shard membership snapshot: ``shards`` (name →
+  ``[host, port]``), ``epoch``, ``replicas``.  Re-written on every
+  membership or epoch change, so replay only needs the *last* one.
+* ``keepers`` — the share-keeper membership snapshot (same shape).
+* ``register`` — one round registration: ``round_id``, ``m``,
+  ``token`` (hex — the secret the whole recovery story exists to
+  preserve), ``mode``, optional ``limits``.
+* ``phase`` — a lifecycle transition: ``round_id``, ``phase``.
+* ``migrate`` — a producer-migration marker: ``state`` (``pending`` |
+  ``done``), ``epoch``, and (on ``pending``) ``shards``, the union
+  fleet of the move — a shard being removed appears in no later fleet
+  snapshot, yet the re-run must still dial it.  A ``pending`` without
+  a matching ``done`` means the coordinator died mid-migration and
+  resume must re-run it (the migration ops are idempotent, see
+  ``docs/service.md``).
+
+A torn tail (crash mid-append) fails the length or CRC check and is
+truncated away on load; records before it are untouched.  Little-endian
+throughout, matching the wire format and the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+from ...exceptions import LedgerError
+
+__all__ = ["CoordinatorJournal", "JOURNAL_MAX_BODY"]
+
+_HEAD = struct.Struct("<II")  # crc32(body), body length
+
+#: Refuse absurd record lengths outright — a corrupt length field must
+#: not make replay attempt a multi-gigabyte allocation.
+JOURNAL_MAX_BODY = 1 << 20
+
+
+def _encode(event: dict) -> bytes:
+    """Canonical JSON bytes for *event* (sorted keys, no whitespace).
+
+    Canonical form keeps the CRC meaningful across Python versions and
+    makes journal diffs stable in tests.
+    """
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class CoordinatorJournal:
+    """Crash-safe, replayable event log for one coordinator.
+
+    Usage: :meth:`load` once (recovering a torn tail), then
+    :meth:`append` per event — each append is flushed and fsync'd
+    before it returns, because the whole point is that an event the
+    coordinator *acted on* must survive the coordinator.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._events: list[dict] = []
+        self._handle = None
+        self.recovered_bytes_discarded = 0
+
+    # ------------------------------------------------------------------
+    # Loading / recovery
+    # ------------------------------------------------------------------
+    def _parse(self, blob: bytes) -> int:
+        """Fill the event list from *blob*; returns the valid length."""
+        offset = 0
+        while offset < len(blob):
+            head = blob[offset : offset + _HEAD.size]
+            if len(head) < _HEAD.size:
+                break  # torn mid-head
+            crc, body_len = _HEAD.unpack(head)
+            if body_len > JOURNAL_MAX_BODY:
+                break  # corrupt length; nothing after is trusted
+            end = offset + _HEAD.size + body_len
+            if end > len(blob):
+                break  # torn mid-record
+            body = blob[offset + _HEAD.size : end]
+            if crc != zlib.crc32(body):
+                break  # torn (or corrupted) record
+            try:
+                event = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            if not isinstance(event, dict) or "kind" not in event:
+                raise LedgerError(
+                    f"journal {self.path} record at offset {offset} is "
+                    "valid JSON but not an event dict with a 'kind' key; "
+                    "the file is not a coordinator journal"
+                )
+            self._events.append(event)
+            offset = end
+        return offset
+
+    def load(self) -> int:
+        """Read the journal, truncating a torn tail; returns event count.
+
+        Opens the file for appending afterwards, so the journal is
+        ready for new events as soon as it has loaded.
+        """
+        if self._handle is not None:
+            raise LedgerError(f"journal {self.path} is already open")
+        blob = b""
+        if os.path.exists(self.path):
+            with open(self.path, "rb") as handle:
+                blob = handle.read()
+        valid = self._parse(blob)
+        self.recovered_bytes_discarded = len(blob) - valid
+        if self.recovered_bytes_discarded:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid)
+        self._handle = open(self.path, "ab")
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Event flow
+    # ------------------------------------------------------------------
+    def append(self, event: dict) -> None:
+        """Durably record one event (flushed and fsync'd on return)."""
+        if self._handle is None:
+            raise LedgerError(f"journal {self.path} is not open; call load()")
+        if not isinstance(event, dict) or "kind" not in event:
+            raise LedgerError(
+                f"journal events are dicts with a 'kind' key, got {event!r}"
+            )
+        body = _encode(event)
+        if len(body) > JOURNAL_MAX_BODY:
+            raise LedgerError(
+                f"journal event of {len(body)} bytes exceeds the "
+                f"{JOURNAL_MAX_BODY}-byte record limit"
+            )
+        self._handle.write(struct.pack("<II", zlib.crc32(body), len(body)))
+        self._handle.write(body)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._events.append(event)
+
+    def events(self) -> list[dict]:
+        """Every journaled event, in append order."""
+        return list(self._events)
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+
+    def __len__(self) -> int:
+        return len(self._events)

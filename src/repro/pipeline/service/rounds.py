@@ -30,6 +30,8 @@ rounds (the property suite pins this).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 
 import numpy as np
@@ -39,7 +41,7 @@ from ...kernels import packed_width
 from ..accumulator import CountAccumulator
 from ..collect import wire
 from ..collect.collector import apply_frame_object
-from ..collect.store import ShardStore
+from ..collect.store import ShardStore, atomic_write_bytes
 from .auth import fresh_nonce, keeper_party_label
 from .commit import GroupCommitScheduler
 from .ledger import IdempotencyLedger
@@ -58,6 +60,7 @@ __all__ = [
     "RoundState",
     "RoundRegistry",
     "LEDGER_FILENAME",
+    "EXCLUSIONS_FILENAME",
     "SERVICE_SHARD_ID",
     "MODE_COLLECT",
     "MODE_BLINDED",
@@ -67,6 +70,12 @@ __all__ = [
 ]
 
 LEDGER_FILENAME = "round.ledger"
+#: Sidecar naming producers migrated OFF this shard (``{producer:
+#: routing_epoch}``).  Their ledger entries stay (dedup + equivocation
+#: still work against them) but their records are no longer part of
+#: this shard's accumulator, membership digest, or counters — the new
+#: owner's are.  Durable so a restarted shard replays the same split.
+EXCLUSIONS_FILENAME = "round.excluded"
 SERVICE_SHARD_ID = 0
 
 # A hosted round's aggregation mode: "collect" is the classic plaintext
@@ -129,6 +138,23 @@ class RoundState:
         self.ledger = IdempotencyLedger(
             os.path.join(store.root, LEDGER_FILENAME)
         )
+        # Producers migrated off this shard: ledgered but not counted.
+        self._exclusions_path = os.path.join(store.root, EXCLUSIONS_FILENAME)
+        self.excluded: dict[str, int] = {}
+        if os.path.exists(self._exclusions_path):
+            try:
+                with open(self._exclusions_path, "rb") as handle:
+                    payload = json.loads(handle.read().decode("utf-8"))
+                self.excluded = {
+                    str(producer): int(epoch)
+                    for producer, epoch in payload["producers"].items()
+                }
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                raise LedgerError(
+                    f"exclusions sidecar {self._exclusions_path} is "
+                    f"unreadable ({exc}); refusing to resume a migrated "
+                    "round with an unknown producer split"
+                ) from exc
         if mode == MODE_COLLECT:
             self.accumulator = CountAccumulator(self.m, round_id=self.round_id)
         else:
@@ -195,6 +221,8 @@ class RoundState:
         for producer_id, (records, nbytes) in (
             self.ledger.producer_totals().items()
         ):
+            if producer_id in self.excluded:
+                continue  # migrated off this shard; the new owner meters
             meter = self.producer_quota(producer_id)
             meter.frames_used = records
             meter.bytes_used = nbytes
@@ -216,22 +244,60 @@ class RoundState:
                 f"{self.store.root} is inconsistent"
             )
         self.recovered_spill_bytes_discarded = recovered["discarded_bytes"]
+        self._replay_committed()
+        self.recovered_records = self.records_merged
+
+    def _replay_committed(self) -> None:
+        """Recompute live state from the ledger + spill, minus exclusions.
+
+        The ledger is the membership authority: replaying it in commit
+        order rebuilds the accumulator, counters, and member digest
+        exactly — and because ledger order equals spill order (one
+        committer appends both), zipping entries against the spill's
+        frames attributes every frame to its producer, which is how
+        records of migrated-off producers are skipped.  Both recovery
+        and live migration go through here, so the post-migration state
+        is byte-for-byte what a restart would compute.
+        """
+        if self.mode == MODE_COLLECT:
+            self.accumulator = CountAccumulator(self.m, round_id=self.round_id)
+        else:
+            role = ROLE_BLINDED if self.mode == MODE_BLINDED else ROLE_KEEPER
+            self.accumulator = BlindedAccumulator(
+                self.m, round_id=self.round_id, role=role
+            )
+        self.member_digest = empty_member_digest()
+        entries = self.ledger.entries()
         chunk_path = self.store.chunk_path(SERVICE_SHARD_ID)
-        if count and os.path.exists(chunk_path):
+        if entries and os.path.exists(chunk_path):
             with open(chunk_path, "rb") as handle:
-                for obj in wire.iter_frames(handle):
+                for entry, obj in zip(entries, wire.iter_frames(handle)):
+                    if entry.producer_id in self.excluded:
+                        continue
                     self.absorb(obj)
-        self.bytes_ingested = recovered["offset"]
-        self.records_merged = count
-        self.recovered_records = count
-        self.producers_seen = {
-            entry.producer_id for entry in self.ledger.entries()
-        }
-        # The ledger is the membership authority: replaying it in commit
-        # order rebuilds the member digest exactly, so a restarted party
-        # still reconciles with its peers at combine time.
-        for entry in self.ledger.entries():
+        merged = 0
+        kept_bytes = 0
+        previous_end = 0
+        for entry in entries:
+            size = entry.spill_end - previous_end
+            previous_end = entry.spill_end
+            if entry.producer_id in self.excluded:
+                continue
+            merged += 1
+            kept_bytes += size
             self.note_member(entry.producer_id, entry.seq)
+        self.records_merged = merged
+        self.bytes_ingested = kept_bytes
+        # Producers that only ever opened sessions (no committed record)
+        # stay visible unless they too were migrated away.
+        self.producers_seen = {
+            producer
+            for producer in (
+                self.producers_seen
+                | {entry.producer_id for entry in entries}
+            )
+            if producer not in self.excluded
+        }
 
     # ------------------------------------------------------------------
     # Mode-dependent merge surface
@@ -293,6 +359,169 @@ class RoundState:
                 self.producer_quota(producer_id).refund(charge)
                 self.quota.refund(charge)
                 item["charged"] = None
+
+    # ------------------------------------------------------------------
+    # Live migration (shard-to-shard producer moves under traffic)
+    # ------------------------------------------------------------------
+    def _write_exclusions(self) -> None:
+        payload = json.dumps(
+            {"producers": self.excluded}, sort_keys=True
+        ).encode("utf-8")
+        atomic_write_bytes(self._exclusions_path, payload)
+
+    def migrate_out(
+        self, producers, epoch: int
+    ) -> list[tuple[str, int, bytes, bytes]]:
+        """Evict *producers*' committed records for transfer elsewhere.
+
+        Returns ``(producer_id, seq, digest, frame_bytes)`` for every
+        ledgered record of *producers* — already-excluded ones included,
+        so re-running after a half-applied migration (coordinator died
+        between ``migrate-out`` and ``migrate-in``) re-returns the same
+        entries and the whole flow is idempotent.  Marks the producers
+        excluded (durably, via the sidecar) and rebuilds the live
+        accumulator without their records.
+
+        Synchronous on purpose: callers hold the round scheduler's
+        ``paused()`` context, and with no ``await`` inside, nothing can
+        interleave between the ledger read, the exclusion write, and
+        the state rebuild.
+        """
+        producers = {str(producer) for producer in producers}
+        epoch = int(epoch)
+        entries = self.ledger.entries()
+        moved: list[tuple[str, int, bytes, bytes]] = []
+        if any(entry.producer_id in producers for entry in entries):
+            chunk_path = self.store.chunk_path(SERVICE_SHARD_ID)
+            with open(chunk_path, "rb") as handle:
+                blob = handle.read()
+            previous_end = 0
+            for entry in entries:
+                start, previous_end = previous_end, entry.spill_end
+                if entry.producer_id in producers:
+                    moved.append(
+                        (
+                            entry.producer_id,
+                            entry.seq,
+                            entry.digest,
+                            blob[start : entry.spill_end],
+                        )
+                    )
+        newly = {p for p in producers if p not in self.excluded}
+        if producers:
+            for producer in producers:
+                self.excluded[producer] = epoch
+            self._write_exclusions()
+        if newly:
+            self._replay_committed()
+            for producer in list(self._producer_quotas):
+                if producer in self.excluded:
+                    del self._producer_quotas[producer]
+            self.quota.bytes_used = self.bytes_ingested
+            self.quota.records_used = self.records_merged
+        return moved
+
+    def absorb_migrated(self, records) -> dict:
+        """Install records migrated from another shard, exactly once.
+
+        *records* is an iterable of ``(producer_id, seq, digest,
+        frame_bytes)`` as returned by :meth:`migrate_out` on the old
+        owner.  Every frame is digest-verified before anything is
+        written; records already ledgered here (a re-run transfer, or a
+        producer that blind-resent to this shard before the transfer
+        landed) are skipped as duplicates — same digest required, a
+        mismatch is equivocation and refuses the whole transfer.
+
+        Synchronous for the same atomicity reason as
+        :meth:`migrate_out`; durability ordering matches the commit
+        pipeline (all frames appended, spill fsync, ledger appends,
+        ledger fsync, then merges).
+        """
+        self.lifecycle.require(SERVING)
+        checked: list[tuple[str, int, bytes, bytes]] = []
+        unexcluded: set[str] = set()
+        for producer_id, seq, digest, frame in records:
+            producer_id, seq = str(producer_id), int(seq)
+            digest, frame = bytes(digest), bytes(frame)
+            if hashlib.sha256(frame).digest() != digest:
+                raise ValidationError(
+                    f"migrated record {producer_id!r}/{seq} failed its "
+                    "digest check; refusing the transfer"
+                )
+            if producer_id in self.excluded:
+                unexcluded.add(producer_id)
+            checked.append((producer_id, seq, digest, frame))
+        if unexcluded:
+            # A producer migrating BACK: lift its exclusion first (its
+            # locally ledgered records re-enter the accumulator), so
+            # the ledger dedup below is exact rather than double-merging
+            # what this shard already holds.
+            for producer in unexcluded:
+                del self.excluded[producer]
+            self._write_exclusions()
+            self._replay_committed()
+            self.quota.bytes_used = self.bytes_ingested
+            self.quota.records_used = self.records_merged
+        staged: list[tuple[str, int, bytes, int, bytes]] = []
+        batch_digests: dict[tuple[str, int], bytes] = {}
+        duplicates = 0
+        spill_mark = self.writer.end_offset
+        ledger_mark = self.ledger.mark()
+        appended_keys: list[tuple[str, int]] = []
+        try:
+            for producer_id, seq, digest, frame in checked:
+                key = (producer_id, seq)
+                known = self.ledger.seen(producer_id, seq)
+                known_digest = (
+                    known.digest if known is not None
+                    else batch_digests.get(key)
+                )
+                if known_digest is not None:
+                    if known_digest != digest:
+                        raise ValidationError(
+                            f"migrated record {producer_id!r}/{seq} "
+                            "equivocates with a record this shard already "
+                            "committed; refusing the transfer"
+                        )
+                    duplicates += 1
+                    continue
+                inner = wire.loads(frame)
+                self.validate_inner(inner)
+                self.writer.append_frame(frame)
+                batch_digests[key] = digest
+                staged.append(
+                    (producer_id, seq, digest, self.writer.end_offset, frame)
+                )
+            if staged:
+                self.writer.sync()
+                for producer_id, seq, digest, spill_end, _frame in staged:
+                    self.ledger.append(producer_id, seq, digest, spill_end)
+                    appended_keys.append((producer_id, seq))
+                self.ledger.sync()
+        except BaseException as exc:
+            try:
+                if appended_keys:
+                    self.ledger.rollback(ledger_mark, appended_keys)
+                self.writer.rollback(spill_mark)
+            except BaseException as repair_exc:
+                raise LedgerError(
+                    f"migrate-in failed ({exc}) and rolling the spill "
+                    f"back failed too ({repair_exc}); restart the shard "
+                    "with resume=True"
+                ) from exc
+            raise
+        for producer_id, seq, _digest, _spill_end, frame in staged:
+            self.absorb(wire.loads(frame))
+            self.note_member(producer_id, seq)
+            self.records_merged += 1
+            self.bytes_ingested += len(frame)
+            self.producers_seen.add(producer_id)
+            meter = self.producer_quota(producer_id)
+            meter.frames_used += 1
+            meter.bytes_used += len(frame)
+            self.quota.records_used += 1
+            self.quota.bytes_used += len(frame)
+        return {"installed": len(staged), "duplicates": duplicates}
 
     # ------------------------------------------------------------------
     # Record staging (everything decidable without the commit pipeline)
@@ -372,6 +601,16 @@ class RoundState:
                 "detail": (
                     f"round {self.round_id} is {self.lifecycle.phase}; "
                     "records are only accepted while serving"
+                ),
+            }
+        if producer_id in self.excluded:
+            return {
+                "status": "refused",
+                "seq": seq,
+                "detail": (
+                    f"producer {producer_id!r} was migrated off this shard "
+                    f"at routing epoch {self.excluded[producer_id]}; "
+                    "reconnect via the current routing table"
                 ),
             }
         if record.m != self.m or record.round_id != self.round_id:
@@ -514,6 +753,7 @@ class RoundState:
             "records_refused": self.records_refused,
             "bytes_ingested": self.bytes_ingested,
             "producers": sorted(self.producers_seen),
+            "producers_excluded": sorted(self.excluded),
             "recovered_records": self.recovered_records,
             "recovered_spill_bytes_discarded": (
                 self.recovered_spill_bytes_discarded

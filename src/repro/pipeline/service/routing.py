@@ -73,6 +73,13 @@ class ShardInfo:
 
     @property
     def address(self) -> str:
+        """``host:port``, bracketing IPv6 hosts (``[::1]:9000``).
+
+        The bracketed form keeps the MOVED grammar parseable: a bare
+        IPv6 host is full of colons, so ``host:port`` would be ambiguous.
+        """
+        if ":" in self.host:
+            return f"[{self.host}]:{self.port}"
         return f"{self.host}:{self.port}"
 
 
@@ -219,8 +226,13 @@ class RoutingTable:
 # ----------------------------------------------------------------------
 # MOVED redirects
 # ----------------------------------------------------------------------
+# Hosts with colons (IPv6) travel bracketed — ``addr=[::1]:9000`` —
+# because an unbracketed ``host:port`` split is ambiguous when the host
+# itself contains colons.  The legacy unbracketed form is still parsed
+# for plain (colon-free) hosts so old shards keep redirecting clients.
 _MOVED_RE = re.compile(
-    r"^MOVED epoch=(\d+) shard=(\S+) addr=([^\s:]+):(\d+)$"
+    r"^MOVED epoch=(\d+) shard=(\S+) "
+    r"addr=(?:\[([^\s\]]+)\]|([^\s:\[\]]+)):(\d+)$"
 )
 
 
@@ -239,5 +251,5 @@ def parse_moved(detail: str) -> tuple[int, str, str, int] | None:
     match = _MOVED_RE.match(detail or "")
     if match is None:
         return None
-    epoch, name, host, port = match.groups()
-    return int(epoch), name, host, int(port)
+    epoch, name, bracketed, bare, port = match.groups()
+    return int(epoch), name, bracketed if bracketed is not None else bare, int(port)

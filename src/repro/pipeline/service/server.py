@@ -101,6 +101,8 @@ CONTROL_OPS = (
     "pull-state",
     "route-table",
     "route-update",
+    "migrate-out",
+    "migrate-in",
 )
 
 
@@ -503,11 +505,20 @@ class CollectionService:
         if not isinstance(table, RoutingTable):
             table = RoutingTable.from_payload(table)
         current = self.sessions.table
-        if current is not None and table.epoch <= current.epoch:
-            raise ValidationError(
-                f"routing table epoch {table.epoch} is not newer than the "
-                f"installed epoch {current.epoch}"
-            )
+        if current is not None:
+            if (
+                table.epoch == current.epoch
+                and table.to_payload() == current.to_payload()
+            ):
+                # Idempotent re-delivery: a resumed coordinator re-pushes
+                # the table it had journaled; same epoch + same content
+                # is a no-op, not a rollback.
+                return current
+            if table.epoch <= current.epoch:
+                raise ValidationError(
+                    f"routing table epoch {table.epoch} is not newer than "
+                    f"the installed epoch {current.epoch}"
+                )
         self.sessions.table = table
         return table
 
@@ -691,12 +702,38 @@ class CollectionService:
                 {"round_id": state.round_id, "phase": state.lifecycle.phase},
             )
         if op == "open-round":
+            round_id = int(body["round_id"])
+            existing = self.registry.get(round_id)
+            token = body.get("token")
+            if (
+                existing is not None
+                and token is not None
+                and bytes.fromhex(token) == existing.token
+                and int(body["m"]) == existing.m
+                and (body.get("mode") or self.default_mode) == existing.mode
+            ):
+                # Idempotent re-open: the same coordinator (it proved
+                # itself by knowing the token) registering the same
+                # round again — a resumed coordinator reconciling, or a
+                # retried broadcast.  Acknowledge instead of refusing so
+                # recovery never wedges on work already done.
+                return self._control_reply(
+                    nonce,
+                    {
+                        "round_id": existing.round_id,
+                        "m": existing.m,
+                        "mode": existing.mode,
+                        "phase": existing.lifecycle.phase,
+                        "recovered_records": existing.recovered_records,
+                        "already": True,
+                    },
+                )
             state = self.add_round(
                 int(body["m"]),
-                int(body["round_id"]),
+                round_id,
                 resume=bool(body.get("resume", False)),
                 limits=body.get("limits"),
-                token=body.get("token"),
+                token=token,
                 mode=body.get("mode"),
             )
             return self._control_reply(
@@ -748,6 +785,77 @@ class CollectionService:
         if op == "route-update":
             table = self.install_routing(body["table"])
             return self._control_reply(nonce, {"epoch": table.epoch})
+        if op == "migrate-out":
+            table = self.sessions.table
+            if table is None or self.shard_name is None:
+                raise ValidationError(
+                    "migrate-out requires a routed shard (shard_name + "
+                    "installed routing table)"
+                )
+            state = self.round(int(body["round_id"]))
+            if state.mode == MODE_KEEPER:
+                raise ValidationError(
+                    f"round {state.round_id} is a keeper round; keeper "
+                    "shares are producer-addressed and never migrate"
+                )
+            epoch = int(body["epoch"])
+            if epoch != table.epoch:
+                raise ValidationError(
+                    f"migrate-out names routing epoch {epoch} but this "
+                    f"shard has epoch {table.epoch} installed; push the "
+                    "table first"
+                )
+            known = state.producers_seen | {
+                entry.producer_id for entry in state.ledger.entries()
+            }
+            movers = sorted(
+                producer
+                for producer in known
+                if table.owner(producer).name != self.shard_name
+            )
+            async with state.scheduler.paused():
+                moved = state.migrate_out(movers, epoch)
+            return self._control_reply(
+                nonce,
+                {
+                    "round_id": state.round_id,
+                    "epoch": epoch,
+                    "producers": movers,
+                    "entries": [
+                        {
+                            "producer": producer_id,
+                            "seq": seq,
+                            "digest": digest.hex(),
+                            "length": len(frame),
+                        }
+                        for producer_id, seq, digest, frame in moved
+                    ],
+                },
+                attachment=b"".join(frame for *_rest, frame in moved),
+            )
+        if op == "migrate-in":
+            state = self.round(int(body["round_id"]))
+            if state.mode == MODE_KEEPER:
+                raise ValidationError(
+                    f"round {state.round_id} is a keeper round; keeper "
+                    "shares are producer-addressed and never migrate"
+                )
+            # Control *requests* carry no attachment (only replies do),
+            # so inbound frames ride the body hex-encoded.
+            records = [
+                (
+                    str(entry["producer"]),
+                    int(entry["seq"]),
+                    bytes.fromhex(entry["digest"]),
+                    bytes.fromhex(entry["frame"]),
+                )
+                for entry in body["entries"]
+            ]
+            async with state.scheduler.paused():
+                result = state.absorb_migrated(records)
+            return self._control_reply(
+                nonce, {"round_id": state.round_id, **result}
+            )
         return self._control_error(
             nonce, f"unknown control op {op!r}; ops: {', '.join(CONTROL_OPS)}"
         )

@@ -126,6 +126,20 @@ class SessionHost:
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
+    def _moved_owner(self, producer_id: str):
+        """The shard now owning *producer_id* — when it is not this one.
+
+        ``None`` means the producer is (still) ours, or this host is not
+        a routed shard at all.  Consulted at handshake time AND inside
+        the record loop: a ``route-update`` that lands mid-session (a
+        live rebalance) must drain the moved producer's session, not
+        let it keep committing records the new owner was just handed.
+        """
+        if self.table is None or self.shard_name is None:
+            return None
+        owner = self.table.owner(producer_id)
+        return None if owner.name == self.shard_name else owner
+
     async def _send(self, writer: asyncio.StreamWriter, obj) -> None:
         writer.write(wire.dumps(obj))
         await writer.drain()
@@ -301,6 +315,25 @@ class SessionHost:
                         return
                     await refuse_record(0, "authentication failed")
                     return
+                # Ownership re-check, same cadence as revocation: a
+                # rebalance that moved this producer drains the session
+                # at its next frame (or within the idle poll).  What it
+                # already staged still commits *here* — those records
+                # precede the move and the migration transfer picks
+                # them up — then the MOVED refusal redirects the
+                # producer to the new owner.
+                owner = self._moved_owner(producer_id)
+                if owner is not None:
+                    self.sessions_moved += 1
+                    self.last_connection_error = (
+                        f"producer {producer_id!r} moved to {owner.name}"
+                    )
+                    if not await flush():
+                        return
+                    await refuse_record(
+                        0, format_moved(self.table.epoch, owner)
+                    )
+                    return
                 if not pending and idle.expired():
                     self.connections_failed += 1
                     self.last_connection_error = "session idle timeout"
@@ -373,6 +406,22 @@ class SessionHost:
                     if not await flush():
                         return
                     await refuse_record(0, "authentication failed")
+                    return
+                # Same post-read re-check for ownership: a route-update
+                # installed while this frame was in flight refuses it
+                # with MOVED instead of committing it on the wrong side
+                # of the migration cut.
+                owner = self._moved_owner(producer_id)
+                if owner is not None:
+                    self.sessions_moved += 1
+                    self.last_connection_error = (
+                        f"producer {producer_id!r} moved to {owner.name}"
+                    )
+                    if not await flush():
+                        return
+                    await refuse_record(
+                        0, format_moved(self.table.epoch, owner)
+                    )
                     return
                 try:
                     quota.charge(len(frame))
@@ -642,12 +691,13 @@ class SessionHost:
         surfaced at commit time (connection must drop).
         """
         await round_.scheduler.submit(producer_id, pending)
-        return await self._send_batch_acks(writer, round_, pending)
+        return await self._send_batch_acks(writer, round_, producer_id, pending)
 
     async def _send_batch_acks(
         self,
         writer: asyncio.StreamWriter,
         round_: RoundState,
+        producer_id: str,
         pending: list[dict],
     ) -> bool:
         survived = True
@@ -657,6 +707,23 @@ class SessionHost:
             elif item["status"] == "duplicate":
                 round_.records_duplicate += 1
                 status, detail = wire.ACK_DUPLICATE, "already merged"
+            elif item["status"] == "moved":
+                # Staged before the producer was migrated off this
+                # shard, caught at commit time: refuse with MOVED so
+                # the producer resends to the new owner (the transfer
+                # carried its committed prefix there already).
+                round_.records_refused += 1
+                status = wire.ACK_REFUSED
+                if self.table is not None:
+                    detail = format_moved(
+                        self.table.epoch, self.table.owner(producer_id)
+                    )
+                else:
+                    detail = (
+                        f"producer {producer_id!r} was migrated off "
+                        "this shard"
+                    )
+                survived = False
             else:  # equivocation discovered at commit time
                 round_.records_refused += 1
                 status = wire.ACK_REFUSED

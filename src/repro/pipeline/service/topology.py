@@ -76,6 +76,27 @@ def _shard_child_main(config: dict, ready) -> None:
             host, port = await service.serve(
                 config.get("host", "127.0.0.1"), int(config.get("port", 0))
             )
+            coordinator = config.get("coordinator")
+            if coordinator is not None:
+                # Auto-discovery: announce this shard to the
+                # coordinator's endpoint.  join-fleet covers both the
+                # cold join (triggers a live rebalance onto us) and the
+                # restart (re-address + round resume); either way the
+                # shard serves nothing it should not until the
+                # coordinator pushes a table that says otherwise.
+                from .client import control_call
+
+                await control_call(
+                    coordinator[0],
+                    int(coordinator[1]),
+                    key=config.get("control_key"),
+                    op="join-fleet",
+                    body={
+                        "name": config["shard_name"],
+                        "host": host,
+                        "port": port,
+                    },
+                )
         except BaseException as exc:  # the parent needs the reason
             ready.put({"error": f"{type(exc).__name__}: {exc}"})
             raise
@@ -105,6 +126,7 @@ class ShardProcess:
         limits: ServiceLimits | None = None,
         host: str = "127.0.0.1",
         resume: bool = False,
+        coordinator: tuple[str, int] | None = None,
     ) -> None:
         self.name = name
         self.config = {
@@ -117,6 +139,7 @@ class ShardProcess:
             "limits": limits,
             "host": host,
             "resume": resume,
+            "coordinator": coordinator,
         }
         self.info: ShardInfo | None = None
         self._process: multiprocessing.Process | None = None
@@ -284,6 +307,40 @@ class ShardFleet:
                 epoch=self._epoch,
             )
             await self._push_table()
+        return info
+
+    async def add_shard(
+        self, name: str, *, coordinator: tuple[str, int] | None = None
+    ) -> ShardInfo:
+        """Fork one more shard on a fresh store root and return its
+        address — WITHOUT touching the routing table.
+
+        Growing the ring is the coordinator's job
+        (:meth:`~.coordinator.RoundCoordinator.join_shard` opens the
+        live rounds on the newcomer and runs the record migration);
+        this just provides the process.  With *coordinator* set the
+        child announces itself over ``join-fleet`` and no parent-side
+        wiring is needed at all.
+        """
+        if name in self.shards:
+            raise ValidationError(
+                f"shard {name!r} already exists; use restart() to "
+                "re-fork it"
+            )
+        fresh = ShardProcess(
+            name,
+            store_root=shard_store_root(self.fleet_root, name),
+            coordinator=coordinator,
+            **self._spec,
+        )
+        # start() blocks on the child's ready report, and with
+        # *coordinator* set the child first dials the coordinator
+        # endpoint — which may be served by THIS event loop.  Run the
+        # wait off-loop so the announcement can be answered.
+        import asyncio
+
+        info = await asyncio.to_thread(fresh.start)
+        self.shards[name] = fresh
         return info
 
     def stop(self) -> None:

@@ -221,6 +221,138 @@ class TestControlVerbs:
         _run(scenario, tmp_path)
 
 
+class TestRoutedTableRefresh:
+    """A routed sender holding a stale table mid-rebalance: with the
+    control key it refreshes via ``route-table`` instead of failing."""
+
+    def _services(self, tmp_path):
+        alpha = CollectionService(
+            M,
+            key=KEY,
+            store_root=str(tmp_path / "alpha"),
+            round_id=1,
+            control_key=CONTROL_KEY,
+            shard_name="alpha",
+        )
+        beta = CollectionService(
+            M,
+            key=KEY,
+            store_root=str(tmp_path / "beta"),
+            round_id=1,
+            control_key=CONTROL_KEY,
+            shard_name="beta",
+        )
+        return alpha, beta
+
+    def test_dead_owner_address_refreshes_and_lands(self, tmp_path):
+        """Mid-rebalance a shard was re-addressed; the stale table's
+        owner address is dead.  Regression: the routed sender used to
+        retry the same table and surface the connection error — now one
+        ``route-table`` refresh finds the live address."""
+        from repro.pipeline.service import RoutingTable, ShardInfo
+        from repro.pipeline.service.client import send_records_routed
+
+        async def main():
+            alpha, beta = self._services(tmp_path)
+            ha, pa = await alpha.serve()
+            hb, pb = await beta.serve()
+            try:
+                # Find a port nobody is listening on for the stale entry.
+                import socket
+
+                probe = socket.socket()
+                probe.bind(("127.0.0.1", 0))
+                dead_port = probe.getsockname()[1]
+                probe.close()
+
+                stale = RoutingTable(
+                    [
+                        ShardInfo("alpha", ha, pa),
+                        ShardInfo("beta", hb, dead_port),
+                    ],
+                    epoch=1,
+                )
+                fresh = RoutingTable(
+                    [
+                        ShardInfo("alpha", ha, pa),
+                        ShardInfo("beta", hb, pb),
+                    ],
+                    epoch=2,
+                )
+                alpha.install_routing(fresh)
+                beta.install_routing(fresh)
+                producer = next(
+                    f"p-{i}"
+                    for i in range(200)
+                    if fresh.owner(f"p-{i}").name == "beta"
+                )
+                frames = [_chunk_frame(seed=7, round_id=1)]
+
+                # Without the control key the dead address stays fatal.
+                with pytest.raises((ConnectionError, OSError)):
+                    await send_records_routed(
+                        stale,
+                        frames,
+                        key=KEY,
+                        producer_id=producer,
+                        m=M,
+                        round_id=1,
+                    )
+
+                acks = await send_records_routed(
+                    stale,
+                    frames,
+                    key=KEY,
+                    producer_id=producer,
+                    m=M,
+                    round_id=1,
+                    control_key=CONTROL_KEY,
+                )
+                assert [a.status for a in acks] == [wire.ACK_MERGED]
+                assert beta.records_merged == 1
+            finally:
+                await alpha.close()
+                await beta.close()
+
+        asyncio.run(main())
+
+    def test_refresh_helper_picks_the_newest_epoch(self, tmp_path):
+        """Mid-rebalance the shards legitimately disagree; the refresh
+        must trust the maximum epoch, not the first answer."""
+        from repro.pipeline.service import RoutingTable, ShardInfo
+        from repro.pipeline.service.client import refresh_routing_table
+
+        async def main():
+            alpha, beta = self._services(tmp_path)
+            ha, pa = await alpha.serve()
+            hb, pb = await beta.serve()
+            try:
+                a_info = ShardInfo("alpha", ha, pa)
+                b_info = ShardInfo("beta", hb, pb)
+                stale = RoutingTable([a_info, b_info], epoch=1)
+                alpha.install_routing(RoutingTable([a_info, b_info], epoch=2))
+                beta.install_routing(RoutingTable([a_info, b_info], epoch=5))
+
+                fresh = await refresh_routing_table(
+                    stale, control_key=CONTROL_KEY
+                )
+                assert fresh is not None and fresh.epoch == 5
+
+                # Already-newest tables find nothing newer.
+                assert (
+                    await refresh_routing_table(
+                        RoutingTable([a_info, b_info], epoch=9),
+                        control_key=CONTROL_KEY,
+                    )
+                    is None
+                )
+            finally:
+                await alpha.close()
+                await beta.close()
+
+        asyncio.run(main())
+
+
 class TestControlRefusals:
     def test_wrong_control_key_is_refused(self, tmp_path):
         async def scenario(service, host, port):

@@ -1,0 +1,377 @@
+"""Coordinator durability: journal, resume, reconcile, announcements.
+
+The in-process half of the coordinator crash story (the cross-process
+SIGKILL version lives in ``tests/faults``): a coordinator given a
+journal writes every durable decision before acting, a "crashed"
+coordinator (the object is simply abandoned, its journal file left
+behind) resumes from the file alone — round table, tokens, lifecycle
+phases, fleet addresses, half-finished migrations — and its
+``reconcile`` is idempotent against shards that never noticed anything.
+Also covers the coordinator's own control endpoint: ``join-fleet``
+growing the ring under a live round and ``hello-coordinator``
+re-announcing a restarted shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline import CollectionService
+from repro.pipeline.collect import wire
+from repro.pipeline.service import (
+    CoordinatorJournal,
+    RoundCoordinator,
+    control_call,
+    send_records_routed,
+)
+from repro.pipeline.service.lifecycle import CLOSED, SERVING
+
+M = 16
+ROUND = 4
+KEY = "0011223344556677"
+CONTROL_KEY = "fleet-control-secret"
+PRODUCERS = [f"producer-{i:02d}" for i in range(12)]
+
+
+def _chunk_frame(seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((4, M)) < 0.5).astype(np.uint8)
+    return wire.dump_chunk(np.packbits(bits, axis=1), M, round_id=ROUND)
+
+
+class _Fleet:
+    """N bare in-process shard services (control plane only at first)."""
+
+    def __init__(self, tmp_path, names):
+        self.tmp_path = tmp_path
+        self.names = list(names)
+        self.services: dict[str, CollectionService] = {}
+        self.infos = []
+
+    async def __aenter__(self):
+        from repro.pipeline.service import ShardInfo
+
+        for name in self.names:
+            service = CollectionService(
+                rounds=[],
+                key=KEY,
+                store_root=str(self.tmp_path / name),
+                control_key=CONTROL_KEY,
+                shard_name=name,
+            )
+            host, port = await service.serve()
+            self.services[name] = service
+            self.infos.append(ShardInfo(name, host, port))
+        return self
+
+    async def __aexit__(self, *exc):
+        for service in self.services.values():
+            await service.close()
+
+    async def add(self, name):
+        from repro.pipeline.service import ShardInfo
+
+        service = CollectionService(
+            rounds=[],
+            key=KEY,
+            store_root=str(self.tmp_path / name),
+            control_key=CONTROL_KEY,
+            shard_name=name,
+        )
+        host, port = await service.serve()
+        self.services[name] = service
+        info = ShardInfo(name, host, port)
+        self.infos.append(info)
+        return info
+
+    def total_merged(self) -> int:
+        return sum(
+            service.records_merged for service in self.services.values()
+        )
+
+
+def _journal_path(tmp_path) -> str:
+    return str(tmp_path / "coordinator.journal")
+
+
+async def _seed_round(coordinator, table):
+    await coordinator.push_routing()
+    await coordinator.register_round(M, ROUND)
+    for index, producer in enumerate(PRODUCERS):
+        await send_records_routed(
+            table,
+            [_chunk_frame(index)],
+            key=KEY,
+            producer_id=producer,
+            m=M,
+            round_id=ROUND,
+        )
+
+
+class TestResume:
+    def test_resume_rebuilds_rounds_tokens_and_fleet(self, tmp_path):
+        async def scenario():
+            async with _Fleet(tmp_path, ["alpha", "beta"]) as fleet:
+                coordinator = RoundCoordinator(
+                    fleet.infos,
+                    control_key=CONTROL_KEY,
+                    journal=_journal_path(tmp_path),
+                )
+                await _seed_round(coordinator, coordinator.table)
+                token = coordinator.rounds[ROUND].token
+                # "kill -9": the object is abandoned, nothing closed.
+                del coordinator
+
+                resumed = RoundCoordinator.resume(
+                    _journal_path(tmp_path), control_key=CONTROL_KEY
+                )
+                assert [s.name for s in resumed.table.shards()] == [
+                    "alpha",
+                    "beta",
+                ]
+                assert resumed.rounds[ROUND].token == token
+                assert resumed.rounds[ROUND].m == M
+                assert resumed.phase(ROUND) == SERVING
+
+                summary = await resumed.reconcile()
+                assert summary == {
+                    "rounds": [ROUND],
+                    "migration_rerun": False,
+                }
+                # The resumed coordinator owns the round for real:
+                # lifecycle verbs work and keep journaling.
+                await resumed.drain(ROUND)
+                await resumed.close_round(ROUND)
+                assert fleet.total_merged() == len(PRODUCERS)
+                await resumed.close()
+
+                # A second resume replays the post-crash transitions too.
+                final = RoundCoordinator.resume(
+                    _journal_path(tmp_path), control_key=CONTROL_KEY
+                )
+                assert final.phase(ROUND) == CLOSED
+                await final.close()
+
+        asyncio.run(scenario())
+
+    def test_fresh_constructor_refuses_a_used_journal(self, tmp_path):
+        journal = CoordinatorJournal(_journal_path(tmp_path))
+        journal.load()
+        journal.append({"kind": "fleet", "epoch": 1, "replicas": 64,
+                        "shards": {"alpha": ["127.0.0.1", 7001]}})
+        journal.close()
+        from repro.pipeline.service import ShardInfo
+
+        with pytest.raises(ValidationError, match="resume"):
+            RoundCoordinator(
+                [ShardInfo("alpha", "127.0.0.1", 7001)],
+                control_key=CONTROL_KEY,
+                journal=_journal_path(tmp_path),
+            )
+
+    def test_resume_without_fleet_snapshot_is_loud(self, tmp_path):
+        journal = CoordinatorJournal(_journal_path(tmp_path))
+        journal.load()
+        journal.close()
+        with pytest.raises(ValidationError, match="no fleet snapshot"):
+            RoundCoordinator.resume(
+                _journal_path(tmp_path), control_key=CONTROL_KEY
+            )
+
+    def test_retired_rounds_stay_forgotten_on_replay(self, tmp_path):
+        async def scenario():
+            async with _Fleet(tmp_path, ["alpha"]) as fleet:
+                coordinator = RoundCoordinator(
+                    fleet.infos,
+                    control_key=CONTROL_KEY,
+                    journal=_journal_path(tmp_path),
+                )
+                await coordinator.push_routing()
+                await coordinator.register_round(M, ROUND)
+                await coordinator.drain(ROUND)
+                await coordinator.close_round(ROUND)
+                await coordinator.retire(ROUND)
+
+                resumed = RoundCoordinator.resume(
+                    _journal_path(tmp_path), control_key=CONTROL_KEY
+                )
+                assert resumed.rounds == {}
+                summary = await resumed.reconcile()
+                assert summary["rounds"] == []
+                await resumed.close()
+
+        asyncio.run(scenario())
+
+    def test_interrupted_migration_is_rerun_on_reconcile(self, tmp_path):
+        """Crash between ``migrate pending`` and ``done``: the resumed
+        coordinator finishes the transfer, records intact."""
+
+        async def scenario():
+            async with _Fleet(tmp_path, ["alpha", "beta"]) as fleet:
+                journal_path = _journal_path(tmp_path)
+                coordinator = RoundCoordinator(
+                    fleet.infos,
+                    control_key=CONTROL_KEY,
+                    journal=journal_path,
+                )
+                await _seed_round(coordinator, coordinator.table)
+                merged_before = fleet.total_merged()
+                gamma = await fleet.add("gamma")
+
+                # Run the full join (opens the round on gamma, then
+                # migrates), then forge the crash point by truncating
+                # the journal back past the ``done`` marker — the file
+                # is exactly what a coordinator killed between the
+                # record transfer and its final fsync leaves behind.
+                await coordinator.join_shard(gamma)
+                events = coordinator.journal.events()
+                assert events[-1]["kind"] == "migrate"
+                assert events[-1]["state"] == "done"
+                del coordinator
+                rewound = CoordinatorJournal(str(tmp_path / "rewound"))
+                rewound.load()
+                for event in events[:-1]:
+                    rewound.append(event)
+                rewound.close()
+
+                resumed = RoundCoordinator.resume(
+                    str(tmp_path / "rewound"), control_key=CONTROL_KEY
+                )
+                assert resumed.pending_migration is not None
+                summary = await resumed.reconcile()
+                assert summary["migration_rerun"] is True
+                assert resumed.pending_migration is None
+
+                # Zero loss, zero double-count, and gamma really owns
+                # its slice now.
+                assert fleet.total_merged() == merged_before
+                assert fleet.services["gamma"].records_merged > 0
+                await resumed.drain(ROUND)
+                await resumed.close_round(ROUND)
+                await resumed.close()
+
+        asyncio.run(scenario())
+
+
+class TestAnnouncements:
+    def test_join_fleet_grows_the_ring_and_moves_records(self, tmp_path):
+        async def scenario():
+            async with _Fleet(tmp_path, ["alpha", "beta"]) as fleet:
+                coordinator = RoundCoordinator(
+                    fleet.infos,
+                    control_key=CONTROL_KEY,
+                    journal=_journal_path(tmp_path),
+                )
+                await _seed_round(coordinator, coordinator.table)
+                merged_before = fleet.total_merged()
+                host, port = await coordinator.serve()
+
+                gamma = await fleet.add("gamma")
+                reply, _ = await control_call(
+                    host,
+                    port,
+                    key=CONTROL_KEY,
+                    op="join-fleet",
+                    body={
+                        "name": "gamma",
+                        "host": gamma.host,
+                        "port": gamma.port,
+                    },
+                )
+                assert reply["joined"] is True
+                assert reply["epoch"] == coordinator.table.epoch
+                assert "gamma" in coordinator.table.names()
+                # Records followed their producers onto the newcomer.
+                assert fleet.total_merged() == merged_before
+                assert fleet.services["gamma"].records_merged > 0
+                assert (
+                    fleet.services["gamma"].records_merged
+                    == reply["installed"]
+                )
+
+                # The moved producers' blind resends dedup on gamma.
+                for index, producer in enumerate(PRODUCERS):
+                    acks = await send_records_routed(
+                        coordinator.table,
+                        [_chunk_frame(index)],
+                        key=KEY,
+                        producer_id=producer,
+                        m=M,
+                        round_id=ROUND,
+                        raise_on_refusal=False,
+                    )
+                    assert [a.status for a in acks] == [wire.ACK_DUPLICATE]
+                await coordinator.close()
+
+        asyncio.run(scenario())
+
+    def test_hello_coordinator_readdresses_a_known_shard(self, tmp_path):
+        async def scenario():
+            async with _Fleet(tmp_path, ["alpha", "beta"]) as fleet:
+                coordinator = RoundCoordinator(
+                    fleet.infos,
+                    control_key=CONTROL_KEY,
+                )
+                await _seed_round(coordinator, coordinator.table)
+                host, port = await coordinator.serve()
+
+                # "Restart" beta: same name, same store, new socket.
+                beta = fleet.services.pop("beta")
+                await beta.close()
+                rebound = CollectionService(
+                    rounds=[],
+                    key=KEY,
+                    store_root=str(tmp_path / "beta"),
+                    control_key=CONTROL_KEY,
+                    shard_name="beta",
+                    resume=True,
+                )
+                new_host, new_port = await rebound.serve()
+                fleet.services["beta"] = rebound
+
+                reply, _ = await control_call(
+                    host,
+                    port,
+                    key=CONTROL_KEY,
+                    op="hello-coordinator",
+                    body={
+                        "name": "beta",
+                        "host": new_host,
+                        "port": new_port,
+                    },
+                )
+                assert reply["known"] is True
+                assert reply["rounds"] == [ROUND]
+                new_address = {
+                    s.name: (s.host, s.port)
+                    for s in coordinator.table.shards()
+                }
+                assert new_address["beta"] == (new_host, new_port)
+                # The recovered shard serves its old slice: every
+                # producer's blind resend is a duplicate somewhere.
+                for index, producer in enumerate(PRODUCERS):
+                    acks = await send_records_routed(
+                        coordinator.table,
+                        [_chunk_frame(index)],
+                        key=KEY,
+                        producer_id=producer,
+                        m=M,
+                        round_id=ROUND,
+                        raise_on_refusal=False,
+                    )
+                    assert [a.status for a in acks] == [wire.ACK_DUPLICATE]
+                unknown, _ = await control_call(
+                    host,
+                    port,
+                    key=CONTROL_KEY,
+                    op="hello-coordinator",
+                    body={"name": "nobody", "host": "127.0.0.1", "port": 1},
+                )
+                assert unknown["known"] is False
+                await coordinator.close()
+
+        asyncio.run(scenario())

@@ -294,6 +294,49 @@ class TestPerProducerKeys:
         service, acks = _run(scenario, tmp_path, keys=registry)
         assert [a.status for a in acks] == [wire.ACK_MERGED] * 2
 
+    def test_same_size_rewrite_with_frozen_stat_is_observed(self, tmp_path):
+        """Regression: the reload stamp was ``(st_mtime_ns, st_size)``,
+        so a same-size in-place rewrite on a coarse-mtime filesystem —
+        simulated here by pinning the timestamps back after the write —
+        was invisible and a rotated-away key stayed live."""
+        import os
+
+        path = tmp_path / "keys.txt"
+        original = "carol = first-key-000001\n"
+        path.write_text(original, encoding="utf-8")
+        registry = KeyRegistry.from_file(str(path))
+        old_key = registry.lookup("carol")
+
+        replacement = "carol = secnd-key-000001\n"
+        assert len(replacement) == len(original)
+        stat = os.stat(path)
+        path.write_text(replacement, encoding="utf-8")
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+
+        new_key = registry.lookup("carol")
+        assert new_key is not None and new_key != old_key
+
+    def test_same_size_revocation_with_frozen_stat_is_observed(self, tmp_path):
+        """The dangerous variant of the stale-stamp bug: a revocation
+        written at identical size must take effect, not leave the
+        revoked producer authenticated."""
+        import os
+
+        path = tmp_path / "keys.txt"
+        original = "carol = first-key-000001\n"
+        revoked = "[revoked]\ncarol\n#2345678\n"
+        assert len(revoked) == len(original)
+        path.write_text(original, encoding="utf-8")
+        registry = KeyRegistry.from_file(str(path))
+        assert registry.lookup("carol") is not None
+
+        stat = os.stat(path)
+        path.write_text(revoked, encoding="utf-8")
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+
+        assert registry.is_revoked("carol")
+        assert registry.lookup("carol") is None
+
     def test_derived_producer_keys_are_registry_compatible(self, tmp_path):
         master = "fleet-master-secret"
         registry = KeyRegistry(

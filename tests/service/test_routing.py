@@ -124,6 +124,26 @@ class TestMovedGrammar:
             "MOVED epoch=3 shard=alpha addr=127.0.0.1:7001"
         )
 
+    def test_ipv6_hosts_travel_bracketed_and_round_trip(self):
+        # Regression: the old host pattern ([^\s:]+) forbade colons, so
+        # an IPv6 redirect parsed as None and the client treated the
+        # MOVED as a plain refusal.
+        shard = ShardInfo("v6", "::1", 9000)
+        message = format_moved(2, shard)
+        assert message == "MOVED epoch=2 shard=v6 addr=[::1]:9000"
+        assert parse_moved(message) == (2, "v6", "::1", 9000)
+        full = ShardInfo("v6full", "2001:db8::42", 7443)
+        assert parse_moved(format_moved(5, full)) == (
+            5, "v6full", "2001:db8::42", 7443
+        )
+
+    def test_legacy_unbracketed_ipv4_still_parses(self):
+        assert parse_moved("MOVED epoch=2 shard=a addr=10.0.0.9:9000") == (
+            2, "a", "10.0.0.9", 9000
+        )
+        # The pre-fix failure mode stays a refusal, never a bad split.
+        assert parse_moved("MOVED epoch=2 shard=a addr=::1:9000") is None
+
 
 class TestStabilityProperties:
     """The minimal-movement contract, over random fleets."""
